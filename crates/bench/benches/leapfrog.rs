@@ -1,0 +1,64 @@
+//! Real-execution benchmark of one `LagrangeLeapFrog` iteration through all
+//! three drivers (the host-side counterpart of the simulated Figure 9 —
+//! absolute numbers depend on this machine's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lulesh_core::params::SimState;
+use lulesh_core::serial::{lagrange_leap_frog, SerialScratch};
+use lulesh_core::timestep::time_increment;
+use lulesh_core::Domain;
+use lulesh_task::{PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+
+const SIZE: usize = 10;
+const REGIONS: usize = 6;
+
+fn bench_serial_step(c: &mut Criterion) {
+    let d = Domain::build(SIZE, REGIONS, 1, 1, 0);
+    let mut scratch = SerialScratch::new(d.num_elem());
+    let mut state = SimState::new(d.initial_dt());
+    // Get into a representative mid-blast state.
+    for _ in 0..20 {
+        time_increment(&mut state, &d.params);
+        lagrange_leap_frog(&d, &mut scratch, &mut state).unwrap();
+    }
+    c.bench_function("leapfrog/serial/size10", |b| {
+        b.iter(|| {
+            time_increment(&mut state, &d.params);
+            lagrange_leap_frog(&d, &mut scratch, &mut state).unwrap();
+        })
+    });
+}
+
+fn bench_task_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leapfrog/task-10-steps");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let runner = TaskLulesh::new(t);
+            b.iter(|| {
+                let d = Arc::new(Domain::build(SIZE, REGIONS, 1, 1, 0));
+                runner.run(&d, PartitionPlan::fixed(128, 128), 10).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_omp_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leapfrog/omp-10-steps");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let mut runner = lulesh_omp::OmpLulesh::new(t);
+            b.iter(|| {
+                let d = Domain::build(SIZE, REGIONS, 1, 1, 0);
+                runner.run(&d, 10).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_step, bench_task_run, bench_omp_run);
+criterion_main!(benches);

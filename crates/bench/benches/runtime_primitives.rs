@@ -1,0 +1,56 @@
+//! Overhead of the runtime substrates: task spawn/continuation/when_all in
+//! the HPX-style runtime, and parallel_for fork-join cost in the
+//! OpenMP-style pool — the per-construct costs behind the machine model's
+//! `task_overhead_ns` / `barrier_ns` parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parutil::SenseBarrier;
+
+fn bench_taskrt(c: &mut Criterion) {
+    let rt = taskrt::Runtime::new(2);
+    let mut g = c.benchmark_group("taskrt");
+
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("spawn_and_wait_100", |b| {
+        b.iter(|| {
+            let fs: Vec<_> = (0..100).map(|i| rt.spawn(move || i)).collect();
+            taskrt::wait_all(fs)
+        })
+    });
+    g.bench_function("chain_100_continuations", |b| {
+        b.iter(|| {
+            let mut f = rt.spawn(|| 0u64);
+            for _ in 0..100 {
+                f = f.then(&rt, |x| x + 1);
+            }
+            f.get()
+        })
+    });
+    g.bench_function("when_all_100", |b| {
+        b.iter(|| {
+            let fs: Vec<_> = (0..100).map(|i| rt.spawn(move || i)).collect();
+            taskrt::when_all(&rt, fs).get()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ompsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ompsim");
+    for threads in [1usize, 2, 4] {
+        let mut pool = ompsim::Pool::new(threads);
+        g.bench_function(format!("empty_parallel_for/{threads}t"), |b| {
+            b.iter(|| pool.parallel_for(threads, |_c| {}))
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    // Single-participant barrier round-trip (the uncontended fast path).
+    let b1 = SenseBarrier::new(1);
+    c.bench_function("barrier/single_participant", |b| b.iter(|| b1.wait()));
+}
+
+criterion_group!(benches, bench_taskrt, bench_ompsim, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Simulator throughput: how fast one Figure-9 data point (a full
+//! iteration graph on the virtual 24-core machine) is evaluated — this
+//! bounds the cost of the partition sweeps behind Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsched::{
+    estimate_omp, estimate_task, CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures,
+};
+
+fn bench_points(c: &mut Criterion) {
+    let cm = CostModel::default();
+    let mut g = c.benchmark_group("simulator");
+    for &size in &[45usize, 150] {
+        let model = LuleshModel::new(LuleshConfig::with_size(size), cm);
+        let m = MachineParams::epyc_7443p(24);
+        g.bench_with_input(BenchmarkId::new("task_point", size), &size, |b, _| {
+            b.iter(|| estimate_task(&model, &m, 2048, 2048, SimFeatures::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("omp_point", size), &size, |b, _| {
+            b.iter(|| estimate_omp(&model, &m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_points);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation of the paper's optimization tricks (DESIGN.md §5): simulated
+//! runtime at 24 threads with each trick disabled individually, plus the
+//! Fig-5 naive port, for a small and a large problem size.
+
+use lulesh_bench::{ablation, render_table};
+use simsched::CostModel;
+
+fn main() {
+    println!("# Ablation — simulated runtime at 24 threads");
+    println!("size,config,seconds,slowdown");
+    for &size in &[45usize, 90] {
+        let rows = ablation(CostModel::default(), size);
+        for r in &rows {
+            println!("{},{},{:.3},{:.3}", size, r.name, r.seconds, r.slowdown);
+        }
+    }
+    println!();
+    for &size in &[45usize, 90] {
+        let rows = ablation(CostModel::default(), size);
+        println!("## size {size}");
+        let header = vec!["configuration", "runtime (s)", "slowdown"];
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.2}", r.seconds),
+                    format!("{:.3}x", r.slowdown),
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&header, &body));
+    }
+}

@@ -1,0 +1,39 @@
+//! Measure the kernel cost coefficients on this host and print them in the
+//! form used by `simsched::costmodel::CostModel::default()`.
+//!
+//! Usage: `cargo run --release -p lulesh-bench --bin calibrate [size] [warmup] [iters]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let warmup: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let iters: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    eprintln!("calibrating at size {size} ({warmup} warmup iterations, {iters} measured)...");
+    let m = simsched::calibrate::measure(size, warmup, iters);
+    println!("CostModel {{");
+    println!("    zero_forces: {:.1},", m.zero_forces);
+    println!("    init_stress: {:.1},", m.init_stress);
+    println!("    integrate_stress: {:.1},", m.integrate_stress);
+    println!("    volume_check: {:.1},", m.volume_check);
+    println!("    gather_set: {:.1},", m.gather_set);
+    println!("    hg_control: {:.1},", m.hg_control);
+    println!("    hg_fb: {:.1},", m.hg_fb);
+    println!("    gather_add: {:.1},", m.gather_add);
+    println!("    accel: {:.1},", m.accel);
+    println!("    accel_bc: {:.1},", m.accel_bc);
+    println!("    velocity: {:.1},", m.velocity);
+    println!("    position: {:.1},", m.position);
+    println!("    kinematics: {:.1},", m.kinematics);
+    println!("    lagrange_finish: {:.1},", m.lagrange_finish);
+    println!("    monoq_gradients: {:.1},", m.monoq_gradients);
+    println!("    monoq_region: {:.1},", m.monoq_region);
+    println!("    qstop_check: {:.1},", m.qstop_check);
+    println!("    vnewc_fill: {:.1},", m.vnewc_fill);
+    println!("    vnewc_check: {:.1},", m.vnewc_check);
+    println!("    eos_per_rep: {:.1},", m.eos_per_rep);
+    println!("    eos_finish: {:.1},", m.eos_finish);
+    println!("    update_volumes: {:.1},", m.update_volumes);
+    println!("    constraints: {:.1},", m.constraints);
+    println!("}}");
+}

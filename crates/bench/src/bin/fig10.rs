@@ -1,0 +1,36 @@
+//! Regenerate Figure 10: HPX-over-OpenMP speed-up at 24 threads across
+//! problem sizes and region counts (11 / 16 / 21), on the simulated
+//! machine. Paper anchors: up to 2.25× at size 45, ≈1.33–1.34× at 150.
+
+use lulesh_bench::{fig10, render_table, REGION_COUNTS, SIZES};
+use simsched::CostModel;
+
+fn main() {
+    let rows = fig10(CostModel::default());
+
+    println!("# Figure 10 — speed-up at 24 threads (simulated EPYC 7443P)");
+    println!("size,regions,speedup");
+    for r in &rows {
+        println!("{},{},{:.3}", r.size, r.regions, r.speedup);
+    }
+
+    println!();
+    let header = vec!["size", "r=11", "r=16", "r=21"];
+    let body: Vec<Vec<String>> = SIZES
+        .iter()
+        .map(|&size| {
+            let mut cells = vec![size.to_string()];
+            for &rc in &REGION_COUNTS {
+                let s = rows
+                    .iter()
+                    .find(|r| r.size == size && r.regions == rc)
+                    .map(|r| r.speedup)
+                    .unwrap_or(f64::NAN);
+                cells.push(format!("{s:.2}x"));
+            }
+            cells
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+    println!("paper anchors: max ≈ 2.25x at size 45; ≈ 1.33x at size 150.");
+}

@@ -1,0 +1,61 @@
+//! Regenerate Figure 9: runtime over thread count for the six problem
+//! sizes, OpenMP reference vs. the task port, on the simulated 24-core
+//! EPYC. Prints a CSV block (plot-ready) and a per-size summary with the
+//! crossover thread counts the paper narrates in §V-A.
+
+use lulesh_bench::{fig9, render_table, SIZES, THREADS};
+use simsched::CostModel;
+
+fn main() {
+    let rows = fig9(CostModel::default());
+
+    println!("# Figure 9 — runtime (s) vs. execution threads (simulated EPYC 7443P)");
+    println!("size,threads,omp_seconds,task_seconds,speedup");
+    for r in &rows {
+        println!(
+            "{},{},{:.3},{:.3},{:.3}",
+            r.size,
+            r.threads,
+            r.omp_seconds,
+            r.task_seconds,
+            r.speedup()
+        );
+    }
+
+    println!();
+    for &size in &SIZES {
+        let per: Vec<_> = rows.iter().filter(|r| r.size == size).collect();
+        let header: Vec<&str> = vec!["threads", "omp (s)", "hpx (s)", "speedup"];
+        let body: Vec<Vec<String>> = per
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    format!("{:.2}", r.omp_seconds),
+                    format!("{:.2}", r.task_seconds),
+                    format!("{:.3}", r.speedup()),
+                ]
+            })
+            .collect();
+        println!("## size {size}");
+        println!("{}", render_table(&header, &body));
+        let first_at = |margin: f64| {
+            THREADS
+                .iter()
+                .find(|&&t| {
+                    per.iter()
+                        .find(|r| r.threads == t)
+                        .map(|r| r.speedup() > margin)
+                        .unwrap_or(false)
+                })
+                .copied()
+        };
+        match (first_at(1.0), first_at(1.05)) {
+            (Some(a), Some(b)) => {
+                println!("task port edges ahead at {a} threads, clearly (>5%) ahead at {b}\n")
+            }
+            (Some(a), None) => println!("task port edges ahead at {a} threads\n"),
+            _ => println!("task port never wins\n"),
+        }
+    }
+}

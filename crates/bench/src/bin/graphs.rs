@@ -1,0 +1,113 @@
+//! The artifact's `generate-graphs.py` equivalent: render Figures 9, 10
+//! and 11 as standalone SVG files from the simulated data.
+//!
+//! Usage: `graphs [output-dir]` (default `./figures`)
+
+use lulesh_bench::plot::{Chart, Scale, Series, PALETTE};
+use lulesh_bench::{fig10, fig11, fig9, REGION_COUNTS, SIZES, THREADS};
+use simsched::CostModel;
+
+fn main() {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| "figures".into());
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+    let cm = CostModel::default();
+
+    // ---- Figure 9: one chart per size, runtime over threads, log-y.
+    let rows = fig9(cm);
+    for &size in &SIZES {
+        let per: Vec<_> = rows.iter().filter(|r| r.size == size).collect();
+        let chart = Chart {
+            title: format!("Figure 9 — LULESH runtime, size {size} (simulated EPYC 7443P)"),
+            x_label: "execution threads".into(),
+            y_label: "runtime (s)".into(),
+            x_scale: Scale::Log,
+            y_scale: Scale::Log,
+            x_ticks: THREADS.iter().map(|&t| t as f64).collect(),
+            series: vec![
+                Series {
+                    label: "OpenMP reference".into(),
+                    points: per
+                        .iter()
+                        .map(|r| (r.threads as f64, r.omp_seconds))
+                        .collect(),
+                    color: PALETTE[1].into(),
+                    dashed: true,
+                },
+                Series {
+                    label: "HPX-style task port".into(),
+                    points: per
+                        .iter()
+                        .map(|r| (r.threads as f64, r.task_seconds))
+                        .collect(),
+                    color: PALETTE[0].into(),
+                    dashed: false,
+                },
+            ],
+        };
+        let path = format!("{outdir}/fig9_size{size}.svg");
+        std::fs::write(&path, chart.to_svg()).expect("write svg");
+        println!("wrote {path}");
+    }
+
+    // ---- Figure 10: speed-up over size, one series per region count.
+    let rows = fig10(cm);
+    let chart = Chart {
+        title: "Figure 10 — speed-up at 24 threads (simulated)".into(),
+        x_label: "problem size".into(),
+        y_label: "speed-up (OpenMP / task port)".into(),
+        x_scale: Scale::Linear,
+        y_scale: Scale::Linear,
+        x_ticks: SIZES.iter().map(|&s| s as f64).collect(),
+        series: REGION_COUNTS
+            .iter()
+            .enumerate()
+            .map(|(i, &rc)| Series {
+                label: format!("{rc} regions"),
+                points: rows
+                    .iter()
+                    .filter(|r| r.regions == rc)
+                    .map(|r| (r.size as f64, r.speedup))
+                    .collect(),
+                color: PALETTE[i].into(),
+                dashed: false,
+            })
+            .collect(),
+    };
+    let path = format!("{outdir}/fig10_speedup.svg");
+    std::fs::write(&path, chart.to_svg()).expect("write svg");
+    println!("wrote {path}");
+
+    // ---- Figure 11: productive-time ratio over size.
+    let rows = fig11(cm);
+    let chart = Chart {
+        title: "Figure 11 — productive-time ratio at 24 threads (simulated)".into(),
+        x_label: "problem size".into(),
+        y_label: "productive time / total time".into(),
+        x_scale: Scale::Linear,
+        y_scale: Scale::Linear,
+        x_ticks: SIZES.iter().map(|&s| s as f64).collect(),
+        series: vec![
+            Series {
+                label: "OpenMP reference".into(),
+                points: rows
+                    .iter()
+                    .map(|r| (r.size as f64, r.omp_utilization))
+                    .collect(),
+                color: PALETTE[1].into(),
+                dashed: true,
+            },
+            Series {
+                label: "HPX-style task port".into(),
+                points: rows
+                    .iter()
+                    .map(|r| (r.size as f64, r.task_utilization))
+                    .collect(),
+                color: PALETTE[0].into(),
+                dashed: false,
+            },
+        ],
+    };
+    let path = format!("{outdir}/fig11_utilization.svg");
+    std::fs::write(&path, chart.to_svg()).expect("write svg");
+    println!("wrote {path}");
+}

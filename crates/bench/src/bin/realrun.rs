@@ -1,0 +1,67 @@
+//! Run the *real* runtimes side by side on this host: serial reference,
+//! fork-join port and task port, verifying bitwise agreement and printing
+//! wall times plus measured productive ratios. This is the artifact-style
+//! "relative comparison" entry point (absolute numbers depend on this
+//! host's core count).
+//!
+//! Usage: `realrun [--s N] [--r N] [--i N] [--threads N]`
+
+use lulesh_core::{serial, Domain, Opts, RunReport};
+use lulesh_omp::OmpLulesh;
+use lulesh_task::{PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::parse(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if !args.iter().any(|a| a.contains('i')) {
+        opts.max_cycles = 60; // keep the default run short
+    }
+
+    println!("{},impl,utilization", RunReport::CSV_HEADER);
+
+    // Serial golden reference.
+    let d_ser = Domain::build(opts.size, opts.num_reg, opts.balance, opts.cost, opts.seed);
+    let t0 = Instant::now();
+    let st = serial::run(&d_ser, opts.max_cycles).expect("serial run");
+    let rep = RunReport::collect(&d_ser, &st, 1, t0.elapsed());
+    println!("{},serial,1.0000", rep.csv_row());
+
+    // Fork-join port.
+    let d_omp = Domain::build(opts.size, opts.num_reg, opts.balance, opts.cost, opts.seed);
+    let mut omp = OmpLulesh::new(opts.threads);
+    omp.reset_counters();
+    let t0 = Instant::now();
+    let st_omp = omp.run(&d_omp, opts.max_cycles).expect("omp run");
+    let rep = RunReport::collect(&d_omp, &st_omp, opts.threads, t0.elapsed());
+    println!("{},omp,{:.4}", rep.csv_row(), omp.utilization());
+
+    // Task port.
+    let d_task = Arc::new(Domain::build(
+        opts.size,
+        opts.num_reg,
+        opts.balance,
+        opts.cost,
+        opts.seed,
+    ));
+    let plan = PartitionPlan::for_size(opts.size);
+    let task = TaskLulesh::new(opts.threads);
+    task.reset_counters();
+    let t0 = Instant::now();
+    let st_task = task.run(&d_task, plan, opts.max_cycles).expect("task run");
+    let rep = RunReport::collect(&d_task, &st_task, opts.threads, t0.elapsed());
+    println!("{},task,{:.4}", rep.csv_row(), task.utilization());
+
+    // Cross-check: all three must agree bit-for-bit.
+    let d_omp_diff = lulesh_core::validate::max_field_difference(&d_ser, &d_omp);
+    let d_task_diff = lulesh_core::validate::max_field_difference(&d_ser, &d_task);
+    eprintln!("max |serial - omp|  = {d_omp_diff:e}");
+    eprintln!("max |serial - task| = {d_task_diff:e}");
+    assert_eq!(d_omp_diff, 0.0, "fork-join port diverged from serial");
+    assert_eq!(d_task_diff, 0.0, "task port diverged from serial");
+    eprintln!("all three implementations agree bit-for-bit ✔");
+}

@@ -1,0 +1,41 @@
+//! Regenerate Table I: sweep the partition sizes for both leapfrog phases
+//! and report the simulated-runtime argmin per problem size, next to the
+//! paper's tuned values.
+
+use lulesh_bench::{render_table, table1};
+use simsched::CostModel;
+
+fn main() {
+    let rows = table1(CostModel::default());
+
+    println!("# Table I — best partition sizes (simulated sweep at 24 threads)");
+    println!("size,best_nodal,best_elements,paper_nodal,paper_elements");
+    for r in &rows {
+        println!(
+            "{},{},{},{},{}",
+            r.size, r.best_nodal, r.best_elements, r.paper.0, r.paper.1
+        );
+    }
+
+    println!();
+    let header = vec![
+        "size",
+        "nodal (sim)",
+        "elements (sim)",
+        "nodal (paper)",
+        "elements (paper)",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                r.best_nodal.to_string(),
+                r.best_elements.to_string(),
+                r.paper.0.to_string(),
+                r.paper.1.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+}

@@ -1,0 +1,325 @@
+//! Minimal SVG plotting — the counterpart of the artifact's
+//! `generate-graphs.py`: line charts with log/linear axes, markers and a
+//! legend, written as standalone `.svg` files. No dependencies; enough for
+//! the three figures.
+
+/// One data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (CSS).
+    pub color: String,
+    /// Dashed stroke?
+    pub dashed: bool,
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear mapping.
+    Linear,
+    /// Base-10 logarithmic mapping (all values must be positive).
+    Log,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X scale.
+    pub x_scale: Scale,
+    /// Y scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Explicit x tick positions (data coordinates).
+    pub x_ticks: Vec<f64>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+fn map(v: f64, lo: f64, hi: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => (v - lo) / (hi - lo),
+        Scale::Log => (v.log10() - lo.log10()) / (hi.log10() - lo.log10()),
+    }
+}
+
+/// "Nice" y ticks: 1-2-5 progression for linear, decades for log.
+fn y_ticks(lo: f64, hi: f64, scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Log => {
+            let mut ticks = Vec::new();
+            let mut d = 10f64.powf(lo.log10().floor());
+            while d <= hi * 1.0001 {
+                if d >= lo * 0.9999 {
+                    ticks.push(d);
+                }
+                d *= 10.0;
+            }
+            if ticks.len() < 2 {
+                ticks = vec![lo, hi];
+            }
+            ticks
+        }
+        Scale::Linear => {
+            let span = hi - lo;
+            let raw = span / 5.0;
+            let mag = 10f64.powf(raw.log10().floor());
+            let step = [1.0, 2.0, 5.0, 10.0]
+                .iter()
+                .map(|m| m * mag)
+                .find(|&s| span / s <= 6.0)
+                .unwrap_or(mag);
+            let mut t = (lo / step).ceil() * step;
+            let mut ticks = Vec::new();
+            while t <= hi + 1e-12 {
+                ticks.push(t);
+                t += step;
+            }
+            ticks
+        }
+    }
+}
+
+impl Chart {
+    /// Render the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "chart needs data");
+        let (mut xlo, mut xhi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ylo, mut yhi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            xlo = xlo.min(x);
+            xhi = xhi.max(x);
+            ylo = ylo.min(y);
+            yhi = yhi.max(y);
+        }
+        // Pad the y range a touch.
+        match self.y_scale {
+            Scale::Linear => {
+                let pad = 0.05 * (yhi - ylo).max(1e-12);
+                ylo -= pad;
+                yhi += pad;
+            }
+            Scale::Log => {
+                ylo /= 1.3;
+                yhi *= 1.3;
+            }
+        }
+
+        let px = |x: f64| ML + map(x, xlo, xhi, self.x_scale) * (W - ML - MR);
+        let py = |y: f64| H - MB - map(y, ylo, yhi, self.y_scale) * (H - MT - MB);
+
+        let mut svg = format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">
+<style>text {{ font-family: sans-serif; font-size: 12px; }} .t {{ font-size: 15px; font-weight: bold; }}</style>
+<rect width="{W}" height="{H}" fill="white"/>
+<text class="t" x="{:.1}" y="22" text-anchor="middle">{}</text>
+"#,
+            (W + ML - MR) / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Axes frame.
+        svg.push_str(&format!(
+            r##"<rect x="{ML}" y="{MT}" width="{:.1}" height="{:.1}" fill="none" stroke="#444"/>
+"##,
+            W - ML - MR,
+            H - MT - MB
+        ));
+
+        // Y grid + labels.
+        for t in y_ticks(ylo, yhi, self.y_scale) {
+            let y = py(t);
+            svg.push_str(&format!(
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>
+"##,
+                W - MR,
+                ML - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            ));
+        }
+        // X ticks.
+        for &t in &self.x_ticks {
+            let x = px(t);
+            svg.push_str(&format!(
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#444"/>
+<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>
+"##,
+                H - MB,
+                H - MB + 5.0,
+                H - MB + 20.0,
+                fmt_tick(t)
+            ));
+        }
+
+        // Axis labels.
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>
+<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>
+"#,
+            (W + ML - MR) / 2.0,
+            H - 14.0,
+            xml_escape(&self.x_label),
+            (H + MT - MB) / 2.0,
+            (H + MT - MB) / 2.0,
+            xml_escape(&self.y_label)
+        ));
+
+        // Series.
+        for s in &self.series {
+            let d: String = s
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    format!(
+                        "{}{:.1},{:.1}",
+                        if i == 0 { "M" } else { "L" },
+                        px(x),
+                        py(y)
+                    )
+                })
+                .collect();
+            let dash = if s.dashed {
+                r#" stroke-dasharray="6 3""#
+            } else {
+                ""
+            };
+            svg.push_str(&format!(
+                r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2"{dash}/>
+"#,
+                s.color
+            ));
+            for &(x, y) in &s.points {
+                svg.push_str(&format!(
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>
+"#,
+                    px(x),
+                    py(y),
+                    s.color
+                ));
+            }
+        }
+
+        // Legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let y = MT + 14.0 + 16.0 * i as f64;
+            svg.push_str(&format!(
+                r#"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{}" stroke-width="2"/>
+<text x="{:.1}" y="{:.1}">{}</text>
+"#,
+                ML + 10.0,
+                ML + 34.0,
+                s.color,
+                ML + 40.0,
+                y + 4.0,
+                xml_escape(&s.label)
+            ));
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(0.01..1000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Categorical palette (colorblind-safe-ish).
+pub const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log,
+            series: vec![Series {
+                label: "a<b>".into(),
+                points: vec![(1.0, 10.0), (2.0, 100.0), (4.0, 50.0)],
+                color: PALETTE[0].into(),
+                dashed: false,
+            }],
+            x_ticks: vec![1.0, 2.0, 4.0],
+        }
+    }
+
+    #[test]
+    fn svg_is_structurally_sound() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert!(svg.contains("&lt;b&gt;"), "labels must be XML-escaped");
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = y_ticks(5.0, 5000.0, Scale::Log);
+        assert_eq!(t, vec![10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let t = y_ticks(0.0, 2.3, Scale::Linear);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        for pair in t.windows(2) {
+            assert!((pair[1] - pair[0]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn points_land_inside_plot_area() {
+        let svg = chart().to_svg();
+        for cap in svg.split("<circle cx=\"").skip(1) {
+            let cx: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((ML - 1.0..=W - MR + 1.0).contains(&cx), "cx {cx}");
+        }
+    }
+}

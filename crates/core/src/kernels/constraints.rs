@@ -1,0 +1,133 @@
+//! Timestep constraints (`CalcCourantConstraintForElems`,
+//! `CalcHydroConstraintForElems`) — region-wise minimum reductions.
+
+use crate::domain::Domain;
+use crate::types::{Index, Real};
+
+/// Courant (sound-crossing) constraint over a region sublist. Returns the
+/// minimum candidate dt, or `None` when no element in the slice is moving
+/// (`vdov == 0`), matching the reference's "only update if an element was
+/// found" behaviour.
+pub fn calc_courant_constraint_for_elems(d: &Domain, elems: &[Index], qqc: Real) -> Option<Real> {
+    let qqc2 = 64.0 * qqc * qqc;
+    let mut dtcourant: Real = 1.0e20;
+    let mut found = false;
+
+    for &indx in elems {
+        let mut dtf = d.ss(indx) * d.ss(indx);
+        let vdov = d.vdov(indx);
+        if vdov < 0.0 {
+            dtf += qqc2 * d.arealg(indx) * d.arealg(indx) * vdov * vdov;
+        }
+        dtf = dtf.sqrt();
+        dtf = d.arealg(indx) / dtf;
+
+        if vdov != 0.0 && dtf < dtcourant {
+            dtcourant = dtf;
+            found = true;
+        }
+    }
+    found.then_some(dtcourant)
+}
+
+/// Hydro (volume-change) constraint over a region sublist.
+pub fn calc_hydro_constraint_for_elems(d: &Domain, elems: &[Index], dvovmax: Real) -> Option<Real> {
+    let mut dthydro: Real = 1.0e20;
+    let mut found = false;
+
+    for &indx in elems {
+        let vdov = d.vdov(indx);
+        if vdov != 0.0 {
+            let dtdvov = dvovmax / (vdov.abs() + 1.0e-20);
+            if dthydro > dtdvov {
+                dthydro = dtdvov;
+                found = true;
+            }
+        }
+    }
+    found.then_some(dthydro)
+}
+
+/// `CalcTimeConstraintsForElems`: reduce both constraints over all regions.
+/// Returns `(dtcourant, dthydro)` starting from `1e20` sentinels.
+pub fn calc_time_constraints(d: &Domain, qqc: Real, dvovmax: Real) -> (Real, Real) {
+    let mut dtcourant: Real = 1.0e20;
+    let mut dthydro: Real = 1.0e20;
+    for r in 0..d.num_reg() {
+        let elems = &d.regions.reg_elem_list[r];
+        if let Some(c) = calc_courant_constraint_for_elems(d, elems, qqc) {
+            dtcourant = dtcourant.min(c);
+        }
+        if let Some(h) = calc_hydro_constraint_for_elems(d, elems, dvovmax) {
+            dthydro = dthydro.min(h);
+        }
+    }
+    (dtcourant, dthydro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_mesh_yields_no_constraints() {
+        let d = Domain::build(3, 2, 1, 1, 0);
+        // vdov = 0 everywhere → neither constraint applies.
+        let (c, h) = calc_time_constraints(&d, 2.0, 0.1);
+        assert_eq!(c, 1.0e20);
+        assert_eq!(h, 1.0e20);
+    }
+
+    #[test]
+    fn courant_scales_with_length_over_sound_speed() {
+        let d = Domain::build(2, 1, 1, 1, 0);
+        d.set_ss(3, 2.0);
+        d.set_arealg(3, 0.5);
+        d.set_vdov(3, 1.0); // moving, expanding: no q augmentation
+        let elems: Vec<usize> = (0..d.num_elem()).collect();
+        let c = calc_courant_constraint_for_elems(&d, &elems, 2.0).unwrap();
+        assert!((c - 0.25).abs() < 1e-15, "dt = h/ss = 0.25, got {c}");
+    }
+
+    #[test]
+    fn compression_tightens_courant() {
+        let d = Domain::build(2, 1, 1, 1, 0);
+        for e in 0..d.num_elem() {
+            d.set_ss(e, 1.0);
+            d.set_arealg(e, 1.0);
+        }
+        let elems: Vec<usize> = (0..d.num_elem()).collect();
+        d.set_vdov(0, 1.0);
+        let expanding = calc_courant_constraint_for_elems(&d, &elems, 2.0).unwrap();
+        d.set_vdov(0, -1.0);
+        let compressing = calc_courant_constraint_for_elems(&d, &elems, 2.0).unwrap();
+        assert!(
+            compressing < expanding,
+            "compression adds the q term: {compressing} !< {expanding}"
+        );
+    }
+
+    #[test]
+    fn hydro_is_dvovmax_over_vdov() {
+        let d = Domain::build(2, 1, 1, 1, 0);
+        d.set_vdov(7, -0.5);
+        let elems: Vec<usize> = (0..d.num_elem()).collect();
+        let h = calc_hydro_constraint_for_elems(&d, &elems, 0.1).unwrap();
+        assert!((h - 0.1 / (0.5 + 1.0e-20)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduction_over_regions_takes_global_min() {
+        let d = Domain::build(3, 3, 1, 1, 0);
+        for e in 0..d.num_elem() {
+            d.set_ss(e, 1.0);
+            d.set_arealg(e, 1.0);
+            d.set_vdov(e, 0.1);
+        }
+        // Make one element (in whatever region it is) the binding one.
+        d.set_arealg(13, 0.01);
+        let (c, h) = calc_time_constraints(&d, 2.0, 0.1);
+        assert!((c - 0.01).abs() < 1e-12);
+        assert!((h - 0.1 / (0.1 + 1.0e-20)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,514 @@
+//! Flanagan-Belytschko hourglass control: `CalcHourglassControlForElems`,
+//! `CalcFBHourglassForceForElems` and `CalcElemFBHourglassForce`.
+//!
+//! Like the stress kernels, these operate on a chunk of the element index
+//! space with chunk-local scratch (`dvdx`, `x8n`, `determ`, `f*_elem`), so
+//! the task driver can keep all hourglass temporaries task-local (paper
+//! trick T6) while the serial driver passes whole-mesh arrays.
+
+// Indexed Γ-matrix loops and wide signatures mirror the reference kernels one-to-one.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#![cfg_attr(test, allow(clippy::type_complexity))]
+use crate::domain::Domain;
+use crate::kernels::volume::calc_elem_volume_derivative;
+use crate::types::{LuleshError, Real};
+use parutil::Chunk;
+
+/// The four hourglass base vectors Γ (`gamma` in the reference).
+pub const GAMMA: [[Real; 8]; 4] = [
+    [1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0],
+    [1.0, -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0],
+    [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0],
+];
+
+/// First phase of hourglass control: per element, the volume derivatives at
+/// the 8 corners, the corner coordinates (for reuse in phase two) and the
+/// current absolute volume `determ = volo·v`. Reports a volume error when
+/// any relative volume is non-positive.
+#[allow(clippy::too_many_arguments)]
+pub fn calc_hourglass_control_for_elems(
+    d: &Domain,
+    dvdx: &mut [Real],
+    dvdy: &mut [Real],
+    dvdz: &mut [Real],
+    x8n: &mut [Real],
+    y8n: &mut [Real],
+    z8n: &mut [Real],
+    determ: &mut [Real],
+    range: Chunk,
+) -> Result<(), LuleshError> {
+    debug_assert_eq!(dvdx.len(), 8 * range.len());
+    debug_assert_eq!(determ.len(), range.len());
+
+    let mut x1 = [0.0; 8];
+    let mut y1 = [0.0; 8];
+    let mut z1 = [0.0; 8];
+    let mut failed = false;
+
+    for i in range.iter() {
+        let k = i - range.begin;
+        d.collect_domain_nodes_to_elem_nodes(i, &mut x1, &mut y1, &mut z1);
+        let (pfx, pfy, pfz) = calc_elem_volume_derivative(&x1, &y1, &z1);
+
+        let i3 = 8 * k;
+        dvdx[i3..i3 + 8].copy_from_slice(&pfx);
+        dvdy[i3..i3 + 8].copy_from_slice(&pfy);
+        dvdz[i3..i3 + 8].copy_from_slice(&pfz);
+        x8n[i3..i3 + 8].copy_from_slice(&x1);
+        y8n[i3..i3 + 8].copy_from_slice(&y1);
+        z8n[i3..i3 + 8].copy_from_slice(&z1);
+
+        determ[k] = d.volo(i) * d.v(i);
+        failed |= d.v(i) <= 0.0;
+    }
+
+    if failed {
+        Err(LuleshError::VolumeError)
+    } else {
+        Ok(())
+    }
+}
+
+/// `CalcElemFBHourglassForce`: project velocities onto the hourglass modes
+/// and distribute the restoring force to the corners.
+fn calc_elem_fb_hourglass_force(
+    xd: &[Real; 8],
+    yd: &[Real; 8],
+    zd: &[Real; 8],
+    hourgam: &[[Real; 4]; 8],
+    coefficient: Real,
+    hgfx: &mut [Real; 8],
+    hgfy: &mut [Real; 8],
+    hgfz: &mut [Real; 8],
+) {
+    let mut hxx = [0.0; 4];
+    let mut hyy = [0.0; 4];
+    let mut hzz = [0.0; 4];
+    for i in 0..4 {
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sz = 0.0;
+        for j in 0..8 {
+            sx += hourgam[j][i] * xd[j];
+            sy += hourgam[j][i] * yd[j];
+            sz += hourgam[j][i] * zd[j];
+        }
+        hxx[i] = sx;
+        hyy[i] = sy;
+        hzz[i] = sz;
+    }
+    for i in 0..8 {
+        hgfx[i] = coefficient
+            * (hourgam[i][0] * hxx[0]
+                + hourgam[i][1] * hxx[1]
+                + hourgam[i][2] * hxx[2]
+                + hourgam[i][3] * hxx[3]);
+        hgfy[i] = coefficient
+            * (hourgam[i][0] * hyy[0]
+                + hourgam[i][1] * hyy[1]
+                + hourgam[i][2] * hyy[2]
+                + hourgam[i][3] * hyy[3]);
+        hgfz[i] = coefficient
+            * (hourgam[i][0] * hzz[0]
+                + hourgam[i][1] * hzz[1]
+                + hourgam[i][2] * hzz[2]
+                + hourgam[i][3] * hzz[3]);
+    }
+}
+
+/// Second phase: compute the FB hourglass restoring forces per corner into
+/// chunk-local `f*_elem` arrays. `hourg` is the `hgcoef` parameter.
+#[allow(clippy::too_many_arguments)]
+pub fn calc_fb_hourglass_force_for_elems(
+    d: &Domain,
+    determ: &[Real],
+    x8n: &[Real],
+    y8n: &[Real],
+    z8n: &[Real],
+    dvdx: &[Real],
+    dvdy: &[Real],
+    dvdz: &[Real],
+    hourg: Real,
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+    range: Chunk,
+) {
+    debug_assert_eq!(fx_elem.len(), 8 * range.len());
+
+    let mut hourgam = [[0.0; 4]; 8];
+    let mut xd1 = [0.0; 8];
+    let mut yd1 = [0.0; 8];
+    let mut zd1 = [0.0; 8];
+    let mut hgfx = [0.0; 8];
+    let mut hgfy = [0.0; 8];
+    let mut hgfz = [0.0; 8];
+
+    for i2 in range.iter() {
+        let k = i2 - range.begin;
+        let i3 = 8 * k;
+        let volinv = 1.0 / determ[k];
+
+        for i1 in 0..4 {
+            let mut hourmodx = 0.0;
+            let mut hourmody = 0.0;
+            let mut hourmodz = 0.0;
+            for j in 0..8 {
+                hourmodx += x8n[i3 + j] * GAMMA[i1][j];
+                hourmody += y8n[i3 + j] * GAMMA[i1][j];
+                hourmodz += z8n[i3 + j] * GAMMA[i1][j];
+            }
+            for j in 0..8 {
+                hourgam[j][i1] = GAMMA[i1][j]
+                    - volinv
+                        * (dvdx[i3 + j] * hourmodx
+                            + dvdy[i3 + j] * hourmody
+                            + dvdz[i3 + j] * hourmodz);
+            }
+        }
+
+        // Compute forces: store forces into h arrays (force arrays).
+        let ss1 = d.ss(i2);
+        let mass1 = d.elem_mass(i2);
+        let volume13 = determ[k].cbrt();
+        d.collect_elem_velocities(i2, &mut xd1, &mut yd1, &mut zd1);
+
+        let coefficient = -hourg * 0.01 * ss1 * mass1 / volume13;
+
+        calc_elem_fb_hourglass_force(
+            &xd1,
+            &yd1,
+            &zd1,
+            &hourgam,
+            coefficient,
+            &mut hgfx,
+            &mut hgfy,
+            &mut hgfz,
+        );
+
+        fx_elem[i3..i3 + 8].copy_from_slice(&hgfx);
+        fy_elem[i3..i3 + 8].copy_from_slice(&hgfy);
+        fz_elem[i3..i3 + 8].copy_from_slice(&hgfz);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parutil::Chunk;
+
+    fn full(d: &Domain) -> Chunk {
+        Chunk {
+            begin: 0,
+            end: d.num_elem(),
+        }
+    }
+
+    fn scratch(
+        n: usize,
+    ) -> (
+        Vec<Real>,
+        Vec<Real>,
+        Vec<Real>,
+        Vec<Real>,
+        Vec<Real>,
+        Vec<Real>,
+        Vec<Real>,
+    ) {
+        (
+            vec![0.0; 8 * n],
+            vec![0.0; 8 * n],
+            vec![0.0; 8 * n],
+            vec![0.0; 8 * n],
+            vec![0.0; 8 * n],
+            vec![0.0; 8 * n],
+            vec![0.0; n],
+        )
+    }
+
+    #[test]
+    fn gamma_vectors_are_orthogonal_to_rigid_modes() {
+        // Each Γ is orthogonal to the constant vector (translation mode)...
+        for g in &GAMMA {
+            assert_eq!(g.iter().sum::<Real>(), 0.0);
+        }
+        // ... and mutually orthogonal.
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let dot: Real = (0..8).map(|k| GAMMA[i][k] * GAMMA[j][k]).sum();
+                assert_eq!(dot, 0.0, "Γ{i}·Γ{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_phase_records_geometry_and_volume() {
+        let d = Domain::build(3, 1, 1, 1, 0);
+        let n = d.num_elem();
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        )
+        .unwrap();
+        for e in 0..n {
+            assert!((determ[e] - d.volo(e)).abs() < 1e-15);
+        }
+        // x8n holds the corner coordinates.
+        assert_eq!(x8n[0], d.x(d.nodelist(0)[0]));
+        assert_eq!(y8n[3], d.y(d.nodelist(0)[3]));
+    }
+
+    #[test]
+    fn control_phase_detects_negative_volume() {
+        let d = Domain::build(2, 1, 1, 1, 0);
+        d.set_v(3, -0.1);
+        let n = d.num_elem();
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        let r = calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        );
+        assert_eq!(r, Err(LuleshError::VolumeError));
+    }
+
+    #[test]
+    fn zero_velocity_gives_zero_hourglass_force() {
+        let d = Domain::build(3, 1, 1, 1, 0);
+        let n = d.num_elem();
+        for e in 0..n {
+            d.set_ss(e, 1.0);
+        }
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        )
+        .unwrap();
+        let mut fx = vec![1.0; 8 * n];
+        let mut fy = vec![1.0; 8 * n];
+        let mut fz = vec![1.0; 8 * n];
+        calc_fb_hourglass_force_for_elems(
+            &d,
+            &determ,
+            &x8n,
+            &y8n,
+            &z8n,
+            &dvdx,
+            &dvdy,
+            &dvdz,
+            3.0,
+            &mut fx,
+            &mut fy,
+            &mut fz,
+            full(&d),
+        );
+        assert!(fx.iter().all(|&f| f == 0.0));
+        assert!(fy.iter().all(|&f| f == 0.0));
+        assert!(fz.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn rigid_translation_gives_zero_hourglass_force() {
+        // Hourglass control must not resist rigid-body motion.
+        let d = Domain::build(3, 1, 1, 1, 0);
+        let n = d.num_elem();
+        for e in 0..n {
+            d.set_ss(e, 2.0);
+        }
+        for nn in 0..d.num_node() {
+            d.set_xd(nn, 1.0);
+            d.set_yd(nn, -0.5);
+            d.set_zd(nn, 0.25);
+        }
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        )
+        .unwrap();
+        let mut fx = vec![0.0; 8 * n];
+        let mut fy = vec![0.0; 8 * n];
+        let mut fz = vec![0.0; 8 * n];
+        calc_fb_hourglass_force_for_elems(
+            &d,
+            &determ,
+            &x8n,
+            &y8n,
+            &z8n,
+            &dvdx,
+            &dvdy,
+            &dvdz,
+            3.0,
+            &mut fx,
+            &mut fy,
+            &mut fz,
+            full(&d),
+        );
+        for f in fx.iter().chain(&fy).chain(&fz) {
+            assert!(f.abs() < 1e-12, "rigid translation produced force {f}");
+        }
+    }
+
+    #[test]
+    fn hourglass_mode_velocity_is_damped() {
+        // A velocity field proportional to Γ0 on one element must produce a
+        // nonzero restoring force opposing it.
+        let d = Domain::build(1, 1, 1, 1, 0);
+        d.set_ss(0, 1.0);
+        let nl: Vec<_> = d.nodelist(0).to_vec();
+        for (c, &nn) in nl.iter().enumerate() {
+            d.set_xd(nn, GAMMA[0][c]);
+        }
+        let n = 1;
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        )
+        .unwrap();
+        let mut fx = vec![0.0; 8];
+        let mut fy = vec![0.0; 8];
+        let mut fz = vec![0.0; 8];
+        calc_fb_hourglass_force_for_elems(
+            &d,
+            &determ,
+            &x8n,
+            &y8n,
+            &z8n,
+            &dvdx,
+            &dvdy,
+            &dvdz,
+            3.0,
+            &mut fx,
+            &mut fy,
+            &mut fz,
+            full(&d),
+        );
+        // The force must oppose the hourglass velocity: f·v < 0.
+        let dot: Real = (0..8).map(|c| fx[c] * GAMMA[0][c]).sum();
+        assert!(
+            dot < 0.0,
+            "restoring force should oppose the mode, f·v = {dot}"
+        );
+    }
+
+    #[test]
+    fn chunked_matches_whole_mesh() {
+        let d = Domain::build(3, 1, 1, 1, 0);
+        let n = d.num_elem();
+        for e in 0..n {
+            d.set_ss(e, 0.5 + (e % 7) as Real * 0.1);
+        }
+        for nn in 0..d.num_node() {
+            d.set_xd(nn, (nn as Real).sin());
+            d.set_yd(nn, (nn as Real).cos());
+            d.set_zd(nn, (nn as Real * 0.3).sin());
+        }
+        let (mut dvdx, mut dvdy, mut dvdz, mut x8n, mut y8n, mut z8n, mut determ) = scratch(n);
+        calc_hourglass_control_for_elems(
+            &d,
+            &mut dvdx,
+            &mut dvdy,
+            &mut dvdz,
+            &mut x8n,
+            &mut y8n,
+            &mut z8n,
+            &mut determ,
+            full(&d),
+        )
+        .unwrap();
+        let mut fx1 = vec![0.0; 8 * n];
+        let mut fy1 = vec![0.0; 8 * n];
+        let mut fz1 = vec![0.0; 8 * n];
+        calc_fb_hourglass_force_for_elems(
+            &d,
+            &determ,
+            &x8n,
+            &y8n,
+            &z8n,
+            &dvdx,
+            &dvdy,
+            &dvdz,
+            3.0,
+            &mut fx1,
+            &mut fy1,
+            &mut fz1,
+            full(&d),
+        );
+
+        let mut fx2 = vec![0.0; 8 * n];
+        let mut fy2 = vec![0.0; 8 * n];
+        let mut fz2 = vec![0.0; 8 * n];
+        for range in parutil::chunks_of(n, 5) {
+            let len = range.len();
+            let mut l = (
+                vec![0.0; 8 * len],
+                vec![0.0; 8 * len],
+                vec![0.0; 8 * len],
+                vec![0.0; 8 * len],
+                vec![0.0; 8 * len],
+                vec![0.0; 8 * len],
+                vec![0.0; len],
+            );
+            calc_hourglass_control_for_elems(
+                &d, &mut l.0, &mut l.1, &mut l.2, &mut l.3, &mut l.4, &mut l.5, &mut l.6, range,
+            )
+            .unwrap();
+            calc_fb_hourglass_force_for_elems(
+                &d,
+                &l.6,
+                &l.3,
+                &l.4,
+                &l.5,
+                &l.0,
+                &l.1,
+                &l.2,
+                3.0,
+                &mut fx2[8 * range.begin..8 * range.end],
+                &mut fy2[8 * range.begin..8 * range.end],
+                &mut fz2[8 * range.begin..8 * range.end],
+                range,
+            );
+        }
+        assert_eq!(fx1, fx2);
+        assert_eq!(fy1, fy2);
+        assert_eq!(fz1, fz2);
+    }
+}

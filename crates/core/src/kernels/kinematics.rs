@@ -1,0 +1,187 @@
+//! Element kinematics (`CalcKinematicsForElems` and the trailing loop of
+//! `CalcLagrangeElements`): new relative volumes, characteristic lengths,
+//! and the deviatoric strain rate.
+
+use crate::domain::Domain;
+use crate::kernels::shape::{calc_elem_shape_function_derivatives, calc_elem_velocity_gradient};
+use crate::kernels::volume::{calc_elem_characteristic_length, calc_elem_volume};
+use crate::types::{LuleshError, Real};
+use parutil::Chunk;
+
+/// Per element: new relative volume (`vnew`), volume change (`delv`),
+/// characteristic length (`arealg`), and principal strain rates
+/// (`dxx/dyy/dzz`) evaluated at the half-step geometry.
+pub fn calc_kinematics_for_elems(d: &Domain, dt: Real, range: Chunk) {
+    let mut b = [[0.0; 8]; 3];
+    let mut x_local = [0.0; 8];
+    let mut y_local = [0.0; 8];
+    let mut z_local = [0.0; 8];
+    let mut xd_local = [0.0; 8];
+    let mut yd_local = [0.0; 8];
+    let mut zd_local = [0.0; 8];
+
+    for k in range.iter() {
+        d.collect_domain_nodes_to_elem_nodes(k, &mut x_local, &mut y_local, &mut z_local);
+
+        // Volume calculations.
+        let volume = calc_elem_volume(&x_local, &y_local, &z_local);
+        let relative_volume = volume / d.volo(k);
+        d.set_vnew(k, relative_volume);
+        d.set_delv(k, relative_volume - d.v(k));
+
+        // Characteristic length for time increment.
+        d.set_arealg(
+            k,
+            calc_elem_characteristic_length(&x_local, &y_local, &z_local, volume),
+        );
+
+        d.collect_elem_velocities(k, &mut xd_local, &mut yd_local, &mut zd_local);
+
+        // Move the geometry half a timestep back.
+        let dt2 = 0.5 * dt;
+        for j in 0..8 {
+            x_local[j] -= dt2 * xd_local[j];
+            y_local[j] -= dt2 * yd_local[j];
+            z_local[j] -= dt2 * zd_local[j];
+        }
+
+        let detj = calc_elem_shape_function_derivatives(&x_local, &y_local, &z_local, &mut b);
+        let dvg = calc_elem_velocity_gradient(&xd_local, &yd_local, &zd_local, &b, detj);
+
+        d.set_dxx(k, dvg[0]);
+        d.set_dyy(k, dvg[1]);
+        d.set_dzz(k, dvg[2]);
+    }
+}
+
+/// Trailing loop of `CalcLagrangeElements`: `vdov` and the deviatoric
+/// strain-rate adjustment; detects non-positive new volumes.
+pub fn calc_lagrange_elements_finish(d: &Domain, range: Chunk) -> Result<(), LuleshError> {
+    let mut failed = false;
+    for k in range.iter() {
+        // Calc strain rate and apply as constraint (only done in FB element).
+        let vdov = d.dxx(k) + d.dyy(k) + d.dzz(k);
+        let vdovthird = vdov / 3.0;
+
+        // Make the rate of deformation tensor deviatoric.
+        d.set_vdov(k, vdov);
+        d.set_dxx(k, d.dxx(k) - vdovthird);
+        d.set_dyy(k, d.dyy(k) - vdovthird);
+        d.set_dzz(k, d.dzz(k) - vdovthird);
+
+        failed |= d.vnew(k) <= 0.0;
+    }
+    if failed {
+        Err(LuleshError::VolumeError)
+    } else {
+        Ok(())
+    }
+}
+
+/// `UpdateVolumesForElems`: commit the new relative volumes, snapping values
+/// within `v_cut` of 1 to exactly 1.
+pub fn update_volumes_for_elems(d: &Domain, v_cut: Real, range: Chunk) {
+    for i in range.iter() {
+        let mut tmp_v = d.vnew(i);
+        if (tmp_v - 1.0).abs() < v_cut {
+            tmp_v = 1.0;
+        }
+        d.set_v(i, tmp_v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elems(d: &Domain) -> Chunk {
+        Chunk {
+            begin: 0,
+            end: d.num_elem(),
+        }
+    }
+
+    #[test]
+    fn static_mesh_has_unit_vnew_and_zero_strain() {
+        let d = Domain::build(3, 1, 1, 1, 0);
+        calc_kinematics_for_elems(&d, 1e-3, elems(&d));
+        for k in 0..d.num_elem() {
+            assert!((d.vnew(k) - 1.0).abs() < 1e-12);
+            assert!(d.delv(k).abs() < 1e-12);
+            assert!(d.dxx(k).abs() < 1e-14);
+            assert!(d.dyy(k).abs() < 1e-14);
+            assert!(d.dzz(k).abs() < 1e-14);
+            // Characteristic length of a uniform hex = its edge length.
+            let h = crate::params::MESH_EXTENT / 3.0;
+            assert!((d.arealg(k) - h).abs() < 1e-12, "arealg = {}", d.arealg(k));
+        }
+        calc_lagrange_elements_finish(&d, elems(&d)).unwrap();
+        for k in 0..d.num_elem() {
+            assert!(d.vdov(k).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn uniform_expansion_strain_rates() {
+        // v = c·(x,y,z): divergence is 3c, principal strains c each,
+        // deviatoric part zero.
+        let d = Domain::build(2, 1, 1, 1, 0);
+        let c = 0.1;
+        for n in 0..d.num_node() {
+            d.set_xd(n, c * d.x(n));
+            d.set_yd(n, c * d.y(n));
+            d.set_zd(n, c * d.z(n));
+        }
+        // dt = 0 keeps the evaluation geometry at the current coordinates.
+        calc_kinematics_for_elems(&d, 0.0, elems(&d));
+        for k in 0..d.num_elem() {
+            assert!((d.dxx(k) - c).abs() < 1e-12);
+            assert!((d.dyy(k) - c).abs() < 1e-12);
+            assert!((d.dzz(k) - c).abs() < 1e-12);
+        }
+        calc_lagrange_elements_finish(&d, elems(&d)).unwrap();
+        for k in 0..d.num_elem() {
+            assert!((d.vdov(k) - 3.0 * c).abs() < 1e-12);
+            assert!(d.dxx(k).abs() < 1e-12, "deviatoric xx must vanish");
+        }
+    }
+
+    #[test]
+    fn compressed_element_shrinks_vnew() {
+        let d = Domain::build(1, 1, 1, 1, 0);
+        // Scale all coordinates by 0.5: volume shrinks 8×.
+        for n in 0..d.num_node() {
+            d.set_x(n, 0.5 * d.x(n));
+            d.set_y(n, 0.5 * d.y(n));
+            d.set_z(n, 0.5 * d.z(n));
+        }
+        calc_kinematics_for_elems(&d, 0.0, elems(&d));
+        assert!((d.vnew(0) - 0.125).abs() < 1e-12);
+        assert!((d.delv(0) + 0.875).abs() < 1e-12);
+        assert!(calc_lagrange_elements_finish(&d, elems(&d)).is_ok());
+    }
+
+    #[test]
+    fn update_volumes_commits_and_snaps() {
+        let d = Domain::build(2, 1, 1, 1, 0);
+        d.set_vnew(0, 1.0 + 1e-12);
+        d.set_vnew(1, 0.5);
+        update_volumes_for_elems(&d, 1e-10, elems(&d));
+        assert_eq!(d.v(0), 1.0, "within v_cut snaps to exactly 1");
+        assert_eq!(d.v(1), 0.5);
+    }
+
+    #[test]
+    fn inverted_element_detected() {
+        let d = Domain::build(1, 1, 1, 1, 0);
+        // Collapse the element through zero volume by reflecting the top.
+        for n in 0..d.num_node() {
+            d.set_z(n, -2.0 * d.z(n));
+        }
+        calc_kinematics_for_elems(&d, 0.0, elems(&d));
+        assert_eq!(
+            calc_lagrange_elements_finish(&d, elems(&d)),
+            Err(LuleshError::VolumeError)
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Shape-function machinery: Jacobian-based shape function derivatives,
+//! element node normals, stress-to-nodal-force accumulation, and the element
+//! velocity gradient. Ports of `CalcElemShapeFunctionDerivatives`,
+//! `SumElemFaceNormal`/`CalcElemNodeNormals`,
+//! `SumElemStressesToNodeForces`, and `CalcElemVelocityGradient`.
+
+use crate::types::Real;
+
+/// Shape-function derivatives `b[dim][corner]` and the Jacobian-based
+/// element volume.
+pub fn calc_elem_shape_function_derivatives(
+    x: &[Real; 8],
+    y: &[Real; 8],
+    z: &[Real; 8],
+    b: &mut [[Real; 8]; 3],
+) -> Real {
+    let fjxxi = 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) - (x[7] - x[1]) - (x[4] - x[2]));
+    let fjxet = 0.125 * ((x[6] - x[0]) - (x[5] - x[3]) + (x[7] - x[1]) - (x[4] - x[2]));
+    let fjxze = 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) + (x[7] - x[1]) + (x[4] - x[2]));
+
+    let fjyxi = 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) - (y[7] - y[1]) - (y[4] - y[2]));
+    let fjyet = 0.125 * ((y[6] - y[0]) - (y[5] - y[3]) + (y[7] - y[1]) - (y[4] - y[2]));
+    let fjyze = 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) + (y[7] - y[1]) + (y[4] - y[2]));
+
+    let fjzxi = 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) - (z[7] - z[1]) - (z[4] - z[2]));
+    let fjzet = 0.125 * ((z[6] - z[0]) - (z[5] - z[3]) + (z[7] - z[1]) - (z[4] - z[2]));
+    let fjzze = 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) + (z[7] - z[1]) + (z[4] - z[2]));
+
+    // Cofactors of the Jacobian.
+    let cjxxi = fjyet * fjzze - fjzet * fjyze;
+    let cjxet = -fjyxi * fjzze + fjzxi * fjyze;
+    let cjxze = fjyxi * fjzet - fjzxi * fjyet;
+
+    let cjyxi = -fjxet * fjzze + fjzet * fjxze;
+    let cjyet = fjxxi * fjzze - fjzxi * fjxze;
+    let cjyze = -fjxxi * fjzet + fjzxi * fjxet;
+
+    let cjzxi = fjxet * fjyze - fjyet * fjxze;
+    let cjzet = -fjxxi * fjyze + fjyxi * fjxze;
+    let cjzze = fjxxi * fjyet - fjyxi * fjxet;
+
+    // Calculate partials: this form assumes a cofactor center evaluation.
+    b[0][0] = -cjxxi - cjxet - cjxze;
+    b[0][1] = cjxxi - cjxet - cjxze;
+    b[0][2] = cjxxi + cjxet - cjxze;
+    b[0][3] = -cjxxi + cjxet - cjxze;
+    b[0][4] = -b[0][2];
+    b[0][5] = -b[0][3];
+    b[0][6] = -b[0][0];
+    b[0][7] = -b[0][1];
+
+    b[1][0] = -cjyxi - cjyet - cjyze;
+    b[1][1] = cjyxi - cjyet - cjyze;
+    b[1][2] = cjyxi + cjyet - cjyze;
+    b[1][3] = -cjyxi + cjyet - cjyze;
+    b[1][4] = -b[1][2];
+    b[1][5] = -b[1][3];
+    b[1][6] = -b[1][0];
+    b[1][7] = -b[1][1];
+
+    b[2][0] = -cjzxi - cjzet - cjzze;
+    b[2][1] = cjzxi - cjzet - cjzze;
+    b[2][2] = cjzxi + cjzet - cjzze;
+    b[2][3] = -cjzxi + cjzet - cjzze;
+    b[2][4] = -b[2][2];
+    b[2][5] = -b[2][3];
+    b[2][6] = -b[2][0];
+    b[2][7] = -b[2][1];
+
+    // Jacobian determinant → volume.
+    8.0 * (fjxet * cjxet + fjyet * cjyet + fjzet * cjzet)
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn sum_elem_face_normal(
+    normal_x: &mut [Real; 8],
+    normal_y: &mut [Real; 8],
+    normal_z: &mut [Real; 8],
+    (i0, i1, i2, i3): (usize, usize, usize, usize),
+    x: &[Real; 8],
+    y: &[Real; 8],
+    z: &[Real; 8],
+) {
+    let bisect_x0 = 0.5 * (x[i3] + x[i2] - x[i1] - x[i0]);
+    let bisect_y0 = 0.5 * (y[i3] + y[i2] - y[i1] - y[i0]);
+    let bisect_z0 = 0.5 * (z[i3] + z[i2] - z[i1] - z[i0]);
+    let bisect_x1 = 0.5 * (x[i2] + x[i1] - x[i3] - x[i0]);
+    let bisect_y1 = 0.5 * (y[i2] + y[i1] - y[i3] - y[i0]);
+    let bisect_z1 = 0.5 * (z[i2] + z[i1] - z[i3] - z[i0]);
+    let area_x = 0.25 * (bisect_y0 * bisect_z1 - bisect_z0 * bisect_y1);
+    let area_y = 0.25 * (bisect_z0 * bisect_x1 - bisect_x0 * bisect_z1);
+    let area_z = 0.25 * (bisect_x0 * bisect_y1 - bisect_y0 * bisect_x1);
+
+    for i in [i0, i1, i2, i3] {
+        normal_x[i] += area_x;
+        normal_y[i] += area_y;
+        normal_z[i] += area_z;
+    }
+}
+
+/// Outward-ish node normals of an element: the sum over the element's six
+/// faces of each face's area vector, distributed to the face's four corners.
+pub fn calc_elem_node_normals(
+    pfx: &mut [Real; 8],
+    pfy: &mut [Real; 8],
+    pfz: &mut [Real; 8],
+    x: &[Real; 8],
+    y: &[Real; 8],
+    z: &[Real; 8],
+) {
+    pfx.fill(0.0);
+    pfy.fill(0.0);
+    pfz.fill(0.0);
+    // Face corner tuples, reference order.
+    sum_elem_face_normal(pfx, pfy, pfz, (0, 1, 2, 3), x, y, z);
+    sum_elem_face_normal(pfx, pfy, pfz, (0, 4, 5, 1), x, y, z);
+    sum_elem_face_normal(pfx, pfy, pfz, (1, 5, 6, 2), x, y, z);
+    sum_elem_face_normal(pfx, pfy, pfz, (2, 6, 7, 3), x, y, z);
+    sum_elem_face_normal(pfx, pfy, pfz, (3, 7, 4, 0), x, y, z);
+    sum_elem_face_normal(pfx, pfy, pfz, (4, 7, 6, 5), x, y, z);
+}
+
+/// Per-corner forces from the (diagonal, isotropic) element stress:
+/// `f = −σ · normal`.
+pub fn sum_elem_stresses_to_node_forces(
+    b: &[[Real; 8]; 3],
+    stress_xx: Real,
+    stress_yy: Real,
+    stress_zz: Real,
+    fx: &mut [Real; 8],
+    fy: &mut [Real; 8],
+    fz: &mut [Real; 8],
+) {
+    for i in 0..8 {
+        fx[i] = -stress_xx * b[0][i];
+        fy[i] = -stress_yy * b[1][i];
+        fz[i] = -stress_zz * b[2][i];
+    }
+}
+
+/// Principal components of the element velocity gradient
+/// (`CalcElemVelocityGradient`; only `d[0..3]` are consumed downstream but
+/// we compute all six like the reference).
+pub fn calc_elem_velocity_gradient(
+    xvel: &[Real; 8],
+    yvel: &[Real; 8],
+    zvel: &[Real; 8],
+    b: &[[Real; 8]; 3],
+    detj: Real,
+) -> [Real; 6] {
+    let inv_detj = 1.0 / detj;
+    let pfx = &b[0];
+    let pfy = &b[1];
+    let pfz = &b[2];
+
+    let mut d = [0.0; 6];
+    d[0] = inv_detj
+        * (pfx[0] * (xvel[0] - xvel[6])
+            + pfx[1] * (xvel[1] - xvel[7])
+            + pfx[2] * (xvel[2] - xvel[4])
+            + pfx[3] * (xvel[3] - xvel[5]));
+    d[1] = inv_detj
+        * (pfy[0] * (yvel[0] - yvel[6])
+            + pfy[1] * (yvel[1] - yvel[7])
+            + pfy[2] * (yvel[2] - yvel[4])
+            + pfy[3] * (yvel[3] - yvel[5]));
+    d[2] = inv_detj
+        * (pfz[0] * (zvel[0] - zvel[6])
+            + pfz[1] * (zvel[1] - zvel[7])
+            + pfz[2] * (zvel[2] - zvel[4])
+            + pfz[3] * (zvel[3] - zvel[5]));
+
+    let dyddx = inv_detj
+        * (pfx[0] * (yvel[0] - yvel[6])
+            + pfx[1] * (yvel[1] - yvel[7])
+            + pfx[2] * (yvel[2] - yvel[4])
+            + pfx[3] * (yvel[3] - yvel[5]));
+    let dxddy = inv_detj
+        * (pfy[0] * (xvel[0] - xvel[6])
+            + pfy[1] * (xvel[1] - xvel[7])
+            + pfy[2] * (xvel[2] - xvel[4])
+            + pfy[3] * (xvel[3] - xvel[5]));
+    let dzddx = inv_detj
+        * (pfx[0] * (zvel[0] - zvel[6])
+            + pfx[1] * (zvel[1] - zvel[7])
+            + pfx[2] * (zvel[2] - zvel[4])
+            + pfx[3] * (zvel[3] - zvel[5]));
+    let dxddz = inv_detj
+        * (pfz[0] * (xvel[0] - xvel[6])
+            + pfz[1] * (xvel[1] - xvel[7])
+            + pfz[2] * (xvel[2] - xvel[4])
+            + pfz[3] * (xvel[3] - xvel[5]));
+    let dzddy = inv_detj
+        * (pfy[0] * (zvel[0] - zvel[6])
+            + pfy[1] * (zvel[1] - zvel[7])
+            + pfy[2] * (zvel[2] - zvel[4])
+            + pfy[3] * (zvel[3] - zvel[5]));
+    let dyddz = inv_detj
+        * (pfz[0] * (yvel[0] - yvel[6])
+            + pfz[1] * (yvel[1] - yvel[7])
+            + pfz[2] * (yvel[2] - yvel[4])
+            + pfz[3] * (yvel[3] - yvel[5]));
+
+    d[5] = 0.5 * (dxddy + dyddx);
+    d[4] = 0.5 * (dxddz + dzddx);
+    d[3] = 0.5 * (dzddy + dyddz);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::volume::{calc_elem_volume, unit_cube};
+    use proptest::prelude::*;
+
+    #[test]
+    fn shape_derivative_volume_matches_triple_product_for_cube() {
+        let (x, y, z) = unit_cube();
+        let mut b = [[0.0; 8]; 3];
+        let v = calc_elem_shape_function_derivatives(&x, &y, &z, &mut b);
+        assert!((v - calc_elem_volume(&x, &y, &z)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn node_normals_sum_to_zero_for_closed_element() {
+        // The surface of a closed polyhedron has zero net area vector.
+        let (mut x, mut y, mut z) = unit_cube();
+        // Perturb to a general hexahedron.
+        x[6] += 0.13;
+        y[2] -= 0.07;
+        z[5] += 0.11;
+        let mut pfx = [1.0; 8]; // nonzero to verify the fill(0.0)
+        let mut pfy = [1.0; 8];
+        let mut pfz = [1.0; 8];
+        calc_elem_node_normals(&mut pfx, &mut pfy, &mut pfz, &x, &y, &z);
+        assert!(pfx.iter().sum::<Real>().abs() < 1e-12);
+        assert!(pfy.iter().sum::<Real>().abs() < 1e-12);
+        assert!(pfz.iter().sum::<Real>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_cube_node_normals() {
+        // For the unit cube, each corner accumulates ±1/4 area from each of
+        // its three faces; corner 0 touches faces at x=0, y=0, z=0 whose
+        // outward... the reference convention gives symmetric ±0.25 values.
+        let (x, y, z) = unit_cube();
+        let mut pfx = [0.0; 8];
+        let mut pfy = [0.0; 8];
+        let mut pfz = [0.0; 8];
+        calc_elem_node_normals(&mut pfx, &mut pfy, &mut pfz, &x, &y, &z);
+        for i in 0..8 {
+            assert!((pfx[i].abs() - 0.25).abs() < 1e-12, "pfx[{i}] = {}", pfx[i]);
+            assert!((pfy[i].abs() - 0.25).abs() < 1e-12);
+            assert!((pfz[i].abs() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stresses_to_forces_scaling() {
+        let b = [[1.0; 8], [2.0; 8], [3.0; 8]];
+        let mut fx = [0.0; 8];
+        let mut fy = [0.0; 8];
+        let mut fz = [0.0; 8];
+        sum_elem_stresses_to_node_forces(&b, 2.0, -1.0, 0.5, &mut fx, &mut fy, &mut fz);
+        assert!(fx.iter().all(|&f| (f + 2.0).abs() < 1e-15));
+        assert!(fy.iter().all(|&f| (f - 2.0).abs() < 1e-15));
+        assert!(fz.iter().all(|&f| (f + 1.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn velocity_gradient_of_uniform_expansion() {
+        // v = (x, y, z) gives D = I (divergence 3, no shear).
+        let (x, y, z) = unit_cube();
+        let mut b = [[0.0; 8]; 3];
+        let detj = calc_elem_shape_function_derivatives(&x, &y, &z, &mut b);
+        let d = calc_elem_velocity_gradient(&x, &y, &z, &b, detj);
+        assert!((d[0] - 1.0).abs() < 1e-12, "dxx = {}", d[0]);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert!(d[3].abs() < 1e-12 && d[4].abs() < 1e-12 && d[5].abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_gradient_of_rigid_translation_is_zero() {
+        let (x, y, z) = unit_cube();
+        let mut b = [[0.0; 8]; 3];
+        let detj = calc_elem_shape_function_derivatives(&x, &y, &z, &mut b);
+        let vel = [3.7; 8];
+        let d = calc_elem_velocity_gradient(&vel, &vel, &vel, &b, detj);
+        for v in d {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// The Jacobian volume matches the exact triple-product volume for
+        /// parallelepipeds (affine images of the cube), where the trilinear
+        /// map is exactly linear.
+        #[test]
+        fn jacobian_volume_exact_for_affine_images(
+            a in 0.5f64..2.0, bscale in 0.5f64..2.0, c in 0.5f64..2.0,
+            shear in -0.5f64..0.5,
+        ) {
+            let (x0, y0, z0) = unit_cube();
+            let mut x = [0.0; 8];
+            let mut y = [0.0; 8];
+            let mut z = [0.0; 8];
+            for i in 0..8 {
+                x[i] = a * x0[i] + shear * y0[i];
+                y[i] = bscale * y0[i];
+                z[i] = c * z0[i] + shear * x0[i];
+            }
+            let mut b = [[0.0; 8]; 3];
+            let vj = calc_elem_shape_function_derivatives(&x, &y, &z, &mut b);
+            let vt = calc_elem_volume(&x, &y, &z);
+            prop_assert!((vj - vt).abs() < 1e-10 * vt.abs().max(1.0));
+        }
+
+        /// Node normals always sum to (0,0,0) over a closed element.
+        #[test]
+        fn normals_closed_surface(seed in proptest::array::uniform24(-0.25f64..0.25)) {
+            let (mut x, mut y, mut z) = unit_cube();
+            for i in 0..8 {
+                x[i] += seed[i];
+                y[i] += seed[8 + i];
+                z[i] += seed[16 + i];
+            }
+            let mut pfx = [0.0; 8];
+            let mut pfy = [0.0; 8];
+            let mut pfz = [0.0; 8];
+            calc_elem_node_normals(&mut pfx, &mut pfy, &mut pfz, &x, &y, &z);
+            prop_assert!(pfx.iter().sum::<Real>().abs() < 1e-10);
+            prop_assert!(pfy.iter().sum::<Real>().abs() < 1e-10);
+            prop_assert!(pfz.iter().sum::<Real>().abs() < 1e-10);
+        }
+    }
+}

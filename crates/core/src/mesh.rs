@@ -1,0 +1,548 @@
+//! Regular hexahedral mesh construction: node coordinates, element→node
+//! connectivity, element face neighbours, boundary-condition flags,
+//! symmetry-plane node lists, and the node→element corner lists used for
+//! race-free force gathering.
+//!
+//! Faithful port of `Domain::BuildMesh`, `SetupElementConnectivities`,
+//! `SetupBoundaryConditions`, `SetupSymmetryPlanes` and
+//! `AllocateNodeElemIndexes` from LULESH 2.0, generalized to rectangular
+//! `nx × ny × nz` subdomains so the multi-domain extension (the paper's
+//! future work, implemented in the `multidom` crate) can decompose the
+//! global cube along ζ. A single cubic domain is the `nx = ny = nz`,
+//! offset-0 special case and is bit-identical to the original builder.
+
+// Indexed loops intentionally mirror the reference's `SetupElementConnectivities` flat-index arithmetic.
+#![allow(clippy::needless_range_loop)]
+use crate::params::MESH_EXTENT;
+use crate::types::{bc, Index, Real};
+
+/// What sits on each ζ face of a (sub)domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZetaBoundary {
+    /// The global symmetry plane (ζ = 0 of the whole problem).
+    Symm,
+    /// The global free surface (ζ = max of the whole problem).
+    Free,
+    /// An internal boundary to a neighbouring subdomain (halo exchange).
+    Comm,
+}
+
+/// Shape of one (sub)domain: local element extents, and the position of
+/// its ζ-slab within the global mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshShape {
+    /// Elements along ξ (x).
+    pub nx: Index,
+    /// Elements along η (y).
+    pub ny: Index,
+    /// Elements along ζ (z), local to this subdomain.
+    pub nz: Index,
+    /// Global ζ extent in elements (for coordinates and scaling).
+    pub global_nz: Index,
+    /// Elements below this subdomain's first ζ plane.
+    pub z_offset: Index,
+}
+
+impl MeshShape {
+    /// A single cubic domain of edge `size`.
+    pub fn cube(size: Index) -> Self {
+        Self {
+            nx: size,
+            ny: size,
+            nz: size,
+            global_nz: size,
+            z_offset: 0,
+        }
+    }
+
+    /// Local element count.
+    pub fn num_elem(&self) -> Index {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Local node count.
+    pub fn num_node(&self) -> Index {
+        (self.nx + 1) * (self.ny + 1) * (self.nz + 1)
+    }
+
+    /// Elements in one ζ plane.
+    pub fn elems_per_plane(&self) -> Index {
+        self.nx * self.ny
+    }
+
+    /// Nodes in one ζ plane.
+    pub fn nodes_per_plane(&self) -> Index {
+        (self.nx + 1) * (self.ny + 1)
+    }
+
+    /// The ζ boundary kinds implied by the slab position.
+    pub fn zeta_boundaries(&self) -> (ZetaBoundary, ZetaBoundary) {
+        let zm = if self.z_offset == 0 {
+            ZetaBoundary::Symm
+        } else {
+            ZetaBoundary::Comm
+        };
+        let zp = if self.z_offset + self.nz == self.global_nz {
+            ZetaBoundary::Free
+        } else {
+            ZetaBoundary::Comm
+        };
+        (zm, zp)
+    }
+}
+
+/// Node coordinates of the `(nx+1)(ny+1)(nz+1)` lattice. The global mesh
+/// spans `[0, 1.125]` per dimension; ζ coordinates account for the slab
+/// offset.
+pub fn build_coordinates(shape: MeshShape) -> (Vec<Real>, Vec<Real>, Vec<Real>) {
+    let num_node = shape.num_node();
+    let mut x = vec![0.0; num_node];
+    let mut y = vec![0.0; num_node];
+    let mut z = vec![0.0; num_node];
+
+    let mut nidx = 0;
+    for plane in 0..=shape.nz {
+        let tz = MESH_EXTENT * (shape.z_offset + plane) as Real / shape.global_nz as Real;
+        for row in 0..=shape.ny {
+            let ty = MESH_EXTENT * row as Real / shape.ny as Real;
+            for col in 0..=shape.nx {
+                let tx = MESH_EXTENT * col as Real / shape.nx as Real;
+                x[nidx] = tx;
+                y[nidx] = ty;
+                z[nidx] = tz;
+                nidx += 1;
+            }
+        }
+    }
+    (x, y, z)
+}
+
+/// Element→node connectivity: 8 node indices per element, LULESH corner
+/// order (bottom face counter-clockwise, then top face).
+pub fn build_nodelist(shape: MeshShape) -> Vec<Index> {
+    let rn = shape.nx + 1; // node row stride
+    let pn = shape.nodes_per_plane(); // node plane stride
+    let mut nodelist = vec![0; 8 * shape.num_elem()];
+
+    let mut zidx = 0;
+    for plane in 0..shape.nz {
+        for row in 0..shape.ny {
+            for col in 0..shape.nx {
+                let nidx = plane * pn + row * rn + col;
+                let nl = &mut nodelist[8 * zidx..8 * zidx + 8];
+                nl[0] = nidx;
+                nl[1] = nidx + 1;
+                nl[2] = nidx + rn + 1;
+                nl[3] = nidx + rn;
+                nl[4] = nidx + pn;
+                nl[5] = nidx + pn + 1;
+                nl[6] = nidx + pn + rn + 1;
+                nl[7] = nidx + pn + rn;
+                zidx += 1;
+            }
+        }
+    }
+    nodelist
+}
+
+/// Face-neighbour element indices in the six logical directions
+/// (`lxim`, `lxip`, `letam`, `letap`, `lzetam`, `lzetap`).
+///
+/// The reference computes these with flat index arithmetic that wraps
+/// across row/plane boundaries on domain edges; the wrapped values are
+/// never read because the corresponding `elemBC` face flag is SYMM or
+/// FREE. We keep the identical arithmetic for fidelity. On COMM ζ faces
+/// the neighbour indices point *past* `num_elem` into the ghost planes:
+/// `num_elem + i` for the ζ− ghosts, `num_elem + nx·ny + i` for ζ+.
+#[allow(clippy::type_complexity)]
+pub fn build_connectivity(
+    shape: MeshShape,
+) -> (
+    Vec<Index>,
+    Vec<Index>,
+    Vec<Index>,
+    Vec<Index>,
+    Vec<Index>,
+    Vec<Index>,
+) {
+    let num_elem = shape.num_elem();
+    let nx = shape.nx;
+    let plane = shape.elems_per_plane();
+    let mut lxim = vec![0; num_elem];
+    let mut lxip = vec![0; num_elem];
+    let mut letam = vec![0; num_elem];
+    let mut letap = vec![0; num_elem];
+    let mut lzetam = vec![0; num_elem];
+    let mut lzetap = vec![0; num_elem];
+
+    lxim[0] = 0;
+    for i in 1..num_elem {
+        lxim[i] = i - 1;
+        lxip[i - 1] = i;
+    }
+    lxip[num_elem - 1] = num_elem - 1;
+
+    for i in 0..nx {
+        letam[i] = i;
+        letap[num_elem - nx + i] = num_elem - nx + i;
+    }
+    for i in nx..num_elem {
+        letam[i] = i - nx;
+        letap[i - nx] = i;
+    }
+
+    for i in 0..plane {
+        lzetam[i] = i;
+        lzetap[num_elem - plane + i] = num_elem - plane + i;
+    }
+    for i in plane..num_elem {
+        lzetam[i] = i - plane;
+        lzetap[i - plane] = i;
+    }
+
+    // Redirect COMM faces into the ghost planes.
+    let (zm, zp) = shape.zeta_boundaries();
+    if zm == ZetaBoundary::Comm {
+        for i in 0..plane {
+            lzetam[i] = num_elem + i;
+        }
+    }
+    if zp == ZetaBoundary::Comm {
+        for i in 0..plane {
+            lzetap[num_elem - plane + i] = num_elem + plane + i;
+        }
+    }
+
+    (lxim, lxip, letam, letap, lzetam, lzetap)
+}
+
+/// Boundary-condition flags per element: symmetry on the ξ−/η− faces of
+/// the global mesh, free surface on ξ+/η+, and the configured kinds on
+/// the ζ faces (COMM for internal subdomain boundaries).
+pub fn build_boundary_conditions(shape: MeshShape) -> Vec<i32> {
+    let num_elem = shape.num_elem();
+    let nx = shape.nx;
+    let ny = shape.ny;
+    let nz = shape.nz;
+    let plane = shape.elems_per_plane();
+    let mut elem_bc = vec![0i32; num_elem];
+    let (zm, zp) = shape.zeta_boundaries();
+
+    for p in 0..nz {
+        for r in 0..ny {
+            // ξ faces: col == 0 / col == nx−1.
+            elem_bc[p * plane + r * nx] |= bc::XI_M_SYMM;
+            elem_bc[p * plane + r * nx + nx - 1] |= bc::XI_P_FREE;
+        }
+        for c in 0..nx {
+            // η faces: row == 0 / row == ny−1.
+            elem_bc[p * plane + c] |= bc::ETA_M_SYMM;
+            elem_bc[p * plane + (ny - 1) * nx + c] |= bc::ETA_P_FREE;
+        }
+    }
+    for i in 0..plane {
+        elem_bc[i] |= match zm {
+            ZetaBoundary::Symm => bc::ZETA_M_SYMM,
+            ZetaBoundary::Free => bc::ZETA_M_FREE,
+            ZetaBoundary::Comm => bc::ZETA_M_COMM,
+        };
+        elem_bc[(nz - 1) * plane + i] |= match zp {
+            ZetaBoundary::Symm => bc::ZETA_P_SYMM,
+            ZetaBoundary::Free => bc::ZETA_P_FREE,
+            ZetaBoundary::Comm => bc::ZETA_P_COMM,
+        };
+    }
+    elem_bc
+}
+
+/// Node index lists of the symmetry planes (x = 0, y = 0, and — when this
+/// subdomain touches the global ζ = 0 plane — z = 0). For rectangular
+/// shapes the three lists have different lengths; the ζ list is empty for
+/// interior/upper subdomains.
+pub fn build_symmetry_planes(shape: MeshShape) -> (Vec<Index>, Vec<Index>, Vec<Index>) {
+    let rn = shape.nx + 1;
+    let pn = shape.nodes_per_plane();
+    let mut symm_x = Vec::with_capacity((shape.ny + 1) * (shape.nz + 1));
+    let mut symm_y = Vec::with_capacity((shape.nx + 1) * (shape.nz + 1));
+    let mut symm_z = Vec::new();
+
+    for plane in 0..=shape.nz {
+        for row in 0..=shape.ny {
+            symm_x.push(plane * pn + row * rn);
+        }
+        for col in 0..=shape.nx {
+            symm_y.push(plane * pn + col);
+        }
+    }
+    if shape.z_offset == 0 {
+        symm_z.reserve(pn);
+        for row in 0..=shape.ny {
+            for col in 0..=shape.nx {
+                symm_z.push(row * rn + col);
+            }
+        }
+    }
+    (symm_x, symm_y, symm_z)
+}
+
+/// Node→element corner lists: for node `n`, the entries
+/// `corner_list[start[n]..start[n+1]]` are `8·elem + corner` for every
+/// element corner coincident with `n`. Force gathering iterates these in
+/// construction order, which fixes the floating-point summation order
+/// across serial and parallel drivers.
+pub fn build_node_elem_corners(nodelist: &[Index], num_node: Index) -> (Vec<Index>, Vec<Index>) {
+    let num_elem = nodelist.len() / 8;
+    let mut count = vec![0usize; num_node];
+    for &n in nodelist {
+        count[n] += 1;
+    }
+    let mut start = vec![0usize; num_node + 1];
+    for n in 0..num_node {
+        start[n + 1] = start[n] + count[n];
+    }
+    let mut fill = vec![0usize; num_node];
+    let mut corner_list = vec![0usize; 8 * num_elem];
+    for e in 0..num_elem {
+        for c in 0..8 {
+            let n = nodelist[8 * e + c];
+            corner_list[start[n] + fill[n]] = 8 * e + c;
+            fill[n] += 1;
+        }
+    }
+    (start, corner_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::bc;
+
+    const N: Index = 4;
+
+    fn cube() -> MeshShape {
+        MeshShape::cube(N)
+    }
+
+    #[test]
+    fn coordinates_span_extent() {
+        let (x, y, z) = build_coordinates(cube());
+        let en = N + 1;
+        assert_eq!(x.len(), en * en * en);
+        assert_eq!(x[0], 0.0);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(z[0], 0.0);
+        let last = en * en * en - 1;
+        assert!((x[last] - MESH_EXTENT).abs() < 1e-15);
+        assert!((y[last] - MESH_EXTENT).abs() < 1e-15);
+        assert!((z[last] - MESH_EXTENT).abs() < 1e-15);
+    }
+
+    #[test]
+    fn subdomain_coordinates_are_offset_slabs() {
+        // Global 4³ cube split into two 4×4×2 slabs.
+        let lower = MeshShape {
+            nx: N,
+            ny: N,
+            nz: 2,
+            global_nz: N,
+            z_offset: 0,
+        };
+        let upper = MeshShape {
+            nx: N,
+            ny: N,
+            nz: 2,
+            global_nz: N,
+            z_offset: 2,
+        };
+        let (_, _, zl) = build_coordinates(lower);
+        let (_, _, zu) = build_coordinates(upper);
+        // The lower slab's top plane coincides with the upper's bottom.
+        let pn = lower.nodes_per_plane();
+        assert_eq!(&zl[2 * pn..3 * pn], &zu[0..pn]);
+        assert!((zu.last().unwrap() - MESH_EXTENT).abs() < 1e-15);
+        assert!((zl[2 * pn] - MESH_EXTENT / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nodelist_first_element() {
+        let nl = build_nodelist(cube());
+        let en = N + 1;
+        assert_eq!(
+            &nl[0..8],
+            &[
+                0,
+                1,
+                en + 1,
+                en,
+                en * en,
+                en * en + 1,
+                en * en + en + 1,
+                en * en + en
+            ]
+        );
+    }
+
+    #[test]
+    fn nodelist_corners_are_distinct() {
+        let nl = build_nodelist(MeshShape {
+            nx: 3,
+            ny: 4,
+            nz: 2,
+            global_nz: 2,
+            z_offset: 0,
+        });
+        for e in 0..3 * 4 * 2 {
+            let mut c: Vec<_> = nl[8 * e..8 * e + 8].to_vec();
+            c.sort_unstable();
+            c.dedup();
+            assert_eq!(c.len(), 8, "element {e} has repeated corners");
+        }
+    }
+
+    #[test]
+    fn interior_neighbours_are_adjacent() {
+        let (lxim, lxip, letam, letap, lzetam, lzetap) = build_connectivity(cube());
+        let e = N * N + N + 1;
+        assert_eq!(lxim[e], e - 1);
+        assert_eq!(lxip[e], e + 1);
+        assert_eq!(letam[e], e - N);
+        assert_eq!(letap[e], e + N);
+        assert_eq!(lzetam[e], e - N * N);
+        assert_eq!(lzetap[e], e + N * N);
+    }
+
+    #[test]
+    fn comm_faces_point_into_ghost_planes() {
+        let shape = MeshShape {
+            nx: N,
+            ny: N,
+            nz: 2,
+            global_nz: N,
+            z_offset: 2,
+        };
+        let (_, _, _, _, lzetam, lzetap) = build_connectivity(shape);
+        let ne = shape.num_elem();
+        let plane = shape.elems_per_plane();
+        // ζ− is COMM (interior): bottom plane points at ghosts [ne, ne+plane).
+        for i in 0..plane {
+            assert_eq!(lzetam[i], ne + i);
+        }
+        // ζ+ is FREE (top of global mesh): self-referencing sentinel.
+        for i in 0..plane {
+            assert_eq!(lzetap[ne - plane + i], ne - plane + i);
+        }
+    }
+
+    #[test]
+    fn boundary_flags_on_faces() {
+        let elem_bc = build_boundary_conditions(cube());
+        assert_eq!(
+            elem_bc[0] & (bc::XI_M_SYMM | bc::ETA_M_SYMM | bc::ZETA_M_SYMM),
+            bc::XI_M_SYMM | bc::ETA_M_SYMM | bc::ZETA_M_SYMM
+        );
+        let far = N * N * N - 1;
+        assert_eq!(
+            elem_bc[far] & (bc::XI_P_FREE | bc::ETA_P_FREE | bc::ZETA_P_FREE),
+            bc::XI_P_FREE | bc::ETA_P_FREE | bc::ZETA_P_FREE
+        );
+        let e = N * N + N + 1;
+        assert_eq!(elem_bc[e], 0);
+    }
+
+    #[test]
+    fn comm_flags_on_internal_subdomain_faces() {
+        let mid = MeshShape {
+            nx: N,
+            ny: N,
+            nz: 1,
+            global_nz: 3,
+            z_offset: 1,
+        };
+        let elem_bc = build_boundary_conditions(mid);
+        let plane = mid.elems_per_plane();
+        for i in 0..plane {
+            assert_ne!(
+                elem_bc[i] & bc::ZETA_M_COMM,
+                0,
+                "elem {i} ζ− should be COMM"
+            );
+            assert_ne!(
+                elem_bc[i] & bc::ZETA_P_COMM,
+                0,
+                "elem {i} ζ+ should be COMM"
+            );
+        }
+    }
+
+    #[test]
+    fn every_boundary_direction_count() {
+        let elem_bc = build_boundary_conditions(cube());
+        let per_face = N * N;
+        for (mask, expect) in [
+            (bc::XI_M_SYMM, per_face),
+            (bc::XI_P_FREE, per_face),
+            (bc::ETA_M_SYMM, per_face),
+            (bc::ETA_P_FREE, per_face),
+            (bc::ZETA_M_SYMM, per_face),
+            (bc::ZETA_P_FREE, per_face),
+        ] {
+            let got = elem_bc.iter().filter(|&&b| b & mask != 0).count();
+            assert_eq!(got, expect, "mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn symmetry_planes_have_zero_coordinate() {
+        let (x, y, z) = build_coordinates(cube());
+        let (sx, sy, sz) = build_symmetry_planes(cube());
+        let en = N + 1;
+        assert_eq!(sx.len(), en * en);
+        assert_eq!(sz.len(), en * en);
+        for &n in &sx {
+            assert_eq!(x[n], 0.0);
+        }
+        for &n in &sy {
+            assert_eq!(y[n], 0.0);
+        }
+        for &n in &sz {
+            assert_eq!(z[n], 0.0);
+        }
+    }
+
+    #[test]
+    fn interior_subdomain_has_no_z_symmetry_nodes() {
+        let upper = MeshShape {
+            nx: N,
+            ny: N,
+            nz: 2,
+            global_nz: N,
+            z_offset: 2,
+        };
+        let (sx, sy, sz) = build_symmetry_planes(upper);
+        assert!(sz.is_empty());
+        assert_eq!(sx.len(), (N + 1) * (2 + 1));
+        assert_eq!(sy.len(), (N + 1) * (2 + 1));
+    }
+
+    #[test]
+    fn corner_lists_are_consistent() {
+        let shape = MeshShape {
+            nx: 3,
+            ny: 4,
+            nz: 2,
+            global_nz: 2,
+            z_offset: 0,
+        };
+        let nl = build_nodelist(shape);
+        let num_node = shape.num_node();
+        let (start, corners) = build_node_elem_corners(&nl, num_node);
+        assert_eq!(start[num_node], corners.len());
+        assert_eq!(corners.len(), nl.len());
+        for n in 0..num_node {
+            for &c in &corners[start[n]..start[n + 1]] {
+                assert_eq!(nl[c], n, "corner entry {c} of node {n}");
+            }
+        }
+        assert_eq!(start[1] - start[0], 1, "corner node touches one element");
+    }
+}

@@ -1,0 +1,179 @@
+//! Command-line options shared by all LULESH binaries, mirroring the
+//! artifact's flags: `--s` (size), `--r` (regions), `--i` (iterations),
+//! `--b` (balance), `--c` (cost), `--q` (quiet), and `--threads` for the
+//! parallel drivers (the artifact's `--hpx:threads`).
+
+use crate::types::Index;
+
+/// Parsed options with the reference defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opts {
+    /// Problem size (elements per edge), `--s`. Default 30.
+    pub size: Index,
+    /// Number of regions, `--r`. Default 11.
+    pub num_reg: usize,
+    /// Maximum iterations, `--i`. Default: run to stoptime.
+    pub max_cycles: u64,
+    /// Region weighting exponent, `--b`. Default 1.
+    pub balance: i32,
+    /// Region cost multiplier, `--c`. Default 1.
+    pub cost: i32,
+    /// Suppress verbose output, `--q`.
+    pub quiet: bool,
+    /// Worker threads for parallel drivers, `--threads`. Default 1.
+    pub threads: usize,
+    /// Region assignment seed (not in the reference; fixed default 0).
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            size: 30,
+            num_reg: 11,
+            max_cycles: 9_999_999,
+            balance: 1,
+            cost: 1,
+            quiet: false,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Parse errors carry the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid arguments: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Opts {
+    /// Parse an argument list (without the program name). Accepts both
+    /// `--s 45` and `--s=45` forms, plus single-dash aliases (`-s 45`)
+    /// matching the OpenMP reference flags.
+    pub fn parse<I, S>(args: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+
+        fn parse_val<T: std::str::FromStr>(
+            flag: &str,
+            inline: Option<&str>,
+            it: &mut impl Iterator<Item = impl AsRef<str>>,
+        ) -> Result<T, ParseError> {
+            let raw = match inline {
+                Some(v) => v.to_string(),
+                None => it
+                    .next()
+                    .map(|s| s.as_ref().to_string())
+                    .ok_or_else(|| ParseError(format!("{flag} needs a value")))?,
+            };
+            raw.parse()
+                .map_err(|_| ParseError(format!("{flag}: bad value '{raw}'")))
+        }
+
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v)),
+                None => (arg, None),
+            };
+            match flag.trim_start_matches('-') {
+                "s" => opts.size = parse_val(flag, inline, &mut it)?,
+                "r" => opts.num_reg = parse_val(flag, inline, &mut it)?,
+                "i" => opts.max_cycles = parse_val(flag, inline, &mut it)?,
+                "b" => opts.balance = parse_val(flag, inline, &mut it)?,
+                "c" => opts.cost = parse_val(flag, inline, &mut it)?,
+                "threads" | "hpx:threads" | "t" => opts.threads = parse_val(flag, inline, &mut it)?,
+                "seed" => opts.seed = parse_val(flag, inline, &mut it)?,
+                "q" => {
+                    if inline.is_some() {
+                        return Err(ParseError(format!("{flag} takes no value")));
+                    }
+                    opts.quiet = true;
+                }
+                "h" | "help" => return Err(ParseError("help requested".into())),
+                other => return Err(ParseError(format!("unknown flag '{other}'"))),
+            }
+        }
+        if opts.size == 0 {
+            return Err(ParseError("size must be positive".into()));
+        }
+        if opts.num_reg == 0 {
+            return Err(ParseError("regions must be positive".into()));
+        }
+        if opts.threads == 0 {
+            return Err(ParseError("threads must be positive".into()));
+        }
+        Ok(opts)
+    }
+
+    /// Usage text for the binaries.
+    pub fn usage(program: &str) -> String {
+        format!(
+            "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
+             [--b BALANCE] [--c COST] [--threads N] [--q]\n\
+             Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1, run to stoptime."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o, Opts::default());
+        assert_eq!(o.size, 30);
+        assert_eq!(o.num_reg, 11);
+    }
+
+    #[test]
+    fn artifact_style_flags() {
+        let o = Opts::parse(["--s", "90", "--q", "--i", "770", "--hpx:threads=16"]).unwrap();
+        assert_eq!(o.size, 90);
+        assert_eq!(o.max_cycles, 770);
+        assert_eq!(o.threads, 16);
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn reference_style_flags() {
+        let o = Opts::parse(["-s", "45", "-r", "21", "-b", "2", "-c", "3"]).unwrap();
+        assert_eq!(o.size, 45);
+        assert_eq!(o.num_reg, 21);
+        assert_eq!(o.balance, 2);
+        assert_eq!(o.cost, 3);
+    }
+
+    #[test]
+    fn equals_form() {
+        let o = Opts::parse(["--s=60", "--r=16"]).unwrap();
+        assert_eq!(o.size, 60);
+        assert_eq!(o.num_reg, 16);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Opts::parse(["--s"]).is_err());
+        assert!(
+            Opts::parse(["--q=false"]).is_err(),
+            "boolean flags take no value"
+        );
+        assert!(Opts::parse(["--s", "abc"]).is_err());
+        assert!(Opts::parse(["--bogus", "1"]).is_err());
+        assert!(Opts::parse(["--s", "0"]).is_err());
+        assert!(Opts::parse(["--threads", "0"]).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulation parameters and cut-offs.
+//!
+//! Values are the LULESH 2.0 defaults (constructor of `Domain` in the C++
+//! reference). `dtfixed < 0` selects the variable-timestep path, which all
+//! of the paper's experiments use.
+
+use crate::types::Real;
+
+/// All scalar control parameters of a LULESH run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Fixed time increment; negative means "compute dt from constraints".
+    pub dtfixed: Real,
+    /// Simulation end time.
+    pub stoptime: Real,
+    /// Lower bound on the dt growth ratio per step.
+    pub deltatimemultlb: Real,
+    /// Upper bound on the dt growth ratio per step.
+    pub deltatimemultub: Real,
+    /// Hard maximum time increment.
+    pub dtmax: Real,
+
+    /// Energy tolerance: |e| below this snaps to zero.
+    pub e_cut: Real,
+    /// Pressure tolerance.
+    pub p_cut: Real,
+    /// Artificial-viscosity tolerance.
+    pub q_cut: Real,
+    /// Velocity tolerance.
+    pub u_cut: Real,
+    /// Relative-volume tolerance: |v − 1| below this snaps to 1.
+    pub v_cut: Real,
+
+    /// Hourglass control coefficient.
+    pub hgcoef: Real,
+    /// 4/3, used in sound-speed bookkeeping.
+    pub ss4o3: Real,
+    /// Excessive-q abort threshold.
+    pub qstop: Real,
+    /// Monotonic-q maximum slope.
+    pub monoq_max_slope: Real,
+    /// Monotonic-q limiter multiplier.
+    pub monoq_limiter_mult: Real,
+    /// Linear coefficient for monotonic q.
+    pub qlc_monoq: Real,
+    /// Quadratic coefficient for monotonic q.
+    pub qqc_monoq: Real,
+    /// Quadratic q coefficient for the Courant constraint.
+    pub qqc: Real,
+
+    /// EOS maximum relative volume clamp.
+    pub eosvmax: Real,
+    /// EOS minimum relative volume clamp.
+    pub eosvmin: Real,
+    /// Pressure floor.
+    pub pmin: Real,
+    /// Energy floor.
+    pub emin: Real,
+    /// Maximum allowable volume change per step (hydro constraint).
+    pub dvovmax: Real,
+    /// Reference density.
+    pub refdens: Real,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            dtfixed: -1.0e-6,
+            stoptime: 1.0e-2,
+            deltatimemultlb: 1.1,
+            deltatimemultub: 1.2,
+            dtmax: 1.0e-2,
+            e_cut: 1.0e-7,
+            p_cut: 1.0e-7,
+            q_cut: 1.0e-7,
+            u_cut: 1.0e-7,
+            v_cut: 1.0e-10,
+            hgcoef: 3.0,
+            ss4o3: 4.0 / 3.0,
+            qstop: 1.0e12,
+            monoq_max_slope: 1.0,
+            monoq_limiter_mult: 2.0,
+            qlc_monoq: 0.5,
+            qqc_monoq: 2.0 / 3.0,
+            qqc: 2.0,
+            eosvmax: 1.0e9,
+            eosvmin: 1.0e-9,
+            pmin: 0.0,
+            emin: -1.0e15,
+            dvovmax: 0.1,
+            refdens: 1.0,
+        }
+    }
+}
+
+/// Base energy deposited in the origin element for the 45³ reference problem;
+/// scaled by `(s/45)³` for other sizes so the blast is size-invariant.
+pub const EBASE: Real = 3.948746e7;
+
+/// Mesh extent per dimension (the reference meshes `[0, 1.125]³` for a
+/// single-node run).
+pub const MESH_EXTENT: Real = 1.125;
+
+/// Mutable per-run simulation state (time integration bookkeeping). The C++
+/// reference keeps these inside `Domain`; we separate them so that `Domain`
+/// can be shared immutably-by-contract among tasks while the driver owns the
+/// scalar state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimState {
+    /// Current simulation time.
+    pub time: Real,
+    /// Current time increment.
+    pub deltatime: Real,
+    /// Completed cycles (iterations).
+    pub cycle: u64,
+    /// Courant constraint from the previous step.
+    pub dtcourant: Real,
+    /// Hydro constraint from the previous step.
+    pub dthydro: Real,
+}
+
+impl SimState {
+    /// Initial state given the analytic-CFL starting dt.
+    pub fn new(initial_dt: Real) -> Self {
+        Self {
+            time: 0.0,
+            deltatime: initial_dt,
+            cycle: 0,
+            dtcourant: 1.0e20,
+            dthydro: 1.0e20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_reference() {
+        let p = Params::default();
+        assert_eq!(p.hgcoef, 3.0);
+        assert_eq!(p.stoptime, 1.0e-2);
+        assert!(p.dtfixed < 0.0, "variable dt path must be the default");
+        assert_eq!(p.qqc_monoq, 2.0 / 3.0);
+        assert_eq!(p.emin, -1.0e15);
+    }
+
+    #[test]
+    fn sim_state_initialization() {
+        let s = SimState::new(1.0e-7);
+        assert_eq!(s.cycle, 0);
+        assert_eq!(s.time, 0.0);
+        assert_eq!(s.deltatime, 1.0e-7);
+        assert!(s.dtcourant > 1e19 && s.dthydro > 1e19);
+    }
+}

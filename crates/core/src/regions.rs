@@ -1,0 +1,248 @@
+//! Material regions.
+//!
+//! LULESH divides the mesh elements into `numReg` regions of randomly chosen
+//! contiguous runs, then models differing material cost by *repeating* the
+//! EOS evaluation `rep` times per region: 1× for the cheap half, `1+cost`×
+//! (= 2× at the default cost 1) for most of the rest, and `10·(1+cost)`×
+//! (= 20×) for the most expensive ~5% — the deliberate load imbalance the
+//! paper's per-region task parallelism exploits (§II-B, §IV).
+//!
+//! Port of `Domain::CreateRegionIndexSets`. Substitution note (DESIGN.md §7):
+//! the C reference uses glibc `rand()` seeded with `srand(0)`; we use a
+//! fixed-seed `StdRng`. The run-length and weight distributions are
+//! identical, so region size/cost statistics match, but the exact element
+//! assignment differs from the C binary.
+
+use crate::types::Index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Region decomposition of the element set.
+#[derive(Debug, Clone)]
+pub struct Regions {
+    /// Number of regions.
+    pub num_reg: usize,
+    /// The `-c` cost parameter (default 1).
+    pub cost: i32,
+    /// 1-based region number per element (`regNumList`).
+    pub reg_num_list: Vec<i32>,
+    /// Element indices per region (`regElemlist`), 0-based region index.
+    pub reg_elem_list: Vec<Vec<Index>>,
+}
+
+impl Regions {
+    /// Assign `num_elem` elements to `num_reg` regions with the reference's
+    /// run-length distribution and region weighting `(r+1)^balance`.
+    pub fn create(num_elem: Index, num_reg: usize, balance: i32, cost: i32, seed: u64) -> Self {
+        assert!(num_reg >= 1, "need at least one region");
+        assert!(
+            (0..=8).contains(&balance),
+            "balance (-b) must be in 0..=8: larger exponents overflow the \
+             region weights (the reference has the same limit implicitly)"
+        );
+        assert!(cost >= 0, "cost (-c) must be non-negative");
+        let mut reg_num_list = vec![0i32; num_elem];
+        let mut reg_elem_list: Vec<Vec<Index>> = vec![Vec::new(); num_reg];
+
+        if num_reg == 1 {
+            // Fill the entire mesh with region 1.
+            for (i, r) in reg_num_list.iter_mut().enumerate() {
+                *r = 1;
+                reg_elem_list[0].push(i);
+            }
+            return Self {
+                num_reg,
+                cost,
+                reg_num_list,
+                reg_elem_list,
+            };
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Relative weights of the regions (the `-b` balance flag).
+        let mut reg_bin_end = vec![0i64; num_reg];
+        let mut cost_denominator: i64 = 0;
+        for (i, end) in reg_bin_end.iter_mut().enumerate() {
+            cost_denominator += ((i + 1) as i64).pow(balance as u32);
+            *end = cost_denominator;
+        }
+
+        let mut next_index: Index = 0;
+        let mut last_reg: i32 = -1;
+        while next_index < num_elem {
+            // Pick the region, re-rolling if it repeats the previous one.
+            let mut region_num;
+            loop {
+                let region_var = rng.gen_range(0..cost_denominator);
+                let mut i = 0;
+                while region_var >= reg_bin_end[i] {
+                    i += 1;
+                }
+                region_num = (i % num_reg) as i32 + 1;
+                if region_num != last_reg {
+                    break;
+                }
+            }
+
+            // Pick the run length from the reference's bin distribution.
+            let bin_size = rng.gen_range(0..1000);
+            let elements: Index = if bin_size < 773 {
+                rng.gen_range(0..15) + 1
+            } else if bin_size < 937 {
+                rng.gen_range(0..16) + 16
+            } else if bin_size < 970 {
+                rng.gen_range(0..32) + 32
+            } else if bin_size < 974 {
+                rng.gen_range(0..64) + 64
+            } else if bin_size < 978 {
+                rng.gen_range(0..128) + 128
+            } else if bin_size < 981 {
+                rng.gen_range(0..256) + 256
+            } else {
+                rng.gen_range(0..1537) + 512
+            };
+
+            let runto = (next_index + elements).min(num_elem);
+            while next_index < runto {
+                reg_num_list[next_index] = region_num;
+                reg_elem_list[(region_num - 1) as usize].push(next_index);
+                next_index += 1;
+            }
+            last_reg = region_num;
+        }
+
+        Self {
+            num_reg,
+            cost,
+            reg_num_list,
+            reg_elem_list,
+        }
+    }
+
+    /// Number of elements in region `r` (0-based).
+    pub fn reg_elem_size(&self, r: usize) -> usize {
+        self.reg_elem_list[r].len()
+    }
+
+    /// EOS repetition count for region `r` (0-based): the load-imbalance
+    /// model of `EvalEOSForElems` ("cheap half / 2× middle / 20× top 5%").
+    pub fn rep(&self, r: usize) -> usize {
+        rep_for(r, self.num_reg, self.cost)
+    }
+}
+
+/// Standalone `rep` computation (also used by the simulator's cost model).
+pub fn rep_for(r: usize, num_reg: usize, cost: i32) -> usize {
+    let cost = cost.max(0);
+    if r < num_reg / 2 {
+        1
+    } else if r < num_reg - (num_reg + 15) / 20 {
+        (1 + cost) as usize
+    } else {
+        (10 * (1 + cost)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_region_covers_everything() {
+        let r = Regions::create(100, 1, 1, 1, 0);
+        assert_eq!(r.reg_elem_size(0), 100);
+        assert!(r.reg_num_list.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn rep_distribution_default_11_regions() {
+        // 11 regions, cost 1: regions 0..5 cheap (floor(11/2)=5 → 0..=4),
+        // (11+15)/20 = 1 → the last region is 20×, regions 5..=9 are 2×.
+        let reps: Vec<_> = (0..11).map(|r| rep_for(r, 11, 1)).collect();
+        assert_eq!(reps, vec![1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 20]);
+    }
+
+    #[test]
+    fn rep_distribution_21_regions() {
+        let reps: Vec<_> = (0..21).map(|r| rep_for(r, 21, 1)).collect();
+        assert_eq!(reps.iter().filter(|&&x| x == 1).count(), 10);
+        assert_eq!(reps.iter().filter(|&&x| x == 20).count(), 1);
+        assert_eq!(reps.iter().filter(|&&x| x == 2).count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "balance")]
+    fn oversized_balance_rejected() {
+        let _ = Regions::create(100, 4, 40, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let _ = Regions::create(100, 4, 1, -1, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = Regions::create(5000, 11, 1, 1, 0);
+        let b = Regions::create(5000, 11, 1, 1, 0);
+        assert_eq!(a.reg_num_list, b.reg_num_list);
+        let c = Regions::create(5000, 11, 1, 1, 1);
+        assert_ne!(
+            a.reg_num_list, c.reg_num_list,
+            "different seed should differ"
+        );
+    }
+
+    #[test]
+    fn all_regions_nonempty_for_realistic_sizes() {
+        // 45³ elements over 11 regions: every region should receive work.
+        let r = Regions::create(45 * 45 * 45, 11, 1, 1, 0);
+        for i in 0..11 {
+            assert!(r.reg_elem_size(i) > 0, "region {i} empty");
+        }
+    }
+
+    proptest! {
+        /// Every element lands in exactly one region, and the per-region
+        /// lists agree with the per-element numbers.
+        #[test]
+        fn partition_is_exact(
+            num_elem in 1usize..20_000,
+            num_reg in 1usize..32,
+            seed in 0u64..8,
+        ) {
+            let r = Regions::create(num_elem, num_reg, 1, 1, seed);
+            let total: usize = (0..num_reg).map(|i| r.reg_elem_size(i)).sum();
+            prop_assert_eq!(total, num_elem);
+            let mut seen = vec![false; num_elem];
+            for (ri, list) in r.reg_elem_list.iter().enumerate() {
+                for &e in list {
+                    prop_assert!(!seen[e], "element {} in two regions", e);
+                    seen[e] = true;
+                    prop_assert_eq!(r.reg_num_list[e] as usize, ri + 1);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// `rep` is monotone non-decreasing in the region index and spans
+        /// {1, 1+cost, 10(1+cost)}.
+        #[test]
+        fn rep_monotone(num_reg in 1usize..64, cost in 0i32..4) {
+            let mut prev = 0;
+            for r in 0..num_reg {
+                let rep = rep_for(r, num_reg, cost);
+                prop_assert!(rep >= prev);
+                prop_assert!(
+                    rep == 1
+                        || rep == (1 + cost) as usize
+                        || rep == (10 * (1 + cost)) as usize
+                );
+                prev = rep;
+            }
+        }
+    }
+}

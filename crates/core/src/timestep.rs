@@ -1,0 +1,166 @@
+//! Time integration control (`TimeIncrement`): chooses the next timestep
+//! from the Courant/hydro constraints with growth-rate limiting, and snaps
+//! the final step onto `stoptime`.
+
+use crate::params::{Params, SimState};
+use crate::types::Real;
+
+/// Advance `state.time`/`state.cycle` by one increment, updating
+/// `state.deltatime` from the constraint values stored in the state.
+pub fn time_increment(state: &mut SimState, p: &Params) {
+    let mut targetdt = p.stoptime - state.time;
+
+    if p.dtfixed <= 0.0 && state.cycle != 0 {
+        let olddt = state.deltatime;
+
+        // This will require a reduction in parallel.
+        let mut gnewdt: Real = 1.0e20;
+        if state.dtcourant < gnewdt {
+            gnewdt = state.dtcourant / 2.0;
+        }
+        if state.dthydro < gnewdt {
+            gnewdt = state.dthydro * 2.0 / 3.0;
+        }
+
+        let mut newdt = gnewdt;
+        let ratio = newdt / olddt;
+        if ratio >= 1.0 {
+            if ratio < p.deltatimemultlb {
+                newdt = olddt;
+            } else if ratio > p.deltatimemultub {
+                newdt = olddt * p.deltatimemultub;
+            }
+        }
+
+        if newdt > p.dtmax {
+            newdt = p.dtmax;
+        }
+        state.deltatime = newdt;
+    }
+
+    // Try to prevent very small scaling on the next cycle.
+    if targetdt > state.deltatime && targetdt < 4.0 * state.deltatime / 3.0 {
+        targetdt = 2.0 * state.deltatime / 3.0;
+    }
+
+    if targetdt < state.deltatime {
+        state.deltatime = targetdt;
+    }
+
+    state.time += state.deltatime;
+    state.cycle += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state(dt: Real) -> SimState {
+        SimState::new(dt)
+    }
+
+    #[test]
+    fn first_cycle_keeps_initial_dt() {
+        let p = Params::default();
+        let mut s = state(1e-7);
+        time_increment(&mut s, &p);
+        assert_eq!(s.deltatime, 1e-7);
+        assert_eq!(s.time, 1e-7);
+        assert_eq!(s.cycle, 1);
+    }
+
+    #[test]
+    fn dt_grows_at_most_ub_per_cycle() {
+        let p = Params::default();
+        let mut s = state(1e-7);
+        s.cycle = 1;
+        s.dtcourant = 1.0; // wildly permissive constraints
+        s.dthydro = 1.0;
+        time_increment(&mut s, &p);
+        assert!((s.deltatime - 1e-7 * p.deltatimemultub).abs() < 1e-20);
+    }
+
+    #[test]
+    fn dt_within_lb_band_stays_constant() {
+        let p = Params::default();
+        let mut s = state(1e-7);
+        s.cycle = 1;
+        // Constraint allows 1.05× growth: below multlb (1.1) → keep olddt.
+        s.dtcourant = 2.0 * 1.05e-7;
+        s.dthydro = 1e20;
+        time_increment(&mut s, &p);
+        assert_eq!(s.deltatime, 1e-7);
+    }
+
+    #[test]
+    fn dt_shrinks_when_constraint_tightens() {
+        let p = Params::default();
+        let mut s = state(1e-7);
+        s.cycle = 1;
+        s.dtcourant = 1e-7; // newdt = 5e-8 < olddt
+        s.dthydro = 1e20;
+        time_increment(&mut s, &p);
+        assert_eq!(s.deltatime, 5e-8);
+    }
+
+    #[test]
+    fn hydro_uses_two_thirds() {
+        let p = Params::default();
+        let mut s = state(1e-7);
+        s.cycle = 1;
+        s.dtcourant = 1e20;
+        s.dthydro = 1.2e-7;
+        time_increment(&mut s, &p);
+        assert!((s.deltatime - 0.8e-7).abs() < 1e-21);
+    }
+
+    #[test]
+    fn final_step_lands_exactly_on_stoptime() {
+        let p = Params::default();
+        let mut s = state(1e-3);
+        s.time = p.stoptime - 5e-4; // half a dt left
+        time_increment(&mut s, &p);
+        assert!((s.time - p.stoptime).abs() < 1e-18);
+    }
+
+    #[test]
+    fn near_end_avoids_tiny_last_step() {
+        let p = Params::default();
+        let mut s = state(1e-3);
+        // Remaining time is between dt and 4/3·dt: take 2/3·dt instead.
+        s.time = p.stoptime - 1.2e-3;
+        time_increment(&mut s, &p);
+        assert!((s.deltatime - 2.0e-3 / 3.0).abs() < 1e-15);
+    }
+
+    proptest! {
+        /// dt never exceeds dtmax, never grows more than ×ub, and time
+        /// advances monotonically.
+        #[test]
+        fn dt_bounds_hold(
+            dt0 in 1e-9f64..1e-3,
+            courant in 1e-9f64..1.0,
+            hydro in 1e-9f64..1.0,
+            cycles in 1u64..50,
+        ) {
+            let p = Params::default();
+            let mut s = state(dt0);
+            let mut last_time = 0.0;
+            for _ in 0..cycles {
+                let old_dt = s.deltatime;
+                s.dtcourant = courant;
+                s.dthydro = hydro;
+                time_increment(&mut s, &p);
+                prop_assert!(s.deltatime <= p.dtmax + 1e-18);
+                prop_assert!(s.deltatime <= old_dt * p.deltatimemultub * (1.0 + 1e-12));
+                prop_assert!(s.time > last_time);
+                prop_assert!(s.time <= p.stoptime + 1e-15);
+                last_time = s.time;
+                if s.time >= p.stoptime {
+                    break;
+                }
+            }
+        }
+    }
+}

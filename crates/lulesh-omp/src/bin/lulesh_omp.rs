@@ -1,0 +1,40 @@
+//! OpenMP-reference-style LULESH binary (fork-join execution with a barrier
+//! after every parallel loop). CLI and CSV output match the artifact; the
+//! thread count flag is `--threads` (the reference uses OMP_NUM_THREADS).
+
+use lulesh_core::{Domain, Opts, RunReport};
+use lulesh_omp::OmpLulesh;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", Opts::usage("lulesh-omp"));
+            std::process::exit(2);
+        }
+    };
+
+    let domain = Domain::build(opts.size, opts.num_reg, opts.balance, opts.cost, opts.seed);
+    let mut runner = OmpLulesh::new(opts.threads);
+    runner.reset_counters();
+    let t0 = Instant::now();
+    let state = match runner.run(&domain, opts.max_cycles) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    let report = RunReport::collect(&domain, &state, opts.threads, elapsed);
+    if !opts.quiet {
+        eprintln!("{}", report.verbose());
+        eprintln!("Productive-time ratio = {:.4}", runner.utilization());
+    }
+    println!("{}", RunReport::CSV_HEADER);
+    println!("{}", report.csv_row());
+}

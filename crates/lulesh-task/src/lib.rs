@@ -1,0 +1,1145 @@
+//! # lulesh-task — the paper's many-task LULESH
+//!
+//! The contribution of Kalkhof & Koch (SC'24), rebuilt on the
+//! HPX-substitute [`taskrt`] runtime. Per iteration of the leapfrog the
+//! driver **pre-creates the whole task graph** with futures and
+//! continuations, applying the paper's tricks:
+//!
+//! * **T1 — manual partitioning**: each loop becomes `⌈N/P⌉` tasks of `P`
+//!   iterations, with `P` from [`PartitionPlan`] (Table I).
+//! * **T2 — continuation chains across loops** (`Features::chain_continuations`):
+//!   kernels with only element-/node-local dependencies chain per
+//!   partition instead of synchronizing globally.
+//! * **T3 — kernel merging** (`Features::merge_kernels`): consecutive small
+//!   loops share one task body (loops kept separate inside, preserving the
+//!   reference's computational structure).
+//! * **T4 — independent chains in parallel** (`Features::parallel_force_chains`,
+//!   `Features::parallel_region_eos`): stress ∥ hourglass force chains, and
+//!   all per-region EOS chains concurrently.
+//! * **T6 — task-local temporaries**: merged tasks keep their scratch on
+//!   their own stack/heap; only the per-corner force arrays and `vnewc`
+//!   stay global (they cross task boundaries by design).
+//!
+//! Six synchronization points per iteration (five `when_all` barriers
+//! inside the graph plus the iteration-end join), exactly where element-
+//! and node-indexed phases meet. The paper reports seven; our port needs
+//! one fewer because the acceleration boundary condition is fused into the
+//! per-partition node chains (it is node-local when expressed via index
+//! arithmetic) and the volume commit overlaps the dt-constraint scan. See
+//! EXPERIMENTS.md for the accounting.
+//!
+//! Turning every feature off yields the Fig-5 "naive" task port (barrier
+//! after every loop, global scratch), which the ablation bench compares
+//! against. Results are bit-identical to the serial reference in *all*
+//! feature combinations; the tests assert it.
+
+#![warn(missing_docs)]
+
+mod plan;
+
+pub use plan::PartitionPlan;
+
+use lulesh_core::domain::Domain;
+use lulesh_core::kernels::{constraints, eos, hourglass, kinematics, monoq, nodal, stress};
+use lulesh_core::params::SimState;
+use lulesh_core::timestep::time_increment;
+use lulesh_core::types::{LuleshError, Real};
+use parking_lot::Mutex;
+use parutil::{chunks_of, Chunk, SharedVec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use taskrt::{when_all_unit, Future, Runtime};
+
+/// A communication step injected into the iteration graph (multi-domain
+/// halo exchange). Runs as a task of its own between two phases.
+pub type Hook = Arc<dyn Fn() + Send + Sync>;
+
+/// Injection points for inter-domain communication (the `multidom` crate's
+/// task-parallel driver): the same three synchronization points the
+/// reference's MPI version communicates at.
+#[derive(Default, Clone)]
+pub struct IterationHooks {
+    /// After the force barrier, before the node chains (`CommSBN`: halo-sum
+    /// of interface-plane forces).
+    pub after_forces: Option<Hook>,
+    /// After the kinematics/gradients barrier, before the q-limiter tasks
+    /// (`CommMonoQ`: ghost-plane gradient exchange).
+    pub after_gradients: Option<Hook>,
+}
+
+/// Toggles for the paper's optimization tricks (all on by default; the
+/// ablation bench switches them off one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// T2: chain kernels per partition via continuations instead of a
+    /// global barrier after every kernel.
+    pub chain_continuations: bool,
+    /// T3: merge consecutive kernels into single task bodies.
+    pub merge_kernels: bool,
+    /// T4a: run the stress and hourglass force chains concurrently.
+    pub parallel_force_chains: bool,
+    /// T4b: run the per-region EOS chains concurrently.
+    pub parallel_region_eos: bool,
+}
+
+impl Default for Features {
+    fn default() -> Self {
+        Self {
+            chain_continuations: true,
+            merge_kernels: true,
+            parallel_force_chains: true,
+            parallel_region_eos: true,
+        }
+    }
+}
+
+impl Features {
+    /// The Fig-5 baseline: partitioned tasks but a barrier after every
+    /// loop, no merging, no extra concurrency.
+    pub fn naive() -> Self {
+        Self {
+            chain_continuations: false,
+            merge_kernels: false,
+            parallel_force_chains: false,
+            parallel_region_eos: false,
+        }
+    }
+}
+
+/// Mesh-length scratch shared between tasks. The per-corner force arrays
+/// cross the element→node gather boundary and are inherently global; the
+/// remaining arrays are used only when `merge_kernels` is off (the merged
+/// tasks keep those temporaries task-local — trick T6).
+struct TaskScratch {
+    fx_elem: SharedVec<Real>,
+    fy_elem: SharedVec<Real>,
+    fz_elem: SharedVec<Real>,
+    fx_hg: SharedVec<Real>,
+    fy_hg: SharedVec<Real>,
+    fz_hg: SharedVec<Real>,
+    vnewc: SharedVec<Real>,
+    // Unmerged-mode scratch (reference-style global temporaries).
+    sigxx: SharedVec<Real>,
+    sigyy: SharedVec<Real>,
+    sigzz: SharedVec<Real>,
+    determ: SharedVec<Real>,
+    dvdx: SharedVec<Real>,
+    dvdy: SharedVec<Real>,
+    dvdz: SharedVec<Real>,
+    x8n: SharedVec<Real>,
+    y8n: SharedVec<Real>,
+    z8n: SharedVec<Real>,
+    volume_error: AtomicBool,
+    qstop_error: AtomicBool,
+    /// (dtcourant, dthydro) running minima for the current iteration.
+    dt_mins: Mutex<(Real, Real)>,
+}
+
+impl TaskScratch {
+    /// `merged == false` (the unmerged ablation) additionally allocates the
+    /// reference-style global temporaries; merged tasks keep those
+    /// task-local (trick T6), so the default path skips ~80 bytes/element
+    /// of dead allocation.
+    fn new(num_elem: usize, merged: bool) -> Self {
+        let e = |n| SharedVec::from_elem(0.0f64, n);
+        let g = |n| if merged { e(0) } else { e(n) };
+        Self {
+            fx_elem: e(8 * num_elem),
+            fy_elem: e(8 * num_elem),
+            fz_elem: e(8 * num_elem),
+            fx_hg: e(8 * num_elem),
+            fy_hg: e(8 * num_elem),
+            fz_hg: e(8 * num_elem),
+            vnewc: e(num_elem),
+            sigxx: g(num_elem),
+            sigyy: g(num_elem),
+            sigzz: g(num_elem),
+            determ: g(num_elem),
+            dvdx: g(8 * num_elem),
+            dvdy: g(8 * num_elem),
+            dvdz: g(8 * num_elem),
+            x8n: g(8 * num_elem),
+            y8n: g(8 * num_elem),
+            z8n: g(8 * num_elem),
+            volume_error: AtomicBool::new(false),
+            qstop_error: AtomicBool::new(false),
+            dt_mins: Mutex::new((1.0e20, 1.0e20)),
+        }
+    }
+
+    fn reset_iteration(&self) {
+        self.volume_error.store(false, Ordering::Relaxed);
+        self.qstop_error.store(false, Ordering::Relaxed);
+        *self.dt_mins.lock() = (1.0e20, 1.0e20);
+    }
+}
+
+/// One task body.
+type Stage = Box<dyn FnOnce() + Send + 'static>;
+
+/// A group of independent items (partitions), each a chain of stages.
+/// Within a group all items have the same number of stages.
+struct Group {
+    items: Vec<Vec<Stage>>,
+}
+
+impl Group {
+    fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    fn push(&mut self, stages: Vec<Stage>) {
+        debug_assert!(
+            self.items.is_empty() || self.items[0].len() == stages.len(),
+            "groups must be stage-uniform"
+        );
+        self.items.push(stages);
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Statistics about one iteration's graph, used by the graph explorer
+/// example and the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Total tasks created this iteration.
+    pub tasks: usize,
+    /// Synchronization points (`when_all` joins), iteration-end included.
+    pub barriers: usize,
+}
+
+/// The many-task LULESH runner.
+pub struct TaskLulesh {
+    rt: Runtime,
+    /// Optimization toggles.
+    pub features: Features,
+    stats: std::cell::Cell<GraphStats>,
+}
+
+impl TaskLulesh {
+    /// Runner with `threads` workers and all paper optimizations on.
+    pub fn new(threads: usize) -> Self {
+        Self::with_features(threads, Features::default())
+    }
+
+    /// Runner with explicit feature toggles.
+    pub fn with_features(threads: usize, features: Features) -> Self {
+        Self {
+            rt: Runtime::new(threads),
+            features,
+            stats: Default::default(),
+        }
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.rt.threads()
+    }
+
+    /// Productive-time ratio since the last counter reset (HPX idle-rate
+    /// counter; Figure 11's HPX series).
+    pub fn utilization(&self) -> f64 {
+        self.rt.utilization_since_reset()
+    }
+
+    /// Reset the runtime performance counters.
+    pub fn reset_counters(&self) {
+        self.rt.reset_counters()
+    }
+
+    /// Raw runtime counter snapshot.
+    pub fn runtime_stats(&self) -> taskrt::RuntimeStats {
+        self.rt.stats()
+    }
+
+    /// Task/barrier counts of the most recently built iteration graph.
+    pub fn graph_stats(&self) -> GraphStats {
+        self.stats.get()
+    }
+
+    /// Run for at most `max_cycles` iterations (or to `stoptime`).
+    pub fn run(
+        &self,
+        d: &Arc<Domain>,
+        plan: PartitionPlan,
+        max_cycles: u64,
+    ) -> Result<SimState, LuleshError> {
+        self.run_with_hooks(
+            d,
+            plan,
+            max_cycles,
+            &IterationHooks::default(),
+            |c, h, err| match err {
+                Some(e) => Err(e),
+                None => Ok((c, h)),
+            },
+        )
+    }
+
+    /// [`run`](Self::run) with inter-domain communication hooks and a dt
+    /// reduction. `reduce_dt` receives this domain's constraint minima plus
+    /// its local error (if the iteration tripped one) and returns the
+    /// global minima, or the error any participating domain reported — the
+    /// multi-domain allreduce. It is called **every** iteration, error or
+    /// not, so peers blocked in the reduction always get a message (a rank
+    /// returning early on its own error would deadlock the others).
+    pub fn run_with_hooks(
+        &self,
+        d: &Arc<Domain>,
+        plan: PartitionPlan,
+        max_cycles: u64,
+        hooks: &IterationHooks,
+        reduce_dt: impl Fn(Real, Real, Option<LuleshError>) -> Result<(Real, Real), LuleshError>,
+    ) -> Result<SimState, LuleshError> {
+        let mut state = SimState::new(d.initial_dt());
+        let scratch = Arc::new(TaskScratch::new(d.num_elem(), self.features.merge_kernels));
+        while state.time < d.params.stoptime && state.cycle < max_cycles {
+            time_increment(&mut state, &d.params);
+            scratch.reset_iteration();
+
+            // Pre-create the entire iteration graph, then join once.
+            let end = self.build_iteration(d, &scratch, plan, state.deltatime, hooks);
+            end.get();
+
+            let local_err = if scratch.volume_error.load(Ordering::Relaxed) {
+                Some(LuleshError::VolumeError)
+            } else if scratch.qstop_error.load(Ordering::Relaxed) {
+                Some(LuleshError::QStopError)
+            } else {
+                None
+            };
+            let (c, h) = *scratch.dt_mins.lock();
+            let (c, h) = reduce_dt(c, h, local_err)?;
+            state.dtcourant = c;
+            state.dthydro = h;
+        }
+        Ok(state)
+    }
+
+    /// Spawn a group: every item becomes a chain of its stages (T2 on) or a
+    /// layered sequence with a barrier between stages (T2 off). `starts`
+    /// must hold one future per item, or be empty to spawn immediately.
+    fn run_group(
+        &self,
+        starts: Vec<Future<()>>,
+        group: Group,
+        tasks: &mut usize,
+        barriers: &mut usize,
+    ) -> Vec<Future<()>> {
+        let k = group.len();
+        debug_assert!(starts.is_empty() || starts.len() == k);
+
+        if self.features.chain_continuations {
+            // Per-item chains.
+            let mut finals = Vec::with_capacity(k);
+            let mut starts = starts.into_iter();
+            for stages in group.items {
+                let mut stages = stages.into_iter();
+                let first = stages.next().expect("group items are non-empty");
+                let mut fut = match starts.next() {
+                    Some(s) => s.then(&self.rt, move |_| first()),
+                    None => self.rt.spawn(first),
+                };
+                *tasks += 1;
+                for stage in stages {
+                    fut = fut.then(&self.rt, move |_| stage());
+                    *tasks += 1;
+                }
+                finals.push(fut);
+            }
+            finals
+        } else {
+            // Layered: global barrier between consecutive stages (Fig 5).
+            let n_stages = group.items.first().map_or(0, |s| s.len());
+            // Transpose into stage-major order.
+            let mut layers: Vec<Vec<Stage>> =
+                (0..n_stages).map(|_| Vec::with_capacity(k)).collect();
+            for stages in group.items {
+                for (l, s) in stages.into_iter().enumerate() {
+                    layers[l].push(s);
+                }
+            }
+            let mut starts = starts;
+            let mut futs: Vec<Future<()>> = Vec::new();
+            for (l, layer) in layers.into_iter().enumerate() {
+                if l > 0 {
+                    let barrier = when_all_unit(std::mem::take(&mut futs));
+                    *barriers += 1;
+                    starts = barrier.fork(k);
+                }
+                futs = if starts.is_empty() {
+                    layer
+                        .into_iter()
+                        .map(|s| {
+                            *tasks += 1;
+                            self.rt.spawn(s)
+                        })
+                        .collect()
+                } else {
+                    std::mem::take(&mut starts)
+                        .into_iter()
+                        .zip(layer)
+                        .map(|(f, s)| {
+                            *tasks += 1;
+                            f.then(&self.rt, move |_| s())
+                        })
+                        .collect()
+                };
+            }
+            futs
+        }
+    }
+
+    /// Fan a barrier out over several independent groups and return every
+    /// item's final future (the fork/drain boilerplate shared by phases D,
+    /// E and F).
+    fn run_groups_from(
+        &self,
+        barrier: Future<()>,
+        groups: Vec<Group>,
+        tasks: &mut usize,
+        barriers: &mut usize,
+    ) -> Vec<Future<()>> {
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        let mut starts = barrier.fork(total);
+        let mut finals = Vec::with_capacity(total);
+        for g in groups {
+            let s: Vec<_> = starts.drain(..g.len()).collect();
+            finals.extend(self.run_group(s, g, tasks, barriers));
+        }
+        finals
+    }
+
+    /// Build the full task graph for one `LagrangeLeapFrog` iteration and
+    /// return the iteration-end future.
+    fn build_iteration(
+        &self,
+        d: &Arc<Domain>,
+        sc: &Arc<TaskScratch>,
+        plan: PartitionPlan,
+        dt: Real,
+        hooks: &IterationHooks,
+    ) -> Future<()> {
+        let num_elem = d.num_elem();
+        let num_node = d.num_node();
+        let f = self.features;
+        let mut tasks = 0usize;
+        let mut barriers = 0usize;
+
+        // ---------------- Phase A: element force chains ----------------
+        let mut stress_group = Group::new();
+        for c in chunks_of(num_elem, plan.nodal) {
+            stress_group.push(stress_stages(d, sc, c, f.merge_kernels));
+        }
+        let mut hg_group = Group::new();
+        for c in chunks_of(num_elem, plan.nodal) {
+            hg_group.push(hourglass_stages(d, sc, c, f.merge_kernels));
+        }
+
+        let b1 = if f.parallel_force_chains {
+            let mut finals = self.run_group(Vec::new(), stress_group, &mut tasks, &mut barriers);
+            finals.extend(self.run_group(Vec::new(), hg_group, &mut tasks, &mut barriers));
+            when_all_unit(finals)
+        } else {
+            // Reference-like ordering: all stress, barrier, all hourglass.
+            let sf = self.run_group(Vec::new(), stress_group, &mut tasks, &mut barriers);
+            let sb = when_all_unit(sf);
+            barriers += 1;
+            let k = hg_group.len();
+            let hf = self.run_group(sb.fork(k), hg_group, &mut tasks, &mut barriers);
+            when_all_unit(hf)
+        };
+        barriers += 1;
+
+        // ---------------- Phase B: node chains ----------------
+        let b2 = match &hooks.after_forces {
+            None => {
+                let mut node_group = Group::new();
+                for c in chunks_of(num_node, plan.nodal) {
+                    node_group.push(node_stages(d, sc, c, dt, f.merge_kernels));
+                }
+                let k = node_group.len();
+                let bf = self.run_group(b1.fork(k), node_group, &mut tasks, &mut barriers);
+                let b2 = when_all_unit(bf);
+                barriers += 1;
+                b2
+            }
+            Some(hook) => {
+                // Multi-domain: the halo force sum needs the gathered nodal
+                // forces, so phase B splits at the gather (reference order:
+                // gather, CommSBN, then the node update) — one extra
+                // barrier, exactly like the MPI version.
+                let mut gather_group = Group::new();
+                for c in chunks_of(num_node, plan.nodal) {
+                    gather_group.push(vec![node_gather_stage(d, sc, c)]);
+                }
+                let k = gather_group.len();
+                let gf = self.run_group(b1.fork(k), gather_group, &mut tasks, &mut barriers);
+                let bg = when_all_unit(gf);
+                barriers += 1;
+                let hook = Arc::clone(hook);
+                tasks += 1;
+                let hooked = bg.then(&self.rt, move |_| hook());
+
+                let mut update_group = Group::new();
+                for c in chunks_of(num_node, plan.nodal) {
+                    update_group.push(node_update_stages(d, c, dt, f.merge_kernels));
+                }
+                let k = update_group.len();
+                let uf = self.run_group(hooked.fork(k), update_group, &mut tasks, &mut barriers);
+                let b2 = when_all_unit(uf);
+                barriers += 1;
+                b2
+            }
+        };
+
+        // ---------------- Phase C: element kinematics chains ----------------
+        let mut kin_group = Group::new();
+        for c in chunks_of(num_elem, plan.elements) {
+            kin_group.push(kinematics_stages(d, sc, c, dt, f.merge_kernels));
+        }
+        let k = kin_group.len();
+        let cf = self.run_group(b2.fork(k), kin_group, &mut tasks, &mut barriers);
+        let b3 = when_all_unit(cf);
+        barriers += 1;
+
+        // Inter-domain gradient-ghost exchange (multi-domain runs).
+        let b3 = match &hooks.after_gradients {
+            Some(hook) => {
+                let hook = Arc::clone(hook);
+                tasks += 1;
+                b3.then(&self.rt, move |_| hook())
+            }
+            None => b3,
+        };
+
+        // ---------------- Phase D: monotonic Q + vnewc prep ----------------
+        let mut d_groups: Vec<Group> = Vec::new();
+        let mut q_group = Group::new();
+        for r in 0..d.num_reg() {
+            let reg_len = d.regions.reg_elem_list[r].len();
+            for c in chunks_of(reg_len, plan.elements) {
+                let dd = Arc::clone(d);
+                q_group.push(vec![Box::new(move || {
+                    let elems = &dd.regions.reg_elem_list[r][c.begin..c.end];
+                    monoq::calc_monotonic_q_region_for_elems(&dd, elems, &dd.params);
+                }) as Stage]);
+            }
+        }
+        d_groups.push(q_group);
+
+        let mut vnewc_group = Group::new();
+        for c in chunks_of(num_elem, plan.elements) {
+            vnewc_group.push(vnewc_stages(d, sc, c, f.merge_kernels));
+        }
+        d_groups.push(vnewc_group);
+
+        let mut qstop_group = Group::new();
+        for c in chunks_of(num_elem, plan.elements) {
+            let dd = Arc::clone(d);
+            let ss = Arc::clone(sc);
+            qstop_group.push(vec![Box::new(move || {
+                if monoq::check_q_stop(&dd, dd.params.qstop, c).is_err() {
+                    ss.qstop_error.store(true, Ordering::Relaxed);
+                }
+            }) as Stage]);
+        }
+        d_groups.push(qstop_group);
+
+        let d_finals = self.run_groups_from(b3, d_groups, &mut tasks, &mut barriers);
+        let b4 = when_all_unit(d_finals);
+        barriers += 1;
+
+        // ---------------- Phase E: per-region EOS ----------------
+        let mut region_groups: Vec<Group> = Vec::new();
+        for r in 0..d.num_reg() {
+            let mut g = Group::new();
+            let reg_len = d.regions.reg_elem_list[r].len();
+            let rep = d.regions.rep(r);
+            for c in chunks_of(reg_len, plan.elements) {
+                let dd = Arc::clone(d);
+                let ss = Arc::clone(sc);
+                g.push(vec![Box::new(move || {
+                    // SAFETY: vnewc was fully written in phase D (barrier
+                    // b4) and is read-only during EOS.
+                    let vnewc = unsafe { ss.vnewc.as_slice() };
+                    let elems = &dd.regions.reg_elem_list[r][c.begin..c.end];
+                    // Task-local EOS temporaries, allocated per task on
+                    // purpose: this is the paper's locality trick T6 ("we
+                    // allocate task-local temporary arrays ... to improve
+                    // data locality") — a shared cache would reintroduce
+                    // the global-array traffic the trick removes.
+                    let mut scratch = eos::EosScratch::new(elems.len());
+                    eos::eval_eos_for_elems(&dd, vnewc, elems, rep, &dd.params, &mut scratch);
+                }) as Stage]);
+            }
+            region_groups.push(g);
+        }
+
+        let b5 = if f.parallel_region_eos {
+            let finals = self.run_groups_from(b4, region_groups, &mut tasks, &mut barriers);
+            when_all_unit(finals)
+        } else {
+            // Sequential regions: barrier between consecutive regions.
+            // Empty regions are skipped so they don't sever the chain.
+            let mut barrier = b4;
+            let mut first = true;
+            for g in region_groups {
+                if g.len() == 0 {
+                    continue;
+                }
+                if !first {
+                    barriers += 1;
+                }
+                first = false;
+                let k = g.len();
+                let finals = self.run_group(barrier.fork(k), g, &mut tasks, &mut barriers);
+                barrier = when_all_unit(finals);
+            }
+            barrier
+        };
+        barriers += 1;
+
+        // ---------------- Phase F: volume commit + dt constraints ----------------
+        let mut f_groups: Vec<Group> = Vec::new();
+        let mut upd_group = Group::new();
+        for c in chunks_of(num_elem, plan.elements) {
+            let dd = Arc::clone(d);
+            upd_group.push(vec![Box::new(move || {
+                kinematics::update_volumes_for_elems(&dd, dd.params.v_cut, c);
+            }) as Stage]);
+        }
+        f_groups.push(upd_group);
+
+        let mut con_group = Group::new();
+        for r in 0..d.num_reg() {
+            let reg_len = d.regions.reg_elem_list[r].len();
+            for c in chunks_of(reg_len, plan.elements) {
+                let dd = Arc::clone(d);
+                let ss = Arc::clone(sc);
+                con_group.push(vec![Box::new(move || {
+                    let elems = &dd.regions.reg_elem_list[r][c.begin..c.end];
+                    let cc =
+                        constraints::calc_courant_constraint_for_elems(&dd, elems, dd.params.qqc);
+                    let hh =
+                        constraints::calc_hydro_constraint_for_elems(&dd, elems, dd.params.dvovmax);
+                    if cc.is_some() || hh.is_some() {
+                        let mut mins = ss.dt_mins.lock();
+                        if let Some(c) = cc {
+                            mins.0 = mins.0.min(c);
+                        }
+                        if let Some(h) = hh {
+                            mins.1 = mins.1.min(h);
+                        }
+                    }
+                }) as Stage]);
+            }
+        }
+        f_groups.push(con_group);
+
+        let f_finals = self.run_groups_from(b5, f_groups, &mut tasks, &mut barriers);
+        let end = when_all_unit(f_finals);
+        barriers += 1; // the iteration-end join
+
+        self.stats.set(GraphStats { tasks, barriers });
+        end
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stage builders. Each returns the chain of task bodies for one partition;
+// `merged` selects one fused body (task-local temporaries, T3+T6) vs. the
+// reference's separate kernels communicating via global scratch.
+// ----------------------------------------------------------------------
+
+fn stress_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool) -> Vec<Stage> {
+    if merged {
+        let d = Arc::clone(d);
+        let sc = Arc::clone(sc);
+        vec![Box::new(move || {
+            let len = c.len();
+            let mut sigxx = vec![0.0; len];
+            let mut sigyy = vec![0.0; len];
+            let mut sigzz = vec![0.0; len];
+            let mut determ = vec![0.0; len];
+            stress::init_stress_terms_for_elems(&d, &mut sigxx, &mut sigyy, &mut sigzz, c);
+            // SAFETY: per-corner slots of this chunk belong to this task.
+            let (fx, fy, fz) = unsafe {
+                (
+                    sc.fx_elem.slice_mut(8 * c.begin, 8 * c.end),
+                    sc.fy_elem.slice_mut(8 * c.begin, 8 * c.end),
+                    sc.fz_elem.slice_mut(8 * c.begin, 8 * c.end),
+                )
+            };
+            stress::integrate_stress_for_elems(
+                &d,
+                &sigxx,
+                &sigyy,
+                &sigzz,
+                &mut determ,
+                fx,
+                fy,
+                fz,
+                c,
+            );
+            if stress::check_volume_error(&determ).is_err() {
+                sc.volume_error.store(true, Ordering::Relaxed);
+            }
+        })]
+    } else {
+        let d1 = Arc::clone(d);
+        let s1 = Arc::clone(sc);
+        let d2 = Arc::clone(d);
+        let s2 = Arc::clone(sc);
+        vec![
+            Box::new(move || {
+                // SAFETY: chunk-disjoint writes.
+                let (sx, sy, sz) = unsafe {
+                    (
+                        s1.sigxx.slice_mut(c.begin, c.end),
+                        s1.sigyy.slice_mut(c.begin, c.end),
+                        s1.sigzz.slice_mut(c.begin, c.end),
+                    )
+                };
+                stress::init_stress_terms_for_elems(&d1, sx, sy, sz, c);
+            }),
+            Box::new(move || {
+                // SAFETY: chunk-disjoint; sig* of this chunk written by the
+                // previous stage of this same item.
+                unsafe {
+                    let mut determ = vec![0.0; c.len()];
+                    stress::integrate_stress_for_elems(
+                        &d2,
+                        s2.sigxx.slice(c.begin, c.end),
+                        s2.sigyy.slice(c.begin, c.end),
+                        s2.sigzz.slice(c.begin, c.end),
+                        &mut determ,
+                        s2.fx_elem.slice_mut(8 * c.begin, 8 * c.end),
+                        s2.fy_elem.slice_mut(8 * c.begin, 8 * c.end),
+                        s2.fz_elem.slice_mut(8 * c.begin, 8 * c.end),
+                        c,
+                    );
+                    if stress::check_volume_error(&determ).is_err() {
+                        s2.volume_error.store(true, Ordering::Relaxed);
+                    }
+                }
+            }),
+        ]
+    }
+}
+
+fn hourglass_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool) -> Vec<Stage> {
+    if merged {
+        let d = Arc::clone(d);
+        let sc = Arc::clone(sc);
+        vec![Box::new(move || {
+            let len = c.len();
+            let mut dvdx = vec![0.0; 8 * len];
+            let mut dvdy = vec![0.0; 8 * len];
+            let mut dvdz = vec![0.0; 8 * len];
+            let mut x8n = vec![0.0; 8 * len];
+            let mut y8n = vec![0.0; 8 * len];
+            let mut z8n = vec![0.0; 8 * len];
+            let mut determ = vec![0.0; len];
+            if hourglass::calc_hourglass_control_for_elems(
+                &d,
+                &mut dvdx,
+                &mut dvdy,
+                &mut dvdz,
+                &mut x8n,
+                &mut y8n,
+                &mut z8n,
+                &mut determ,
+                c,
+            )
+            .is_err()
+            {
+                sc.volume_error.store(true, Ordering::Relaxed);
+                return;
+            }
+            if d.params.hgcoef > 0.0 {
+                // SAFETY: this chunk's per-corner slots belong to this task.
+                let (fx, fy, fz) = unsafe {
+                    (
+                        sc.fx_hg.slice_mut(8 * c.begin, 8 * c.end),
+                        sc.fy_hg.slice_mut(8 * c.begin, 8 * c.end),
+                        sc.fz_hg.slice_mut(8 * c.begin, 8 * c.end),
+                    )
+                };
+                hourglass::calc_fb_hourglass_force_for_elems(
+                    &d,
+                    &determ,
+                    &x8n,
+                    &y8n,
+                    &z8n,
+                    &dvdx,
+                    &dvdy,
+                    &dvdz,
+                    d.params.hgcoef,
+                    fx,
+                    fy,
+                    fz,
+                    c,
+                );
+            }
+        })]
+    } else {
+        let d1 = Arc::clone(d);
+        let s1 = Arc::clone(sc);
+        let d2 = Arc::clone(d);
+        let s2 = Arc::clone(sc);
+        vec![
+            Box::new(move || {
+                // SAFETY: chunk-disjoint writes to the global geometry scratch.
+                let r = unsafe {
+                    hourglass::calc_hourglass_control_for_elems(
+                        &d1,
+                        s1.dvdx.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.dvdy.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.dvdz.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.x8n.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.y8n.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.z8n.slice_mut(8 * c.begin, 8 * c.end),
+                        s1.determ.slice_mut(c.begin, c.end),
+                        c,
+                    )
+                };
+                if r.is_err() {
+                    s1.volume_error.store(true, Ordering::Relaxed);
+                }
+            }),
+            Box::new(move || {
+                // Note: deliberately NOT gated on the global volume_error
+                // flag — that flag is set concurrently by other chunks, and
+                // gating on it would make this stage's output
+                // schedule-dependent. On an error iteration the values may
+                // be garbage (like every other driver's), but the run
+                // aborts at the iteration-end check either way.
+                if d2.params.hgcoef > 0.0 {
+                    // SAFETY: geometry of this chunk written by the previous
+                    // stage of this item; force slots chunk-disjoint.
+                    unsafe {
+                        hourglass::calc_fb_hourglass_force_for_elems(
+                            &d2,
+                            s2.determ.slice(c.begin, c.end),
+                            s2.x8n.slice(8 * c.begin, 8 * c.end),
+                            s2.y8n.slice(8 * c.begin, 8 * c.end),
+                            s2.z8n.slice(8 * c.begin, 8 * c.end),
+                            s2.dvdx.slice(8 * c.begin, 8 * c.end),
+                            s2.dvdy.slice(8 * c.begin, 8 * c.end),
+                            s2.dvdz.slice(8 * c.begin, 8 * c.end),
+                            d2.params.hgcoef,
+                            s2.fx_hg.slice_mut(8 * c.begin, 8 * c.end),
+                            s2.fy_hg.slice_mut(8 * c.begin, 8 * c.end),
+                            s2.fz_hg.slice_mut(8 * c.begin, 8 * c.end),
+                            c,
+                        );
+                    }
+                }
+            }),
+        ]
+    }
+}
+
+fn node_gather_stage(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk) -> Stage {
+    let d = Arc::clone(d);
+    let sc = Arc::clone(sc);
+    Box::new(move || {
+        // SAFETY: all per-corner forces are complete (phase barrier) and
+        // read-only here.
+        unsafe {
+            stress::gather_forces_sum2(
+                &d,
+                sc.fx_elem.as_slice(),
+                sc.fy_elem.as_slice(),
+                sc.fz_elem.as_slice(),
+                sc.fx_hg.as_slice(),
+                sc.fy_hg.as_slice(),
+                sc.fz_hg.as_slice(),
+                c,
+            );
+        }
+    })
+}
+
+fn node_update_stages(d: &Arc<Domain>, c: Chunk, dt: Real, merged: bool) -> Vec<Stage> {
+    if merged {
+        let d = Arc::clone(d);
+        vec![Box::new(move || {
+            nodal::calc_acceleration_for_nodes(&d, c);
+            nodal::apply_acceleration_bc_by_node_range(&d, c);
+            nodal::calc_velocity_for_nodes(&d, dt, d.params.u_cut, c);
+            nodal::calc_position_for_nodes(&d, dt, c);
+        })]
+    } else {
+        let d1 = Arc::clone(d);
+        let d2 = Arc::clone(d);
+        let d3 = Arc::clone(d);
+        let d4 = Arc::clone(d);
+        vec![
+            Box::new(move || nodal::calc_acceleration_for_nodes(&d1, c)),
+            Box::new(move || nodal::apply_acceleration_bc_by_node_range(&d2, c)),
+            Box::new(move || nodal::calc_velocity_for_nodes(&d3, dt, d3.params.u_cut, c)),
+            Box::new(move || nodal::calc_position_for_nodes(&d4, dt, c)),
+        ]
+    }
+}
+
+fn node_stages(
+    d: &Arc<Domain>,
+    sc: &Arc<TaskScratch>,
+    c: Chunk,
+    dt: Real,
+    merged: bool,
+) -> Vec<Stage> {
+    let gather = node_gather_stage(d, sc, c);
+    let updates = node_update_stages(d, c, dt, merged);
+    if merged {
+        // One fused task: gather + the whole node update.
+        let update = updates.into_iter().next().expect("merged update stage");
+        vec![Box::new(move || {
+            gather();
+            update();
+        })]
+    } else {
+        let mut stages = vec![gather];
+        stages.extend(updates);
+        stages
+    }
+}
+
+fn kinematics_stages(
+    d: &Arc<Domain>,
+    sc: &Arc<TaskScratch>,
+    c: Chunk,
+    dt: Real,
+    merged: bool,
+) -> Vec<Stage> {
+    if merged {
+        let d = Arc::clone(d);
+        let sc = Arc::clone(sc);
+        vec![Box::new(move || {
+            kinematics::calc_kinematics_for_elems(&d, dt, c);
+            if kinematics::calc_lagrange_elements_finish(&d, c).is_err() {
+                sc.volume_error.store(true, Ordering::Relaxed);
+            }
+            monoq::calc_monotonic_q_gradients_for_elems(&d, c);
+        })]
+    } else {
+        let d1 = Arc::clone(d);
+        let d2 = Arc::clone(d);
+        let s2 = Arc::clone(sc);
+        let d3 = Arc::clone(d);
+        vec![
+            Box::new(move || kinematics::calc_kinematics_for_elems(&d1, dt, c)),
+            Box::new(move || {
+                if kinematics::calc_lagrange_elements_finish(&d2, c).is_err() {
+                    s2.volume_error.store(true, Ordering::Relaxed);
+                }
+            }),
+            Box::new(move || monoq::calc_monotonic_q_gradients_for_elems(&d3, c)),
+        ]
+    }
+}
+
+fn vnewc_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool) -> Vec<Stage> {
+    let fill = {
+        let d = Arc::clone(d);
+        let sc = Arc::clone(sc);
+        move || {
+            // SAFETY: chunk-disjoint writes.
+            let v = unsafe { sc.vnewc.slice_mut(c.begin, c.end) };
+            eos::fill_vnewc_clamped(&d, v, d.params.eosvmin, d.params.eosvmax, c);
+        }
+    };
+    let check = {
+        let d = Arc::clone(d);
+        let sc = Arc::clone(sc);
+        move || {
+            if eos::check_eos_volume_bounds(&d, d.params.eosvmin, d.params.eosvmax, c).is_err() {
+                sc.volume_error.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+    if merged {
+        vec![Box::new(move || {
+            fill();
+            check();
+        })]
+    } else {
+        vec![Box::new(fill), Box::new(check)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lulesh_core::serial;
+    use lulesh_core::validate::max_field_difference;
+
+    fn run_task(
+        size: usize,
+        regs: usize,
+        threads: usize,
+        cycles: u64,
+        features: Features,
+        plan: PartitionPlan,
+    ) -> (Arc<Domain>, SimState) {
+        let d = Arc::new(Domain::build(size, regs, 1, 1, 0));
+        let runner = TaskLulesh::with_features(threads, features);
+        let st = runner.run(&d, plan, cycles).unwrap();
+        (d, st)
+    }
+
+    fn serial_ref(size: usize, regs: usize, cycles: u64) -> Domain {
+        let d = Domain::build(size, regs, 1, 1, 0);
+        serial::run(&d, cycles).unwrap();
+        d
+    }
+
+    #[test]
+    fn matches_serial_default_features() {
+        let ds = serial_ref(6, 3, 10);
+        let (dt, _) = run_task(
+            6,
+            3,
+            4,
+            10,
+            Features::default(),
+            PartitionPlan::fixed(32, 32),
+        );
+        assert_eq!(
+            max_field_difference(&ds, &dt),
+            0.0,
+            "bitwise agreement expected"
+        );
+    }
+
+    #[test]
+    fn matches_serial_naive_features() {
+        let ds = serial_ref(6, 3, 10);
+        let (dt, _) = run_task(6, 3, 4, 10, Features::naive(), PartitionPlan::fixed(32, 32));
+        assert_eq!(max_field_difference(&ds, &dt), 0.0);
+    }
+
+    #[test]
+    fn matches_serial_each_feature_off() {
+        let ds = serial_ref(5, 4, 8);
+        for (name, features) in [
+            (
+                "no-chains",
+                Features {
+                    chain_continuations: false,
+                    ..Features::default()
+                },
+            ),
+            (
+                "no-merge",
+                Features {
+                    merge_kernels: false,
+                    ..Features::default()
+                },
+            ),
+            (
+                "no-par-force",
+                Features {
+                    parallel_force_chains: false,
+                    ..Features::default()
+                },
+            ),
+            (
+                "no-par-eos",
+                Features {
+                    parallel_region_eos: false,
+                    ..Features::default()
+                },
+            ),
+        ] {
+            let (dt, _) = run_task(5, 4, 3, 8, features, PartitionPlan::fixed(16, 16));
+            assert_eq!(max_field_difference(&ds, &dt), 0.0, "feature set {name}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_single_thread() {
+        let ds = serial_ref(5, 2, 12);
+        let (dt, _) = run_task(
+            5,
+            2,
+            1,
+            12,
+            Features::default(),
+            PartitionPlan::fixed(64, 64),
+        );
+        assert_eq!(max_field_difference(&ds, &dt), 0.0);
+    }
+
+    #[test]
+    fn partition_size_does_not_change_results() {
+        let ds = serial_ref(6, 5, 10);
+        for p in [8, 37, 100, 4096] {
+            let (dt, _) = run_task(6, 5, 2, 10, Features::default(), PartitionPlan::fixed(p, p));
+            assert_eq!(max_field_difference(&ds, &dt), 0.0, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn state_matches_serial() {
+        let d = Domain::build(5, 2, 1, 1, 0);
+        let st_s = serial::run(&d, 1_000_000).unwrap();
+        let (_, st_t) = run_task(
+            5,
+            2,
+            2,
+            1_000_000,
+            Features::default(),
+            PartitionPlan::fixed(64, 64),
+        );
+        assert_eq!(st_s.cycle, st_t.cycle);
+        assert_eq!(st_s.time, st_t.time);
+        assert_eq!(st_s.dtcourant, st_t.dtcourant);
+        assert_eq!(st_s.dthydro, st_t.dthydro);
+    }
+
+    #[test]
+    fn graph_stats_reported() {
+        let d = Arc::new(Domain::build(6, 3, 1, 1, 0));
+        let runner = TaskLulesh::new(2);
+        runner.run(&d, PartitionPlan::fixed(32, 32), 1).unwrap();
+        let g = runner.graph_stats();
+        assert!(g.tasks > 20, "expected a real graph, got {} tasks", g.tasks);
+        // Five internal barriers + the iteration-end join; one fewer than
+        // the paper's seven (see module docs).
+        assert_eq!(g.barriers, 6);
+    }
+
+    #[test]
+    fn naive_features_have_more_barriers() {
+        let d = Arc::new(Domain::build(5, 3, 1, 1, 0));
+        let opt = TaskLulesh::new(2);
+        opt.run(&d, PartitionPlan::fixed(32, 32), 1).unwrap();
+        let d2 = Arc::new(Domain::build(5, 3, 1, 1, 0));
+        let naive = TaskLulesh::with_features(2, Features::naive());
+        naive.run(&d2, PartitionPlan::fixed(32, 32), 1).unwrap();
+        assert!(
+            naive.graph_stats().barriers > opt.graph_stats().barriers,
+            "naive {} vs optimized {}",
+            naive.graph_stats().barriers,
+            opt.graph_stats().barriers
+        );
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let d = Arc::new(Domain::build(5, 2, 1, 1, 0));
+        let runner = TaskLulesh::new(2);
+        runner.reset_counters();
+        runner.run(&d, PartitionPlan::fixed(64, 64), 5).unwrap();
+        let u = runner.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        assert!(runner.runtime_stats().tasks > 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Partition-size policy (the paper's Table I plus its tuning rules).
+//!
+//! The partition size `P` is the number of elements/nodes each task
+//! iterates over (paper §IV, Fig 5). Table I records the sizes the authors
+//! found best per problem size; `PartitionPlan::for_size` reproduces that
+//! table and falls back to a bounded heuristic for sizes the paper did not
+//! evaluate (e.g. the small meshes used in tests).
+
+/// Partition sizes for the two leapfrog phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Partition size for `LagrangeNodal()` (force + node-update tasks).
+    pub nodal: usize,
+    /// Partition size for `LagrangeElements()` (kinematics/Q/EOS tasks).
+    pub elements: usize,
+}
+
+impl PartitionPlan {
+    /// Fixed sizes (Table I of the paper).
+    pub const TABLE_I: [(usize, PartitionPlan); 6] = [
+        (
+            45,
+            PartitionPlan {
+                nodal: 2048,
+                elements: 2048,
+            },
+        ),
+        (
+            60,
+            PartitionPlan {
+                nodal: 4096,
+                elements: 2048,
+            },
+        ),
+        (
+            75,
+            PartitionPlan {
+                nodal: 8192,
+                elements: 4096,
+            },
+        ),
+        (
+            90,
+            PartitionPlan {
+                nodal: 8192,
+                elements: 4096,
+            },
+        ),
+        (
+            120,
+            PartitionPlan {
+                nodal: 8192,
+                elements: 2048,
+            },
+        ),
+        (
+            150,
+            PartitionPlan {
+                nodal: 8192,
+                elements: 2048,
+            },
+        ),
+    ];
+
+    /// The plan for a given problem size: Table I when listed, otherwise a
+    /// heuristic that keeps roughly 32–128 tasks per loop, clamped to
+    /// [64, 8192].
+    pub fn for_size(size: usize) -> Self {
+        for (s, plan) in Self::TABLE_I {
+            if s == size {
+                return plan;
+            }
+        }
+        let num_elem = size * size * size;
+        let p = (num_elem / 64).next_power_of_two().clamp(64, 8192);
+        PartitionPlan {
+            nodal: p,
+            elements: p,
+        }
+    }
+
+    /// An explicit plan (used by the Table-I sweep bench and tests).
+    pub fn fixed(nodal: usize, elements: usize) -> Self {
+        assert!(nodal > 0 && elements > 0);
+        PartitionPlan { nodal, elements }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_values() {
+        assert_eq!(
+            PartitionPlan::for_size(45),
+            PartitionPlan {
+                nodal: 2048,
+                elements: 2048
+            }
+        );
+        assert_eq!(
+            PartitionPlan::for_size(60),
+            PartitionPlan {
+                nodal: 4096,
+                elements: 2048
+            }
+        );
+        assert_eq!(
+            PartitionPlan::for_size(75),
+            PartitionPlan {
+                nodal: 8192,
+                elements: 4096
+            }
+        );
+        assert_eq!(
+            PartitionPlan::for_size(90),
+            PartitionPlan {
+                nodal: 8192,
+                elements: 4096
+            }
+        );
+        assert_eq!(
+            PartitionPlan::for_size(120),
+            PartitionPlan {
+                nodal: 8192,
+                elements: 2048
+            }
+        );
+        assert_eq!(
+            PartitionPlan::for_size(150),
+            PartitionPlan {
+                nodal: 8192,
+                elements: 2048
+            }
+        );
+    }
+
+    #[test]
+    fn heuristic_for_unlisted_sizes() {
+        let p = PartitionPlan::for_size(8); // 512 elements
+        assert!(p.nodal >= 64 && p.nodal <= 8192);
+        let big = PartitionPlan::for_size(200); // 8M elements
+        assert_eq!(big.nodal, 8192, "clamped at the Table I maximum");
+    }
+
+    #[test]
+    fn heuristic_gives_multiple_tasks_for_moderate_meshes() {
+        // A 20³ mesh (8000 elements) should split into several tasks.
+        let p = PartitionPlan::for_size(20);
+        assert!(
+            8000 / p.elements >= 2,
+            "partition {} too coarse",
+            p.elements
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_rejects_zero() {
+        let _ = PartitionPlan::fixed(0, 128);
+    }
+}

@@ -1,0 +1,77 @@
+//! Multi-domain LULESH binary (the paper's future-work extension): run the
+//! global problem decomposed into ζ slabs with one thread per rank and
+//! MPI-style halo exchange. CLI matches the artifact, plus `--ranks N`.
+
+use lulesh_core::{Opts, RunReport};
+use multidom::{threaded, Decomposition};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Pull out --ranks (both `--ranks N` and `--ranks=N` forms) before the
+    // shared parser sees it.
+    let mut ranks = 2usize;
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a.trim_start_matches('-').split('=').next() == Some("ranks"))
+    {
+        let (raw, consumed) = match args[pos].split_once('=') {
+            Some((_, v)) => (v.to_string(), 1),
+            None => (args.get(pos + 1).cloned().unwrap_or_default(), 2),
+        };
+        ranks = raw.parse().unwrap_or(0);
+        if ranks == 0 {
+            eprintln!("--ranks needs a positive integer (got '{raw}')");
+            std::process::exit(2);
+        }
+        args.drain(pos..pos + consumed);
+    }
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", Opts::usage("lulesh-multidom"));
+            eprintln!("extra flag: --ranks N (ζ slabs, default 2; must divide --s)");
+            std::process::exit(2);
+        }
+    };
+    if ranks == 0 || opts.size % ranks != 0 {
+        eprintln!(
+            "--ranks must be positive and divide --s (got --ranks {ranks}, --s {})",
+            opts.size
+        );
+        std::process::exit(2);
+    }
+
+    let decomp = Decomposition::new(opts.size, ranks);
+    let t0 = Instant::now();
+    let (domains, state) = match threaded::run(
+        decomp,
+        opts.num_reg,
+        opts.balance,
+        opts.cost,
+        opts.seed,
+        opts.max_cycles,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = t0.elapsed();
+
+    // The origin element lives on rank 0; report from there.
+    let report = RunReport::collect(&domains[0], &state, ranks, elapsed);
+    if !opts.quiet {
+        eprintln!("{}", report.verbose());
+        eprintln!(
+            "ranks = {ranks} (ζ slabs of {}x{}x{})",
+            opts.size,
+            opts.size,
+            opts.size / ranks
+        );
+    }
+    println!("{}", RunReport::CSV_HEADER);
+    println!("{}", report.csv_row());
+}

@@ -1,0 +1,450 @@
+//! Halo-exchange operations between ζ-adjacent subdomains.
+//!
+//! Three exchanges per the LULESH MPI protocol (restricted to the 1-D ζ
+//! decomposition):
+//!
+//! 1. **nodal mass** (once, at setup): interface-plane nodes exist on both
+//!    subdomains; each needs the *sum* of both sides' contributions.
+//! 2. **nodal forces** (per iteration, after `CalcForceForNodes`): same
+//!    sum over the interface plane, for `fx/fy/fz`.
+//! 3. **velocity gradients** (per iteration, after
+//!    `CalcMonotonicQGradientsForElems`): each side copies the other's
+//!    boundary element plane of `delv_xi/eta/zeta` into its ghost plane,
+//!    where `lzetam`/`lzetap` of the boundary elements point.
+//!
+//! Both sides of an interface evaluate the sums in the same order
+//! (`lower + upper`), so the duplicated interface nodes stay **bit-identical**
+//! across subdomains — which is what lets the duplicated nodes integrate
+//! identically forever without further synchronization.
+
+// The lower/upper branches spell out the addition order contract even where it coincides.
+#![allow(clippy::if_same_then_else)]
+use crossbeam::channel::{Receiver, Sender};
+use lulesh_core::domain::Domain;
+use lulesh_core::types::LuleshError;
+use lulesh_core::Real;
+
+/// Channel endpoints to one ζ neighbour (used by both message-passing
+/// drivers; planes travel as flat `Vec<Real>`).
+pub struct NeighborLink {
+    /// Towards the neighbour.
+    pub tx: Sender<Vec<Real>>,
+    /// From the neighbour.
+    pub rx: Receiver<Vec<Real>>,
+}
+
+/// One rank's dt-allreduce contribution: constraint minima plus any local
+/// error, so an aborting rank still satisfies the protocol and every rank
+/// returns the same `Err` instead of deadlocking.
+pub type DtMsg = (Real, Real, Option<LuleshError>);
+
+/// The per-interface exchange sequence shared by the threaded and
+/// task-parallel drivers: send own planes both ways, then combine what the
+/// neighbours sent. `pack`/`combine` close over which field is exchanged.
+fn ring_exchange(
+    d: &Domain,
+    down: Option<&NeighborLink>,
+    up: Option<&NeighborLink>,
+    pack_bottom: impl Fn(&Domain) -> Vec<Real>,
+    pack_top: impl Fn(&Domain) -> Vec<Real>,
+    combine_bottom: impl Fn(&Domain, &[Real]),
+    combine_top: impl Fn(&Domain, &[Real]),
+) {
+    if let Some(up) = up {
+        up.tx.send(pack_top(d)).expect("send plane up");
+    }
+    if let Some(down) = down {
+        down.tx.send(pack_bottom(d)).expect("send plane down");
+        let remote = down.rx.recv().expect("recv plane from below");
+        combine_bottom(d, &remote);
+    }
+    if let Some(up) = up {
+        let remote = up.rx.recv().expect("recv plane from above");
+        combine_top(d, &remote);
+    }
+}
+
+/// Channel-based nodal-mass halo sum (setup-time `CommSBN` for masses).
+pub fn ring_exchange_mass(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+    ring_exchange(
+        d,
+        down,
+        up,
+        |d| pack_mass(d, bottom_node_plane(d)),
+        |d| pack_mass(d, top_node_plane(d)),
+        |d, remote| combine_mass(d, bottom_node_plane(d), remote, false),
+        |d, remote| combine_mass(d, top_node_plane(d), remote, true),
+    );
+}
+
+/// Channel-based force halo sum (per-iteration `CommSBN`).
+pub fn ring_exchange_forces(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+    ring_exchange(
+        d,
+        down,
+        up,
+        |d| pack_forces(d, bottom_node_plane(d)),
+        |d| pack_forces(d, top_node_plane(d)),
+        |d, remote| combine_forces(d, bottom_node_plane(d), remote, false),
+        |d, remote| combine_forces(d, top_node_plane(d), remote, true),
+    );
+}
+
+/// Channel-based gradient ghost exchange (per-iteration `CommMonoQ`).
+pub fn ring_exchange_gradients(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+    ring_exchange(
+        d,
+        down,
+        up,
+        |d| pack_gradients(d, bottom_elem_plane(d)),
+        |d| pack_gradients(d, top_elem_plane(d)),
+        |d, remote| store_gradients(d, d.ghost_zm_base().expect("ζ− ghosts"), remote),
+        |d, remote| store_gradients(d, d.ghost_zp_base().expect("ζ+ ghosts"), remote),
+    );
+}
+
+/// The dt min-allreduce star through rank 0, errors riding along. Every
+/// rank calls this once per iteration; rank 0 passes its root endpoints.
+#[allow(clippy::type_complexity)]
+pub fn star_allreduce(
+    to_root: &Sender<DtMsg>,
+    from_root: &Receiver<DtMsg>,
+    root: Option<(&Receiver<DtMsg>, &[Sender<DtMsg>])>,
+    ranks: usize,
+    c: Real,
+    h: Real,
+    err: Option<LuleshError>,
+) -> DtMsg {
+    to_root.send((c, h, err)).expect("send constraints to root");
+    if let Some((rx, txs)) = root {
+        let mut gc: Real = 1.0e20;
+        let mut gh: Real = 1.0e20;
+        let mut gerr: Option<LuleshError> = None;
+        for _ in 0..ranks {
+            let (c, h, e) = rx.recv().expect("root receives every rank");
+            gc = gc.min(c);
+            gh = gh.min(h);
+            gerr = gerr.or(e);
+        }
+        for tx in txs {
+            tx.send((gc, gh, gerr)).expect("broadcast minima");
+        }
+    }
+    from_root.recv().expect("receive global minima")
+}
+
+/// Node indices of a subdomain's bottom (ζ = min) plane.
+pub fn bottom_node_plane(d: &Domain) -> std::ops::Range<usize> {
+    0..d.shape().nodes_per_plane()
+}
+
+/// Node indices of a subdomain's top (ζ = max) plane.
+pub fn top_node_plane(d: &Domain) -> std::ops::Range<usize> {
+    let pn = d.shape().nodes_per_plane();
+    d.num_node() - pn..d.num_node()
+}
+
+/// Element indices of the bottom element plane.
+pub fn bottom_elem_plane(d: &Domain) -> std::ops::Range<usize> {
+    0..d.shape().elems_per_plane()
+}
+
+/// Element indices of the top element plane.
+pub fn top_elem_plane(d: &Domain) -> std::ops::Range<usize> {
+    let pe = d.shape().elems_per_plane();
+    d.num_elem() - pe..d.num_elem()
+}
+
+/// Sum the interface-plane nodal masses of `lower`'s top and `upper`'s
+/// bottom plane, storing the identical total on both sides.
+pub fn exchange_nodal_mass(lower: &Domain, upper: &Domain) {
+    let lt = top_node_plane(lower).start;
+    let pn = lower.shape().nodes_per_plane();
+    debug_assert_eq!(pn, upper.shape().nodes_per_plane());
+    for i in 0..pn {
+        let total = lower.nodal_mass(lt + i) + upper.nodal_mass(i);
+        lower.set_nodal_mass(lt + i, total);
+        upper.set_nodal_mass(i, total);
+    }
+}
+
+/// Sum the interface-plane nodal forces (fx/fy/fz), storing the identical
+/// totals on both sides (the per-iteration force communication of the
+/// reference's `CommSBN`).
+pub fn exchange_forces(lower: &Domain, upper: &Domain) {
+    let lt = top_node_plane(lower).start;
+    let pn = lower.shape().nodes_per_plane();
+    for i in 0..pn {
+        let fx = lower.fx(lt + i) + upper.fx(i);
+        let fy = lower.fy(lt + i) + upper.fy(i);
+        let fz = lower.fz(lt + i) + upper.fz(i);
+        lower.set_fx(lt + i, fx);
+        lower.set_fy(lt + i, fy);
+        lower.set_fz(lt + i, fz);
+        upper.set_fx(i, fx);
+        upper.set_fy(i, fy);
+        upper.set_fz(i, fz);
+    }
+}
+
+/// Copy each side's boundary element plane of the monotonic-q velocity
+/// gradients into the other side's ghost plane (the reference's
+/// `CommMonoQ`).
+pub fn exchange_gradients(lower: &Domain, upper: &Domain) {
+    let pe = lower.shape().elems_per_plane();
+    let lower_top = top_elem_plane(lower).start;
+    let lower_ghost = lower
+        .ghost_zp_base()
+        .expect("lower side of an interface has a ζ+ ghost plane");
+    let upper_ghost = upper
+        .ghost_zm_base()
+        .expect("upper side of an interface has a ζ− ghost plane");
+
+    for i in 0..pe {
+        // lower's ζ+ ghosts ← upper's first (bottom) element plane.
+        lower.set_delv_xi(lower_ghost + i, upper.delv_xi(i));
+        lower.set_delv_eta(lower_ghost + i, upper.delv_eta(i));
+        lower.set_delv_zeta(lower_ghost + i, upper.delv_zeta(i));
+        // upper's ζ− ghosts ← lower's last (top) element plane.
+        upper.set_delv_xi(upper_ghost + i, lower.delv_xi(lower_top + i));
+        upper.set_delv_eta(upper_ghost + i, lower.delv_eta(lower_top + i));
+        upper.set_delv_zeta(upper_ghost + i, lower.delv_zeta(lower_top + i));
+    }
+}
+
+/// Pack a node plane's forces for message-passing exchange (threaded
+/// driver): `[fx…, fy…, fz…]`.
+pub fn pack_forces(d: &Domain, plane: std::ops::Range<usize>) -> Vec<Real> {
+    let mut out = Vec::with_capacity(3 * plane.len());
+    for n in plane.clone() {
+        out.push(d.fx(n));
+    }
+    for n in plane.clone() {
+        out.push(d.fy(n));
+    }
+    for n in plane {
+        out.push(d.fz(n));
+    }
+    out
+}
+
+/// Combine a received force plane with the local one: `lower + upper` on
+/// both sides (pass `local_is_lower` accordingly so the addition order is
+/// identical on both ranks).
+pub fn combine_forces(
+    d: &Domain,
+    plane: std::ops::Range<usize>,
+    remote: &[Real],
+    local_is_lower: bool,
+) {
+    let pn = plane.len();
+    assert_eq!(remote.len(), 3 * pn);
+    for (k, n) in plane.enumerate() {
+        let (fx, fy, fz) = if local_is_lower {
+            (
+                d.fx(n) + remote[k],
+                d.fy(n) + remote[pn + k],
+                d.fz(n) + remote[2 * pn + k],
+            )
+        } else {
+            (
+                remote[k] + d.fx(n),
+                remote[pn + k] + d.fy(n),
+                remote[2 * pn + k] + d.fz(n),
+            )
+        };
+        d.set_fx(n, fx);
+        d.set_fy(n, fy);
+        d.set_fz(n, fz);
+    }
+}
+
+/// Pack a node plane's masses for the one-time mass exchange.
+pub fn pack_mass(d: &Domain, plane: std::ops::Range<usize>) -> Vec<Real> {
+    plane.map(|n| d.nodal_mass(n)).collect()
+}
+
+/// Combine a received mass plane with the local one (same ordering rule as
+/// [`combine_forces`]).
+pub fn combine_mass(
+    d: &Domain,
+    plane: std::ops::Range<usize>,
+    remote: &[Real],
+    local_is_lower: bool,
+) {
+    for (k, n) in plane.enumerate() {
+        let total = if local_is_lower {
+            d.nodal_mass(n) + remote[k]
+        } else {
+            remote[k] + d.nodal_mass(n)
+        };
+        d.set_nodal_mass(n, total);
+    }
+}
+
+/// Pack an element plane's velocity gradients: `[xi…, eta…, zeta…]`.
+pub fn pack_gradients(d: &Domain, plane: std::ops::Range<usize>) -> Vec<Real> {
+    let mut out = Vec::with_capacity(3 * plane.len());
+    for e in plane.clone() {
+        out.push(d.delv_xi(e));
+    }
+    for e in plane.clone() {
+        out.push(d.delv_eta(e));
+    }
+    for e in plane {
+        out.push(d.delv_zeta(e));
+    }
+    out
+}
+
+/// Store a received gradient plane into the ghost slots starting at
+/// `ghost_base`.
+pub fn store_gradients(d: &Domain, ghost_base: usize, remote: &[Real]) {
+    let pe = remote.len() / 3;
+    for i in 0..pe {
+        d.set_delv_xi(ghost_base + i, remote[i]);
+        d.set_delv_eta(ghost_base + i, remote[pe + i]);
+        d.set_delv_zeta(ghost_base + i, remote[2 * pe + i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lulesh_core::mesh::MeshShape;
+
+    fn pair() -> (Domain, Domain) {
+        let lower = Domain::build_subdomain(
+            MeshShape {
+                nx: 4,
+                ny: 4,
+                nz: 2,
+                global_nz: 4,
+                z_offset: 0,
+            },
+            1,
+            1,
+            1,
+            0,
+        );
+        let upper = Domain::build_subdomain(
+            MeshShape {
+                nx: 4,
+                ny: 4,
+                nz: 2,
+                global_nz: 4,
+                z_offset: 2,
+            },
+            1,
+            1,
+            1,
+            0,
+        );
+        (lower, upper)
+    }
+
+    #[test]
+    fn mass_exchange_matches_single_domain() {
+        let (lower, upper) = pair();
+        exchange_nodal_mass(&lower, &upper);
+        let single = Domain::build(4, 1, 1, 1, 0);
+        // Interface nodes (global plane 2) must carry the full 8-element mass.
+        let pn = lower.shape().nodes_per_plane();
+        let lt = top_node_plane(&lower).start;
+        for i in 0..pn {
+            let global = 2 * pn + i;
+            assert!(
+                (lower.nodal_mass(lt + i) - single.nodal_mass(global)).abs() < 1e-15,
+                "node {i}"
+            );
+            assert_eq!(
+                lower.nodal_mass(lt + i),
+                upper.nodal_mass(i),
+                "sides must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn force_exchange_sums_both_sides_identically() {
+        let (lower, upper) = pair();
+        let pn = lower.shape().nodes_per_plane();
+        let lt = top_node_plane(&lower).start;
+        for i in 0..pn {
+            lower.set_fx(lt + i, 1.0 + i as Real);
+            upper.set_fx(i, 10.0 + i as Real);
+        }
+        exchange_forces(&lower, &upper);
+        for i in 0..pn {
+            assert_eq!(lower.fx(lt + i), 11.0 + 2.0 * i as Real);
+            assert_eq!(lower.fx(lt + i), upper.fx(i));
+        }
+    }
+
+    #[test]
+    fn packed_exchange_matches_direct_exchange() {
+        let (l1, u1) = pair();
+        let (l2, u2) = pair();
+        let pn = l1.shape().nodes_per_plane();
+        let lt = top_node_plane(&l1).start;
+        for i in 0..pn {
+            for (l, u) in [(&l1, &u1), (&l2, &u2)] {
+                l.set_fx(lt + i, (i as Real).sin());
+                l.set_fy(lt + i, (i as Real).cos());
+                l.set_fz(lt + i, i as Real);
+                u.set_fx(i, (i as Real).cos() * 2.0);
+                u.set_fy(i, (i as Real).sin() * 3.0);
+                u.set_fz(i, -(i as Real));
+            }
+        }
+        // Direct (lockstep) exchange.
+        exchange_forces(&l1, &u1);
+        // Message-passing exchange.
+        let msg_up = pack_forces(&l2, top_node_plane(&l2));
+        let msg_down = pack_forces(&u2, bottom_node_plane(&u2));
+        combine_forces(&l2, top_node_plane(&l2), &msg_down, true);
+        combine_forces(&u2, bottom_node_plane(&u2), &msg_up, false);
+        for i in 0..pn {
+            assert_eq!(l1.fx(lt + i), l2.fx(lt + i), "node {i}");
+            assert_eq!(u1.fx(i), u2.fx(i));
+            assert_eq!(u1.fy(i), u2.fy(i));
+            assert_eq!(u1.fz(i), u2.fz(i));
+        }
+    }
+
+    #[test]
+    fn gradient_exchange_fills_ghost_planes() {
+        let (lower, upper) = pair();
+        let pe = lower.shape().elems_per_plane();
+        let lt = top_elem_plane(&lower).start;
+        for i in 0..pe {
+            lower.set_delv_xi(lt + i, 100.0 + i as Real);
+            upper.set_delv_zeta(i, -(1.0 + i as Real));
+        }
+        exchange_gradients(&lower, &upper);
+        let lg = lower.ghost_zp_base().unwrap();
+        let ug = upper.ghost_zm_base().unwrap();
+        for i in 0..pe {
+            assert_eq!(upper.delv_xi(ug + i), 100.0 + i as Real);
+            assert_eq!(lower.delv_zeta(lg + i), -(1.0 + i as Real));
+        }
+        // The boundary elements' ζ neighbours resolve into the ghosts.
+        let bottom_elem = 0;
+        assert_eq!(upper.m_lzetam[bottom_elem], ug);
+    }
+
+    #[test]
+    fn plane_helpers_are_consistent() {
+        let (lower, _) = pair();
+        assert_eq!(
+            bottom_node_plane(&lower).len(),
+            top_node_plane(&lower).len()
+        );
+        assert_eq!(
+            bottom_elem_plane(&lower).len(),
+            top_elem_plane(&lower).len()
+        );
+        assert_eq!(bottom_node_plane(&lower).len(), 25);
+        assert_eq!(bottom_elem_plane(&lower).len(), 16);
+    }
+}

@@ -1,0 +1,283 @@
+//! The full future-work configuration: **task-parallel within each rank,
+//! message-passing between ranks** — the "HPX-native multi-node" execution
+//! the paper anticipates comparing against MPI+OpenMP.
+//!
+//! Each rank owns a [`TaskLulesh`] runtime with `threads_per_rank` workers;
+//! the halo exchanges run as communication *tasks* injected into the
+//! per-iteration graph at the same three points as the serial-rank driver
+//! (forces, gradient ghosts, dt allreduce), via
+//! [`lulesh_task::IterationHooks`].
+//!
+//! Results are **bit-identical** to the lockstep [`World`](crate::World)
+//! and the serial-rank [`threaded`](crate::threaded) drivers: the task
+//! port already matches the serial kernels bit-for-bit, and the exchange
+//! arithmetic is the same `lower + upper` on both sides.
+
+use crate::exchange::{
+    ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, star_allreduce, DtMsg,
+    NeighborLink,
+};
+use crate::Decomposition;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use lulesh_core::domain::Domain;
+use lulesh_core::params::SimState;
+use lulesh_core::types::{LuleshError, Real};
+use lulesh_task::{IterationHooks, PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+
+type Plane = Vec<Real>;
+
+/// Run the decomposed problem with one `TaskLulesh` runtime per rank
+/// (`threads_per_rank` workers each) and halo-exchange tasks between them.
+/// Returns the final subdomains (bottom slab first) and the state.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    decomp: Decomposition,
+    threads_per_rank: usize,
+    plan: PartitionPlan,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+) -> Result<(Vec<Arc<Domain>>, SimState), LuleshError> {
+    run_with_params(
+        decomp,
+        threads_per_rank,
+        plan,
+        num_reg,
+        balance,
+        cost,
+        seed,
+        max_cycles,
+        lulesh_core::Params::default(),
+    )
+}
+
+/// [`run`] with explicit control parameters applied to every rank.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_params(
+    decomp: Decomposition,
+    threads_per_rank: usize,
+    plan: PartitionPlan,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+    params: lulesh_core::Params,
+) -> Result<(Vec<Arc<Domain>>, SimState), LuleshError> {
+    let ranks = decomp.ranks();
+
+    // Neighbour channels (capacity 1; the per-iteration protocol strictly
+    // alternates force and gradient messages, so one slot never blocks a
+    // sender).
+    let mut down: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
+    let mut up: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
+    for r in 0..ranks.saturating_sub(1) {
+        let (tx_up, rx_up) = bounded::<Plane>(1);
+        let (tx_down, rx_down) = bounded::<Plane>(1);
+        up[r] = Some(NeighborLink {
+            tx: tx_up,
+            rx: rx_down,
+        });
+        down[r + 1] = Some(NeighborLink {
+            tx: tx_down,
+            rx: rx_up,
+        });
+    }
+
+    // dt allreduce star through rank 0.
+    let (to_root_tx, to_root_rx) = bounded::<DtMsg>(ranks);
+    let mut from_root_rx = Vec::with_capacity(ranks);
+    let mut from_root_tx = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = bounded::<DtMsg>(1);
+        from_root_tx.push(tx);
+        from_root_rx.push(rx);
+    }
+    let from_root_tx = Arc::new(from_root_tx);
+
+    let handles: Vec<_> = (0..ranks)
+        .map(|r| {
+            let shape = decomp.shape(r);
+            let down = down[r].take();
+            let up = up[r].take();
+            let to_root = to_root_tx.clone();
+            let my_from_root = from_root_rx.remove(0);
+            let root_rx = (r == 0).then(|| to_root_rx.clone());
+            let bcast = Arc::clone(&from_root_tx);
+            std::thread::Builder::new()
+                .name(format!("multidom-taskpar-{r}"))
+                .spawn(move || {
+                    rank_main(
+                        shape,
+                        threads_per_rank,
+                        plan,
+                        down,
+                        up,
+                        to_root,
+                        my_from_root,
+                        root_rx,
+                        bcast,
+                        ranks,
+                        (num_reg, balance, cost, seed),
+                        max_cycles,
+                        params,
+                    )
+                })
+                .expect("spawn taskpar rank")
+        })
+        .collect();
+
+    let mut domains = Vec::with_capacity(ranks);
+    let mut state = None;
+    for h in handles {
+        let (d, st) = h.join().expect("rank thread must not panic")?;
+        state = Some(st);
+        domains.push(d);
+    }
+    Ok((domains, state.expect("at least one rank")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    shape: lulesh_core::mesh::MeshShape,
+    threads_per_rank: usize,
+    plan: PartitionPlan,
+    down: Option<NeighborLink>,
+    up: Option<NeighborLink>,
+    to_root: Sender<DtMsg>,
+    from_root: Receiver<DtMsg>,
+    root_rx: Option<Receiver<DtMsg>>,
+    bcast: Arc<Vec<Sender<DtMsg>>>,
+    ranks: usize,
+    (num_reg, balance, cost, seed): (usize, i32, i32, u64),
+    max_cycles: u64,
+    params: lulesh_core::Params,
+) -> Result<(Arc<Domain>, SimState), LuleshError> {
+    let d = Arc::new({
+        let mut d = Domain::build_subdomain(shape, num_reg, balance, cost, seed);
+        d.params = params;
+        d
+    });
+
+    // One-time nodal mass exchange (control thread; the runtime is idle).
+    ring_exchange_mass(&d, down.as_ref(), up.as_ref());
+
+    // The exchange hooks run as tasks inside the iteration graph. They may
+    // block on `recv` — each rank has its own worker pool, and the hook is
+    // the sole runnable task at its injection point, so no scheduler
+    // deadlock is possible.
+    let down = down.map(Arc::new);
+    let up = up.map(Arc::new);
+
+    let force_hook: lulesh_task::Hook = {
+        let d = Arc::clone(&d);
+        let down = down.clone();
+        let up = up.clone();
+        Arc::new(move || {
+            ring_exchange_forces(&d, down.as_deref(), up.as_deref());
+        })
+    };
+
+    let gradient_hook: lulesh_task::Hook = {
+        let d = Arc::clone(&d);
+        let down = down.clone();
+        let up = up.clone();
+        Arc::new(move || {
+            ring_exchange_gradients(&d, down.as_deref(), up.as_deref());
+        })
+    };
+
+    let hooks = IterationHooks {
+        after_forces: Some(force_hook),
+        after_gradients: Some(gradient_hook),
+    };
+
+    // dt allreduce through rank 0, on the control thread each iteration.
+    // Errors ride along so every rank aborts together instead of blocking
+    // on a rank that returned early.
+    let reduce_dt = move |c: Real, h: Real, err: Option<LuleshError>| {
+        let (gc, gh, gerr) = star_allreduce(
+            &to_root,
+            &from_root,
+            root_rx.as_ref().map(|rx| (rx, bcast.as_slice())),
+            ranks,
+            c,
+            h,
+            err,
+        );
+        match gerr {
+            Some(e) => Err(e),
+            None => Ok((gc, gh)),
+        }
+    };
+
+    let runner = TaskLulesh::new(threads_per_rank);
+    let state = runner.run_with_hooks(&d, plan, max_cycles, &hooks, reduce_dt)?;
+    Ok((d, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn taskpar_matches_lockstep_bitwise() {
+        let decomp = Decomposition::new(8, 2);
+        let mut world = World::build(decomp, 3, 1, 1, 0);
+        let st_lock = world.run(20).unwrap();
+
+        let (domains, st) = run(decomp, 2, PartitionPlan::fixed(32, 32), 3, 1, 1, 0, 20).unwrap();
+        assert_eq!(st_lock.cycle, st.cycle);
+        assert_eq!(st_lock.time, st.time);
+        assert_eq!(st_lock.dtcourant, st.dtcourant);
+        for (r, (a, b)) in world.domains.iter().zip(&domains).enumerate() {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "rank {r}: task-parallel ranks must match the lockstep world bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn taskpar_three_ranks_single_worker_each() {
+        let decomp = Decomposition::new(6, 3);
+        let (domains, st) = run(decomp, 1, PartitionPlan::fixed(16, 16), 2, 1, 1, 0, 12).unwrap();
+        assert_eq!(domains.len(), 3);
+        assert_eq!(st.cycle, 12);
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        world.run(12).unwrap();
+        for (a, b) in world.domains.iter().zip(&domains) {
+            assert_eq!(lulesh_core::validate::max_field_difference(a, b), 0.0);
+        }
+    }
+
+    #[test]
+    fn taskpar_single_rank_is_plain_task_port() {
+        let (domains, st) = run(
+            Decomposition::new(6, 1),
+            2,
+            PartitionPlan::fixed(32, 32),
+            2,
+            1,
+            1,
+            0,
+            10,
+        )
+        .unwrap();
+        let single = Arc::new(lulesh_core::Domain::build(6, 2, 1, 1, 0));
+        let plain = TaskLulesh::new(2);
+        let st_p = plain
+            .run(&single, PartitionPlan::fixed(32, 32), 10)
+            .unwrap();
+        assert_eq!(st.cycle, st_p.cycle);
+        assert_eq!(
+            lulesh_core::validate::max_field_difference(&domains[0], &single),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! MPI-style threaded driver: one OS thread per rank, halo exchange over
+//! blocking channels — the communication structure the paper's future-work
+//! section anticipates comparing against. Produces results **bit-identical**
+//! to the lockstep [`World`](crate::World) driver (both sides of every
+//! interface combine values in the same `lower + upper` order).
+
+// The channel-topology types are built once and documented inline.
+#![allow(clippy::type_complexity)]
+use crate::exchange::{
+    ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, star_allreduce, DtMsg,
+    NeighborLink,
+};
+use crate::Decomposition;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use lulesh_core::domain::Domain;
+use lulesh_core::kernels::constraints;
+use lulesh_core::params::SimState;
+use lulesh_core::serial::{
+    advance_nodes, apply_q_and_materials, calc_force_for_nodes, calc_kinematics_and_gradients,
+    SerialScratch,
+};
+use lulesh_core::timestep::time_increment;
+use lulesh_core::types::{LuleshError, Real};
+
+/// Messages a rank exchanges with one ζ neighbour.
+type Plane = Vec<Real>;
+
+/// The per-rank communication endpoints.
+struct RankComm {
+    /// Towards ζ− (rank r−1), if any.
+    down: Option<NeighborLink>,
+    /// Towards ζ+ (rank r+1), if any.
+    up: Option<NeighborLink>,
+    /// dt reduction: send local (courant, hydro, error) to rank 0.
+    to_root: Sender<DtMsg>,
+    /// dt broadcast: receive the global minima (rank 0 reduces).
+    from_root: Receiver<DtMsg>,
+    /// Root side of the reduction (rank 0 only).
+    root: Option<(Receiver<DtMsg>, Vec<Sender<DtMsg>>)>,
+}
+
+/// Run the decomposed problem with one thread per rank, MPI-style.
+/// Returns the final subdomains (bottom slab first) and the simulation
+/// state.
+pub fn run(
+    decomp: Decomposition,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+) -> Result<(Vec<Domain>, SimState), LuleshError> {
+    run_with_params(
+        decomp,
+        num_reg,
+        balance,
+        cost,
+        seed,
+        max_cycles,
+        lulesh_core::Params::default(),
+    )
+}
+
+/// [`run`] with explicit control parameters (custom `stoptime`, abort
+/// thresholds, …) applied to every rank's domain.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_params(
+    decomp: Decomposition,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+    params: lulesh_core::Params,
+) -> Result<(Vec<Domain>, SimState), LuleshError> {
+    let ranks = decomp.ranks();
+
+    // Build the channel topology.
+    let mut comms: Vec<Option<RankComm>> = (0..ranks).map(|_| None).collect();
+    {
+        // Neighbour links.
+        let mut down_parts: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
+        let mut up_parts: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
+        for r in 0..ranks.saturating_sub(1) {
+            let (tx_up, rx_up) = bounded::<Plane>(1); // r → r+1
+            let (tx_down, rx_down) = bounded::<Plane>(1); // r+1 → r
+            up_parts[r] = Some(NeighborLink {
+                tx: tx_up,
+                rx: rx_down,
+            });
+            down_parts[r + 1] = Some(NeighborLink {
+                tx: tx_down,
+                rx: rx_up,
+            });
+        }
+        // dt reduction star.
+        let (to_root_tx, to_root_rx) = bounded::<DtMsg>(ranks);
+        let mut from_root_rxs = Vec::with_capacity(ranks);
+        let mut from_root_txs = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (tx, rx) = bounded::<DtMsg>(1);
+            from_root_txs.push(tx);
+            from_root_rxs.push(rx);
+        }
+        for (r, (down, up)) in down_parts.into_iter().zip(up_parts).enumerate() {
+            comms[r] = Some(RankComm {
+                down,
+                up,
+                to_root: to_root_tx.clone(),
+                from_root: from_root_rxs.remove(0),
+                root: if r == 0 {
+                    Some((to_root_rx.clone(), from_root_txs.clone()))
+                } else {
+                    None
+                },
+            });
+        }
+    }
+
+    // Spawn the ranks.
+    let handles: Vec<_> = (0..ranks)
+        .map(|r| {
+            let shape = decomp.shape(r);
+            let comm = comms[r].take().expect("comm built for every rank");
+            std::thread::Builder::new()
+                .name(format!("multidom-rank-{r}"))
+                .spawn(move || {
+                    rank_main(
+                        shape, comm, ranks, num_reg, balance, cost, seed, max_cycles, params,
+                    )
+                })
+                .expect("spawn rank thread")
+        })
+        .collect();
+
+    let mut domains = Vec::with_capacity(ranks);
+    let mut state = None;
+    for h in handles {
+        let (d, st) = h.join().expect("rank thread must not panic")?;
+        state = Some(st);
+        domains.push(d);
+    }
+    Ok((domains, state.expect("at least one rank")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    shape: lulesh_core::mesh::MeshShape,
+    comm: RankComm,
+    ranks: usize,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+    params: lulesh_core::Params,
+) -> Result<(Domain, SimState), LuleshError> {
+    let mut d = Domain::build_subdomain(shape, num_reg, balance, cost, seed);
+    d.params = params;
+    let mut scratch = SerialScratch::new(d.num_elem());
+
+    // One-time nodal mass exchange.
+    ring_exchange_mass(&d, comm.down.as_ref(), comm.up.as_ref());
+
+    let mut state = SimState::new(d.initial_dt());
+    while state.time < params.stoptime && state.cycle < max_cycles {
+        time_increment(&mut state, &params);
+        let dt = state.deltatime;
+
+        // A mid-iteration error must not abandon the exchange protocol —
+        // the neighbours are blocked on our messages. Record it, keep
+        // exchanging (the data is garbage but every rank aborts together at
+        // the allreduce below), and skip the remaining local phases.
+        let mut local_err: Option<LuleshError> = None;
+
+        // Forces + halo sum.
+        local_err = local_err.or(calc_force_for_nodes(&d, &mut scratch).err());
+        ring_exchange_forces(&d, comm.down.as_ref(), comm.up.as_ref());
+
+        if local_err.is_none() {
+            advance_nodes(&d, dt);
+        }
+
+        // Gradients + ghost exchange.
+        if local_err.is_none() {
+            local_err = calc_kinematics_and_gradients(&d, dt).err();
+        }
+        ring_exchange_gradients(&d, comm.down.as_ref(), comm.up.as_ref());
+
+        if local_err.is_none() {
+            local_err = apply_q_and_materials(&d, &mut scratch).err();
+        }
+
+        // dt constraints: allreduce(min) through rank 0, errors riding
+        // along so everyone aborts in the same iteration.
+        let (c, h) = if local_err.is_none() {
+            constraints::calc_time_constraints(&d, params.qqc, params.dvovmax)
+        } else {
+            (1.0e20, 1.0e20)
+        };
+        let (gc, gh, gerr) = star_allreduce(
+            &comm.to_root,
+            &comm.from_root,
+            comm.root.as_ref().map(|(rx, txs)| (rx, txs.as_slice())),
+            ranks,
+            c,
+            h,
+            local_err,
+        );
+        if let Some(e) = gerr {
+            return Err(e);
+        }
+        state.dtcourant = gc;
+        state.dthydro = gh;
+    }
+
+    Ok((d, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn threaded_matches_lockstep_bitwise() {
+        let decomp = Decomposition::new(8, 2);
+        let mut world = World::build(decomp, 3, 1, 1, 0);
+        let st_lock = world.run(25).unwrap();
+
+        let (domains, st_thr) = run(decomp, 3, 1, 1, 0, 25).unwrap();
+        assert_eq!(st_lock.cycle, st_thr.cycle);
+        assert_eq!(st_lock.time, st_thr.time);
+        assert_eq!(st_lock.dtcourant, st_thr.dtcourant);
+
+        for (r, (a, b)) in world.domains.iter().zip(&domains).enumerate() {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "rank {r} must match the lockstep driver bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_three_ranks() {
+        let decomp = Decomposition::new(6, 3);
+        let (domains, st) = run(decomp, 2, 1, 1, 0, 15).unwrap();
+        assert_eq!(domains.len(), 3);
+        assert_eq!(st.cycle, 15);
+        // Compare against the single-domain solution.
+        let single = lulesh_core::Domain::build(6, 2, 1, 1, 0);
+        lulesh_core::serial::run(&single, 15).unwrap();
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        world.domains = domains;
+        let diff = world.max_difference_vs_single(&single);
+        assert!(diff < 1e-7, "threaded vs single: {diff}");
+    }
+
+    #[test]
+    fn threaded_single_rank_degenerates_to_serial() {
+        let (domains, st) = run(Decomposition::new(5, 1), 2, 1, 1, 0, 10).unwrap();
+        let single = lulesh_core::Domain::build(5, 2, 1, 1, 0);
+        let st_s = lulesh_core::serial::run(&single, 10).unwrap();
+        assert_eq!(st.cycle, st_s.cycle);
+        assert_eq!(
+            lulesh_core::validate::max_field_difference(&domains[0], &single),
+            0.0
+        );
+    }
+}

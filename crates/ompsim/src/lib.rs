@@ -1,0 +1,534 @@
+//! # ompsim — an OpenMP-substitute fork-join runtime
+//!
+//! Models the execution the LULESH OpenMP reference gets from
+//! `#pragma omp parallel for` with libgomp:
+//!
+//! * a **persistent pool** of worker threads (like `OMP_NUM_THREADS`);
+//! * [`Pool::parallel_for`] — a statically scheduled loop: `0..n` is split
+//!   into one contiguous chunk per thread (sizes differing by at most one)
+//!   and **every loop ends in a barrier**, the synchronization cost the
+//!   paper's task-based port eliminates;
+//! * [`Pool::parallel_region`] — a fused region executing a closure once
+//!   per thread (for the reference's multi-loop parallel regions);
+//! * per-thread productive-time counters, mirroring the paper's manual
+//!   OpenMP instrumentation for Figure 11.
+//!
+//! Closures are *borrowed* (non-`'static`), like OpenMP's lexical regions:
+//! the pool guarantees every worker finished before `parallel_for` returns,
+//! which is what makes the internal lifetime erasure sound.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use parutil::{static_split, BusyIdleClock, CachePadded, Chunk, SenseBarrier};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The job the pool broadcasts to its workers: a borrowed closure invoked
+/// as `f(thread_id, nthreads)`.
+type Job = *const (dyn Fn(usize, usize) + Sync);
+
+struct Shared {
+    /// Current job plus its generation; valid only between post and the
+    /// completion barrier.
+    job: Mutex<Option<SendJob>>,
+    job_cv: Condvar,
+    done_barrier: SenseBarrier,
+    shutdown: AtomicBool,
+    /// Set when any participant's closure panicked during the current
+    /// region; the master re-raises after the join barrier.
+    panicked: AtomicBool,
+    clocks: Vec<CachePadded<BusyIdleClock>>,
+    epoch: Mutex<Instant>,
+}
+
+/// Wrapper making the raw job pointer `Send`. Validity is guaranteed by the
+/// fork-join protocol: the master does not return (and therefore the
+/// referenced closure does not die) until every worker has passed the
+/// completion barrier for this job.
+struct SendJob(Job, u64);
+unsafe impl Send for SendJob {}
+
+/// A persistent fork-join worker pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+    next_gen: u64,
+}
+
+/// Counter snapshot across the pool's threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Threads in the pool (including the master).
+    pub threads: usize,
+    /// Σ busy nanoseconds since last reset.
+    pub busy_ns: u64,
+    /// Parallel loops/regions executed (counted once per thread).
+    pub tasks: u64,
+    /// Wall nanoseconds since last reset.
+    pub wall_ns: u64,
+}
+
+impl Pool {
+    /// Create a pool of `nthreads` total execution threads. The calling
+    /// thread acts as thread 0 (like an OpenMP master), so `nthreads - 1`
+    /// OS threads are spawned.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "need at least one thread");
+        let shared = Arc::new(Shared {
+            job: Mutex::new(None),
+            job_cv: Condvar::new(),
+            done_barrier: SenseBarrier::new(nthreads),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            clocks: (0..nthreads)
+                .map(|_| CachePadded(BusyIdleClock::new()))
+                .collect(),
+            epoch: Mutex::new(Instant::now()),
+        });
+
+        let handles = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ompsim-worker-{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+
+        Self {
+            shared,
+            handles,
+            nthreads,
+            next_gen: 0,
+        }
+    }
+
+    /// Number of execution threads (master included).
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute `f(tid, nthreads)` on every thread and wait for all of them
+    /// — one OpenMP `parallel` region.
+    pub fn parallel_region<F>(&mut self, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let nthreads = self.nthreads;
+        if nthreads == 1 {
+            self.shared.clocks[0].run_busy(|| f(0, 1));
+            return;
+        }
+        self.shared.panicked.store(false, Ordering::Relaxed);
+
+        self.next_gen += 1;
+        let wide: &(dyn Fn(usize, usize) + Sync) = &f;
+        // SAFETY (lifetime erasure): `f` outlives this call, and this call
+        // does not return until every worker has crossed `done_barrier`
+        // below, after which no worker touches the pointer again.
+        let job: Job = unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(wide) };
+        {
+            let mut slot = self.shared.job.lock();
+            *slot = Some(SendJob(job, self.next_gen));
+            self.shared.job_cv.notify_all();
+        }
+
+        // Master participates as thread 0. A panic in `f` must not unwind
+        // past the join barrier: the workers still hold the lifetime-erased
+        // pointer to `f` until they cross it. Catch, join, then re-raise.
+        let master_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.shared.clocks[0].run_busy(|| f(0, nthreads));
+        }))
+        .err();
+
+        // Join: wait until all workers finished this job.
+        self.shared.done_barrier.wait();
+
+        if let Some(payload) = master_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a worker thread panicked inside the parallel region");
+        }
+    }
+
+    /// `#pragma omp parallel for schedule(static)`: run `body` over `0..n`
+    /// split into one contiguous chunk per thread, then barrier.
+    pub fn parallel_for<F>(&mut self, n: usize, body: F)
+    where
+        F: Fn(Chunk) + Sync,
+    {
+        self.parallel_region(|tid, nthreads| {
+            let chunk = static_split(n, nthreads, tid);
+            if !chunk.is_empty() {
+                body(chunk);
+            }
+        });
+    }
+
+    /// `#pragma omp parallel for schedule(dynamic, chunk)`: threads grab
+    /// `chunk`-sized pieces of `0..n` from a shared counter until the loop
+    /// is exhausted, then barrier. The counterfactual baseline the paper's
+    /// "LULESH does not expose load imbalance during its loops" observation
+    /// invites (see the `whatif` bench binary).
+    pub fn parallel_for_dynamic<F>(&mut self, n: usize, chunk: usize, body: F)
+    where
+        F: Fn(Chunk) + Sync,
+    {
+        assert!(chunk > 0, "dynamic chunk must be positive");
+        let next = AtomicUsize::new(0);
+        self.parallel_region(|_tid, _nthreads| loop {
+            let begin = next.fetch_add(chunk, Ordering::Relaxed);
+            if begin >= n {
+                break;
+            }
+            body(Chunk {
+                begin,
+                end: (begin + chunk).min(n),
+            });
+        });
+    }
+
+    /// Counter snapshot since the last reset.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.nthreads,
+            busy_ns: self.shared.clocks.iter().map(|c| c.busy_ns()).sum(),
+            tasks: self.shared.clocks.iter().map(|c| c.tasks()).sum(),
+            wall_ns: self.shared.epoch.lock().elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Zero the counters and restart the utilization epoch.
+    pub fn reset_counters(&self) {
+        for c in &self.shared.clocks {
+            c.reset();
+        }
+        *self.shared.epoch.lock() = Instant::now();
+    }
+
+    /// Productive-time ratio since the last reset (Figure 11's metric,
+    /// measured the way the paper measures OpenMP: time inside parallel
+    /// regions vs. total).
+    pub fn utilization_since_reset(&self) -> f64 {
+        let s = self.stats();
+        if s.wall_ns == 0 {
+            return 0.0;
+        }
+        (s.busy_ns as f64 / (s.wall_ns as f64 * s.threads as f64)).min(1.0)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.job.lock();
+            self.shared.job_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, tid: usize) {
+    let mut seen_gen = 0u64;
+    loop {
+        // Wait for a new job generation: spin briefly first (consecutive
+        // parallel loops dispatch within microseconds of each other, and a
+        // futex sleep/wake per worker per loop would dominate the
+        // barrier-heavy baseline), then park on the condvar.
+        let mut job = None;
+        for spin in 0..512u32 {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(slot) = shared.job.try_lock() {
+                if let Some(SendJob(ptr, gen)) = &*slot {
+                    if *gen > seen_gen {
+                        seen_gen = *gen;
+                        job = Some(*ptr);
+                        break;
+                    }
+                }
+            }
+            if spin % 64 == 63 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let job = match job {
+            Some(j) => j,
+            None => {
+                let mut slot = shared.job.lock();
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match &*slot {
+                        Some(SendJob(ptr, gen)) if *gen > seen_gen => {
+                            seen_gen = *gen;
+                            break *ptr;
+                        }
+                        _ => shared.job_cv.wait(&mut slot),
+                    }
+                }
+            }
+        };
+
+        // SAFETY: the master keeps the closure alive until after it passes
+        // `done_barrier`, which happens only after this call returns and we
+        // arrive at the barrier below. A panicking closure is caught so the
+        // worker still reaches the barrier (otherwise the master would wait
+        // forever); the master re-raises it after the join.
+        let f: &(dyn Fn(usize, usize) + Sync) = unsafe { &*job };
+        let nthreads = shared.done_barrier.participants();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.clocks[tid].run_busy(|| f(tid, nthreads));
+        }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        shared.done_barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_all_indices_once() {
+        let mut pool = Pool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(1000, |chunk| {
+            for i in chunk.iter() {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_barrier() {
+        // The defining property of the fork-join barrier: all writes are
+        // done when parallel_for returns.
+        let mut pool = Pool::new(3);
+        let mut data = vec![0usize; 100];
+        {
+            let view = parutil::SharedSlice::new(&mut data);
+            pool.parallel_for(100, |chunk| {
+                for i in chunk.iter() {
+                    // SAFETY: static split → disjoint indices per thread.
+                    unsafe { view.write(i, i * 3) };
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn consecutive_loops_are_ordered() {
+        // Loop 2 must observe all of loop 1's writes (barrier semantics).
+        let mut pool = Pool::new(4);
+        let mut a = vec![0u64; 64];
+        let mut b = vec![0u64; 64];
+        {
+            let va = parutil::SharedSlice::new(&mut a);
+            let vb = parutil::SharedSlice::new(&mut b);
+            pool.parallel_for(64, |chunk| {
+                for i in chunk.iter() {
+                    // SAFETY: disjoint static chunks.
+                    unsafe { va.write(i, (i + 1) as u64) };
+                }
+            });
+            pool.parallel_for(64, |chunk| {
+                for i in chunk.iter() {
+                    // Read a *different* thread's region: reversed index.
+                    let j = 63 - i;
+                    // SAFETY: loop 1 completed (barrier); reads race nothing.
+                    unsafe { vb.write(i, *va.get(j) * 2) };
+                }
+            });
+        }
+        for (i, v) in b.iter().enumerate() {
+            assert_eq!(*v, ((63 - i) + 1) as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let mut pool = Pool::new(1);
+        let total = AtomicU64::new(0);
+        pool.parallel_for(10, |chunk| {
+            for i in chunk.iter() {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn parallel_region_runs_once_per_thread() {
+        let mut pool = Pool::new(5);
+        let count = AtomicU64::new(0);
+        let tid_sum = AtomicU64::new(0);
+        pool.parallel_region(|tid, n| {
+            assert_eq!(n, 5);
+            count.fetch_add(1, Ordering::SeqCst);
+            tid_sum.fetch_add(tid as u64, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        assert_eq!(tid_sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn many_consecutive_regions() {
+        let mut pool = Pool::new(3);
+        let counter = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.parallel_region(|_, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn stats_count_regions_per_thread() {
+        let mut pool = Pool::new(2);
+        pool.reset_counters();
+        for _ in 0..10 {
+            pool.parallel_for(100, |_c| {});
+        }
+        let s = pool.stats();
+        assert_eq!(s.tasks, 20, "10 loops × 2 threads");
+        assert!(s.busy_ns > 0);
+        let u = pool.utilization_since_reset();
+        assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_all_indices_once() {
+        let mut pool = Pool::new(4);
+        let hits: Vec<AtomicU64> = (0..997).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for_dynamic(997, 16, |chunk| {
+            for i in chunk.iter() {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_static_results() {
+        // Scheduling must not change what gets computed.
+        let mut pool = Pool::new(3);
+        let mut a = vec![0u64; 200];
+        let mut b = vec![0u64; 200];
+        {
+            let va = parutil::SharedSlice::new(&mut a);
+            let vb = parutil::SharedSlice::new(&mut b);
+            pool.parallel_for(200, |c| {
+                for i in c.iter() {
+                    // SAFETY: disjoint chunks.
+                    unsafe { va.write(i, (i * i) as u64) };
+                }
+            });
+            pool.parallel_for_dynamic(200, 7, |c| {
+                for i in c.iter() {
+                    // SAFETY: dynamic chunks are disjoint (atomic counter).
+                    unsafe { vb.write(i, (i * i) as u64) };
+                }
+            });
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        let mut pool = Pool::new(4);
+        pool.parallel_for(0, |_c| panic!("no chunk should be non-empty"));
+        pool.parallel_for(2, |c| assert!(c.len() <= 1));
+    }
+
+    #[test]
+    fn pool_drop_joins() {
+        let pool = Pool::new(6);
+        drop(pool);
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_on_master_and_pool_survives() {
+        let mut pool = Pool::new(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_region(|tid, _| {
+                if tid == 2 {
+                    panic!("boom on worker");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must surface on the master");
+        // The pool must remain usable afterwards.
+        let count = AtomicU64::new(0);
+        pool.parallel_region(|_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn master_panic_is_reraised_after_join() {
+        let mut pool = Pool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_region(|tid, _| {
+                if tid == 0 {
+                    panic!("boom on master");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        let count = AtomicU64::new(0);
+        pool.parallel_region(|_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn static_schedule_is_deterministic() {
+        // The same (n, nthreads) must always produce the same chunks — a
+        // property LULESH's bitwise reproducibility relies on.
+        let mut pool = Pool::new(3);
+        let chunks = Mutex::new(vec![Chunk { begin: 0, end: 0 }; 3]);
+        for _ in 0..5 {
+            pool.parallel_region(|tid, n| {
+                let c = static_split(100, n, tid);
+                chunks.lock()[tid] = c;
+            });
+            let got = chunks.lock().clone();
+            assert_eq!(got[0], Chunk { begin: 0, end: 34 });
+            assert_eq!(got[1], Chunk { begin: 34, end: 67 });
+            assert_eq!(
+                got[2],
+                Chunk {
+                    begin: 67,
+                    end: 100
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Disjoint-write shared slices.
+//!
+//! Every parallel loop in LULESH has the shape "for i in `lo..hi`: write
+//! `out[i]` (or `out[f(i)]` with `f` injective across concurrently running
+//! partitions) reading any number of other arrays". Rust's borrow checker
+//! cannot see that two tasks write disjoint index sets of the same `Vec`, so
+//! this module provides the single, contained `unsafe` primitive the rest of
+//! the workspace builds on.
+//!
+//! # Safety contract
+//!
+//! [`SharedSlice::get_mut`] and the `write`/`add` helpers require that no two
+//! threads concurrently touch the same index with at least one of them
+//! writing. The LULESH drivers uphold this structurally:
+//!
+//! * dense kernels write only indices inside their own partition
+//!   (`chunk_range` guarantees partitions are disjoint and exhaustive);
+//! * element-indexed scratch (e.g. `fx_elem[8*k..8*k+8]`) is written by the
+//!   task owning element `k` only;
+//! * region-indexed writes (`EvalEOSForElems`) are disjoint because every
+//!   element belongs to exactly one region (asserted by
+//!   `lulesh_core::regions` tests).
+//!
+//! With `debug_assertions` enabled, [`SharedVec`] can optionally record
+//! writers per index and panic on overlap (see [`SharedVec::with_overlap_checks`]),
+//! which the integration tests use to validate the drivers' partitioning.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `&[T]`-like view that permits unsynchronized writes to *disjoint*
+/// indices from multiple threads.
+///
+/// Construction from `&mut [T]` is safe (exclusive borrow proves unique
+/// ownership for the lifetime); all aliased access goes through `unsafe`
+/// methods that carry the disjointness contract.
+#[derive(Copy, Clone)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `SharedSlice` is a raw view. Sending/sharing it is safe; all
+// dereferences are `unsafe` and carry the disjoint-access contract. `Sync`
+// additionally requires `T: Sync` because the contract permits concurrent
+// *reads* of the same index from several threads (`&T` crosses threads).
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap an exclusively borrowed slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing index `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(
+            i < self.len,
+            "SharedSlice::get out of bounds: {i} >= {}",
+            self.len
+        );
+        &*self.ptr.add(i)
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access index `i` at all.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(
+            i < self.len,
+            "SharedSlice::get_mut out of bounds: {i} >= {}",
+            self.len
+        );
+        &mut *self.ptr.add(i)
+    }
+
+    /// Write `v` to element `i`.
+    ///
+    /// # Safety
+    /// Same as [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        *self.get_mut(i) = v;
+    }
+
+    /// View a sub-range as a plain mutable slice.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other thread accesses any index in
+    /// `lo..hi` while the returned slice is alive.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+
+    /// View a sub-range as a plain shared slice.
+    ///
+    /// # Safety
+    /// No thread may concurrently write any index in `lo..hi`.
+    #[inline]
+    pub unsafe fn slice(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(lo), hi - lo)
+    }
+}
+
+impl<'a, T: Copy + std::ops::AddAssign> SharedSlice<'a, T> {
+    /// `self[i] += v`.
+    ///
+    /// # Safety
+    /// Same as [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn add(&self, i: usize, v: T) {
+        *self.get_mut(i) += v;
+    }
+}
+
+/// An owning array with interior mutability for disjoint parallel writes.
+///
+/// This is the storage type used by the LULESH `Domain`: tasks hold an
+/// `Arc<Domain>` and write disjoint partitions of each field. Optional
+/// overlap checking (debug builds) turns contract violations into panics.
+pub struct SharedVec<T> {
+    data: Box<[UnsafeCell<T>]>,
+    /// Writer tags per index; allocated only when overlap checking is on.
+    check: Option<Box<[AtomicU32]>>,
+}
+
+// SAFETY: same argument as `SharedSlice` — access is gated by `unsafe`
+// methods that carry the disjointness contract; `Sync` requires `T: Sync`
+// because the contract permits concurrent same-index reads.
+unsafe impl<T: Send> Send for SharedVec<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedVec<T> {}
+
+impl<T: Clone> SharedVec<T> {
+    /// Allocate `n` elements, each initialized to `v`.
+    pub fn from_elem(v: T, n: usize) -> Self {
+        let data: Box<[UnsafeCell<T>]> = (0..n).map(|_| UnsafeCell::new(v.clone())).collect();
+        Self { data, check: None }
+    }
+}
+
+impl<T> SharedVec<T> {
+    /// Take ownership of a `Vec`.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let data: Box<[UnsafeCell<T>]> = v.into_iter().map(UnsafeCell::new).collect();
+        Self { data, check: None }
+    }
+
+    /// Enable per-index writer tracking (costs one `AtomicU32` per element).
+    /// Used by tests to validate that drivers never overlap writes.
+    pub fn with_overlap_checks(mut self) -> Self {
+        let n = self.data.len();
+        self.check = Some((0..n).map(|_| AtomicU32::new(u32::MAX)).collect());
+        self
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing index `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len());
+        &*self.data[i].get()
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access index `i`.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len());
+        &mut *self.data[i].get()
+    }
+
+    /// Write `v` into element `i`, recording the writer when overlap checks
+    /// are enabled.
+    ///
+    /// # Safety
+    /// Same as [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn write_tagged(&self, i: usize, v: T, writer: u32) {
+        if let Some(check) = &self.check {
+            let prev = check[i].swap(writer, Ordering::Relaxed);
+            assert!(
+                prev == u32::MAX || prev == writer,
+                "overlapping write to index {i}: writers {prev} and {writer}"
+            );
+        }
+        *self.data[i].get() = v;
+    }
+
+    /// Write `v` into element `i`.
+    ///
+    /// # Safety
+    /// Same as [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        *self.data[i].get() = v;
+    }
+
+    /// Reset overlap-check writer tags (call between parallel phases).
+    pub fn clear_tags(&self) {
+        if let Some(check) = &self.check {
+            for c in check.iter() {
+                c.store(u32::MAX, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// View the whole array as a shared slice.
+    ///
+    /// # Safety
+    /// No thread may concurrently write any index.
+    #[inline]
+    pub unsafe fn as_slice(&self) -> &[T] {
+        std::slice::from_raw_parts(self.data.as_ptr() as *const T, self.len())
+    }
+
+    /// View a sub-range as a plain mutable slice.
+    ///
+    /// # Safety
+    /// No other thread may access any index in `lo..hi` while alive.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        std::slice::from_raw_parts_mut(self.data.as_ptr().add(lo) as *mut T, hi - lo)
+    }
+
+    /// View a sub-range as a plain shared slice.
+    ///
+    /// # Safety
+    /// No thread may concurrently write any index in `lo..hi` while alive.
+    #[inline]
+    pub unsafe fn slice(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        std::slice::from_raw_parts(self.data.as_ptr().add(lo) as *const T, hi - lo)
+    }
+
+    /// Exclusive view over the whole array (requires `&mut self`, safe).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: `&mut self` guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_ptr() as *mut T, self.len()) }
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign> SharedVec<T> {
+    /// `self[i] += v`.
+    ///
+    /// # Safety
+    /// Same as [`get_mut`](Self::get_mut).
+    #[inline]
+    pub unsafe fn add(&self, i: usize, v: T) {
+        *self.data[i].get() += v;
+    }
+}
+
+impl<T: Copy> SharedVec<T> {
+    /// Read element `i` by value (a raw-pointer read; no reference to the
+    /// cell is materialized, so the only possible UB is a genuine data race
+    /// on index `i` itself).
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing index `i`.
+    #[inline]
+    pub unsafe fn load(&self, i: usize) -> T {
+        debug_assert!(i < self.len());
+        (self.data[i].get() as *const T).read()
+    }
+
+    /// Copy the contents out into a `Vec`.
+    ///
+    /// Requires `&mut self`, so it is safe: no concurrent access possible.
+    pub fn to_vec(&mut self) -> Vec<T> {
+        self.as_mut_slice().to_vec()
+    }
+
+    /// Fill every element with `v` (safe: exclusive access).
+    pub fn fill(&mut self, v: T) {
+        self.as_mut_slice().fill(v);
+    }
+}
+
+impl<T: Clone> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        // SAFETY: `clone` takes `&self`; callers must not clone while a
+        // parallel phase is writing. All workspace call sites clone between
+        // phases (single-threaded control code).
+        let data: Box<[UnsafeCell<T>]> = (0..self.len())
+            .map(|i| UnsafeCell::new(unsafe { self.get(i) }.clone()))
+            .collect();
+        Self { data, check: None }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SharedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedVec(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_slice_basic_rw() {
+        let mut v = vec![0i64; 16];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            s.write(3, 42);
+            s.add(3, 1);
+            assert_eq!(*s.get(3), 43);
+        }
+        assert_eq!(v[3], 43);
+    }
+
+    #[test]
+    fn shared_vec_disjoint_parallel_writes() {
+        let sv = Arc::new(SharedVec::from_elem(0usize, 1000));
+        let mut handles = vec![];
+        for t in 0..4 {
+            let sv = Arc::clone(&sv);
+            handles.push(std::thread::spawn(move || {
+                for i in (t * 250)..((t + 1) * 250) {
+                    // SAFETY: each thread writes its own quarter.
+                    unsafe { sv.write(i, i * 2) };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut sv = Arc::try_unwrap(sv).ok().unwrap();
+        for (i, v) in sv.to_vec().into_iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn overlap_checker_accepts_disjoint() {
+        let sv = SharedVec::from_elem(0u8, 8).with_overlap_checks();
+        unsafe {
+            sv.write_tagged(0, 1, 0);
+            sv.write_tagged(1, 1, 1);
+            sv.write_tagged(0, 2, 0); // same writer again: fine
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping write")]
+    fn overlap_checker_rejects_overlap() {
+        let sv = SharedVec::from_elem(0u8, 8).with_overlap_checks();
+        unsafe {
+            sv.write_tagged(0, 1, 0);
+            sv.write_tagged(0, 2, 1);
+        }
+    }
+
+    #[test]
+    fn clear_tags_resets_writers() {
+        let sv = SharedVec::from_elem(0u8, 4).with_overlap_checks();
+        unsafe { sv.write_tagged(2, 9, 7) };
+        sv.clear_tags();
+        unsafe { sv.write_tagged(2, 9, 8) }; // no panic after reset
+    }
+
+    #[test]
+    fn slice_mut_roundtrip() {
+        let mut sv = SharedVec::from_vec((0..10i32).collect());
+        unsafe {
+            let sub = sv.slice_mut(2, 5);
+            sub.copy_from_slice(&[7, 8, 9]);
+        }
+        assert_eq!(sv.to_vec(), vec![0, 1, 7, 8, 9, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn fill_and_len() {
+        let mut sv = SharedVec::from_elem(1.0f64, 5);
+        sv.fill(2.5);
+        assert_eq!(sv.to_vec(), vec![2.5; 5]);
+        assert_eq!(sv.len(), 5);
+        assert!(!sv.is_empty());
+    }
+}

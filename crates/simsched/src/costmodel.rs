@@ -1,0 +1,191 @@
+//! Per-kernel cost coefficients (ns per item) used to translate LULESH
+//! configurations into simulator workloads.
+//!
+//! The default values were measured on this repository's own serial kernels
+//! (release build, mid-blast state at size 30) via [`crate::calibrate`];
+//! re-run the calibration on your host with
+//! `cargo run --release -p lulesh-bench --bin calibrate` to regenerate
+//! them. Only *ratios* between kernels matter for the reproduced figure
+//! shapes; the absolute scale shifts every curve equally.
+
+/// ns-per-item coefficients for every kernel in the leapfrog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Zero nodal forces (per node).
+    pub zero_forces: f64,
+    /// `InitStressTermsForElems` (per element).
+    pub init_stress: f64,
+    /// `IntegrateStressForElems` (per element).
+    pub integrate_stress: f64,
+    /// Volume-error scan (per element).
+    pub volume_check: f64,
+    /// Stress force gather (per node).
+    pub gather_set: f64,
+    /// `CalcHourglassControlForElems` (per element).
+    pub hg_control: f64,
+    /// `CalcFBHourglassForceForElems` (per element).
+    pub hg_fb: f64,
+    /// Hourglass force gather (per node).
+    pub gather_add: f64,
+    /// `CalcAccelerationForNodes` (per node).
+    pub accel: f64,
+    /// Acceleration boundary conditions (per symmetry-plane node).
+    pub accel_bc: f64,
+    /// `CalcVelocityForNodes` (per node).
+    pub velocity: f64,
+    /// `CalcPositionForNodes` (per node).
+    pub position: f64,
+    /// `CalcKinematicsForElems` (per element).
+    pub kinematics: f64,
+    /// `CalcLagrangeElements` trailing loop (per element).
+    pub lagrange_finish: f64,
+    /// `CalcMonotonicQGradientsForElems` (per element).
+    pub monoq_gradients: f64,
+    /// `CalcMonotonicQRegionForElems` (per region element).
+    pub monoq_region: f64,
+    /// q-stop scan (per element).
+    pub qstop_check: f64,
+    /// vnewc fill+clamp (per element).
+    pub vnewc_fill: f64,
+    /// old-volume bounds check (per element).
+    pub vnewc_check: f64,
+    /// One `rep` of `EvalEOSForElems` — gather, compressions, the whole
+    /// `CalcEnergyForElems` ladder (per region element per rep).
+    pub eos_per_rep: f64,
+    /// EOS epilogue: store + `CalcSoundSpeedForElems` (per region element).
+    pub eos_finish: f64,
+    /// `UpdateVolumesForElems` (per element).
+    pub update_volumes: f64,
+    /// Courant + hydro constraint scan (per region element).
+    pub constraints: f64,
+}
+
+/// Parallel loops inside one EOS `rep` in the reference (gathers,
+/// compression, clamps, work-zero, the five energy steps and three
+/// pressure evaluations). Determines how many barriers the OpenMP trace
+/// pays per region per rep.
+pub const EOS_LOOPS_PER_REP: usize = 13;
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Measured on the repository's serial kernels (see module docs).
+        Self {
+            zero_forces: 1.5,
+            init_stress: 2.8,
+            integrate_stress: 145.0,
+            volume_check: 0.8,
+            gather_set: 13.3,
+            hg_control: 137.7,
+            hg_fb: 171.9,
+            gather_add: 11.6,
+            accel: 7.4,
+            accel_bc: 5.1,
+            velocity: 1.5,
+            position: 1.5,
+            kinematics: 148.9,
+            lagrange_finish: 1.6,
+            monoq_gradients: 40.5,
+            monoq_region: 20.2,
+            qstop_check: 7.2,
+            vnewc_fill: 0.9,
+            vnewc_check: 0.9,
+            eos_per_rep: 35.6,
+            eos_finish: 6.0,
+            update_volumes: 0.6,
+            constraints: 5.6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Serial work of one whole leapfrog iteration, in ns (used for
+    /// sanity checks and the figure harness's derived columns).
+    pub fn iteration_work_ns(
+        &self,
+        num_elem: usize,
+        num_node: usize,
+        region_sizes: &[usize],
+        reps: &[usize],
+    ) -> f64 {
+        let ne = num_elem as f64;
+        let nn = num_node as f64;
+        let mut total = nn
+            * (self.zero_forces
+                + self.gather_set
+                + self.gather_add
+                + self.accel
+                + self.velocity
+                + self.position)
+            + ne * (self.init_stress
+                + self.integrate_stress
+                + self.volume_check
+                + self.hg_control
+                + self.hg_fb
+                + self.kinematics
+                + self.lagrange_finish
+                + self.monoq_gradients
+                + self.qstop_check
+                + self.vnewc_fill
+                + self.vnewc_check
+                + self.update_volumes);
+        for (len, rep) in region_sizes.iter().zip(reps) {
+            let l = *len as f64;
+            total += l * (self.monoq_region + self.eos_finish + self.constraints);
+            total += l * self.eos_per_rep * *rep as f64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let m = CostModel::default();
+        for v in [
+            m.zero_forces,
+            m.init_stress,
+            m.integrate_stress,
+            m.volume_check,
+            m.gather_set,
+            m.hg_control,
+            m.hg_fb,
+            m.gather_add,
+            m.accel,
+            m.accel_bc,
+            m.velocity,
+            m.position,
+            m.kinematics,
+            m.lagrange_finish,
+            m.monoq_gradients,
+            m.monoq_region,
+            m.qstop_check,
+            m.vnewc_fill,
+            m.vnewc_check,
+            m.eos_per_rep,
+            m.eos_finish,
+            m.update_volumes,
+            m.constraints,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn iteration_work_scales_with_mesh() {
+        let m = CostModel::default();
+        let w1 = m.iteration_work_ns(1000, 1331, &[1000], &[1]);
+        let w8 = m.iteration_work_ns(8000, 9261, &[8000], &[1]);
+        assert!(w8 > 7.0 * w1 && w8 < 9.0 * w1);
+    }
+
+    #[test]
+    fn reps_increase_work() {
+        let m = CostModel::default();
+        let w1 = m.iteration_work_ns(1000, 1331, &[500, 500], &[1, 1]);
+        let w20 = m.iteration_work_ns(1000, 1331, &[500, 500], &[1, 20]);
+        assert!(w20 > w1);
+    }
+}

@@ -1,0 +1,698 @@
+//! Translate LULESH configurations into simulator workloads: the OpenMP
+//! reference's region trace and the task port's dependency graph, built
+//! from the same region decomposition the real drivers use.
+
+use crate::costmodel::{CostModel, EOS_LOOPS_PER_REP};
+use crate::forkjoin::{ForkJoinTrace, Region};
+use crate::machine::{MachineParams, SimResult};
+use crate::steal::TaskGraph;
+use lulesh_core::regions::Regions;
+use parutil::chunks_of;
+
+/// Problem configuration (mirrors the CLI flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuleshConfig {
+    /// Elements per edge (`--s`).
+    pub size: usize,
+    /// Region count (`--r`).
+    pub num_reg: usize,
+    /// Region weighting exponent (`--b`).
+    pub balance: i32,
+    /// Region cost multiplier (`--c`).
+    pub cost: i32,
+    /// Region assignment seed.
+    pub seed: u64,
+}
+
+impl LuleshConfig {
+    /// Default-flag configuration for a given size (11 regions).
+    pub fn with_size(size: usize) -> Self {
+        Self {
+            size,
+            num_reg: 11,
+            balance: 1,
+            cost: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Graph-construction toggles mirroring `lulesh_task::Features`. Kept as a
+/// separate type so `simsched` stays independent of the runtime crates
+/// (there is no dependency cycle — this is a packaging choice); the
+/// field-for-field correspondence is pinned by the `simulator_consistency`
+/// integration tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimFeatures {
+    /// Chain kernels per partition via continuations (T2).
+    pub chain_continuations: bool,
+    /// Merge consecutive kernels into one task (T3).
+    pub merge_kernels: bool,
+    /// Stress ∥ hourglass chains (T4a).
+    pub parallel_force_chains: bool,
+    /// Concurrent per-region EOS (T4b).
+    pub parallel_region_eos: bool,
+}
+
+impl Default for SimFeatures {
+    fn default() -> Self {
+        Self {
+            chain_continuations: true,
+            merge_kernels: true,
+            parallel_force_chains: true,
+            parallel_region_eos: true,
+        }
+    }
+}
+
+impl SimFeatures {
+    /// All tricks off: the Fig-5 naive port.
+    pub fn naive() -> Self {
+        Self {
+            chain_continuations: false,
+            merge_kernels: false,
+            parallel_force_chains: false,
+            parallel_region_eos: false,
+        }
+    }
+}
+
+/// A LULESH problem instantiated for the simulator.
+#[derive(Debug, Clone)]
+pub struct LuleshModel {
+    /// The configuration this model was built from.
+    pub cfg: LuleshConfig,
+    /// Element count.
+    pub num_elem: usize,
+    /// Node count.
+    pub num_node: usize,
+    /// Symmetry-plane node count (per plane).
+    pub symm_len: usize,
+    /// Elements per region (same decomposition as the real drivers).
+    pub region_sizes: Vec<usize>,
+    /// EOS repetition factor per region.
+    pub reps: Vec<usize>,
+    /// Kernel cost coefficients.
+    pub cm: CostModel,
+}
+
+impl LuleshModel {
+    /// Instantiate the model (builds the same `Regions` as the drivers).
+    pub fn new(cfg: LuleshConfig, cm: CostModel) -> Self {
+        let num_elem = cfg.size * cfg.size * cfg.size;
+        let en = cfg.size + 1;
+        let regions = Regions::create(num_elem, cfg.num_reg, cfg.balance, cfg.cost, cfg.seed);
+        let region_sizes = (0..cfg.num_reg).map(|r| regions.reg_elem_size(r)).collect();
+        let reps = (0..cfg.num_reg).map(|r| regions.rep(r)).collect();
+        Self {
+            cfg,
+            num_elem,
+            num_node: en * en * en,
+            symm_len: en * en,
+            region_sizes,
+            reps,
+            cm,
+        }
+    }
+
+    /// Iterations a full run takes for this size (power-law fit of the
+    /// serial driver's measured cycle counts: 163 @ s=8, 400 @ s=15,
+    /// 932 @ s=30 — the Sedov CFL scaling).
+    pub fn iterations(&self) -> u64 {
+        (10.5 * (self.cfg.size as f64).powf(1.32)).round() as u64
+    }
+
+    /// The OpenMP reference as a fork-join trace: one region per parallel
+    /// loop, reference order, ~30 + regions·(reps·13 + 2) loops.
+    pub fn omp_trace(&self) -> ForkJoinTrace {
+        let cm = &self.cm;
+        let w = MemWeights::GLOBAL_SCRATCH;
+        let cw = CommonWeights::DEFAULT;
+        let ne = self.num_elem;
+        let nn = self.num_node;
+        let reg = |items: usize, cost: f64, mw: f64| Region {
+            items,
+            cost_per_item_ns: cost,
+            mem_weight: mw,
+        };
+        let mut regions = vec![
+            reg(nn, cm.zero_forces, cw.field),
+            reg(ne, cm.init_stress, w.init_stress),
+            reg(ne, cm.integrate_stress, w.integrate_stress),
+            reg(ne, cm.volume_check, cw.field),
+            reg(nn, cm.gather_set, w.gather),
+            reg(ne, cm.hg_control, w.hg_control),
+            reg(ne, cm.hg_fb, w.hg_fb),
+            reg(nn, cm.gather_add, w.gather),
+            reg(nn, cm.accel, cw.field),
+            reg(self.symm_len, cm.accel_bc, cw.bc),
+            reg(nn, cm.velocity, cw.field),
+            reg(nn, cm.position, cw.field),
+            reg(ne, cm.kinematics, cw.compute),
+            reg(ne, cm.lagrange_finish, cw.field),
+            reg(ne, cm.monoq_gradients, cw.compute),
+        ];
+        for &len in &self.region_sizes {
+            regions.push(reg(len, cm.monoq_region, cw.field));
+        }
+        regions.push(reg(ne, cm.qstop_check, cw.field));
+        regions.push(reg(ne, cm.vnewc_fill, cw.field));
+        regions.push(reg(ne, cm.vnewc_check, cw.field));
+        for (&len, &rep) in self.region_sizes.iter().zip(&self.reps) {
+            // Every internal EOS loop is its own parallel region in the
+            // reference — the per-loop barrier cost is what grows with the
+            // region count in Figure 10.
+            let per_loop = cm.eos_per_rep / EOS_LOOPS_PER_REP as f64;
+            for _ in 0..rep * EOS_LOOPS_PER_REP {
+                regions.push(reg(len, per_loop, w.eos));
+            }
+            regions.push(reg(len, cm.eos_finish, cw.eos_finish));
+        }
+        regions.push(reg(ne, cm.update_volumes, cw.field));
+        for &len in &self.region_sizes {
+            regions.push(reg(len, cm.constraints, cw.field));
+        }
+        ForkJoinTrace {
+            regions,
+            serial_ns: 0.0,
+        }
+    }
+
+    /// The task port's per-iteration dependency graph, mirroring
+    /// `lulesh_task::TaskLulesh::build_iteration` (same phases, same
+    /// partition math, same feature switches).
+    pub fn task_graph(&self, part_nodal: usize, part_elem: usize, f: SimFeatures) -> TaskGraph {
+        let cm = &self.cm;
+        // Task-local temporaries (T6) only exist when kernels are merged
+        // into single task bodies; the unmerged ablation falls back to the
+        // reference's global scratch and its bandwidth weights.
+        let w = if f.merge_kernels {
+            MemWeights::TASK_LOCAL
+        } else {
+            MemWeights::GLOBAL_SCRATCH
+        };
+        let ne = self.num_elem;
+        let nn = self.num_node;
+        let cw = CommonWeights::DEFAULT;
+        let bc_per_node = cm.accel_bc * (3.0 * self.symm_len as f64) / nn as f64;
+        let mut g = TaskGraph::new();
+
+        // A stage: (cost_ns, mem_weight, items). Merging stages combines
+        // costs and cost-averages the weights.
+        type WStage = (f64, f64, usize);
+        let merge = |stages: &[WStage]| -> Vec<WStage> {
+            let total: f64 = stages.iter().map(|s| s.0).sum();
+            let items = stages.iter().map(|s| s.2).max().unwrap_or(1);
+            if total == 0.0 {
+                return vec![(0.0, 0.0, items)];
+            }
+            let wavg = stages.iter().map(|s| s.0 * s.1).sum::<f64>() / total;
+            vec![(total, wavg, items)]
+        };
+        let stage_split = |merged: bool, stages: Vec<WStage>| -> Vec<WStage> {
+            if merged {
+                merge(&stages)
+            } else {
+                stages
+            }
+        };
+
+        // Helper: a group of items, each a chain of per-item stages.
+        let run_group = |g: &mut TaskGraph,
+                         starts: &[usize],
+                         items: &[Vec<WStage>],
+                         chain: bool|
+         -> Vec<usize> {
+            if items.is_empty() {
+                return Vec::new();
+            }
+            if chain {
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, stages)| {
+                        let mut deps: Vec<usize> = if starts.is_empty() {
+                            vec![]
+                        } else {
+                            vec![starts[i]]
+                        };
+                        let mut last = 0;
+                        for &(cost, mw, items) in stages {
+                            last = g.add_weighted(cost, std::mem::take(&mut deps), mw, items);
+                            deps = vec![last];
+                        }
+                        last
+                    })
+                    .collect()
+            } else {
+                // Layered with a barrier node between stages.
+                let n_stages = items[0].len();
+                let mut prev: Vec<usize> = starts.to_vec();
+                let mut current = Vec::new();
+                for l in 0..n_stages {
+                    if l > 0 {
+                        let bar = g.add(0.0, std::mem::take(&mut current));
+                        prev = vec![bar; items.len()];
+                    }
+                    current = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, stages)| {
+                            let deps = if prev.is_empty() {
+                                vec![]
+                            } else {
+                                vec![prev[i]]
+                            };
+                            g.add_weighted(stages[l].0, deps, stages[l].1, stages[l].2)
+                        })
+                        .collect();
+                    prev = Vec::new();
+                }
+                current
+            }
+        };
+
+        // ---------------- Phase A ----------------
+        let stress_items: Vec<Vec<WStage>> = chunks_of(ne, part_nodal)
+            .map(|c| {
+                let l = c.len() as f64;
+                stage_split(
+                    f.merge_kernels,
+                    vec![
+                        (cm.init_stress * l, w.init_stress, c.len()),
+                        (
+                            (cm.integrate_stress + cm.volume_check) * l,
+                            w.integrate_stress,
+                            c.len(),
+                        ),
+                    ],
+                )
+            })
+            .collect();
+        let hg_items: Vec<Vec<WStage>> = chunks_of(ne, part_nodal)
+            .map(|c| {
+                let l = c.len() as f64;
+                stage_split(
+                    f.merge_kernels,
+                    vec![
+                        (cm.hg_control * l, w.hg_control, c.len()),
+                        (cm.hg_fb * l, w.hg_fb, c.len()),
+                    ],
+                )
+            })
+            .collect();
+
+        let b1 = if f.parallel_force_chains {
+            let mut finals = run_group(&mut g, &[], &stress_items, f.chain_continuations);
+            finals.extend(run_group(&mut g, &[], &hg_items, f.chain_continuations));
+            g.add(0.0, finals)
+        } else {
+            let sf = run_group(&mut g, &[], &stress_items, f.chain_continuations);
+            let sb = g.add(0.0, sf);
+            let starts = vec![sb; hg_items.len()];
+            let hf = run_group(&mut g, &starts, &hg_items, f.chain_continuations);
+            g.add(0.0, hf)
+        };
+
+        // ---------------- Phase B ----------------
+        let node_items: Vec<Vec<WStage>> = chunks_of(nn, part_nodal)
+            .map(|c| {
+                let l = c.len() as f64;
+                stage_split(
+                    f.merge_kernels,
+                    vec![
+                        ((cm.gather_set + cm.gather_add) * l, w.gather, c.len()),
+                        (cm.accel * l, cw.field, c.len()),
+                        // The task port applies the BC by index arithmetic
+                        // over every node; charge the same *total* work as
+                        // the reference's three symmetry-list loops rather
+                        // than the full per-list-entry coefficient per node.
+                        (bc_per_node * l, cw.bc, c.len()),
+                        (cm.velocity * l, cw.field, c.len()),
+                        (cm.position * l, cw.field, c.len()),
+                    ],
+                )
+            })
+            .collect();
+        let starts = vec![b1; node_items.len()];
+        let bf = run_group(&mut g, &starts, &node_items, f.chain_continuations);
+        let b2 = g.add(0.0, bf);
+
+        // ---------------- Phase C ----------------
+        let kin_items: Vec<Vec<WStage>> = chunks_of(ne, part_elem)
+            .map(|c| {
+                let l = c.len() as f64;
+                stage_split(
+                    f.merge_kernels,
+                    vec![
+                        (cm.kinematics * l, cw.compute, c.len()),
+                        (cm.lagrange_finish * l, cw.field, c.len()),
+                        (cm.monoq_gradients * l, cw.compute, c.len()),
+                    ],
+                )
+            })
+            .collect();
+        let starts = vec![b2; kin_items.len()];
+        let cf = run_group(&mut g, &starts, &kin_items, f.chain_continuations);
+        let b3 = g.add(0.0, cf);
+
+        // ---------------- Phase D ----------------
+        let mut d_finals = Vec::new();
+        for &len in &self.region_sizes {
+            for c in chunks_of(len, part_elem) {
+                let id = g.add_weighted(
+                    cm.monoq_region * c.len() as f64,
+                    vec![b3],
+                    cw.field,
+                    c.len(),
+                );
+                d_finals.push(id);
+            }
+        }
+        let vnewc_items: Vec<Vec<WStage>> = chunks_of(ne, part_elem)
+            .map(|c| {
+                let l = c.len() as f64;
+                stage_split(
+                    f.merge_kernels,
+                    vec![
+                        (cm.vnewc_fill * l, cw.field, c.len()),
+                        (cm.vnewc_check * l, cw.field, c.len()),
+                    ],
+                )
+            })
+            .collect();
+        let starts = vec![b3; vnewc_items.len()];
+        d_finals.extend(run_group(
+            &mut g,
+            &starts,
+            &vnewc_items,
+            f.chain_continuations,
+        ));
+        for c in chunks_of(ne, part_elem) {
+            d_finals.push(g.add_weighted(
+                cm.qstop_check * c.len() as f64,
+                vec![b3],
+                cw.field,
+                c.len(),
+            ));
+        }
+        let b4 = g.add(0.0, d_finals);
+
+        // ---------------- Phase E ----------------
+        let b5 = if f.parallel_region_eos {
+            let mut finals = Vec::new();
+            for (&len, &rep) in self.region_sizes.iter().zip(&self.reps) {
+                for c in chunks_of(len, part_elem) {
+                    let cost = (cm.eos_per_rep * rep as f64 + cm.eos_finish) * c.len() as f64;
+                    finals.push(g.add_weighted(cost, vec![b4], w.eos, c.len()));
+                }
+            }
+            g.add(0.0, finals)
+        } else {
+            let mut barrier = b4;
+            for (&len, &rep) in self.region_sizes.iter().zip(&self.reps) {
+                if len == 0 {
+                    continue;
+                }
+                let finals: Vec<usize> = chunks_of(len, part_elem)
+                    .map(|c| {
+                        let cost = (cm.eos_per_rep * rep as f64 + cm.eos_finish) * c.len() as f64;
+                        g.add_weighted(cost, vec![barrier], w.eos, c.len())
+                    })
+                    .collect();
+                barrier = g.add(0.0, finals);
+            }
+            barrier
+        };
+
+        // ---------------- Phase F ----------------
+        let mut f_finals = Vec::new();
+        for c in chunks_of(ne, part_elem) {
+            f_finals.push(g.add_weighted(
+                cm.update_volumes * c.len() as f64,
+                vec![b5],
+                cw.field,
+                c.len(),
+            ));
+        }
+        for &len in &self.region_sizes {
+            for c in chunks_of(len, part_elem) {
+                f_finals.push(g.add_weighted(
+                    cm.constraints * c.len() as f64,
+                    vec![b5],
+                    cw.field,
+                    c.len(),
+                ));
+            }
+        }
+        g.add(0.0, f_finals);
+        g
+    }
+}
+
+/// Memory-bandwidth weights of the scratch-heavy kernels under the two
+/// scratch strategies: the reference's mesh-length global arrays stream
+/// through DRAM; per-task temporaries (paper trick T6) stay cache-resident.
+/// The scratch-independent kernels share [`CommonWeights`], used by *both*
+/// trace builders so the two cannot drift.
+#[derive(Debug, Clone, Copy)]
+struct MemWeights {
+    init_stress: f64,
+    integrate_stress: f64,
+    hg_control: f64,
+    hg_fb: f64,
+    gather: f64,
+    eos: f64,
+}
+
+/// Bandwidth weights of the kernels whose memory behaviour does not depend
+/// on the scratch strategy (they read/write the mesh fields directly).
+#[derive(Debug, Clone, Copy)]
+struct CommonWeights {
+    /// Dense field scans and element/node updates (streaming, moderate).
+    field: f64,
+    /// Compute-heavy per-element kernels (kinematics, gradients).
+    compute: f64,
+    /// Tiny symmetry-plane loop.
+    bc: f64,
+    /// EOS store + sound speed scatter.
+    eos_finish: f64,
+}
+
+impl CommonWeights {
+    const DEFAULT: Self = Self {
+        field: 0.3,
+        compute: 0.2,
+        bc: 0.1,
+        eos_finish: 0.4,
+    };
+}
+
+impl MemWeights {
+    /// Reference-style global scratch arrays.
+    const GLOBAL_SCRATCH: Self = Self {
+        init_stress: 0.5,
+        integrate_stress: 0.8,
+        hg_control: 0.9,
+        hg_fb: 0.9,
+        gather: 0.8,
+        eos: 0.5,
+    };
+    /// Task-local temporaries: only the per-corner force arrays (needed by
+    /// the cross-task gather) remain global.
+    const TASK_LOCAL: Self = Self {
+        init_stress: 0.1,
+        integrate_stress: 0.45,
+        hg_control: 0.2,
+        hg_fb: 0.25,
+        gather: 0.8,
+        eos: 0.12,
+    };
+}
+
+/// Runtime and utilization estimate for one full run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunEstimate {
+    /// Total simulated wall time for the full run, in seconds.
+    pub seconds: f64,
+    /// Per-iteration simulated wall time, in ns.
+    pub iteration_ns: f64,
+    /// Productive-time ratio (Figure 11's metric).
+    pub utilization: f64,
+    /// Tasks (or loop-chunks) per iteration.
+    pub tasks_per_iteration: usize,
+}
+
+/// Simulate the OpenMP reference for a configuration.
+pub fn estimate_omp(model: &LuleshModel, machine: &MachineParams) -> RunEstimate {
+    let trace = model.omp_trace();
+    let r = crate::forkjoin::simulate_fork_join(&trace, machine);
+    finish_estimate(model, machine, r)
+}
+
+/// Simulate the OpenMP reference with `schedule(dynamic, chunk)` on every
+/// loop — the counterfactual baseline (see the `whatif` bench binary).
+pub fn estimate_omp_dynamic(
+    model: &LuleshModel,
+    machine: &MachineParams,
+    chunk: usize,
+) -> RunEstimate {
+    let trace = model.omp_trace();
+    let r = crate::forkjoin::simulate_fork_join_dynamic(&trace, machine, chunk);
+    finish_estimate(model, machine, r)
+}
+
+/// Simulate the task port for a configuration.
+pub fn estimate_task(
+    model: &LuleshModel,
+    machine: &MachineParams,
+    part_nodal: usize,
+    part_elem: usize,
+    features: SimFeatures,
+) -> RunEstimate {
+    let graph = model.task_graph(part_nodal, part_elem, features);
+    let r = crate::steal::simulate_work_stealing(&graph, machine);
+    finish_estimate(model, machine, r)
+}
+
+fn finish_estimate(model: &LuleshModel, machine: &MachineParams, r: SimResult) -> RunEstimate {
+    let iters = model.iterations() as f64;
+    RunEstimate {
+        seconds: r.makespan_ns * iters * 1e-9,
+        iteration_ns: r.makespan_ns,
+        utilization: r.utilization(machine.threads),
+        tasks_per_iteration: r.tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(size: usize, regs: usize) -> LuleshModel {
+        LuleshModel::new(
+            LuleshConfig {
+                size,
+                num_reg: regs,
+                balance: 1,
+                cost: 1,
+                seed: 0,
+            },
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn omp_trace_region_count_grows_with_regions() {
+        let t11 = model(30, 11).omp_trace();
+        let t21 = model(30, 21).omp_trace();
+        assert!(t21.regions.len() > t11.regions.len());
+        // 11 regions, reps [1×5, 2×5, 20]: EOS loops = Σ rep·13 = (5+10+20)·13.
+        let eos_loops: usize = model(30, 11).reps.iter().map(|r| r * 13).sum();
+        assert_eq!(eos_loops, (5 + 10 + 20) * 13);
+    }
+
+    #[test]
+    fn omp_and_task_have_comparable_total_work() {
+        // Same kernels run in both ports: total productive work must agree
+        // to within the few scans only one side performs (zero_forces).
+        let m = model(20, 11);
+        let trace = m.omp_trace();
+        let graph = m.task_graph(1024, 1024, SimFeatures::default());
+        let a = trace.total_work_ns();
+        let b = graph.total_work_ns();
+        let rel = (a - b).abs() / a;
+        assert!(rel < 0.02, "work mismatch {rel}: omp {a} vs task {b}");
+    }
+
+    #[test]
+    fn task_graph_shrinks_with_larger_partitions() {
+        let m = model(20, 11);
+        let small = m.task_graph(256, 256, SimFeatures::default());
+        let large = m.task_graph(4096, 4096, SimFeatures::default());
+        assert!(small.len() > large.len());
+    }
+
+    #[test]
+    fn naive_features_add_barrier_nodes() {
+        let m = model(15, 11);
+        let opt = m.task_graph(512, 512, SimFeatures::default());
+        let naive = m.task_graph(512, 512, SimFeatures::naive());
+        assert!(naive.len() > opt.len());
+    }
+
+    #[test]
+    fn single_thread_omp_beats_task_port() {
+        // Paper §V-A: at one thread the OpenMP version is faster because of
+        // task creation/scheduling overhead.
+        let m = model(30, 11);
+        let machine = MachineParams::epyc_7443p(1);
+        let omp = estimate_omp(&m, &machine);
+        let task = estimate_task(&m, &machine, 2048, 2048, SimFeatures::default());
+        assert!(
+            omp.seconds < task.seconds,
+            "omp {} !< task {}",
+            omp.seconds,
+            task.seconds
+        );
+    }
+
+    #[test]
+    fn task_port_wins_at_24_threads_small_size() {
+        // Paper Fig 10: greatest speed-up at the smallest size.
+        let m = model(45, 11);
+        let machine = MachineParams::epyc_7443p(24);
+        let omp = estimate_omp(&m, &machine);
+        let task = estimate_task(&m, &machine, 2048, 2048, SimFeatures::default());
+        let speedup = omp.seconds / task.seconds;
+        assert!(speedup > 1.0, "expected task-port win, speedup {speedup}");
+    }
+
+    #[test]
+    fn utilization_higher_for_task_port() {
+        // Paper Fig 11.
+        let m = model(45, 11);
+        let machine = MachineParams::epyc_7443p(24);
+        let omp = estimate_omp(&m, &machine);
+        let task = estimate_task(&m, &machine, 2048, 2048, SimFeatures::default());
+        assert!(
+            task.utilization > omp.utilization,
+            "task {} !> omp {}",
+            task.utilization,
+            omp.utilization
+        );
+    }
+
+    #[test]
+    fn iterations_fit_matches_measured_counts() {
+        for (s, measured) in [(8usize, 163u64), (15, 400), (30, 932)] {
+            let m = model(s, 11);
+            let est = m.iterations();
+            let rel = (est as f64 - measured as f64).abs() / measured as f64;
+            assert!(rel < 0.12, "size {s}: fit {est} vs measured {measured}");
+        }
+    }
+
+    #[test]
+    fn smt_threads_slower_than_24() {
+        let m = model(45, 11);
+        let t24 = estimate_task(
+            &m,
+            &MachineParams::epyc_7443p(24),
+            2048,
+            2048,
+            SimFeatures::default(),
+        );
+        let t48 = estimate_task(
+            &m,
+            &MachineParams::epyc_7443p(48),
+            2048,
+            2048,
+            SimFeatures::default(),
+        );
+        assert!(
+            t48.seconds > t24.seconds,
+            "SMT oversubscription should not help"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! # taskrt — an HPX-substitute asynchronous many-task runtime
+//!
+//! A from-scratch Rust implementation of the HPX primitives the paper's
+//! LULESH port uses (cf. paper Figs 1, 5–8):
+//!
+//! * [`Runtime::spawn`] — `hpx::async()`: create a task, get a [`Future`].
+//! * [`Future::then`] — continuations: chain a task onto a future.
+//! * [`when_all`] — a future that becomes ready when all inputs are ready
+//!   (the paper's non-blocking barrier).
+//! * [`wait_all`] — block until all futures are ready (`hpx::wait_all`).
+//!
+//! Scheduling follows HPX's default *priority local* policy minus
+//! priorities (the paper uses none): each OS worker thread owns a LIFO
+//! work-stealing deque (crossbeam), new tasks spawned from a worker go to
+//! its local deque, external spawns go to a global FIFO injector, and idle
+//! workers steal FIFO from victims.
+//!
+//! **Deliberate simplification** (documented in DESIGN.md): tasks are
+//! run-to-completion closures with continuation-passing rather than
+//! suspendable user-space fibers. LULESH's task graph never blocks inside a
+//! task, so the scheduling behaviour the paper measures is preserved.
+//! Blocking [`Future::get`]/[`wait_all`] are for non-worker control threads
+//! (they panic on a worker in debug builds).
+//!
+//! Per-worker busy/idle counters reproduce HPX's idle-rate performance
+//! counter, which the paper uses for Figure 11.
+
+#![warn(missing_docs)]
+
+mod future;
+mod scheduler;
+
+pub use future::{dataflow, when_all, when_all_unit, Future, Promise};
+pub use scheduler::{Runtime, RuntimeStats};
+
+/// Block until every future in the collection is ready and collect the
+/// values (`hpx::wait_all`). Must be called from a non-worker thread.
+pub fn wait_all<T: Send + 'static>(futures: Vec<Future<T>>) -> Vec<T> {
+    futures.into_iter().map(|f| f.get()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn spawn_and_get() {
+        let rt = Runtime::new(2);
+        let f = rt.spawn(|| 21 * 2);
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn continuation_chain() {
+        let rt = Runtime::new(2);
+        let f = rt
+            .spawn(|| 1)
+            .then(&rt, |x| x + 1)
+            .then(&rt, |x| x * 10)
+            .then(&rt, |x| x - 5);
+        assert_eq!(f.get(), 15);
+    }
+
+    #[test]
+    fn many_tasks_all_run_exactly_once() {
+        let rt = Runtime::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let futures: Vec<_> = (0..1000)
+            .map(|_| {
+                let count = Arc::clone(&count);
+                rt.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        wait_all(futures);
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn when_all_collects_in_order() {
+        let rt = Runtime::new(3);
+        let futures: Vec<_> = (0..100).map(|i| rt.spawn(move || i * i)).collect();
+        let all = when_all(&rt, futures);
+        let values = all.get();
+        assert_eq!(values.len(), 100);
+        for (i, v) in values.into_iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn when_all_empty_is_immediately_ready() {
+        let rt = Runtime::new(1);
+        let all = when_all::<usize>(&rt, vec![]);
+        assert_eq!(all.get(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn continuation_after_when_all() {
+        // The paper's pattern: attach work after the non-blocking barrier.
+        let rt = Runtime::new(2);
+        let futures: Vec<_> = (0..10).map(|i| rt.spawn(move || i)).collect();
+        let sum = when_all(&rt, futures).then(&rt, |v| v.into_iter().sum::<i32>());
+        assert_eq!(sum.get(), 45);
+    }
+
+    #[test]
+    fn tasks_spawned_from_tasks() {
+        let rt = Runtime::new(2);
+        let rt2 = rt.clone();
+        let f = rt.spawn(move || {
+            let inner: Vec<_> = (0..50).map(|i| rt2.spawn(move || i)).collect();
+            // Don't block inside the task: chain instead.
+            when_all(&rt2, inner)
+        });
+        let inner_all = f.get();
+        assert_eq!(inner_all.get().len(), 50);
+    }
+
+    #[test]
+    fn single_thread_runtime_works() {
+        let rt = Runtime::new(1);
+        let futures: Vec<_> = (0..100)
+            .map(|i| rt.spawn(move || i).then(&rt, |x| x + 1))
+            .collect();
+        let vs = wait_all(futures);
+        assert_eq!(vs.iter().sum::<i32>(), (1..=100).sum::<i32>());
+    }
+
+    #[test]
+    fn counters_accumulate_busy_time() {
+        let rt = Runtime::new(2);
+        let futures: Vec<_> = (0..8)
+            .map(|_| {
+                rt.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                })
+            })
+            .collect();
+        wait_all(futures);
+        let stats = rt.stats();
+        assert_eq!(stats.tasks, 8);
+        assert!(stats.busy_ns >= 8 * 1_500_000, "busy = {}", stats.busy_ns);
+        rt.reset_counters();
+        assert_eq!(rt.stats().tasks, 0);
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        //    a
+        //   / \
+        //  b   c
+        //   \ /
+        //    d
+        let rt = Runtime::new(2);
+        let (a1, a2) = rt.spawn(|| 2).shared_value(&rt);
+        let b = a1.then(&rt, |x| x + 1);
+        let c = a2.then(&rt, |x| x * 10);
+        let d = when_all(&rt, vec![b, c]).then(&rt, |v| v[0] + v[1]);
+        assert_eq!(d.get(), 23);
+    }
+
+    #[test]
+    fn heavy_fan_out_fan_in() {
+        let rt = Runtime::new(4);
+        let layer1: Vec<_> = (0..64).map(|i| rt.spawn(move || i as u64)).collect();
+        let layer2: Vec<_> = layer1.into_iter().map(|f| f.then(&rt, |x| x * 2)).collect();
+        let total = when_all(&rt, layer2).then(&rt, |v| v.into_iter().sum::<u64>());
+        assert_eq!(total.get(), 63 * 64);
+    }
+
+    #[test]
+    fn drop_unconsumed_future_is_fine() {
+        let rt = Runtime::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let count = Arc::clone(&count);
+            let _ = rt.spawn(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Dropping futures must not cancel tasks.
+        while count.load(Ordering::SeqCst) < 10 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn runtime_drop_joins_workers() {
+        let rt = Runtime::new(3);
+        let f = rt.spawn(|| 5);
+        assert_eq!(f.get(), 5);
+        drop(rt); // must not hang
+    }
+
+    #[test]
+    fn dataflow_composes_dependencies() {
+        let rt = Runtime::new(2);
+        let deps: Vec<_> = (1..=4).map(|i| rt.spawn(move || i)).collect();
+        let product = dataflow(&rt, deps, |vs| vs.into_iter().product::<i32>());
+        assert_eq!(product.get(), 24);
+    }
+
+    #[test]
+    fn panicking_task_breaks_its_future_without_hanging() {
+        let rt = Runtime::new(2);
+        let f = rt.spawn(|| -> i32 { panic!("kernel exploded") });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()));
+        let err = result.expect_err("get() must panic, not hang");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("broken promise"), "got: {msg}");
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_task() {
+        let rt = Runtime::new(1);
+        let _ = rt.spawn(|| panic!("boom"));
+        // The single worker must still process subsequent tasks.
+        let f = rt.spawn(|| 7);
+        assert_eq!(f.get(), 7);
+    }
+
+    #[test]
+    fn broken_promise_cascades_through_chains() {
+        let rt = Runtime::new(2);
+        let f = rt
+            .spawn(|| -> i32 { panic!("first link fails") })
+            .then(&rt, |x| x + 1)
+            .then(&rt, |x| x * 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()));
+        assert!(result.is_err(), "the break must propagate down the chain");
+    }
+
+    #[test]
+    fn stats_utilization_in_unit_range() {
+        let rt = Runtime::new(2);
+        let fs: Vec<_> = (0..100).map(|i| rt.spawn(move || i * 3)).collect();
+        wait_all(fs);
+        let u = rt.utilization_since_reset();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The work-stealing task scheduler: N OS worker threads, each owning a
+//! LIFO deque; a global FIFO injector for external spawns; FIFO stealing
+//! between workers. This mirrors HPX's default local scheduling policy
+//! (without priorities, which the paper does not use).
+
+use crate::future::{promise_pair, Future};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use parutil::{BusyIdleClock, CachePadded};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inner {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    clocks: Vec<CachePadded<BusyIdleClock>>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    epoch: Mutex<Instant>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+struct WorkerCtx {
+    inner: *const Inner,
+    queue: Worker<Task>,
+}
+
+/// `true` when the calling thread is a `taskrt` worker (of any runtime).
+pub(crate) fn on_worker_thread() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Handle to a task runtime. Cheap to clone; dropping the last external
+/// handle shuts the workers down (pending tasks are abandoned).
+pub struct Runtime {
+    inner: Arc<Inner>,
+    /// Join handles, owned by the *control-side* handle group.
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Only the handle returned by [`Runtime::new`] shuts the pool down on
+    /// drop; clones (including those captured inside tasks and
+    /// continuations) are passive. This makes shutdown deterministic —
+    /// counting `Arc` strong references would race against clones parked in
+    /// not-yet-run continuations.
+    owner: bool,
+}
+
+impl Clone for Runtime {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            handles: Arc::clone(&self.handles),
+            owner: false,
+        }
+    }
+}
+
+/// Counter snapshot across all workers, the substrate of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Σ busy nanoseconds over workers since the last reset.
+    pub busy_ns: u64,
+    /// Tasks executed since the last reset.
+    pub tasks: u64,
+    /// Successful steals since the last reset.
+    pub steals: u64,
+    /// Wall nanoseconds since the last reset.
+    pub wall_ns: u64,
+}
+
+impl Runtime {
+    /// Start a runtime with `threads` OS worker threads (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+
+        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let clocks = (0..threads)
+            .map(|_| CachePadded(BusyIdleClock::new()))
+            .collect();
+
+        let inner = Arc::new(Inner {
+            injector: Injector::new(),
+            stealers,
+            clocks,
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            epoch: Mutex::new(Instant::now()),
+        });
+
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, queue)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("taskrt-worker-{index}"))
+                    .spawn(move || worker_loop(inner, index, queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Self {
+            inner,
+            handles: Arc::new(Mutex::new(handles)),
+            owner: true,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.stealers.len()
+    }
+
+    /// `hpx::async`: run `f` as a task, returning its future.
+    pub fn spawn<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (promise, fut) = promise_pair();
+        self.submit(Box::new(move || promise.set_value(f())));
+        fut
+    }
+
+    /// Enqueue a raw task: to the local deque when called from one of this
+    /// runtime's workers (HPX "local" policy), to the injector otherwise.
+    pub(crate) fn submit(&self, task: Task) {
+        let leftover = CURRENT.with(|c| {
+            let ctx = c.borrow();
+            match ctx.as_ref() {
+                Some(ctx) if std::ptr::eq(ctx.inner, Arc::as_ptr(&self.inner)) => {
+                    ctx.queue.push(task);
+                    None
+                }
+                _ => Some(task),
+            }
+        });
+        if let Some(task) = leftover {
+            self.inner.injector.push(task);
+        }
+        self.wake_one();
+    }
+
+    fn wake_one(&self) {
+        if self.inner.sleepers.load(Ordering::Acquire) > 0 {
+            let _g = self.inner.sleep_lock.lock();
+            self.inner.sleep_cv.notify_one();
+        }
+    }
+
+    /// Counter snapshot since the last [`reset_counters`](Self::reset_counters).
+    pub fn stats(&self) -> RuntimeStats {
+        let wall_ns = self.inner.epoch.lock().elapsed().as_nanos() as u64;
+        RuntimeStats {
+            threads: self.threads(),
+            busy_ns: self.inner.clocks.iter().map(|c| c.busy_ns()).sum(),
+            tasks: self.inner.clocks.iter().map(|c| c.tasks()).sum(),
+            steals: self.inner.clocks.iter().map(|c| c.steals()).sum(),
+            wall_ns,
+        }
+    }
+
+    /// Zero all counters and restart the utilization epoch.
+    pub fn reset_counters(&self) {
+        for c in &self.inner.clocks {
+            c.reset();
+        }
+        *self.inner.epoch.lock() = Instant::now();
+    }
+
+    /// Productive-time ratio since the last reset: Σ busy / (threads × wall),
+    /// the quantity HPX exposes as (1 − idle-rate) and the paper plots in
+    /// Figure 11.
+    pub fn utilization_since_reset(&self) -> f64 {
+        let s = self.stats();
+        if s.wall_ns == 0 {
+            return 0.0;
+        }
+        (s.busy_ns as f64 / (s.wall_ns as f64 * s.threads as f64)).min(1.0)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Clones are passive; only the original handle shuts down. (It can
+        // never drop on a worker thread — workers only ever hold clones.)
+        if !self.owner {
+            return;
+        }
+        debug_assert!(!on_worker_thread(), "owner handle dropped on a worker");
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.sleep_lock.lock();
+            self.inner.sleep_cv.notify_all();
+        }
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, index: usize, queue: Worker<Task>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(WorkerCtx {
+            inner: Arc::as_ptr(&inner),
+            queue,
+        });
+    });
+
+    let mut idle_spins = 0u32;
+    loop {
+        let task = CURRENT.with(|c| {
+            let ctx = c.borrow();
+            let ctx = ctx.as_ref().expect("worker context set");
+            find_task(&inner, index, &ctx.queue)
+        });
+
+        match task {
+            Some(task) => {
+                idle_spins = 0;
+                inner.clocks[index].run_busy(|| {
+                    // A panicking task must not take the worker down: the
+                    // panic is contained here, and the task's dropped
+                    // promise breaks its future (downstream sees a clear
+                    // "broken promise" instead of a hang).
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                });
+            }
+            None => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    inner.sleepers.fetch_add(1, Ordering::AcqRel);
+                    let mut g = inner.sleep_lock.lock();
+                    // Re-check every queue (injector AND sibling deques)
+                    // after registering as a sleeper and under the lock:
+                    // a submitter that saw sleepers > 0 must take the same
+                    // lock to notify, so its push is either visible to this
+                    // scan or its notify lands after our wait begins. The
+                    // 1 ms timeout backstops the remaining weak-ordering
+                    // window.
+                    let work_visible = !inner.injector.is_empty()
+                        || inner.stealers.iter().any(|st| !st.is_empty());
+                    if !work_visible && !inner.shutdown.load(Ordering::Acquire) {
+                        inner.sleep_cv.wait_for(&mut g, Duration::from_millis(1));
+                    }
+                    drop(g);
+                    inner.sleepers.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Pop local LIFO, else take from the injector, else steal FIFO from a
+/// sibling. Counts successful steals.
+fn find_task(inner: &Inner, index: usize, local: &Worker<Task>) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match inner.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(t) => return Some(t),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    let n = inner.stealers.len();
+    for off in 1..n {
+        let victim = (index + off) % n;
+        loop {
+            match inner.stealers[victim].steal() {
+                crossbeam::deque::Steal::Success(t) => {
+                    inner.clocks[index].count_steal();
+                    return Some(t);
+                }
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,72 @@
+//! The material-region cost model and why per-region task parallelism
+//! (paper trick T4b) pays off: show the region decomposition, the EOS
+//! repetition factors (1× / 2× / 20×), and the simulated effect of running
+//! regions concurrently vs. sequentially as the region count grows.
+//!
+//! ```sh
+//! cargo run --release --example region_imbalance
+//! ```
+
+use lulesh::core::regions::Regions;
+use lulesh::simsched::{
+    estimate_task, CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures,
+};
+
+fn main() {
+    let num_elem = 45 * 45 * 45;
+
+    println!("region decomposition of the 45^3 mesh (LULESH defaults, 11 regions):\n");
+    let regions = Regions::create(num_elem, 11, 1, 1, 0);
+    println!(
+        "{:>7} {:>9} {:>5} {:>14}",
+        "region", "elements", "rep", "EOS work share"
+    );
+    let total_work: usize = (0..11)
+        .map(|r| regions.reg_elem_size(r) * regions.rep(r))
+        .sum();
+    for r in 0..11 {
+        let work = regions.reg_elem_size(r) * regions.rep(r);
+        println!(
+            "{:>7} {:>9} {:>4}x {:>13.1}%",
+            r,
+            regions.reg_elem_size(r),
+            regions.rep(r),
+            100.0 * work as f64 / total_work as f64
+        );
+    }
+    println!(
+        "\nthe 20x region alone accounts for the bulk of the EOS work — \
+         exactly the imbalance\nthe paper exploits by running all region chains concurrently.\n"
+    );
+
+    // Simulated effect at 24 threads, growing region counts.
+    let cm = CostModel::default();
+    let m = MachineParams::epyc_7443p(24);
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "regions", "sequential (s)", "concurrent (s)", "gain"
+    );
+    for num_reg in [11usize, 16, 21, 31, 41] {
+        let mut cfg = LuleshConfig::with_size(45);
+        cfg.num_reg = num_reg;
+        let model = LuleshModel::new(cfg, cm);
+        let seq = estimate_task(
+            &model,
+            &m,
+            2048,
+            2048,
+            SimFeatures {
+                parallel_region_eos: false,
+                ..SimFeatures::default()
+            },
+        );
+        let par = estimate_task(&model, &m, 2048, 2048, SimFeatures::default());
+        println!(
+            "{num_reg:>8} {:>16.2} {:>16.2} {:>7.2}x",
+            seq.seconds,
+            par.seconds,
+            seq.seconds / par.seconds
+        );
+    }
+    println!("\nmore regions → smaller sequential pieces → bigger win for concurrency (T4b).");
+}

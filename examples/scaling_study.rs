@@ -1,0 +1,55 @@
+//! A Figure-9-style scaling study via the public simulator API: pick a
+//! problem size, sweep the thread count on the virtual 24-core EPYC, and
+//! print runtime + speed-up curves for both programming models.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study -- 60
+//! ```
+
+use lulesh::simsched::{
+    estimate_omp, estimate_task, CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures,
+};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let cm = CostModel::default();
+    let model = LuleshModel::new(LuleshConfig::with_size(size), cm);
+    println!(
+        "size {size}: {} elements, {} iterations to stoptime, {} regions\n",
+        model.num_elem,
+        model.iterations(),
+        model.region_sizes.len()
+    );
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>9} {:>11} {:>11}",
+        "threads", "omp (s)", "task (s)", "speedup", "omp util", "task util"
+    );
+    let omp_t1 = estimate_omp(&model, &MachineParams::epyc_7443p(1)).seconds;
+    let mut best = (0usize, f64::INFINITY);
+    for threads in [1usize, 2, 4, 8, 16, 24, 32, 48] {
+        let m = MachineParams::epyc_7443p(threads);
+        let omp = estimate_omp(&model, &m);
+        let task = estimate_task(&model, &m, 2048, 2048, SimFeatures::default());
+        if task.seconds < best.1 {
+            best = (threads, task.seconds);
+        }
+        println!(
+            "{threads:>7} {:>12.2} {:>12.2} {:>8.2}x {:>10.1}% {:>10.1}%",
+            omp.seconds,
+            task.seconds,
+            omp.seconds / task.seconds,
+            100.0 * omp.utilization,
+            100.0 * task.utilization,
+        );
+    }
+    println!(
+        "\ntask port is fastest at {} threads ({:.1}x over 1-thread OpenMP)",
+        best.0,
+        omp_t1 / best.1
+    );
+}

@@ -1,0 +1,50 @@
+//! Export the simulated schedule of one leapfrog iteration as a Chrome
+//! trace (open in chrome://tracing or https://ui.perfetto.dev): the task
+//! port's chains and barriers next to the fork-join port's lockstep
+//! regions on the virtual 24-core EPYC.
+//!
+//! ```sh
+//! cargo run --release --example schedule_trace -- 45 /tmp
+//! ```
+
+use lulesh::simsched::{
+    record_fork_join, record_work_stealing, CostModel, LuleshConfig, LuleshModel, MachineParams,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(45);
+    let outdir = args.next().unwrap_or_else(|| "/tmp".to_string());
+
+    let model = LuleshModel::new(LuleshConfig::with_size(size), CostModel::default());
+    let m = MachineParams::epyc_7443p(24);
+
+    let task = record_work_stealing(
+        &model.task_graph(2048, 2048, lulesh::simsched::SimFeatures::default()),
+        &m,
+    );
+    let omp = record_fork_join(&model.omp_trace(), &m);
+
+    for (name, tl) in [("task", &task), ("omp", &omp)] {
+        let path = format!("{outdir}/lulesh_{name}_s{size}.trace.json");
+        std::fs::write(&path, tl.to_chrome_trace(name)).expect("write trace file");
+        println!(
+            "{name:>5}: {:>6} events, makespan {:.2} ms, utilization {:.1}%  → {path}",
+            tl.events.len(),
+            tl.result.makespan_ns / 1e6,
+            100.0 * tl.result.utilization(24),
+        );
+    }
+
+    println!("\nper-core utilization (task port):");
+    for (c, u) in task.core_utilization().iter().enumerate() {
+        let bars = (u * 40.0).round() as usize;
+        println!(
+            "  core {c:>2} |{}{}| {:.0}%",
+            "█".repeat(bars),
+            " ".repeat(40 - bars),
+            u * 100.0
+        );
+    }
+    println!("\nopen the .trace.json files in chrome://tracing or ui.perfetto.dev");
+}

@@ -1,0 +1,84 @@
+//! Explore the paper's per-iteration task graph: how the partition size
+//! (Table I's tuning knob) and the optimization toggles change the number
+//! of tasks and synchronization points, on both the real runtime and the
+//! simulator — and a small direct demo of the HPX-style primitives.
+//!
+//! ```sh
+//! cargo run --release --example task_graph_explorer
+//! ```
+
+use lulesh::core::Domain;
+use lulesh::simsched::{CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures};
+use lulesh::task::{Features, PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. The HPX-style primitives the graph is built from (paper Fig 1).
+    let rt = lulesh::taskrt::Runtime::new(2);
+    let f1 = rt.spawn(|| 42); // hpx::async
+    let f2 = f1.then(&rt, |x| x * 2); // continuation
+    let all = lulesh::taskrt::when_all(&rt, vec![f2, rt.spawn(|| 58)]); // barrier
+    let total: i32 = all.get().into_iter().sum();
+    println!("futures/continuations/when_all demo: 42·2 + 58 = {total}\n");
+
+    // --- 2. Partition size vs. graph shape on the real driver.
+    let size = 12;
+    println!("graph shape at size {size} (real taskrt execution, 2 workers):");
+    println!("{:>10} {:>8} {:>12}", "partition", "tasks", "sync points");
+    for p in [16usize, 64, 256, 1024] {
+        let d = Arc::new(Domain::build(size, 6, 1, 1, 0));
+        let runner = TaskLulesh::new(2);
+        runner.run(&d, PartitionPlan::fixed(p, p), 1).unwrap();
+        let g = runner.graph_stats();
+        println!("{:>10} {:>8} {:>12}", p, g.tasks, g.barriers);
+    }
+
+    // --- 3. Feature toggles vs. graph shape.
+    println!("\nfeature toggles at partition 64:");
+    for (name, feat) in [
+        ("all tricks (paper)", Features::default()),
+        (
+            "no chains (Fig 5)",
+            Features {
+                chain_continuations: false,
+                ..Features::default()
+            },
+        ),
+        (
+            "no merging",
+            Features {
+                merge_kernels: false,
+                ..Features::default()
+            },
+        ),
+        ("naive", Features::naive()),
+    ] {
+        let d = Arc::new(Domain::build(size, 6, 1, 1, 0));
+        let runner = TaskLulesh::with_features(2, feat);
+        runner.run(&d, PartitionPlan::fixed(64, 64), 1).unwrap();
+        let g = runner.graph_stats();
+        println!(
+            "{name:>22}: {:>5} tasks, {:>3} sync points",
+            g.tasks, g.barriers
+        );
+    }
+
+    // --- 4. The same graph on the virtual 24-core EPYC.
+    println!("\nsimulated 24-thread iteration at paper scale (size 45):");
+    let model = LuleshModel::new(LuleshConfig::with_size(45), CostModel::default());
+    let m = MachineParams::epyc_7443p(24);
+    for (name, feat) in [
+        ("all tricks", SimFeatures::default()),
+        ("naive", SimFeatures::naive()),
+    ] {
+        let g = model.task_graph(2048, 2048, feat);
+        let r = lulesh::simsched::simulate_work_stealing(&g, &m);
+        println!(
+            "{name:>12}: {:>5} nodes, critical path {:.2} ms, makespan {:.2} ms, utilization {:.1}%",
+            g.len(),
+            g.critical_path_ns() / 1e6,
+            r.makespan_ns / 1e6,
+            100.0 * r.utilization(24)
+        );
+    }
+}

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Re-measure the kernel cost model on this host (release build required for
+# meaningful ratios) and print the CostModel literal to paste into
+# crates/simsched/src/costmodel.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p lulesh-bench --bin calibrate -- "${1:-30}" "${2:-50}" "${3:-10}"

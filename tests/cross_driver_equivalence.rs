@@ -1,0 +1,148 @@
+//! Cross-driver integration tests: the serial reference, the fork-join
+//! port and the many-task port must produce bit-identical physics for any
+//! configuration, thread count, partitioning and feature set.
+
+use lulesh::core::{serial, validate, Domain};
+use lulesh::omp::OmpLulesh;
+use lulesh::task::{Features, PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+
+fn serial_ref(size: usize, regs: usize, cycles: u64) -> Domain {
+    let d = Domain::build(size, regs, 1, 1, 0);
+    serial::run(&d, cycles).expect("serial reference must be stable");
+    d
+}
+
+#[test]
+fn all_three_agree_on_a_medium_problem() {
+    let (size, regs, cycles) = (10, 11, 25);
+    let d_ref = serial_ref(size, regs, cycles);
+
+    let d_omp = Domain::build(size, regs, 1, 1, 0);
+    OmpLulesh::new(3).run(&d_omp, cycles).unwrap();
+    assert_eq!(validate::max_field_difference(&d_ref, &d_omp), 0.0);
+
+    let d_task = Arc::new(Domain::build(size, regs, 1, 1, 0));
+    TaskLulesh::new(3)
+        .run(&d_task, PartitionPlan::for_size(size), cycles)
+        .unwrap();
+    assert_eq!(validate::max_field_difference(&d_ref, &d_task), 0.0);
+}
+
+#[test]
+fn agreement_across_thread_counts() {
+    let (size, regs, cycles) = (7, 4, 15);
+    let d_ref = serial_ref(size, regs, cycles);
+    for threads in [1usize, 2, 5] {
+        let d_omp = Domain::build(size, regs, 1, 1, 0);
+        OmpLulesh::new(threads).run(&d_omp, cycles).unwrap();
+        assert_eq!(
+            validate::max_field_difference(&d_ref, &d_omp),
+            0.0,
+            "omp, {threads} threads"
+        );
+
+        let d_task = Arc::new(Domain::build(size, regs, 1, 1, 0));
+        TaskLulesh::new(threads)
+            .run(&d_task, PartitionPlan::fixed(48, 48), cycles)
+            .unwrap();
+        assert_eq!(
+            validate::max_field_difference(&d_ref, &d_task),
+            0.0,
+            "task, {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn agreement_across_region_counts_and_seeds() {
+    for (regs, seed) in [(1usize, 0u64), (3, 0), (11, 0), (5, 7)] {
+        let d_ref = Domain::build(6, regs, 1, 1, seed);
+        serial::run(&d_ref, 12).unwrap();
+
+        let d_task = Arc::new(Domain::build(6, regs, 1, 1, seed));
+        TaskLulesh::new(2)
+            .run(&d_task, PartitionPlan::fixed(32, 32), 12)
+            .unwrap();
+        assert_eq!(
+            validate::max_field_difference(&d_ref, &d_task),
+            0.0,
+            "regions {regs}, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn agreement_with_balance_and_cost_flags() {
+    // The -b/-c flags change region weights and rep factors; physics must
+    // not change across drivers.
+    let d_ref = Domain::build(6, 8, 2, 3, 0);
+    serial::run(&d_ref, 10).unwrap();
+
+    let d_omp = Domain::build(6, 8, 2, 3, 0);
+    OmpLulesh::new(2).run(&d_omp, 10).unwrap();
+    assert_eq!(validate::max_field_difference(&d_ref, &d_omp), 0.0);
+
+    let d_task = Arc::new(Domain::build(6, 8, 2, 3, 0));
+    TaskLulesh::new(2)
+        .run(&d_task, PartitionPlan::fixed(40, 40), 10)
+        .unwrap();
+    assert_eq!(validate::max_field_difference(&d_ref, &d_task), 0.0);
+}
+
+#[test]
+fn every_feature_combination_is_exact() {
+    let d_ref = serial_ref(6, 5, 10);
+    for bits in 0..16u32 {
+        let features = Features {
+            chain_continuations: bits & 1 != 0,
+            merge_kernels: bits & 2 != 0,
+            parallel_force_chains: bits & 4 != 0,
+            parallel_region_eos: bits & 8 != 0,
+        };
+        let d_task = Arc::new(Domain::build(6, 5, 1, 1, 0));
+        TaskLulesh::with_features(2, features)
+            .run(&d_task, PartitionPlan::fixed(24, 24), 10)
+            .unwrap();
+        assert_eq!(
+            validate::max_field_difference(&d_ref, &d_task),
+            0.0,
+            "feature bits {bits:04b}"
+        );
+    }
+}
+
+#[test]
+fn full_runs_reach_stoptime_identically() {
+    // Run a tiny problem to completion in all three drivers.
+    let d_ref = Domain::build(5, 3, 1, 1, 0);
+    let st_ref = serial::run(&d_ref, u64::MAX).unwrap();
+    assert!(st_ref.time >= d_ref.params.stoptime);
+
+    let d_omp = Domain::build(5, 3, 1, 1, 0);
+    let st_omp = OmpLulesh::new(2).run(&d_omp, u64::MAX).unwrap();
+    assert_eq!(st_ref.cycle, st_omp.cycle);
+    assert_eq!(st_ref.time, st_omp.time);
+
+    let d_task = Arc::new(Domain::build(5, 3, 1, 1, 0));
+    let st_task = TaskLulesh::new(2)
+        .run(&d_task, PartitionPlan::fixed(32, 32), u64::MAX)
+        .unwrap();
+    assert_eq!(st_ref.cycle, st_task.cycle);
+    assert_eq!(st_ref.time, st_task.time);
+    assert_eq!(
+        validate::final_origin_energy(&d_ref),
+        validate::final_origin_energy(&d_task)
+    );
+}
+
+#[test]
+fn physics_invariants_hold_in_parallel_runs() {
+    let d_task = Arc::new(Domain::build(8, 6, 1, 1, 0));
+    TaskLulesh::new(4)
+        .run(&d_task, PartitionPlan::fixed(64, 64), 40)
+        .unwrap();
+    validate::check_invariants(&d_task).expect("invariants after a parallel run");
+    let sym = validate::symmetry_check(&d_task);
+    assert!(sym.max_abs_diff < 1e-7, "Sedov symmetry: {sym:?}");
+}

@@ -1,0 +1,132 @@
+//! Consistency between the real task driver and its simulator twin: the
+//! `simsched` graph builder must mirror `lulesh_task`'s graph construction
+//! (same partition math, same phases), so their task counts agree exactly.
+//! This pins the simulator — which regenerates the paper's figures — to the
+//! code that actually runs.
+
+use lulesh::core::Domain;
+use lulesh::simsched::{
+    estimate_omp, estimate_task, CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures,
+};
+use lulesh::task::{Features, PartitionPlan, TaskLulesh};
+use std::sync::Arc;
+
+fn sim_features(f: Features) -> SimFeatures {
+    SimFeatures {
+        chain_continuations: f.chain_continuations,
+        merge_kernels: f.merge_kernels,
+        parallel_force_chains: f.parallel_force_chains,
+        parallel_region_eos: f.parallel_region_eos,
+    }
+}
+
+fn real_task_count(size: usize, regs: usize, part: usize, features: Features) -> usize {
+    let d = Arc::new(Domain::build(size, regs, 1, 1, 0));
+    let runner = TaskLulesh::with_features(1, features);
+    runner.run(&d, PartitionPlan::fixed(part, part), 1).unwrap();
+    runner.graph_stats().tasks
+}
+
+fn sim_task_count(size: usize, regs: usize, part: usize, features: SimFeatures) -> usize {
+    let mut cfg = LuleshConfig::with_size(size);
+    cfg.num_reg = regs;
+    let model = LuleshModel::new(cfg, CostModel::default());
+    let g = model.task_graph(part, part, features);
+    // Barrier nodes (zero cost) are bookkeeping, not tasks.
+    g.tasks.iter().filter(|t| t.cost_ns > 0.0).count()
+}
+
+#[test]
+fn task_counts_match_between_driver_and_simulator() {
+    for (size, regs, part) in [(6usize, 3usize, 32usize), (8, 5, 64), (10, 11, 128)] {
+        for features in [Features::default(), Features::naive()] {
+            let real = real_task_count(size, regs, part, features);
+            let sim = sim_task_count(size, regs, part, sim_features(features));
+            assert_eq!(
+                real, sim,
+                "size {size}, regions {regs}, partition {part}, features {features:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn task_counts_match_for_individual_feature_toggles() {
+    let base = Features::default();
+    for features in [
+        Features {
+            chain_continuations: false,
+            ..base
+        },
+        Features {
+            merge_kernels: false,
+            ..base
+        },
+        Features {
+            parallel_force_chains: false,
+            ..base
+        },
+        Features {
+            parallel_region_eos: false,
+            ..base
+        },
+    ] {
+        let real = real_task_count(7, 4, 48, features);
+        let sim = sim_task_count(7, 4, 48, sim_features(features));
+        assert_eq!(real, sim, "features {features:?}");
+    }
+}
+
+#[test]
+fn simulator_is_deterministic_end_to_end() {
+    let model = LuleshModel::new(LuleshConfig::with_size(45), CostModel::default());
+    let m = MachineParams::epyc_7443p(24);
+    let a = estimate_task(&model, &m, 2048, 2048, SimFeatures::default());
+    let b = estimate_task(&model, &m, 2048, 2048, SimFeatures::default());
+    assert_eq!(a, b);
+    let oa = estimate_omp(&model, &m);
+    let ob = estimate_omp(&model, &m);
+    assert_eq!(oa, ob);
+}
+
+#[test]
+fn simulated_total_work_is_implementation_independent() {
+    // Both models run the same kernels over the same mesh: their total
+    // productive work must agree within the few single-sided scans.
+    for size in [20usize, 45] {
+        let model = LuleshModel::new(LuleshConfig::with_size(size), CostModel::default());
+        let omp_work = model.omp_trace().total_work_ns();
+        let task_work = model
+            .task_graph(2048, 2048, SimFeatures::default())
+            .total_work_ns();
+        let rel = (omp_work - task_work).abs() / omp_work;
+        assert!(rel < 0.02, "size {size}: relative work gap {rel}");
+    }
+}
+
+#[test]
+fn utilization_of_real_runtimes_orders_like_the_simulation() {
+    // On any host, the task port's measured productive ratio should beat
+    // the fork-join port's for a small barrier-heavy problem, matching the
+    // simulated Figure 11 ordering.
+    let threads = 2;
+    let cycles = 30;
+
+    let d_omp = Domain::build(8, 11, 1, 1, 0);
+    let mut omp = lulesh::omp::OmpLulesh::new(threads);
+    omp.reset_counters();
+    omp.run(&d_omp, cycles).unwrap();
+    let omp_util = omp.utilization();
+
+    let d_task = Arc::new(Domain::build(8, 11, 1, 1, 0));
+    let task = TaskLulesh::new(threads);
+    task.reset_counters();
+    task.run(&d_task, PartitionPlan::fixed(64, 64), cycles)
+        .unwrap();
+    let task_util = task.utilization();
+
+    assert!(
+        task_util > omp_util,
+        "real Figure-11 ordering: task {task_util:.3} !> omp {omp_util:.3}"
+    );
+}
