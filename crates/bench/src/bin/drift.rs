@@ -1,0 +1,162 @@
+//! Sim-vs-real drift report: run the *real* task port on this host with
+//! tracing enabled, simulate the same configuration with `simsched`, and
+//! print the per-phase relative error between predicted and measured time.
+//!
+//! Absolute times on this host differ from the paper's EPYC 7443P the cost
+//! model is calibrated for, so the report separates two kinds of drift:
+//!
+//! * **scale** — one global factor `real_total / sim_total` (host speed);
+//! * **shape** — per-phase error *after* removing the global scale, i.e.
+//!   how well the simulator predicts where the time goes. This is the
+//!   number that validates the simulator's figures.
+//!
+//! Usage: `drift [--s N] [--i N] [--threads N] [--r N] [--calibrate]`
+//! `--calibrate` first measures the kernel coefficients on this host
+//! (slower, but removes most of the scale drift).
+
+use lulesh_core::{Domain, Opts};
+use lulesh_task::{Features, PartitionPlan, TaskLulesh};
+use obs::{MetricsSnapshot, SpanKind, Tracer};
+use simsched::{
+    record_work_stealing, CostModel, LuleshConfig, LuleshModel, MachineParams, SimFeatures,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let calibrate = if let Some(pos) = args
+        .iter()
+        .position(|a| a.trim_start_matches('-') == "calibrate")
+    {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let mut opts = Opts::parse(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!("{}", Opts::usage("drift"));
+        eprintln!("extra flag: --calibrate (measure kernel costs on this host first)");
+        std::process::exit(2);
+    });
+    if !args
+        .iter()
+        .any(|a| a.trim_start_matches('-').starts_with('i'))
+    {
+        opts.max_cycles = 30; // keep the default report quick
+    }
+
+    // ---- real traced run ----
+    let domain = Arc::new(Domain::build(
+        opts.size,
+        opts.num_reg,
+        opts.balance,
+        opts.cost,
+        opts.seed,
+    ));
+    let plan = PartitionPlan::for_size(opts.size);
+    let tracer = Tracer::shared(opts.threads + 1);
+    let runner = TaskLulesh::with_tracer(opts.threads, Features::default(), Arc::clone(&tracer), 0);
+    let t0 = Instant::now();
+    runner
+        .run(&domain, plan, opts.max_cycles)
+        .expect("task run failed");
+    let wall = t0.elapsed();
+    let spans = tracer.drain();
+    let metrics = MetricsSnapshot::from_spans(&spans);
+    let iters = metrics.iterations.max(1);
+
+    // Measured busy time per phase, per iteration (Task spans only; the
+    // barrier/region spans measure waiting, not work).
+    let mut real: BTreeMap<&str, f64> = BTreeMap::new();
+    for p in &metrics.phases {
+        if p.kind == SpanKind::Task {
+            *real.entry(p.label).or_insert(0.0) += p.total_ns as f64 / iters as f64;
+        }
+    }
+
+    // ---- simulated iteration ----
+    let cm = if calibrate {
+        eprintln!("calibrating kernel costs on this host...");
+        simsched::calibrate::measure(opts.size.min(20), 5, 3)
+    } else {
+        CostModel::default()
+    };
+    let model = LuleshModel::new(
+        LuleshConfig {
+            size: opts.size,
+            num_reg: opts.num_reg,
+            balance: opts.balance,
+            cost: opts.cost,
+            seed: opts.seed,
+        },
+        cm,
+    );
+    let machine = MachineParams::epyc_7443p(opts.threads);
+    let graph = model.task_graph(plan.nodal, plan.elements, SimFeatures::default());
+    let timeline = record_work_stealing(&graph, &machine);
+    // Predicted busy time per phase for one iteration, scheduling overhead
+    // and contention included (event durations, not raw costs).
+    let mut sim: BTreeMap<&str, f64> = BTreeMap::new();
+    for e in &timeline.events {
+        let label = graph.tasks[e.task].label;
+        if !label.is_empty() && !label.starts_with("barrier") {
+            *sim.entry(label).or_insert(0.0) += e.dur_ns;
+        }
+    }
+
+    let real_total: f64 = real.values().sum();
+    let sim_total: f64 = sim.values().sum();
+    let scale = real_total / sim_total;
+
+    println!(
+        "# drift report: s={} r={} i={} threads={} (wall {:.3}s, {} spans, cost model {})",
+        opts.size,
+        opts.num_reg,
+        iters,
+        opts.threads,
+        wall.as_secs_f64(),
+        spans.len(),
+        if calibrate {
+            "host-calibrated"
+        } else {
+            "paper-default"
+        },
+    );
+    println!("phase,sim_ns_per_iter,real_ns_per_iter,sim_share,real_share,shape_error");
+    let mut worst: (f64, &str) = (0.0, "");
+    let mut phases: Vec<&str> = sim.keys().chain(real.keys()).copied().collect();
+    phases.sort_unstable();
+    phases.dedup();
+    for label in phases {
+        let s = sim.get(label).copied().unwrap_or(0.0);
+        let r = real.get(label).copied().unwrap_or(0.0);
+        let (s_share, r_share) = (s / sim_total, r / real_total);
+        // Shape error: relative error after removing the global scale
+        // factor, i.e. comparing the phase's share of total busy time.
+        let shape = if r_share > 0.0 {
+            (s_share - r_share).abs() / r_share
+        } else {
+            f64::INFINITY
+        };
+        if shape > worst.0 {
+            worst = (shape, label);
+        }
+        println!("{label},{s:.0},{r:.0},{s_share:.4},{r_share:.4},{shape:.4}",);
+    }
+    println!(
+        "total,{sim_total:.0},{real_total:.0},1.0000,1.0000,{:.4}",
+        (sim_total * scale - real_total).abs() / real_total
+    );
+    eprintln!(
+        "global scale (real/sim) = {scale:.3}; worst shape drift: {} at {:.1}%",
+        worst.1,
+        worst.0 * 100.0
+    );
+    eprintln!(
+        "measured sync points/iteration = {}",
+        metrics.barriers / iters
+    );
+}

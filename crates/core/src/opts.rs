@@ -24,6 +24,11 @@ pub struct Opts {
     pub threads: usize,
     /// Region assignment seed (not in the reference; fixed default 0).
     pub seed: u64,
+    /// Write a Chrome-trace JSON of the run to this path, `--trace`.
+    pub trace: Option<String>,
+    /// Write a metrics snapshot (CSV, or JSON when the path ends in
+    /// `.json`) to this path, `--metrics`.
+    pub metrics: Option<String>,
 }
 
 impl Default for Opts {
@@ -37,6 +42,8 @@ impl Default for Opts {
             quiet: false,
             threads: 1,
             seed: 0,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -95,6 +102,8 @@ impl Opts {
                 "c" => opts.cost = parse_val(flag, inline, &mut it)?,
                 "threads" | "hpx:threads" | "t" => opts.threads = parse_val(flag, inline, &mut it)?,
                 "seed" => opts.seed = parse_val(flag, inline, &mut it)?,
+                "trace" => opts.trace = Some(parse_val(flag, inline, &mut it)?),
+                "metrics" => opts.metrics = Some(parse_val(flag, inline, &mut it)?),
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -121,8 +130,11 @@ impl Opts {
     pub fn usage(program: &str) -> String {
         format!(
             "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
-             [--b BALANCE] [--c COST] [--threads N] [--q]\n\
-             Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1, run to stoptime."
+             [--b BALANCE] [--c COST] [--threads N] [--q] \
+             [--trace FILE.json] [--metrics FILE.csv|.json]\n\
+             Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1, run to stoptime.\n\
+             --trace writes a Chrome-trace timeline (load in Perfetto); \
+             --metrics writes a per-phase metrics snapshot."
         )
     }
 }
@@ -162,6 +174,15 @@ mod tests {
         let o = Opts::parse(["--s=60", "--r=16"]).unwrap();
         assert_eq!(o.size, 60);
         assert_eq!(o.num_reg, 16);
+    }
+
+    #[test]
+    fn trace_and_metrics_paths() {
+        let o = Opts::parse(["--trace", "out.json", "--metrics=m.csv"]).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("out.json"));
+        assert_eq!(o.metrics.as_deref(), Some("m.csv"));
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert!(o.trace.is_none() && o.metrics.is_none());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use lulesh_core::{Domain, Opts, RunReport};
 use lulesh_omp::OmpLulesh;
+use obs::Tracer;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -18,7 +20,13 @@ fn main() {
     };
 
     let domain = Domain::build(opts.size, opts.num_reg, opts.balance, opts.cost, opts.seed);
-    let mut runner = OmpLulesh::new(opts.threads);
+    // One lane per pool thread plus a control lane for iteration spans.
+    let tracer =
+        (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(opts.threads + 1));
+    let mut runner = match &tracer {
+        Some(t) => OmpLulesh::with_tracer(opts.threads, Arc::clone(t), 0),
+        None => OmpLulesh::new(opts.threads),
+    };
     runner.reset_counters();
     let t0 = Instant::now();
     let state = match runner.run(&domain, opts.max_cycles) {
@@ -34,6 +42,13 @@ fn main() {
     if !opts.quiet {
         eprintln!("{}", report.verbose());
         eprintln!("Productive-time ratio = {:.4}", runner.utilization());
+    }
+    if let Some(t) = &tracer {
+        let spans = t.drain();
+        if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
+            eprintln!("failed to write trace/metrics: {e}");
+            std::process::exit(1);
+        }
     }
     println!("{}", RunReport::CSV_HEADER);
     println!("{}", report.csv_row());

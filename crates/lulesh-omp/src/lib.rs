@@ -19,6 +19,7 @@ use lulesh_core::params::SimState;
 use lulesh_core::serial::SerialScratch as Scratch;
 use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{Index, LuleshError, Real};
+use obs::{SpanKind, Tracer};
 use ompsim::Pool;
 use parutil::{static_split, Chunk, SharedSlice};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +35,20 @@ impl OmpLulesh {
         Self {
             pool: Pool::new(threads),
         }
+    }
+
+    /// Runner with span tracing attached: thread `tid` records each
+    /// parallel region on `tracer` lane `lane_base + tid`; the driver's
+    /// per-iteration span goes on lane `lane_base + threads`.
+    pub fn with_tracer(threads: usize, tracer: std::sync::Arc<Tracer>, lane_base: usize) -> Self {
+        Self {
+            pool: Pool::with_tracer(threads, tracer, lane_base),
+        }
+    }
+
+    /// The attached tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&std::sync::Arc<Tracer>> {
+        self.pool.tracer()
     }
 
     /// Execution threads in the pool.
@@ -56,9 +71,26 @@ impl OmpLulesh {
     pub fn run(&mut self, d: &Domain, max_cycles: u64) -> Result<SimState, LuleshError> {
         let mut state = SimState::new(d.initial_dt());
         let mut scratch = Scratch::new(d.num_elem());
+        let trace = self
+            .pool
+            .tracer()
+            .map(std::sync::Arc::clone)
+            .zip(self.pool.trace_lane_base());
         while state.time < d.params.stoptime && state.cycle < max_cycles {
             time_increment(&mut state, &d.params);
+            let start = trace.as_ref().map(|(t, _)| t.now_ns());
             self.step(d, &mut scratch, &mut state)?;
+            if let (Some((tracer, lane_base)), Some(start)) = (&trace, start) {
+                // One region span per leapfrog iteration on the control
+                // lane (past the pool's worker lanes).
+                tracer.record_interval(
+                    lane_base + self.pool.nthreads(),
+                    SpanKind::Region,
+                    "iteration",
+                    start,
+                    tracer.now_ns(),
+                );
+            }
         }
         Ok(state)
     }
@@ -85,7 +117,7 @@ impl OmpLulesh {
             {
                 let vc = SharedSlice::new(&mut slots_c);
                 let vh = SharedSlice::new(&mut slots_h);
-                self.pool.parallel_region(|tid, n| {
+                self.pool.parallel_region_labeled("constraints", |tid, n| {
                     let c = static_split(elems.len(), n, tid);
                     let sub = &elems[c.begin..c.end];
                     // SAFETY: slot `tid` is written by thread `tid` only.
@@ -122,7 +154,7 @@ impl OmpLulesh {
 
         // CalcForceForNodes prologue.
         self.pool
-            .parallel_for(num_node, |c| stress::zero_forces(d, c));
+            .parallel_for_labeled("stress", num_node, |c| stress::zero_forces(d, c));
 
         // InitStressTermsForElems + IntegrateStressForElems.
         {
@@ -134,7 +166,7 @@ impl OmpLulesh {
             let fy = SharedSlice::new(&mut s.fy_elem);
             let fz = SharedSlice::new(&mut s.fz_elem);
 
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("stress", num_elem, |c| {
                 // SAFETY: chunks are disjoint per thread.
                 unsafe {
                     stress::init_stress_terms_for_elems(
@@ -146,7 +178,7 @@ impl OmpLulesh {
                     );
                 }
             });
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("stress", num_elem, |c| {
                 // SAFETY: disjoint chunks; sig* written in the previous loop
                 // (barrier passed), read-only here.
                 unsafe {
@@ -163,7 +195,7 @@ impl OmpLulesh {
                     );
                 }
             });
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("stress", num_elem, |c| {
                 // SAFETY: determ complete (barrier), read-only.
                 let sub = unsafe { determ.slice(c.begin, c.end) };
                 if stress::check_volume_error(sub).is_err() {
@@ -173,18 +205,19 @@ impl OmpLulesh {
             if failed.load(Ordering::Relaxed) {
                 return Err(LuleshError::VolumeError);
             }
-            self.pool.parallel_for(num_node, |c| {
-                // SAFETY: f*_elem complete (barrier), read-only.
-                unsafe {
-                    stress::gather_forces_set(
-                        d,
-                        fx.slice(0, 8 * num_elem),
-                        fy.slice(0, 8 * num_elem),
-                        fz.slice(0, 8 * num_elem),
-                        c,
-                    );
-                }
-            });
+            self.pool
+                .parallel_for_labeled("node-gather", num_node, |c| {
+                    // SAFETY: f*_elem complete (barrier), read-only.
+                    unsafe {
+                        stress::gather_forces_set(
+                            d,
+                            fx.slice(0, 8 * num_elem),
+                            fy.slice(0, 8 * num_elem),
+                            fz.slice(0, 8 * num_elem),
+                            c,
+                        );
+                    }
+                });
         }
 
         // CalcHourglassControlForElems + CalcFBHourglassForceForElems.
@@ -200,7 +233,7 @@ impl OmpLulesh {
             let fy = SharedSlice::new(&mut s.fy_hg);
             let fz = SharedSlice::new(&mut s.fz_hg);
 
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("hourglass", num_elem, |c| {
                 // SAFETY: disjoint chunks.
                 let r = unsafe {
                     hourglass::calc_hourglass_control_for_elems(
@@ -224,7 +257,7 @@ impl OmpLulesh {
             }
 
             if d.params.hgcoef > 0.0 {
-                self.pool.parallel_for(num_elem, |c| {
+                self.pool.parallel_for_labeled("hourglass", num_elem, |c| {
                     // SAFETY: geometry arrays complete (barrier), read-only;
                     // force chunks disjoint.
                     unsafe {
@@ -245,33 +278,37 @@ impl OmpLulesh {
                         );
                     }
                 });
-                self.pool.parallel_for(num_node, |c| {
-                    // SAFETY: hg forces complete (barrier), read-only.
-                    unsafe {
-                        stress::gather_forces_add(
-                            d,
-                            fx.slice(0, 8 * num_elem),
-                            fy.slice(0, 8 * num_elem),
-                            fz.slice(0, 8 * num_elem),
-                            c,
-                        );
-                    }
-                });
+                self.pool
+                    .parallel_for_labeled("node-gather", num_node, |c| {
+                        // SAFETY: hg forces complete (barrier), read-only.
+                        unsafe {
+                            stress::gather_forces_add(
+                                d,
+                                fx.slice(0, 8 * num_elem),
+                                fy.slice(0, 8 * num_elem),
+                                fz.slice(0, 8 * num_elem),
+                                c,
+                            );
+                        }
+                    });
             }
         }
 
         // Node state advance: four loops, four barriers.
-        self.pool
-            .parallel_for(num_node, |c| nodal::calc_acceleration_for_nodes(d, c));
-        self.pool.parallel_for(nodal::symm_list_len(d), |c| {
-            nodal::apply_acceleration_boundary_conditions(d, c)
+        self.pool.parallel_for_labeled("node", num_node, |c| {
+            nodal::calc_acceleration_for_nodes(d, c)
         });
+        self.pool
+            .parallel_for_labeled("node", nodal::symm_list_len(d), |c| {
+                nodal::apply_acceleration_boundary_conditions(d, c)
+            });
         let u_cut = d.params.u_cut;
-        self.pool.parallel_for(num_node, |c| {
+        self.pool.parallel_for_labeled("node", num_node, |c| {
             nodal::calc_velocity_for_nodes(d, dt, u_cut, c)
         });
-        self.pool
-            .parallel_for(num_node, |c| nodal::calc_position_for_nodes(d, dt, c));
+        self.pool.parallel_for_labeled("node", num_node, |c| {
+            nodal::calc_position_for_nodes(d, dt, c)
+        });
         Ok(())
     }
 
@@ -286,10 +323,10 @@ impl OmpLulesh {
         let failed = AtomicBool::new(false);
 
         // CalcLagrangeElements.
-        self.pool.parallel_for(num_elem, |c| {
+        self.pool.parallel_for_labeled("kinematics", num_elem, |c| {
             kinematics::calc_kinematics_for_elems(d, dt, c)
         });
-        self.pool.parallel_for(num_elem, |c| {
+        self.pool.parallel_for_labeled("kinematics", num_elem, |c| {
             if kinematics::calc_lagrange_elements_finish(d, c).is_err() {
                 failed.store(true, Ordering::Relaxed);
             }
@@ -299,16 +336,16 @@ impl OmpLulesh {
         }
 
         // CalcQForElems.
-        self.pool.parallel_for(num_elem, |c| {
+        self.pool.parallel_for_labeled("kinematics", num_elem, |c| {
             monoq::calc_monotonic_q_gradients_for_elems(d, c)
         });
         for r in 0..d.num_reg() {
             let elems = &d.regions.reg_elem_list[r];
-            self.pool.parallel_for(elems.len(), |c| {
+            self.pool.parallel_for_labeled("monoq", elems.len(), |c| {
                 monoq::calc_monotonic_q_region_for_elems(d, &elems[c.begin..c.end], &p);
             });
         }
-        self.pool.parallel_for(num_elem, |c| {
+        self.pool.parallel_for_labeled("qstop", num_elem, |c| {
             if monoq::check_q_stop(d, p.qstop, c).is_err() {
                 failed.store(true, Ordering::Relaxed);
             }
@@ -320,7 +357,7 @@ impl OmpLulesh {
         // ApplyMaterialPropertiesForElems.
         {
             let vnewc = SharedSlice::new(&mut s.vnewc);
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("vnewc", num_elem, |c| {
                 // SAFETY: disjoint chunks.
                 unsafe {
                     eos::fill_vnewc_clamped(
@@ -332,7 +369,7 @@ impl OmpLulesh {
                     );
                 }
             });
-            self.pool.parallel_for(num_elem, |c| {
+            self.pool.parallel_for_labeled("vnewc", num_elem, |c| {
                 if eos::check_eos_volume_bounds(d, p.eosvmin, p.eosvmax, c).is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -348,7 +385,7 @@ impl OmpLulesh {
         }
 
         // UpdateVolumesForElems.
-        self.pool.parallel_for(num_elem, |c| {
+        self.pool.parallel_for_labeled("volume", num_elem, |c| {
             kinematics::update_volumes_for_elems(d, p.v_cut, c)
         });
         Ok(())
@@ -390,179 +427,193 @@ impl OmpLulesh {
         let p_half_step = SharedSlice::new(&mut s.eos.p_half_step);
 
         for _ in 0..rep {
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::eos_gather(
-                    d,
-                    &elems[c.begin..c.end],
-                    e_old.slice_mut(c.begin, c.end),
-                    delvc.slice_mut(c.begin, c.end),
-                    p_old.slice_mut(c.begin, c.end),
-                    q_old.slice_mut(c.begin, c.end),
-                    qq_old.slice_mut(c.begin, c.end),
-                    ql_old.slice_mut(c.begin, c.end),
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::eos_compression(
-                    &elems[c.begin..c.end],
-                    vnewc_full,
-                    delvc.slice(c.begin, c.end),
-                    compression.slice_mut(c.begin, c.end),
-                    comp_half_step.slice_mut(c.begin, c.end),
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::eos_clamp_compression(
-                    &elems[c.begin..c.end],
-                    vnewc_full,
-                    p.eosvmin,
-                    p.eosvmax,
-                    compression.slice_mut(c.begin, c.end),
-                    comp_half_step.slice_mut(c.begin, c.end),
-                    p_old.slice_mut(c.begin, c.end),
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                work.slice_mut(c.begin, c.end).fill(0.0);
-            });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::eos_gather(
+                        d,
+                        &elems[c.begin..c.end],
+                        e_old.slice_mut(c.begin, c.end),
+                        delvc.slice_mut(c.begin, c.end),
+                        p_old.slice_mut(c.begin, c.end),
+                        q_old.slice_mut(c.begin, c.end),
+                        qq_old.slice_mut(c.begin, c.end),
+                        ql_old.slice_mut(c.begin, c.end),
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::eos_compression(
+                        &elems[c.begin..c.end],
+                        vnewc_full,
+                        delvc.slice(c.begin, c.end),
+                        compression.slice_mut(c.begin, c.end),
+                        comp_half_step.slice_mut(c.begin, c.end),
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::eos_clamp_compression(
+                        &elems[c.begin..c.end],
+                        vnewc_full,
+                        p.eosvmin,
+                        p.eosvmax,
+                        compression.slice_mut(c.begin, c.end),
+                        comp_half_step.slice_mut(c.begin, c.end),
+                        p_old.slice_mut(c.begin, c.end),
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    work.slice_mut(c.begin, c.end).fill(0.0);
+                });
 
             // CalcEnergyForElems, one parallel loop per step.
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::energy_step1(
-                    e_new.slice_mut(c.begin, c.end),
-                    e_old.slice(c.begin, c.end),
-                    delvc.slice(c.begin, c.end),
-                    p_old.slice(c.begin, c.end),
-                    q_old.slice(c.begin, c.end),
-                    work.slice(c.begin, c.end),
-                    p.emin,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::calc_pressure_for_elems(
-                    p_half_step.slice_mut(c.begin, c.end),
-                    bvc.slice_mut(c.begin, c.end),
-                    pbvc.slice_mut(c.begin, c.end),
-                    e_new.slice(c.begin, c.end),
-                    comp_half_step.slice(c.begin, c.end),
-                    vnewc_full,
-                    &elems[c.begin..c.end],
-                    p.pmin,
-                    p.p_cut,
-                    p.eosvmax,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::energy_step2(
-                    e_new.slice_mut(c.begin, c.end),
-                    q_new.slice_mut(c.begin, c.end),
-                    comp_half_step.slice(c.begin, c.end),
-                    p_half_step.slice(c.begin, c.end),
-                    bvc.slice(c.begin, c.end),
-                    pbvc.slice(c.begin, c.end),
-                    delvc.slice(c.begin, c.end),
-                    p_old.slice(c.begin, c.end),
-                    q_old.slice(c.begin, c.end),
-                    ql_old.slice(c.begin, c.end),
-                    qq_old.slice(c.begin, c.end),
-                    rho0,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::energy_step3(
-                    e_new.slice_mut(c.begin, c.end),
-                    work.slice(c.begin, c.end),
-                    p.e_cut,
-                    p.emin,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::calc_pressure_for_elems(
-                    p_new.slice_mut(c.begin, c.end),
-                    bvc.slice_mut(c.begin, c.end),
-                    pbvc.slice_mut(c.begin, c.end),
-                    e_new.slice(c.begin, c.end),
-                    compression.slice(c.begin, c.end),
-                    vnewc_full,
-                    &elems[c.begin..c.end],
-                    p.pmin,
-                    p.p_cut,
-                    p.eosvmax,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::energy_step4(
-                    e_new.slice_mut(c.begin, c.end),
-                    delvc.slice(c.begin, c.end),
-                    p_old.slice(c.begin, c.end),
-                    q_old.slice(c.begin, c.end),
-                    p_half_step.slice(c.begin, c.end),
-                    q_new.slice(c.begin, c.end),
-                    p_new.slice(c.begin, c.end),
-                    bvc.slice(c.begin, c.end),
-                    pbvc.slice(c.begin, c.end),
-                    ql_old.slice(c.begin, c.end),
-                    qq_old.slice(c.begin, c.end),
-                    vnewc_full,
-                    &elems[c.begin..c.end],
-                    rho0,
-                    p.e_cut,
-                    p.emin,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::calc_pressure_for_elems(
-                    p_new.slice_mut(c.begin, c.end),
-                    bvc.slice_mut(c.begin, c.end),
-                    pbvc.slice_mut(c.begin, c.end),
-                    e_new.slice(c.begin, c.end),
-                    compression.slice(c.begin, c.end),
-                    vnewc_full,
-                    &elems[c.begin..c.end],
-                    p.pmin,
-                    p.p_cut,
-                    p.eosvmax,
-                );
-            });
-            self.pool.parallel_for(len, |c: Chunk| unsafe {
-                eos::energy_step5(
-                    q_new.slice_mut(c.begin, c.end),
-                    delvc.slice(c.begin, c.end),
-                    pbvc.slice(c.begin, c.end),
-                    e_new.slice(c.begin, c.end),
-                    vnewc_full,
-                    &elems[c.begin..c.end],
-                    bvc.slice(c.begin, c.end),
-                    p_new.slice(c.begin, c.end),
-                    ql_old.slice(c.begin, c.end),
-                    qq_old.slice(c.begin, c.end),
-                    rho0,
-                    p.q_cut,
-                );
-            });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::energy_step1(
+                        e_new.slice_mut(c.begin, c.end),
+                        e_old.slice(c.begin, c.end),
+                        delvc.slice(c.begin, c.end),
+                        p_old.slice(c.begin, c.end),
+                        q_old.slice(c.begin, c.end),
+                        work.slice(c.begin, c.end),
+                        p.emin,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::calc_pressure_for_elems(
+                        p_half_step.slice_mut(c.begin, c.end),
+                        bvc.slice_mut(c.begin, c.end),
+                        pbvc.slice_mut(c.begin, c.end),
+                        e_new.slice(c.begin, c.end),
+                        comp_half_step.slice(c.begin, c.end),
+                        vnewc_full,
+                        &elems[c.begin..c.end],
+                        p.pmin,
+                        p.p_cut,
+                        p.eosvmax,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::energy_step2(
+                        e_new.slice_mut(c.begin, c.end),
+                        q_new.slice_mut(c.begin, c.end),
+                        comp_half_step.slice(c.begin, c.end),
+                        p_half_step.slice(c.begin, c.end),
+                        bvc.slice(c.begin, c.end),
+                        pbvc.slice(c.begin, c.end),
+                        delvc.slice(c.begin, c.end),
+                        p_old.slice(c.begin, c.end),
+                        q_old.slice(c.begin, c.end),
+                        ql_old.slice(c.begin, c.end),
+                        qq_old.slice(c.begin, c.end),
+                        rho0,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::energy_step3(
+                        e_new.slice_mut(c.begin, c.end),
+                        work.slice(c.begin, c.end),
+                        p.e_cut,
+                        p.emin,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::calc_pressure_for_elems(
+                        p_new.slice_mut(c.begin, c.end),
+                        bvc.slice_mut(c.begin, c.end),
+                        pbvc.slice_mut(c.begin, c.end),
+                        e_new.slice(c.begin, c.end),
+                        compression.slice(c.begin, c.end),
+                        vnewc_full,
+                        &elems[c.begin..c.end],
+                        p.pmin,
+                        p.p_cut,
+                        p.eosvmax,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::energy_step4(
+                        e_new.slice_mut(c.begin, c.end),
+                        delvc.slice(c.begin, c.end),
+                        p_old.slice(c.begin, c.end),
+                        q_old.slice(c.begin, c.end),
+                        p_half_step.slice(c.begin, c.end),
+                        q_new.slice(c.begin, c.end),
+                        p_new.slice(c.begin, c.end),
+                        bvc.slice(c.begin, c.end),
+                        pbvc.slice(c.begin, c.end),
+                        ql_old.slice(c.begin, c.end),
+                        qq_old.slice(c.begin, c.end),
+                        vnewc_full,
+                        &elems[c.begin..c.end],
+                        rho0,
+                        p.e_cut,
+                        p.emin,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::calc_pressure_for_elems(
+                        p_new.slice_mut(c.begin, c.end),
+                        bvc.slice_mut(c.begin, c.end),
+                        pbvc.slice_mut(c.begin, c.end),
+                        e_new.slice(c.begin, c.end),
+                        compression.slice(c.begin, c.end),
+                        vnewc_full,
+                        &elems[c.begin..c.end],
+                        p.pmin,
+                        p.p_cut,
+                        p.eosvmax,
+                    );
+                });
+            self.pool
+                .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                    eos::energy_step5(
+                        q_new.slice_mut(c.begin, c.end),
+                        delvc.slice(c.begin, c.end),
+                        pbvc.slice(c.begin, c.end),
+                        e_new.slice(c.begin, c.end),
+                        vnewc_full,
+                        &elems[c.begin..c.end],
+                        bvc.slice(c.begin, c.end),
+                        p_new.slice(c.begin, c.end),
+                        ql_old.slice(c.begin, c.end),
+                        qq_old.slice(c.begin, c.end),
+                        rho0,
+                        p.q_cut,
+                    );
+                });
         }
 
-        self.pool.parallel_for(len, |c: Chunk| unsafe {
-            eos::eos_store(
-                d,
-                &elems[c.begin..c.end],
-                p_new.slice(c.begin, c.end),
-                e_new.slice(c.begin, c.end),
-                q_new.slice(c.begin, c.end),
-            );
-        });
-        self.pool.parallel_for(len, |c: Chunk| unsafe {
-            eos::calc_sound_speed_for_elems(
-                d,
-                vnewc_full,
-                rho0,
-                e_new.slice(c.begin, c.end),
-                p_new.slice(c.begin, c.end),
-                pbvc.slice(c.begin, c.end),
-                bvc.slice(c.begin, c.end),
-                &elems[c.begin..c.end],
-            );
-        });
+        self.pool
+            .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                eos::eos_store(
+                    d,
+                    &elems[c.begin..c.end],
+                    p_new.slice(c.begin, c.end),
+                    e_new.slice(c.begin, c.end),
+                    q_new.slice(c.begin, c.end),
+                );
+            });
+        self.pool
+            .parallel_for_labeled("eos", len, |c: Chunk| unsafe {
+                eos::calc_sound_speed_for_elems(
+                    d,
+                    vnewc_full,
+                    rho0,
+                    e_new.slice(c.begin, c.end),
+                    p_new.slice(c.begin, c.end),
+                    pbvc.slice(c.begin, c.end),
+                    bvc.slice(c.begin, c.end),
+                    &elems[c.begin..c.end],
+                );
+            });
         Ok(())
     }
 }
@@ -624,5 +675,46 @@ mod tests {
         omp.run(&d, 5).unwrap();
         let u = omp.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn traced_run_emits_phase_spans_and_identical_results() {
+        let iterations = 3u64;
+        let threads = 2usize;
+        let ds = Domain::build(5, 2, 1, 1, 0);
+        serial::run(&ds, iterations).unwrap();
+
+        let tracer = Tracer::shared(threads + 1);
+        let dp = Domain::build(5, 2, 1, 1, 0);
+        let mut omp = OmpLulesh::with_tracer(threads, std::sync::Arc::clone(&tracer), 0);
+        omp.run(&dp, iterations).unwrap();
+        assert_eq!(
+            max_field_difference(&ds, &dp),
+            0.0,
+            "tracing must not perturb physics"
+        );
+
+        let spans = tracer.drain();
+        let iter_spans = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Region && s.label == "iteration")
+            .count();
+        assert_eq!(iter_spans as u64, iterations);
+        // Every kernel phase shows up, and each loop produced one span per
+        // participating thread.
+        for phase in [
+            "stress",
+            "hourglass",
+            "node",
+            "kinematics",
+            "eos",
+            "constraints",
+        ] {
+            let n = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Region && s.label == phase)
+                .count();
+            assert!(n >= threads, "phase {phase} missing from trace ({n} spans)");
+        }
     }
 }

@@ -3,7 +3,8 @@
 //! CSV output format `size,regions,iterations,threads,runtime,result`.
 
 use lulesh_core::{Domain, Opts, RunReport};
-use lulesh_task::{PartitionPlan, TaskLulesh};
+use lulesh_task::{Features, PartitionPlan, TaskLulesh};
+use obs::Tracer;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,7 +27,13 @@ fn main() {
         opts.seed,
     ));
     let plan = PartitionPlan::for_size(opts.size);
-    let runner = TaskLulesh::new(opts.threads);
+    // One lane per worker plus a control lane for iteration spans.
+    let tracer =
+        (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(opts.threads + 1));
+    let runner = match &tracer {
+        Some(t) => TaskLulesh::with_tracer(opts.threads, Features::default(), Arc::clone(t), 0),
+        None => TaskLulesh::new(opts.threads),
+    };
     runner.reset_counters();
     let t0 = Instant::now();
     let state = match runner.run(&domain, plan, opts.max_cycles) {
@@ -47,6 +54,13 @@ fn main() {
             "Task graph per iteration: {} tasks, {} sync points (partition {}x{})",
             g.tasks, g.barriers, plan.nodal, plan.elements
         );
+    }
+    if let Some(t) = &tracer {
+        let spans = t.drain();
+        if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
+            eprintln!("failed to write trace/metrics: {e}");
+            std::process::exit(1);
+        }
     }
     println!("{}", RunReport::CSV_HEADER);
     println!("{}", report.csv_row());

@@ -44,11 +44,12 @@ use lulesh_core::kernels::{constraints, eos, hourglass, kinematics, monoq, nodal
 use lulesh_core::params::SimState;
 use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{LuleshError, Real};
+use obs::{SpanKind, Tracer};
 use parking_lot::Mutex;
 use parutil::{chunks_of, Chunk, SharedVec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use taskrt::{when_all_unit, Future, Runtime};
+use taskrt::{Future, Runtime};
 
 /// A communication step injected into the iteration graph (multi-domain
 /// halo exchange). Runs as a task of its own between two phases.
@@ -234,6 +235,27 @@ impl TaskLulesh {
         }
     }
 
+    /// Runner with span tracing attached: worker `i` records onto `tracer`
+    /// lane `lane_base + i`; driver-level spans (the per-iteration region)
+    /// go on the control lane `lane_base + threads`.
+    pub fn with_tracer(
+        threads: usize,
+        features: Features,
+        tracer: Arc<Tracer>,
+        lane_base: usize,
+    ) -> Self {
+        Self {
+            rt: Runtime::with_tracer(threads, tracer, lane_base),
+            features,
+            stats: Default::default(),
+        }
+    }
+
+    /// The attached tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.rt.tracer()
+    }
+
     /// Worker thread count.
     pub fn threads(&self) -> usize {
         self.rt.threads()
@@ -301,8 +323,20 @@ impl TaskLulesh {
             scratch.reset_iteration();
 
             // Pre-create the entire iteration graph, then join once.
+            let iter_start = self.rt.tracer().map(|t| (Arc::clone(t), t.now_ns()));
             let end = self.build_iteration(d, &scratch, plan, state.deltatime, hooks);
             end.get();
+            if let Some((tracer, start)) = iter_start {
+                // One region span per leapfrog iteration on the control
+                // lane, bracketing the whole graph: build + execute + join.
+                tracer.record_interval(
+                    self.rt.current_lane(),
+                    SpanKind::Region,
+                    "iteration",
+                    start,
+                    tracer.now_ns(),
+                );
+            }
 
             let local_err = if scratch.volume_error.load(Ordering::Relaxed) {
                 Some(LuleshError::VolumeError)
@@ -322,8 +356,10 @@ impl TaskLulesh {
     /// Spawn a group: every item becomes a chain of its stages (T2 on) or a
     /// layered sequence with a barrier between stages (T2 off). `starts`
     /// must hold one future per item, or be empty to spawn immediately.
+    /// `label` names the kernel phase on every task's trace span.
     fn run_group(
         &self,
+        label: &'static str,
         starts: Vec<Future<()>>,
         group: Group,
         tasks: &mut usize,
@@ -340,12 +376,12 @@ impl TaskLulesh {
                 let mut stages = stages.into_iter();
                 let first = stages.next().expect("group items are non-empty");
                 let mut fut = match starts.next() {
-                    Some(s) => s.then(&self.rt, move |_| first()),
-                    None => self.rt.spawn(first),
+                    Some(s) => s.then_labeled(&self.rt, label, move |_| first()),
+                    None => self.rt.spawn_labeled(label, first),
                 };
                 *tasks += 1;
                 for stage in stages {
-                    fut = fut.then(&self.rt, move |_| stage());
+                    fut = fut.then_labeled(&self.rt, label, move |_| stage());
                     *tasks += 1;
                 }
                 finals.push(fut);
@@ -366,7 +402,9 @@ impl TaskLulesh {
             let mut futs: Vec<Future<()>> = Vec::new();
             for (l, layer) in layers.into_iter().enumerate() {
                 if l > 0 {
-                    let barrier = when_all_unit(std::mem::take(&mut futs));
+                    let barrier = self
+                        .rt
+                        .when_all_unit_labeled("barrier-stage", std::mem::take(&mut futs));
                     *barriers += 1;
                     starts = barrier.fork(k);
                 }
@@ -375,7 +413,7 @@ impl TaskLulesh {
                         .into_iter()
                         .map(|s| {
                             *tasks += 1;
-                            self.rt.spawn(s)
+                            self.rt.spawn_labeled(label, s)
                         })
                         .collect()
                 } else {
@@ -384,7 +422,7 @@ impl TaskLulesh {
                         .zip(layer)
                         .map(|(f, s)| {
                             *tasks += 1;
-                            f.then(&self.rt, move |_| s())
+                            f.then_labeled(&self.rt, label, move |_| s())
                         })
                         .collect()
                 };
@@ -395,20 +433,20 @@ impl TaskLulesh {
 
     /// Fan a barrier out over several independent groups and return every
     /// item's final future (the fork/drain boilerplate shared by phases D,
-    /// E and F).
+    /// E and F). Each group carries its phase label.
     fn run_groups_from(
         &self,
         barrier: Future<()>,
-        groups: Vec<Group>,
+        groups: Vec<(&'static str, Group)>,
         tasks: &mut usize,
         barriers: &mut usize,
     ) -> Vec<Future<()>> {
-        let total: usize = groups.iter().map(|g| g.len()).sum();
+        let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
         let mut starts = barrier.fork(total);
         let mut finals = Vec::with_capacity(total);
-        for g in groups {
+        for (label, g) in groups {
             let s: Vec<_> = starts.drain(..g.len()).collect();
-            finals.extend(self.run_group(s, g, tasks, barriers));
+            finals.extend(self.run_group(label, s, g, tasks, barriers));
         }
         finals
     }
@@ -440,17 +478,35 @@ impl TaskLulesh {
         }
 
         let b1 = if f.parallel_force_chains {
-            let mut finals = self.run_group(Vec::new(), stress_group, &mut tasks, &mut barriers);
-            finals.extend(self.run_group(Vec::new(), hg_group, &mut tasks, &mut barriers));
-            when_all_unit(finals)
+            let mut finals = self.run_group(
+                "stress",
+                Vec::new(),
+                stress_group,
+                &mut tasks,
+                &mut barriers,
+            );
+            finals.extend(self.run_group(
+                "hourglass",
+                Vec::new(),
+                hg_group,
+                &mut tasks,
+                &mut barriers,
+            ));
+            self.rt.when_all_unit_labeled("barrier-forces", finals)
         } else {
             // Reference-like ordering: all stress, barrier, all hourglass.
-            let sf = self.run_group(Vec::new(), stress_group, &mut tasks, &mut barriers);
-            let sb = when_all_unit(sf);
+            let sf = self.run_group(
+                "stress",
+                Vec::new(),
+                stress_group,
+                &mut tasks,
+                &mut barriers,
+            );
+            let sb = self.rt.when_all_unit_labeled("barrier-stress-hg", sf);
             barriers += 1;
             let k = hg_group.len();
-            let hf = self.run_group(sb.fork(k), hg_group, &mut tasks, &mut barriers);
-            when_all_unit(hf)
+            let hf = self.run_group("hourglass", sb.fork(k), hg_group, &mut tasks, &mut barriers);
+            self.rt.when_all_unit_labeled("barrier-forces", hf)
         };
         barriers += 1;
 
@@ -462,8 +518,8 @@ impl TaskLulesh {
                     node_group.push(node_stages(d, sc, c, dt, f.merge_kernels));
                 }
                 let k = node_group.len();
-                let bf = self.run_group(b1.fork(k), node_group, &mut tasks, &mut barriers);
-                let b2 = when_all_unit(bf);
+                let bf = self.run_group("node", b1.fork(k), node_group, &mut tasks, &mut barriers);
+                let b2 = self.rt.when_all_unit_labeled("barrier-nodes", bf);
                 barriers += 1;
                 b2
             }
@@ -477,20 +533,32 @@ impl TaskLulesh {
                     gather_group.push(vec![node_gather_stage(d, sc, c)]);
                 }
                 let k = gather_group.len();
-                let gf = self.run_group(b1.fork(k), gather_group, &mut tasks, &mut barriers);
-                let bg = when_all_unit(gf);
+                let gf = self.run_group(
+                    "node-gather",
+                    b1.fork(k),
+                    gather_group,
+                    &mut tasks,
+                    &mut barriers,
+                );
+                let bg = self.rt.when_all_unit_labeled("barrier-gather", gf);
                 barriers += 1;
                 let hook = Arc::clone(hook);
                 tasks += 1;
-                let hooked = bg.then(&self.rt, move |_| hook());
+                let hooked = bg.then_kind(&self.rt, "halo-forces", SpanKind::Halo, move |_| hook());
 
                 let mut update_group = Group::new();
                 for c in chunks_of(num_node, plan.nodal) {
                     update_group.push(node_update_stages(d, c, dt, f.merge_kernels));
                 }
                 let k = update_group.len();
-                let uf = self.run_group(hooked.fork(k), update_group, &mut tasks, &mut barriers);
-                let b2 = when_all_unit(uf);
+                let uf = self.run_group(
+                    "node-update",
+                    hooked.fork(k),
+                    update_group,
+                    &mut tasks,
+                    &mut barriers,
+                );
+                let b2 = self.rt.when_all_unit_labeled("barrier-nodes", uf);
                 barriers += 1;
                 b2
             }
@@ -502,8 +570,14 @@ impl TaskLulesh {
             kin_group.push(kinematics_stages(d, sc, c, dt, f.merge_kernels));
         }
         let k = kin_group.len();
-        let cf = self.run_group(b2.fork(k), kin_group, &mut tasks, &mut barriers);
-        let b3 = when_all_unit(cf);
+        let cf = self.run_group(
+            "kinematics",
+            b2.fork(k),
+            kin_group,
+            &mut tasks,
+            &mut barriers,
+        );
+        let b3 = self.rt.when_all_unit_labeled("barrier-kinematics", cf);
         barriers += 1;
 
         // Inter-domain gradient-ghost exchange (multi-domain runs).
@@ -511,13 +585,13 @@ impl TaskLulesh {
             Some(hook) => {
                 let hook = Arc::clone(hook);
                 tasks += 1;
-                b3.then(&self.rt, move |_| hook())
+                b3.then_kind(&self.rt, "halo-gradients", SpanKind::Halo, move |_| hook())
             }
             None => b3,
         };
 
         // ---------------- Phase D: monotonic Q + vnewc prep ----------------
-        let mut d_groups: Vec<Group> = Vec::new();
+        let mut d_groups: Vec<(&'static str, Group)> = Vec::new();
         let mut q_group = Group::new();
         for r in 0..d.num_reg() {
             let reg_len = d.regions.reg_elem_list[r].len();
@@ -529,13 +603,13 @@ impl TaskLulesh {
                 }) as Stage]);
             }
         }
-        d_groups.push(q_group);
+        d_groups.push(("monoq", q_group));
 
         let mut vnewc_group = Group::new();
         for c in chunks_of(num_elem, plan.elements) {
             vnewc_group.push(vnewc_stages(d, sc, c, f.merge_kernels));
         }
-        d_groups.push(vnewc_group);
+        d_groups.push(("vnewc", vnewc_group));
 
         let mut qstop_group = Group::new();
         for c in chunks_of(num_elem, plan.elements) {
@@ -547,14 +621,14 @@ impl TaskLulesh {
                 }
             }) as Stage]);
         }
-        d_groups.push(qstop_group);
+        d_groups.push(("qstop", qstop_group));
 
         let d_finals = self.run_groups_from(b3, d_groups, &mut tasks, &mut barriers);
-        let b4 = when_all_unit(d_finals);
+        let b4 = self.rt.when_all_unit_labeled("barrier-q", d_finals);
         barriers += 1;
 
         // ---------------- Phase E: per-region EOS ----------------
-        let mut region_groups: Vec<Group> = Vec::new();
+        let mut region_groups: Vec<(&'static str, Group)> = Vec::new();
         for r in 0..d.num_reg() {
             let mut g = Group::new();
             let reg_len = d.regions.reg_elem_list[r].len();
@@ -576,18 +650,18 @@ impl TaskLulesh {
                     eos::eval_eos_for_elems(&dd, vnewc, elems, rep, &dd.params, &mut scratch);
                 }) as Stage]);
             }
-            region_groups.push(g);
+            region_groups.push(("eos", g));
         }
 
         let b5 = if f.parallel_region_eos {
             let finals = self.run_groups_from(b4, region_groups, &mut tasks, &mut barriers);
-            when_all_unit(finals)
+            self.rt.when_all_unit_labeled("barrier-eos", finals)
         } else {
             // Sequential regions: barrier between consecutive regions.
             // Empty regions are skipped so they don't sever the chain.
             let mut barrier = b4;
             let mut first = true;
-            for g in region_groups {
+            for (label, g) in region_groups {
                 if g.len() == 0 {
                     continue;
                 }
@@ -596,15 +670,15 @@ impl TaskLulesh {
                 }
                 first = false;
                 let k = g.len();
-                let finals = self.run_group(barrier.fork(k), g, &mut tasks, &mut barriers);
-                barrier = when_all_unit(finals);
+                let finals = self.run_group(label, barrier.fork(k), g, &mut tasks, &mut barriers);
+                barrier = self.rt.when_all_unit_labeled("barrier-eos-region", finals);
             }
             barrier
         };
         barriers += 1;
 
         // ---------------- Phase F: volume commit + dt constraints ----------------
-        let mut f_groups: Vec<Group> = Vec::new();
+        let mut f_groups: Vec<(&'static str, Group)> = Vec::new();
         let mut upd_group = Group::new();
         for c in chunks_of(num_elem, plan.elements) {
             let dd = Arc::clone(d);
@@ -612,7 +686,7 @@ impl TaskLulesh {
                 kinematics::update_volumes_for_elems(&dd, dd.params.v_cut, c);
             }) as Stage]);
         }
-        f_groups.push(upd_group);
+        f_groups.push(("volume", upd_group));
 
         let mut con_group = Group::new();
         for r in 0..d.num_reg() {
@@ -638,10 +712,10 @@ impl TaskLulesh {
                 }) as Stage]);
             }
         }
-        f_groups.push(con_group);
+        f_groups.push(("constraints", con_group));
 
         let f_finals = self.run_groups_from(b5, f_groups, &mut tasks, &mut barriers);
-        let end = when_all_unit(f_finals);
+        let end = self.rt.when_all_unit_labeled("barrier-end", f_finals);
         barriers += 1; // the iteration-end join
 
         self.stats.set(GraphStats { tasks, barriers });
@@ -1130,6 +1204,65 @@ mod tests {
             naive.graph_stats().barriers,
             opt.graph_stats().barriers
         );
+    }
+
+    #[test]
+    fn traced_run_has_six_sync_points_per_iteration() {
+        // Satellite check for the paper's sync-point accounting: the claim
+        // of six synchronization points per leapfrog iteration is verified
+        // at *runtime* from emitted barrier spans, not from GraphStats
+        // bookkeeping (which could drift from what actually executes).
+        let iterations = 4u64;
+        let threads = 3usize;
+        let tracer = Tracer::shared(threads + 1);
+        let d = Arc::new(Domain::build(5, 3, 1, 1, 0));
+        let runner = TaskLulesh::with_tracer(threads, Features::default(), Arc::clone(&tracer), 0);
+        let st = runner
+            .run(&d, PartitionPlan::fixed(32, 32), iterations)
+            .unwrap();
+        assert_eq!(st.cycle, iterations);
+
+        let spans = tracer.drain();
+        let barrier_spans = spans.iter().filter(|s| s.kind == SpanKind::Barrier).count();
+        assert_eq!(
+            barrier_spans as u64,
+            6 * iterations,
+            "default features must execute exactly 6 sync points per iteration"
+        );
+        let iter_spans = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Region && s.label == "iteration")
+            .count();
+        assert_eq!(iter_spans as u64, iterations);
+        // Every graph task got a span, and the labels are the kernel set.
+        assert!(spans.iter().filter(|s| s.kind == SpanKind::Task).all(|s| {
+            matches!(
+                s.label,
+                "stress"
+                    | "hourglass"
+                    | "node"
+                    | "node-gather"
+                    | "node-update"
+                    | "kinematics"
+                    | "monoq"
+                    | "vnewc"
+                    | "qstop"
+                    | "eos"
+                    | "volume"
+                    | "constraints"
+            )
+        }));
+    }
+
+    #[test]
+    fn traced_matches_untraced_results() {
+        // Tracing must be observational only: bit-identical physics.
+        let ds = serial_ref(5, 2, 6);
+        let tracer = Tracer::shared(3);
+        let d = Arc::new(Domain::build(5, 2, 1, 1, 0));
+        let runner = TaskLulesh::with_tracer(2, Features::default(), tracer, 0);
+        runner.run(&d, PartitionPlan::fixed(32, 32), 6).unwrap();
+        assert_eq!(max_field_difference(&ds, &d), 0.0);
     }
 
     #[test]

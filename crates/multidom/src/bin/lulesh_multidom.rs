@@ -4,6 +4,8 @@
 
 use lulesh_core::{Opts, RunReport};
 use multidom::{threaded, Decomposition};
+use obs::Tracer;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -44,15 +46,29 @@ fn main() {
     }
 
     let decomp = Decomposition::new(opts.size, ranks);
+    // One tracer lane per rank; rank 0's lane also carries iteration spans.
+    let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
     let t0 = Instant::now();
-    let (domains, state) = match threaded::run(
-        decomp,
-        opts.num_reg,
-        opts.balance,
-        opts.cost,
-        opts.seed,
-        opts.max_cycles,
-    ) {
+    let result = match &tracer {
+        Some(t) => threaded::run_traced(
+            decomp,
+            opts.num_reg,
+            opts.balance,
+            opts.cost,
+            opts.seed,
+            opts.max_cycles,
+            Arc::clone(t),
+        ),
+        None => threaded::run(
+            decomp,
+            opts.num_reg,
+            opts.balance,
+            opts.cost,
+            opts.seed,
+            opts.max_cycles,
+        ),
+    };
+    let (domains, state) = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -71,6 +87,13 @@ fn main() {
             opts.size,
             opts.size / ranks
         );
+    }
+    if let Some(t) = &tracer {
+        let spans = t.drain();
+        if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
+            eprintln!("failed to write trace/metrics: {e}");
+            std::process::exit(1);
+        }
     }
     println!("{}", RunReport::CSV_HEADER);
     println!("{}", report.csv_row());

@@ -21,6 +21,8 @@ use lulesh_core::serial::{
 };
 use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{LuleshError, Real};
+use obs::{SpanKind, Tracer};
+use std::sync::Arc;
 
 /// Messages a rank exchanges with one ζ neighbour.
 type Plane = Vec<Real>;
@@ -61,6 +63,32 @@ pub fn run(
     )
 }
 
+/// [`run`] with span tracing: rank `r` records its phases as
+/// [`SpanKind::Region`] spans, its ring exchanges as [`SpanKind::Halo`]
+/// spans and the dt allreduce as a [`SpanKind::Barrier`] span, all on
+/// `tracer` lane `r` (the per-iteration region span goes on rank 0's
+/// lane only, so iteration counts stay meaningful).
+pub fn run_traced(
+    decomp: Decomposition,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+    tracer: Arc<Tracer>,
+) -> Result<(Vec<Domain>, SimState), LuleshError> {
+    run_impl(
+        decomp,
+        num_reg,
+        balance,
+        cost,
+        seed,
+        max_cycles,
+        lulesh_core::Params::default(),
+        Some(tracer),
+    )
+}
+
 /// [`run`] with explicit control parameters (custom `stoptime`, abort
 /// thresholds, …) applied to every rank's domain.
 #[allow(clippy::too_many_arguments)]
@@ -72,6 +100,22 @@ pub fn run_with_params(
     seed: u64,
     max_cycles: u64,
     params: lulesh_core::Params,
+) -> Result<(Vec<Domain>, SimState), LuleshError> {
+    run_impl(
+        decomp, num_reg, balance, cost, seed, max_cycles, params, None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_impl(
+    decomp: Decomposition,
+    num_reg: usize,
+    balance: i32,
+    cost: i32,
+    seed: u64,
+    max_cycles: u64,
+    params: lulesh_core::Params,
+    trace: Option<Arc<Tracer>>,
 ) -> Result<(Vec<Domain>, SimState), LuleshError> {
     let ranks = decomp.ranks();
 
@@ -122,11 +166,13 @@ pub fn run_with_params(
         .map(|r| {
             let shape = decomp.shape(r);
             let comm = comms[r].take().expect("comm built for every rank");
+            let trace = trace.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-rank-{r}"))
                 .spawn(move || {
                     rank_main(
-                        shape, comm, ranks, num_reg, balance, cost, seed, max_cycles, params,
+                        shape, comm, r, ranks, num_reg, balance, cost, seed, max_cycles, params,
+                        trace,
                     )
                 })
                 .expect("spawn rank thread")
@@ -147,6 +193,7 @@ pub fn run_with_params(
 fn rank_main(
     shape: lulesh_core::mesh::MeshShape,
     comm: RankComm,
+    rank: usize,
     ranks: usize,
     num_reg: usize,
     balance: i32,
@@ -154,16 +201,35 @@ fn rank_main(
     seed: u64,
     max_cycles: u64,
     params: lulesh_core::Params,
+    trace: Option<Arc<Tracer>>,
 ) -> Result<(Domain, SimState), LuleshError> {
     let mut d = Domain::build_subdomain(shape, num_reg, balance, cost, seed);
     d.params = params;
     let mut scratch = SerialScratch::new(d.num_elem());
 
+    // Record a span of `kind` on this rank's lane bracketing `f`.
+    macro_rules! spanned {
+        ($label:expr, $kind:expr, $f:expr) => {{
+            match trace.as_ref() {
+                Some(t) => {
+                    let start = t.now_ns();
+                    let out = $f;
+                    t.record_interval(rank, $kind, $label, start, t.now_ns());
+                    out
+                }
+                None => $f,
+            }
+        }};
+    }
+
     // One-time nodal mass exchange.
-    ring_exchange_mass(&d, comm.down.as_ref(), comm.up.as_ref());
+    spanned!("halo-mass", SpanKind::Halo, {
+        ring_exchange_mass(&d, comm.down.as_ref(), comm.up.as_ref())
+    });
 
     let mut state = SimState::new(d.initial_dt());
     while state.time < params.stoptime && state.cycle < max_cycles {
+        let iter_start = trace.as_ref().map(|t| t.now_ns());
         time_increment(&mut state, &params);
         let dt = state.deltatime;
 
@@ -174,44 +240,63 @@ fn rank_main(
         let mut local_err: Option<LuleshError> = None;
 
         // Forces + halo sum.
-        local_err = local_err.or(calc_force_for_nodes(&d, &mut scratch).err());
-        ring_exchange_forces(&d, comm.down.as_ref(), comm.up.as_ref());
+        local_err = local_err.or(spanned!("forces", SpanKind::Region, {
+            calc_force_for_nodes(&d, &mut scratch).err()
+        }));
+        spanned!("halo-forces", SpanKind::Halo, {
+            ring_exchange_forces(&d, comm.down.as_ref(), comm.up.as_ref())
+        });
 
         if local_err.is_none() {
-            advance_nodes(&d, dt);
+            spanned!("node", SpanKind::Region, advance_nodes(&d, dt));
         }
 
         // Gradients + ghost exchange.
         if local_err.is_none() {
-            local_err = calc_kinematics_and_gradients(&d, dt).err();
+            local_err = spanned!("kinematics", SpanKind::Region, {
+                calc_kinematics_and_gradients(&d, dt).err()
+            });
         }
-        ring_exchange_gradients(&d, comm.down.as_ref(), comm.up.as_ref());
+        spanned!("halo-gradients", SpanKind::Halo, {
+            ring_exchange_gradients(&d, comm.down.as_ref(), comm.up.as_ref())
+        });
 
         if local_err.is_none() {
-            local_err = apply_q_and_materials(&d, &mut scratch).err();
+            local_err = spanned!("eos", SpanKind::Region, {
+                apply_q_and_materials(&d, &mut scratch).err()
+            });
         }
 
         // dt constraints: allreduce(min) through rank 0, errors riding
         // along so everyone aborts in the same iteration.
         let (c, h) = if local_err.is_none() {
-            constraints::calc_time_constraints(&d, params.qqc, params.dvovmax)
+            spanned!("constraints", SpanKind::Region, {
+                constraints::calc_time_constraints(&d, params.qqc, params.dvovmax)
+            })
         } else {
             (1.0e20, 1.0e20)
         };
-        let (gc, gh, gerr) = star_allreduce(
-            &comm.to_root,
-            &comm.from_root,
-            comm.root.as_ref().map(|(rx, txs)| (rx, txs.as_slice())),
-            ranks,
-            c,
-            h,
-            local_err,
-        );
+        let (gc, gh, gerr) = spanned!("barrier-dt", SpanKind::Barrier, {
+            star_allreduce(
+                &comm.to_root,
+                &comm.from_root,
+                comm.root.as_ref().map(|(rx, txs)| (rx, txs.as_slice())),
+                ranks,
+                c,
+                h,
+                local_err,
+            )
+        });
         if let Some(e) = gerr {
             return Err(e);
         }
         state.dtcourant = gc;
         state.dthydro = gh;
+        if rank == 0 {
+            if let (Some(t), Some(start)) = (trace.as_ref(), iter_start) {
+                t.record_interval(rank, SpanKind::Region, "iteration", start, t.now_ns());
+            }
+        }
     }
 
     Ok((d, state))
@@ -255,6 +340,38 @@ mod tests {
         world.domains = domains;
         let diff = world.max_difference_vs_single(&single);
         assert!(diff < 1e-7, "threaded vs single: {diff}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_rank_spans() {
+        let decomp = Decomposition::new(6, 2);
+        let (base, st_base) = run(decomp, 2, 1, 1, 0, 8).unwrap();
+
+        let tracer = Tracer::shared(2);
+        let (traced, st_traced) = run_traced(decomp, 2, 1, 1, 0, 8, Arc::clone(&tracer)).unwrap();
+        assert_eq!(st_base.cycle, st_traced.cycle);
+        for (a, b) in base.iter().zip(&traced) {
+            assert_eq!(lulesh_core::validate::max_field_difference(a, b), 0.0);
+        }
+
+        let spans = tracer.drain();
+        // 8 iterations × 2 ranks of dt-allreduce barriers.
+        let barriers = spans.iter().filter(|s| s.kind == SpanKind::Barrier).count();
+        assert_eq!(barriers, 16);
+        // Two-rank ring: every rank exchanged forces and gradients.
+        for rank in 0..2 {
+            for label in ["halo-forces", "halo-gradients"] {
+                let n = spans
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::Halo && s.label == label && s.worker == rank)
+                    .count();
+                assert_eq!(n, 8, "rank {rank} {label}");
+            }
+        }
+        // Iteration spans only on rank 0's lane.
+        let iters: Vec<_> = spans.iter().filter(|s| s.label == "iteration").collect();
+        assert_eq!(iters.len(), 8);
+        assert!(iters.iter().all(|s| s.worker == 0));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Validate an emitted Chrome-trace file: well-formed JSON, top-level
+//! array, and (optionally) a minimum number of `"cat": "barrier"` events.
+//! Used by `scripts/check.sh` to prove `--trace` output is loadable.
+//!
+//! Usage: `trace_lint <file.json> [min_barrier_events]`
+
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_lint <trace.json> [min_barrier_events]");
+            exit(2);
+        }
+    };
+    let min_barriers: usize = args
+        .next()
+        .map(|s| s.parse().expect("min_barrier_events must be an integer"))
+        .unwrap_or(0);
+
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = obs::jsonlint::validate(&content) {
+        eprintln!("{path}: invalid JSON: {e}");
+        exit(1);
+    }
+    if !content.trim_start().starts_with('[') {
+        eprintln!("{path}: a Chrome trace must be a top-level JSON array");
+        exit(1);
+    }
+    let barriers = content.matches(r#""cat": "barrier""#).count();
+    if barriers < min_barriers {
+        eprintln!("{path}: expected >= {min_barriers} barrier events, found {barriers}");
+        exit(1);
+    }
+    let events = content.matches(r#""ph": "X""#).count();
+    println!("{path}: OK ({events} events, {barriers} barriers)");
+}

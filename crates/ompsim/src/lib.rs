@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+use obs::{SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 use parutil::{static_split, BusyIdleClock, CachePadded, Chunk, SenseBarrier};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -28,6 +29,13 @@ use std::time::Instant;
 /// The job the pool broadcasts to its workers: a borrowed closure invoked
 /// as `f(thread_id, nthreads)`.
 type Job = *const (dyn Fn(usize, usize) + Sync);
+
+/// Tracing attachment: thread `tid` records [`SpanKind::Region`] spans on
+/// `tracer` lane `lane_base + tid`.
+struct TraceCtx {
+    tracer: Arc<Tracer>,
+    lane_base: usize,
+}
 
 struct Shared {
     /// Current job plus its generation; valid only between post and the
@@ -41,14 +49,41 @@ struct Shared {
     panicked: AtomicBool,
     clocks: Vec<CachePadded<BusyIdleClock>>,
     epoch: Mutex<Instant>,
+    /// `None` ⇒ tracing disabled; each region pays one branch.
+    trace: Option<TraceCtx>,
 }
 
 /// Wrapper making the raw job pointer `Send`. Validity is guaranteed by the
 /// fork-join protocol: the master does not return (and therefore the
 /// referenced closure does not die) until every worker has passed the
-/// completion barrier for this job.
-struct SendJob(Job, u64);
+/// completion barrier for this job. Carries the region's generation and
+/// phase label (labels are `'static`, so shipping them is free).
+struct SendJob(Job, u64, &'static str);
 unsafe impl Send for SendJob {}
+
+/// Time `f` on thread `tid`, crediting the single measurement to both the
+/// thread's busy clock and (when tracing) a [`SpanKind::Region`] span — so
+/// `Pool::stats().busy_ns` equals the summed span durations exactly.
+fn exec_region(shared: &Shared, tid: usize, label: &'static str, f: impl FnOnce()) {
+    match shared.trace.as_ref() {
+        Some(tc) => {
+            let start = tc.tracer.now_ns();
+            let t0 = Instant::now();
+            f();
+            let dur = t0.elapsed().as_nanos() as u64;
+            shared.clocks[tid].add_busy_ns(dur);
+            shared.clocks[tid].count_task();
+            tc.tracer.record_interval(
+                tc.lane_base + tid,
+                SpanKind::Region,
+                label,
+                start,
+                start + dur,
+            );
+        }
+        None => shared.clocks[tid].run_busy(f),
+    }
+}
 
 /// A persistent fork-join worker pool.
 pub struct Pool {
@@ -76,6 +111,17 @@ impl Pool {
     /// thread acts as thread 0 (like an OpenMP master), so `nthreads - 1`
     /// OS threads are spawned.
     pub fn new(nthreads: usize) -> Self {
+        Self::build(nthreads, None)
+    }
+
+    /// [`new`](Self::new) with span tracing attached: thread `tid` records
+    /// each parallel region as a [`SpanKind::Region`] span on `tracer`
+    /// lane `lane_base + tid`.
+    pub fn with_tracer(nthreads: usize, tracer: Arc<Tracer>, lane_base: usize) -> Self {
+        Self::build(nthreads, Some(TraceCtx { tracer, lane_base }))
+    }
+
+    fn build(nthreads: usize, trace: Option<TraceCtx>) -> Self {
         assert!(nthreads >= 1, "need at least one thread");
         let shared = Arc::new(Shared {
             job: Mutex::new(None),
@@ -87,6 +133,7 @@ impl Pool {
                 .map(|_| CachePadded(BusyIdleClock::new()))
                 .collect(),
             epoch: Mutex::new(Instant::now()),
+            trace,
         });
 
         let handles = (1..nthreads)
@@ -118,9 +165,18 @@ impl Pool {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.parallel_region_labeled("region", f)
+    }
+
+    /// [`parallel_region`](Self::parallel_region) with a phase label for
+    /// the per-thread trace spans (e.g. the LULESH kernel the region runs).
+    pub fn parallel_region_labeled<F>(&mut self, label: &'static str, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         let nthreads = self.nthreads;
         if nthreads == 1 {
-            self.shared.clocks[0].run_busy(|| f(0, 1));
+            exec_region(&self.shared, 0, label, || f(0, 1));
             return;
         }
         self.shared.panicked.store(false, Ordering::Relaxed);
@@ -133,7 +189,7 @@ impl Pool {
         let job: Job = unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(wide) };
         {
             let mut slot = self.shared.job.lock();
-            *slot = Some(SendJob(job, self.next_gen));
+            *slot = Some(SendJob(job, self.next_gen, label));
             self.shared.job_cv.notify_all();
         }
 
@@ -141,7 +197,7 @@ impl Pool {
         // past the join barrier: the workers still hold the lifetime-erased
         // pointer to `f` until they cross it. Catch, join, then re-raise.
         let master_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.shared.clocks[0].run_busy(|| f(0, nthreads));
+            exec_region(&self.shared, 0, label, || f(0, nthreads));
         }))
         .err();
 
@@ -162,12 +218,32 @@ impl Pool {
     where
         F: Fn(Chunk) + Sync,
     {
-        self.parallel_region(|tid, nthreads| {
+        self.parallel_for_labeled("loop", n, body)
+    }
+
+    /// [`parallel_for`](Self::parallel_for) with a phase label for the
+    /// per-thread trace spans.
+    pub fn parallel_for_labeled<F>(&mut self, label: &'static str, n: usize, body: F)
+    where
+        F: Fn(Chunk) + Sync,
+    {
+        self.parallel_region_labeled(label, |tid, nthreads| {
             let chunk = static_split(n, nthreads, tid);
             if !chunk.is_empty() {
                 body(chunk);
             }
         });
+    }
+
+    /// The attached tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.shared.trace.as_ref().map(|t| &t.tracer)
+    }
+
+    /// The lane tracing was attached at (thread `tid` records on
+    /// `lane_base + tid`). `None` when untraced.
+    pub fn trace_lane_base(&self) -> Option<usize> {
+        self.shared.trace.as_ref().map(|t| t.lane_base)
     }
 
     /// `#pragma omp parallel for schedule(dynamic, chunk)`: threads grab
@@ -249,10 +325,10 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
                 return;
             }
             if let Some(slot) = shared.job.try_lock() {
-                if let Some(SendJob(ptr, gen)) = &*slot {
+                if let Some(SendJob(ptr, gen, label)) = &*slot {
                     if *gen > seen_gen {
                         seen_gen = *gen;
-                        job = Some(*ptr);
+                        job = Some((*ptr, *label));
                         break;
                     }
                 }
@@ -263,7 +339,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
                 std::hint::spin_loop();
             }
         }
-        let job = match job {
+        let (job, label) = match job {
             Some(j) => j,
             None => {
                 let mut slot = shared.job.lock();
@@ -272,9 +348,9 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
                         return;
                     }
                     match &*slot {
-                        Some(SendJob(ptr, gen)) if *gen > seen_gen => {
+                        Some(SendJob(ptr, gen, label)) if *gen > seen_gen => {
                             seen_gen = *gen;
-                            break *ptr;
+                            break (*ptr, *label);
                         }
                         _ => shared.job_cv.wait(&mut slot),
                     }
@@ -290,7 +366,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         let f: &(dyn Fn(usize, usize) + Sync) = unsafe { &*job };
         let nthreads = shared.done_barrier.participants();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.clocks[tid].run_busy(|| f(tid, nthreads));
+            exec_region(&shared, tid, label, || f(tid, nthreads));
         }));
         if r.is_err() {
             shared.panicked.store(true, Ordering::Relaxed);
@@ -506,6 +582,40 @@ mod tests {
             count.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn traced_pool_records_region_spans_matching_busy_clock() {
+        let tracer = Tracer::shared(3);
+        let mut pool = Pool::with_tracer(3, Arc::clone(&tracer), 0);
+        pool.reset_counters();
+        for _ in 0..4 {
+            pool.parallel_for_labeled("stress", 300, |c| {
+                std::hint::black_box(c.iter().map(|i| i as u64).sum::<u64>());
+            });
+        }
+        let s = pool.stats();
+        let spans = tracer.drain();
+        let regions: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.kind == SpanKind::Region)
+            .collect();
+        assert_eq!(regions.len(), 12, "4 loops × 3 threads");
+        assert!(regions.iter().all(|sp| sp.label == "stress"));
+        let span_ns: u64 = regions.iter().map(|sp| sp.dur_ns()).sum();
+        assert_eq!(
+            s.busy_ns, span_ns,
+            "busy clock and region spans must share one measurement"
+        );
+        // Lanes 0..3 correspond to threads 0..3.
+        assert!(regions.iter().all(|sp| sp.worker < 3));
+    }
+
+    #[test]
+    fn untraced_pool_has_no_tracer() {
+        let pool = Pool::new(2);
+        assert!(pool.tracer().is_none());
+        assert!(pool.trace_lane_base().is_none());
     }
 
     #[test]

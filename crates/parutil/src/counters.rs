@@ -61,6 +61,14 @@ impl BusyIdleClock {
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Count one executed task without touching the busy clock (used with
+    /// [`add_busy_ns`](Self::add_busy_ns) when the caller times the task
+    /// body itself, e.g. to share one measurement with a trace span).
+    #[inline]
+    pub fn count_task(&self) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one successful steal.
     #[inline]
     pub fn count_steal(&self) {

@@ -217,8 +217,11 @@ impl LuleshModel {
             }
         };
 
-        // Helper: a group of items, each a chain of per-item stages.
+        // Helper: a group of items, each a chain of per-item stages. Every
+        // task carries the group's phase label (matching the span labels
+        // `lulesh_task` records, so the drift report can join on it).
         let run_group = |g: &mut TaskGraph,
+                         label: &'static str,
                          starts: &[usize],
                          items: &[Vec<WStage>],
                          chain: bool|
@@ -238,7 +241,13 @@ impl LuleshModel {
                         };
                         let mut last = 0;
                         for &(cost, mw, items) in stages {
-                            last = g.add_weighted(cost, std::mem::take(&mut deps), mw, items);
+                            last = g.add_weighted_labeled(
+                                label,
+                                cost,
+                                std::mem::take(&mut deps),
+                                mw,
+                                items,
+                            );
                             deps = vec![last];
                         }
                         last
@@ -251,7 +260,7 @@ impl LuleshModel {
                 let mut current = Vec::new();
                 for l in 0..n_stages {
                     if l > 0 {
-                        let bar = g.add(0.0, std::mem::take(&mut current));
+                        let bar = g.add_labeled("barrier-stage", 0.0, std::mem::take(&mut current));
                         prev = vec![bar; items.len()];
                     }
                     current = items
@@ -263,7 +272,13 @@ impl LuleshModel {
                             } else {
                                 vec![prev[i]]
                             };
-                            g.add_weighted(stages[l].0, deps, stages[l].1, stages[l].2)
+                            g.add_weighted_labeled(
+                                label,
+                                stages[l].0,
+                                deps,
+                                stages[l].1,
+                                stages[l].2,
+                            )
                         })
                         .collect();
                     prev = Vec::new();
@@ -303,15 +318,27 @@ impl LuleshModel {
             .collect();
 
         let b1 = if f.parallel_force_chains {
-            let mut finals = run_group(&mut g, &[], &stress_items, f.chain_continuations);
-            finals.extend(run_group(&mut g, &[], &hg_items, f.chain_continuations));
-            g.add(0.0, finals)
+            let mut finals = run_group(&mut g, "stress", &[], &stress_items, f.chain_continuations);
+            finals.extend(run_group(
+                &mut g,
+                "hourglass",
+                &[],
+                &hg_items,
+                f.chain_continuations,
+            ));
+            g.add_labeled("barrier-forces", 0.0, finals)
         } else {
-            let sf = run_group(&mut g, &[], &stress_items, f.chain_continuations);
-            let sb = g.add(0.0, sf);
+            let sf = run_group(&mut g, "stress", &[], &stress_items, f.chain_continuations);
+            let sb = g.add_labeled("barrier-stress-hg", 0.0, sf);
             let starts = vec![sb; hg_items.len()];
-            let hf = run_group(&mut g, &starts, &hg_items, f.chain_continuations);
-            g.add(0.0, hf)
+            let hf = run_group(
+                &mut g,
+                "hourglass",
+                &starts,
+                &hg_items,
+                f.chain_continuations,
+            );
+            g.add_labeled("barrier-forces", 0.0, hf)
         };
 
         // ---------------- Phase B ----------------
@@ -335,8 +362,8 @@ impl LuleshModel {
             })
             .collect();
         let starts = vec![b1; node_items.len()];
-        let bf = run_group(&mut g, &starts, &node_items, f.chain_continuations);
-        let b2 = g.add(0.0, bf);
+        let bf = run_group(&mut g, "node", &starts, &node_items, f.chain_continuations);
+        let b2 = g.add_labeled("barrier-nodes", 0.0, bf);
 
         // ---------------- Phase C ----------------
         let kin_items: Vec<Vec<WStage>> = chunks_of(ne, part_elem)
@@ -353,14 +380,21 @@ impl LuleshModel {
             })
             .collect();
         let starts = vec![b2; kin_items.len()];
-        let cf = run_group(&mut g, &starts, &kin_items, f.chain_continuations);
-        let b3 = g.add(0.0, cf);
+        let cf = run_group(
+            &mut g,
+            "kinematics",
+            &starts,
+            &kin_items,
+            f.chain_continuations,
+        );
+        let b3 = g.add_labeled("barrier-kinematics", 0.0, cf);
 
         // ---------------- Phase D ----------------
         let mut d_finals = Vec::new();
         for &len in &self.region_sizes {
             for c in chunks_of(len, part_elem) {
-                let id = g.add_weighted(
+                let id = g.add_weighted_labeled(
+                    "monoq",
                     cm.monoq_region * c.len() as f64,
                     vec![b3],
                     cw.field,
@@ -384,19 +418,21 @@ impl LuleshModel {
         let starts = vec![b3; vnewc_items.len()];
         d_finals.extend(run_group(
             &mut g,
+            "vnewc",
             &starts,
             &vnewc_items,
             f.chain_continuations,
         ));
         for c in chunks_of(ne, part_elem) {
-            d_finals.push(g.add_weighted(
+            d_finals.push(g.add_weighted_labeled(
+                "qstop",
                 cm.qstop_check * c.len() as f64,
                 vec![b3],
                 cw.field,
                 c.len(),
             ));
         }
-        let b4 = g.add(0.0, d_finals);
+        let b4 = g.add_labeled("barrier-q", 0.0, d_finals);
 
         // ---------------- Phase E ----------------
         let b5 = if f.parallel_region_eos {
@@ -404,10 +440,10 @@ impl LuleshModel {
             for (&len, &rep) in self.region_sizes.iter().zip(&self.reps) {
                 for c in chunks_of(len, part_elem) {
                     let cost = (cm.eos_per_rep * rep as f64 + cm.eos_finish) * c.len() as f64;
-                    finals.push(g.add_weighted(cost, vec![b4], w.eos, c.len()));
+                    finals.push(g.add_weighted_labeled("eos", cost, vec![b4], w.eos, c.len()));
                 }
             }
-            g.add(0.0, finals)
+            g.add_labeled("barrier-eos", 0.0, finals)
         } else {
             let mut barrier = b4;
             for (&len, &rep) in self.region_sizes.iter().zip(&self.reps) {
@@ -417,10 +453,10 @@ impl LuleshModel {
                 let finals: Vec<usize> = chunks_of(len, part_elem)
                     .map(|c| {
                         let cost = (cm.eos_per_rep * rep as f64 + cm.eos_finish) * c.len() as f64;
-                        g.add_weighted(cost, vec![barrier], w.eos, c.len())
+                        g.add_weighted_labeled("eos", cost, vec![barrier], w.eos, c.len())
                     })
                     .collect();
-                barrier = g.add(0.0, finals);
+                barrier = g.add_labeled("barrier-eos-region", 0.0, finals);
             }
             barrier
         };
@@ -428,7 +464,8 @@ impl LuleshModel {
         // ---------------- Phase F ----------------
         let mut f_finals = Vec::new();
         for c in chunks_of(ne, part_elem) {
-            f_finals.push(g.add_weighted(
+            f_finals.push(g.add_weighted_labeled(
+                "volume",
                 cm.update_volumes * c.len() as f64,
                 vec![b5],
                 cw.field,
@@ -437,7 +474,8 @@ impl LuleshModel {
         }
         for &len in &self.region_sizes {
             for c in chunks_of(len, part_elem) {
-                f_finals.push(g.add_weighted(
+                f_finals.push(g.add_weighted_labeled(
+                    "constraints",
                     cm.constraints * c.len() as f64,
                     vec![b5],
                     cw.field,
@@ -445,7 +483,7 @@ impl LuleshModel {
                 ));
             }
         }
-        g.add(0.0, f_finals);
+        g.add_labeled("barrier-end", 0.0, f_finals);
         g
     }
 }
@@ -603,6 +641,24 @@ mod tests {
         let b = graph.total_work_ns();
         let rel = (a - b).abs() / a;
         assert!(rel < 0.02, "work mismatch {rel}: omp {a} vs task {b}");
+    }
+
+    #[test]
+    fn task_graph_labels_cover_all_work() {
+        // Every compute task carries a phase label and the per-label sums
+        // account for the full serial work — the drift report loses nothing.
+        for f in [SimFeatures::default(), SimFeatures::naive()] {
+            let g = model(15, 11).task_graph(512, 512, f);
+            for (i, t) in g.tasks.iter().enumerate() {
+                if t.cost_ns > 0.0 {
+                    assert!(!t.label.is_empty(), "task {i} has work but no label");
+                } else {
+                    assert!(t.label.starts_with("barrier"), "sync node {i} mislabeled");
+                }
+            }
+            let labeled: f64 = g.work_by_label().iter().map(|(_, w)| w).sum();
+            assert!((labeled - g.total_work_ns()).abs() < 1e-6);
+        }
     }
 
     #[test]

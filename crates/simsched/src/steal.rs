@@ -14,6 +14,10 @@ use crate::machine::{MachineParams, SimResult};
 /// completes the instant its dependencies do.
 #[derive(Debug, Clone, Default)]
 pub struct SimTask {
+    /// Phase label (e.g. `"stress"`, `"eos"`), matching the span labels
+    /// the instrumented runtimes record — the key the drift report joins
+    /// simulated and measured time on. Empty for unlabeled graphs.
+    pub label: &'static str,
     /// Productive work in the task body, in ns.
     pub cost_ns: f64,
     /// Indices of tasks that must finish first.
@@ -45,9 +49,26 @@ impl TaskGraph {
         self.add_weighted(cost_ns, deps, 0.0, 1_000_000)
     }
 
+    /// [`TaskGraph::add`] with a phase label.
+    pub fn add_labeled(&mut self, label: &'static str, cost_ns: f64, deps: Vec<usize>) -> usize {
+        self.add_weighted_labeled(label, cost_ns, deps, 0.0, 1_000_000)
+    }
+
     /// Add a task with an explicit memory-bound fraction and loop length.
     pub fn add_weighted(
         &mut self,
+        cost_ns: f64,
+        deps: Vec<usize>,
+        mem_weight: f64,
+        items: usize,
+    ) -> usize {
+        self.add_weighted_labeled("", cost_ns, deps, mem_weight, items)
+    }
+
+    /// [`TaskGraph::add_weighted`] with a phase label.
+    pub fn add_weighted_labeled(
+        &mut self,
+        label: &'static str,
         cost_ns: f64,
         deps: Vec<usize>,
         mem_weight: f64,
@@ -58,12 +79,26 @@ impl TaskGraph {
             assert!(d < id, "dependency {d} of task {id} not yet defined");
         }
         self.tasks.push(SimTask {
+            label,
             cost_ns,
             deps,
             mem_weight,
             items,
         });
         id
+    }
+
+    /// Σ cost per phase label, in ns — the simulator-side half of the drift
+    /// comparison (join with measured per-phase span totals on `label`).
+    /// Zero-cost barrier nodes and unlabeled tasks are skipped.
+    pub fn work_by_label(&self) -> Vec<(&'static str, f64)> {
+        let mut acc: std::collections::BTreeMap<&'static str, f64> = Default::default();
+        for t in &self.tasks {
+            if !t.label.is_empty() && t.cost_ns > 0.0 {
+                *acc.entry(t.label).or_insert(0.0) += t.cost_ns;
+            }
+        }
+        acc.into_iter().collect()
     }
 
     /// Number of tasks (barrier nodes included).

@@ -278,6 +278,74 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_is_valid_json_matching_obs_schema() {
+        // The obs crate's linter parses full JSON; both export paths (this
+        // one and obs::chrome_trace) must satisfy it so real and simulated
+        // traces are interchangeable downstream.
+        let model = LuleshModel::new(LuleshConfig::with_size(10), CostModel::default());
+        let m = MachineParams::epyc_7443p(2);
+        let rec = record_work_stealing(&model.task_graph(128, 128, SimFeatures::default()), &m);
+        let json = rec.to_chrome_trace("lulesh");
+        obs::jsonlint::validate(&json).expect("simsched chrome trace is valid JSON");
+        // Field-shape spot check against obs::chrome_trace output.
+        let span = obs::Span {
+            task_id: 3,
+            label: "lulesh",
+            worker: rec.events[0].core,
+            start_ns: 0,
+            end_ns: 1000,
+            kind: obs::SpanKind::Task,
+        };
+        let obs_line = obs::chrome_trace(&[span]);
+        for key in [
+            "\"name\": ",
+            "\"cat\": ",
+            "\"ph\": \"X\"",
+            "\"ts\": ",
+            "\"dur\": ",
+            "\"pid\": 0",
+            "\"tid\": ",
+        ] {
+            assert!(json.contains(key), "simsched trace missing {key}");
+            assert!(obs_line.contains(key), "obs trace missing {key}");
+        }
+    }
+
+    #[test]
+    fn fork_join_events_never_overlap_on_a_core() {
+        let model = LuleshModel::new(LuleshConfig::with_size(15), CostModel::default());
+        let m = MachineParams::epyc_7443p(4);
+        let rec = record_fork_join(&model.omp_trace(), &m);
+        let mut per_core: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
+        for e in &rec.events {
+            per_core[e.core].push((e.start_ns, e.start_ns + e.dur_ns));
+        }
+        for spans in &mut per_core {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in spans.windows(2) {
+                assert!(pair[0].1 <= pair[1].0 + 1e-9, "overlap: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn core_utilization_consistent_with_event_durations() {
+        // Σ(core_utilization) · makespan must equal Σ event durations —
+        // occupancy is exactly the recorded busy time, nothing more.
+        let model = LuleshModel::new(LuleshConfig::with_size(15), CostModel::default());
+        let m = MachineParams::epyc_7443p(6);
+        let rec = record_work_stealing(&model.task_graph(256, 256, SimFeatures::default()), &m);
+        let total_dur: f64 = rec.events.iter().map(|e| e.dur_ns).sum();
+        let occupied: f64 = rec
+            .core_utilization()
+            .iter()
+            .map(|u| u * rec.result.makespan_ns)
+            .sum();
+        let rel = (occupied - total_dur).abs() / total_dur;
+        assert!(rel < 1e-9, "occupancy {occupied} vs durations {total_dur}");
+    }
+
+    #[test]
     fn core_utilization_in_unit_range() {
         let model = LuleshModel::new(LuleshConfig::with_size(15), CostModel::default());
         let m = MachineParams::epyc_7443p(6);

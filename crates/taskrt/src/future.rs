@@ -157,10 +157,40 @@ impl<T: Send + 'static> Future<T> {
         U: Send + 'static,
         F: FnOnce(T) -> U + Send + 'static,
     {
+        self.then_kind(rt, "task", obs::SpanKind::Task, f)
+    }
+
+    /// [`then`](Self::then) with a phase label for the continuation's trace
+    /// span.
+    pub fn then_labeled<U, F>(self, rt: &Runtime, label: &'static str, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
+        self.then_kind(rt, label, obs::SpanKind::Task, f)
+    }
+
+    /// [`then`](Self::then) with full control over the span's label and
+    /// kind (e.g. [`obs::SpanKind::Halo`] for a halo-exchange
+    /// continuation).
+    pub fn then_kind<U, F>(
+        self,
+        rt: &Runtime,
+        label: &'static str,
+        kind: obs::SpanKind,
+        f: F,
+    ) -> Future<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
         let (promise, out) = promise_pair();
         let rt = rt.clone();
         self.attach_inner(Box::new(move |value: T| {
-            rt.submit(Box::new(move || promise.set_value(f(value))));
+            rt.submit(Box::new(move || {
+                let result = crate::scheduler::exec_timed(label, kind, move || f(value));
+                promise.set_value(result);
+            }));
         }));
         out
     }
@@ -203,7 +233,7 @@ impl<T: Send + 'static> Future<T> {
         futures
     }
 
-    fn attach_inner(self, cont: Cont<T>) {
+    pub(crate) fn attach_inner(self, cont: Cont<T>) {
         let run_now = {
             let mut state = self.shared.state.lock();
             match &mut *state {

@@ -246,4 +246,92 @@ mod tests {
         let u = rt.utilization_since_reset();
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
     }
+
+    #[test]
+    fn busy_time_counts_only_kernel_execution() {
+        // The busy clock and the trace spans consume the same measurement:
+        // Σ busy_ns must equal Σ task-span durations *exactly*. A runtime
+        // that also billed promise/continuation bookkeeping to the busy
+        // clock could not satisfy this.
+        let tracer = obs::Tracer::shared(3);
+        let rt = Runtime::with_tracer(2, Arc::clone(&tracer), 0);
+        let fs: Vec<_> = (0..64)
+            .map(|i| {
+                rt.spawn_labeled("kernel", move || {
+                    let mut acc = i as u64;
+                    for k in 0..10_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        wait_all(fs);
+        let stats = rt.stats();
+        let spans = tracer.drain();
+        let task_span_ns: u64 = spans
+            .iter()
+            .filter(|s| s.kind == obs::SpanKind::Task)
+            .map(|s| s.dur_ns())
+            .sum();
+        assert_eq!(stats.tasks, 64);
+        assert_eq!(
+            stats.busy_ns, task_span_ns,
+            "busy clock and task spans must share one measurement"
+        );
+    }
+
+    #[test]
+    fn busy_never_exceeds_threads_times_wall_under_contention() {
+        let threads = 4;
+        let rt = Runtime::new(threads);
+        rt.reset_counters();
+        // Oversubscribe with short tasks that spawn follow-on work so
+        // workers are busy with both kernels and bookkeeping.
+        let fs: Vec<_> = (0..400)
+            .map(|i| {
+                let rt2 = rt.clone();
+                rt.spawn(move || {
+                    let inner = rt2.spawn(move || i + 1);
+                    let _ = inner.is_ready();
+                    std::hint::black_box((0..500u64).sum::<u64>())
+                })
+            })
+            .collect();
+        wait_all(fs);
+        let s = rt.stats();
+        // 5% slack for clock-read skew between workers and the wall epoch.
+        let cap = (s.wall_ns as f64) * (s.threads as f64) * 1.05;
+        assert!(
+            (s.busy_ns as f64) <= cap,
+            "Σ busy {} must be ≤ threads × wall {} (+5%)",
+            s.busy_ns,
+            s.wall_ns * s.threads as u64
+        );
+    }
+
+    #[test]
+    fn traced_barrier_records_one_span() {
+        let tracer = obs::Tracer::shared(3);
+        let rt = Runtime::with_tracer(2, Arc::clone(&tracer), 0);
+        let fs: Vec<_> = (0..8).map(|i| rt.spawn(move || i)).collect();
+        rt.when_all_unit_labeled("barrier-test", fs).get();
+        let spans = tracer.drain();
+        let barriers: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == obs::SpanKind::Barrier)
+            .collect();
+        assert_eq!(barriers.len(), 1);
+        assert_eq!(barriers[0].label, "barrier-test");
+        assert!(barriers[0].end_ns >= barriers[0].start_ns);
+    }
+
+    #[test]
+    fn untraced_runtime_records_nothing_and_still_counts() {
+        let rt = Runtime::new(2);
+        assert!(rt.tracer().is_none());
+        let fs: Vec<_> = (0..16).map(|i| rt.spawn(move || i)).collect();
+        rt.when_all_unit_labeled("ignored", fs).get();
+        assert_eq!(rt.stats().tasks, 16);
+    }
 }

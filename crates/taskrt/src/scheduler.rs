@@ -5,14 +5,23 @@
 
 use crate::future::{promise_pair, Future};
 use crossbeam::deque::{Injector, Stealer, Worker};
+use obs::{Span, SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 use parutil::{BusyIdleClock, CachePadded};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracing attachment: where this runtime's workers record spans.
+/// `lane_base + worker_index` is a worker's lane; `lane_base + threads`
+/// is the control lane (spans recorded off-worker).
+pub(crate) struct TraceCtx {
+    pub(crate) tracer: Arc<Tracer>,
+    pub(crate) lane_base: usize,
+}
 
 struct Inner {
     injector: Injector<Task>,
@@ -23,6 +32,8 @@ struct Inner {
     sleepers: AtomicUsize,
     shutdown: AtomicBool,
     epoch: Mutex<Instant>,
+    /// `None` ⇒ tracing disabled; the hot paths pay one branch.
+    trace: Option<TraceCtx>,
 }
 
 thread_local! {
@@ -31,6 +42,7 @@ thread_local! {
 
 struct WorkerCtx {
     inner: *const Inner,
+    index: usize,
     queue: Worker<Task>,
 }
 
@@ -81,6 +93,17 @@ pub struct RuntimeStats {
 impl Runtime {
     /// Start a runtime with `threads` OS worker threads (≥ 1).
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// [`new`](Self::new) with span tracing attached: worker `i` records
+    /// onto `tracer` lane `lane_base + i` (driver-level spans go past the
+    /// workers, on lane `lane_base + threads`).
+    pub fn with_tracer(threads: usize, tracer: Arc<Tracer>, lane_base: usize) -> Self {
+        Self::build(threads, Some(TraceCtx { tracer, lane_base }))
+    }
+
+    fn build(threads: usize, trace: Option<TraceCtx>) -> Self {
         assert!(threads >= 1, "need at least one worker thread");
 
         let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
@@ -98,6 +121,7 @@ impl Runtime {
             sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             epoch: Mutex::new(Instant::now()),
+            trace,
         });
 
         let handles = workers
@@ -130,9 +154,100 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.spawn_labeled("task", f)
+    }
+
+    /// [`spawn`](Self::spawn) with a phase label for the task's trace
+    /// span (e.g. the LULESH kernel phase the task belongs to).
+    pub fn spawn_labeled<T, F>(&self, label: &'static str, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let (promise, fut) = promise_pair();
-        self.submit(Box::new(move || promise.set_value(f())));
+        self.submit(Box::new(move || {
+            // Only the user closure is timed; promise/continuation
+            // bookkeeping stays outside the busy clock and the span.
+            let value = exec_timed(label, SpanKind::Task, f);
+            promise.set_value(value);
+        }));
         fut
+    }
+
+    /// The attached tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.trace.as_ref().map(|t| &t.tracer)
+    }
+
+    /// The lane this runtime's tracing was attached at (workers occupy
+    /// `lane_base..lane_base + threads`; `lane_base + threads` is the
+    /// control lane). `None` when untraced.
+    pub fn trace_lane_base(&self) -> Option<usize> {
+        self.inner.trace.as_ref().map(|t| t.lane_base)
+    }
+
+    /// The lane to record a span on from the calling thread: the calling
+    /// worker's lane when invoked on one of this runtime's workers, the
+    /// control lane otherwise. Meaningless (0) when untraced.
+    pub fn current_lane(&self) -> usize {
+        let Some(tc) = self.inner.trace.as_ref() else {
+            return 0;
+        };
+        let idx = CURRENT.with(|c| {
+            c.borrow().as_ref().and_then(|ctx| {
+                std::ptr::eq(ctx.inner, Arc::as_ptr(&self.inner)).then_some(ctx.index)
+            })
+        });
+        tc.lane_base + idx.unwrap_or(self.threads())
+    }
+
+    /// [`crate::when_all_unit`] with a barrier span: when tracing is on,
+    /// records a [`SpanKind::Barrier`] span covering first-dependency-done
+    /// → last-dependency-done (the barrier's skew) on the lane of the
+    /// worker that completed it. Counts as one synchronization point.
+    pub fn when_all_unit_labeled<T: Send + 'static>(
+        &self,
+        label: &'static str,
+        futures: Vec<Future<T>>,
+    ) -> Future<()> {
+        let Some(tc) = self.inner.trace.as_ref() else {
+            return crate::future::when_all_unit(futures);
+        };
+        let tracer = Arc::clone(&tc.tracer);
+        let n = futures.len();
+        if n == 0 {
+            let now = tracer.now_ns();
+            tracer.record_interval(self.current_lane(), SpanKind::Barrier, label, now, now);
+            return Future::ready(());
+        }
+        let (promise, out) = promise_pair();
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let first_done = Arc::new(AtomicU64::new(u64::MAX));
+        let promise = Arc::new(Mutex::new(Some(promise)));
+        let rt = self.clone();
+        let rt = Arc::new(rt);
+        for f in futures {
+            let remaining = Arc::clone(&remaining);
+            let first_done = Arc::clone(&first_done);
+            let promise = Arc::clone(&promise);
+            let tracer = Arc::clone(&tracer);
+            let rt = Arc::clone(&rt);
+            f.attach_inner(Box::new(move |_value: T| {
+                let now = tracer.now_ns();
+                let _ =
+                    first_done.compare_exchange(u64::MAX, now, Ordering::AcqRel, Ordering::Acquire);
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let start = first_done.load(Ordering::Acquire);
+                    tracer.record_interval(rt.current_lane(), SpanKind::Barrier, label, start, now);
+                    let p = promise
+                        .lock()
+                        .take()
+                        .expect("when_all_unit_labeled fulfilled twice");
+                    p.set_value(());
+                }
+            }));
+        }
+        out
     }
 
     /// Enqueue a raw task: to the local deque when called from one of this
@@ -217,6 +332,7 @@ fn worker_loop(inner: Arc<Inner>, index: usize, queue: Worker<Task>) {
     CURRENT.with(|c| {
         *c.borrow_mut() = Some(WorkerCtx {
             inner: Arc::as_ptr(&inner),
+            index,
             queue,
         });
     });
@@ -232,13 +348,15 @@ fn worker_loop(inner: Arc<Inner>, index: usize, queue: Worker<Task>) {
         match task {
             Some(task) => {
                 idle_spins = 0;
-                inner.clocks[index].run_busy(|| {
-                    // A panicking task must not take the worker down: the
-                    // panic is contained here, and the task's dropped
-                    // promise breaks its future (downstream sees a clear
-                    // "broken promise" instead of a hang).
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                });
+                // Busy time is NOT accounted here: the task body times its
+                // user closure via `exec_timed`, so promise/continuation
+                // bookkeeping never pollutes the busy clock (the paper's
+                // productive-time ratio counts kernel execution only).
+                // A panicking task must not take the worker down: the
+                // panic is contained here, and the task's dropped
+                // promise breaks its future (downstream sees a clear
+                // "broken promise" instead of a hang).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
             }
             None => {
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -272,6 +390,57 @@ fn worker_loop(inner: Arc<Inner>, index: usize, queue: Worker<Task>) {
     CURRENT.with(|c| *c.borrow_mut() = None);
 }
 
+/// Run `f` on the calling thread, timing only `f` itself. On a worker
+/// thread the single measured duration feeds both the worker's busy clock
+/// and (when tracing is attached) a span of the given kind — one
+/// measurement, two consumers — so `Runtime::stats().busy_ns` equals the
+/// summed durations of the spans this function records, exactly. Off a
+/// worker thread `f` runs unmeasured.
+pub(crate) fn exec_timed<R>(label: &'static str, kind: SpanKind, f: impl FnOnce() -> R) -> R {
+    CURRENT.with(|c| {
+        let guard = c.borrow();
+        let Some(ctx) = guard.as_ref() else {
+            drop(guard);
+            return f();
+        };
+        // SAFETY: `ctx.inner` points into the `Arc<Inner>` kept alive by
+        // this worker's `worker_loop` stack frame for the thread's whole
+        // lifetime; we only read it from that same thread.
+        let inner = unsafe { &*ctx.inner };
+        let clock = &inner.clocks[ctx.index];
+        match inner.trace.as_ref() {
+            Some(tc) => {
+                let start = tc.tracer.now_ns();
+                let t0 = Instant::now();
+                let r = f();
+                let dur = t0.elapsed().as_nanos() as u64;
+                clock.add_busy_ns(dur);
+                clock.count_task();
+                let lane = tc.lane_base + ctx.index;
+                tc.tracer.record(
+                    lane,
+                    Span {
+                        task_id: tc.tracer.next_task_id(),
+                        label,
+                        worker: lane,
+                        start_ns: start,
+                        end_ns: start + dur,
+                        kind,
+                    },
+                );
+                r
+            }
+            None => {
+                let t0 = Instant::now();
+                let r = f();
+                clock.add_busy_ns(t0.elapsed().as_nanos() as u64);
+                clock.count_task();
+                r
+            }
+        }
+    })
+}
+
 /// Pop local LIFO, else take from the injector, else steal FIFO from a
 /// sibling. Counts successful steals.
 fn find_task(inner: &Inner, index: usize, local: &Worker<Task>) -> Option<Task> {
@@ -292,6 +461,19 @@ fn find_task(inner: &Inner, index: usize, local: &Worker<Task>) -> Option<Task> 
             match inner.stealers[victim].steal() {
                 crossbeam::deque::Steal::Success(t) => {
                     inner.clocks[index].count_steal();
+                    if let Some(tc) = inner.trace.as_ref() {
+                        // Instant (zero-duration) marker: the interesting
+                        // datum is *when/where* work moved, not how long
+                        // the deque operation took.
+                        let now = tc.tracer.now_ns();
+                        tc.tracer.record_interval(
+                            tc.lane_base + index,
+                            SpanKind::Steal,
+                            "steal",
+                            now,
+                            now,
+                        );
+                    }
                     return Some(t);
                 }
                 crossbeam::deque::Steal::Retry => continue,

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Pre-merge check gate: formatting, lints, the tier-1 suite, and a smoke
+# test of the observability layer (a tiny traced run whose Chrome-trace
+# output must pass trace_lint with the expected barrier count).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tier-1: cargo build && cargo test =="
+cargo build -q --workspace
+cargo test -q --workspace 2>&1 | tail -3
+
+echo "== traced smoke run (s=5, 3 iterations => 18 barrier spans) =="
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+./target/debug/lulesh-task --s 5 --i 3 --threads 2 --q \
+  --trace "$TMP/trace.json" --metrics "$TMP/metrics.csv" > /dev/null
+# 6 sync points per iteration x 3 iterations; trace_lint validates the
+# JSON and the barrier count in one pass.
+./target/debug/trace_lint "$TMP/trace.json" 18
+test -s "$TMP/metrics.csv"
+
+echo "== all checks passed =="

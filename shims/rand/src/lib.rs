@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset `lulesh-core` uses for region assignment:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64` and `Rng::gen_range` over
+//! integer ranges. The generator is xoshiro256++ seeded via SplitMix64 —
+//! deterministic across platforms and runs, which is all the region
+//! decomposition requires (DESIGN.md already documents that the exact
+//! stream differs from the C reference's glibc `rand()`; it now also
+//! differs from upstream `StdRng`, with the same caveat: run-length and
+//! weight *distributions* are unchanged).
+
+#![warn(missing_docs)]
+
+/// Types that can be drawn uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draw uniformly from `[lo, hi)` given a 64-bit random word source.
+    fn sample_in(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < span/2^64; the region distributions this
+                // feeds span at most a few thousand values.
+                lo + (next() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i32, i64, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let u01 = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u01 * (hi - lo)
+    }
+}
+
+/// Random-value methods, generic over the generator.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_in(range.start, range.end, &mut f)
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator (API stand-in for rand's
+    /// `StdRng`; the stream differs from upstream — see the crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_all_types() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(0..1000);
+            assert!((0..1000).contains(&v));
+            let u = r.gen_range(5usize..17);
+            assert!((5..17).contains(&u));
+            let w = r.gen_range(-3i64..4);
+            assert!((-3..4).contains(&w));
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values drawn: {seen:?}");
+    }
+}
