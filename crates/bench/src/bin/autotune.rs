@@ -1,0 +1,62 @@
+//! Static-vs-auto partition comparison: run the online auto-tuner against
+//! the simulated 24-core machine for every paper size and report how it
+//! stacks up against the static Table I plan and the exhaustive sweep.
+
+use lulesh_bench::{autotune_sim, render_table, SIZES};
+use simsched::CostModel;
+
+fn main() {
+    let rows: Vec<_> = SIZES
+        .iter()
+        .map(|&s| autotune_sim(CostModel::default(), s, 24))
+        .collect();
+
+    println!("# Auto-tuned partitions vs static plan (simulated, 24 threads)");
+    println!(
+        "size,static_nodal,static_elements,static_ns,auto_nodal,auto_elements,auto_ns,\
+         sweep_nodal,sweep_elements,sweep_ns,windows,converged"
+    );
+    for r in &rows {
+        println!(
+            "{},{},{},{:.0},{},{},{:.0},{},{},{:.0},{},{}",
+            r.size,
+            r.static_plan.0,
+            r.static_plan.1,
+            r.static_ns,
+            r.auto_plan.0,
+            r.auto_plan.1,
+            r.auto_ns,
+            r.sweep_plan.0,
+            r.sweep_plan.1,
+            r.sweep_ns,
+            r.windows,
+            r.converged
+        );
+    }
+
+    println!();
+    let header = vec![
+        "size",
+        "static",
+        "auto",
+        "sweep",
+        "auto/static",
+        "auto/sweep",
+        "windows",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{}x{}", r.static_plan.0, r.static_plan.1),
+                format!("{}x{}", r.auto_plan.0, r.auto_plan.1),
+                format!("{}x{}", r.sweep_plan.0, r.sweep_plan.1),
+                format!("{:.3}", r.auto_ns / r.static_ns),
+                format!("{:.3}", r.auto_ns / r.sweep_ns),
+                r.windows.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+}

@@ -5,6 +5,38 @@
 
 use crate::types::Index;
 
+/// Partition-size policy for the task driver, `--partition`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionMode {
+    /// Static Table I lookup (thread-aware). The default.
+    #[default]
+    Table,
+    /// Online auto-tuning (`--partition auto`).
+    Auto,
+    /// One explicit size for both phases (`--partition fixed:N`).
+    Fixed(usize),
+}
+
+impl std::str::FromStr for PartitionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "table" => Ok(Self::Table),
+            "auto" => Ok(Self::Auto),
+            _ => {
+                let n = s
+                    .strip_prefix("fixed:")
+                    .ok_or("expected auto|fixed:N|table")?;
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => Ok(Self::Fixed(n)),
+                    _ => Err(format!("bad fixed partition size '{n}'")),
+                }
+            }
+        }
+    }
+}
+
 /// Parsed options with the reference defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Opts {
@@ -29,6 +61,8 @@ pub struct Opts {
     /// Write a metrics snapshot (CSV, or JSON when the path ends in
     /// `.json`) to this path, `--metrics`.
     pub metrics: Option<String>,
+    /// Partition policy for the task driver, `--partition auto|fixed:N|table`.
+    pub partition: PartitionMode,
 }
 
 impl Default for Opts {
@@ -44,6 +78,7 @@ impl Default for Opts {
             seed: 0,
             trace: None,
             metrics: None,
+            partition: PartitionMode::Table,
         }
     }
 }
@@ -104,6 +139,7 @@ impl Opts {
                 "seed" => opts.seed = parse_val(flag, inline, &mut it)?,
                 "trace" => opts.trace = Some(parse_val(flag, inline, &mut it)?),
                 "metrics" => opts.metrics = Some(parse_val(flag, inline, &mut it)?),
+                "partition" => opts.partition = parse_val(flag, inline, &mut it)?,
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -131,10 +167,13 @@ impl Opts {
         format!(
             "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
              [--b BALANCE] [--c COST] [--threads N] [--q] \
-             [--trace FILE.json] [--metrics FILE.csv|.json]\n\
-             Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1, run to stoptime.\n\
+             [--trace FILE.json] [--metrics FILE.csv|.json] \
+             [--partition auto|fixed:N|table]\n\
+             Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
+             --partition table, run to stoptime.\n\
              --trace writes a Chrome-trace timeline (load in Perfetto); \
-             --metrics writes a per-phase metrics snapshot."
+             --metrics writes a per-phase metrics snapshot; \
+             --partition auto tunes partition sizes online (task driver)."
         )
     }
 }
@@ -183,6 +222,22 @@ mod tests {
         assert_eq!(o.metrics.as_deref(), Some("m.csv"));
         let o = Opts::parse(Vec::<String>::new()).unwrap();
         assert!(o.trace.is_none() && o.metrics.is_none());
+    }
+
+    #[test]
+    fn partition_modes() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.partition, PartitionMode::Table);
+        let o = Opts::parse(["--partition", "auto"]).unwrap();
+        assert_eq!(o.partition, PartitionMode::Auto);
+        let o = Opts::parse(["--partition=fixed:2048"]).unwrap();
+        assert_eq!(o.partition, PartitionMode::Fixed(2048));
+        let o = Opts::parse(["--partition", "table"]).unwrap();
+        assert_eq!(o.partition, PartitionMode::Table);
+        assert!(Opts::parse(["--partition", "bogus"]).is_err());
+        assert!(Opts::parse(["--partition", "fixed:0"]).is_err());
+        assert!(Opts::parse(["--partition", "fixed:x"]).is_err());
+        assert!(Opts::parse(["--partition"]).is_err());
     }
 
     #[test]

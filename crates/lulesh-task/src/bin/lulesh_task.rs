@@ -1,9 +1,10 @@
 //! Many-task LULESH binary — the paper's implementation. CLI matches the
 //! artifact (`--s`, `--r`, `--i`, `--q`, `--hpx:threads`/`--threads`),
-//! CSV output format `size,regions,iterations,threads,runtime,result`.
+//! CSV output format `size,regions,iterations,threads,runtime,result`,
+//! plus `--partition auto|fixed:N|table` selecting the partition policy.
 
-use lulesh_core::{Domain, Opts, RunReport};
-use lulesh_task::{Features, PartitionPlan, TaskLulesh};
+use lulesh_core::{Domain, Opts, PartitionMode, RunReport};
+use lulesh_task::{AutoTuneConfig, Features, PartitionPlan, PartitionPolicy, TaskLulesh};
 use obs::Tracer;
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,7 +27,13 @@ fn main() {
         opts.cost,
         opts.seed,
     ));
-    let plan = PartitionPlan::for_size(opts.size);
+    let policy = match opts.partition {
+        PartitionMode::Table => {
+            PartitionPolicy::Fixed(PartitionPlan::for_size_threads(opts.size, opts.threads))
+        }
+        PartitionMode::Fixed(n) => PartitionPolicy::Fixed(PartitionPlan::fixed(n, n)),
+        PartitionMode::Auto => PartitionPolicy::Auto(AutoTuneConfig::default()),
+    };
     // One lane per worker plus a control lane for iteration spans.
     let tracer =
         (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(opts.threads + 1));
@@ -36,7 +43,7 @@ fn main() {
     };
     runner.reset_counters();
     let t0 = Instant::now();
-    let state = match runner.run(&domain, plan, opts.max_cycles) {
+    let state = match runner.run_policy(&domain, policy, opts.max_cycles) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -45,14 +52,44 @@ fn main() {
     };
     let elapsed = t0.elapsed();
 
+    // The tuner's one-line verdict is the primary output of an auto run;
+    // print it even under --q (scripts grep for it).
+    if let Some(r) = runner.auto_report() {
+        let gain = if r.initial_cost_ns > 0.0 && r.best_cost_ns.is_finite() {
+            100.0 * (1.0 - r.best_cost_ns / r.initial_cost_ns)
+        } else {
+            0.0
+        };
+        eprintln!(
+            "autotune: {} after {} windows ({} moves): nodal={} elements={} \
+             (start {}x{}, {gain:.1}% faster per iteration)",
+            if r.converged {
+                "converged"
+            } else {
+                "exploring"
+            },
+            r.windows,
+            r.moves,
+            r.best.nodal,
+            r.best.elements,
+            r.initial.nodal,
+            r.initial.elements,
+        );
+    }
+
     let report = RunReport::collect(&domain, &state, opts.threads, elapsed);
     if !opts.quiet {
         eprintln!("{}", report.verbose());
         eprintln!("Productive-time ratio = {:.4}", runner.utilization());
         let g = runner.graph_stats();
+        let final_plan = match (runner.auto_report(), policy) {
+            (Some(r), _) => r.best,
+            (None, PartitionPolicy::Fixed(p)) => p,
+            (None, PartitionPolicy::Auto(_)) => unreachable!(),
+        };
         eprintln!(
             "Task graph per iteration: {} tasks, {} sync points (partition {}x{})",
-            g.tasks, g.barriers, plan.nodal, plan.elements
+            g.tasks, g.barriers, final_plan.nodal, final_plan.elements
         );
     }
     if let Some(t) = &tracer {

@@ -35,9 +35,11 @@
 
 #![warn(missing_docs)]
 
+mod autotune;
 mod plan;
 
-pub use plan::PartitionPlan;
+pub use autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner, WindowSample};
+pub use plan::{partition_cap, PartitionPlan, MIN_PARTITION};
 
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::{constraints, eos, hourglass, kinematics, monoq, nodal, stress};
@@ -49,7 +51,25 @@ use parking_lot::Mutex;
 use parutil::{chunks_of, Chunk, SharedVec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use taskrt::{Future, Runtime};
+use std::time::Instant;
+use taskrt::{Future, PhaseStat, Runtime};
+
+/// How the driver picks partition sizes for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitionPolicy {
+    /// One fixed plan for the whole run.
+    Fixed(PartitionPlan),
+    /// Online auto-tuning, starting from the thread-aware static plan
+    /// ([`PartitionPlan::for_size_threads`]).
+    Auto(AutoTuneConfig),
+}
+
+/// Σ busy / Σ tasks over a per-phase snapshot.
+fn phase_totals(stats: &[PhaseStat]) -> (u64, u64) {
+    stats
+        .iter()
+        .fold((0, 0), |(b, t), p| (b + p.busy_ns, t + p.tasks))
+}
 
 /// A communication step injected into the iteration graph (multi-domain
 /// halo exchange). Runs as a task of its own between two phases.
@@ -218,6 +238,8 @@ pub struct TaskLulesh {
     /// Optimization toggles.
     pub features: Features,
     stats: std::cell::Cell<GraphStats>,
+    /// Report from the most recent `Auto`-policy run.
+    auto_report: std::cell::RefCell<Option<AutoTuneReport>>,
 }
 
 impl TaskLulesh {
@@ -232,6 +254,7 @@ impl TaskLulesh {
             rt: Runtime::new(threads),
             features,
             stats: Default::default(),
+            auto_report: Default::default(),
         }
     }
 
@@ -248,6 +271,7 @@ impl TaskLulesh {
             rt: Runtime::with_tracer(threads, tracer, lane_base),
             features,
             stats: Default::default(),
+            auto_report: Default::default(),
         }
     }
 
@@ -282,6 +306,18 @@ impl TaskLulesh {
         self.stats.get()
     }
 
+    /// Per-phase busy/task aggregates from the runtime's always-on
+    /// counters (the auto-tuner's timing signal when tracing is off).
+    pub fn phase_stats(&self) -> Vec<PhaseStat> {
+        self.rt.phase_stats()
+    }
+
+    /// The [`AutoTuneReport`] of the most recent
+    /// [`PartitionPolicy::Auto`] run; `None` after fixed-plan runs.
+    pub fn auto_report(&self) -> Option<AutoTuneReport> {
+        self.auto_report.borrow().clone()
+    }
+
     /// Run for at most `max_cycles` iterations (or to `stoptime`).
     pub fn run(
         &self,
@@ -289,9 +325,20 @@ impl TaskLulesh {
         plan: PartitionPlan,
         max_cycles: u64,
     ) -> Result<SimState, LuleshError> {
-        self.run_with_hooks(
+        self.run_policy(d, PartitionPolicy::Fixed(plan), max_cycles)
+    }
+
+    /// [`run`](Self::run) with a partition *policy* instead of a fixed
+    /// plan (`--partition auto`).
+    pub fn run_policy(
+        &self,
+        d: &Arc<Domain>,
+        policy: PartitionPolicy,
+        max_cycles: u64,
+    ) -> Result<SimState, LuleshError> {
+        self.run_policy_with_hooks(
             d,
-            plan,
+            policy,
             max_cycles,
             &IterationHooks::default(),
             |c, h, err| match err {
@@ -316,6 +363,48 @@ impl TaskLulesh {
         hooks: &IterationHooks,
         reduce_dt: impl Fn(Real, Real, Option<LuleshError>) -> Result<(Real, Real), LuleshError>,
     ) -> Result<SimState, LuleshError> {
+        self.run_policy_with_hooks(
+            d,
+            PartitionPolicy::Fixed(plan),
+            max_cycles,
+            hooks,
+            reduce_dt,
+        )
+    }
+
+    /// [`run_with_hooks`](Self::run_with_hooks) generalized over the
+    /// partition policy. Under [`PartitionPolicy::Auto`] the driver times
+    /// each window of `window` iterations, reads the runtime's per-phase
+    /// busy/task aggregates for the granularity signal, and lets the
+    /// [`AutoTuner`] pick the next window's plan; the final
+    /// [`AutoTuneReport`] is retrievable via
+    /// [`auto_report`](Self::auto_report). Partition sizes never affect
+    /// the physics, so mid-run resizes are invisible to the results.
+    pub fn run_policy_with_hooks(
+        &self,
+        d: &Arc<Domain>,
+        policy: PartitionPolicy,
+        max_cycles: u64,
+        hooks: &IterationHooks,
+        reduce_dt: impl Fn(Real, Real, Option<LuleshError>) -> Result<(Real, Real), LuleshError>,
+    ) -> Result<SimState, LuleshError> {
+        let mut tuner = match policy {
+            PartitionPolicy::Fixed(_) => None,
+            PartitionPolicy::Auto(cfg) => {
+                let threads = self.rt.threads();
+                let start = PartitionPlan::for_size_threads(d.size(), threads);
+                Some(AutoTuner::new(start, threads, d.num_elem(), cfg))
+            }
+        };
+        let mut plan = match (&tuner, policy) {
+            (Some(t), _) => t.plan(),
+            (None, PartitionPolicy::Fixed(p)) => p,
+            (None, PartitionPolicy::Auto(_)) => unreachable!(),
+        };
+        let mut win_iters: u32 = 0;
+        let mut win_t0 = Instant::now();
+        let mut win_base = phase_totals(&self.rt.phase_stats());
+
         let mut state = SimState::new(d.initial_dt());
         let scratch = Arc::new(TaskScratch::new(d.num_elem(), self.features.merge_kernels));
         while state.time < d.params.stoptime && state.cycle < max_cycles {
@@ -349,7 +438,31 @@ impl TaskLulesh {
             let (c, h) = reduce_dt(c, h, local_err)?;
             state.dtcourant = c;
             state.dthydro = h;
+
+            if let Some(t) = tuner.as_mut() {
+                win_iters += 1;
+                if win_iters >= t.config().window && !t.converged() {
+                    let wall = win_t0.elapsed().as_nanos() as f64 / f64::from(win_iters);
+                    let now = phase_totals(&self.rt.phase_stats());
+                    let d_busy = now.0.saturating_sub(win_base.0);
+                    let d_tasks = now.1.saturating_sub(win_base.1);
+                    let mean_task_ns = if d_tasks > 0 {
+                        d_busy as f64 / d_tasks as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    t.record_window(WindowSample {
+                        wall_per_iter_ns: wall,
+                        mean_task_ns,
+                    });
+                    plan = t.plan();
+                    win_iters = 0;
+                    win_t0 = Instant::now();
+                    win_base = now;
+                }
+            }
         }
+        self.auto_report.replace(tuner.map(|t| t.report()));
         Ok(state)
     }
 
@@ -1272,7 +1385,62 @@ mod tests {
         runner.reset_counters();
         runner.run(&d, PartitionPlan::fixed(64, 64), 5).unwrap();
         let u = runner.utilization();
-        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // Raw (unclamped) ratio with ε slack for clock-read skew.
+        assert!(u > 0.0 && u <= 1.05, "utilization {u}");
         assert!(runner.runtime_stats().tasks > 0);
+    }
+
+    #[test]
+    fn auto_policy_matches_serial_while_resizing() {
+        // The tuner resizes partitions mid-run; physics must stay
+        // bit-identical to the serial reference regardless.
+        let ds = serial_ref(6, 5, 24);
+        let d = Arc::new(Domain::build(6, 5, 1, 1, 0));
+        let runner = TaskLulesh::new(3);
+        let cfg = AutoTuneConfig {
+            window: 2,
+            warmup_windows: 1,
+            min_task_ns: 0.0, // tiny test tasks: let the tuner actually probe finer
+            ..AutoTuneConfig::default()
+        };
+        let st = runner
+            .run_policy(&d, PartitionPolicy::Auto(cfg), 24)
+            .unwrap();
+        assert_eq!(max_field_difference(&ds, &d), 0.0);
+        assert!(st.cycle > 0);
+        let report = runner.auto_report().expect("auto run leaves a report");
+        assert!(report.windows >= 3, "windows {}", report.windows);
+        let plans: std::collections::BTreeSet<_> = report
+            .history
+            .iter()
+            .map(|(p, _)| (p.nodal, p.elements))
+            .collect();
+        assert!(
+            plans.len() >= 2,
+            "tuner never actually tried a different plan: {plans:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_policy_runs_leave_no_auto_report() {
+        let d = Arc::new(Domain::build(5, 2, 1, 1, 0));
+        let runner = TaskLulesh::new(2);
+        runner
+            .run_policy(&d, PartitionPolicy::Fixed(PartitionPlan::fixed(64, 64)), 3)
+            .unwrap();
+        assert!(runner.auto_report().is_none());
+    }
+
+    #[test]
+    fn phase_stats_cover_the_kernel_phases() {
+        let d = Arc::new(Domain::build(6, 3, 1, 1, 0));
+        let runner = TaskLulesh::new(2);
+        runner.run(&d, PartitionPlan::fixed(64, 64), 2).unwrap();
+        let phases = runner.phase_stats();
+        let labels: Vec<_> = phases.iter().map(|p| p.label).collect();
+        for expected in ["stress", "hourglass", "kinematics", "eos"] {
+            assert!(labels.contains(&expected), "missing phase {expected}");
+        }
+        assert!(phases.iter().all(|p| p.tasks > 0));
     }
 }

@@ -6,6 +6,22 @@
 //! table and falls back to a bounded heuristic for sizes the paper did not
 //! evaluate (e.g. the small meshes used in tests).
 
+/// Smallest partition size any policy (static floor or auto-tuner) will
+/// produce. Below this the per-task overhead dwarfs the kernel work on any
+/// machine we model.
+pub const MIN_PARTITION: usize = 8;
+
+/// Largest power-of-two partition size that still yields at least
+/// `threads` tasks over a loop of `items`, floored at [`MIN_PARTITION`].
+/// This is the task-count floor shared by [`PartitionPlan::for_size_threads`]
+/// and the auto-tuner: with fewer tasks than workers, some cores are
+/// guaranteed idle no matter how the scheduler places work.
+pub fn partition_cap(items: usize, threads: usize) -> usize {
+    let per = (items / threads.max(1)).max(MIN_PARTITION);
+    // Largest power of two ≤ per.
+    1 << (usize::BITS - 1 - per.leading_zeros())
+}
+
 /// Partition sizes for the two leapfrog phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionPlan {
@@ -64,7 +80,9 @@ impl PartitionPlan {
 
     /// The plan for a given problem size: Table I when listed, otherwise a
     /// heuristic that keeps roughly 32–128 tasks per loop, clamped to
-    /// [64, 8192].
+    /// [64, 8192]. Thread-count blind — prefer
+    /// [`for_size_threads`](Self::for_size_threads) when the worker count
+    /// is known.
     pub fn for_size(size: usize) -> Self {
         for (s, plan) in Self::TABLE_I {
             if s == size {
@@ -76,6 +94,20 @@ impl PartitionPlan {
         PartitionPlan {
             nodal: p,
             elements: p,
+        }
+    }
+
+    /// [`for_size`](Self::for_size) with the task count floored at the
+    /// runtime's thread count: each partition size is capped at
+    /// [`partition_cap`] so a small mesh on a wide pool still produces at
+    /// least one task per worker. At the paper's 24 threads the cap leaves
+    /// every Table I entry unchanged.
+    pub fn for_size_threads(size: usize, threads: usize) -> Self {
+        let plan = Self::for_size(size);
+        let cap = partition_cap(size * size * size, threads);
+        PartitionPlan {
+            nodal: plan.nodal.min(cap),
+            elements: plan.elements.min(cap),
         }
     }
 
@@ -159,5 +191,47 @@ mod tests {
     #[should_panic]
     fn fixed_rejects_zero() {
         let _ = PartitionPlan::fixed(0, 128);
+    }
+
+    #[test]
+    fn thread_floor_guarantees_a_task_per_worker() {
+        // Regression: `for_size` is thread-count blind — an 8³ mesh (512
+        // elements) got partition 64, i.e. 8 tasks, starving a 16-wide
+        // pool. The thread-aware variant must cap the partition size so
+        // every worker gets at least one task.
+        for threads in [1, 2, 4, 8, 16, 32] {
+            for size in [5usize, 8, 12, 20, 45] {
+                let num_elem = size * size * size;
+                let p = PartitionPlan::for_size_threads(size, threads);
+                let tasks = num_elem.div_ceil(p.elements);
+                assert!(
+                    tasks >= threads.min(num_elem / MIN_PARTITION).max(1),
+                    "size {size} × {threads} threads: partition {} gives \
+                     only {tasks} tasks",
+                    p.elements
+                );
+                assert!(p.nodal >= MIN_PARTITION && p.elements >= MIN_PARTITION);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_floor_leaves_table_i_unchanged_at_paper_width() {
+        for (size, plan) in PartitionPlan::TABLE_I {
+            assert_eq!(
+                PartitionPlan::for_size_threads(size, 24),
+                plan,
+                "24-thread cap must not disturb Table I for size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_cap_is_power_of_two_floor() {
+        assert_eq!(partition_cap(512, 16), 32);
+        assert_eq!(partition_cap(216, 3), 64); // 72 → 64
+        assert_eq!(partition_cap(1000, 1), 512);
+        // Tiny loops bottom out at MIN_PARTITION, never 0.
+        assert_eq!(partition_cap(4, 8), MIN_PARTITION);
     }
 }

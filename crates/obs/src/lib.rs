@@ -120,7 +120,10 @@ impl Tracer {
         self.lanes.len()
     }
 
-    /// Nanoseconds since this tracer was created (the span time base).
+    /// Nanoseconds since this tracer was created — the span time base.
+    /// *Both* endpoints of every recorded span must come from this clock
+    /// (never a separately-read `Instant`): the sim-vs-real drift report
+    /// compares span timestamps directly, and mixing clocks skews them.
     pub fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
@@ -159,6 +162,29 @@ impl Tracer {
                 kind,
             },
         );
+    }
+
+    /// Non-destructive per-label aggregate of the [`SpanKind::Task`]
+    /// spans currently buffered: `(label, Σ duration ns, span count)`,
+    /// label-sorted. Unlike [`drain`](Self::drain) this leaves the
+    /// buffers intact, so an online consumer (e.g. validation of the
+    /// partition auto-tuner's counters) can read per-phase aggregates
+    /// mid-run without stealing spans from the final trace export.
+    pub fn phase_totals(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut by_label: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for lane in &self.lanes {
+            for s in lane.lock().iter() {
+                if s.kind == SpanKind::Task {
+                    let e = by_label.entry(s.label).or_insert((0, 0));
+                    e.0 += s.dur_ns();
+                    e.1 += 1;
+                }
+            }
+        }
+        by_label
+            .into_iter()
+            .map(|(label, (ns, n))| (label, ns, n))
+            .collect()
     }
 
     /// Take every recorded span, sorted by start time. Leaves the

@@ -35,8 +35,8 @@ pub mod timeline;
 pub use costmodel::CostModel;
 pub use forkjoin::{simulate_fork_join, simulate_fork_join_dynamic, ForkJoinTrace};
 pub use lulesh::{
-    estimate_omp, estimate_omp_dynamic, estimate_task, LuleshConfig, LuleshModel, RunEstimate,
-    SimFeatures,
+    estimate_omp, estimate_omp_dynamic, estimate_task, sweep_partitions, LuleshConfig, LuleshModel,
+    RunEstimate, SimFeatures,
 };
 pub use machine::{MachineParams, SimResult};
 pub use steal::{simulate_work_stealing, SimTask, TaskGraph};

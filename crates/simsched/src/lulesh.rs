@@ -593,6 +593,30 @@ pub fn estimate_task(
     finish_estimate(model, machine, r)
 }
 
+/// Exhaustively sweep every `(nodal, elements)` pair from `candidates`
+/// through [`estimate_task`] and return the argmin:
+/// `(nodal, elements, best_estimate)`. This is the simulator's ground
+/// truth that both the Table I bench and the online auto-tuner are
+/// validated against.
+pub fn sweep_partitions(
+    model: &LuleshModel,
+    machine: &MachineParams,
+    features: SimFeatures,
+    candidates: &[usize],
+) -> (usize, usize, RunEstimate) {
+    assert!(!candidates.is_empty(), "need at least one candidate size");
+    let mut best: Option<(usize, usize, RunEstimate)> = None;
+    for &pn in candidates {
+        for &pe in candidates {
+            let est = estimate_task(model, machine, pn, pe, features);
+            if best.is_none_or(|(_, _, b)| est.seconds < b.seconds) {
+                best = Some((pn, pe, est));
+            }
+        }
+    }
+    best.expect("non-empty candidate list")
+}
+
 fn finish_estimate(model: &LuleshModel, machine: &MachineParams, r: SimResult) -> RunEstimate {
     let iters = model.iterations() as f64;
     RunEstimate {

@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod future;
+mod phases;
 mod scheduler;
 
 pub use future::{dataflow, when_all, when_all_unit, Future, Promise};
+pub use phases::PhaseStat;
 pub use scheduler::{Runtime, RuntimeStats};
 
 /// Block until every future in the collection is ready and collect the
@@ -244,7 +246,130 @@ mod tests {
         let fs: Vec<_> = (0..100).map(|i| rt.spawn(move || i * 3)).collect();
         wait_all(fs);
         let u = rt.utilization_since_reset();
-        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        // Raw ratio: clock-read skew allows a hair above 1.0, never more.
+        assert!((0.0..=1.05).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_is_raw_not_clamped() {
+        // Regression: the ratio used to be silently clamped with
+        // `.min(1.0)`, hiding busy-time overcounting. The snapshot math
+        // must report overcounting as a ratio > 1.
+        let overcounted = RuntimeStats {
+            threads: 1,
+            busy_ns: 2_000,
+            tasks: 2,
+            steals: 0,
+            wall_ns: 1_000,
+        };
+        assert_eq!(overcounted.utilization(), 2.0);
+        let half = RuntimeStats {
+            threads: 2,
+            busy_ns: 1_000,
+            tasks: 1,
+            steals: 0,
+            wall_ns: 1_000,
+        };
+        assert_eq!(half.utilization(), 0.5);
+        let empty = RuntimeStats {
+            threads: 4,
+            busy_ns: 0,
+            tasks: 0,
+            steals: 0,
+            wall_ns: 0,
+        };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn phase_stats_attribute_busy_time_per_label() {
+        let rt = Runtime::new(2);
+        let mut fs = Vec::new();
+        for i in 0..10 {
+            fs.push(rt.spawn_labeled("alpha", move || {
+                std::hint::black_box((0..2_000u64).sum::<u64>());
+                i
+            }));
+        }
+        for i in 0..4 {
+            fs.push(rt.spawn_labeled("beta", move || i));
+        }
+        wait_all(fs);
+        let phases = rt.phase_stats();
+        let get = |l: &str| phases.iter().find(|p| p.label == l).copied();
+        let alpha = get("alpha").expect("alpha phase recorded");
+        let beta = get("beta").expect("beta phase recorded");
+        assert_eq!(alpha.tasks, 10);
+        assert_eq!(beta.tasks, 4);
+        // Per-phase busy totals are carved from the same measurement as
+        // the global busy clock, so they must sum to it exactly.
+        let total: u64 = phases.iter().map(|p| p.busy_ns).sum();
+        assert_eq!(total, rt.stats().busy_ns);
+        rt.reset_counters();
+        assert!(rt.phase_stats().iter().all(|p| p.tasks == 0));
+    }
+
+    #[test]
+    fn phase_counters_agree_with_tracer_span_aggregates() {
+        // Traced and untraced paths must produce identical per-phase
+        // numbers: the counters are fed from the same measurement as the
+        // spans, and the tracer's non-destructive `phase_totals` view
+        // must match exactly.
+        let tracer = obs::Tracer::shared(3);
+        let rt = Runtime::with_tracer(2, Arc::clone(&tracer), 0);
+        let mut fs = Vec::new();
+        for i in 0..12 {
+            fs.push(rt.spawn_labeled("gamma", move || {
+                std::hint::black_box((0..3_000u64).sum::<u64>()) + i
+            }));
+        }
+        for i in 0..5 {
+            fs.push(rt.spawn_labeled("delta", move || i));
+        }
+        wait_all(fs);
+        let from_counters = rt.phase_stats();
+        let from_tracer = tracer.phase_totals();
+        assert_eq!(from_counters.len(), from_tracer.len());
+        for (c, (label, ns, n)) in from_counters.iter().zip(&from_tracer) {
+            assert_eq!(c.label, *label);
+            assert_eq!(c.busy_ns, *ns, "phase {label}: counter vs span busy");
+            assert_eq!(c.tasks, *n, "phase {label}: counter vs span count");
+        }
+    }
+
+    #[test]
+    fn spans_share_the_tracer_clock() {
+        // Regression: span ends used to be `start + dur` with `start` from
+        // the tracer clock but `dur` from a separate `Instant`. Both
+        // endpoints must come from the tracer's clock, so every span falls
+        // inside a bracketing interval read from that same clock.
+        let tracer = obs::Tracer::shared(3);
+        let rt = Runtime::with_tracer(2, Arc::clone(&tracer), 0);
+        let before = tracer.now_ns();
+        let fs: Vec<_> = (0..32)
+            .map(|i| {
+                rt.spawn_labeled("clocked", move || {
+                    std::hint::black_box((0..5_000u64).sum::<u64>()) + i
+                })
+            })
+            .collect();
+        wait_all(fs);
+        let after = tracer.now_ns();
+        let spans = tracer.drain();
+        let tasks: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == obs::SpanKind::Task)
+            .collect();
+        assert_eq!(tasks.len(), 32);
+        for s in &tasks {
+            assert!(s.end_ns >= s.start_ns, "span runs backwards");
+            assert!(
+                s.start_ns >= before && s.end_ns <= after,
+                "span [{}, {}] outside tracer-clock bracket [{before}, {after}]",
+                s.start_ns,
+                s.end_ns
+            );
+        }
     }
 
     #[test]

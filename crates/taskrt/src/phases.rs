@@ -1,0 +1,124 @@
+//! Always-on per-phase busy/task counters.
+//!
+//! The partition auto-tuner needs per-phase timing even when span tracing
+//! is off, and it must not drain the tracer mid-run (that would steal
+//! spans from the final trace export). Each worker therefore owns a small
+//! fixed array of label slots and attributes every `exec_timed` duration
+//! to its label's slot — the *same* measurement that feeds the busy clock
+//! and the span, so all three views agree exactly.
+//!
+//! Concurrency contract: a slot array has a single writer (the owning
+//! worker); readers race only against in-flight increments, which is fine
+//! for a monitoring signal. Labels are `&'static str`, so publishing
+//! `(ptr, len)` with release/acquire ordering lets a reader reconstruct
+//! the label without ever observing a dangling pointer.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Label slots per worker. LULESH uses ~12 distinct phase labels; the rest
+/// is headroom. Overflowing labels are dropped (bounded memory beats
+/// completeness for a runtime-internal counter).
+const PHASE_SLOTS: usize = 32;
+
+/// Aggregated execution statistics for one phase label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The `spawn_labeled` label the tasks carried.
+    pub label: &'static str,
+    /// Σ busy nanoseconds of this phase's tasks since the last reset.
+    pub busy_ns: u64,
+    /// Tasks of this phase executed since the last reset.
+    pub tasks: u64,
+}
+
+#[derive(Default)]
+struct PhaseSlot {
+    /// Label address; 0 ⇒ slot unclaimed. Written once (by the owner).
+    ptr: AtomicUsize,
+    len: AtomicUsize,
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+/// One worker's slot array (single-writer, many-reader).
+pub(crate) struct PhaseCounters {
+    slots: [PhaseSlot; PHASE_SLOTS],
+}
+
+impl PhaseCounters {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| PhaseSlot::default()),
+        }
+    }
+
+    /// Attribute `ns` of busy time (one task) to `label`. Only the owning
+    /// worker calls this, so claiming a free slot needs no CAS.
+    pub(crate) fn add(&self, label: &'static str, ns: u64) {
+        let p = label.as_ptr() as usize;
+        for slot in &self.slots {
+            let sp = slot.ptr.load(Ordering::Relaxed);
+            if sp == 0 {
+                // Claim: publish len before ptr so a concurrent reader
+                // that sees the pointer also sees the matching length.
+                slot.len.store(label.len(), Ordering::Relaxed);
+                slot.ptr.store(p, Ordering::Release);
+            } else if sp != p {
+                continue;
+            }
+            slot.busy_ns.fetch_add(ns, Ordering::Relaxed);
+            slot.tasks.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+
+    /// Append this worker's claimed slots to `out`.
+    pub(crate) fn snapshot_into(&self, out: &mut Vec<PhaseStat>) {
+        for slot in &self.slots {
+            let sp = slot.ptr.load(Ordering::Acquire);
+            if sp == 0 {
+                // Slots are claimed in order; the first empty one ends the
+                // claimed prefix.
+                break;
+            }
+            let len = slot.len.load(Ordering::Relaxed);
+            // SAFETY: (sp, len) were published, release/acquire paired,
+            // from a `&'static str`'s own pointer and length.
+            let label: &'static str = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(sp as *const u8, len))
+            };
+            out.push(PhaseStat {
+                label,
+                busy_ns: slot.busy_ns.load(Ordering::Relaxed),
+                tasks: slot.tasks.load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    /// Zero the counters (labels stay claimed — they are still `'static`).
+    pub(crate) fn reset(&self) {
+        for slot in &self.slots {
+            slot.busy_ns.store(0, Ordering::Relaxed);
+            slot.tasks.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Merge per-worker snapshots into one label-sorted aggregate.
+pub(crate) fn merge(per_worker: Vec<PhaseStat>) -> Vec<PhaseStat> {
+    let mut by_label: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for s in per_worker {
+        let e = by_label.entry(s.label).or_insert((0, 0));
+        e.0 += s.busy_ns;
+        e.1 += s.tasks;
+    }
+    by_label
+        .into_iter()
+        .map(|(label, (busy_ns, tasks))| PhaseStat {
+            label,
+            busy_ns,
+            tasks,
+        })
+        .collect()
+}

@@ -4,14 +4,28 @@
 //! (without priorities, which the paper does not use).
 
 use crate::future::{promise_pair, Future};
+use crate::phases::{self, PhaseCounters, PhaseStat};
 use crossbeam::deque::{Injector, Stealer, Worker};
 use obs::{Span, SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 use parutil::{BusyIdleClock, CachePadded};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a parked worker sleeps before re-scanning on its own. With the
+/// seq-cst submit/park handshake this is a pure backstop, never the
+/// mechanism that delivers work — generous enough that a lost wakeup shows
+/// up as an obvious latency cliff in the regression test instead of being
+/// silently absorbed.
+const PARK_BACKSTOP: Duration = Duration::from_millis(100);
+
+/// Slack allowed on the productive-time ratio before the debug assertion
+/// in [`Runtime::utilization_since_reset`] fires: the wall clock and the
+/// per-worker busy clocks are read at slightly different instants, so tiny
+/// overshoots are measurement skew, not overcounting.
+const UTILIZATION_EPS: f64 = 0.05;
 
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -27,6 +41,9 @@ struct Inner {
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
     clocks: Vec<CachePadded<BusyIdleClock>>,
+    /// Per-worker per-phase busy counters (always on; the auto-tuner's
+    /// timing signal when span tracing is disabled).
+    phase_counters: Vec<CachePadded<PhaseCounters>>,
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     sleepers: AtomicUsize,
@@ -111,11 +128,15 @@ impl Runtime {
         let clocks = (0..threads)
             .map(|_| CachePadded(BusyIdleClock::new()))
             .collect();
+        let phase_counters = (0..threads)
+            .map(|_| CachePadded(PhaseCounters::new()))
+            .collect();
 
         let inner = Arc::new(Inner {
             injector: Injector::new(),
             stealers,
             clocks,
+            phase_counters,
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
@@ -270,7 +291,19 @@ impl Runtime {
     }
 
     fn wake_one(&self) {
-        if self.inner.sleepers.load(Ordering::Acquire) > 0 {
+        // Dekker-style handshake with the park path in `worker_loop`. The
+        // submitter's order is push-queue → read-sleepers; the parker's is
+        // increment-sleepers → scan-queues. With weaker orderings both
+        // sides can read the other's *old* value (store-buffer reordering)
+        // — submitter sees sleepers == 0, parker sees empty queues — and
+        // the task sits until a timeout. The seq-cst fences on both sides
+        // make that outcome impossible: at least one side observes the
+        // other's store, so either we notify or the parker's re-scan finds
+        // the task.
+        fence(Ordering::SeqCst);
+        if self.inner.sleepers.load(Ordering::Relaxed) > 0 {
+            // Lock before notifying so the wakeup cannot slip into the
+            // window between the parker's queue scan and its wait.
             let _g = self.inner.sleep_lock.lock();
             self.inner.sleep_cv.notify_one();
         }
@@ -288,23 +321,53 @@ impl Runtime {
         }
     }
 
-    /// Zero all counters and restart the utilization epoch.
+    /// Zero all counters (including per-phase aggregates) and restart the
+    /// utilization epoch.
     pub fn reset_counters(&self) {
         for c in &self.inner.clocks {
             c.reset();
+        }
+        for pc in &self.inner.phase_counters {
+            pc.reset();
         }
         *self.inner.epoch.lock() = Instant::now();
     }
 
     /// Productive-time ratio since the last reset: Σ busy / (threads × wall),
     /// the quantity HPX exposes as (1 − idle-rate) and the paper plots in
-    /// Figure 11.
+    /// Figure 11. Returns the *raw* ratio — a value meaningfully above 1.0
+    /// means the busy clocks overcount (e.g. a task timed twice) and must
+    /// not be hidden by clamping; debug builds assert ≤ 1 + ε.
     pub fn utilization_since_reset(&self) -> f64 {
-        let s = self.stats();
-        if s.wall_ns == 0 {
+        let r = self.stats().utilization();
+        debug_assert!(
+            r <= 1.0 + UTILIZATION_EPS,
+            "busy-time overcounting: productive ratio {r} > 1 + ε"
+        );
+        r
+    }
+
+    /// Per-phase busy/task aggregates, merged across workers and sorted by
+    /// label. Always available (independent of span tracing); zeroed by
+    /// [`reset_counters`](Self::reset_counters).
+    pub fn phase_stats(&self) -> Vec<PhaseStat> {
+        let mut all = Vec::new();
+        for pc in &self.inner.phase_counters {
+            pc.snapshot_into(&mut all);
+        }
+        phases::merge(all)
+    }
+}
+
+impl RuntimeStats {
+    /// Raw productive-time ratio Σ busy / (threads × wall) for this
+    /// snapshot. Unclamped on purpose — see
+    /// [`Runtime::utilization_since_reset`].
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.threads == 0 {
             return 0.0;
         }
-        (s.busy_ns as f64 / (s.wall_ns as f64 * s.threads as f64)).min(1.0)
+        self.busy_ns as f64 / (self.wall_ns as f64 * self.threads as f64)
     }
 }
 
@@ -366,22 +429,24 @@ fn worker_loop(inner: Arc<Inner>, index: usize, queue: Worker<Task>) {
                 if idle_spins < 64 {
                     std::hint::spin_loop();
                 } else {
-                    inner.sleepers.fetch_add(1, Ordering::AcqRel);
+                    // Seq-cst half of the handshake with `wake_one`:
+                    // publish the sleeper registration before scanning the
+                    // queues, so a submitter whose push we miss is
+                    // guaranteed to see sleepers > 0 and notify (it takes
+                    // the same lock, so the notify cannot land between our
+                    // scan and our wait). `PARK_BACKSTOP` is a backstop
+                    // only — the wakeup-latency regression test would
+                    // catch any path that actually relies on it.
+                    inner.sleepers.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
                     let mut g = inner.sleep_lock.lock();
-                    // Re-check every queue (injector AND sibling deques)
-                    // after registering as a sleeper and under the lock:
-                    // a submitter that saw sleepers > 0 must take the same
-                    // lock to notify, so its push is either visible to this
-                    // scan or its notify lands after our wait begins. The
-                    // 1 ms timeout backstops the remaining weak-ordering
-                    // window.
                     let work_visible = !inner.injector.is_empty()
                         || inner.stealers.iter().any(|st| !st.is_empty());
                     if !work_visible && !inner.shutdown.load(Ordering::Acquire) {
-                        inner.sleep_cv.wait_for(&mut g, Duration::from_millis(1));
+                        inner.sleep_cv.wait_for(&mut g, PARK_BACKSTOP);
                     }
                     drop(g);
-                    inner.sleepers.fetch_sub(1, Ordering::AcqRel);
+                    inner.sleepers.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
@@ -410,12 +475,19 @@ pub(crate) fn exec_timed<R>(label: &'static str, kind: SpanKind, f: impl FnOnce(
         let clock = &inner.clocks[ctx.index];
         match inner.trace.as_ref() {
             Some(tc) => {
+                // Both endpoints come from the tracer's clock: the span
+                // interval, the busy increment, and the per-phase counter
+                // are all the same `end - start` on one monotonic clock,
+                // so busy_ns == Σ span durations holds exactly and spans
+                // align with every other timestamp the tracer hands out
+                // (the drift report compares them directly).
                 let start = tc.tracer.now_ns();
-                let t0 = Instant::now();
                 let r = f();
-                let dur = t0.elapsed().as_nanos() as u64;
+                let end = tc.tracer.now_ns();
+                let dur = end - start;
                 clock.add_busy_ns(dur);
                 clock.count_task();
+                inner.phase_counters[ctx.index].add(label, dur);
                 let lane = tc.lane_base + ctx.index;
                 tc.tracer.record(
                     lane,
@@ -424,7 +496,7 @@ pub(crate) fn exec_timed<R>(label: &'static str, kind: SpanKind, f: impl FnOnce(
                         label,
                         worker: lane,
                         start_ns: start,
-                        end_ns: start + dur,
+                        end_ns: end,
                         kind,
                     },
                 );
@@ -433,8 +505,10 @@ pub(crate) fn exec_timed<R>(label: &'static str, kind: SpanKind, f: impl FnOnce(
             None => {
                 let t0 = Instant::now();
                 let r = f();
-                clock.add_busy_ns(t0.elapsed().as_nanos() as u64);
+                let dur = t0.elapsed().as_nanos() as u64;
+                clock.add_busy_ns(dur);
                 clock.count_task();
+                inner.phase_counters[ctx.index].add(label, dur);
                 r
             }
         }

@@ -1,0 +1,50 @@
+//! Regression test for the scheduler's sleep/wake handshake.
+//!
+//! A submitter orders push-queue → read-sleepers while a parking worker
+//! orders increment-sleepers → scan-queues; without seq-cst pairing both
+//! sides can read stale values and the task waits out the park timeout.
+//! The scheduler used a 1 ms timeout that *masked* exactly that lost
+//! wakeup. The timeout is now a 100 ms backstop, so a reintroduced race
+//! shows up here as a latency cliff instead of hiding inside the noise.
+
+use std::time::{Duration, Instant};
+
+#[test]
+fn external_submit_wakes_sleeping_workers_promptly() {
+    let rt = taskrt::Runtime::new(2);
+    let mut worst = Duration::ZERO;
+    for _ in 0..200 {
+        // Give every worker time to drain its spin budget and park.
+        std::thread::sleep(Duration::from_millis(2));
+        let t0 = Instant::now();
+        rt.spawn(|| ()).get();
+        worst = worst.max(t0.elapsed());
+    }
+    // Healthy wakeups are microseconds; a submit that loses the race and
+    // gets rescued by the 100 ms backstop blows way past this bound.
+    assert!(
+        worst < Duration::from_millis(50),
+        "worst wakeup latency {worst:?} — workers are relying on the park \
+         backstop instead of being woken"
+    );
+}
+
+#[test]
+fn burst_after_idle_completes_promptly() {
+    // Same race, fan-out shape: several tasks submitted back-to-back into
+    // a fully parked pool must each wake a worker (notify_one chains, no
+    // task may be left waiting on the backstop).
+    let rt = taskrt::Runtime::new(4);
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(2));
+        let t0 = Instant::now();
+        let fs: Vec<_> = (0..8).map(|i| rt.spawn(move || i)).collect();
+        let sum: i32 = taskrt::wait_all(fs).into_iter().sum();
+        assert_eq!(sum, 28);
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "burst took {:?} — a task waited for the park backstop",
+            t0.elapsed()
+        );
+    }
+}

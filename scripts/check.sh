@@ -27,4 +27,14 @@ trap 'rm -rf "$TMP"' EXIT
 ./target/debug/trace_lint "$TMP/trace.json" 18
 test -s "$TMP/metrics.csv"
 
+echo "== auto-tune smoke run (s=15, --partition auto must converge) =="
+# The round/move budgets bound the search at ~50 windows of 6 iterations;
+# a 15^3 mesh runs ~380 iterations to stoptime, so a healthy controller
+# always converges well before the run ends and logs its verdict.
+./target/debug/lulesh-task --s 15 --r 5 --threads 2 --q --partition auto \
+  > /dev/null 2> "$TMP/autotune.log"
+grep -q "autotune: converged" "$TMP/autotune.log" || {
+  echo "auto-tuner did not converge:"; cat "$TMP/autotune.log"; exit 1;
+}
+
 echo "== all checks passed =="

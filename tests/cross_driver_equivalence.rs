@@ -4,7 +4,7 @@
 
 use lulesh::core::{serial, validate, Domain};
 use lulesh::omp::OmpLulesh;
-use lulesh::task::{Features, PartitionPlan, TaskLulesh};
+use lulesh::task::{AutoTuneConfig, Features, PartitionPlan, PartitionPolicy, TaskLulesh};
 use std::sync::Arc;
 
 fn serial_ref(size: usize, regs: usize, cycles: u64) -> Domain {
@@ -133,6 +133,42 @@ fn full_runs_reach_stoptime_identically() {
     assert_eq!(
         validate::final_origin_energy(&d_ref),
         validate::final_origin_energy(&d_task)
+    );
+}
+
+#[test]
+fn auto_partition_policy_is_bit_identical_while_resizing() {
+    // Extends partition_size_does_not_change_results to the online
+    // tuner: --partition auto resizes partitions *mid-run*, and the
+    // physics must stay bit-identical to the serial reference throughout.
+    let (size, regs, cycles) = (8, 5, 30);
+    let d_ref = serial_ref(size, regs, cycles);
+
+    let d_task = Arc::new(Domain::build(size, regs, 1, 1, 0));
+    let runner = TaskLulesh::new(3);
+    let cfg = AutoTuneConfig {
+        window: 2, // resize every two iterations: many mid-run switches
+        warmup_windows: 1,
+        min_task_ns: 0.0, // test-sized tasks are tiny; let the tuner probe freely
+        ..AutoTuneConfig::default()
+    };
+    let st = runner
+        .run_policy(&d_task, PartitionPolicy::Auto(cfg), cycles)
+        .unwrap();
+    assert_eq!(st.cycle, cycles);
+    assert_eq!(validate::max_field_difference(&d_ref, &d_task), 0.0);
+
+    // The run must actually have exercised more than one plan — otherwise
+    // this test degenerates into the fixed-partition one.
+    let report = runner.auto_report().expect("auto run records a report");
+    let distinct: std::collections::BTreeSet<_> = report
+        .history
+        .iter()
+        .map(|(p, _)| (p.nodal, p.elements))
+        .collect();
+    assert!(
+        distinct.len() >= 2,
+        "tuner never resized mid-run: {distinct:?}"
     );
 }
 
