@@ -37,6 +37,33 @@ impl std::str::FromStr for PartitionMode {
     }
 }
 
+/// Inter-rank transport for the multi-domain drivers, `--transport`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// In-process channels (the default; no sockets involved).
+    #[default]
+    Channel,
+    /// Length-prefixed TCP frames. `--transport tcp` lets the launcher
+    /// pick a loopback port; `--transport tcp:HOST:PORT` names the root
+    /// rank's bootstrap address explicitly (worker processes need this).
+    Tcp(Option<String>),
+}
+
+impl std::str::FromStr for TransportMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "channel" => Ok(Self::Channel),
+            "tcp" => Ok(Self::Tcp(None)),
+            _ => match s.strip_prefix("tcp:") {
+                Some(addr) if !addr.is_empty() => Ok(Self::Tcp(Some(addr.to_string()))),
+                _ => Err("expected channel|tcp|tcp:HOST:PORT".into()),
+            },
+        }
+    }
+}
+
 /// Parsed options with the reference defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Opts {
@@ -63,6 +90,12 @@ pub struct Opts {
     pub metrics: Option<String>,
     /// Partition policy for the task driver, `--partition auto|fixed:N|table`.
     pub partition: PartitionMode,
+    /// Inter-rank transport for the multi-domain drivers,
+    /// `--transport channel|tcp|tcp:HOST:PORT`.
+    pub transport: TransportMode,
+    /// Per-receive deadline for the network transports in milliseconds,
+    /// `--recv-deadline-ms`. Default 10 000.
+    pub recv_deadline_ms: u64,
 }
 
 impl Default for Opts {
@@ -79,6 +112,8 @@ impl Default for Opts {
             trace: None,
             metrics: None,
             partition: PartitionMode::Table,
+            transport: TransportMode::Channel,
+            recv_deadline_ms: 10_000,
         }
     }
 }
@@ -140,6 +175,8 @@ impl Opts {
                 "trace" => opts.trace = Some(parse_val(flag, inline, &mut it)?),
                 "metrics" => opts.metrics = Some(parse_val(flag, inline, &mut it)?),
                 "partition" => opts.partition = parse_val(flag, inline, &mut it)?,
+                "transport" => opts.transport = parse_val(flag, inline, &mut it)?,
+                "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -159,6 +196,9 @@ impl Opts {
         if opts.threads == 0 {
             return Err(ParseError("threads must be positive".into()));
         }
+        if opts.recv_deadline_ms == 0 {
+            return Err(ParseError("recv deadline must be positive".into()));
+        }
         Ok(opts)
     }
 
@@ -168,12 +208,16 @@ impl Opts {
             "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
              [--b BALANCE] [--c COST] [--threads N] [--q] \
              [--trace FILE.json] [--metrics FILE.csv|.json] \
-             [--partition auto|fixed:N|table]\n\
+             [--partition auto|fixed:N|table] \
+             [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS]\n\
              Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
-             --partition table, run to stoptime.\n\
+             --partition table --transport channel --recv-deadline-ms 10000, \
+             run to stoptime.\n\
              --trace writes a Chrome-trace timeline (load in Perfetto); \
              --metrics writes a per-phase metrics snapshot; \
-             --partition auto tunes partition sizes online (task driver)."
+             --partition auto tunes partition sizes online (task driver); \
+             --transport tcp exchanges halos over loopback sockets \
+             (multi-domain drivers)."
         )
     }
 }
@@ -238,6 +282,27 @@ mod tests {
         assert!(Opts::parse(["--partition", "fixed:0"]).is_err());
         assert!(Opts::parse(["--partition", "fixed:x"]).is_err());
         assert!(Opts::parse(["--partition"]).is_err());
+    }
+
+    #[test]
+    fn transport_modes() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.transport, TransportMode::Channel);
+        assert_eq!(o.recv_deadline_ms, 10_000);
+        let o = Opts::parse(["--transport", "channel"]).unwrap();
+        assert_eq!(o.transport, TransportMode::Channel);
+        let o = Opts::parse(["--transport", "tcp"]).unwrap();
+        assert_eq!(o.transport, TransportMode::Tcp(None));
+        let o = Opts::parse(["--transport=tcp:127.0.0.1:9100"]).unwrap();
+        assert_eq!(
+            o.transport,
+            TransportMode::Tcp(Some("127.0.0.1:9100".to_string()))
+        );
+        let o = Opts::parse(["--recv-deadline-ms", "2500"]).unwrap();
+        assert_eq!(o.recv_deadline_ms, 2500);
+        assert!(Opts::parse(["--transport", "udp"]).is_err());
+        assert!(Opts::parse(["--transport", "tcp:"]).is_err());
+        assert!(Opts::parse(["--recv-deadline-ms", "0"]).is_err());
     }
 
     #[test]

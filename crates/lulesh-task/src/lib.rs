@@ -75,6 +75,28 @@ fn phase_totals(stats: &[PhaseStat]) -> (u64, u64) {
 /// halo exchange). Runs as a task of its own between two phases.
 pub type Hook = Arc<dyn Fn() + Send + Sync>;
 
+/// Comm/compute-overlapped force exchange: the force gather is split into
+/// boundary-plane and interior partitions, the boundary planes are sent as
+/// soon as their gathers finish, and the receive+combine runs as a
+/// continuation of the send — concurrent with the interior gathers. The
+/// single join before the node update is the only barrier, so network
+/// latency hides behind interior compute (the HPX parcelport overlap the
+/// paper's future-work section points at).
+#[derive(Clone)]
+pub struct OverlapForces {
+    /// Node-index ranges whose gathered forces are communicated (the
+    /// boundary planes). The complement is "interior" and overlaps with
+    /// the exchange.
+    pub boundary: Vec<std::ops::Range<usize>>,
+    /// Posts the boundary planes to the neighbours. Runs once the boundary
+    /// gathers finish; must not block on the network (parcelnet sends are
+    /// buffered), or a single-worker rank could deadlock.
+    pub send: Hook,
+    /// Receives the neighbours' planes and combines them into the boundary
+    /// nodes — a continuation of `send`, concurrent with interior gathers.
+    pub recv_combine: Hook,
+}
+
 /// Injection points for inter-domain communication (the `multidom` crate's
 /// task-parallel driver): the same three synchronization points the
 /// reference's MPI version communicates at.
@@ -86,6 +108,9 @@ pub struct IterationHooks {
     /// After the kinematics/gradients barrier, before the q-limiter tasks
     /// (`CommMonoQ`: ghost-plane gradient exchange).
     pub after_gradients: Option<Hook>,
+    /// Overlapped force exchange; when set it takes precedence over
+    /// `after_forces`.
+    pub overlap_forces: Option<OverlapForces>,
 }
 
 /// Toggles for the paper's optimization tricks (all on by default; the
@@ -624,56 +649,114 @@ impl TaskLulesh {
         barriers += 1;
 
         // ---------------- Phase B: node chains ----------------
-        let b2 = match &hooks.after_forces {
-            None => {
-                let mut node_group = Group::new();
-                for c in chunks_of(num_node, plan.nodal) {
-                    node_group.push(node_stages(d, sc, c, dt, f.merge_kernels));
+        let b2 = if let Some(ov) = &hooks.overlap_forces {
+            // Comm/compute overlap: boundary gathers feed the send task the
+            // moment they finish; the receive+combine continuation runs
+            // while the interior gathers are still in flight. One join
+            // before the node update replaces the gather barrier.
+            let interior = complement(&ov.boundary, num_node);
+            let mut bgather = Group::new();
+            for r in &ov.boundary {
+                for c in chunks_in(r.clone(), plan.nodal) {
+                    bgather.push(vec![node_gather_stage(d, sc, c)]);
                 }
-                let k = node_group.len();
-                let bf = self.run_group("node", b1.fork(k), node_group, &mut tasks, &mut barriers);
-                let b2 = self.rt.when_all_unit_labeled("barrier-nodes", bf);
-                barriers += 1;
-                b2
             }
-            Some(hook) => {
-                // Multi-domain: the halo force sum needs the gathered nodal
-                // forces, so phase B splits at the gather (reference order:
-                // gather, CommSBN, then the node update) — one extra
-                // barrier, exactly like the MPI version.
-                let mut gather_group = Group::new();
-                for c in chunks_of(num_node, plan.nodal) {
-                    gather_group.push(vec![node_gather_stage(d, sc, c)]);
+            let mut igather = Group::new();
+            for r in &interior {
+                for c in chunks_in(r.clone(), plan.nodal) {
+                    igather.push(vec![node_gather_stage(d, sc, c)]);
                 }
-                let k = gather_group.len();
-                let gf = self.run_group(
-                    "node-gather",
-                    b1.fork(k),
-                    gather_group,
-                    &mut tasks,
-                    &mut barriers,
-                );
-                let bg = self.rt.when_all_unit_labeled("barrier-gather", gf);
-                barriers += 1;
-                let hook = Arc::clone(hook);
-                tasks += 1;
-                let hooked = bg.then_kind(&self.rt, "halo-forces", SpanKind::Halo, move |_| hook());
+            }
+            let kb = bgather.len();
+            let ki = igather.len();
+            let mut starts = b1.fork(kb + ki);
+            let bstarts: Vec<_> = starts.drain(..kb).collect();
+            let gfb = self.run_group("node-gather", bstarts, bgather, &mut tasks, &mut barriers);
+            let gfi = self.run_group("node-gather", starts, igather, &mut tasks, &mut barriers);
 
-                let mut update_group = Group::new();
-                for c in chunks_of(num_node, plan.nodal) {
-                    update_group.push(node_update_stages(d, c, dt, f.merge_kernels));
+            let bg = self.rt.when_all_unit_labeled("barrier-gather", gfb);
+            barriers += 1;
+            let send = Arc::clone(&ov.send);
+            tasks += 1;
+            let sent = bg.then_kind(&self.rt, "halo-send", SpanKind::Halo, move |_| send());
+            let recv = Arc::clone(&ov.recv_combine);
+            tasks += 1;
+            let received = sent.then_kind(&self.rt, "halo-recv", SpanKind::Halo, move |_| recv());
+
+            let mut joined = gfi;
+            joined.push(received);
+            let all = self.rt.when_all_unit_labeled("barrier-halo", joined);
+            barriers += 1;
+
+            let mut update_group = Group::new();
+            for c in chunks_of(num_node, plan.nodal) {
+                update_group.push(node_update_stages(d, c, dt, f.merge_kernels));
+            }
+            let k = update_group.len();
+            let uf = self.run_group(
+                "node-update",
+                all.fork(k),
+                update_group,
+                &mut tasks,
+                &mut barriers,
+            );
+            let b2 = self.rt.when_all_unit_labeled("barrier-nodes", uf);
+            barriers += 1;
+            b2
+        } else {
+            match &hooks.after_forces {
+                None => {
+                    let mut node_group = Group::new();
+                    for c in chunks_of(num_node, plan.nodal) {
+                        node_group.push(node_stages(d, sc, c, dt, f.merge_kernels));
+                    }
+                    let k = node_group.len();
+                    let bf =
+                        self.run_group("node", b1.fork(k), node_group, &mut tasks, &mut barriers);
+                    let b2 = self.rt.when_all_unit_labeled("barrier-nodes", bf);
+                    barriers += 1;
+                    b2
                 }
-                let k = update_group.len();
-                let uf = self.run_group(
-                    "node-update",
-                    hooked.fork(k),
-                    update_group,
-                    &mut tasks,
-                    &mut barriers,
-                );
-                let b2 = self.rt.when_all_unit_labeled("barrier-nodes", uf);
-                barriers += 1;
-                b2
+                Some(hook) => {
+                    // Multi-domain: the halo force sum needs the gathered nodal
+                    // forces, so phase B splits at the gather (reference order:
+                    // gather, CommSBN, then the node update) — one extra
+                    // barrier, exactly like the MPI version.
+                    let mut gather_group = Group::new();
+                    for c in chunks_of(num_node, plan.nodal) {
+                        gather_group.push(vec![node_gather_stage(d, sc, c)]);
+                    }
+                    let k = gather_group.len();
+                    let gf = self.run_group(
+                        "node-gather",
+                        b1.fork(k),
+                        gather_group,
+                        &mut tasks,
+                        &mut barriers,
+                    );
+                    let bg = self.rt.when_all_unit_labeled("barrier-gather", gf);
+                    barriers += 1;
+                    let hook = Arc::clone(hook);
+                    tasks += 1;
+                    let hooked =
+                        bg.then_kind(&self.rt, "halo-forces", SpanKind::Halo, move |_| hook());
+
+                    let mut update_group = Group::new();
+                    for c in chunks_of(num_node, plan.nodal) {
+                        update_group.push(node_update_stages(d, c, dt, f.merge_kernels));
+                    }
+                    let k = update_group.len();
+                    let uf = self.run_group(
+                        "node-update",
+                        hooked.fork(k),
+                        update_group,
+                        &mut tasks,
+                        &mut barriers,
+                    );
+                    let b2 = self.rt.when_all_unit_labeled("barrier-nodes", uf);
+                    barriers += 1;
+                    b2
+                }
             }
         };
 
@@ -1029,6 +1112,34 @@ fn hourglass_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bo
             }),
         ]
     }
+}
+
+/// Chunks covering an arbitrary sub-range (the boundary/interior split of
+/// the overlapped force gather).
+fn chunks_in(r: std::ops::Range<usize>, size: usize) -> impl Iterator<Item = Chunk> {
+    let base = r.start;
+    chunks_of(r.len(), size).map(move |c| Chunk {
+        begin: c.begin + base,
+        end: c.end + base,
+    })
+}
+
+/// The complement of `ranges` within `0..n` (the interior partition).
+fn complement(ranges: &[std::ops::Range<usize>], n: usize) -> Vec<std::ops::Range<usize>> {
+    let mut rs = ranges.to_vec();
+    rs.sort_by_key(|r| r.start);
+    let mut out = Vec::new();
+    let mut pos = 0;
+    for r in rs {
+        if r.start > pos {
+            out.push(pos..r.start);
+        }
+        pos = pos.max(r.end);
+    }
+    if pos < n {
+        out.push(pos..n);
+    }
+    out
 }
 
 fn node_gather_stage(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk) -> Stage {

@@ -1,39 +1,53 @@
 //! Multi-domain LULESH binary (the paper's future-work extension): run the
 //! global problem decomposed into ζ slabs with one thread per rank and
-//! MPI-style halo exchange. CLI matches the artifact, plus `--ranks N`.
+//! MPI-style halo exchange. CLI matches the artifact, plus `--ranks N` and
+//! `--transport channel|tcp[:HOST:PORT]`.
+//!
+//! With `--transport channel` (the default) all ranks live in this process
+//! and exchange halos over in-memory channels. With `--transport tcp` the
+//! binary becomes a **launcher**: it picks a free loopback port, re-spawns
+//! itself once per rank with `--rank R --transport tcp:ADDR`, waits for
+//! every worker, and verifies the bootstrap port was released. A worker
+//! invocation (`--rank` present) connects to the root address, runs its
+//! slab over real sockets, and exits; rank 0 prints the report. Point
+//! `--transport tcp:HOST:PORT` at a routable address and start the workers
+//! by hand to span multiple machines.
 
-use lulesh_core::{Opts, RunReport};
-use multidom::{threaded, Decomposition};
+use lulesh_core::{Opts, RunReport, TransportMode};
+use multidom::{threaded, Decomposition, FaultPlan, MdError, SimArgs};
 use obs::Tracer;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Pull `--flag N` / `--flag=N` out of `args` before the shared parser
+/// sees it. Returns `None` when absent; exits on a malformed value.
+fn extract_flag(args: &mut Vec<String>, name: &str) -> Option<usize> {
+    let pos = args
+        .iter()
+        .position(|a| a.trim_start_matches('-').split('=').next() == Some(name))?;
+    let (raw, consumed) = match args[pos].split_once('=') {
+        Some((_, v)) => (v.to_string(), 1),
+        None => (args.get(pos + 1).cloned().unwrap_or_default(), 2),
+    };
+    let val = raw.parse().unwrap_or_else(|_| {
+        eprintln!("--{name} needs a non-negative integer (got '{raw}')");
+        std::process::exit(2);
+    });
+    args.drain(pos..pos + consumed);
+    Some(val)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Pull out --ranks (both `--ranks N` and `--ranks=N` forms) before the
-    // shared parser sees it.
-    let mut ranks = 2usize;
-    if let Some(pos) = args
-        .iter()
-        .position(|a| a.trim_start_matches('-').split('=').next() == Some("ranks"))
-    {
-        let (raw, consumed) = match args[pos].split_once('=') {
-            Some((_, v)) => (v.to_string(), 1),
-            None => (args.get(pos + 1).cloned().unwrap_or_default(), 2),
-        };
-        ranks = raw.parse().unwrap_or(0);
-        if ranks == 0 {
-            eprintln!("--ranks needs a positive integer (got '{raw}')");
-            std::process::exit(2);
-        }
-        args.drain(pos..pos + consumed);
-    }
+    let launcher_args = args.clone();
+    let ranks = extract_flag(&mut args, "ranks").unwrap_or(2);
+    let rank = extract_flag(&mut args, "rank");
     let opts = match Opts::parse(&args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", Opts::usage("lulesh-multidom"));
-            eprintln!("extra flag: --ranks N (ζ slabs, default 2; must divide --s)");
+            eprintln!("extra flags: --ranks N (ζ slabs, default 2; must divide --s); --rank R (internal: run as TCP worker R)");
             std::process::exit(2);
         }
     };
@@ -44,7 +58,33 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if let Some(r) = rank {
+        if r >= ranks {
+            eprintln!("--rank {r} out of range for --ranks {ranks}");
+            std::process::exit(2);
+        }
+    }
 
+    match (&opts.transport, rank) {
+        (TransportMode::Channel, Some(_)) => {
+            eprintln!("--rank only makes sense with --transport tcp:HOST:PORT");
+            std::process::exit(2);
+        }
+        (TransportMode::Channel, None) => run_in_process(&opts, ranks),
+        (TransportMode::Tcp(addr), Some(rank)) => {
+            let Some(addr) = addr else {
+                eprintln!("a TCP worker needs the root address: --transport tcp:HOST:PORT");
+                std::process::exit(2);
+            };
+            run_worker(&opts, ranks, rank, addr);
+        }
+        (TransportMode::Tcp(addr), None) => launch_workers(ranks, addr, &launcher_args),
+    }
+}
+
+/// The classic single-process run: every rank is a thread, halos go over
+/// in-memory channels.
+fn run_in_process(opts: &Opts, ranks: usize) {
     let decomp = Decomposition::new(opts.size, ranks);
     // One tracer lane per rank; rank 0's lane also carries iteration spans.
     let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
@@ -76,9 +116,171 @@ fn main() {
         }
     };
     let elapsed = t0.elapsed();
+    print_report(opts, ranks, &domains[0], &state, elapsed);
+    if let Some(t) = &tracer {
+        let spans = t.drain();
+        if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
+            eprintln!("failed to write trace/metrics: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
-    // The origin element lives on rank 0; report from there.
-    let report = RunReport::collect(&domains[0], &state, ranks, elapsed);
+/// Launcher: re-spawn this binary once per rank against a shared bootstrap
+/// address, wait for all of them, and verify the port was released.
+fn launch_workers(ranks: usize, addr: &Option<String>, launcher_args: &[String]) {
+    let addr = match addr {
+        Some(a) => a.clone(),
+        None => {
+            // Bind an ephemeral loopback port just to learn a free one,
+            // release it, and hand the address to rank 0 to re-bind.
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+                eprintln!("cannot bind a loopback port: {e}");
+                std::process::exit(1);
+            });
+            probe.local_addr().expect("probe address").to_string()
+        }
+    };
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own executable: {e}");
+        std::process::exit(1);
+    });
+    // Forward the original CLI minus any --transport token (replaced with
+    // the resolved address) — --rank/--ranks were already stripped.
+    let forwarded: Vec<&String> = {
+        let mut skip_next = false;
+        launcher_args
+            .iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                let flag = a.trim_start_matches('-').split('=').next().unwrap_or("");
+                if matches!(flag, "transport" | "ranks" | "rank") {
+                    skip_next = !a.contains('=');
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let children: Vec<_> = (0..ranks)
+        .map(|r| {
+            std::process::Command::new(&exe)
+                .args(&forwarded)
+                .arg(format!("--ranks={ranks}"))
+                .arg(format!("--rank={r}"))
+                .arg(format!("--transport=tcp:{addr}"))
+                .spawn()
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot spawn worker {r}: {e}");
+                    std::process::exit(1);
+                })
+        })
+        .collect();
+    let mut failed = false;
+    for (r, child) in children.into_iter().enumerate() {
+        match child.wait_with_output() {
+            Ok(out) if out.status.success() => {}
+            Ok(out) => {
+                eprintln!("worker {r} exited with {}", out.status);
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("cannot wait for worker {r}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    // All workers are gone, so the bootstrap port must be re-bindable
+    // (std sets SO_REUSEADDR on Unix, so TIME_WAIT does not interfere —
+    // a failure here means a worker leaked a live listener).
+    if let Err(e) = std::net::TcpListener::bind(&addr) {
+        eprintln!("bootstrap port {addr} still held after shutdown: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// One TCP worker: rank 0 binds the bootstrap address and accepts the
+/// others; everyone runs their slab and rank 0 prints the report.
+fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
+    let decomp = Decomposition::new(opts.size, ranks);
+    let cfg =
+        parcelnet::tcp::TcpConfig::with_deadline(Duration::from_millis(opts.recv_deadline_ms));
+    let net = if rank == 0 {
+        let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("rank 0 cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        parcelnet::tcp::root(listener, ranks, &cfg)
+    } else {
+        parcelnet::tcp::join(addr, rank, ranks, &cfg)
+    };
+    let net = match net {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("rank {rank}: bootstrap failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Each worker records its own lane; per-process trace/metrics files get
+    // a `.rankR` suffix so workers do not clobber each other.
+    let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
+    let t0 = Instant::now();
+    let sim = SimArgs::new(
+        opts.num_reg,
+        opts.balance,
+        opts.cost,
+        opts.seed,
+        opts.max_cycles,
+    );
+    let result = threaded::run_rank(
+        decomp.shape(rank),
+        net,
+        sim,
+        tracer.clone(),
+        FaultPlan::NONE,
+    );
+    let (domain, state) = match result {
+        Ok(r) => r,
+        Err(MdError::Sim(e)) => {
+            eprintln!("rank {rank}: run failed: {e}");
+            std::process::exit(1);
+        }
+        Err(MdError::Net(e)) => {
+            eprintln!("rank {rank}: transport failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = t0.elapsed();
+    if rank == 0 {
+        print_report(opts, ranks, &domain, &state, elapsed);
+    }
+    if let Some(t) = &tracer {
+        let spans = t.drain();
+        let suffix = |p: &str| format!("{p}.rank{rank}");
+        let trace = opts.trace.as_deref().map(suffix);
+        let metrics = opts.metrics.as_deref().map(suffix);
+        if let Err(e) = obs::write_reports(&spans, trace.as_deref(), metrics.as_deref()) {
+            eprintln!("rank {rank}: failed to write trace/metrics: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The origin element lives on rank 0; report from there.
+fn print_report(
+    opts: &Opts,
+    ranks: usize,
+    origin_domain: &lulesh_core::Domain,
+    state: &lulesh_core::params::SimState,
+    elapsed: Duration,
+) {
+    let report = RunReport::collect(origin_domain, state, ranks, elapsed);
     if !opts.quiet {
         eprintln!("{}", report.verbose());
         eprintln!(
@@ -87,13 +289,6 @@ fn main() {
             opts.size,
             opts.size / ranks
         );
-    }
-    if let Some(t) = &tracer {
-        let spans = t.drain();
-        if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
-            eprintln!("failed to write trace/metrics: {e}");
-            std::process::exit(1);
-        }
     }
     println!("{}", RunReport::CSV_HEADER);
     println!("{}", report.csv_row());

@@ -19,118 +19,179 @@
 
 // The lower/upper branches spell out the addition order contract even where it coincides.
 #![allow(clippy::if_same_then_else)]
-use crossbeam::channel::{Receiver, Sender};
 use lulesh_core::domain::Domain;
-use lulesh_core::types::LuleshError;
 use lulesh_core::Real;
+use obs::{SpanKind, Tracer};
+use parcelnet::{ParcelError, Tag, Transport};
 
-/// Channel endpoints to one ζ neighbour (used by both message-passing
-/// drivers; planes travel as flat `Vec<Real>`).
-pub struct NeighborLink {
-    /// Towards the neighbour.
-    pub tx: Sender<Vec<Real>>,
-    /// From the neighbour.
-    pub rx: Receiver<Vec<Real>>,
+/// Optional comm tracing: `(tracer, lane)` — every transport send/recv in
+/// the exchange gets its own [`SpanKind::Halo`] span on the rank's lane.
+pub type ObsCtx<'a> = Option<(&'a Tracer, usize)>;
+
+fn send_label(tag: Tag) -> &'static str {
+    match tag {
+        Tag::Mass => "send-mass",
+        Tag::Force => "send-force",
+        Tag::Gradient => "send-gradient",
+        _ => "send",
+    }
 }
 
-/// One rank's dt-allreduce contribution: constraint minima plus any local
-/// error, so an aborting rank still satisfies the protocol and every rank
-/// returns the same `Err` instead of deadlocking.
-pub type DtMsg = (Real, Real, Option<LuleshError>);
+fn recv_label(tag: Tag) -> &'static str {
+    match tag {
+        Tag::Mass => "recv-mass",
+        Tag::Force => "recv-force",
+        Tag::Gradient => "recv-gradient",
+        _ => "recv",
+    }
+}
+
+fn spanned<T>(obs: ObsCtx, label: &'static str, f: impl FnOnce() -> T) -> T {
+    match obs {
+        Some((t, lane)) => {
+            let start = t.now_ns();
+            let out = f();
+            t.record_interval(lane, SpanKind::Halo, label, start, t.now_ns());
+            out
+        }
+        None => f(),
+    }
+}
 
 /// The per-interface exchange sequence shared by the threaded and
 /// task-parallel drivers: send own planes both ways, then combine what the
 /// neighbours sent. `pack`/`combine` close over which field is exchanged.
+/// Send-before-receive in both directions is what keeps the ring
+/// deadlock-free on transports whose sends never block the protocol thread
+/// (bounded channel slots, or the TCP writer thread).
+#[allow(clippy::too_many_arguments)]
 fn ring_exchange(
     d: &Domain,
-    down: Option<&NeighborLink>,
-    up: Option<&NeighborLink>,
+    tag: Tag,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
     pack_bottom: impl Fn(&Domain) -> Vec<Real>,
     pack_top: impl Fn(&Domain) -> Vec<Real>,
     combine_bottom: impl Fn(&Domain, &[Real]),
     combine_top: impl Fn(&Domain, &[Real]),
-) {
+) -> Result<(), ParcelError> {
     if let Some(up) = up {
-        up.tx.send(pack_top(d)).expect("send plane up");
+        spanned(obs, send_label(tag), || up.send(tag, &pack_top(d)))?;
     }
     if let Some(down) = down {
-        down.tx.send(pack_bottom(d)).expect("send plane down");
-        let remote = down.rx.recv().expect("recv plane from below");
+        spanned(obs, send_label(tag), || down.send(tag, &pack_bottom(d)))?;
+        let remote = spanned(obs, recv_label(tag), || down.recv(tag))?;
         combine_bottom(d, &remote);
     }
     if let Some(up) = up {
-        let remote = up.rx.recv().expect("recv plane from above");
+        let remote = spanned(obs, recv_label(tag), || up.recv(tag))?;
         combine_top(d, &remote);
     }
+    Ok(())
 }
 
-/// Channel-based nodal-mass halo sum (setup-time `CommSBN` for masses).
-pub fn ring_exchange_mass(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+/// Transport nodal-mass halo sum (setup-time `CommSBN` for masses).
+pub fn ring_exchange_mass(
+    d: &Domain,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     ring_exchange(
         d,
+        Tag::Mass,
         down,
         up,
+        obs,
         |d| pack_mass(d, bottom_node_plane(d)),
         |d| pack_mass(d, top_node_plane(d)),
         |d, remote| combine_mass(d, bottom_node_plane(d), remote, false),
         |d, remote| combine_mass(d, top_node_plane(d), remote, true),
-    );
+    )
 }
 
-/// Channel-based force halo sum (per-iteration `CommSBN`).
-pub fn ring_exchange_forces(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+/// Transport force halo sum (per-iteration `CommSBN`).
+pub fn ring_exchange_forces(
+    d: &Domain,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     ring_exchange(
         d,
+        Tag::Force,
         down,
         up,
+        obs,
         |d| pack_forces(d, bottom_node_plane(d)),
         |d| pack_forces(d, top_node_plane(d)),
         |d, remote| combine_forces(d, bottom_node_plane(d), remote, false),
         |d, remote| combine_forces(d, top_node_plane(d), remote, true),
-    );
+    )
 }
 
-/// Channel-based gradient ghost exchange (per-iteration `CommMonoQ`).
-pub fn ring_exchange_gradients(d: &Domain, down: Option<&NeighborLink>, up: Option<&NeighborLink>) {
+/// Transport gradient ghost exchange (per-iteration `CommMonoQ`).
+pub fn ring_exchange_gradients(
+    d: &Domain,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     ring_exchange(
         d,
+        Tag::Gradient,
         down,
         up,
+        obs,
         |d| pack_gradients(d, bottom_elem_plane(d)),
         |d| pack_gradients(d, top_elem_plane(d)),
         |d, remote| store_gradients(d, d.ghost_zm_base().expect("ζ− ghosts"), remote),
         |d, remote| store_gradients(d, d.ghost_zp_base().expect("ζ+ ghosts"), remote),
-    );
+    )
 }
 
-/// The dt min-allreduce star through rank 0, errors riding along. Every
-/// rank calls this once per iteration; rank 0 passes its root endpoints.
-#[allow(clippy::type_complexity)]
-pub fn star_allreduce(
-    to_root: &Sender<DtMsg>,
-    from_root: &Receiver<DtMsg>,
-    root: Option<(&Receiver<DtMsg>, &[Sender<DtMsg>])>,
-    ranks: usize,
-    c: Real,
-    h: Real,
-    err: Option<LuleshError>,
-) -> DtMsg {
-    to_root.send((c, h, err)).expect("send constraints to root");
-    if let Some((rx, txs)) = root {
-        let mut gc: Real = 1.0e20;
-        let mut gh: Real = 1.0e20;
-        let mut gerr: Option<LuleshError> = None;
-        for _ in 0..ranks {
-            let (c, h, e) = rx.recv().expect("root receives every rank");
-            gc = gc.min(c);
-            gh = gh.min(h);
-            gerr = gerr.or(e);
-        }
-        for tx in txs {
-            tx.send((gc, gh, gerr)).expect("broadcast minima");
-        }
+/// The send half of the force exchange, for comm/compute overlap: pack and
+/// post both boundary planes. Safe to run as soon as the *boundary* node
+/// forces are gathered; the interior can still be in flight.
+pub fn send_forces(
+    d: &Domain,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
+    if let Some(up) = up {
+        spanned(obs, send_label(Tag::Force), || {
+            up.send(Tag::Force, &pack_forces(d, top_node_plane(d)))
+        })?;
     }
-    from_root.recv().expect("receive global minima")
+    if let Some(down) = down {
+        spanned(obs, send_label(Tag::Force), || {
+            down.send(Tag::Force, &pack_forces(d, bottom_node_plane(d)))
+        })?;
+    }
+    Ok(())
+}
+
+/// The receive half of the force exchange, for comm/compute overlap:
+/// receive the neighbours' planes and combine them into the boundary nodes
+/// (same `lower + upper` order as [`ring_exchange_forces`], so overlapped
+/// runs stay bit-identical). Runs concurrently with interior compute.
+pub fn recv_combine_forces(
+    d: &Domain,
+    down: Option<&dyn Transport>,
+    up: Option<&dyn Transport>,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
+    if let Some(down) = down {
+        let remote = spanned(obs, recv_label(Tag::Force), || down.recv(Tag::Force))?;
+        combine_forces(d, bottom_node_plane(d), &remote, false);
+    }
+    if let Some(up) = up {
+        let remote = spanned(obs, recv_label(Tag::Force), || up.recv(Tag::Force))?;
+        combine_forces(d, top_node_plane(d), &remote, true);
+    }
+    Ok(())
 }
 
 /// Node indices of a subdomain's bottom (ζ = min) plane.

@@ -100,6 +100,106 @@ impl Decomposition {
     }
 }
 
+/// Transport selection for the message-passing drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (the historical wire; zero copies
+    /// leave process memory).
+    #[default]
+    Channel,
+    /// Real TCP sockets over 127.0.0.1 — full parcelnet framing,
+    /// checksums and handshakes, still inside one process.
+    TcpLoopback,
+}
+
+/// Multi-domain driver failure: either the simulation aborted (and every
+/// rank agreed on it via the dt allreduce), or the transport itself failed
+/// (a peer died, a deadline passed, a frame was corrupt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdError {
+    /// Simulation abort (volume/qstop) — identical on every rank.
+    Sim(LuleshError),
+    /// Transport failure — typed, names the peer.
+    Net(parcelnet::ParcelError),
+}
+
+impl std::fmt::Display for MdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdError::Sim(e) => write!(f, "simulation abort: {e:?}"),
+            MdError::Net(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MdError {}
+
+impl From<LuleshError> for MdError {
+    fn from(e: LuleshError) -> Self {
+        MdError::Sim(e)
+    }
+}
+
+impl From<parcelnet::ParcelError> for MdError {
+    fn from(e: parcelnet::ParcelError) -> Self {
+        MdError::Net(e)
+    }
+}
+
+/// Simulation arguments shared by every rank of a transport run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimArgs {
+    /// Number of material regions.
+    pub num_reg: usize,
+    /// Region cost balance knob.
+    pub balance: i32,
+    /// Region cost multiplier.
+    pub cost: i32,
+    /// Region RNG seed.
+    pub seed: u64,
+    /// Iteration cap.
+    pub max_cycles: u64,
+    /// Control parameters applied to every rank's domain.
+    pub params: lulesh_core::Params,
+}
+
+impl SimArgs {
+    /// Defaults matching the classic driver signatures.
+    pub fn new(num_reg: usize, balance: i32, cost: i32, seed: u64, max_cycles: u64) -> Self {
+        Self {
+            num_reg,
+            balance,
+            cost,
+            seed,
+            max_cycles,
+            params: lulesh_core::Params::default(),
+        }
+    }
+}
+
+/// Fault injection for failure testing (all fields default to "no fault").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Poison this rank's mid-domain element volume after build, forcing a
+    /// `VolumeError` in its first iteration.
+    pub poison_volume: Option<usize>,
+    /// `(rank, cycle)`: the rank dies abruptly at the top of that cycle —
+    /// its links drop without a `Bye`, as a killed process would
+    /// (honoured by the threaded driver).
+    pub die_at: Option<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub const NONE: FaultPlan = FaultPlan {
+        poison_volume: None,
+        die_at: None,
+    };
+}
+
+/// The default per-receive deadline for the message-passing drivers.
+pub const DEFAULT_DEADLINE: std::time::Duration = std::time::Duration::from_secs(10);
+
 /// The lockstep multi-domain world.
 pub struct World {
     /// One subdomain per rank, bottom slab first.

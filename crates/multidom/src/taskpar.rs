@@ -5,27 +5,32 @@
 //! Each rank owns a [`TaskLulesh`] runtime with `threads_per_rank` workers;
 //! the halo exchanges run as communication *tasks* injected into the
 //! per-iteration graph at the same three points as the serial-rank driver
-//! (forces, gradient ghosts, dt allreduce), via
-//! [`lulesh_task::IterationHooks`].
+//! (forces, gradient ghosts, dt allreduce), over any [`parcelnet`]
+//! transport.
 //!
-//! Results are **bit-identical** to the lockstep [`World`](crate::World)
-//! and the serial-rank [`threaded`](crate::threaded) drivers: the task
-//! port already matches the serial kernels bit-for-bit, and the exchange
-//! arithmetic is the same `lower + upper` on both sides.
+//! With `overlap` enabled the force exchange stops being a barrier: the
+//! boundary node-planes are gathered first and posted to the wire, the
+//! receive+combine runs as a continuation while the *interior* gathers are
+//! still executing, and only the node update joins the two — comm latency
+//! hides behind compute, the HPX parcelport trick. The combine arithmetic
+//! is unchanged (`lower + upper` on both sides), so overlapped runs remain
+//! **bit-identical** to the lockstep [`World`](crate::World), to
+//! [`threaded`](crate::threaded), and to the non-overlapped task driver.
 
 use crate::exchange::{
-    ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, star_allreduce, DtMsg,
-    NeighborLink,
+    bottom_node_plane, recv_combine_forces, ring_exchange_forces, ring_exchange_gradients,
+    ring_exchange_mass, send_forces, top_node_plane,
 };
-use crate::Decomposition;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
 use lulesh_core::domain::Domain;
 use lulesh_core::params::SimState;
 use lulesh_core::types::{LuleshError, Real};
-use lulesh_task::{IterationHooks, PartitionPlan, TaskLulesh};
+use lulesh_task::{IterationHooks, OverlapForces, PartitionPlan, TaskLulesh};
+use parcelnet::tcp::TcpConfig;
+use parcelnet::{ParcelError, RankNet};
+use parking_lot::Mutex;
 use std::sync::Arc;
-
-type Plane = Vec<Real>;
+use std::time::Duration;
 
 /// Run the decomposed problem with one `TaskLulesh` runtime per rank
 /// (`threads_per_rank` workers each) and halo-exchange tasks between them.
@@ -67,155 +72,266 @@ pub fn run_with_params(
     max_cycles: u64,
     params: lulesh_core::Params,
 ) -> Result<(Vec<Arc<Domain>>, SimState), LuleshError> {
-    let ranks = decomp.ranks();
+    let sim = SimArgs {
+        params,
+        ..SimArgs::new(num_reg, balance, cost, seed, max_cycles)
+    };
+    fold(run_transport(
+        decomp,
+        TransportKind::Channel,
+        DEFAULT_DEADLINE,
+        threads_per_rank,
+        plan,
+        false,
+        sim,
+        FaultPlan::NONE,
+    ))
+}
 
-    // Neighbour channels (capacity 1; the per-iteration protocol strictly
-    // alternates force and gradient messages, so one slot never blocks a
-    // sender).
-    let mut down: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
-    let mut up: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
-    for r in 0..ranks.saturating_sub(1) {
-        let (tx_up, rx_up) = bounded::<Plane>(1);
-        let (tx_down, rx_down) = bounded::<Plane>(1);
-        up[r] = Some(NeighborLink {
-            tx: tx_up,
-            rx: rx_down,
-        });
-        down[r + 1] = Some(NeighborLink {
-            tx: tx_down,
-            rx: rx_up,
-        });
-    }
-
-    // dt allreduce star through rank 0.
-    let (to_root_tx, to_root_rx) = bounded::<DtMsg>(ranks);
-    let mut from_root_rx = Vec::with_capacity(ranks);
-    let mut from_root_tx = Vec::with_capacity(ranks);
-    for _ in 0..ranks {
-        let (tx, rx) = bounded::<DtMsg>(1);
-        from_root_tx.push(tx);
-        from_root_rx.push(rx);
-    }
-    let from_root_tx = Arc::new(from_root_tx);
-
-    let handles: Vec<_> = (0..ranks)
-        .map(|r| {
-            let shape = decomp.shape(r);
-            let down = down[r].take();
-            let up = up[r].take();
-            let to_root = to_root_tx.clone();
-            let my_from_root = from_root_rx.remove(0);
-            let root_rx = (r == 0).then(|| to_root_rx.clone());
-            let bcast = Arc::clone(&from_root_tx);
-            std::thread::Builder::new()
-                .name(format!("multidom-taskpar-{r}"))
-                .spawn(move || {
-                    rank_main(
-                        shape,
-                        threads_per_rank,
-                        plan,
-                        down,
-                        up,
-                        to_root,
-                        my_from_root,
-                        root_rx,
-                        bcast,
-                        ranks,
-                        (num_reg, balance, cost, seed),
-                        max_cycles,
-                        params,
-                    )
-                })
-                .expect("spawn taskpar rank")
-        })
-        .collect();
-
-    let mut domains = Vec::with_capacity(ranks);
+/// Fold per-rank results into the classic single-result signature (`Net`
+/// errors are impossible without fault injection on the in-process wire).
+fn fold(
+    results: Vec<Result<(Arc<Domain>, SimState), MdError>>,
+) -> Result<(Vec<Arc<Domain>>, SimState), LuleshError> {
+    let mut domains = Vec::with_capacity(results.len());
     let mut state = None;
-    for h in handles {
-        let (d, st) = h.join().expect("rank thread must not panic")?;
-        state = Some(st);
-        domains.push(d);
+    for r in results {
+        match r {
+            Ok((d, st)) => {
+                state = Some(st);
+                domains.push(d);
+            }
+            Err(MdError::Sim(e)) => return Err(e),
+            Err(MdError::Net(n)) => panic!("transport failure without fault injection: {n}"),
+        }
     }
     Ok((domains, state.expect("at least one rank")))
 }
 
+/// Run over an explicit transport with per-rank outcomes; `overlap` turns
+/// on the comm/compute-overlapped force exchange.
 #[allow(clippy::too_many_arguments)]
-fn rank_main(
-    shape: lulesh_core::mesh::MeshShape,
+pub fn run_transport(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
     threads_per_rank: usize,
     plan: PartitionPlan,
-    down: Option<NeighborLink>,
-    up: Option<NeighborLink>,
-    to_root: Sender<DtMsg>,
-    from_root: Receiver<DtMsg>,
-    root_rx: Option<Receiver<DtMsg>>,
-    bcast: Arc<Vec<Sender<DtMsg>>>,
-    ranks: usize,
-    (num_reg, balance, cost, seed): (usize, i32, i32, u64),
-    max_cycles: u64,
-    params: lulesh_core::Params,
-) -> Result<(Arc<Domain>, SimState), LuleshError> {
+    overlap: bool,
+    sim: SimArgs,
+    faults: FaultPlan,
+) -> Vec<Result<(Arc<Domain>, SimState), MdError>> {
+    let ranks = decomp.ranks();
+    let nets: Vec<Result<RankNet, ParcelError>> = match kind {
+        TransportKind::Channel => parcelnet::channel::channel_mesh(ranks, deadline)
+            .into_iter()
+            .map(Ok)
+            .collect(),
+        TransportKind::TcpLoopback => {
+            let cfg = TcpConfig {
+                deadline,
+                connect_timeout: deadline,
+            };
+            let listener =
+                std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+            let addr = listener
+                .local_addr()
+                .expect("loopback listener address")
+                .to_string();
+            let mut listener = Some(listener);
+            let handles: Vec<_> = (0..ranks)
+                .map(|r| {
+                    let listener = (r == 0).then(|| listener.take().expect("root listener"));
+                    let addr = addr.clone();
+                    std::thread::Builder::new()
+                        .name(format!("taskpar-bootstrap-{r}"))
+                        .spawn(move || match listener {
+                            Some(l) => parcelnet::tcp::root(l, ranks, &cfg),
+                            None => parcelnet::tcp::join(&addr, r, ranks, &cfg),
+                        })
+                        .expect("spawn bootstrap thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bootstrap must not panic"))
+                .collect()
+        }
+    };
+
+    let handles: Vec<_> = nets
+        .into_iter()
+        .enumerate()
+        .map(|(r, net)| {
+            let shape = decomp.shape(r);
+            std::thread::Builder::new()
+                .name(format!("multidom-taskpar-{r}"))
+                .spawn(move || match net {
+                    Ok(net) => rank_main(shape, net, threads_per_rank, plan, overlap, sim, faults),
+                    Err(e) => Err(MdError::Net(e)),
+                })
+                .expect("spawn taskpar rank")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread must not panic"))
+        .collect()
+}
+
+fn rank_main(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    threads_per_rank: usize,
+    plan: PartitionPlan,
+    overlap: bool,
+    sim: SimArgs,
+    faults: FaultPlan,
+) -> Result<(Arc<Domain>, SimState), MdError> {
+    let rank = net.rank;
     let d = Arc::new({
-        let mut d = Domain::build_subdomain(shape, num_reg, balance, cost, seed);
-        d.params = params;
+        let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
+        d.params = sim.params;
+        if faults.poison_volume == Some(rank) {
+            let mid = d.num_elem() / 2;
+            d.set_v(mid, -0.25);
+        }
         d
     });
+    let net = Arc::new(net);
 
     // One-time nodal mass exchange (control thread; the runtime is idle).
-    ring_exchange_mass(&d, down.as_ref(), up.as_ref());
+    ring_exchange_mass(&d, net.down.as_deref(), net.up.as_deref(), None)?;
 
-    // The exchange hooks run as tasks inside the iteration graph. They may
-    // block on `recv` — each rank has its own worker pool, and the hook is
-    // the sole runnable task at its injection point, so no scheduler
-    // deadlock is possible.
-    let down = down.map(Arc::new);
-    let up = up.map(Arc::new);
-
-    let force_hook: lulesh_task::Hook = {
-        let d = Arc::clone(&d);
-        let down = down.clone();
-        let up = up.clone();
-        Arc::new(move || {
-            ring_exchange_forces(&d, down.as_deref(), up.as_deref());
-        })
-    };
+    // The exchange hooks run as tasks inside the iteration graph. A
+    // transport failure inside a hook cannot unwind through the `Fn()`
+    // signature, so it lands in `comm_err`; every later hook becomes a
+    // no-op and the reduce_dt below aborts the iteration loop, after which
+    // the rank returns `Err(Net)` and drops its links.
+    let comm_err: Arc<Mutex<Option<ParcelError>>> = Arc::new(Mutex::new(None));
 
     let gradient_hook: lulesh_task::Hook = {
         let d = Arc::clone(&d);
-        let down = down.clone();
-        let up = up.clone();
+        let net = Arc::clone(&net);
+        let comm_err = Arc::clone(&comm_err);
         Arc::new(move || {
-            ring_exchange_gradients(&d, down.as_deref(), up.as_deref());
+            if comm_err.lock().is_some() {
+                return;
+            }
+            if let Err(e) =
+                ring_exchange_gradients(&d, net.down.as_deref(), net.up.as_deref(), None)
+            {
+                *comm_err.lock() = Some(e);
+            }
         })
     };
 
-    let hooks = IterationHooks {
-        after_forces: Some(force_hook),
+    let mut hooks = IterationHooks {
         after_gradients: Some(gradient_hook),
+        ..Default::default()
     };
 
+    if overlap && net.ranks > 1 {
+        let mut boundary = Vec::new();
+        if net.down.is_some() {
+            boundary.push(bottom_node_plane(&d));
+        }
+        if net.up.is_some() {
+            boundary.push(top_node_plane(&d));
+        }
+        let send: lulesh_task::Hook = {
+            let d = Arc::clone(&d);
+            let net = Arc::clone(&net);
+            let comm_err = Arc::clone(&comm_err);
+            Arc::new(move || {
+                if comm_err.lock().is_some() {
+                    return;
+                }
+                if let Err(e) = send_forces(&d, net.down.as_deref(), net.up.as_deref(), None) {
+                    *comm_err.lock() = Some(e);
+                }
+            })
+        };
+        let recv_combine: lulesh_task::Hook = {
+            let d = Arc::clone(&d);
+            let net = Arc::clone(&net);
+            let comm_err = Arc::clone(&comm_err);
+            Arc::new(move || {
+                if comm_err.lock().is_some() {
+                    return;
+                }
+                if let Err(e) =
+                    recv_combine_forces(&d, net.down.as_deref(), net.up.as_deref(), None)
+                {
+                    *comm_err.lock() = Some(e);
+                }
+            })
+        };
+        hooks.overlap_forces = Some(OverlapForces {
+            boundary,
+            send,
+            recv_combine,
+        });
+    } else {
+        let force_hook: lulesh_task::Hook = {
+            let d = Arc::clone(&d);
+            let net = Arc::clone(&net);
+            let comm_err = Arc::clone(&comm_err);
+            Arc::new(move || {
+                if comm_err.lock().is_some() {
+                    return;
+                }
+                if let Err(e) =
+                    ring_exchange_forces(&d, net.down.as_deref(), net.up.as_deref(), None)
+                {
+                    *comm_err.lock() = Some(e);
+                }
+            })
+        };
+        hooks.after_forces = Some(force_hook);
+    }
+
     // dt allreduce through rank 0, on the control thread each iteration.
-    // Errors ride along so every rank aborts together instead of blocking
-    // on a rank that returned early.
-    let reduce_dt = move |c: Real, h: Real, err: Option<LuleshError>| {
-        let (gc, gh, gerr) = star_allreduce(
-            &to_root,
-            &from_root,
-            root_rx.as_ref().map(|rx| (rx, bcast.as_slice())),
-            ranks,
-            c,
-            h,
-            err,
-        );
-        match gerr {
-            Some(e) => Err(e),
-            None => Ok((gc, gh)),
+    // Simulation errors ride along so every rank aborts together; a
+    // transport error (here or stored by a hook) aborts the loop via a
+    // sentinel that `comm_err` overrides below.
+    let die_at = faults
+        .die_at
+        .and_then(|(r, cycle)| (r == rank).then_some(cycle));
+    let cycle_count = std::sync::atomic::AtomicU64::new(0);
+    let reduce_dt = {
+        let net = Arc::clone(&net);
+        let comm_err = Arc::clone(&comm_err);
+        move |c: Real, h: Real, err: Option<LuleshError>| {
+            // Fault injection: simulate a crash by abandoning the protocol
+            // mid-run; dropping the links below closes every socket.
+            if let Some(dc) = die_at {
+                if cycle_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= dc {
+                    *comm_err.lock() = Some(ParcelError::PeerClosed { peer: rank });
+                    return Err(LuleshError::VolumeError); // placeholder; overridden by Net below
+                }
+            }
+            if comm_err.lock().is_some() {
+                return Err(LuleshError::VolumeError); // placeholder; overridden by Net below
+            }
+            match net.allreduce_dt(c, h, err) {
+                Ok((_, _, Some(e))) => Err(e),
+                Ok((gc, gh, None)) => Ok((gc, gh)),
+                Err(pe) => {
+                    *comm_err.lock() = Some(pe);
+                    Err(LuleshError::VolumeError) // placeholder; overridden by Net below
+                }
+            }
         }
     };
 
     let runner = TaskLulesh::new(threads_per_rank);
-    let state = runner.run_with_hooks(&d, plan, max_cycles, &hooks, reduce_dt)?;
+    let result = runner.run_with_hooks(&d, plan, sim.max_cycles, &hooks, reduce_dt);
+    if let Some(pe) = *comm_err.lock() {
+        return Err(MdError::Net(pe));
+    }
+    let state = result.map_err(MdError::Sim)?;
+    net.close()?;
     Ok((d, state))
 }
 
@@ -279,5 +395,37 @@ mod tests {
             lulesh_core::validate::max_field_difference(&domains[0], &single),
             0.0
         );
+    }
+
+    #[test]
+    fn overlapped_forces_stay_bit_identical() {
+        // The overlap changes scheduling, not arithmetic: identical results
+        // with single- and multi-worker ranks, including on a deliberately
+        // deadlock-prone configuration (1 worker per rank: the send task
+        // must never wait on the recv).
+        let decomp = Decomposition::new(6, 3);
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        world.run(12).unwrap();
+        for workers in [1usize, 2] {
+            let results = run_transport(
+                decomp,
+                TransportKind::Channel,
+                Duration::from_secs(10),
+                workers,
+                PartitionPlan::fixed(16, 16),
+                true,
+                SimArgs::new(2, 1, 1, 0, 12),
+                FaultPlan::NONE,
+            );
+            for (r, (a, res)) in world.domains.iter().zip(results).enumerate() {
+                let (b, st) = res.unwrap_or_else(|e| panic!("workers {workers} rank {r}: {e}"));
+                assert_eq!(st.cycle, 12);
+                assert_eq!(
+                    lulesh_core::validate::max_field_difference(a, &b),
+                    0.0,
+                    "workers {workers} rank {r}: overlap must not change physics"
+                );
+            }
+        }
     }
 }

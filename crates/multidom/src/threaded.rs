@@ -1,17 +1,26 @@
-//! MPI-style threaded driver: one OS thread per rank, halo exchange over
-//! blocking channels — the communication structure the paper's future-work
-//! section anticipates comparing against. Produces results **bit-identical**
-//! to the lockstep [`World`](crate::World) driver (both sides of every
-//! interface combine values in the same `lower + upper` order).
+//! MPI-style threaded driver: one OS thread per rank, halo exchange over a
+//! [`parcelnet`] transport — in-process channels or real TCP sockets — the
+//! communication structure the paper's future-work section anticipates
+//! comparing against. Produces results **bit-identical** to the lockstep
+//! [`World`](crate::World) driver (both sides of every interface combine
+//! values in the same `lower + upper` order), on *every* transport: the
+//! wire carries the same bytes either way.
+//!
+//! ## Failure model
+//!
+//! Two failure classes, both typed, neither deadlocks:
+//!
+//! * **Simulation aborts** (negative volume, q-stop): the erroring rank
+//!   keeps satisfying the exchange protocol with garbage data and rides the
+//!   error on the dt allreduce, so every rank returns the same
+//!   [`LuleshError`] in the same iteration.
+//! * **Transport failures** (peer died, deadline passed, corrupt frame):
+//!   the observing rank returns [`MdError::Net`] immediately and drops its
+//!   links, which cascades — every surviving rank observes `PeerClosed`
+//!   or `Timeout` within one receive deadline.
 
-// The channel-topology types are built once and documented inline.
-#![allow(clippy::type_complexity)]
-use crate::exchange::{
-    ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, star_allreduce, DtMsg,
-    NeighborLink,
-};
-use crate::Decomposition;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::exchange::{ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, ObsCtx};
+use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::constraints;
 use lulesh_core::params::SimState;
@@ -20,26 +29,12 @@ use lulesh_core::serial::{
     SerialScratch,
 };
 use lulesh_core::timestep::time_increment;
-use lulesh_core::types::{LuleshError, Real};
+use lulesh_core::types::LuleshError;
 use obs::{SpanKind, Tracer};
+use parcelnet::tcp::TcpConfig;
+use parcelnet::{ParcelError, RankNet};
 use std::sync::Arc;
-
-/// Messages a rank exchanges with one ζ neighbour.
-type Plane = Vec<Real>;
-
-/// The per-rank communication endpoints.
-struct RankComm {
-    /// Towards ζ− (rank r−1), if any.
-    down: Option<NeighborLink>,
-    /// Towards ζ+ (rank r+1), if any.
-    up: Option<NeighborLink>,
-    /// dt reduction: send local (courant, hydro, error) to rank 0.
-    to_root: Sender<DtMsg>,
-    /// dt broadcast: receive the global minima (rank 0 reduces).
-    from_root: Receiver<DtMsg>,
-    /// Root side of the reduction (rank 0 only).
-    root: Option<(Receiver<DtMsg>, Vec<Sender<DtMsg>>)>,
-}
+use std::time::Duration;
 
 /// Run the decomposed problem with one thread per rank, MPI-style.
 /// Returns the final subdomains (bottom slab first) and the simulation
@@ -65,9 +60,11 @@ pub fn run(
 
 /// [`run`] with span tracing: rank `r` records its phases as
 /// [`SpanKind::Region`] spans, its ring exchanges as [`SpanKind::Halo`]
-/// spans and the dt allreduce as a [`SpanKind::Barrier`] span, all on
-/// `tracer` lane `r` (the per-iteration region span goes on rank 0's
-/// lane only, so iteration counts stay meaningful).
+/// spans (one outer `halo-*` span per exchange plus inner `send-*`/`recv-*`
+/// spans per transport operation) and the dt allreduce as a
+/// [`SpanKind::Barrier`] span, all on `tracer` lane `r` (the per-iteration
+/// region span goes on rank 0's lane only, so iteration counts stay
+/// meaningful).
 pub fn run_traced(
     decomp: Decomposition,
     num_reg: usize,
@@ -77,16 +74,15 @@ pub fn run_traced(
     max_cycles: u64,
     tracer: Arc<Tracer>,
 ) -> Result<(Vec<Domain>, SimState), LuleshError> {
-    run_impl(
+    let sim = SimArgs::new(num_reg, balance, cost, seed, max_cycles);
+    fold(run_transport(
         decomp,
-        num_reg,
-        balance,
-        cost,
-        seed,
-        max_cycles,
-        lulesh_core::Params::default(),
+        TransportKind::Channel,
+        DEFAULT_DEADLINE,
+        sim,
         Some(tracer),
-    )
+        FaultPlan::NONE,
+    ))
 }
 
 /// [`run`] with explicit control parameters (custom `stoptime`, abort
@@ -101,111 +97,148 @@ pub fn run_with_params(
     max_cycles: u64,
     params: lulesh_core::Params,
 ) -> Result<(Vec<Domain>, SimState), LuleshError> {
-    run_impl(
-        decomp, num_reg, balance, cost, seed, max_cycles, params, None,
-    )
+    let sim = SimArgs {
+        params,
+        ..SimArgs::new(num_reg, balance, cost, seed, max_cycles)
+    };
+    fold(run_transport(
+        decomp,
+        TransportKind::Channel,
+        DEFAULT_DEADLINE,
+        sim,
+        None,
+        FaultPlan::NONE,
+    ))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_impl(
-    decomp: Decomposition,
-    num_reg: usize,
-    balance: i32,
-    cost: i32,
-    seed: u64,
-    max_cycles: u64,
-    params: lulesh_core::Params,
-    trace: Option<Arc<Tracer>>,
+/// Fold per-rank results into the classic single-result signature. Without
+/// fault injection a transport failure is impossible on the in-process
+/// wire, so `Net` errors panic here; callers that inject faults or run
+/// real sockets use [`run_transport`] and look at each rank.
+fn fold(
+    results: Vec<Result<(Domain, SimState), MdError>>,
 ) -> Result<(Vec<Domain>, SimState), LuleshError> {
-    let ranks = decomp.ranks();
-
-    // Build the channel topology.
-    let mut comms: Vec<Option<RankComm>> = (0..ranks).map(|_| None).collect();
-    {
-        // Neighbour links.
-        let mut down_parts: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
-        let mut up_parts: Vec<Option<NeighborLink>> = (0..ranks).map(|_| None).collect();
-        for r in 0..ranks.saturating_sub(1) {
-            let (tx_up, rx_up) = bounded::<Plane>(1); // r → r+1
-            let (tx_down, rx_down) = bounded::<Plane>(1); // r+1 → r
-            up_parts[r] = Some(NeighborLink {
-                tx: tx_up,
-                rx: rx_down,
-            });
-            down_parts[r + 1] = Some(NeighborLink {
-                tx: tx_down,
-                rx: rx_up,
-            });
-        }
-        // dt reduction star.
-        let (to_root_tx, to_root_rx) = bounded::<DtMsg>(ranks);
-        let mut from_root_rxs = Vec::with_capacity(ranks);
-        let mut from_root_txs = Vec::with_capacity(ranks);
-        for _ in 0..ranks {
-            let (tx, rx) = bounded::<DtMsg>(1);
-            from_root_txs.push(tx);
-            from_root_rxs.push(rx);
-        }
-        for (r, (down, up)) in down_parts.into_iter().zip(up_parts).enumerate() {
-            comms[r] = Some(RankComm {
-                down,
-                up,
-                to_root: to_root_tx.clone(),
-                from_root: from_root_rxs.remove(0),
-                root: if r == 0 {
-                    Some((to_root_rx.clone(), from_root_txs.clone()))
-                } else {
-                    None
-                },
-            });
-        }
-    }
-
-    // Spawn the ranks.
-    let handles: Vec<_> = (0..ranks)
-        .map(|r| {
-            let shape = decomp.shape(r);
-            let comm = comms[r].take().expect("comm built for every rank");
-            let trace = trace.clone();
-            std::thread::Builder::new()
-                .name(format!("multidom-rank-{r}"))
-                .spawn(move || {
-                    rank_main(
-                        shape, comm, r, ranks, num_reg, balance, cost, seed, max_cycles, params,
-                        trace,
-                    )
-                })
-                .expect("spawn rank thread")
-        })
-        .collect();
-
-    let mut domains = Vec::with_capacity(ranks);
+    let mut domains = Vec::with_capacity(results.len());
     let mut state = None;
-    for h in handles {
-        let (d, st) = h.join().expect("rank thread must not panic")?;
-        state = Some(st);
-        domains.push(d);
+    for r in results {
+        match r {
+            Ok((d, st)) => {
+                state = Some(st);
+                domains.push(d);
+            }
+            Err(MdError::Sim(e)) => return Err(e),
+            Err(MdError::Net(n)) => panic!("transport failure without fault injection: {n}"),
+        }
     }
     Ok((domains, state.expect("at least one rank")))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn rank_main(
-    shape: lulesh_core::mesh::MeshShape,
-    comm: RankComm,
-    rank: usize,
-    ranks: usize,
-    num_reg: usize,
-    balance: i32,
-    cost: i32,
-    seed: u64,
-    max_cycles: u64,
-    params: lulesh_core::Params,
+/// Run the decomposed problem over an explicit transport, returning every
+/// rank's individual outcome (bottom slab first) — the API the failure
+/// tests and the TCP smoke use. `deadline` bounds every receive, and
+/// therefore how long any rank can outlive a dead neighbour.
+pub fn run_transport(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
+    sim: SimArgs,
     trace: Option<Arc<Tracer>>,
-) -> Result<(Domain, SimState), LuleshError> {
-    let mut d = Domain::build_subdomain(shape, num_reg, balance, cost, seed);
-    d.params = params;
+    faults: FaultPlan,
+) -> Vec<Result<(Domain, SimState), MdError>> {
+    let ranks = decomp.ranks();
+    match kind {
+        TransportKind::Channel => {
+            let nets = parcelnet::channel::channel_mesh(ranks, deadline);
+            spawn_ranks(
+                decomp,
+                nets.into_iter().map(Ok).collect(),
+                sim,
+                trace,
+                faults,
+            )
+        }
+        TransportKind::TcpLoopback => {
+            let cfg = TcpConfig {
+                deadline,
+                connect_timeout: deadline,
+            };
+            let listener =
+                std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+            let addr = listener
+                .local_addr()
+                .expect("loopback listener address")
+                .to_string();
+            let mut listener = Some(listener);
+            let handles: Vec<_> = (0..ranks)
+                .map(|r| {
+                    let listener = (r == 0).then(|| listener.take().expect("root listener"));
+                    let addr = addr.clone();
+                    std::thread::Builder::new()
+                        .name(format!("multidom-bootstrap-{r}"))
+                        .spawn(move || match listener {
+                            Some(l) => parcelnet::tcp::root(l, ranks, &cfg),
+                            None => parcelnet::tcp::join(&addr, r, ranks, &cfg),
+                        })
+                        .expect("spawn bootstrap thread")
+                })
+                .collect();
+            let nets = handles
+                .into_iter()
+                .map(|h| h.join().expect("bootstrap must not panic"))
+                .collect();
+            spawn_ranks(decomp, nets, sim, trace, faults)
+        }
+    }
+}
+
+fn spawn_ranks(
+    decomp: Decomposition,
+    nets: Vec<Result<RankNet, ParcelError>>,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+) -> Vec<Result<(Domain, SimState), MdError>> {
+    let handles: Vec<_> = nets
+        .into_iter()
+        .enumerate()
+        .map(|(r, net)| {
+            let shape = decomp.shape(r);
+            let trace = trace.clone();
+            std::thread::Builder::new()
+                .name(format!("multidom-rank-{r}"))
+                .spawn(move || match net {
+                    Ok(net) => run_rank(shape, net, sim, trace, faults),
+                    Err(e) => Err(MdError::Net(e)),
+                })
+                .expect("spawn rank thread")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread must not panic"))
+        .collect()
+}
+
+/// One rank's full simulation over an already-connected [`RankNet`] — the
+/// entry point the multi-process TCP launcher calls directly with a net
+/// built by [`parcelnet::tcp::root`]/[`parcelnet::tcp::join`].
+pub fn run_rank(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+) -> Result<(Domain, SimState), MdError> {
+    let rank = net.rank;
+    let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
+    d.params = sim.params;
+    if faults.poison_volume == Some(rank) {
+        let mid = d.num_elem() / 2;
+        d.set_v(mid, -0.25);
+    }
     let mut scratch = SerialScratch::new(d.num_elem());
+    let down = net.down.as_deref();
+    let up = net.up.as_deref();
 
     // Record a span of `kind` on this rank's lane bracketing `f`.
     macro_rules! spanned {
@@ -221,22 +254,30 @@ fn rank_main(
             }
         }};
     }
+    let obs: ObsCtx = trace.as_ref().map(|t| (t.as_ref(), rank));
 
     // One-time nodal mass exchange.
     spanned!("halo-mass", SpanKind::Halo, {
-        ring_exchange_mass(&d, comm.down.as_ref(), comm.up.as_ref())
-    });
+        ring_exchange_mass(&d, down, up, obs)
+    })?;
 
     let mut state = SimState::new(d.initial_dt());
-    while state.time < params.stoptime && state.cycle < max_cycles {
+    while state.time < sim.params.stoptime && state.cycle < sim.max_cycles {
+        if faults.die_at == Some((rank, state.cycle)) {
+            // Abrupt death: drop every link without a Bye, exactly as a
+            // killed process would. Survivors observe PeerClosed/Timeout.
+            return Err(MdError::Net(ParcelError::PeerClosed { peer: rank }));
+        }
         let iter_start = trace.as_ref().map(|t| t.now_ns());
-        time_increment(&mut state, &params);
+        time_increment(&mut state, &sim.params);
         let dt = state.deltatime;
 
-        // A mid-iteration error must not abandon the exchange protocol —
-        // the neighbours are blocked on our messages. Record it, keep
-        // exchanging (the data is garbage but every rank aborts together at
-        // the allreduce below), and skip the remaining local phases.
+        // A mid-iteration *simulation* error must not abandon the exchange
+        // protocol — the neighbours are blocked on our messages. Record it,
+        // keep exchanging (the data is garbage but every rank aborts
+        // together at the allreduce below), and skip the remaining local
+        // phases. A *transport* error aborts immediately (`?`): the links
+        // are dropped, which the neighbours observe within their deadline.
         let mut local_err: Option<LuleshError> = None;
 
         // Forces + halo sum.
@@ -244,8 +285,8 @@ fn rank_main(
             calc_force_for_nodes(&d, &mut scratch).err()
         }));
         spanned!("halo-forces", SpanKind::Halo, {
-            ring_exchange_forces(&d, comm.down.as_ref(), comm.up.as_ref())
-        });
+            ring_exchange_forces(&d, down, up, obs)
+        })?;
 
         if local_err.is_none() {
             spanned!("node", SpanKind::Region, advance_nodes(&d, dt));
@@ -258,8 +299,8 @@ fn rank_main(
             });
         }
         spanned!("halo-gradients", SpanKind::Halo, {
-            ring_exchange_gradients(&d, comm.down.as_ref(), comm.up.as_ref())
-        });
+            ring_exchange_gradients(&d, down, up, obs)
+        })?;
 
         if local_err.is_none() {
             local_err = spanned!("eos", SpanKind::Region, {
@@ -271,24 +312,18 @@ fn rank_main(
         // along so everyone aborts in the same iteration.
         let (c, h) = if local_err.is_none() {
             spanned!("constraints", SpanKind::Region, {
-                constraints::calc_time_constraints(&d, params.qqc, params.dvovmax)
+                constraints::calc_time_constraints(&d, sim.params.qqc, sim.params.dvovmax)
             })
         } else {
             (1.0e20, 1.0e20)
         };
         let (gc, gh, gerr) = spanned!("barrier-dt", SpanKind::Barrier, {
-            star_allreduce(
-                &comm.to_root,
-                &comm.from_root,
-                comm.root.as_ref().map(|(rx, txs)| (rx, txs.as_slice())),
-                ranks,
-                c,
-                h,
-                local_err,
-            )
-        });
+            net.allreduce_dt(c, h, local_err)
+        })?;
         if let Some(e) = gerr {
-            return Err(e);
+            // Every rank is returning this same error right now; links are
+            // dropped together, so nobody is left reading.
+            return Err(MdError::Sim(e));
         }
         state.dtcourant = gc;
         state.dthydro = gh;
@@ -299,6 +334,9 @@ fn rank_main(
         }
     }
 
+    // Graceful shutdown: Bye on every link, so no socket is abandoned with
+    // a peer still reading from it.
+    net.close()?;
     Ok((d, state))
 }
 
@@ -367,6 +405,15 @@ mod tests {
                     .count();
                 assert_eq!(n, 8, "rank {rank} {label}");
             }
+            // The transport layer's inner comm spans: one send and one recv
+            // per exchange on a 2-rank ring.
+            for label in ["send-force", "recv-force", "send-gradient", "recv-gradient"] {
+                let n = spans
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::Halo && s.label == label && s.worker == rank)
+                    .count();
+                assert_eq!(n, 8, "rank {rank} {label}");
+            }
         }
         // Iteration spans only on rank 0's lane.
         let iters: Vec<_> = spans.iter().filter(|s| s.label == "iteration").collect();
@@ -384,5 +431,28 @@ mod tests {
             lulesh_core::validate::max_field_difference(&domains[0], &single),
             0.0
         );
+    }
+
+    #[test]
+    fn tcp_loopback_matches_channel_bitwise() {
+        let decomp = Decomposition::new(6, 2);
+        let (base, st_base) = run(decomp, 2, 1, 1, 0, 10).unwrap();
+        let results = run_transport(
+            decomp,
+            TransportKind::TcpLoopback,
+            Duration::from_secs(10),
+            SimArgs::new(2, 1, 1, 0, 10),
+            None,
+            FaultPlan::NONE,
+        );
+        for (r, (base_d, res)) in base.iter().zip(results).enumerate() {
+            let (d, st) = res.unwrap_or_else(|e| panic!("rank {r}: {e}"));
+            assert_eq!(st.cycle, st_base.cycle);
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(base_d, &d),
+                0.0,
+                "rank {r}: TCP wire must be bit-transparent"
+            );
+        }
     }
 }

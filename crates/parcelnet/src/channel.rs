@@ -1,0 +1,241 @@
+//! In-process transport over crossbeam channels — the wire the `multidom`
+//! drivers always used, now behind [`Transport`] with a recv deadline and
+//! the same tag/sequence verification the TCP transport performs (no
+//! checksum: frames never leave process memory).
+
+use crate::{DtLinks, ParcelError, RankNet, Tag, Transport};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use lulesh_core::types::Real;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+/// One tagged, sequenced message (the in-process analogue of a wire frame).
+pub struct Frame {
+    /// Phase tag.
+    pub tag: Tag,
+    /// Per-link, per-direction sequence number.
+    pub seq: u32,
+    /// Flat plane data.
+    pub payload: Vec<Real>,
+}
+
+/// [`Transport`] over a pair of bounded crossbeam channels.
+pub struct ChannelTransport {
+    peer: usize,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    deadline: Duration,
+    send_seq: AtomicU32,
+    recv_seq: AtomicU32,
+}
+
+impl ChannelTransport {
+    /// Build both endpoints of a link between `a` and `b` (returned in that
+    /// order). Capacity 2 per direction: the exchange protocol keeps at
+    /// most one data frame in flight, plus a `Bye` at shutdown.
+    pub fn pair(a: usize, b: usize, deadline: Duration) -> (Self, Self) {
+        let (tx_ab, rx_ab) = bounded::<Frame>(2);
+        let (tx_ba, rx_ba) = bounded::<Frame>(2);
+        (
+            Self::new(b, tx_ab, rx_ba, deadline),
+            Self::new(a, tx_ba, rx_ab, deadline),
+        )
+    }
+
+    fn new(peer: usize, tx: Sender<Frame>, rx: Receiver<Frame>, deadline: Duration) -> Self {
+        Self {
+            peer,
+            tx,
+            rx,
+            deadline,
+            send_seq: AtomicU32::new(0),
+            recv_seq: AtomicU32::new(0),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn peer(&self) -> usize {
+        self.peer
+    }
+
+    fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError> {
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Frame {
+                tag,
+                seq,
+                payload: payload.to_vec(),
+            })
+            .map_err(|_| ParcelError::PeerClosed { peer: self.peer })
+    }
+
+    fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
+        let frame = self.rx.recv_timeout(self.deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ParcelError::Timeout { peer: self.peer },
+            RecvTimeoutError::Disconnected => ParcelError::PeerClosed { peer: self.peer },
+        })?;
+        let expected = self.recv_seq.fetch_add(1, Ordering::Relaxed);
+        if frame.seq != expected {
+            return Err(ParcelError::SeqMismatch {
+                peer: self.peer,
+                expected,
+                got: frame.seq,
+            });
+        }
+        if frame.tag != tag {
+            // A `Bye` where data was expected means the peer shut down.
+            if frame.tag == Tag::Bye {
+                return Err(ParcelError::PeerClosed { peer: self.peer });
+            }
+            return Err(ParcelError::TagMismatch {
+                peer: self.peer,
+                expected: tag,
+                got: frame.tag,
+            });
+        }
+        Ok(frame.payload)
+    }
+
+    fn close(&self) -> Result<(), ParcelError> {
+        self.send(Tag::Bye, &[])?;
+        self.recv(Tag::Bye).map(|_| ())
+    }
+}
+
+/// Build the complete in-process mesh for `ranks` ranks: ζ-neighbour links
+/// plus the dt star through rank 0, one [`RankNet`] per rank (by rank).
+pub fn channel_mesh(ranks: usize, deadline: Duration) -> Vec<RankNet> {
+    assert!(ranks >= 1);
+    let mut down: Vec<Option<Box<dyn Transport>>> = (0..ranks).map(|_| None).collect();
+    let mut up: Vec<Option<Box<dyn Transport>>> = (0..ranks).map(|_| None).collect();
+    for r in 0..ranks.saturating_sub(1) {
+        let (lower, upper) = ChannelTransport::pair(r, r + 1, deadline);
+        up[r] = Some(Box::new(lower));
+        down[r + 1] = Some(Box::new(upper));
+    }
+
+    let mut members: Vec<Box<dyn Transport>> = Vec::with_capacity(ranks.saturating_sub(1));
+    let mut leaves: Vec<Option<DtLinks>> = (0..ranks).map(|_| None).collect();
+    for (r, leaf) in leaves.iter_mut().enumerate().skip(1) {
+        let (root_side, leaf_side) = ChannelTransport::pair(0, r, deadline);
+        members.push(Box::new(root_side));
+        *leaf = Some(DtLinks::Leaf(Box::new(leaf_side)));
+    }
+    leaves[0] = Some(DtLinks::Root(members));
+
+    down.into_iter()
+        .zip(up)
+        .zip(leaves)
+        .enumerate()
+        .map(|(rank, ((down, up), dt))| RankNet {
+            rank,
+            ranks,
+            down,
+            up,
+            dt: dt.expect("dt links built for every rank"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lulesh_core::types::LuleshError;
+    use std::time::Duration;
+
+    const D: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        a.send(Tag::Force, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(b.recv(Tag::Force).unwrap(), vec![1.0, 2.0, 3.0]);
+        b.send(Tag::Gradient, &[4.0]).unwrap();
+        assert_eq!(a.recv(Tag::Gradient).unwrap(), vec![4.0]);
+        assert_eq!(a.peer(), 1);
+        assert_eq!(b.peer(), 0);
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let (a, _b) = ChannelTransport::pair(0, 1, Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        assert_eq!(a.recv(Tag::Force), Err(ParcelError::Timeout { peer: 1 }));
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn dropped_peer_is_peer_closed() {
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        drop(b);
+        assert_eq!(a.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 1 }));
+        assert_eq!(
+            a.send(Tag::Force, &[1.0]),
+            Err(ParcelError::PeerClosed { peer: 1 })
+        );
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        a.send(Tag::Force, &[1.0]).unwrap();
+        assert_eq!(
+            b.recv(Tag::Gradient),
+            Err(ParcelError::TagMismatch {
+                peer: 0,
+                expected: Tag::Gradient,
+                got: Tag::Force
+            })
+        );
+    }
+
+    #[test]
+    fn bye_while_expecting_data_is_peer_closed() {
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        a.send(Tag::Bye, &[]).unwrap();
+        assert_eq!(b.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 0 }));
+    }
+
+    #[test]
+    fn close_is_symmetric() {
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        let t = std::thread::spawn(move || b.close());
+        a.close().unwrap();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mesh_allreduce_folds_minima_and_errors() {
+        let nets = channel_mesh(3, D);
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                std::thread::spawn(move || {
+                    let (c, h, e) = match net.rank {
+                        0 => (3.0, 30.0, None),
+                        1 => (1.0, 20.0, Some(LuleshError::QStopError)),
+                        _ => (2.0, 10.0, None),
+                    };
+                    net.allreduce_dt(c, h, e).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let (gc, gh, gerr) = h.join().unwrap();
+            assert_eq!(gc, 1.0);
+            assert_eq!(gh, 10.0);
+            assert_eq!(gerr, Some(LuleshError::QStopError));
+        }
+    }
+
+    #[test]
+    fn mesh_neighbours_are_wired_by_rank() {
+        let nets = channel_mesh(3, D);
+        assert!(nets[0].down.is_none() && nets[2].up.is_none());
+        assert_eq!(nets[0].up.as_ref().unwrap().peer(), 1);
+        assert_eq!(nets[1].down.as_ref().unwrap().peer(), 0);
+        assert_eq!(nets[1].up.as_ref().unwrap().peer(), 2);
+        assert_eq!(nets[2].down.as_ref().unwrap().peer(), 1);
+    }
+}

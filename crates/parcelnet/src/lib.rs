@@ -1,0 +1,349 @@
+//! # parcelnet — a real network transport for multi-domain LULESH
+//!
+//! The paper's future-work item ("extend to multi-node environments and
+//! compare against MPI") needs a message layer before it needs a cluster.
+//! This crate is that layer, shaped after an HPX parcelport: a [`Transport`]
+//! trait for one point-to-point link carrying tagged planes of `Real`s,
+//! with two implementations —
+//!
+//! * [`channel::ChannelTransport`] — the in-process crossbeam channels the
+//!   `multidom` drivers always used, now behind the trait (zero behavior
+//!   change, plus a recv deadline);
+//! * [`tcp::TcpTransport`] — length-prefixed binary frames over loopback or
+//!   real sockets, with a rank/sequence/tag header, an FNV-1a payload
+//!   checksum, a rank handshake at connect, and a bootstrap that gathers
+//!   every rank's listener address through rank 0 (no port arithmetic).
+//!
+//! The failure model is typed and total: every operation returns
+//! [`ParcelError`] (peer closed, timeout, checksum mismatch, protocol
+//! violation), every receive is bounded by a deadline, and the dt
+//! min-allreduce ([`RankNet::allreduce_dt`]) carries simulation errors so a
+//! poisoned rank surfaces the *same* [`LuleshError`] on every rank instead
+//! of deadlocking its neighbours — while a *dead* rank surfaces a
+//! `ParcelError` on every survivor within the deadline.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod tcp;
+
+use lulesh_core::types::{LuleshError, Real};
+
+/// Phase tag carried in every frame header, so a mis-sequenced exchange is
+/// detected as a protocol error instead of corrupting physics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Tag {
+    /// One-time nodal-mass halo sum (setup `CommSBN`).
+    Mass = 1,
+    /// Per-iteration force halo sum (`CommSBN`).
+    Force = 2,
+    /// Per-iteration gradient ghost exchange (`CommMonoQ`).
+    Gradient = 3,
+    /// dt min-allreduce contribution or broadcast.
+    Dt = 4,
+    /// Graceful shutdown: both sides exchange `Bye` before closing.
+    Bye = 5,
+}
+
+impl Tag {
+    /// Stable lowercase name (used in span labels and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::Mass => "mass",
+            Tag::Force => "force",
+            Tag::Gradient => "gradient",
+            Tag::Dt => "dt",
+            Tag::Bye => "bye",
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(Tag::Mass),
+            2 => Some(Tag::Force),
+            3 => Some(Tag::Gradient),
+            4 => Some(Tag::Dt),
+            5 => Some(Tag::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// Typed transport failures. Every variant names the peer rank so a
+/// multi-rank failure report reads like an MPI error log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParcelError {
+    /// The peer's endpoint is gone (socket EOF/reset, or every channel
+    /// sender dropped) — the peer died or shut down mid-protocol.
+    PeerClosed {
+        /// Rank of the vanished peer.
+        peer: usize,
+    },
+    /// No frame arrived within the receive deadline.
+    Timeout {
+        /// Rank the receive was posted against.
+        peer: usize,
+    },
+    /// A frame arrived but its payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Rank the corrupted frame came from.
+        peer: usize,
+    },
+    /// A frame arrived with the wrong phase tag (protocol violation).
+    TagMismatch {
+        /// Rank the mis-tagged frame came from.
+        peer: usize,
+        /// Tag the receiver expected.
+        expected: Tag,
+        /// Tag the frame carried.
+        got: Tag,
+    },
+    /// A frame arrived out of sequence (lost or duplicated message).
+    SeqMismatch {
+        /// Rank the mis-sequenced frame came from.
+        peer: usize,
+        /// Sequence number the receiver expected.
+        expected: u32,
+        /// Sequence number the frame carried.
+        got: u32,
+    },
+    /// The connect-time rank handshake failed (wrong magic, version, rank
+    /// or world size).
+    Handshake {
+        /// Rank the handshake was attempted with.
+        peer: usize,
+    },
+    /// Connection to the peer could not be established in time.
+    ConnectTimeout {
+        /// Rank the connection was attempted to.
+        peer: usize,
+    },
+    /// An I/O error outside the categories above.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for ParcelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParcelError::PeerClosed { peer } => write!(f, "rank {peer} closed its endpoint"),
+            ParcelError::Timeout { peer } => write!(f, "receive from rank {peer} timed out"),
+            ParcelError::ChecksumMismatch { peer } => {
+                write!(f, "checksum mismatch on frame from rank {peer}")
+            }
+            ParcelError::TagMismatch {
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {peer} sent a '{}' frame where '{}' was expected",
+                got.name(),
+                expected.name()
+            ),
+            ParcelError::SeqMismatch {
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {peer} sent sequence {got} where {expected} was expected"
+            ),
+            ParcelError::Handshake { peer } => write!(f, "handshake with rank {peer} failed"),
+            ParcelError::ConnectTimeout { peer } => {
+                write!(f, "connecting to rank {peer} timed out")
+            }
+            ParcelError::Io(kind) => write!(f, "transport i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParcelError {}
+
+/// One point-to-point link to a peer rank. Implementations are internally
+/// synchronized (`&self` methods) so a link can be shared between a rank's
+/// control thread and its communication tasks.
+pub trait Transport: Send + Sync {
+    /// The peer rank this link talks to.
+    fn peer(&self) -> usize;
+
+    /// Send one tagged frame. Must not block indefinitely on a slow or dead
+    /// peer (channel sends use bounded buffers; TCP sends go through a
+    /// writer thread).
+    fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError>;
+
+    /// Receive the next frame, which must carry `tag`, within the link's
+    /// receive deadline.
+    fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError>;
+
+    /// Graceful shutdown: exchange `Bye` frames so neither side abandons a
+    /// link the other still reads from (the "no leaked sockets" guarantee).
+    fn close(&self) -> Result<(), ParcelError>;
+}
+
+/// The dt-allreduce topology: a star through rank 0, expressed as links.
+pub enum DtLinks {
+    /// Rank 0 holds one link per other rank, ordered by rank (index `i`
+    /// talks to rank `i + 1`).
+    Root(Vec<Box<dyn Transport>>),
+    /// Every other rank holds a single link to rank 0.
+    Leaf(Box<dyn Transport>),
+}
+
+/// One rank's complete communication endpoint: ζ neighbours plus the dt
+/// star. Built by [`channel::channel_mesh`] (in-process) or
+/// [`tcp::root`]/[`tcp::join`] (sockets).
+pub struct RankNet {
+    /// This rank.
+    pub rank: usize,
+    /// World size.
+    pub ranks: usize,
+    /// Link towards ζ− (rank − 1), if any.
+    pub down: Option<Box<dyn Transport>>,
+    /// Link towards ζ+ (rank + 1), if any.
+    pub up: Option<Box<dyn Transport>>,
+    /// The dt-allreduce star.
+    pub dt: DtLinks,
+}
+
+/// Encode an optional simulation error as a wire scalar.
+fn err_code(e: Option<LuleshError>) -> Real {
+    match e {
+        None => 0.0,
+        Some(LuleshError::VolumeError) => 1.0,
+        Some(LuleshError::QStopError) => 2.0,
+    }
+}
+
+/// Decode [`err_code`]. Unknown codes conservatively map to `VolumeError`
+/// (an abort is an abort; never silently continue).
+fn code_err(c: Real) -> Option<LuleshError> {
+    match c as i64 {
+        0 => None,
+        2 => Some(LuleshError::QStopError),
+        _ => Some(LuleshError::VolumeError),
+    }
+}
+
+impl RankNet {
+    /// The dt min-allreduce through rank 0 with errors riding along: every
+    /// rank contributes its constraint minima plus any local simulation
+    /// error and receives the global minima plus the first error any rank
+    /// reported (folded in rank order, root first — deterministic). A
+    /// transport failure anywhere surfaces as `Err(ParcelError)`.
+    pub fn allreduce_dt(
+        &self,
+        c: Real,
+        h: Real,
+        err: Option<LuleshError>,
+    ) -> Result<(Real, Real, Option<LuleshError>), ParcelError> {
+        match &self.dt {
+            DtLinks::Root(members) => {
+                let mut gc = c;
+                let mut gh = h;
+                let mut gerr = err;
+                for m in members {
+                    let p = m.recv(Tag::Dt)?;
+                    if p.len() != 3 {
+                        return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+                    }
+                    gc = gc.min(p[0]);
+                    gh = gh.min(p[1]);
+                    gerr = gerr.or(code_err(p[2]));
+                }
+                let frame = [gc, gh, err_code(gerr)];
+                for m in members {
+                    m.send(Tag::Dt, &frame)?;
+                }
+                Ok((gc, gh, gerr))
+            }
+            DtLinks::Leaf(link) => {
+                link.send(Tag::Dt, &[c, h, err_code(err)])?;
+                let p = link.recv(Tag::Dt)?;
+                if p.len() != 3 {
+                    return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+                }
+                Ok((p[0], p[1], code_err(p[2])))
+            }
+        }
+    }
+
+    /// Gracefully close every link (neighbours first, then the dt star).
+    /// Called only on the success path; error paths drop links hard so
+    /// peers observe `PeerClosed` immediately.
+    pub fn close(&self) -> Result<(), ParcelError> {
+        if let Some(l) = &self.down {
+            l.close()?;
+        }
+        if let Some(l) = &self.up {
+            l.close()?;
+        }
+        match &self.dt {
+            DtLinks::Root(members) => {
+                for m in members {
+                    m.close()?;
+                }
+            }
+            DtLinks::Leaf(l) => l.close()?,
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the frame payload checksum. Cheap,
+/// dependency-free, and plenty to catch framing bugs and torn writes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for t in [Tag::Mass, Tag::Force, Tag::Gradient, Tag::Dt, Tag::Bye] {
+            assert_eq!(Tag::from_u32(t as u32), Some(t));
+        }
+        assert_eq!(Tag::from_u32(0), None);
+        assert_eq!(Tag::from_u32(99), None);
+    }
+
+    #[test]
+    fn err_code_roundtrip() {
+        for e in [
+            None,
+            Some(LuleshError::VolumeError),
+            Some(LuleshError::QStopError),
+        ] {
+            assert_eq!(code_err(err_code(e)), e);
+        }
+        // Unknown codes abort rather than continue.
+        assert_eq!(code_err(7.0), Some(LuleshError::VolumeError));
+    }
+
+    #[test]
+    fn fnv_distinguishes_payloads() {
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn errors_display_the_peer() {
+        let e = ParcelError::Timeout { peer: 3 };
+        assert!(e.to_string().contains("rank 3"));
+        let e = ParcelError::TagMismatch {
+            peer: 1,
+            expected: Tag::Force,
+            got: Tag::Gradient,
+        };
+        assert!(e.to_string().contains("force") && e.to_string().contains("gradient"));
+    }
+}

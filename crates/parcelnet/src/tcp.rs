@@ -1,0 +1,797 @@
+//! TCP transport: length-prefixed binary frames over loopback or real
+//! sockets, HPX-parcelport-style.
+//!
+//! **Wire format.** Every frame is a 24-byte little-endian header —
+//! `[tag u32][seq u32][src_rank u32][len u32][checksum u64]` — followed by
+//! `len` IEEE-754 doubles. `checksum` is FNV-1a 64 over the payload bytes;
+//! `seq` is a per-link, per-direction counter starting at 0, so a lost or
+//! duplicated frame is a typed [`ParcelError::SeqMismatch`], not silent
+//! physics corruption.
+//!
+//! **Handshake.** Each connection opens with
+//! `[magic u64][version u32][rank u32][ranks u32][kind u8]` from both
+//! sides; mismatched magic/version/world-size or an unexpected peer rank is
+//! a typed [`ParcelError::Handshake`].
+//!
+//! **Bootstrap.** Rank 0 binds the one well-known address. Every other
+//! rank binds an ephemeral listener, connects to rank 0 (this link later
+//! carries the dt allreduce), registers its listener address, and receives
+//! the full rank→address map; ζ-neighbour links are then dialled directly
+//! (rank r connects down to rank r−1). No port arithmetic, no contiguous
+//! port ranges.
+//!
+//! **No blocked senders.** Writes go through a per-link writer thread with
+//! a bounded queue, so a rank never wedges inside `send` when planes exceed
+//! socket buffers — the classic MPI_Send cycle deadlock can't form; the
+//! protocol thread always reaches its `recv`, which drains the wire.
+
+use crate::{fnv1a64, DtLinks, ParcelError, RankNet, Tag, Transport};
+use crossbeam::channel::{bounded, Sender};
+use lulesh_core::types::Real;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAGIC: u64 = 0x5041_5243_4c4e_4554; // "PARCLNET"
+const VERSION: u32 = 1;
+const KIND_DT: u8 = 0;
+const KIND_NEIGHBOR: u8 = 1;
+
+/// Deadlines for the TCP transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Per-receive deadline: how long a blocking `recv` (or a bootstrap
+    /// read) may wait before surfacing [`ParcelError::Timeout`].
+    pub deadline: Duration,
+    /// How long connection establishment (dial retries, accept waits) may
+    /// take before [`ParcelError::ConnectTimeout`].
+    pub connect_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A config with the given receive deadline (connect timeout kept at
+    /// the default).
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline,
+            ..Self::default()
+        }
+    }
+}
+
+fn map_io(peer: usize, e: &std::io::Error) -> ParcelError {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        TimedOut | WouldBlock => ParcelError::Timeout { peer },
+        UnexpectedEof | ConnectionReset | ConnectionAborted | BrokenPipe | NotConnected => {
+            ParcelError::PeerClosed { peer }
+        }
+        k => ParcelError::Io(k),
+    }
+}
+
+fn encode_frame(tag: Tag, seq: u32, src: u32, payload: &[Real]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(24 + payload.len() * 8);
+    bytes.extend_from_slice(&(tag as u32).to_le_bytes());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&src.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let payload_start = bytes.len() + 8;
+    bytes.extend_from_slice(&[0u8; 8]); // checksum placeholder
+    for v in payload {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let ck = fnv1a64(&bytes[payload_start..]);
+    bytes[16..24].copy_from_slice(&ck.to_le_bytes());
+    bytes
+}
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// A frame-writer request: already-assigned sequence number plus payload.
+type WriteReq = (Tag, u32, Vec<Real>);
+
+/// [`Transport`] over one TCP connection.
+pub struct TcpTransport {
+    peer: usize,
+    reader: Mutex<TcpStream>,
+    writer_tx: Sender<WriteReq>,
+    writer_err: Arc<Mutex<Option<ParcelError>>>,
+    send_seq: AtomicU32,
+    recv_seq: AtomicU32,
+}
+
+impl TcpTransport {
+    /// Wrap an already-handshaken stream. `my_rank` stamps outgoing frames'
+    /// `src_rank`; `peer` is verified on every incoming frame.
+    pub fn from_stream(
+        stream: TcpStream,
+        my_rank: usize,
+        peer: usize,
+        cfg: &TcpConfig,
+    ) -> Result<Self, ParcelError> {
+        stream.set_nodelay(true).map_err(|e| map_io(peer, &e))?;
+        stream
+            .set_read_timeout(Some(cfg.deadline))
+            .map_err(|e| map_io(peer, &e))?;
+        let write_half = stream.try_clone().map_err(|e| map_io(peer, &e))?;
+        write_half
+            .set_write_timeout(Some(cfg.deadline))
+            .map_err(|e| map_io(peer, &e))?;
+
+        // Writer thread: serializes and writes frames in queue order, so
+        // `send` never blocks the protocol thread on a full socket buffer.
+        let (writer_tx, writer_rx) = bounded::<WriteReq>(8);
+        let writer_err = Arc::new(Mutex::new(None::<ParcelError>));
+        {
+            let err = Arc::clone(&writer_err);
+            let src = my_rank as u32;
+            std::thread::Builder::new()
+                .name(format!("parcelnet-writer-{my_rank}-to-{peer}"))
+                .spawn(move || {
+                    let mut stream = write_half;
+                    while let Ok((tag, seq, payload)) = writer_rx.recv() {
+                        let bytes = encode_frame(tag, seq, src, &payload);
+                        if let Err(e) = stream.write_all(&bytes).and_then(|()| stream.flush()) {
+                            *err.lock() = Some(map_io(peer, &e));
+                            return;
+                        }
+                    }
+                })
+                .map_err(|_| ParcelError::Io(std::io::ErrorKind::OutOfMemory))?;
+        }
+
+        Ok(Self {
+            peer,
+            reader: Mutex::new(stream),
+            writer_tx,
+            writer_err,
+            send_seq: AtomicU32::new(0),
+            recv_seq: AtomicU32::new(0),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn peer(&self) -> usize {
+        self.peer
+    }
+
+    fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError> {
+        if let Some(e) = *self.writer_err.lock() {
+            return Err(e);
+        }
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
+        self.writer_tx
+            .send((tag, seq, payload.to_vec()))
+            .map_err(|_| {
+                self.writer_err
+                    .lock()
+                    .unwrap_or(ParcelError::PeerClosed { peer: self.peer })
+            })
+    }
+
+    fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
+        let mut stream = self.reader.lock();
+        let mut header = [0u8; 24];
+        stream
+            .read_exact(&mut header)
+            .map_err(|e| map_io(self.peer, &e))?;
+
+        let got_tag = Tag::from_u32(u32_at(&header, 0))
+            .ok_or(ParcelError::Io(std::io::ErrorKind::InvalidData))?;
+        let seq = u32_at(&header, 4);
+        let src = u32_at(&header, 8) as usize;
+        let len = u32_at(&header, 12) as usize;
+        let ck = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+
+        let mut payload_bytes = vec![0u8; len * 8];
+        stream
+            .read_exact(&mut payload_bytes)
+            .map_err(|e| map_io(self.peer, &e))?;
+        drop(stream);
+
+        if src != self.peer {
+            return Err(ParcelError::Handshake { peer: self.peer });
+        }
+        let expected = self.recv_seq.fetch_add(1, Ordering::Relaxed);
+        if seq != expected {
+            return Err(ParcelError::SeqMismatch {
+                peer: self.peer,
+                expected,
+                got: seq,
+            });
+        }
+        if fnv1a64(&payload_bytes) != ck {
+            return Err(ParcelError::ChecksumMismatch { peer: self.peer });
+        }
+        if got_tag != tag {
+            if got_tag == Tag::Bye {
+                return Err(ParcelError::PeerClosed { peer: self.peer });
+            }
+            return Err(ParcelError::TagMismatch {
+                peer: self.peer,
+                expected: tag,
+                got: got_tag,
+            });
+        }
+        let payload = payload_bytes
+            .chunks_exact(8)
+            .map(|c| Real::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Ok(payload)
+    }
+
+    fn close(&self) -> Result<(), ParcelError> {
+        self.send(Tag::Bye, &[])?;
+        self.recv(Tag::Bye).map(|_| ())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake + bootstrap
+// ---------------------------------------------------------------------------
+
+fn write_hello(stream: &mut TcpStream, rank: usize, ranks: usize, kind: u8) -> std::io::Result<()> {
+    let mut b = Vec::with_capacity(21);
+    b.extend_from_slice(&MAGIC.to_le_bytes());
+    b.extend_from_slice(&VERSION.to_le_bytes());
+    b.extend_from_slice(&(rank as u32).to_le_bytes());
+    b.extend_from_slice(&(ranks as u32).to_le_bytes());
+    b.push(kind);
+    stream.write_all(&b)?;
+    stream.flush()
+}
+
+/// Read the peer's hello; returns `(peer_rank, kind)`.
+fn read_hello(stream: &mut TcpStream, ranks: usize) -> Result<(usize, u8), ParcelError> {
+    let mut b = [0u8; 21];
+    stream
+        .read_exact(&mut b)
+        .map_err(|e| map_io(usize::MAX, &e))?;
+    let magic = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+    let version = u32_at(&b, 8);
+    let rank = u32_at(&b, 12) as usize;
+    let world = u32_at(&b, 16) as usize;
+    if magic != MAGIC || version != VERSION || world != ranks || rank >= ranks {
+        return Err(ParcelError::Handshake { peer: rank });
+    }
+    Ok((rank, b[20]))
+}
+
+fn write_string(stream: &mut TcpStream, s: &str) -> std::io::Result<()> {
+    stream.write_all(&(s.len() as u32).to_le_bytes())?;
+    stream.write_all(s.as_bytes())?;
+    stream.flush()
+}
+
+fn read_string(stream: &mut TcpStream) -> Result<String, ParcelError> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).map_err(|e| map_io(0, &e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 4096 {
+        return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+    }
+    let mut b = vec![0u8; len];
+    stream.read_exact(&mut b).map_err(|e| map_io(0, &e))?;
+    String::from_utf8(b).map_err(|_| ParcelError::Io(std::io::ErrorKind::InvalidData))
+}
+
+/// Accept one connection within `timeout` (the listener is temporarily
+/// switched to non-blocking polling).
+fn accept_timeout(listener: &TcpListener, timeout: Duration) -> Result<TcpStream, ParcelError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| ParcelError::Io(e.kind()))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(ParcelError::ConnectTimeout { peer: usize::MAX });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(ParcelError::Io(e.kind())),
+        }
+    }
+}
+
+/// Dial `addr`, retrying refused connections until `timeout` (the peer's
+/// listener may not be up yet).
+fn connect_retry(addr: &str, peer: usize, timeout: Duration) -> Result<TcpStream, ParcelError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => return Err(ParcelError::ConnectTimeout { peer }),
+        }
+    }
+}
+
+/// Bootstrap rank 0: accept every other rank's dt connection on `listener`,
+/// gather their listener addresses, broadcast the rank→address map, then
+/// accept rank 1's neighbour connection. Returns rank 0's [`RankNet`].
+pub fn root(listener: TcpListener, ranks: usize, cfg: &TcpConfig) -> Result<RankNet, ParcelError> {
+    assert!(ranks >= 1);
+    if ranks == 1 {
+        return Ok(RankNet {
+            rank: 0,
+            ranks: 1,
+            down: None,
+            up: None,
+            dt: DtLinks::Root(Vec::new()),
+        });
+    }
+
+    let mut dt_streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
+    let mut addrs: Vec<String> = vec![String::new(); ranks];
+    addrs[0] = listener
+        .local_addr()
+        .map_err(|e| ParcelError::Io(e.kind()))?
+        .to_string();
+    for _ in 1..ranks {
+        let mut stream = accept_timeout(&listener, cfg.connect_timeout)?;
+        stream
+            .set_read_timeout(Some(cfg.deadline))
+            .map_err(|e| ParcelError::Io(e.kind()))?;
+        let (peer, kind) = read_hello(&mut stream, ranks)?;
+        if kind != KIND_DT || peer == 0 || dt_streams[peer].is_some() {
+            return Err(ParcelError::Handshake { peer });
+        }
+        write_hello(&mut stream, 0, ranks, KIND_DT).map_err(|e| map_io(peer, &e))?;
+        addrs[peer] = read_string(&mut stream)?;
+        dt_streams[peer] = Some(stream);
+    }
+
+    // Broadcast the address map in rank order.
+    for (r, slot) in dt_streams.iter_mut().enumerate().skip(1) {
+        let stream = slot.as_mut().expect("dt stream for every rank");
+        for a in &addrs {
+            write_string(stream, a).map_err(|e| map_io(r, &e))?;
+        }
+    }
+
+    // Rank 1 dials back for the ζ-neighbour link once it has the map.
+    let mut up_stream = accept_timeout(&listener, cfg.connect_timeout)?;
+    up_stream
+        .set_read_timeout(Some(cfg.deadline))
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    let (peer, kind) = read_hello(&mut up_stream, ranks)?;
+    if kind != KIND_NEIGHBOR || peer != 1 {
+        return Err(ParcelError::Handshake { peer });
+    }
+    write_hello(&mut up_stream, 0, ranks, KIND_NEIGHBOR).map_err(|e| map_io(peer, &e))?;
+
+    let members = dt_streams
+        .into_iter()
+        .enumerate()
+        .filter_map(|(r, s)| s.map(|s| (r, s)))
+        .map(|(r, s)| {
+            TcpTransport::from_stream(s, 0, r, cfg).map(|t| Box::new(t) as Box<dyn Transport>)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(RankNet {
+        rank: 0,
+        ranks,
+        down: None,
+        up: Some(Box::new(TcpTransport::from_stream(up_stream, 0, 1, cfg)?)),
+        dt: DtLinks::Root(members),
+    })
+}
+
+/// Bootstrap rank `rank` (> 0): connect to rank 0 at `root_addr`, register
+/// this rank's ephemeral listener, receive the address map, dial the ζ−
+/// neighbour and (when not topmost) accept the ζ+ neighbour.
+pub fn join(
+    root_addr: &str,
+    rank: usize,
+    ranks: usize,
+    cfg: &TcpConfig,
+) -> Result<RankNet, ParcelError> {
+    assert!(rank >= 1 && rank < ranks);
+
+    // Ephemeral listener for the ζ+ neighbour (topmost rank needs none).
+    let listener = if rank < ranks - 1 {
+        let bind_ip = root_addr
+            .parse::<SocketAddr>()
+            .map(|a| a.ip().to_string())
+            .unwrap_or_else(|_| "127.0.0.1".to_string());
+        Some(TcpListener::bind((bind_ip.as_str(), 0)).map_err(|e| ParcelError::Io(e.kind()))?)
+    } else {
+        None
+    };
+    let my_addr = match &listener {
+        Some(l) => l
+            .local_addr()
+            .map_err(|e| ParcelError::Io(e.kind()))?
+            .to_string(),
+        None => "-".to_string(),
+    };
+
+    // dt link to rank 0 (doubles as the bootstrap rendezvous).
+    let mut dt_stream = connect_retry(root_addr, 0, cfg.connect_timeout)?;
+    dt_stream
+        .set_read_timeout(Some(cfg.deadline))
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    write_hello(&mut dt_stream, rank, ranks, KIND_DT).map_err(|e| map_io(0, &e))?;
+    let (peer, kind) = read_hello(&mut dt_stream, ranks)?;
+    if peer != 0 || kind != KIND_DT {
+        return Err(ParcelError::Handshake { peer });
+    }
+    write_string(&mut dt_stream, &my_addr).map_err(|e| map_io(0, &e))?;
+    let addrs: Vec<String> = (0..ranks)
+        .map(|_| read_string(&mut dt_stream))
+        .collect::<Result<_, _>>()?;
+
+    // ζ− link: dial rank − 1 (rank 1 dials the root listener itself).
+    let mut down_stream = connect_retry(&addrs[rank - 1], rank - 1, cfg.connect_timeout)?;
+    down_stream
+        .set_read_timeout(Some(cfg.deadline))
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    write_hello(&mut down_stream, rank, ranks, KIND_NEIGHBOR).map_err(|e| map_io(rank - 1, &e))?;
+    let (peer, kind) = read_hello(&mut down_stream, ranks)?;
+    if peer != rank - 1 || kind != KIND_NEIGHBOR {
+        return Err(ParcelError::Handshake { peer });
+    }
+
+    // ζ+ link: accept rank + 1.
+    let up = match listener {
+        Some(l) => {
+            let mut s = accept_timeout(&l, cfg.connect_timeout)?;
+            s.set_read_timeout(Some(cfg.deadline))
+                .map_err(|e| ParcelError::Io(e.kind()))?;
+            let (peer, kind) = read_hello(&mut s, ranks)?;
+            if peer != rank + 1 || kind != KIND_NEIGHBOR {
+                return Err(ParcelError::Handshake { peer });
+            }
+            write_hello(&mut s, rank, ranks, KIND_NEIGHBOR).map_err(|e| map_io(peer, &e))?;
+            Some(Box::new(TcpTransport::from_stream(s, rank, rank + 1, cfg)?) as Box<dyn Transport>)
+        }
+        None => None,
+    };
+
+    Ok(RankNet {
+        rank,
+        ranks,
+        down: Some(Box::new(TcpTransport::from_stream(
+            down_stream,
+            rank,
+            rank - 1,
+            cfg,
+        )?)),
+        up,
+        dt: DtLinks::Leaf(Box::new(TcpTransport::from_stream(
+            dt_stream, rank, 0, cfg,
+        )?)),
+    })
+}
+
+/// A connected loopback pair (ranks 0 and 1) for tests and calibration.
+pub fn loopback_pair(cfg: &TcpConfig) -> Result<(TcpTransport, TcpTransport), ParcelError> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| ParcelError::Io(e.kind()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    let dial = std::thread::spawn(move || TcpStream::connect(addr));
+    let (accepted, _) = listener.accept().map_err(|e| ParcelError::Io(e.kind()))?;
+    let dialled = dial
+        .join()
+        .map_err(|_| ParcelError::Io(std::io::ErrorKind::Other))?
+        .map_err(|e| ParcelError::Io(e.kind()))?;
+    Ok((
+        TcpTransport::from_stream(accepted, 0, 1, cfg)?,
+        TcpTransport::from_stream(dialled, 1, 0, cfg)?,
+    ))
+}
+
+/// Measured loopback interconnect parameters, in the units
+/// `simsched::multinode::ClusterParams` uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopbackCal {
+    /// One-way small-message latency, ns (half the mean ping-pong RTT).
+    pub latency_ns: f64,
+    /// Sustained payload bandwidth, bytes/ns.
+    pub bandwidth_bytes_per_ns: f64,
+}
+
+/// Measure loopback latency (1-element ping-pong × `ping_rounds`) and
+/// bandwidth (`bulk_elems`-element echo × `bulk_rounds`) over a real socket
+/// pair — the calibration input for the multi-node projection.
+pub fn measure_loopback(
+    ping_rounds: usize,
+    bulk_elems: usize,
+    bulk_rounds: usize,
+) -> Result<LoopbackCal, ParcelError> {
+    let cfg = TcpConfig::default();
+    let (a, b) = loopback_pair(&cfg)?;
+    let echo = std::thread::spawn(move || -> Result<(), ParcelError> {
+        for _ in 0..ping_rounds + bulk_rounds {
+            let p = b.recv(Tag::Force)?;
+            b.send(Tag::Force, &p)?;
+        }
+        b.close()
+    });
+
+    let ping = [0.5f64];
+    let t0 = Instant::now();
+    for _ in 0..ping_rounds {
+        a.send(Tag::Force, &ping)?;
+        a.recv(Tag::Force)?;
+    }
+    let latency_ns = t0.elapsed().as_nanos() as f64 / (2.0 * ping_rounds as f64);
+
+    let bulk = vec![1.0f64; bulk_elems];
+    let t0 = Instant::now();
+    for _ in 0..bulk_rounds {
+        a.send(Tag::Force, &bulk)?;
+        a.recv(Tag::Force)?;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as f64;
+    let bytes = (bulk_elems * 8 * 2 * bulk_rounds) as f64;
+    a.close()?;
+    echo.join()
+        .map_err(|_| ParcelError::Io(std::io::ErrorKind::Other))??;
+
+    Ok(LoopbackCal {
+        latency_ns,
+        bandwidth_bytes_per_ns: bytes / elapsed_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lulesh_core::types::LuleshError;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig {
+            deadline: Duration::from_millis(1500),
+            connect_timeout: Duration::from_millis(3000),
+        }
+    }
+
+    /// `close` is a synchronous Bye exchange, so both endpoints of a link
+    /// must close concurrently (as two ranks would) — sequentially from one
+    /// thread it would deadlock until the recv deadline.
+    fn close_both(a: TcpTransport, b: TcpTransport) {
+        let t = std::thread::spawn(move || b.close());
+        a.close().unwrap();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn frame_roundtrip_over_loopback() {
+        let (a, b) = loopback_pair(&cfg()).unwrap();
+        let payload: Vec<Real> = (0..1000).map(|i| (i as Real).sin()).collect();
+        a.send(Tag::Force, &payload).unwrap();
+        assert_eq!(b.recv(Tag::Force).unwrap(), payload);
+        b.send(Tag::Gradient, &[]).unwrap();
+        assert_eq!(a.recv(Tag::Gradient).unwrap(), Vec::<Real>::new());
+        close_both(a, b);
+    }
+
+    #[test]
+    fn large_planes_do_not_deadlock_bidirectional_sends() {
+        // Both sides send ~4 MB before either receives: with blocking
+        // writes this wedges on socket buffers; the writer thread makes it
+        // a non-event.
+        let (a, b) = loopback_pair(&cfg()).unwrap();
+        let big: Vec<Real> = vec![1.25; 512 * 1024];
+        let big2 = big.clone();
+        let t = std::thread::spawn(move || {
+            b.send(Tag::Force, &big2).unwrap();
+            let got = b.recv(Tag::Force).unwrap();
+            (b, got)
+        });
+        a.send(Tag::Force, &big).unwrap();
+        let got_a = a.recv(Tag::Force).unwrap();
+        let (b, got_b) = t.join().unwrap();
+        assert_eq!(got_a, big);
+        assert_eq!(got_b, big);
+        close_both(a, b);
+    }
+
+    #[test]
+    fn recv_deadline_fires() {
+        let c = TcpConfig {
+            deadline: Duration::from_millis(80),
+            connect_timeout: Duration::from_millis(1000),
+        };
+        let (a, _b) = loopback_pair(&c).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(a.recv(Tag::Force), Err(ParcelError::Timeout { peer: 1 }));
+        assert!(t0.elapsed() >= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn dead_peer_is_peer_closed() {
+        let (a, b) = loopback_pair(&cfg()).unwrap();
+        drop(b); // simulated kill: the OS closes the socket
+        assert_eq!(a.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 1 }));
+    }
+
+    #[test]
+    fn tag_and_seq_are_verified() {
+        let (a, b) = loopback_pair(&cfg()).unwrap();
+        a.send(Tag::Force, &[1.0]).unwrap();
+        assert_eq!(
+            b.recv(Tag::Gradient),
+            Err(ParcelError::TagMismatch {
+                peer: 0,
+                expected: Tag::Gradient,
+                got: Tag::Force
+            })
+        );
+    }
+
+    #[test]
+    fn checksum_catches_corruption() {
+        // Hand-craft a frame with a wrong checksum.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut bytes = encode_frame(Tag::Force, 0, 1, &[1.0, 2.0]);
+            let n = bytes.len();
+            bytes[n - 1] ^= 0xff; // flip a payload bit, keep the header checksum
+            s.write_all(&bytes).unwrap();
+            s.flush().unwrap();
+            // Hold the socket open until the reader has judged the frame.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (accepted, _) = listener.accept().unwrap();
+        let a = TcpTransport::from_stream(accepted, 0, 1, &cfg()).unwrap();
+        assert_eq!(
+            a.recv(Tag::Force),
+            Err(ParcelError::ChecksumMismatch { peer: 1 })
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bootstrap_builds_a_three_rank_mesh() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let c = cfg();
+        let mut handles = vec![std::thread::spawn(move || root(listener, 3, &c))];
+        for r in 1..3 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || join(&addr, r, 3, &c)));
+        }
+        let nets: Vec<RankNet> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        assert!(nets[0].down.is_none() && nets[2].up.is_none());
+        assert_eq!(nets[0].up.as_ref().unwrap().peer(), 1);
+        assert_eq!(nets[1].down.as_ref().unwrap().peer(), 0);
+
+        // Exercise the mesh: a neighbour exchange plus a dt allreduce.
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                std::thread::spawn(move || {
+                    if let Some(up) = &net.up {
+                        up.send(Tag::Force, &[net.rank as Real]).unwrap();
+                    }
+                    if let Some(down) = &net.down {
+                        down.send(Tag::Force, &[net.rank as Real]).unwrap();
+                        let got = down.recv(Tag::Force).unwrap();
+                        assert_eq!(got, vec![(net.rank - 1) as Real]);
+                    }
+                    if let Some(up) = &net.up {
+                        let got = up.recv(Tag::Force).unwrap();
+                        assert_eq!(got, vec![(net.rank + 1) as Real]);
+                    }
+                    let (gc, gh, gerr) = net
+                        .allreduce_dt(net.rank as Real + 1.0, 10.0, None)
+                        .unwrap();
+                    assert_eq!(gc, 1.0);
+                    assert_eq!(gh, 10.0);
+                    assert_eq!(gerr, None);
+                    net.close().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn killed_rank_surfaces_on_every_survivor() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let c = TcpConfig {
+            deadline: Duration::from_millis(800),
+            connect_timeout: Duration::from_millis(3000),
+        };
+        let h0 = std::thread::spawn(move || root(listener, 3, &c));
+        let a1 = addr.clone();
+        let h1 = std::thread::spawn(move || join(&a1, 1, 3, &c));
+        let h2 = std::thread::spawn(move || join(&addr, 2, 3, &c));
+        let net0 = h0.join().unwrap().unwrap();
+        let net1 = h1.join().unwrap().unwrap();
+        let net2 = h2.join().unwrap().unwrap();
+
+        drop(net1); // rank 1 "dies": every socket closes
+        let t0 = Instant::now();
+        let r0 = net0.allreduce_dt(1.0, 1.0, None);
+        let r2 = net2.up.is_none() as usize; // rank 2 is topmost
+        assert_eq!(r2, 1);
+        let r2 = net2.down.as_ref().unwrap().recv(Tag::Force);
+        assert!(
+            matches!(
+                r0,
+                Err(ParcelError::PeerClosed { peer: 1 }) | Err(ParcelError::Timeout { peer: 1 })
+            ),
+            "{r0:?}"
+        );
+        assert!(
+            matches!(
+                r2,
+                Err(ParcelError::PeerClosed { peer: 1 }) | Err(ParcelError::Timeout { peer: 1 })
+            ),
+            "{r2:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(4), "bounded by deadline");
+    }
+
+    #[test]
+    fn loopback_calibration_is_sane() {
+        let cal = measure_loopback(40, 32 * 1024, 6).unwrap();
+        assert!(cal.latency_ns > 0.0 && cal.latency_ns < 5e7, "{cal:?}");
+        assert!(
+            cal.bandwidth_bytes_per_ns > 0.001,
+            "loopback slower than 1 MB/s? {cal:?}"
+        );
+    }
+
+    #[test]
+    fn dt_error_codes_cross_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let c = cfg();
+        let h0 = std::thread::spawn(move || root(listener, 2, &c));
+        let h1 = std::thread::spawn(move || join(&addr, 1, 2, &c));
+        let net0 = h0.join().unwrap().unwrap();
+        let net1 = h1.join().unwrap().unwrap();
+        let t = std::thread::spawn(move || {
+            let out = net1
+                .allreduce_dt(5.0, 5.0, Some(LuleshError::VolumeError))
+                .unwrap();
+            net1.close().unwrap();
+            out
+        });
+        let (gc, gh, gerr) = net0.allreduce_dt(2.0, 9.0, None).unwrap();
+        net0.close().unwrap();
+        assert_eq!((gc, gh, gerr), (2.0, 5.0, Some(LuleshError::VolumeError)));
+        assert_eq!(
+            t.join().unwrap(),
+            (2.0, 5.0, Some(LuleshError::VolumeError))
+        );
+    }
+}

@@ -43,6 +43,28 @@ impl Default for ClusterParams {
     }
 }
 
+impl ClusterParams {
+    /// Build from measured link parameters (e.g. the numbers
+    /// `parcelnet::tcp::measure_loopback` reports), keeping the default
+    /// overlap fraction. Inputs are clamped to sane positive floors so a
+    /// degenerate measurement cannot produce divide-by-zero projections.
+    pub fn calibrated(latency_ns: f64, bandwidth_bytes_per_ns: f64) -> Self {
+        Self {
+            latency_ns: latency_ns.max(1.0),
+            bandwidth_bytes_per_ns: bandwidth_bytes_per_ns.max(1e-3),
+            ..Self::default()
+        }
+    }
+
+    /// A loopback-socket preset: latency is in the tens of microseconds
+    /// and bandwidth is memcpy-bound — what a single-machine `--transport
+    /// tcp` run actually sees, useful for sanity-checking the projection
+    /// against measured multi-process runs.
+    pub fn loopback() -> Self {
+        Self::calibrated(20_000.0, 5.0)
+    }
+}
+
 /// One row of the strong-scaling projection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
@@ -224,6 +246,28 @@ mod tests {
             assert!(r.async_efficiency > 0.9, "{r:?}");
             assert!(r.async_efficiency >= r.sync_efficiency);
         }
+    }
+
+    #[test]
+    fn calibrated_params_clamp_degenerate_inputs() {
+        let c = ClusterParams::calibrated(25_000.0, 4.2);
+        assert_eq!(c.latency_ns, 25_000.0);
+        assert_eq!(c.bandwidth_bytes_per_ns, 4.2);
+        assert_eq!(c.async_overlap, ClusterParams::default().async_overlap);
+        let bad = ClusterParams::calibrated(0.0, 0.0);
+        assert!(bad.latency_ns > 0.0 && bad.bandwidth_bytes_per_ns > 0.0);
+        let rows = strong_scaling(45, 10e6, &ClusterParams::loopback(), &[1, 2, 4]);
+        assert!(rows
+            .iter()
+            .all(|r| r.sync_ns.is_finite() && r.sync_ns > 0.0));
+    }
+
+    #[test]
+    fn loopback_preset_is_slower_than_the_default_interconnect() {
+        let lo = ClusterParams::loopback();
+        let hi = ClusterParams::default();
+        assert!(lo.latency_ns > hi.latency_ns);
+        assert!(lo.bandwidth_bytes_per_ns < hi.bandwidth_bytes_per_ns);
     }
 
     #[test]

@@ -37,4 +37,14 @@ grep -q "autotune: converged" "$TMP/autotune.log" || {
   echo "auto-tuner did not converge:"; cat "$TMP/autotune.log"; exit 1;
 }
 
+echo "== TCP-loopback smoke run (2 ranks, s=6, 10 iterations) =="
+# The launcher re-spawns the binary once per rank over real loopback
+# sockets, waits for every worker, and re-binds the bootstrap port before
+# exiting 0 — a nonzero status means a worker failed or leaked a listener.
+./target/debug/lulesh-multidom --transport tcp --ranks 2 --s 6 --i 10 --q \
+  > "$TMP/tcp_smoke.csv"
+grep -q "^6,11,10,2," "$TMP/tcp_smoke.csv" || {
+  echo "TCP smoke run produced no report:"; cat "$TMP/tcp_smoke.csv"; exit 1;
+}
+
 echo "== all checks passed =="

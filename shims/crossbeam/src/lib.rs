@@ -177,6 +177,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     /// The sending half of a bounded channel.
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -239,6 +248,28 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 self.inner.not_empty.wait(&mut q);
+            }
+        }
+
+        /// Receive the next value, blocking at most `timeout` while the
+        /// channel is empty. Errors on timeout or when the channel is empty
+        /// and every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.inner.q.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                self.inner.not_empty.wait_for(&mut q, deadline - now);
             }
         }
     }

@@ -1,0 +1,117 @@
+//! Cross-transport equivalence: the transport moves bytes, never physics.
+//! For sizes {6, 12} × ranks {2, 3}, the lockstep reference world, the
+//! channel transport, and the TCP-loopback transport must produce
+//! **bit-identical** subdomains — including the duplicated interface node
+//! planes, which both sides combine in the same `lower + upper` order
+//! regardless of the wire underneath. The overlapped task driver is held
+//! to the same standard: comm/compute overlap changes scheduling only.
+
+use lulesh::core::validate::max_field_difference;
+use multidom::{threaded, Decomposition, FaultPlan, SimArgs, TransportKind, World};
+use std::time::Duration;
+
+const CYCLES: u64 = 10;
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn sim() -> SimArgs {
+    SimArgs::new(2, 1, 1, 0, CYCLES)
+}
+
+/// Run the threaded driver over `kind` and return the final subdomains.
+fn run_threaded(decomp: Decomposition, kind: TransportKind) -> Vec<lulesh::core::Domain> {
+    threaded::run_transport(decomp, kind, DEADLINE, sim(), None, FaultPlan::NONE)
+        .into_iter()
+        .enumerate()
+        .map(|(r, res)| {
+            let (d, st) = res.unwrap_or_else(|e| panic!("{kind:?} rank {r}: {e}"));
+            assert_eq!(st.cycle, CYCLES);
+            d
+        })
+        .collect()
+}
+
+/// Count bitwise mismatches on the duplicated interface node plane shared
+/// by two adjacent subdomains (both sides must compute identical values).
+fn interface_mismatches(lower: &lulesh::core::Domain, upper: &lulesh::core::Domain) -> usize {
+    let lt = multidom::exchange::top_node_plane(lower).start;
+    let pn = lower.shape().nodes_per_plane();
+    (0..pn)
+        .filter(|&i| {
+            lower.x(lt + i) != upper.x(i)
+                || lower.y(lt + i) != upper.y(i)
+                || lower.z(lt + i) != upper.z(i)
+                || lower.xd(lt + i) != upper.xd(i)
+                || lower.yd(lt + i) != upper.yd(i)
+                || lower.zd(lt + i) != upper.zd(i)
+        })
+        .count()
+}
+
+#[test]
+fn channel_and_tcp_match_lockstep_bitwise() {
+    for size in [6usize, 12] {
+        for ranks in [2usize, 3] {
+            let decomp = Decomposition::new(size, ranks);
+            let mut world = World::build(decomp, 2, 1, 1, 0);
+            world.run(CYCLES).unwrap();
+
+            for kind in [TransportKind::Channel, TransportKind::TcpLoopback] {
+                let domains = run_threaded(decomp, kind);
+                for (r, (a, b)) in world.domains.iter().zip(&domains).enumerate() {
+                    assert_eq!(
+                        max_field_difference(a, b),
+                        0.0,
+                        "size {size} ranks {ranks} {kind:?} rank {r}: \
+                         transport changed the physics"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicated_interface_nodes_agree_across_transports() {
+    // The interface node planes exist on BOTH neighbouring ranks; after a
+    // run they must hold the same bits on each side, whichever wire
+    // carried the halo traffic.
+    for kind in [TransportKind::Channel, TransportKind::TcpLoopback] {
+        let domains = run_threaded(Decomposition::new(12, 3), kind);
+        for (r, pair) in domains.windows(2).enumerate() {
+            assert_eq!(
+                interface_mismatches(&pair[0], &pair[1]),
+                0,
+                "{kind:?}: interface nodes diverged between ranks {r} and {}",
+                r + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_taskpar_matches_lockstep_over_both_transports() {
+    let decomp = Decomposition::new(12, 2);
+    let mut world = World::build(decomp, 2, 1, 1, 0);
+    world.run(CYCLES).unwrap();
+    for kind in [TransportKind::Channel, TransportKind::TcpLoopback] {
+        let results = multidom::taskpar::run_transport(
+            decomp,
+            kind,
+            DEADLINE,
+            2,
+            lulesh::task::PartitionPlan::fixed(32, 32),
+            true,
+            sim(),
+            FaultPlan::NONE,
+        );
+        for (r, (a, res)) in world.domains.iter().zip(results).enumerate() {
+            let (b, st) = res.unwrap_or_else(|e| panic!("{kind:?} rank {r}: {e}"));
+            assert_eq!(st.cycle, CYCLES);
+            assert_eq!(
+                max_field_difference(a, &b),
+                0.0,
+                "{kind:?} rank {r}: overlapped halo exchange changed the physics"
+            );
+        }
+    }
+}

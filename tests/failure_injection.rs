@@ -206,6 +206,123 @@ fn taskpar_multidom_aborts_cleanly_across_ranks() {
     assert_eq!(r.err(), Some(LuleshError::QStopError));
 }
 
+// ---------------------------------------------------------------------------
+// Multi-domain fault injection over real transports: a fault on ONE rank
+// must surface as the SAME typed error on EVERY rank, over both the channel
+// and the TCP-loopback transport, without deadlock (bounded by the recv
+// deadline). Sim errors ride the dt allreduce; a killed rank cascades a
+// typed `ParcelError` to every survivor.
+// ---------------------------------------------------------------------------
+
+use multidom::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind};
+use std::time::{Duration, Instant};
+
+const TRANSPORTS: [TransportKind; 2] = [TransportKind::Channel, TransportKind::TcpLoopback];
+const DEADLINE: Duration = Duration::from_secs(5);
+
+/// Run both multi-domain drivers over `kind` with `faults` and hand each
+/// driver's per-rank outcomes (as `Result<(), MdError>`) to `check`.
+fn for_both_drivers(
+    kind: TransportKind,
+    sim: SimArgs,
+    faults: FaultPlan,
+    check: impl Fn(&str, Vec<Result<(), MdError>>),
+) {
+    let decomp = Decomposition::new(6, 3);
+    let r = multidom::threaded::run_transport(decomp, kind, DEADLINE, sim, None, faults);
+    check("threaded", r.into_iter().map(|r| r.map(|_| ())).collect());
+    let r = multidom::taskpar::run_transport(
+        decomp,
+        kind,
+        DEADLINE,
+        2,
+        PartitionPlan::fixed(16, 16),
+        false,
+        sim,
+        faults,
+    );
+    check("taskpar", r.into_iter().map(|r| r.map(|_| ())).collect());
+}
+
+#[test]
+fn poisoned_rank_fails_every_rank_over_both_transports() {
+    for kind in TRANSPORTS {
+        for_both_drivers(
+            kind,
+            SimArgs::new(2, 1, 1, 0, 5),
+            FaultPlan {
+                poison_volume: Some(1),
+                die_at: None,
+            },
+            |driver, results| {
+                assert_eq!(results.len(), 3);
+                for (rank, r) in results.into_iter().enumerate() {
+                    assert!(
+                        matches!(r, Err(MdError::Sim(LuleshError::VolumeError))),
+                        "{driver}/{kind:?} rank {rank}: poisoned volume on rank 1 \
+                         must surface as VolumeError on every rank, got {r:?}"
+                    );
+                }
+            },
+        );
+    }
+}
+
+#[test]
+fn hair_trigger_qstop_fails_every_rank_over_both_transports() {
+    let sim = SimArgs {
+        params: lulesh::core::Params {
+            qstop: 1e-30,
+            ..Default::default()
+        },
+        ..SimArgs::new(2, 1, 1, 0, 50)
+    };
+    for kind in TRANSPORTS {
+        for_both_drivers(kind, sim, FaultPlan::NONE, |driver, results| {
+            for (rank, r) in results.into_iter().enumerate() {
+                assert!(
+                    matches!(r, Err(MdError::Sim(LuleshError::QStopError))),
+                    "{driver}/{kind:?} rank {rank}: expected QStopError, got {r:?}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn killed_rank_surfaces_typed_parcel_error_on_every_survivor() {
+    // Rank 1 (the middle rank, linked to both neighbours) abandons the
+    // protocol at cycle 3. Every survivor must come back with a typed
+    // `ParcelError` — not a hang, not a panic — within the recv deadline.
+    for kind in TRANSPORTS {
+        let t0 = Instant::now();
+        for_both_drivers(
+            kind,
+            SimArgs::new(2, 1, 1, 0, 50),
+            FaultPlan {
+                poison_volume: None,
+                die_at: Some((1, 3)),
+            },
+            |driver, results| {
+                for (rank, r) in results.into_iter().enumerate() {
+                    assert!(
+                        matches!(r, Err(MdError::Net(_))),
+                        "{driver}/{kind:?} rank {rank}: expected a typed ParcelError \
+                         after rank 1 died, got {r:?}"
+                    );
+                }
+            },
+        );
+        // Two drivers ran; each is bounded by a small number of deadline
+        // windows (the dt star can serialise one timeout per link).
+        assert!(
+            t0.elapsed() < 6 * DEADLINE,
+            "{kind:?}: survivors took {:?} — deadline did not bound the hang",
+            t0.elapsed()
+        );
+    }
+}
+
 #[test]
 fn taskpar_reduce_dt_propagates_errors() {
     // The task driver's reduce_dt hook must be called even on error (a rank
