@@ -1,0 +1,277 @@
+//! NUMA pinning experiment: pinned vs unpinned vs interleaved placement.
+//!
+//! Three configurations of the many-task runner on the same problem:
+//!
+//! * **unpinned** — OS scheduling, all domain pages first-touched by the
+//!   build thread (the pre-NUMA-PR behaviour).
+//! * **pinned** — workers pinned in node blocks, locality-aware stealing,
+//!   domain arrays re-placed so each node's partition block is node-local
+//!   ([`lulesh_task::first_touch_domain`]).
+//! * **interleaved** — workers pinned the same way but partitions placed
+//!   round-robin across nodes, so a fixed fraction of every node's
+//!   accesses is remote. The classic `numactl --interleave` baseline:
+//!   worse locality than first-touch, better worst-case balance than
+//!   build-thread placement.
+//!
+//! Also measures the local-vs-remote streaming ratio (the calibration
+//! input for [`MachineParams::with_numa`]) and prints the model's
+//! predicted unpinned slowdown next to the measured one, for the drift
+//! report. On a single-node host the placement rows degenerate to the
+//! same configuration; the table says so instead of inventing numbers.
+//!
+//! Usage: `pinning [--s N] [--i N] [--threads N]` (markdown to stdout,
+//! ready for EXPERIMENTS.md).
+
+use lulesh_core::{validate, Domain, Opts};
+use lulesh_task::{first_touch_domain, Features, PartitionPlan, TaskLulesh};
+use parutil::SharedVec;
+use simsched::MachineParams;
+use std::sync::Arc;
+use std::time::Instant;
+use taskrt::topology::{self, Topology};
+use taskrt::RuntimeConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", Opts::usage("pinning"));
+            std::process::exit(2);
+        }
+    };
+    let size = if opts.size == 30 { 20 } else { opts.size };
+    let cycles = opts.max_cycles.min(10_000);
+    let threads = opts.threads.max(2);
+
+    let topo = Topology::detect();
+    let nodes: Vec<usize> = topo.nodes.iter().map(|n| n.id).collect();
+    let plan = PartitionPlan::for_size_threads(size, threads);
+
+    println!("# NUMA pinning — {size}³ elements, {cycles} cycles, {threads} threads");
+    println!();
+    println!(
+        "Topology: {} node(s): {}",
+        topo.num_nodes(),
+        topo.nodes
+            .iter()
+            .map(|n| format!("node{} ({} cpus)", n.id, n.cpus.len()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Local-vs-remote streaming ratio: the model calibration input.
+    let ratio = stream_ratio(&topo);
+    match ratio {
+        Some(r) => println!("Remote/local streaming ratio: {r:.2}"),
+        None => println!("Remote/local streaming ratio: n/a (single node)"),
+    }
+    println!();
+
+    let build = || Domain::build(size, opts.num_reg, opts.balance, opts.cost, opts.seed);
+
+    // Unpinned baseline.
+    let (t_unpinned, e_unpinned, rs_unpinned) = {
+        let d = Arc::new(build());
+        run_config(TaskLulesh::new(threads), &d, plan, cycles)
+    };
+
+    // Pinned + block first-touch.
+    let (t_pinned, e_pinned, rs_pinned) = {
+        let mut d = build();
+        first_touch_domain(&mut d, &topo, &nodes, plan);
+        let runner = TaskLulesh::from_runtime_config(
+            RuntimeConfig::new(threads).pin(topo.clone(), nodes.clone()),
+            Features::default(),
+        );
+        run_config(runner, &Arc::new(d), plan, cycles)
+    };
+
+    // Pinned + interleaved placement.
+    let (t_inter, e_inter, rs_inter) = {
+        let mut d = build();
+        interleave_domain(&mut d, &topo, &nodes, plan);
+        let runner = TaskLulesh::from_runtime_config(
+            RuntimeConfig::new(threads).pin(topo.clone(), nodes.clone()),
+            Features::default(),
+        );
+        run_config(runner, &Arc::new(d), plan, cycles)
+    };
+
+    // The correctness gate: placement must never change the physics.
+    assert_eq!(
+        e_unpinned.to_bits(),
+        e_pinned.to_bits(),
+        "pinned run diverged from unpinned"
+    );
+    assert_eq!(
+        e_unpinned.to_bits(),
+        e_inter.to_bits(),
+        "interleaved run diverged from unpinned"
+    );
+
+    let speedup = |t: f64| t_unpinned / t;
+    println!("| config | time (s) | speedup vs unpinned | remote steals |");
+    println!("|---|---|---|---|");
+    println!("| unpinned | {t_unpinned:.3} | 1.00x | {rs_unpinned} |");
+    println!(
+        "| pinned + first-touch | {t_pinned:.3} | {:.2}x | {rs_pinned} |",
+        speedup(t_pinned)
+    );
+    println!(
+        "| pinned + interleaved | {t_inter:.3} | {:.2}x | {rs_inter} |",
+        speedup(t_inter)
+    );
+    println!();
+    println!("Final origin energy identical across all configs: {e_unpinned:e}");
+
+    if topo.num_nodes() < 2 {
+        println!();
+        println!(
+            "Single NUMA node: all three configurations share one memory \
+             domain, so the rows differ only by scheduling noise and \
+             remote-steal counts are structurally zero."
+        );
+    }
+
+    // Model prediction from the measured ratio, for the drift report.
+    if let Some(r) = ratio {
+        let m = MachineParams::epyc_7443p(threads).with_numa(topo.num_nodes(), r);
+        // LULESH kernels average a moderate memory weight; 0.5 matches the
+        // cost model's merged-kernel stages.
+        let predicted = m.remote_penalty(0.5, m.unpinned_remote_fraction());
+        println!();
+        println!(
+            "Model: remote_penalty(mem_weight 0.5, unpinned fraction {:.2}) \
+             predicts unpinned {predicted:.2}x slower; measured {:.2}x.",
+            m.unpinned_remote_fraction(),
+            t_unpinned / t_pinned
+        );
+    }
+}
+
+/// Run one configuration; returns (seconds, final origin energy, remote
+/// steals).
+fn run_config(
+    runner: TaskLulesh,
+    d: &Arc<Domain>,
+    plan: PartitionPlan,
+    cycles: u64,
+) -> (f64, f64, u64) {
+    runner.reset_counters();
+    let t0 = Instant::now();
+    runner.run(d, plan, cycles).expect("stable run");
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        secs,
+        validate::final_origin_energy(d),
+        runner.runtime_stats().remote_steals,
+    )
+}
+
+/// Place the domain's arrays *interleaved*: partition `p` goes to node
+/// `p % nodes` (per-node pinned copy threads, same mechanism as
+/// [`first_touch_domain`] but round-robin instead of blocks). Built from
+/// the same public pieces so the bench cannot drift from the library.
+fn interleave_domain(d: &mut Domain, topo: &Topology, nodes: &[usize], plan: PartitionPlan) {
+    let node_cpus: Vec<Vec<usize>> = nodes
+        .iter()
+        .filter_map(|&id| topo.nodes.iter().find(|n| n.id == id))
+        .map(|n| n.cpus.clone())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if node_cpus.len() < 2 {
+        return;
+    }
+    let np = plan.nodal.max(1);
+    let ep = plan.elements.max(1);
+    macro_rules! touch {
+        ($($field:ident: $part:expr),* $(,)?) => {
+            $(interleave_vec(&mut d.$field, $part, &node_cpus);)*
+        };
+    }
+    touch!(
+        m_x: np, m_y: np, m_z: np,
+        m_xd: np, m_yd: np, m_zd: np,
+        m_xdd: np, m_ydd: np, m_zdd: np,
+        m_fx: np, m_fy: np, m_fz: np,
+        m_nodal_mass: np,
+        m_e: ep, m_p: ep, m_q: ep, m_ql: ep, m_qq: ep,
+        m_v: ep, m_volo: ep, m_delv: ep, m_vdov: ep,
+        m_arealg: ep, m_ss: ep, m_elem_mass: ep, m_vnew: ep,
+        m_dxx: ep, m_dyy: ep, m_dzz: ep,
+        m_delv_xi: ep, m_delv_eta: ep, m_delv_zeta: ep,
+        m_delx_xi: ep, m_delx_eta: ep, m_delx_zeta: ep,
+    );
+}
+
+fn interleave_vec(v: &mut SharedVec<f64>, part: usize, node_cpus: &[Vec<usize>]) {
+    let n = v.len();
+    if n == 0 {
+        return;
+    }
+    let mut old = std::mem::replace(v, SharedVec::zeroed(n));
+    let src: &[f64] = old.as_mut_slice();
+    let dst: &SharedVec<f64> = v;
+    let k = n.div_ceil(part);
+    let m = node_cpus.len();
+    std::thread::scope(|s| {
+        for (j, cpus) in node_cpus.iter().enumerate() {
+            s.spawn(move || {
+                let _ = topology::pin_current_thread(cpus);
+                for p in (j..k).step_by(m) {
+                    let lo = p * part;
+                    let hi = ((p + 1) * part).min(n);
+                    // SAFETY: partitions are disjoint; each is copied by
+                    // exactly one thread and nothing else holds `dst` yet.
+                    unsafe { dst.slice_mut(lo, hi) }.copy_from_slice(&src[lo..hi]);
+                }
+            });
+        }
+    });
+}
+
+/// Remote/local streaming-time ratio measured with a ~64 MiB buffer
+/// first-touched on the first node, summed from a thread pinned to the
+/// first node (local) and to the second (remote). `None` on single-node
+/// hosts.
+fn stream_ratio(topo: &Topology) -> Option<f64> {
+    if topo.num_nodes() < 2 {
+        return None;
+    }
+    let local_cpus = topo.nodes[0].cpus.clone();
+    let remote_cpus = topo.nodes[1].cpus.clone();
+    const N: usize = 8 << 20; // 8 Mi f64 = 64 MiB, past any LLC
+    let buf: Vec<f64> = std::thread::scope(|s| {
+        let cpus = local_cpus.clone();
+        s.spawn(move || {
+            let _ = topology::pin_current_thread(&cpus);
+            // Written (first-touched) here, on the local node.
+            vec![1.0f64; N]
+        })
+        .join()
+        .expect("first-touch thread")
+    });
+    let time_from = |cpus: Vec<usize>, buf: &[f64]| -> f64 {
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _ = topology::pin_current_thread(&cpus);
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t0 = Instant::now();
+                    let sum: f64 = buf.iter().sum();
+                    let dt = t0.elapsed().as_secs_f64();
+                    assert!(sum > 0.0);
+                    best = best.min(dt);
+                }
+                best
+            })
+            .join()
+            .expect("streaming thread")
+        })
+    };
+    let local = time_from(local_cpus, &buf);
+    let remote = time_from(remote_cpus, &buf);
+    Some((remote / local).max(1.0))
+}

@@ -83,6 +83,33 @@ impl EosScratch {
             v.resize(len, 0.0);
         }
     }
+
+    /// Restore the exact state of a fresh [`new(len)`](Self::new): every
+    /// array `len` zeros. Lets a pooled scratch be reused across tasks
+    /// with bit-identical results to per-task allocation, without
+    /// releasing its capacity (no allocation once warmed up).
+    pub fn reset(&mut self, len: usize) {
+        for v in [
+            &mut self.e_old,
+            &mut self.delvc,
+            &mut self.p_old,
+            &mut self.q_old,
+            &mut self.qq_old,
+            &mut self.ql_old,
+            &mut self.compression,
+            &mut self.comp_half_step,
+            &mut self.work,
+            &mut self.p_new,
+            &mut self.e_new,
+            &mut self.q_new,
+            &mut self.bvc,
+            &mut self.pbvc,
+            &mut self.p_half_step,
+        ] {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+    }
 }
 
 /// Clamp the new relative volumes into `[eosvmin, eosvmax]` into the

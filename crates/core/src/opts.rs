@@ -64,6 +64,66 @@ impl std::str::FromStr for TransportMode {
     }
 }
 
+/// NUMA worker-pinning policy, `--pin`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PinMode {
+    /// No pinning; the OS schedules workers freely. The default.
+    #[default]
+    None,
+    /// Pin across every NUMA node of the machine (`--pin all`).
+    All,
+    /// Pin onto the listed nodes (`--pin node0,node1,…`). Ids are
+    /// syntax-checked here and validated against the live topology by the
+    /// driver (unknown ids degrade to a warning there, not a parse error —
+    /// the same command line must work across differently-sized hosts).
+    Nodes(Vec<usize>),
+}
+
+impl PinMode {
+    /// The requested node ids: empty slice means "all nodes" for both
+    /// [`PinMode::All`] and (vacuously) [`PinMode::None`].
+    pub fn requested_nodes(&self) -> &[usize] {
+        match self {
+            PinMode::Nodes(ids) => ids,
+            _ => &[],
+        }
+    }
+
+    /// Whether pinning was requested at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, PinMode::None)
+    }
+}
+
+impl std::str::FromStr for PinMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(Self::None),
+            "all" => Ok(Self::All),
+            _ => {
+                let mut ids = Vec::new();
+                for part in s.split(',') {
+                    let id = part
+                        .strip_prefix("node")
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .ok_or_else(|| {
+                            format!("bad pin spec '{part}': expected all|none|node0,node1,…")
+                        })?;
+                    if !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+                if ids.is_empty() {
+                    return Err("empty pin spec".into());
+                }
+                Ok(Self::Nodes(ids))
+            }
+        }
+    }
+}
+
 /// Parsed options with the reference defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Opts {
@@ -96,6 +156,8 @@ pub struct Opts {
     /// Per-receive deadline for the network transports in milliseconds,
     /// `--recv-deadline-ms`. Default 10 000.
     pub recv_deadline_ms: u64,
+    /// NUMA worker pinning, `--pin all|none|node0,node1,…`. Default none.
+    pub pin: PinMode,
 }
 
 impl Default for Opts {
@@ -114,6 +176,7 @@ impl Default for Opts {
             partition: PartitionMode::Table,
             transport: TransportMode::Channel,
             recv_deadline_ms: 10_000,
+            pin: PinMode::None,
         }
     }
 }
@@ -177,6 +240,7 @@ impl Opts {
                 "partition" => opts.partition = parse_val(flag, inline, &mut it)?,
                 "transport" => opts.transport = parse_val(flag, inline, &mut it)?,
                 "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
+                "pin" => opts.pin = parse_val(flag, inline, &mut it)?,
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -209,15 +273,18 @@ impl Opts {
              [--b BALANCE] [--c COST] [--threads N] [--q] \
              [--trace FILE.json] [--metrics FILE.csv|.json] \
              [--partition auto|fixed:N|table] \
-             [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS]\n\
+             [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
+             [--pin all|none|node0,node1,…]\n\
              Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
-             --partition table --transport channel --recv-deadline-ms 10000, \
-             run to stoptime.\n\
+             --partition table --transport channel --recv-deadline-ms 10000 \
+             --pin none, run to stoptime.\n\
              --trace writes a Chrome-trace timeline (load in Perfetto); \
              --metrics writes a per-phase metrics snapshot; \
              --partition auto tunes partition sizes online (task driver); \
              --transport tcp exchanges halos over loopback sockets \
-             (multi-domain drivers)."
+             (multi-domain drivers); \
+             --pin pins workers to NUMA nodes with locality-aware stealing \
+             (degrades to a warning on single-node hosts)."
         )
     }
 }
@@ -303,6 +370,35 @@ mod tests {
         assert!(Opts::parse(["--transport", "udp"]).is_err());
         assert!(Opts::parse(["--transport", "tcp:"]).is_err());
         assert!(Opts::parse(["--recv-deadline-ms", "0"]).is_err());
+    }
+
+    #[test]
+    fn pin_modes() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.pin, PinMode::None);
+        assert!(!o.pin.enabled());
+        let o = Opts::parse(["--pin", "node0"]).unwrap();
+        assert_eq!(o.pin, PinMode::Nodes(vec![0]));
+        assert_eq!(o.pin.requested_nodes(), &[0]);
+        let o = Opts::parse(["--pin=node0,node1"]).unwrap();
+        assert_eq!(o.pin, PinMode::Nodes(vec![0, 1]));
+        let o = Opts::parse(["--pin", "all"]).unwrap();
+        assert_eq!(o.pin, PinMode::All);
+        assert!(o.pin.enabled());
+        assert!(o.pin.requested_nodes().is_empty());
+        let o = Opts::parse(["--pin", "none"]).unwrap();
+        assert_eq!(o.pin, PinMode::None);
+        // Duplicates collapse; order is preserved.
+        let o = Opts::parse(["--pin", "node1,node0,node1"]).unwrap();
+        assert_eq!(o.pin, PinMode::Nodes(vec![1, 0]));
+        // Unknown/malformed node ids are rejected at parse time.
+        assert!(Opts::parse(["--pin", "node"]).is_err());
+        assert!(Opts::parse(["--pin", "nodeX"]).is_err());
+        assert!(Opts::parse(["--pin", "0"]).is_err());
+        assert!(Opts::parse(["--pin", "sock1"]).is_err());
+        assert!(Opts::parse(["--pin", "node0,,node1"]).is_err());
+        assert!(Opts::parse(["--pin", ""]).is_err());
+        assert!(Opts::parse(["--pin"]).is_err());
     }
 
     #[test]

@@ -48,11 +48,12 @@ use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{LuleshError, Real};
 use obs::{SpanKind, Tracer};
 use parking_lot::Mutex;
-use parutil::{chunks_of, Chunk, SharedVec};
+use parutil::{chunks_of, CachePadded, Chunk, SharedVec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use taskrt::{Future, PhaseStat, Runtime};
+use taskrt::topology::{self, Topology};
+use taskrt::{Future, NodeStealStat, PhaseStat, Runtime, RuntimeConfig};
 
 /// How the driver picks partition sizes for a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +70,90 @@ fn phase_totals(stats: &[PhaseStat]) -> (u64, u64) {
     stats
         .iter()
         .fold((0, 0), |(b, t), p| (b + p.busy_ns, t + p.tasks))
+}
+
+/// Re-place the domain's floating-point arrays for NUMA first-touch.
+///
+/// [`Domain::build`] initializes every array on the build thread, so all
+/// pages land on that thread's node. This pass re-allocates each array
+/// with [`SharedVec::zeroed`] (untouched zero pages) and copies the data
+/// back in from one pinned OS thread per requested node, each writing the
+/// contiguous block of `plan`-sized partitions its node's workers will
+/// predominantly compute (node `j` of `m` gets partition block
+/// `[j·k/m, (j+1)·k/m)` — the same block split [`Topology::assign_workers`]
+/// uses for worker placement). Work stealing means the worker→partition
+/// mapping is not exact, so this is a placement *hint*: values are copied
+/// bit-for-bit and results are unchanged whether or not it runs.
+///
+/// No-op when fewer than two of `nodes` exist in `topo` (one memory
+/// domain: placement is moot).
+pub fn first_touch_domain(d: &mut Domain, topo: &Topology, nodes: &[usize], plan: PartitionPlan) {
+    let node_cpus: Vec<Vec<usize>> = nodes
+        .iter()
+        .filter_map(|&id| topo.nodes.iter().find(|n| n.id == id))
+        .map(|n| n.cpus.clone())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if node_cpus.len() < 2 {
+        return;
+    }
+    let np = plan.nodal.max(1);
+    let ep = plan.elements.max(1);
+    macro_rules! touch {
+        ($($field:ident: $part:expr),* $(,)?) => {
+            $(first_touch_vec(&mut d.$field, $part, &node_cpus);)*
+        };
+    }
+    touch!(
+        // Nodal arrays: partitioned by `plan.nodal` in LagrangeNodal.
+        m_x: np, m_y: np, m_z: np,
+        m_xd: np, m_yd: np, m_zd: np,
+        m_xdd: np, m_ydd: np, m_zdd: np,
+        m_fx: np, m_fy: np, m_fz: np,
+        m_nodal_mass: np,
+        // Element arrays: partitioned by `plan.elements` in LagrangeElements.
+        m_e: ep, m_p: ep, m_q: ep, m_ql: ep, m_qq: ep,
+        m_v: ep, m_volo: ep, m_delv: ep, m_vdov: ep,
+        m_arealg: ep, m_ss: ep, m_elem_mass: ep, m_vnew: ep,
+        m_dxx: ep, m_dyy: ep, m_dzz: ep,
+        // Gradient arrays (empty in single-domain runs, element-length plus
+        // comm planes otherwise): element partitioning is the closest fit.
+        m_delv_xi: ep, m_delv_eta: ep, m_delv_zeta: ep,
+        m_delx_xi: ep, m_delx_eta: ep, m_delx_zeta: ep,
+    );
+}
+
+/// One array of [`first_touch_domain`]: move the data aside, re-allocate
+/// untouched zero pages, and copy each node's partition block back in from
+/// a thread pinned to that node.
+fn first_touch_vec(v: &mut SharedVec<Real>, part: usize, node_cpus: &[Vec<usize>]) {
+    let n = v.len();
+    if n == 0 {
+        return;
+    }
+    let mut old = std::mem::replace(v, SharedVec::zeroed(n));
+    let src: &[Real] = old.as_mut_slice();
+    let dst: &SharedVec<Real> = v;
+    let k = n.div_ceil(part);
+    let m = node_cpus.len();
+    std::thread::scope(|s| {
+        for (j, cpus) in node_cpus.iter().enumerate() {
+            let lo = (j * k / m * part).min(n);
+            let hi = ((j + 1) * k / m * part).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let seg = &src[lo..hi];
+            s.spawn(move || {
+                // Best-effort: an unpinnable thread still copies correctly,
+                // it just places the pages wherever it lands.
+                let _ = topology::pin_current_thread(cpus);
+                // SAFETY: node blocks are disjoint and nothing else holds
+                // the freshly allocated `dst` yet.
+                unsafe { dst.slice_mut(lo, hi) }.copy_from_slice(seg);
+            });
+        }
+    });
 }
 
 /// A communication step injected into the iteration graph (multi-domain
@@ -152,6 +237,37 @@ impl Features {
     }
 }
 
+/// Per-worker reusable kernel temporaries (trick T6 plus NUMA-friendly
+/// reuse): the merged stress/hourglass bodies and the EOS tasks used to
+/// allocate fresh `Vec`s per task, which kept data task-local but paid an
+/// allocator round-trip per task *and* let pages migrate with the
+/// allocator's whims. Each worker now owns one warm scratch slot — still
+/// local to the executing thread (and, pinned, to its NUMA node), but
+/// allocation-free once the capacities have grown to steady state. Buffers
+/// are reset to the exact state a fresh `vec![0.0; len]` would have, so
+/// results stay bit-identical.
+#[derive(Default)]
+struct KernelScratch {
+    sigxx: Vec<Real>,
+    sigyy: Vec<Real>,
+    sigzz: Vec<Real>,
+    determ: Vec<Real>,
+    dvdx: Vec<Real>,
+    dvdy: Vec<Real>,
+    dvdz: Vec<Real>,
+    x8n: Vec<Real>,
+    y8n: Vec<Real>,
+    z8n: Vec<Real>,
+    eos: eos::EosScratch,
+}
+
+/// `buf` := `len` zeros, reusing capacity (equivalent to `vec![0.0; len]`
+/// without the allocation once warmed up).
+fn reset_buf(buf: &mut Vec<Real>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
 /// Mesh-length scratch shared between tasks. The per-corner force arrays
 /// cross the element→node gather boundary and are inherently global; the
 /// remaining arrays are used only when `merge_kernels` is off (the merged
@@ -179,6 +295,11 @@ struct TaskScratch {
     qstop_error: AtomicBool,
     /// (dtcourant, dthydro) running minima for the current iteration.
     dt_mins: Mutex<(Real, Real)>,
+    /// Per-worker kernel scratch slots (`threads + 1`: one per worker plus
+    /// one for off-worker callers). A worker runs one task at a time, so
+    /// its slot's mutex is uncontended — it exists only to keep the API
+    /// safe.
+    pool: Vec<CachePadded<Mutex<KernelScratch>>>,
 }
 
 impl TaskScratch {
@@ -186,10 +307,16 @@ impl TaskScratch {
     /// reference-style global temporaries; merged tasks keep those
     /// task-local (trick T6), so the default path skips ~80 bytes/element
     /// of dead allocation.
-    fn new(num_elem: usize, merged: bool) -> Self {
-        let e = |n| SharedVec::from_elem(0.0f64, n);
+    fn new(num_elem: usize, merged: bool, workers: usize) -> Self {
+        // `zeroed`, not `from_elem`: leaves the pages untouched so the
+        // first task to write a partition faults its pages on the node
+        // running it (NUMA first-touch).
+        let e = |n| SharedVec::<Real>::zeroed(n);
         let g = |n| if merged { e(0) } else { e(n) };
         Self {
+            pool: (0..workers + 1)
+                .map(|_| CachePadded(Mutex::new(KernelScratch::default())))
+                .collect(),
             fx_elem: e(8 * num_elem),
             fy_elem: e(8 * num_elem),
             fz_elem: e(8 * num_elem),
@@ -217,6 +344,14 @@ impl TaskScratch {
         self.volume_error.store(false, Ordering::Relaxed);
         self.qstop_error.store(false, Ordering::Relaxed);
         *self.dt_mins.lock() = (1.0e20, 1.0e20);
+    }
+
+    /// The calling thread's kernel scratch slot: workers use their own
+    /// slot, anything else shares the last one.
+    fn kernel_scratch(&self) -> parking_lot::MutexGuard<'_, KernelScratch> {
+        let last = self.pool.len() - 1;
+        let i = taskrt::worker_index().unwrap_or(last).min(last);
+        self.pool[i].0.lock()
     }
 }
 
@@ -300,9 +435,43 @@ impl TaskLulesh {
         }
     }
 
+    /// Runner built from an explicit [`RuntimeConfig`] — the full-control
+    /// constructor used by the binaries to combine tracing with NUMA
+    /// pinning (`--pin`).
+    pub fn from_runtime_config(config: RuntimeConfig, features: Features) -> Self {
+        Self {
+            rt: config.build(),
+            features,
+            stats: Default::default(),
+            auto_report: Default::default(),
+        }
+    }
+
     /// The attached tracer, if tracing is enabled.
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.rt.tracer()
+    }
+
+    /// Node id each worker is assigned to (all zeros when unpinned).
+    pub fn worker_nodes(&self) -> &[usize] {
+        self.rt.worker_nodes()
+    }
+
+    /// Whether the workers were pinned to CPUs at startup.
+    pub fn is_pinned(&self) -> bool {
+        self.rt.is_pinned()
+    }
+
+    /// Number of workers whose `sched_setaffinity` call failed (pinning
+    /// is best-effort; failures degrade to unpinned workers).
+    pub fn pin_failures(&self) -> usize {
+        self.rt.pin_failures()
+    }
+
+    /// Per-NUMA-node steal counters (local + remote) since the last
+    /// counter reset.
+    pub fn node_steal_stats(&self) -> Vec<NodeStealStat> {
+        self.rt.node_steal_stats()
     }
 
     /// Worker thread count.
@@ -431,7 +600,11 @@ impl TaskLulesh {
         let mut win_base = phase_totals(&self.rt.phase_stats());
 
         let mut state = SimState::new(d.initial_dt());
-        let scratch = Arc::new(TaskScratch::new(d.num_elem(), self.features.merge_kernels));
+        let scratch = Arc::new(TaskScratch::new(
+            d.num_elem(),
+            self.features.merge_kernels,
+            self.rt.threads(),
+        ));
         while state.time < d.params.stoptime && state.cycle < max_cycles {
             time_increment(&mut state, &d.params);
             scratch.reset_iteration();
@@ -837,13 +1010,16 @@ impl TaskLulesh {
                     // b4) and is read-only during EOS.
                     let vnewc = unsafe { ss.vnewc.as_slice() };
                     let elems = &dd.regions.reg_elem_list[r][c.begin..c.end];
-                    // Task-local EOS temporaries, allocated per task on
-                    // purpose: this is the paper's locality trick T6 ("we
-                    // allocate task-local temporary arrays ... to improve
-                    // data locality") — a shared cache would reintroduce
-                    // the global-array traffic the trick removes.
-                    let mut scratch = eos::EosScratch::new(elems.len());
-                    eos::eval_eos_for_elems(&dd, vnewc, elems, rep, &dd.params, &mut scratch);
+                    // Thread-local EOS temporaries: the paper's locality
+                    // trick T6 keeps these out of the global arrays; the
+                    // per-worker pool keeps T6's locality (the scratch
+                    // lives on the executing worker — and, pinned, on its
+                    // NUMA node) while dropping the per-task allocation.
+                    // `reset` restores the exact `EosScratch::new` state,
+                    // so results are bit-identical.
+                    let mut ks = ss.kernel_scratch();
+                    ks.eos.reset(elems.len());
+                    eos::eval_eos_for_elems(&dd, vnewc, elems, rep, &dd.params, &mut ks.eos);
                 }) as Stage]);
             }
             region_groups.push(("eos", g));
@@ -931,11 +1107,15 @@ fn stress_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool)
         let sc = Arc::clone(sc);
         vec![Box::new(move || {
             let len = c.len();
-            let mut sigxx = vec![0.0; len];
-            let mut sigyy = vec![0.0; len];
-            let mut sigzz = vec![0.0; len];
-            let mut determ = vec![0.0; len];
-            stress::init_stress_terms_for_elems(&d, &mut sigxx, &mut sigyy, &mut sigzz, c);
+            // Worker-local warm scratch instead of per-task `vec!`s: same
+            // zeroed state, no allocation at steady state.
+            let mut ks = sc.kernel_scratch();
+            let ks = &mut *ks;
+            reset_buf(&mut ks.sigxx, len);
+            reset_buf(&mut ks.sigyy, len);
+            reset_buf(&mut ks.sigzz, len);
+            reset_buf(&mut ks.determ, len);
+            stress::init_stress_terms_for_elems(&d, &mut ks.sigxx, &mut ks.sigyy, &mut ks.sigzz, c);
             // SAFETY: per-corner slots of this chunk belong to this task.
             let (fx, fy, fz) = unsafe {
                 (
@@ -946,16 +1126,16 @@ fn stress_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool)
             };
             stress::integrate_stress_for_elems(
                 &d,
-                &sigxx,
-                &sigyy,
-                &sigzz,
-                &mut determ,
+                &ks.sigxx,
+                &ks.sigyy,
+                &ks.sigzz,
+                &mut ks.determ,
                 fx,
                 fy,
                 fz,
                 c,
             );
-            if stress::check_volume_error(&determ).is_err() {
+            if stress::check_volume_error(&ks.determ).is_err() {
                 sc.volume_error.store(true, Ordering::Relaxed);
             }
         })]
@@ -979,22 +1159,24 @@ fn stress_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bool)
             Box::new(move || {
                 // SAFETY: chunk-disjoint; sig* of this chunk written by the
                 // previous stage of this same item.
+                let mut ks = s2.kernel_scratch();
+                let ks = &mut *ks;
+                reset_buf(&mut ks.determ, c.len());
                 unsafe {
-                    let mut determ = vec![0.0; c.len()];
                     stress::integrate_stress_for_elems(
                         &d2,
                         s2.sigxx.slice(c.begin, c.end),
                         s2.sigyy.slice(c.begin, c.end),
                         s2.sigzz.slice(c.begin, c.end),
-                        &mut determ,
+                        &mut ks.determ,
                         s2.fx_elem.slice_mut(8 * c.begin, 8 * c.end),
                         s2.fy_elem.slice_mut(8 * c.begin, 8 * c.end),
                         s2.fz_elem.slice_mut(8 * c.begin, 8 * c.end),
                         c,
                     );
-                    if stress::check_volume_error(&determ).is_err() {
-                        s2.volume_error.store(true, Ordering::Relaxed);
-                    }
+                }
+                if stress::check_volume_error(&ks.determ).is_err() {
+                    s2.volume_error.store(true, Ordering::Relaxed);
                 }
             }),
         ]
@@ -1007,22 +1189,26 @@ fn hourglass_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bo
         let sc = Arc::clone(sc);
         vec![Box::new(move || {
             let len = c.len();
-            let mut dvdx = vec![0.0; 8 * len];
-            let mut dvdy = vec![0.0; 8 * len];
-            let mut dvdz = vec![0.0; 8 * len];
-            let mut x8n = vec![0.0; 8 * len];
-            let mut y8n = vec![0.0; 8 * len];
-            let mut z8n = vec![0.0; 8 * len];
-            let mut determ = vec![0.0; len];
+            // Worker-local warm scratch instead of per-task `vec!`s: same
+            // zeroed state, no allocation at steady state.
+            let mut ks = sc.kernel_scratch();
+            let ks = &mut *ks;
+            reset_buf(&mut ks.dvdx, 8 * len);
+            reset_buf(&mut ks.dvdy, 8 * len);
+            reset_buf(&mut ks.dvdz, 8 * len);
+            reset_buf(&mut ks.x8n, 8 * len);
+            reset_buf(&mut ks.y8n, 8 * len);
+            reset_buf(&mut ks.z8n, 8 * len);
+            reset_buf(&mut ks.determ, len);
             if hourglass::calc_hourglass_control_for_elems(
                 &d,
-                &mut dvdx,
-                &mut dvdy,
-                &mut dvdz,
-                &mut x8n,
-                &mut y8n,
-                &mut z8n,
-                &mut determ,
+                &mut ks.dvdx,
+                &mut ks.dvdy,
+                &mut ks.dvdz,
+                &mut ks.x8n,
+                &mut ks.y8n,
+                &mut ks.z8n,
+                &mut ks.determ,
                 c,
             )
             .is_err()
@@ -1041,13 +1227,13 @@ fn hourglass_stages(d: &Arc<Domain>, sc: &Arc<TaskScratch>, c: Chunk, merged: bo
                 };
                 hourglass::calc_fb_hourglass_force_for_elems(
                     &d,
-                    &determ,
-                    &x8n,
-                    &y8n,
-                    &z8n,
-                    &dvdx,
-                    &dvdy,
-                    &dvdz,
+                    &ks.determ,
+                    &ks.x8n,
+                    &ks.y8n,
+                    &ks.z8n,
+                    &ks.dvdx,
+                    &ks.dvdy,
+                    &ks.dvdz,
                     d.params.hgcoef,
                     fx,
                     fy,

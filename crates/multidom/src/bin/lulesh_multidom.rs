@@ -16,7 +16,6 @@
 use lulesh_core::{Opts, RunReport, TransportMode};
 use multidom::{threaded, Decomposition, FaultPlan, MdError, SimArgs};
 use obs::Tracer;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pull `--flag N` / `--flag=N` out of `args` before the shared parser
@@ -82,6 +81,27 @@ fn main() {
     }
 }
 
+/// Resolve `--pin` against the live topology: the node list each rank
+/// round-robins over, empty when pinning is off. Unknown node ids and
+/// single-node hosts degrade to warnings, mirroring `lulesh-task`.
+fn resolve_pin(opts: &Opts) -> Vec<usize> {
+    if !opts.pin.enabled() {
+        return Vec::new();
+    }
+    let topo = taskrt::topology::Topology::detect();
+    let res = topo.resolve_nodes(opts.pin.requested_nodes());
+    for id in &res.unknown {
+        eprintln!("pinning: node{id} not present on this host, ignoring");
+    }
+    if res.nodes.is_empty() || topo.num_nodes() < 2 {
+        eprintln!(
+            "pinning: single NUMA node on this host; ranks get CPU affinity \
+             but placement is moot"
+        );
+    }
+    res.nodes
+}
+
 /// The classic single-process run: every rank is a thread, halos go over
 /// in-memory channels.
 fn run_in_process(opts: &Opts, ranks: usize) {
@@ -89,25 +109,14 @@ fn run_in_process(opts: &Opts, ranks: usize) {
     // One tracer lane per rank; rank 0's lane also carries iteration spans.
     let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
     let t0 = Instant::now();
-    let result = match &tracer {
-        Some(t) => threaded::run_traced(
-            decomp,
-            opts.num_reg,
-            opts.balance,
-            opts.cost,
-            opts.seed,
-            opts.max_cycles,
-            Arc::clone(t),
-        ),
-        None => threaded::run(
-            decomp,
-            opts.num_reg,
-            opts.balance,
-            opts.cost,
-            opts.seed,
-            opts.max_cycles,
-        ),
-    };
+    let sim = SimArgs::new(
+        opts.num_reg,
+        opts.balance,
+        opts.cost,
+        opts.seed,
+        opts.max_cycles,
+    );
+    let result = threaded::run_pinned(decomp, sim, tracer.clone(), resolve_pin(opts));
     let (domains, state) = match result {
         Ok(r) => r,
         Err(e) => {
@@ -227,6 +236,16 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
             std::process::exit(1);
         }
     };
+    // A TCP worker is one rank in its own process: pin the whole process
+    // (this thread) onto its round-robin node before building the domain.
+    let pin_nodes = resolve_pin(opts);
+    if !pin_nodes.is_empty() {
+        let topo = taskrt::topology::Topology::detect();
+        let node = pin_nodes[rank % pin_nodes.len()];
+        if let Some(n) = topo.nodes.iter().find(|n| n.id == node) {
+            let _ = taskrt::topology::pin_current_thread(&n.cpus);
+        }
+    }
     // Each worker records its own lane; per-process trace/metrics files get
     // a `.rankR` suffix so workers do not clobber each other.
     let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));

@@ -35,6 +35,22 @@ use parcelnet::tcp::TcpConfig;
 use parcelnet::{ParcelError, RankNet};
 use std::sync::Arc;
 use std::time::Duration;
+use taskrt::topology::Topology;
+
+/// Pin the calling rank thread onto NUMA node `pin_nodes[rank % len]`
+/// (round-robin over the requested nodes). Best-effort: unknown node ids
+/// and `sched_setaffinity` failures leave the thread unpinned — results
+/// do not depend on placement, only locality does.
+pub(crate) fn pin_rank_thread(rank: usize, pin_nodes: &[usize]) {
+    if pin_nodes.is_empty() {
+        return;
+    }
+    let topo = Topology::detect();
+    let node = pin_nodes[rank % pin_nodes.len()];
+    if let Some(n) = topo.nodes.iter().find(|n| n.id == node) {
+        let _ = taskrt::topology::pin_current_thread(&n.cpus);
+    }
+}
 
 /// Run the decomposed problem with one thread per rank, MPI-style.
 /// Returns the final subdomains (bottom slab first) and the simulation
@@ -82,6 +98,26 @@ pub fn run_traced(
         sim,
         Some(tracer),
         FaultPlan::NONE,
+    ))
+}
+
+/// [`run`] with optional span tracing and per-rank NUMA pinning in one
+/// entry point — the `lulesh-multidom` binary's in-process path. Empty
+/// `pin_nodes` means unpinned; see [`run_transport_pinned`].
+pub fn run_pinned(
+    decomp: Decomposition,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    pin_nodes: Vec<usize>,
+) -> Result<(Vec<Domain>, SimState), LuleshError> {
+    fold(run_transport_pinned(
+        decomp,
+        TransportKind::Channel,
+        DEFAULT_DEADLINE,
+        sim,
+        trace,
+        FaultPlan::NONE,
+        pin_nodes,
     ))
 }
 
@@ -145,6 +181,24 @@ pub fn run_transport(
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
+    run_transport_pinned(decomp, kind, deadline, sim, trace, faults, Vec::new())
+}
+
+/// [`run_transport`] with per-rank NUMA pinning: rank `r`'s thread is
+/// pinned onto node `pin_nodes[r % pin_nodes.len()]` before it builds its
+/// subdomain, so the rank's arrays first-touch on the node that computes
+/// them. Empty `pin_nodes` means no pinning (identical to
+/// [`run_transport`]); results are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_transport_pinned(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+    pin_nodes: Vec<usize>,
+) -> Vec<Result<(Domain, SimState), MdError>> {
     let ranks = decomp.ranks();
     match kind {
         TransportKind::Channel => {
@@ -155,6 +209,7 @@ pub fn run_transport(
                 sim,
                 trace,
                 faults,
+                pin_nodes,
             )
         }
         TransportKind::TcpLoopback => {
@@ -186,7 +241,7 @@ pub fn run_transport(
                 .into_iter()
                 .map(|h| h.join().expect("bootstrap must not panic"))
                 .collect();
-            spawn_ranks(decomp, nets, sim, trace, faults)
+            spawn_ranks(decomp, nets, sim, trace, faults, pin_nodes)
         }
     }
 }
@@ -197,6 +252,7 @@ fn spawn_ranks(
     sim: SimArgs,
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
+    pin_nodes: Vec<usize>,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
     let handles: Vec<_> = nets
         .into_iter()
@@ -204,10 +260,17 @@ fn spawn_ranks(
         .map(|(r, net)| {
             let shape = decomp.shape(r);
             let trace = trace.clone();
+            let pin_nodes = pin_nodes.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-rank-{r}"))
                 .spawn(move || match net {
-                    Ok(net) => run_rank(shape, net, sim, trace, faults),
+                    Ok(net) => {
+                        // Pin before `Domain::build_subdomain`: the build
+                        // writes (first-touches) every array, so pinning
+                        // first places the rank's pages on its node.
+                        pin_rank_thread(r, &pin_nodes);
+                        run_rank(shape, net, sim, trace, faults)
+                    }
                     Err(e) => Err(MdError::Net(e)),
                 })
                 .expect("spawn rank thread")

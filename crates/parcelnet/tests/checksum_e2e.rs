@@ -1,0 +1,93 @@
+//! End-to-end checksum coverage: a frame corrupted *on the wire* between
+//! two real [`TcpTransport`]s must surface the typed
+//! [`ParcelError::ChecksumMismatch`] on the receiver — promptly, not by
+//! hanging until the recv deadline, and never by delivering a
+//! silently-corrupted plane.
+//!
+//! The unit test inside `tcp.rs` hand-crafts a bad frame; this test keeps
+//! both endpoints honest by routing a real `send` through a byte-level
+//! man-in-the-middle relay that flips exactly one payload bit.
+
+use parcelnet::tcp::{TcpConfig, TcpTransport};
+use parcelnet::{ParcelError, Tag, Transport};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Wire-format header size: `[tag u32][seq u32][src u32][len u32][ck u64]`.
+const HEADER: usize = 24;
+
+/// Relay frames from `from` to `to`, flipping one payload bit of frame
+/// number `corrupt_at` (0-based). Parses the real wire format so the
+/// header — including its checksum field — passes through untouched; only
+/// the payload bytes are damaged, exactly what a flaky link would do.
+fn relay(mut from: TcpStream, mut to: TcpStream, corrupt_at: usize) {
+    let mut frame_idx = 0usize;
+    loop {
+        let mut header = [0u8; HEADER];
+        if from.read_exact(&mut header).is_err() {
+            return; // sender hung up; drop both halves
+        }
+        let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        let mut payload = vec![0u8; len * 8];
+        if from.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if frame_idx == corrupt_at && !payload.is_empty() {
+            payload[len * 4] ^= 0x01; // one bit, mid-payload
+        }
+        frame_idx += 1;
+        if to.write_all(&header).is_err() || to.write_all(&payload).is_err() {
+            return;
+        }
+        let _ = to.flush();
+    }
+}
+
+#[test]
+fn corrupted_frame_surfaces_checksum_mismatch_end_to_end() {
+    let cfg = TcpConfig {
+        deadline: Duration::from_millis(2000),
+        connect_timeout: Duration::from_millis(3000),
+    };
+    let recv_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let recv_addr = recv_listener.local_addr().unwrap();
+    let proxy_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = proxy_listener.local_addr().unwrap();
+
+    let proxy = std::thread::spawn(move || {
+        let (from_sender, _) = proxy_listener.accept().unwrap();
+        let to_receiver = TcpStream::connect(recv_addr).unwrap();
+        relay(from_sender, to_receiver, 1); // corrupt the second frame only
+    });
+
+    let sender_stream = TcpStream::connect(proxy_addr).unwrap();
+    let (receiver_stream, _) = recv_listener.accept().unwrap();
+    let sender = TcpTransport::from_stream(sender_stream, 1, 0, &cfg).unwrap();
+    let receiver = TcpTransport::from_stream(receiver_stream, 0, 1, &cfg).unwrap();
+
+    // Frame 0 passes through untouched: proves the relay is transparent
+    // and the link genuinely works end to end before we break it.
+    let plane: Vec<f64> = (0..512).map(|i| (i as f64).cos()).collect();
+    sender.send(Tag::Force, &plane).unwrap();
+    assert_eq!(receiver.recv(Tag::Force).unwrap(), plane);
+
+    // Frame 1 gets one payload bit flipped in transit. The receiver must
+    // report the typed error well inside the recv deadline — a timeout
+    // here would mean the bad frame wedged the link; an Ok would mean
+    // silent physics corruption.
+    sender.send(Tag::Force, &plane).unwrap();
+    let t0 = Instant::now();
+    assert_eq!(
+        receiver.recv(Tag::Force),
+        Err(ParcelError::ChecksumMismatch { peer: 1 })
+    );
+    assert!(
+        t0.elapsed() < cfg.deadline,
+        "checksum error must surface promptly, not via the recv deadline"
+    );
+
+    drop(sender); // closes the relay's upstream; the proxy thread unwinds
+    drop(receiver);
+    proxy.join().unwrap();
+}

@@ -25,4 +25,4 @@ pub mod shared_slice;
 pub use barrier::SenseBarrier;
 pub use chunks::{chunk_count, chunk_range, chunks_of, static_split, Chunk};
 pub use counters::{aggregate, BusyIdleClock, CachePadded, Utilization};
-pub use shared_slice::{SharedSlice, SharedVec};
+pub use shared_slice::{SharedSlice, SharedVec, ZeroBits};

@@ -161,8 +161,49 @@ unsafe impl<T: Send + Sync> Sync for SharedVec<T> {}
 
 impl<T: Clone> SharedVec<T> {
     /// Allocate `n` elements, each initialized to `v`.
+    ///
+    /// Note: this *writes* every element on the calling thread, so all
+    /// pages fault here. For NUMA first-touch placement use
+    /// [`zeroed`](SharedVec::zeroed), which leaves the pages untouched
+    /// until their first writer.
     pub fn from_elem(v: T, n: usize) -> Self {
         let data: Box<[UnsafeCell<T>]> = (0..n).map(|_| UnsafeCell::new(v.clone())).collect();
+        Self { data, check: None }
+    }
+}
+
+/// Marker for types whose all-zero byte pattern is a valid value (the
+/// numeric primitives LULESH stores). Gate for
+/// [`SharedVec::zeroed`]'s untouched-pages allocation.
+pub trait ZeroBits: Copy {}
+macro_rules! zero_bits {
+    ($($t:ty),*) => { $(impl ZeroBits for $t {})* };
+}
+zero_bits!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ZeroBits> SharedVec<T> {
+    /// Allocate `n` zero elements via `alloc_zeroed` **without touching
+    /// the memory**: for large arrays the allocator hands back fresh
+    /// zero pages that are physically faulted only on first write, so
+    /// whichever thread first writes an index places its page on that
+    /// thread's NUMA node (first-touch). `from_elem(0, n)` by contrast
+    /// writes — and therefore places — everything on the calling thread.
+    pub fn zeroed(n: usize) -> Self {
+        if n == 0 {
+            return Self::from_vec(Vec::new());
+        }
+        let layout = std::alloc::Layout::array::<UnsafeCell<T>>(n).expect("layout overflow");
+        // SAFETY: `layout` is non-zero-sized (`n > 0`, `T: Copy` numeric);
+        // all-zero bytes are a valid `T` per the `ZeroBits` bound, and
+        // `UnsafeCell<T>` is `repr(transparent)`. The Box's eventual
+        // dealloc uses this same array layout.
+        let data = unsafe {
+            let ptr = std::alloc::alloc_zeroed(layout) as *mut UnsafeCell<T>;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n))
+        };
         Self { data, check: None }
     }
 }
@@ -418,6 +459,17 @@ mod tests {
             sub.copy_from_slice(&[7, 8, 9]);
         }
         assert_eq!(sv.to_vec(), vec![0, 1, 7, 8, 9, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zeroed_is_all_zero_and_writable() {
+        let mut sv = SharedVec::<f64>::zeroed(1000);
+        assert_eq!(sv.len(), 1000);
+        assert!(sv.as_mut_slice().iter().all(|&v| v == 0.0));
+        unsafe { sv.write(999, 3.5) };
+        assert_eq!(unsafe { sv.load(999) }, 3.5);
+        let empty = SharedVec::<u32>::zeroed(0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -119,6 +119,8 @@ mod tests {
             barrier_log_ns: 0.0,
             chunk_variance: 0.0,
             bw_penalty: 0.0,
+            numa_nodes: 1,
+            remote_access_ratio: 1.0,
         }
     }
 

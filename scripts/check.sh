@@ -37,6 +37,26 @@ grep -q "autotune: converged" "$TMP/autotune.log" || {
   echo "auto-tuner did not converge:"; cat "$TMP/autotune.log"; exit 1;
 }
 
+echo "== NUMA pinning smoke run (--pin must not change the physics) =="
+# On a multi-node host this exercises pinning + first-touch end to end; on
+# a single-node host it must degrade to a warning on stderr while still
+# producing a bit-identical CSV row. Either way the results must match.
+./target/debug/lulesh-task --s 6 --i 10 --threads 2 --q \
+  | cut -d, -f1-4,6 > "$TMP/unpinned.csv"
+./target/debug/lulesh-task --s 6 --i 10 --threads 2 --q --pin all \
+  2> "$TMP/pin.log" | cut -d, -f1-4,6 > "$TMP/pinned.csv"
+# Everything except the wall-clock column must match bit-for-bit.
+if ! cmp -s "$TMP/unpinned.csv" "$TMP/pinned.csv"; then
+  echo "pinned run diverged from unpinned:"
+  diff "$TMP/unpinned.csv" "$TMP/pinned.csv" || true
+  exit 1
+fi
+# A single-node host must say so rather than silently pretend to pin.
+NODES=$(ls -d /sys/devices/system/node/node[0-9]* 2>/dev/null | wc -l)
+if [ "$NODES" -lt 2 ] && ! grep -q "pinning: single NUMA node" "$TMP/pin.log"; then
+  echo "expected single-node pinning warning, got:"; cat "$TMP/pin.log"; exit 1
+fi
+
 echo "== TCP-loopback smoke run (2 ranks, s=6, 10 iterations) =="
 # The launcher re-spawns the binary once per rank over real loopback
 # sockets, waits for every worker, and re-binds the bootstrap port before

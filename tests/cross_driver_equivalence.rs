@@ -4,7 +4,11 @@
 
 use lulesh::core::{serial, validate, Domain};
 use lulesh::omp::OmpLulesh;
-use lulesh::task::{AutoTuneConfig, Features, PartitionPlan, PartitionPolicy, TaskLulesh};
+use lulesh::task::{
+    first_touch_domain, AutoTuneConfig, Features, PartitionPlan, PartitionPolicy, TaskLulesh,
+};
+use lulesh::taskrt::topology::Topology;
+use lulesh::taskrt::RuntimeConfig;
 use std::sync::Arc;
 
 fn serial_ref(size: usize, regs: usize, cycles: u64) -> Domain {
@@ -170,6 +174,39 @@ fn auto_partition_policy_is_bit_identical_while_resizing() {
         distinct.len() >= 2,
         "tuner never resized mid-run: {distinct:?}"
     );
+}
+
+#[test]
+fn pinned_run_is_bit_identical_to_unpinned() {
+    // The NUMA correctness gate: worker pinning, locality-aware stealing
+    // and first-touch placement are pure performance knobs — the physics
+    // must not move by a single bit on any host shape this test lands on.
+    let (size, regs, cycles) = (8, 5, 20);
+    let d_ref = serial_ref(size, regs, cycles);
+    let plan = PartitionPlan::fixed(48, 48);
+
+    let topo = Topology::detect();
+    let nodes: Vec<usize> = topo.nodes.iter().map(|n| n.id).collect();
+
+    let mut d = Domain::build(size, regs, 1, 1, 0);
+    first_touch_domain(&mut d, &topo, &nodes, plan);
+    let d_pinned = Arc::new(d);
+    let runner = TaskLulesh::from_runtime_config(
+        RuntimeConfig::new(3).pin(topo.clone(), nodes),
+        Features::default(),
+    );
+    runner.run(&d_pinned, plan, cycles).unwrap();
+    assert_eq!(validate::max_field_difference(&d_ref, &d_pinned), 0.0);
+
+    // Locality-aware stealing must never cross node boundaries when there
+    // is no second node to cross into.
+    if topo.num_nodes() < 2 {
+        assert_eq!(
+            runner.runtime_stats().remote_steals,
+            0,
+            "remote steals counted on a single-node host"
+        );
+    }
 }
 
 #[test]
