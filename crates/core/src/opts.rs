@@ -148,6 +148,10 @@ pub struct Opts {
     /// Write a metrics snapshot (CSV, or JSON when the path ends in
     /// `.json`) to this path, `--metrics`.
     pub metrics: Option<String>,
+    /// Collect per-rank trace files plus a merged, clock-aligned Chrome
+    /// trace and analysis report into this directory, `--trace-dir`
+    /// (multi-domain drivers).
+    pub trace_dir: Option<String>,
     /// Partition policy for the task driver, `--partition auto|fixed:N|table`.
     pub partition: PartitionMode,
     /// Inter-rank transport for the multi-domain drivers,
@@ -173,6 +177,7 @@ impl Default for Opts {
             seed: 0,
             trace: None,
             metrics: None,
+            trace_dir: None,
             partition: PartitionMode::Table,
             transport: TransportMode::Channel,
             recv_deadline_ms: 10_000,
@@ -237,6 +242,7 @@ impl Opts {
                 "seed" => opts.seed = parse_val(flag, inline, &mut it)?,
                 "trace" => opts.trace = Some(parse_val(flag, inline, &mut it)?),
                 "metrics" => opts.metrics = Some(parse_val(flag, inline, &mut it)?),
+                "trace-dir" => opts.trace_dir = Some(parse_val(flag, inline, &mut it)?),
                 "partition" => opts.partition = parse_val(flag, inline, &mut it)?,
                 "transport" => opts.transport = parse_val(flag, inline, &mut it)?,
                 "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
@@ -271,7 +277,7 @@ impl Opts {
         format!(
             "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
              [--b BALANCE] [--c COST] [--threads N] [--q] \
-             [--trace FILE.json] [--metrics FILE.csv|.json] \
+             [--trace FILE.json] [--metrics FILE.csv|.json] [--trace-dir DIR] \
              [--partition auto|fixed:N|table] \
              [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
              [--pin all|none|node0,node1,…]\n\
@@ -280,6 +286,8 @@ impl Opts {
              --pin none, run to stoptime.\n\
              --trace writes a Chrome-trace timeline (load in Perfetto); \
              --metrics writes a per-phase metrics snapshot; \
+             --trace-dir collects per-rank traces, a merged clock-aligned \
+             timeline, and an overhead-taxonomy report (multi-domain); \
              --partition auto tunes partition sizes online (task driver); \
              --transport tcp exchanges halos over loopback sockets \
              (multi-domain drivers); \
@@ -331,6 +339,10 @@ mod tests {
         let o = Opts::parse(["--trace", "out.json", "--metrics=m.csv"]).unwrap();
         assert_eq!(o.trace.as_deref(), Some("out.json"));
         assert_eq!(o.metrics.as_deref(), Some("m.csv"));
+        let o = Opts::parse(["--trace-dir", "traces"]).unwrap();
+        assert_eq!(o.trace_dir.as_deref(), Some("traces"));
+        let o = Opts::parse(["--trace-dir=tr2"]).unwrap();
+        assert_eq!(o.trace_dir.as_deref(), Some("tr2"));
         let o = Opts::parse(Vec::<String>::new()).unwrap();
         assert!(o.trace.is_none() && o.metrics.is_none());
     }

@@ -12,10 +12,19 @@
 //! slab over real sockets, and exits; rank 0 prints the report. Point
 //! `--transport tcp:HOST:PORT` at a routable address and start the workers
 //! by hand to span multiple machines.
+//!
+//! `--trace-dir DIR` makes every rank write a clock-aligned spans file
+//! into DIR; the launcher (or the in-process run) then merges them into
+//! `DIR/merged.trace.json` and writes the critical-path / overhead
+//! analysis to `DIR/analysis.json`. `--merge-only --trace-dir DIR`
+//! re-runs just that merge + analysis over an existing directory (for
+//! multi-host runs whose spans files were gathered by hand).
 
 use lulesh_core::{Opts, RunReport, TransportMode};
 use multidom::{threaded, Decomposition, FaultPlan, MdError, SimArgs};
+use obs::dist::RankTrace;
 use obs::Tracer;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Pull `--flag N` / `--flag=N` out of `args` before the shared parser
@@ -41,15 +50,31 @@ fn main() {
     let launcher_args = args.clone();
     let ranks = extract_flag(&mut args, "ranks").unwrap_or(2);
     let rank = extract_flag(&mut args, "rank");
+    let merge_only = args
+        .iter()
+        .position(|a| a == "--merge-only")
+        .map(|i| args.remove(i))
+        .is_some();
     let opts = match Opts::parse(&args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", Opts::usage("lulesh-multidom"));
-            eprintln!("extra flags: --ranks N (ζ slabs, default 2; must divide --s); --rank R (internal: run as TCP worker R)");
+            eprintln!("extra flags: --ranks N (ζ slabs, default 2; must divide --s); --rank R (internal: run as TCP worker R); --merge-only (merge + analyze an existing --trace-dir, no run)");
             std::process::exit(2);
         }
     };
+    if merge_only {
+        // Multi-host runs write each rank's spans file on its own
+        // machine; after gathering them into one directory this re-runs
+        // the merge + analysis without touching the simulation.
+        let Some(dir) = &opts.trace_dir else {
+            eprintln!("--merge-only needs --trace-dir DIR");
+            std::process::exit(2);
+        };
+        merge_and_report(dir, opts.quiet);
+        return;
+    }
     if ranks == 0 || opts.size % ranks != 0 {
         eprintln!(
             "--ranks must be positive and divide --s (got --ranks {ranks}, --s {})",
@@ -77,7 +102,7 @@ fn main() {
             };
             run_worker(&opts, ranks, rank, addr);
         }
-        (TransportMode::Tcp(addr), None) => launch_workers(ranks, addr, &launcher_args),
+        (TransportMode::Tcp(addr), None) => launch_workers(&opts, ranks, addr, &launcher_args),
     }
 }
 
@@ -107,7 +132,8 @@ fn resolve_pin(opts: &Opts) -> Vec<usize> {
 fn run_in_process(opts: &Opts, ranks: usize) {
     let decomp = Decomposition::new(opts.size, ranks);
     // One tracer lane per rank; rank 0's lane also carries iteration spans.
-    let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
+    let tracer = (opts.trace.is_some() || opts.metrics.is_some() || opts.trace_dir.is_some())
+        .then(|| Tracer::shared(ranks));
     let t0 = Instant::now();
     let sim = SimArgs::new(
         opts.num_reg,
@@ -132,12 +158,66 @@ fn run_in_process(opts: &Opts, ranks: usize) {
             eprintln!("failed to write trace/metrics: {e}");
             std::process::exit(1);
         }
+        if let Some(dir) = &opts.trace_dir {
+            // All ranks share this process's clock: offsets are exactly 0.
+            for rank in 0..ranks {
+                let rank_spans: Vec<obs::Span> =
+                    spans.iter().filter(|s| s.worker == rank).cloned().collect();
+                let rt = RankTrace::from_spans(
+                    rank,
+                    ranks,
+                    rank,
+                    0,
+                    vec![(rank, format!("rank{rank}"))],
+                    &rank_spans,
+                );
+                if let Err(e) = obs::dist::write_rank_trace(Path::new(dir), &rt) {
+                    eprintln!("failed to write rank {rank} trace: {e}");
+                    std::process::exit(1);
+                }
+            }
+            merge_and_report(dir, opts.quiet);
+        }
+    }
+}
+
+/// Merge the per-rank trace files in `dir` into `merged.trace.json`,
+/// analyze them into `analysis.json`, print the overhead table, and exit
+/// nonzero if the analysis fails its self-checks (attribution must sum to
+/// wall-clock per rank; halo causality must hold after alignment).
+fn merge_and_report(dir: &str, quiet: bool) {
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(1);
+    };
+    let traces = obs::dist::read_rank_traces(Path::new(dir))
+        .unwrap_or_else(|e| fail(format!("trace merge: {e}")));
+    let merged = obs::dist::merge(traces).unwrap_or_else(|e| fail(format!("trace merge: {e}")));
+    let trace_path = Path::new(dir).join("merged.trace.json");
+    if let Err(e) = std::fs::write(&trace_path, obs::dist::merged_chrome_trace(&merged)) {
+        fail(format!("{}: {e}", trace_path.display()));
+    }
+    let analysis = obs::dist::analyze(&merged);
+    let report_path = Path::new(dir).join("analysis.json");
+    if let Err(e) = std::fs::write(&report_path, analysis.to_json()) {
+        fail(format!("{}: {e}", report_path.display()));
+    }
+    if !quiet {
+        eprintln!("{}", analysis.human_table());
+        eprintln!(
+            "merged trace: {} · report: {}",
+            trace_path.display(),
+            report_path.display()
+        );
+    }
+    if let Err(e) = analysis.verify() {
+        fail(format!("trace analysis failed verification: {e}"));
     }
 }
 
 /// Launcher: re-spawn this binary once per rank against a shared bootstrap
 /// address, wait for all of them, and verify the port was released.
-fn launch_workers(ranks: usize, addr: &Option<String>, launcher_args: &[String]) {
+fn launch_workers(opts: &Opts, ranks: usize, addr: &Option<String>, launcher_args: &[String]) {
     let addr = match addr {
         Some(a) => a.clone(),
         None => {
@@ -212,6 +292,11 @@ fn launch_workers(ranks: usize, addr: &Option<String>, launcher_args: &[String])
         eprintln!("bootstrap port {addr} still held after shutdown: {e}");
         std::process::exit(1);
     }
+    // Workers wrote one rank<R>.spans.json each (--trace-dir was forwarded
+    // verbatim); merge them now that every file is complete.
+    if let Some(dir) = &opts.trace_dir {
+        merge_and_report(dir, opts.quiet);
+    }
 }
 
 /// One TCP worker: rank 0 binds the bootstrap address and accepts the
@@ -246,9 +331,19 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
             let _ = taskrt::topology::pin_current_thread(&n.cpus);
         }
     }
-    // Each worker records its own lane; per-process trace/metrics files get
-    // a `.rankR` suffix so workers do not clobber each other.
-    let tracer = (opts.trace.is_some() || opts.metrics.is_some()).then(|| Tracer::shared(ranks));
+    // Each worker records its own lane (plus a `ranks + rank` comm lane
+    // for parcelnet writer-thread spans when collecting a trace dir);
+    // per-process trace/metrics files get a `.rankR` suffix so workers do
+    // not clobber each other.
+    let tracer =
+        (opts.trace.is_some() || opts.metrics.is_some() || opts.trace_dir.is_some()).then(|| {
+            let lanes = if opts.trace_dir.is_some() {
+                2 * ranks
+            } else {
+                ranks
+            };
+            Tracer::shared(lanes)
+        });
     let t0 = Instant::now();
     let sim = SimArgs::new(
         opts.num_reg,
@@ -257,14 +352,14 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
         opts.seed,
         opts.max_cycles,
     );
-    let result = threaded::run_rank(
+    let result = threaded::run_rank_dist(
         decomp.shape(rank),
         net,
         sim,
         tracer.clone(),
         FaultPlan::NONE,
     );
-    let (domain, state) = match result {
+    let (domain, state, offset_ns) = match result {
         Ok(r) => r,
         Err(MdError::Sim(e)) => {
             eprintln!("rank {rank}: run failed: {e}");
@@ -287,6 +382,23 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
         if let Err(e) = obs::write_reports(&spans, trace.as_deref(), metrics.as_deref()) {
             eprintln!("rank {rank}: failed to write trace/metrics: {e}");
             std::process::exit(1);
+        }
+        if let Some(dir) = &opts.trace_dir {
+            let rt = RankTrace::from_spans(
+                rank,
+                ranks,
+                rank,
+                offset_ns,
+                vec![
+                    (rank, format!("rank{rank}")),
+                    (ranks + rank, format!("rank{rank}-comm")),
+                ],
+                &spans,
+            );
+            if let Err(e) = obs::dist::write_rank_trace(Path::new(dir), &rt) {
+                eprintln!("rank {rank}: failed to write rank trace: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

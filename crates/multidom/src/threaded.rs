@@ -32,24 +32,30 @@ use lulesh_core::timestep::time_increment;
 use lulesh_core::types::LuleshError;
 use obs::{SpanKind, Tracer};
 use parcelnet::tcp::TcpConfig;
-use parcelnet::{ParcelError, RankNet};
+use parcelnet::{ParcelError, ParcelObs, RankNet};
 use std::sync::Arc;
 use std::time::Duration;
 use taskrt::topology::Topology;
 
+/// Ping-pong rounds for the clock-alignment handshake: enough that the
+/// min-RTT round tracks the true offset to well under typical frame
+/// latencies, cheap enough to be invisible at startup.
+pub const CLOCK_SYNC_ROUNDS: usize = 8;
+
 /// Pin the calling rank thread onto NUMA node `pin_nodes[rank % len]`
 /// (round-robin over the requested nodes). Best-effort: unknown node ids
 /// and `sched_setaffinity` failures leave the thread unpinned — results
-/// do not depend on placement, only locality does.
-pub(crate) fn pin_rank_thread(rank: usize, pin_nodes: &[usize]) {
+/// do not depend on placement, only locality does. Returns the pinned
+/// node's CPU list so companion threads (parcelnet writers) can follow.
+pub(crate) fn pin_rank_thread(rank: usize, pin_nodes: &[usize]) -> Option<Vec<usize>> {
     if pin_nodes.is_empty() {
-        return;
+        return None;
     }
     let topo = Topology::detect();
     let node = pin_nodes[rank % pin_nodes.len()];
-    if let Some(n) = topo.nodes.iter().find(|n| n.id == node) {
-        let _ = taskrt::topology::pin_current_thread(&n.cpus);
-    }
+    let n = topo.nodes.iter().find(|n| n.id == node)?;
+    let _ = taskrt::topology::pin_current_thread(&n.cpus);
+    Some(n.cpus.clone())
 }
 
 /// Run the decomposed problem with one thread per rank, MPI-style.
@@ -267,8 +273,11 @@ fn spawn_ranks(
                     Ok(net) => {
                         // Pin before `Domain::build_subdomain`: the build
                         // writes (first-touches) every array, so pinning
-                        // first places the rank's pages on its node.
-                        pin_rank_thread(r, &pin_nodes);
+                        // first places the rank's pages on its node. The
+                        // link writer threads follow onto the same CPUs.
+                        if let Some(cpus) = pin_rank_thread(r, &pin_nodes) {
+                            net.pin_writers(&cpus);
+                        }
                         run_rank(shape, net, sim, trace, faults)
                     }
                     Err(e) => Err(MdError::Net(e)),
@@ -286,6 +295,55 @@ fn spawn_ranks(
 /// entry point the multi-process TCP launcher calls directly with a net
 /// built by [`parcelnet::tcp::root`]/[`parcelnet::tcp::join`].
 pub fn run_rank(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+) -> Result<(Domain, SimState), MdError> {
+    run_rank_dist(shape, net, sim, trace, faults).map(|(d, st, _offset)| (d, st))
+}
+
+/// [`run_rank`] for distributed tracing: when a tracer is present, every
+/// transport link records parcel-level comm spans (main spans on lane
+/// `rank`; writer-thread serialize spans on lane `ranks + rank` when the
+/// tracer has that many lanes), and the clock-alignment ping-pong runs
+/// over the dt star before the first exchange. The returned offset
+/// (`this_rank's clock − rank 0's clock`, ns; 0 untraced or on rank 0)
+/// goes into the rank's trace file so merging can align timelines.
+pub fn run_rank_dist(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+) -> Result<(Domain, SimState, i64), MdError> {
+    let offset = match trace.as_ref() {
+        Some(t) => {
+            let rank = net.rank;
+            let aux = if t.lanes() >= 2 * net.ranks {
+                net.ranks + rank
+            } else {
+                rank
+            };
+            net.attach_obs(&ParcelObs::new(Arc::clone(t), rank, aux));
+            if net.ranks > 1 {
+                let tc = Arc::clone(t);
+                let now = move || tc.now_ns();
+                let start = t.now_ns();
+                let off = net.clock_sync(&now, CLOCK_SYNC_ROUNDS)?;
+                t.record_interval(rank, SpanKind::Region, "clock-sync", start, t.now_ns());
+                off
+            } else {
+                0
+            }
+        }
+        None => 0,
+    };
+    run_rank_inner(shape, net, sim, trace, faults).map(|(d, st)| (d, st, offset))
+}
+
+fn run_rank_inner(
     shape: lulesh_core::mesh::MeshShape,
     net: RankNet,
     sim: SimArgs,
@@ -494,6 +552,46 @@ mod tests {
             lulesh_core::validate::max_field_difference(&domains[0], &single),
             0.0
         );
+    }
+
+    /// The span *census* — how many spans of each (kind, label, lane) a
+    /// traced run records — must not depend on the wire. Channel and TCP
+    /// place their instrumentation symmetrically (wait + recv + send per
+    /// frame), so the only transport-specific spans are the TCP writer
+    /// thread's `parcel-serialize-*` intervals, which are excluded here.
+    #[test]
+    fn traced_cross_transport_equivalence_span_counts() {
+        use std::collections::BTreeMap;
+        let ranks = 3;
+        let census = |kind: TransportKind| {
+            let tracer = obs::Tracer::shared(2 * ranks);
+            let results = run_transport(
+                Decomposition::new(6, ranks),
+                kind,
+                Duration::from_secs(10),
+                SimArgs::new(2, 1, 1, 0, 6),
+                Some(Arc::clone(&tracer)),
+                FaultPlan::NONE,
+            );
+            for r in results {
+                r.expect("rank failed");
+            }
+            let mut m: BTreeMap<(obs::SpanKind, &'static str, usize), usize> = BTreeMap::new();
+            for s in tracer.drain() {
+                if s.label.starts_with("parcel-serialize-") {
+                    continue;
+                }
+                *m.entry((s.kind, s.label, s.worker)).or_insert(0) += 1;
+            }
+            m
+        };
+        let chan = census(TransportKind::Channel);
+        let tcp = census(TransportKind::TcpLoopback);
+        assert!(
+            chan.keys().any(|(k, ..)| *k == obs::SpanKind::Parcel),
+            "traced run must record parcel spans"
+        );
+        assert_eq!(chan, tcp, "span census must be identical across transports");
     }
 
     #[test]

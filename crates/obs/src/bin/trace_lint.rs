@@ -1,6 +1,9 @@
 //! Validate an emitted Chrome-trace file: well-formed JSON, top-level
-//! array, and (optionally) a minimum number of `"cat": "barrier"` events.
-//! Used by `scripts/check.sh` to prove `--trace` output is loadable.
+//! array, non-negative timestamps (a span predating the aligned epoch
+//! means clock correction went wrong), known `cat` values, rank-lane
+//! `process_name` metadata on merged multi-rank traces, and (optionally)
+//! a minimum number of `"cat": "barrier"` events. Used by
+//! `scripts/check.sh` to prove `--trace`/`--trace-dir` output is loadable.
 //!
 //! Usage: `trace_lint <file.json> [min_barrier_events]`
 
@@ -27,19 +30,19 @@ fn main() {
             exit(1);
         }
     };
-    if let Err(e) = obs::jsonlint::validate(&content) {
-        eprintln!("{path}: invalid JSON: {e}");
-        exit(1);
+    match obs::dist::lint_chrome_trace(&content, min_barriers) {
+        Ok(stats) => {
+            println!(
+                "{path}: OK ({} events, {} barriers, {} rank{})",
+                stats.events,
+                stats.barriers,
+                stats.pids,
+                if stats.pids == 1 { "" } else { "s" }
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(1);
+        }
     }
-    if !content.trim_start().starts_with('[') {
-        eprintln!("{path}: a Chrome trace must be a top-level JSON array");
-        exit(1);
-    }
-    let barriers = content.matches(r#""cat": "barrier""#).count();
-    if barriers < min_barriers {
-        eprintln!("{path}: expected >= {min_barriers} barrier events, found {barriers}");
-        exit(1);
-    }
-    let events = content.matches(r#""ph": "X""#).count();
-    println!("{path}: OK ({events} events, {barriers} barriers)");
 }

@@ -1,4 +1,6 @@
-//! A minimal strict JSON validator (RFC 8259 grammar, no value tree).
+//! A minimal strict JSON parser (RFC 8259 grammar): a validate-only pass
+//! plus a [`Value`] tree for readers (`obs::dist` merges per-rank trace
+//! files; `trace_lint` inspects event fields).
 //!
 //! Used by the tests and by `scripts/check.sh` (via the `trace_lint`
 //! binary) to prove emitted traces are loadable, without pulling a JSON
@@ -18,6 +20,74 @@ pub fn validate(input: &str) -> Result<(), String> {
         return Err(p.err("trailing characters after the JSON value"));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Objects keep insertion order (duplicate keys are
+/// kept as-is; [`Value::get`] returns the first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as an `f64`.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a [`Value::Num`].
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a [`Value::Str`].
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Arr`].
+    pub fn arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `input` into a [`Value`] tree (same strict grammar as
+/// [`validate`]).
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value_tree()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -179,11 +249,163 @@ impl Parser<'_> {
             self.pos += 1;
         }
     }
+
+    // --- tree-building twin of the validate-only methods above ---
+
+    fn value_tree(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object_tree(),
+            Some(b'[') => self.array_tree(),
+            Some(b'"') => self.string_tree().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number_tree(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object_tree(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string_tree()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value_tree()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(members)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array_tree(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut elems = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value_tree()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(elems)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string_tree(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let d = match self.bump() {
+                                Some(c) if c.is_ascii_hexdigit() => {
+                                    (c as char).to_digit(16).expect("hex digit")
+                                }
+                                _ => return Err(self.err("bad \\u escape")),
+                            };
+                            code = code * 16 + d;
+                        }
+                        // Surrogates (rare in our own traces) degrade to
+                        // the replacement character instead of an error.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-assemble the UTF-8 sequence starting at `c`.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number_tree(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        self.number()?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Value};
+
+    #[test]
+    fn parse_builds_a_value_tree() {
+        let v = parse(r#"{"name": "x\n1", "ts": -1.5e3, "ok": true, "tags": [1, null]}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Value::str), Some("x\n1"));
+        assert_eq!(v.get("ts").and_then(Value::num), Some(-1500.0));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let tags = v.get("tags").and_then(Value::arr).unwrap();
+        assert_eq!(tags, &[Value::Num(1.0), Value::Null]);
+        assert!(v.get("missing").is_none());
+        // Accessors are type-strict.
+        assert!(v.get("name").unwrap().num().is_none());
+        assert!(v.get("ts").unwrap().str().is_none());
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_unicode() {
+        let v = parse(r#""a\"b\\cA ü""#).unwrap();
+        assert_eq!(v, Value::Str("a\"b\\cA ü".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["[1,]", "{\"a\":}", "[1] x", "01"] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
 
     #[test]
     fn accepts_valid_documents() {

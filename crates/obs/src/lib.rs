@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod jsonlint;
 
 use parking_lot::Mutex;
@@ -50,6 +51,10 @@ pub enum SpanKind {
     Region,
     /// Inter-domain halo communication (multidom exchanges).
     Halo,
+    /// One transport-level frame operation inside `parcelnet` (send
+    /// enqueue, deadline-bounded wait, payload read, writer-thread
+    /// serialize). Carries [`Span::bytes`] and [`Span::peer`].
+    Parcel,
 }
 
 impl SpanKind {
@@ -61,6 +66,7 @@ impl SpanKind {
             SpanKind::Barrier => "barrier",
             SpanKind::Region => "region",
             SpanKind::Halo => "halo",
+            SpanKind::Parcel => "parcel",
         }
     }
 }
@@ -81,6 +87,11 @@ pub struct Span {
     pub end_ns: u64,
     /// What the interval measures.
     pub kind: SpanKind,
+    /// Payload bytes moved, for [`SpanKind::Parcel`] frame spans
+    /// (0 for every other kind).
+    pub bytes: u64,
+    /// Peer rank for [`SpanKind::Parcel`] spans; −1 when not applicable.
+    pub peer: i32,
 }
 
 impl Span {
@@ -160,6 +171,36 @@ impl Tracer {
                 start_ns,
                 end_ns: end_ns.max(start_ns),
                 kind,
+                bytes: 0,
+                peer: -1,
+            },
+        );
+    }
+
+    /// Record a [`SpanKind::Parcel`] frame span with its payload size and
+    /// peer rank — the `parcelnet` transports' recording entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_parcel(
+        &self,
+        lane: usize,
+        label: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        bytes: u64,
+        peer: usize,
+    ) {
+        let lane = lane.min(self.lanes.len() - 1);
+        self.record(
+            lane,
+            Span {
+                task_id: self.next_task_id(),
+                label,
+                worker: lane,
+                start_ns,
+                end_ns: end_ns.max(start_ns),
+                kind: SpanKind::Parcel,
+                bytes,
+                peer: peer as i32,
             },
         );
     }
@@ -224,14 +265,22 @@ pub fn chrome_trace_with_lanes(spans: &[Span], lane_names: &[(usize, String)]) -
         ));
     }
     for s in spans {
+        // Parcel spans carry payload size and peer rank as event args so
+        // Perfetto can aggregate bytes-on-wire per lane.
+        let args = if s.kind == SpanKind::Parcel {
+            format!(r#", "args": {{"bytes": {}, "peer": {}}}"#, s.bytes, s.peer)
+        } else {
+            String::new()
+        };
         events.push(format!(
-            r#"  {{"name": "{}-{}", "cat": "{}", "ph": "X", "ts": {:.3}, "dur": {:.3}, "pid": 0, "tid": {}}}"#,
+            r#"  {{"name": "{}-{}", "cat": "{}", "ph": "X", "ts": {:.3}, "dur": {:.3}, "pid": 0, "tid": {}{}}}"#,
             s.label,
             s.task_id,
             s.kind.name(),
             s.start_ns as f64 / 1000.0,
             s.dur_ns() as f64 / 1000.0,
             s.worker,
+            args,
         ));
     }
     let mut out = String::from("[\n");
@@ -308,6 +357,10 @@ pub struct MetricsSnapshot {
     pub regions: u64,
     /// Halo-exchange spans.
     pub halos: u64,
+    /// Transport-level frame spans ([`SpanKind::Parcel`]).
+    pub parcels: u64,
+    /// Σ payload bytes across parcel spans.
+    pub parcel_bytes: u64,
     /// Leapfrog iterations (spans labelled `"iteration"`).
     pub iterations: u64,
     /// Per-`(label, kind)` duration histogram, label-sorted.
@@ -334,6 +387,10 @@ impl MetricsSnapshot {
                     }
                 }
                 SpanKind::Halo => m.halos += 1,
+                SpanKind::Parcel => {
+                    m.parcels += 1;
+                    m.parcel_bytes += s.bytes;
+                }
             }
             let e = phases.entry((s.label, s.kind)).or_insert(PhaseStat {
                 label: s.label,
@@ -357,23 +414,26 @@ impl MetricsSnapshot {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "record,label,kind,count,total_ns,min_ns,max_ns,\
-             spawns,steals,barriers,barrier_wait_ns,regions,halos,iterations\n",
+             spawns,steals,barriers,barrier_wait_ns,regions,halos,\
+             parcels,parcel_bytes,iterations\n",
         );
         let _ = writeln!(
             out,
-            "total,,,,,,,{},{},{},{},{},{},{}",
+            "total,,,,,,,{},{},{},{},{},{},{},{},{}",
             self.spawns,
             self.steals,
             self.barriers,
             self.barrier_wait_ns,
             self.regions,
             self.halos,
+            self.parcels,
+            self.parcel_bytes,
             self.iterations
         );
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "phase,{},{},{},{},{},{},,,,,,,",
+                "phase,{},{},{},{},{},{},,,,,,,,,",
                 p.label,
                 p.kind.name(),
                 p.count,
@@ -395,6 +455,8 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "  \"barrier_wait_ns\": {},", self.barrier_wait_ns);
         let _ = writeln!(out, "  \"regions\": {},", self.regions);
         let _ = writeln!(out, "  \"halos\": {},", self.halos);
+        let _ = writeln!(out, "  \"parcels\": {},", self.parcels);
+        let _ = writeln!(out, "  \"parcel_bytes\": {},", self.parcel_bytes);
         let _ = writeln!(out, "  \"iterations\": {},", self.iterations);
         out.push_str("  \"phases\": [\n");
         for (i, p) in self.phases.iter().enumerate() {
@@ -429,6 +491,8 @@ mod tests {
             start_ns: s,
             end_ns: e,
             kind,
+            bytes: 0,
+            peer: -1,
         }
     }
 

@@ -3,9 +3,10 @@
 //! the same tag/sequence verification the TCP transport performs (no
 //! checksum: frames never leave process memory).
 
-use crate::{DtLinks, ParcelError, RankNet, Tag, Transport};
+use crate::{DtLinks, ParcelError, ParcelObs, RankNet, Tag, Transport};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use lulesh_core::types::Real;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
@@ -27,6 +28,7 @@ pub struct ChannelTransport {
     deadline: Duration,
     send_seq: AtomicU32,
     recv_seq: AtomicU32,
+    obs: Mutex<Option<ParcelObs>>,
 }
 
 impl ChannelTransport {
@@ -50,6 +52,7 @@ impl ChannelTransport {
             deadline,
             send_seq: AtomicU32::new(0),
             recv_seq: AtomicU32::new(0),
+            obs: Mutex::new(None),
         }
     }
 }
@@ -60,6 +63,8 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError> {
+        let obs = self.obs.lock().clone();
+        let t0 = obs.as_ref().map(|o| o.now_ns());
         let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
         self.tx
             .send(Frame {
@@ -67,14 +72,24 @@ impl Transport for ChannelTransport {
                 seq,
                 payload: payload.to_vec(),
             })
-            .map_err(|_| ParcelError::PeerClosed { peer: self.peer })
+            .map_err(|_| ParcelError::PeerClosed { peer: self.peer })?;
+        if let (Some(o), Some(t0)) = (&obs, t0) {
+            o.send(tag, t0, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
+        Ok(())
     }
 
     fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
+        let obs = self.obs.lock().clone();
+        let t0 = obs.as_ref().map(|o| o.now_ns());
         let frame = self.rx.recv_timeout(self.deadline).map_err(|e| match e {
             RecvTimeoutError::Timeout => ParcelError::Timeout { peer: self.peer },
             RecvTimeoutError::Disconnected => ParcelError::PeerClosed { peer: self.peer },
         })?;
+        let arrival = obs.as_ref().map(|o| o.now_ns());
+        if let (Some(o), Some(t0), Some(arr)) = (&obs, t0, arrival) {
+            o.wait(tag, t0, arr, self.peer);
+        }
         let expected = self.recv_seq.fetch_add(1, Ordering::Relaxed);
         if frame.seq != expected {
             return Err(ParcelError::SeqMismatch {
@@ -94,12 +109,25 @@ impl Transport for ChannelTransport {
                 got: frame.tag,
             });
         }
+        if let (Some(o), Some(arr)) = (&obs, arrival) {
+            o.recv(
+                tag,
+                arr,
+                o.now_ns(),
+                frame.payload.len() as u64 * 8,
+                self.peer,
+            );
+        }
         Ok(frame.payload)
     }
 
     fn close(&self) -> Result<(), ParcelError> {
         self.send(Tag::Bye, &[])?;
         self.recv(Tag::Bye).map(|_| ())
+    }
+
+    fn attach_obs(&self, obs: ParcelObs) {
+        *self.obs.lock() = Some(obs);
     }
 }
 

@@ -44,6 +44,8 @@ pub enum Tag {
     Dt = 4,
     /// Graceful shutdown: both sides exchange `Bye` before closing.
     Bye = 5,
+    /// Clock-alignment ping-pong (offset estimation over the dt star).
+    Clock = 6,
 }
 
 impl Tag {
@@ -55,6 +57,7 @@ impl Tag {
             Tag::Gradient => "gradient",
             Tag::Dt => "dt",
             Tag::Bye => "bye",
+            Tag::Clock => "clock",
         }
     }
 
@@ -65,8 +68,125 @@ impl Tag {
             3 => Some(Tag::Gradient),
             4 => Some(Tag::Dt),
             5 => Some(Tag::Bye),
+            6 => Some(Tag::Clock),
             _ => None,
         }
+    }
+
+    /// `parcel-send-<tag>` span label (static, so it can live in a
+    /// [`obs::Span`]).
+    pub fn send_label(self) -> &'static str {
+        match self {
+            Tag::Mass => "parcel-send-mass",
+            Tag::Force => "parcel-send-force",
+            Tag::Gradient => "parcel-send-gradient",
+            Tag::Dt => "parcel-send-dt",
+            Tag::Bye => "parcel-send-bye",
+            Tag::Clock => "parcel-send-clock",
+        }
+    }
+
+    /// `parcel-recv-<tag>` span label.
+    pub fn recv_label(self) -> &'static str {
+        match self {
+            Tag::Mass => "parcel-recv-mass",
+            Tag::Force => "parcel-recv-force",
+            Tag::Gradient => "parcel-recv-gradient",
+            Tag::Dt => "parcel-recv-dt",
+            Tag::Bye => "parcel-recv-bye",
+            Tag::Clock => "parcel-recv-clock",
+        }
+    }
+
+    /// `parcel-wait-<tag>` span label (time blocked before the frame).
+    pub fn wait_label(self) -> &'static str {
+        match self {
+            Tag::Mass => "parcel-wait-mass",
+            Tag::Force => "parcel-wait-force",
+            Tag::Gradient => "parcel-wait-gradient",
+            Tag::Dt => "parcel-wait-dt",
+            Tag::Bye => "parcel-wait-bye",
+            Tag::Clock => "parcel-wait-clock",
+        }
+    }
+
+    /// `parcel-serialize-<tag>` span label (TCP writer thread).
+    pub fn serialize_label(self) -> &'static str {
+        match self {
+            Tag::Mass => "parcel-serialize-mass",
+            Tag::Force => "parcel-serialize-force",
+            Tag::Gradient => "parcel-serialize-gradient",
+            Tag::Dt => "parcel-serialize-dt",
+            Tag::Bye => "parcel-serialize-bye",
+            Tag::Clock => "parcel-serialize-clock",
+        }
+    }
+}
+
+/// A tracer sink for parcel-level spans. Attached to a [`Transport`] via
+/// [`Transport::attach_obs`], it records every frame's send enqueue,
+/// receive wait, payload read, and (TCP) writer-thread serialization as
+/// [`obs::SpanKind::Parcel`] spans with byte counts and peer ranks.
+#[derive(Clone)]
+pub struct ParcelObs {
+    tracer: std::sync::Arc<obs::Tracer>,
+    /// Lane for protocol-thread spans (send/wait/recv).
+    lane: usize,
+    /// Lane for background writer-thread spans (serialize).
+    aux_lane: usize,
+}
+
+impl ParcelObs {
+    /// A sink recording protocol spans on `lane` and writer-thread spans
+    /// on `aux_lane` of `tracer`.
+    pub fn new(tracer: std::sync::Arc<obs::Tracer>, lane: usize, aux_lane: usize) -> Self {
+        Self {
+            tracer,
+            lane,
+            aux_lane,
+        }
+    }
+
+    /// Nanoseconds on the tracer's clock (the clock [`RankNet::clock_sync`]
+    /// aligns).
+    pub fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+
+    /// A frame was enqueued/written for `peer`.
+    pub fn send(&self, tag: Tag, start_ns: u64, end_ns: u64, bytes: u64, peer: usize) {
+        self.tracer
+            .record_parcel(self.lane, tag.send_label(), start_ns, end_ns, bytes, peer);
+    }
+
+    /// The receiver blocked waiting for a frame from `peer`.
+    pub fn wait(&self, tag: Tag, start_ns: u64, end_ns: u64, peer: usize) {
+        self.tracer
+            .record_parcel(self.lane, tag.wait_label(), start_ns, end_ns, 0, peer);
+    }
+
+    /// A frame from `peer` was read and verified.
+    pub fn recv(&self, tag: Tag, start_ns: u64, end_ns: u64, bytes: u64, peer: usize) {
+        self.tracer
+            .record_parcel(self.lane, tag.recv_label(), start_ns, end_ns, bytes, peer);
+    }
+
+    /// The writer thread serialized and wrote a frame to `peer`.
+    pub fn serialize(&self, tag: Tag, start_ns: u64, end_ns: u64, bytes: u64, peer: usize) {
+        self.tracer.record_parcel(
+            self.aux_lane,
+            tag.serialize_label(),
+            start_ns,
+            end_ns,
+            bytes,
+            peer,
+        );
+    }
+
+    /// A frame from `peer` failed its checksum.
+    pub fn corrupt(&self, start_ns: u64, end_ns: u64, peer: usize) {
+        self.tracer
+            .record_parcel(self.lane, "parcel-corrupt", start_ns, end_ns, 0, peer);
     }
 }
 
@@ -179,6 +299,15 @@ pub trait Transport: Send + Sync {
     /// Graceful shutdown: exchange `Bye` frames so neither side abandons a
     /// link the other still reads from (the "no leaked sockets" guarantee).
     fn close(&self) -> Result<(), ParcelError>;
+
+    /// Attach a tracer sink recording parcel-level spans on this link.
+    /// Default: no instrumentation.
+    fn attach_obs(&self, _obs: ParcelObs) {}
+
+    /// Pin this link's background writer thread (if any) to `cpus`, so
+    /// comm threads stop migrating off their rank's NUMA node. Default:
+    /// no background threads, nothing to pin.
+    fn pin_writer(&self, _cpus: &[usize]) {}
 }
 
 /// The dt-allreduce topology: a star through rank 0, expressed as links.
@@ -288,6 +417,92 @@ impl RankNet {
         }
         Ok(())
     }
+
+    /// Visit every link of this endpoint (neighbours, then the dt star).
+    fn for_each_link(&self, f: &mut dyn FnMut(&dyn Transport)) {
+        if let Some(l) = &self.down {
+            f(l.as_ref());
+        }
+        if let Some(l) = &self.up {
+            f(l.as_ref());
+        }
+        match &self.dt {
+            DtLinks::Root(members) => {
+                for m in members {
+                    f(m.as_ref());
+                }
+            }
+            DtLinks::Leaf(l) => f(l.as_ref()),
+        }
+    }
+
+    /// Attach a parcel-span sink to every link of this endpoint.
+    pub fn attach_obs(&self, obs: &ParcelObs) {
+        self.for_each_link(&mut |l| l.attach_obs(obs.clone()));
+    }
+
+    /// Pin every link's background writer thread (TCP only; a no-op for
+    /// in-process channels) next to this rank's workers.
+    pub fn pin_writers(&self, cpus: &[usize]) {
+        self.for_each_link(&mut |l| l.pin_writer(cpus));
+    }
+
+    /// Clock-alignment ping-pong over the dt star: rank 0 measures each
+    /// leaf's clock offset (`leaf_clock − root_clock`, ns) by the classic
+    /// NTP-style estimate over `rounds` exchanges, keeping the round with
+    /// the smallest RTT, then tells each leaf its offset. Every rank
+    /// returns its own offset (0 on rank 0) for its trace file; merging
+    /// subtracts it. `now_ns` must be the same clock the rank's tracer
+    /// stamps spans with. `rounds` must agree across ranks.
+    pub fn clock_sync(&self, now_ns: &dyn Fn() -> u64, rounds: usize) -> Result<i64, ParcelError> {
+        assert!(rounds >= 1);
+        match &self.dt {
+            DtLinks::Root(members) => {
+                for m in members {
+                    let mut samples = Vec::with_capacity(rounds);
+                    for _ in 0..rounds {
+                        let t0 = now_ns();
+                        m.send(Tag::Clock, &[t0 as Real])?;
+                        let p = m.recv(Tag::Clock)?;
+                        let t2 = now_ns();
+                        if p.len() != 1 {
+                            return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+                        }
+                        samples.push((t0, p[0] as u64, t2));
+                    }
+                    let offset = estimate_offset(&samples);
+                    m.send(Tag::Clock, &[offset as Real])?;
+                }
+                Ok(0)
+            }
+            DtLinks::Leaf(link) => {
+                for _ in 0..rounds {
+                    let p = link.recv(Tag::Clock)?;
+                    if p.len() != 1 {
+                        return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+                    }
+                    link.send(Tag::Clock, &[now_ns() as Real])?;
+                }
+                let p = link.recv(Tag::Clock)?;
+                if p.len() != 1 {
+                    return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
+                }
+                Ok(p[0] as i64)
+            }
+        }
+    }
+}
+
+/// The NTP-style offset estimate from ping-pong samples `(t0, t_leaf,
+/// t2)`: the round with the smallest RTT bounds the error tightest, and
+/// within it the leaf's reply is assumed to sit halfway between send and
+/// reply arrival: `offset = t_leaf − (t0 + t2) / 2`.
+pub fn estimate_offset(samples: &[(u64, u64, u64)]) -> i64 {
+    let &(t0, t_leaf, t2) = samples
+        .iter()
+        .min_by_key(|&&(t0, _, t2)| t2 - t0)
+        .expect("at least one sample");
+    (t_leaf as i128 - (t0 as i128 + t2 as i128) / 2) as i64
 }
 
 /// FNV-1a 64-bit over a byte slice — the frame payload checksum. Cheap,
@@ -307,7 +522,14 @@ mod tests {
 
     #[test]
     fn tag_roundtrip() {
-        for t in [Tag::Mass, Tag::Force, Tag::Gradient, Tag::Dt, Tag::Bye] {
+        for t in [
+            Tag::Mass,
+            Tag::Force,
+            Tag::Gradient,
+            Tag::Dt,
+            Tag::Bye,
+            Tag::Clock,
+        ] {
             assert_eq!(Tag::from_u32(t as u32), Some(t));
         }
         assert_eq!(Tag::from_u32(0), None);
@@ -333,6 +555,55 @@ mod tests {
         assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
         // Known FNV-1a vector.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn offset_estimate_picks_the_tightest_round() {
+        // Second sample has the smallest RTT (10 ns): offset must come
+        // from it alone. t_leaf = 1000 when the root midpoint is 505.
+        let samples = [(0, 2000, 400), (500, 1000, 510), (600, 3000, 1000)];
+        assert_eq!(estimate_offset(&samples), 1000 - 505);
+        // A leaf behind the root yields a negative offset.
+        let samples = [(1000, 200, 1010)];
+        assert_eq!(estimate_offset(&samples), 200 - 1005);
+    }
+
+    #[test]
+    fn clock_sync_recovers_injected_skew() {
+        use std::time::Instant;
+        // Three ranks over in-process channels share one real clock; give
+        // each a fake epoch offset and check the protocol measures it.
+        let skews: [i64; 3] = [0, 1_000_000_000, -50_000_000];
+        let epoch = Instant::now();
+        let nets = channel::channel_mesh(3, std::time::Duration::from_secs(2));
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                let skew = skews[net.rank];
+                std::thread::spawn(move || {
+                    // A 10 s base keeps the fake clock positive under a
+                    // negative skew.
+                    let now =
+                        move || (epoch.elapsed().as_nanos() as i64 + 10_000_000_000 + skew) as u64;
+                    let off = net.clock_sync(&now, 8).unwrap();
+                    (net.rank, off)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, off) = h.join().unwrap();
+            if rank == 0 {
+                assert_eq!(off, 0);
+            } else {
+                // True offset is leaf_skew − root_skew; in-process RTTs
+                // are microseconds, so 2 ms of tolerance is generous.
+                let want = skews[rank];
+                assert!(
+                    (off - want).abs() < 2_000_000,
+                    "rank {rank}: measured {off}, want {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! socket buffers — the classic MPI_Send cycle deadlock can't form; the
 //! protocol thread always reaches its `recv`, which drains the wire.
 
-use crate::{fnv1a64, DtLinks, ParcelError, RankNet, Tag, Transport};
+use crate::{fnv1a64, DtLinks, ParcelError, ParcelObs, RankNet, Tag, Transport};
 use crossbeam::channel::{bounded, Sender};
 use lulesh_core::types::Real;
 use parking_lot::Mutex;
@@ -102,8 +102,14 @@ fn u32_at(b: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
 }
 
-/// A frame-writer request: already-assigned sequence number plus payload.
-type WriteReq = (Tag, u32, Vec<Real>);
+/// A frame-writer request.
+enum WriteReq {
+    /// Send a frame: already-assigned sequence number plus payload.
+    Frame(Tag, u32, Vec<Real>),
+    /// Pin the writer thread itself to these CPUs (a thread can only pin
+    /// itself, so the command rides the queue).
+    Pin(Vec<usize>),
+}
 
 /// [`Transport`] over one TCP connection.
 pub struct TcpTransport {
@@ -113,6 +119,7 @@ pub struct TcpTransport {
     writer_err: Arc<Mutex<Option<ParcelError>>>,
     send_seq: AtomicU32,
     recv_seq: AtomicU32,
+    obs: Arc<Mutex<Option<ParcelObs>>>,
 }
 
 impl TcpTransport {
@@ -137,18 +144,34 @@ impl TcpTransport {
         // `send` never blocks the protocol thread on a full socket buffer.
         let (writer_tx, writer_rx) = bounded::<WriteReq>(8);
         let writer_err = Arc::new(Mutex::new(None::<ParcelError>));
+        let obs = Arc::new(Mutex::new(None::<ParcelObs>));
         {
             let err = Arc::clone(&writer_err);
+            let obs = Arc::clone(&obs);
             let src = my_rank as u32;
             std::thread::Builder::new()
                 .name(format!("parcelnet-writer-{my_rank}-to-{peer}"))
                 .spawn(move || {
                     let mut stream = write_half;
-                    while let Ok((tag, seq, payload)) = writer_rx.recv() {
+                    while let Ok(req) = writer_rx.recv() {
+                        let (tag, seq, payload) = match req {
+                            WriteReq::Pin(cpus) => {
+                                // Best effort: a single-node host simply
+                                // leaves the thread floating.
+                                let _ = taskrt::topology::pin_current_thread(&cpus);
+                                continue;
+                            }
+                            WriteReq::Frame(tag, seq, payload) => (tag, seq, payload),
+                        };
+                        let o = obs.lock().clone();
+                        let t0 = o.as_ref().map(|o| o.now_ns());
                         let bytes = encode_frame(tag, seq, src, &payload);
                         if let Err(e) = stream.write_all(&bytes).and_then(|()| stream.flush()) {
                             *err.lock() = Some(map_io(peer, &e));
                             return;
+                        }
+                        if let (Some(o), Some(t0)) = (&o, t0) {
+                            o.serialize(tag, t0, o.now_ns(), payload.len() as u64 * 8, peer);
                         }
                     }
                 })
@@ -162,6 +185,7 @@ impl TcpTransport {
             writer_err,
             send_seq: AtomicU32::new(0),
             recv_seq: AtomicU32::new(0),
+            obs,
         })
     }
 }
@@ -175,22 +199,34 @@ impl Transport for TcpTransport {
         if let Some(e) = *self.writer_err.lock() {
             return Err(e);
         }
+        let obs = self.obs.lock().clone();
+        let t0 = obs.as_ref().map(|o| o.now_ns());
         let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
         self.writer_tx
-            .send((tag, seq, payload.to_vec()))
+            .send(WriteReq::Frame(tag, seq, payload.to_vec()))
             .map_err(|_| {
                 self.writer_err
                     .lock()
                     .unwrap_or(ParcelError::PeerClosed { peer: self.peer })
-            })
+            })?;
+        if let (Some(o), Some(t0)) = (&obs, t0) {
+            o.send(tag, t0, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
+        Ok(())
     }
 
     fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
+        let obs = self.obs.lock().clone();
+        let t0 = obs.as_ref().map(|o| o.now_ns());
         let mut stream = self.reader.lock();
         let mut header = [0u8; 24];
         stream
             .read_exact(&mut header)
             .map_err(|e| map_io(self.peer, &e))?;
+        let arrival = obs.as_ref().map(|o| o.now_ns());
+        if let (Some(o), Some(t0), Some(arr)) = (&obs, t0, arrival) {
+            o.wait(tag, t0, arr, self.peer);
+        }
 
         let got_tag = Tag::from_u32(u32_at(&header, 0))
             .ok_or(ParcelError::Io(std::io::ErrorKind::InvalidData))?;
@@ -217,6 +253,9 @@ impl Transport for TcpTransport {
             });
         }
         if fnv1a64(&payload_bytes) != ck {
+            if let (Some(o), Some(arr)) = (&obs, arrival) {
+                o.corrupt(arr, o.now_ns(), self.peer);
+            }
             return Err(ParcelError::ChecksumMismatch { peer: self.peer });
         }
         if got_tag != tag {
@@ -229,16 +268,28 @@ impl Transport for TcpTransport {
                 got: got_tag,
             });
         }
-        let payload = payload_bytes
+        let payload: Vec<Real> = payload_bytes
             .chunks_exact(8)
             .map(|c| Real::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
+        if let (Some(o), Some(arr)) = (&obs, arrival) {
+            o.recv(tag, arr, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
         Ok(payload)
     }
 
     fn close(&self) -> Result<(), ParcelError> {
         self.send(Tag::Bye, &[])?;
         self.recv(Tag::Bye).map(|_| ())
+    }
+
+    fn attach_obs(&self, obs: ParcelObs) {
+        *self.obs.lock() = Some(obs);
+    }
+
+    fn pin_writer(&self, cpus: &[usize]) {
+        // Ignore a closed queue: a dead link has nothing left to pin.
+        let _ = self.writer_tx.send(WriteReq::Pin(cpus.to_vec()));
     }
 }
 

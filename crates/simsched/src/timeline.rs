@@ -295,6 +295,8 @@ mod tests {
             start_ns: 0,
             end_ns: 1000,
             kind: obs::SpanKind::Task,
+            bytes: 0,
+            peer: -1,
         };
         let obs_line = obs::chrome_trace(&[span]);
         for key in [

@@ -715,6 +715,8 @@ pub(crate) fn exec_timed<R>(label: &'static str, kind: SpanKind, f: impl FnOnce(
                         start_ns: start,
                         end_ns: end,
                         kind,
+                        bytes: 0,
+                        peer: -1,
                     },
                 );
                 r

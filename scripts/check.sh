@@ -67,4 +67,20 @@ grep -q "^6,11,10,2," "$TMP/tcp_smoke.csv" || {
   echo "TCP smoke run produced no report:"; cat "$TMP/tcp_smoke.csv"; exit 1;
 }
 
+echo "== distributed-trace smoke run (3 TCP ranks, --trace-dir) =="
+# Each worker drops a rank{R}.spans.json; the launcher clock-aligns and
+# merges them, then runs the inefficiency analysis. trace_lint validates
+# the merged Chrome trace end to end (3 ranks x 8 dt barriers = 24), and
+# the analysis must self-verify (per-category sums match wall clock,
+# zero causality violations) or the launcher exits nonzero.
+./target/debug/lulesh-multidom --transport tcp --ranks 3 --s 6 --i 8 --q \
+  --trace-dir "$TMP/tr" > /dev/null
+./target/debug/trace_lint "$TMP/tr/merged.trace.json" 24
+test -s "$TMP/tr/analysis.json"
+
+echo "== perf-regression gate (BENCH_baseline.json) =="
+# Three tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
+# regression or schema drift against the checked-in baseline.
+./target/debug/regress --out "$TMP/bench" --baseline BENCH_baseline.json
+
 echo "== all checks passed =="
