@@ -353,9 +353,49 @@ fn compare(current: &[Scenario], baseline_text: &str, tol: f64) -> Result<(), St
     }
 }
 
+/// The repository root the default baseline lives in. The gate must read
+/// the same checked-in `BENCH_baseline.json` no matter which directory it
+/// is invoked from (check.sh runs it from the root, a developer may run it
+/// from a crate directory), so walk up from the CWD to the workspace
+/// marker; fall back to the compile-time manifest location (two levels
+/// above `crates/bench`) when invoked from outside the repo entirely.
+fn repo_root() -> std::path::PathBuf {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join("Cargo.toml").is_file() && dir.join("ROADMAP.md").is_file() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Write `text` to `path` atomically: temp file in the same directory,
+/// then rename. A gate run (or Ctrl-C) racing `--update` sees either the
+/// old baseline or the new one, never a torn file.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = dir.unwrap_or_else(|| Path::new(".")).join(format!(
+        ".{}.tmp{}",
+        "BENCH_baseline",
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 fn main() {
     let mut out_dir = ".".to_string();
-    let mut baseline = "BENCH_baseline.json".to_string();
+    let mut baseline: Option<String> = None;
     let mut update = false;
     let mut tol = std::env::var("REGRESS_TOL")
         .ok()
@@ -371,7 +411,7 @@ fn main() {
         };
         match a.as_str() {
             "--out" => out_dir = val("out"),
-            "--baseline" => baseline = val("baseline"),
+            "--baseline" => baseline = Some(val("baseline")),
             "--update" => update = true,
             "--tol" => {
                 tol = val("tol").parse().unwrap_or_else(|_| {
@@ -388,6 +428,13 @@ fn main() {
             }
         }
     }
+
+    // An explicit --baseline is taken as given (relative to the CWD, like
+    // any CLI path); the default resolves against the repo root so the
+    // gate reads the checked-in baseline from any invocation directory.
+    let baseline = baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("BENCH_baseline.json"));
 
     eprintln!("regress: running 3 tier-1 scenarios, best-of-{REPS} interleaved reps ...");
     // Let whatever just ran (check.sh invokes this right after the test
@@ -410,15 +457,15 @@ fn main() {
     }
 
     if update {
-        std::fs::write(&baseline, baseline_json(&scenarios)).unwrap_or_else(|e| {
-            eprintln!("{baseline}: {e}");
+        write_atomic(&baseline, &baseline_json(&scenarios)).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", baseline.display());
             std::process::exit(1);
         });
-        eprintln!("regress: baseline updated at {baseline}");
+        eprintln!("regress: baseline updated at {}", baseline.display());
         return;
     }
     let text = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
-        eprintln!("{baseline}: {e} (generate one with --update)");
+        eprintln!("{}: {e} (generate one with --update)", baseline.display());
         std::process::exit(1);
     });
     match compare(&scenarios, &text, tol) {

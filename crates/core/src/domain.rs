@@ -16,7 +16,7 @@
 //! their results against the serial driver bit-for-bit.
 
 use crate::kernels::volume::calc_elem_volume;
-use crate::mesh::{self, MeshShape, ZetaBoundary};
+use crate::mesh::{self, Face, MeshShape};
 use crate::params::{Params, EBASE};
 use crate::regions::Regions;
 use crate::types::{Index, Real};
@@ -167,9 +167,9 @@ impl Domain {
         Self::build_subdomain(MeshShape::cube(size), num_reg, balance, cost, seed)
     }
 
-    /// Build one ζ-slab subdomain of the global Sedov cube (the basis of
-    /// the `multidom` multi-domain extension). Internal ζ faces carry COMM
-    /// boundary flags and ghost planes for the monotonic-q gradients; the
+    /// Build one sub-brick of the global Sedov cube (the basis of the
+    /// `multidom` multi-domain extension). Internal faces carry COMM
+    /// boundary flags and ghost regions for the monotonic-q gradients; the
     /// blast energy is deposited only on the subdomain containing the
     /// global origin element.
     pub fn build_subdomain(
@@ -181,10 +181,15 @@ impl Domain {
     ) -> Self {
         assert!(shape.nx >= 1 && shape.ny >= 1 && shape.nz >= 1);
         assert!(
-            shape.z_offset + shape.nz <= shape.global_nz,
-            "slab exceeds the global mesh"
+            shape.x_offset + shape.nx <= shape.global_nx
+                && shape.y_offset + shape.ny <= shape.global_ny
+                && shape.z_offset + shape.nz <= shape.global_nz,
+            "sub-brick exceeds the global mesh"
         );
-        debug_assert_eq!(shape.nx, shape.ny, "the Sedov problem is defined on a cube");
+        debug_assert!(
+            shape.global_nx == shape.global_ny && shape.global_ny == shape.global_nz,
+            "the Sedov problem is defined on a cube"
+        );
         let num_elem = shape.num_elem();
         let num_node = shape.num_node();
 
@@ -222,26 +227,21 @@ impl Domain {
         }
 
         // Deposit the blast energy in the global origin element (local
-        // element 0 of the bottom slab), scaled so the problem is
+        // element 0 of the origin sub-brick), scaled so the problem is
         // size-invariant, and derive the analytic-CFL initial dt (the same
-        // value on every subdomain).
-        let scale = shape.nx as Real / 45.0;
+        // value on every subdomain). The scale uses the *global* extent so
+        // every sub-brick of one problem agrees on the deposit.
+        let scale = shape.global_nx as Real / 45.0;
         let einit = EBASE * scale * scale * scale;
         let mut e_field = vec![0.0; num_elem];
-        if shape.z_offset == 0 {
+        if shape.x_offset == 0 && shape.y_offset == 0 && shape.z_offset == 0 {
             e_field[0] = einit;
         }
         let initial_dt = 0.5 * volo[0].cbrt() / (2.0 * einit).sqrt();
 
-        // Ghost element planes for the monotonic-q gradients on COMM faces:
-        // ζ− ghosts at [num_elem, num_elem+plane), ζ+ at the next plane.
-        let (zm, zp) = shape.zeta_boundaries();
-        let has_comm = zm == ZetaBoundary::Comm || zp == ZetaBoundary::Comm;
-        let grad_len = if has_comm {
-            num_elem + 2 * shape.elems_per_plane()
-        } else {
-            num_elem
-        };
+        // Ghost element regions for the monotonic-q gradients: one region
+        // per COMM face, laid out after the real elements in Face order.
+        let grad_len = shape.grad_len();
 
         let zeros_e = || SharedVec::from_elem(0.0, num_elem);
         let zeros_g = || SharedVec::from_elem(0.0, grad_len);
@@ -317,18 +317,23 @@ impl Domain {
         self.shape
     }
 
-    /// Ghost-plane base index for the ζ− halo of the gradient arrays
-    /// (`delv_xi/eta/zeta`), if this subdomain has one.
+    /// Ghost-region base index for a COMM face's halo in the gradient
+    /// arrays (`delv_xi/eta/zeta`), if this subdomain has one.
     #[inline]
-    pub fn ghost_zm_base(&self) -> Option<Index> {
-        (self.shape.zeta_boundaries().0 == ZetaBoundary::Comm).then_some(self.num_elem)
+    pub fn ghost_base(&self, face: Face) -> Option<Index> {
+        self.shape.ghost_base(face)
     }
 
-    /// Ghost-plane base index for the ζ+ halo of the gradient arrays.
+    /// Ghost-region base index for the ζ− halo of the gradient arrays.
+    #[inline]
+    pub fn ghost_zm_base(&self) -> Option<Index> {
+        self.shape.ghost_base(Face::Zm)
+    }
+
+    /// Ghost-region base index for the ζ+ halo of the gradient arrays.
     #[inline]
     pub fn ghost_zp_base(&self) -> Option<Index> {
-        (self.shape.zeta_boundaries().1 == ZetaBoundary::Comm)
-            .then_some(self.num_elem + self.shape.elems_per_plane())
+        self.shape.ghost_base(Face::Zp)
     }
 
     /// Total element count (`nx·ny·nz`).

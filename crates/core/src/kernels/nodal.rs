@@ -50,17 +50,22 @@ pub fn symm_list_len(d: &Domain) -> usize {
 /// etc.). Produces exactly the same stores as
 /// [`apply_acceleration_boundary_conditions`] but is node-partitionable, so
 /// the task driver can fuse it into its per-partition node chains (paper
-/// trick T3).
+/// trick T3). Each axis is gated on its symmetry list being non-empty: on
+/// a 3-D rank grid a sub-brick's local min plane may be a communication
+/// interface rather than a global symmetry plane, and zeroing accelerations
+/// there would corrupt the halo-summed forces.
 pub fn apply_acceleration_bc_by_node_range(d: &Domain, range: Chunk) {
     let shape = d.shape();
     let rn = shape.nx + 1;
     let pn = shape.nodes_per_plane();
+    let has_symm_x = !d.m_symm_x.is_empty();
+    let has_symm_y = !d.m_symm_y.is_empty();
     let has_symm_z = !d.m_symm_z.is_empty();
     for n in range.iter() {
-        if n % rn == 0 {
+        if has_symm_x && n % rn == 0 {
             d.set_xdd(n, 0.0);
         }
-        if (n / rn).is_multiple_of(shape.ny + 1) {
+        if has_symm_y && (n / rn).is_multiple_of(shape.ny + 1) {
             d.set_ydd(n, 0.0);
         }
         if has_symm_z && n / pn == 0 {
@@ -178,6 +183,50 @@ mod tests {
             assert_eq!(d1.xdd(n), d2.xdd(n), "node {n}");
             assert_eq!(d1.ydd(n), d2.ydd(n));
             assert_eq!(d1.zdd(n), d2.zdd(n));
+        }
+    }
+
+    #[test]
+    fn bc_by_index_matches_bc_by_list_on_offset_subbricks() {
+        // Sub-bricks of a 3-D rank grid: a brick whose local x=0 (or y=0,
+        // z=0) plane is a communication interface has an empty symmetry
+        // list for that axis, and the index-arithmetic variant must not
+        // zero accelerations there. One brick per grid octant of a 2x2x2
+        // split of a size-4 cube.
+        use crate::mesh::MeshShape;
+        for &(ox, oy, oz) in &[
+            (0, 0, 0),
+            (2, 0, 0),
+            (0, 2, 0),
+            (0, 0, 2),
+            (2, 2, 0),
+            (2, 2, 2),
+        ] {
+            let shape = MeshShape::brick((2, 2, 2), (4, 4, 4), (ox, oy, oz));
+            let d1 = Domain::build_subdomain(shape, 1, 1, 1, 0);
+            let d2 = Domain::build_subdomain(shape, 1, 1, 1, 0);
+            for n in 0..d1.num_node() {
+                for d in [&d1, &d2] {
+                    d.set_xdd(n, 1.0 + n as Real);
+                    d.set_ydd(n, 2.0 + n as Real);
+                    d.set_zdd(n, 3.0 + n as Real);
+                }
+            }
+            apply_acceleration_boundary_conditions(
+                &d1,
+                Chunk {
+                    begin: 0,
+                    end: symm_list_len(&d1),
+                },
+            );
+            for range in parutil::chunks_of(d2.num_node(), 7) {
+                apply_acceleration_bc_by_node_range(&d2, range);
+            }
+            for n in 0..d1.num_node() {
+                assert_eq!(d1.xdd(n), d2.xdd(n), "offset {:?} node {n}", (ox, oy, oz));
+                assert_eq!(d1.ydd(n), d2.ydd(n), "offset {:?} node {n}", (ox, oy, oz));
+                assert_eq!(d1.zdd(n), d2.zdd(n), "offset {:?} node {n}", (ox, oy, oz));
+            }
         }
     }
 

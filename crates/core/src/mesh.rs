@@ -6,39 +6,93 @@
 //! Faithful port of `Domain::BuildMesh`, `SetupElementConnectivities`,
 //! `SetupBoundaryConditions`, `SetupSymmetryPlanes` and
 //! `AllocateNodeElemIndexes` from LULESH 2.0, generalized to rectangular
-//! `nx × ny × nz` subdomains so the multi-domain extension (the paper's
-//! future work, implemented in the `multidom` crate) can decompose the
-//! global cube along ζ. A single cubic domain is the `nx = ny = nz`,
-//! offset-0 special case and is bit-identical to the original builder.
+//! `nx × ny × nz` sub-bricks at an arbitrary position inside the global
+//! cube so the multi-domain extension (the paper's future work, implemented
+//! in the `multidom` crate) can decompose over a 3-D rank grid. A single
+//! cubic domain is the offset-0, local-extent-equals-global special case
+//! and is bit-identical to the original builder.
 
 // Indexed loops intentionally mirror the reference's `SetupElementConnectivities` flat-index arithmetic.
 #![allow(clippy::needless_range_loop)]
 use crate::params::MESH_EXTENT;
 use crate::types::{bc, Index, Real};
 
-/// What sits on each ζ face of a (sub)domain.
+/// What sits on one face of a (sub)domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ZetaBoundary {
-    /// The global symmetry plane (ζ = 0 of the whole problem).
+pub enum FaceBoundary {
+    /// A global symmetry plane (the min face of the whole problem).
     Symm,
-    /// The global free surface (ζ = max of the whole problem).
+    /// A global free surface (the max face of the whole problem).
     Free,
     /// An internal boundary to a neighbouring subdomain (halo exchange).
     Comm,
 }
 
-/// Shape of one (sub)domain: local element extents, and the position of
-/// its ζ-slab within the global mesh.
+/// Backwards-compatible alias from the ζ-slab era: the same three kinds
+/// now apply to every face.
+pub type ZetaBoundary = FaceBoundary;
+
+/// The six faces of a sub-brick, in the fixed order used for ghost-plane
+/// layout: ξ−, ξ+, η−, η+, ζ−, ζ+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Face {
+    /// ξ− (x = min).
+    Xm = 0,
+    /// ξ+ (x = max).
+    Xp = 1,
+    /// η− (y = min).
+    Ym = 2,
+    /// η+ (y = max).
+    Yp = 3,
+    /// ζ− (z = min).
+    Zm = 4,
+    /// ζ+ (z = max).
+    Zp = 5,
+}
+
+impl Face {
+    /// All faces in ghost-layout order.
+    pub const ALL: [Face; 6] = [Face::Xm, Face::Xp, Face::Ym, Face::Yp, Face::Zm, Face::Zp];
+
+    /// Axis of the face normal: 0 = ξ, 1 = η, 2 = ζ.
+    #[inline]
+    pub fn axis(self) -> usize {
+        (self as usize) / 2
+    }
+
+    /// `true` for the max (+) face of its axis.
+    #[inline]
+    pub fn is_plus(self) -> bool {
+        (self as usize) % 2 == 1
+    }
+
+    /// The face on the opposite side of the same axis.
+    #[inline]
+    pub fn opposite(self) -> Face {
+        Face::ALL[(self as usize) ^ 1]
+    }
+}
+
+/// Shape of one (sub)domain: local element extents, the global extents,
+/// and the position of this sub-brick within the global mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeshShape {
-    /// Elements along ξ (x).
+    /// Elements along ξ (x), local to this subdomain.
     pub nx: Index,
-    /// Elements along η (y).
+    /// Elements along η (y), local to this subdomain.
     pub ny: Index,
     /// Elements along ζ (z), local to this subdomain.
     pub nz: Index,
-    /// Global ζ extent in elements (for coordinates and scaling).
+    /// Global ξ extent in elements.
+    pub global_nx: Index,
+    /// Global η extent in elements.
+    pub global_ny: Index,
+    /// Global ζ extent in elements.
     pub global_nz: Index,
+    /// Elements left of this subdomain's first ξ column.
+    pub x_offset: Index,
+    /// Elements in front of this subdomain's first η row.
+    pub y_offset: Index,
     /// Elements below this subdomain's first ζ plane.
     pub z_offset: Index,
 }
@@ -46,12 +100,26 @@ pub struct MeshShape {
 impl MeshShape {
     /// A single cubic domain of edge `size`.
     pub fn cube(size: Index) -> Self {
+        Self::brick((size, size, size), (size, size, size), (0, 0, 0))
+    }
+
+    /// A rectangular sub-brick: `local` extents at `offset` within the
+    /// `global` mesh.
+    pub fn brick(
+        local: (Index, Index, Index),
+        global: (Index, Index, Index),
+        offset: (Index, Index, Index),
+    ) -> Self {
         Self {
-            nx: size,
-            ny: size,
-            nz: size,
-            global_nz: size,
-            z_offset: 0,
+            nx: local.0,
+            ny: local.1,
+            nz: local.2,
+            global_nx: global.0,
+            global_ny: global.1,
+            global_nz: global.2,
+            x_offset: offset.0,
+            y_offset: offset.1,
+            z_offset: offset.2,
         }
     }
 
@@ -75,25 +143,125 @@ impl MeshShape {
         (self.nx + 1) * (self.ny + 1)
     }
 
-    /// The ζ boundary kinds implied by the slab position.
-    pub fn zeta_boundaries(&self) -> (ZetaBoundary, ZetaBoundary) {
-        let zm = if self.z_offset == 0 {
-            ZetaBoundary::Symm
+    /// Offset along a face's axis (0 = ξ, 1 = η, 2 = ζ).
+    fn axis_offset(&self, axis: usize) -> Index {
+        [self.x_offset, self.y_offset, self.z_offset][axis]
+    }
+
+    /// Local extent along an axis.
+    fn axis_extent(&self, axis: usize) -> Index {
+        [self.nx, self.ny, self.nz][axis]
+    }
+
+    /// Global extent along an axis.
+    fn axis_global(&self, axis: usize) -> Index {
+        [self.global_nx, self.global_ny, self.global_nz][axis]
+    }
+
+    /// The boundary kind on one face, implied by the brick position: the
+    /// global min face is the symmetry plane, the global max face the free
+    /// surface, everything else an internal COMM boundary.
+    pub fn face_boundary(&self, face: Face) -> FaceBoundary {
+        let axis = face.axis();
+        if face.is_plus() {
+            if self.axis_offset(axis) + self.axis_extent(axis) == self.axis_global(axis) {
+                FaceBoundary::Free
+            } else {
+                FaceBoundary::Comm
+            }
+        } else if self.axis_offset(axis) == 0 {
+            FaceBoundary::Symm
         } else {
-            ZetaBoundary::Comm
-        };
-        let zp = if self.z_offset + self.nz == self.global_nz {
-            ZetaBoundary::Free
-        } else {
-            ZetaBoundary::Comm
-        };
-        (zm, zp)
+            FaceBoundary::Comm
+        }
+    }
+
+    /// The ζ boundary kinds (compatibility helper from the ζ-slab era).
+    pub fn zeta_boundaries(&self) -> (FaceBoundary, FaceBoundary) {
+        (self.face_boundary(Face::Zm), self.face_boundary(Face::Zp))
+    }
+
+    /// Number of elements on one face of the brick.
+    pub fn face_elem_count(&self, face: Face) -> Index {
+        match face.axis() {
+            0 => self.ny * self.nz,
+            1 => self.nx * self.nz,
+            _ => self.nx * self.ny,
+        }
+    }
+
+    /// Local element indices on a face, in the canonical exchange order
+    /// (ascending ζ plane, then η row, then ξ column). Matching faces of
+    /// neighbouring sub-bricks enumerate geometrically-coincident elements
+    /// at the same position because grid neighbours share their tangential
+    /// extents.
+    pub fn face_elems(&self, face: Face) -> Vec<Index> {
+        let pp = self.elems_per_plane();
+        let mut out = Vec::with_capacity(self.face_elem_count(face));
+        match face {
+            Face::Xm | Face::Xp => {
+                let col = if face.is_plus() { self.nx - 1 } else { 0 };
+                for p in 0..self.nz {
+                    for r in 0..self.ny {
+                        out.push(p * pp + r * self.nx + col);
+                    }
+                }
+            }
+            Face::Ym | Face::Yp => {
+                let row = if face.is_plus() { self.ny - 1 } else { 0 };
+                for p in 0..self.nz {
+                    for c in 0..self.nx {
+                        out.push(p * pp + row * self.nx + c);
+                    }
+                }
+            }
+            Face::Zm | Face::Zp => {
+                let plane = if face.is_plus() { self.nz - 1 } else { 0 };
+                for r in 0..self.ny {
+                    for c in 0..self.nx {
+                        out.push(plane * pp + r * self.nx + c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Base index of the ghost-element region for a COMM face in the
+    /// gradient arrays (`delv_xi/eta/zeta`). Ghost regions are laid out
+    /// after the `num_elem` real elements, in `Face::ALL` order, with slots
+    /// allocated only for COMM faces.
+    pub fn ghost_base(&self, face: Face) -> Option<Index> {
+        if self.face_boundary(face) != FaceBoundary::Comm {
+            return None;
+        }
+        let mut base = self.num_elem();
+        for f in Face::ALL {
+            if f == face {
+                return Some(base);
+            }
+            if self.face_boundary(f) == FaceBoundary::Comm {
+                base += self.face_elem_count(f);
+            }
+        }
+        unreachable!("face not in Face::ALL");
+    }
+
+    /// Length of the gradient arrays: real elements plus one ghost region
+    /// per COMM face.
+    pub fn grad_len(&self) -> Index {
+        self.num_elem()
+            + Face::ALL
+                .iter()
+                .filter(|&&f| self.face_boundary(f) == FaceBoundary::Comm)
+                .map(|&f| self.face_elem_count(f))
+                .sum::<Index>()
     }
 }
 
 /// Node coordinates of the `(nx+1)(ny+1)(nz+1)` lattice. The global mesh
-/// spans `[0, 1.125]` per dimension; ζ coordinates account for the slab
-/// offset.
+/// spans `[0, 1.125]` per dimension; coordinates account for the brick
+/// offset on every axis.
 pub fn build_coordinates(shape: MeshShape) -> (Vec<Real>, Vec<Real>, Vec<Real>) {
     let num_node = shape.num_node();
     let mut x = vec![0.0; num_node];
@@ -104,9 +272,9 @@ pub fn build_coordinates(shape: MeshShape) -> (Vec<Real>, Vec<Real>, Vec<Real>) 
     for plane in 0..=shape.nz {
         let tz = MESH_EXTENT * (shape.z_offset + plane) as Real / shape.global_nz as Real;
         for row in 0..=shape.ny {
-            let ty = MESH_EXTENT * row as Real / shape.ny as Real;
+            let ty = MESH_EXTENT * (shape.y_offset + row) as Real / shape.global_ny as Real;
             for col in 0..=shape.nx {
-                let tx = MESH_EXTENT * col as Real / shape.nx as Real;
+                let tx = MESH_EXTENT * (shape.x_offset + col) as Real / shape.global_nx as Real;
                 x[nidx] = tx;
                 y[nidx] = ty;
                 z[nidx] = tz;
@@ -151,9 +319,10 @@ pub fn build_nodelist(shape: MeshShape) -> Vec<Index> {
 /// The reference computes these with flat index arithmetic that wraps
 /// across row/plane boundaries on domain edges; the wrapped values are
 /// never read because the corresponding `elemBC` face flag is SYMM or
-/// FREE. We keep the identical arithmetic for fidelity. On COMM ζ faces
-/// the neighbour indices point *past* `num_elem` into the ghost planes:
-/// `num_elem + i` for the ζ− ghosts, `num_elem + nx·ny + i` for ζ+.
+/// FREE. We keep the identical arithmetic for fidelity. On COMM faces the
+/// neighbour indices point *past* `num_elem` into the per-face ghost
+/// regions (see [`MeshShape::ghost_base`]), in the canonical face order of
+/// [`MeshShape::face_elems`].
 #[allow(clippy::type_complexity)]
 pub fn build_connectivity(
     shape: MeshShape,
@@ -200,78 +369,85 @@ pub fn build_connectivity(
         lzetap[i - plane] = i;
     }
 
-    // Redirect COMM faces into the ghost planes.
-    let (zm, zp) = shape.zeta_boundaries();
-    if zm == ZetaBoundary::Comm {
-        for i in 0..plane {
-            lzetam[i] = num_elem + i;
-        }
-    }
-    if zp == ZetaBoundary::Comm {
-        for i in 0..plane {
-            lzetap[num_elem - plane + i] = num_elem + plane + i;
+    // Redirect COMM faces into their ghost regions.
+    for face in Face::ALL {
+        let Some(base) = shape.ghost_base(face) else {
+            continue;
+        };
+        let target: &mut Vec<Index> = match face {
+            Face::Xm => &mut lxim,
+            Face::Xp => &mut lxip,
+            Face::Ym => &mut letam,
+            Face::Yp => &mut letap,
+            Face::Zm => &mut lzetam,
+            Face::Zp => &mut lzetap,
+        };
+        for (k, e) in shape.face_elems(face).into_iter().enumerate() {
+            target[e] = base + k;
         }
     }
 
     (lxim, lxip, letam, letap, lzetam, lzetap)
 }
 
-/// Boundary-condition flags per element: symmetry on the ξ−/η− faces of
-/// the global mesh, free surface on ξ+/η+, and the configured kinds on
-/// the ζ faces (COMM for internal subdomain boundaries).
+/// Boundary-condition flags per element: symmetry on the global min faces,
+/// free surface on the global max faces, COMM on internal subdomain faces.
 pub fn build_boundary_conditions(shape: MeshShape) -> Vec<i32> {
     let num_elem = shape.num_elem();
-    let nx = shape.nx;
-    let ny = shape.ny;
-    let nz = shape.nz;
-    let plane = shape.elems_per_plane();
     let mut elem_bc = vec![0i32; num_elem];
-    let (zm, zp) = shape.zeta_boundaries();
 
-    for p in 0..nz {
-        for r in 0..ny {
-            // ξ faces: col == 0 / col == nx−1.
-            elem_bc[p * plane + r * nx] |= bc::XI_M_SYMM;
-            elem_bc[p * plane + r * nx + nx - 1] |= bc::XI_P_FREE;
-        }
-        for c in 0..nx {
-            // η faces: row == 0 / row == ny−1.
-            elem_bc[p * plane + c] |= bc::ETA_M_SYMM;
-            elem_bc[p * plane + (ny - 1) * nx + c] |= bc::ETA_P_FREE;
-        }
-    }
-    for i in 0..plane {
-        elem_bc[i] |= match zm {
-            ZetaBoundary::Symm => bc::ZETA_M_SYMM,
-            ZetaBoundary::Free => bc::ZETA_M_FREE,
-            ZetaBoundary::Comm => bc::ZETA_M_COMM,
+    for face in Face::ALL {
+        let flag = match (face, shape.face_boundary(face)) {
+            (Face::Xm, FaceBoundary::Symm) => bc::XI_M_SYMM,
+            (Face::Xm, FaceBoundary::Free) => bc::XI_M_FREE,
+            (Face::Xm, FaceBoundary::Comm) => bc::XI_M_COMM,
+            (Face::Xp, FaceBoundary::Symm) => bc::XI_P_SYMM,
+            (Face::Xp, FaceBoundary::Free) => bc::XI_P_FREE,
+            (Face::Xp, FaceBoundary::Comm) => bc::XI_P_COMM,
+            (Face::Ym, FaceBoundary::Symm) => bc::ETA_M_SYMM,
+            (Face::Ym, FaceBoundary::Free) => bc::ETA_M_FREE,
+            (Face::Ym, FaceBoundary::Comm) => bc::ETA_M_COMM,
+            (Face::Yp, FaceBoundary::Symm) => bc::ETA_P_SYMM,
+            (Face::Yp, FaceBoundary::Free) => bc::ETA_P_FREE,
+            (Face::Yp, FaceBoundary::Comm) => bc::ETA_P_COMM,
+            (Face::Zm, FaceBoundary::Symm) => bc::ZETA_M_SYMM,
+            (Face::Zm, FaceBoundary::Free) => bc::ZETA_M_FREE,
+            (Face::Zm, FaceBoundary::Comm) => bc::ZETA_M_COMM,
+            (Face::Zp, FaceBoundary::Symm) => bc::ZETA_P_SYMM,
+            (Face::Zp, FaceBoundary::Free) => bc::ZETA_P_FREE,
+            (Face::Zp, FaceBoundary::Comm) => bc::ZETA_P_COMM,
         };
-        elem_bc[(nz - 1) * plane + i] |= match zp {
-            ZetaBoundary::Symm => bc::ZETA_P_SYMM,
-            ZetaBoundary::Free => bc::ZETA_P_FREE,
-            ZetaBoundary::Comm => bc::ZETA_P_COMM,
-        };
+        for e in shape.face_elems(face) {
+            elem_bc[e] |= flag;
+        }
     }
     elem_bc
 }
 
-/// Node index lists of the symmetry planes (x = 0, y = 0, and — when this
-/// subdomain touches the global ζ = 0 plane — z = 0). For rectangular
-/// shapes the three lists have different lengths; the ζ list is empty for
-/// interior/upper subdomains.
+/// Node index lists of the symmetry planes: each axis contributes its min
+/// face's nodes when this sub-brick touches the corresponding global min
+/// plane (x = 0, y = 0, z = 0). Lists are empty for interior/upper bricks.
 pub fn build_symmetry_planes(shape: MeshShape) -> (Vec<Index>, Vec<Index>, Vec<Index>) {
     let rn = shape.nx + 1;
     let pn = shape.nodes_per_plane();
-    let mut symm_x = Vec::with_capacity((shape.ny + 1) * (shape.nz + 1));
-    let mut symm_y = Vec::with_capacity((shape.nx + 1) * (shape.nz + 1));
+    let mut symm_x = Vec::new();
+    let mut symm_y = Vec::new();
     let mut symm_z = Vec::new();
 
-    for plane in 0..=shape.nz {
-        for row in 0..=shape.ny {
-            symm_x.push(plane * pn + row * rn);
+    if shape.x_offset == 0 {
+        symm_x.reserve((shape.ny + 1) * (shape.nz + 1));
+        for plane in 0..=shape.nz {
+            for row in 0..=shape.ny {
+                symm_x.push(plane * pn + row * rn);
+            }
         }
-        for col in 0..=shape.nx {
-            symm_y.push(plane * pn + col);
+    }
+    if shape.y_offset == 0 {
+        symm_y.reserve((shape.nx + 1) * (shape.nz + 1));
+        for plane in 0..=shape.nz {
+            for col in 0..=shape.nx {
+                symm_y.push(plane * pn + col);
+            }
         }
     }
     if shape.z_offset == 0 {
@@ -340,20 +516,8 @@ mod tests {
     #[test]
     fn subdomain_coordinates_are_offset_slabs() {
         // Global 4³ cube split into two 4×4×2 slabs.
-        let lower = MeshShape {
-            nx: N,
-            ny: N,
-            nz: 2,
-            global_nz: N,
-            z_offset: 0,
-        };
-        let upper = MeshShape {
-            nx: N,
-            ny: N,
-            nz: 2,
-            global_nz: N,
-            z_offset: 2,
-        };
+        let lower = MeshShape::brick((N, N, 2), (N, N, N), (0, 0, 0));
+        let upper = MeshShape::brick((N, N, 2), (N, N, N), (0, 0, 2));
         let (_, _, zl) = build_coordinates(lower);
         let (_, _, zu) = build_coordinates(upper);
         // The lower slab's top plane coincides with the upper's bottom.
@@ -361,6 +525,19 @@ mod tests {
         assert_eq!(&zl[2 * pn..3 * pn], &zu[0..pn]);
         assert!((zu.last().unwrap() - MESH_EXTENT).abs() < 1e-15);
         assert!((zl[2 * pn] - MESH_EXTENT / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_subdomain_coordinates_are_offset_columns() {
+        // Global 4³ cube split into two 2×4×4 bricks along ξ.
+        let left = MeshShape::brick((2, N, N), (N, N, N), (0, 0, 0));
+        let right = MeshShape::brick((2, N, N), (N, N, N), (2, 0, 0));
+        let (xl, _, _) = build_coordinates(left);
+        let (xr, _, _) = build_coordinates(right);
+        // The left brick's right column coincides with the right's left.
+        assert_eq!(xl[2], xr[0]);
+        assert!((xl[2] - MESH_EXTENT / 2.0).abs() < 1e-15);
+        assert!((xr[2] - MESH_EXTENT).abs() < 1e-15);
     }
 
     #[test]
@@ -384,13 +561,7 @@ mod tests {
 
     #[test]
     fn nodelist_corners_are_distinct() {
-        let nl = build_nodelist(MeshShape {
-            nx: 3,
-            ny: 4,
-            nz: 2,
-            global_nz: 2,
-            z_offset: 0,
-        });
+        let nl = build_nodelist(MeshShape::brick((3, 4, 2), (3, 4, 2), (0, 0, 0)));
         for e in 0..3 * 4 * 2 {
             let mut c: Vec<_> = nl[8 * e..8 * e + 8].to_vec();
             c.sort_unstable();
@@ -413,13 +584,7 @@ mod tests {
 
     #[test]
     fn comm_faces_point_into_ghost_planes() {
-        let shape = MeshShape {
-            nx: N,
-            ny: N,
-            nz: 2,
-            global_nz: N,
-            z_offset: 2,
-        };
+        let shape = MeshShape::brick((N, N, 2), (N, N, N), (0, 0, 2));
         let (_, _, _, _, lzetam, lzetap) = build_connectivity(shape);
         let ne = shape.num_elem();
         let plane = shape.elems_per_plane();
@@ -430,6 +595,57 @@ mod tests {
         // ζ+ is FREE (top of global mesh): self-referencing sentinel.
         for i in 0..plane {
             assert_eq!(lzetap[ne - plane + i], ne - plane + i);
+        }
+    }
+
+    #[test]
+    fn xi_comm_faces_point_into_ghost_regions() {
+        // Right half of a ξ split: ξ− is COMM, everything else global.
+        let shape = MeshShape::brick((2, N, N), (N, N, N), (2, 0, 0));
+        let (lxim, lxip, ..) = build_connectivity(shape);
+        let base = shape.ghost_base(Face::Xm).expect("ξ− is COMM");
+        assert_eq!(base, shape.num_elem());
+        for (k, e) in shape.face_elems(Face::Xm).into_iter().enumerate() {
+            assert_eq!(lxim[e], base + k);
+        }
+        // ξ+ is FREE: no ghost region, wrapped neighbour values are gated
+        // by the XI_P_FREE flag and never read.
+        assert_eq!(shape.ghost_base(Face::Xp), None);
+        for e in shape.face_elems(Face::Xp) {
+            assert!(lxip[e] < shape.num_elem());
+        }
+        assert_eq!(shape.grad_len(), shape.num_elem() + N * N);
+    }
+
+    #[test]
+    fn ghost_bases_are_cumulative_in_face_order() {
+        // Center brick of a 3×3×3 grid: every face is COMM.
+        let shape = MeshShape::brick((2, 2, 2), (6, 6, 6), (2, 2, 2));
+        let ne = shape.num_elem();
+        let mut expect = ne;
+        for face in Face::ALL {
+            assert_eq!(shape.face_boundary(face), FaceBoundary::Comm);
+            assert_eq!(shape.ghost_base(face), Some(expect));
+            expect += shape.face_elem_count(face);
+        }
+        assert_eq!(shape.grad_len(), expect);
+    }
+
+    #[test]
+    fn face_elems_orders_match_between_neighbours() {
+        // Two 2×4×4 bricks sharing a ξ face enumerate the shared elements
+        // in the same (ζ, η) order.
+        let left = MeshShape::brick((2, N, N), (N, N, N), (0, 0, 0));
+        let right = MeshShape::brick((2, N, N), (N, N, N), (2, 0, 0));
+        let lf = left.face_elems(Face::Xp);
+        let rf = right.face_elems(Face::Xm);
+        assert_eq!(lf.len(), rf.len());
+        let coord = |s: &MeshShape, e: Index| -> (Index, Index) {
+            let pp = s.elems_per_plane();
+            ((e / pp), (e % pp) / s.nx)
+        };
+        for (le, re) in lf.iter().zip(&rf) {
+            assert_eq!(coord(&left, *le), coord(&right, *re));
         }
     }
 
@@ -451,13 +667,7 @@ mod tests {
 
     #[test]
     fn comm_flags_on_internal_subdomain_faces() {
-        let mid = MeshShape {
-            nx: N,
-            ny: N,
-            nz: 1,
-            global_nz: 3,
-            z_offset: 1,
-        };
+        let mid = MeshShape::brick((N, N, 1), (N, N, 3), (0, 0, 1));
         let elem_bc = build_boundary_conditions(mid);
         let plane = mid.elems_per_plane();
         for i in 0..plane {
@@ -471,6 +681,25 @@ mod tests {
                 0,
                 "elem {i} ζ+ should be COMM"
             );
+        }
+    }
+
+    #[test]
+    fn comm_flags_on_xi_eta_subdomain_faces() {
+        // Center brick of a 3×3 ξη grid: all four lateral faces COMM.
+        let mid = MeshShape::brick((2, 2, 6), (6, 6, 6), (2, 2, 0));
+        let elem_bc = build_boundary_conditions(mid);
+        for e in mid.face_elems(Face::Xm) {
+            assert_ne!(elem_bc[e] & bc::XI_M_COMM, 0);
+        }
+        for e in mid.face_elems(Face::Xp) {
+            assert_ne!(elem_bc[e] & bc::XI_P_COMM, 0);
+        }
+        for e in mid.face_elems(Face::Ym) {
+            assert_ne!(elem_bc[e] & bc::ETA_M_COMM, 0);
+        }
+        for e in mid.face_elems(Face::Yp) {
+            assert_ne!(elem_bc[e] & bc::ETA_P_COMM, 0);
         }
     }
 
@@ -511,13 +740,7 @@ mod tests {
 
     #[test]
     fn interior_subdomain_has_no_z_symmetry_nodes() {
-        let upper = MeshShape {
-            nx: N,
-            ny: N,
-            nz: 2,
-            global_nz: N,
-            z_offset: 2,
-        };
+        let upper = MeshShape::brick((N, N, 2), (N, N, N), (0, 0, 2));
         let (sx, sy, sz) = build_symmetry_planes(upper);
         assert!(sz.is_empty());
         assert_eq!(sx.len(), (N + 1) * (2 + 1));
@@ -525,14 +748,17 @@ mod tests {
     }
 
     #[test]
+    fn offset_bricks_have_no_xy_symmetry_nodes() {
+        let corner = MeshShape::brick((2, 2, 2), (N, N, N), (2, 2, 2));
+        let (sx, sy, sz) = build_symmetry_planes(corner);
+        assert!(sx.is_empty());
+        assert!(sy.is_empty());
+        assert!(sz.is_empty());
+    }
+
+    #[test]
     fn corner_lists_are_consistent() {
-        let shape = MeshShape {
-            nx: 3,
-            ny: 4,
-            nz: 2,
-            global_nz: 2,
-            z_offset: 0,
-        };
+        let shape = MeshShape::brick((3, 4, 2), (3, 4, 2), (0, 0, 0));
         let nl = build_nodelist(shape);
         let num_node = shape.num_node();
         let (start, corners) = build_node_elem_corners(&nl, num_node);

@@ -124,6 +124,54 @@ impl std::str::FromStr for PinMode {
     }
 }
 
+/// A 3-D rank grid, `--grid NXxNYxNZ` (e.g. `--grid 2x2x2`). The rank
+/// count is the product of the three extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Ranks along ξ (x).
+    pub nx: usize,
+    /// Ranks along η (y).
+    pub ny: usize,
+    /// Ranks along ζ (z).
+    pub nz: usize,
+}
+
+impl GridSpec {
+    /// Total rank count.
+    pub fn ranks(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+impl std::fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+impl std::str::FromStr for GridSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('x').collect();
+        if parts.len() != 3 {
+            return Err(format!("bad grid '{s}': expected NXxNYxNZ"));
+        }
+        let mut dims = [0usize; 3];
+        for (d, p) in dims.iter_mut().zip(&parts) {
+            *d = match p.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => return Err(format!("bad grid extent '{p}' in '{s}'")),
+            };
+        }
+        Ok(Self {
+            nx: dims[0],
+            ny: dims[1],
+            nz: dims[2],
+        })
+    }
+}
+
 /// Parsed options with the reference defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Opts {
@@ -162,6 +210,9 @@ pub struct Opts {
     pub recv_deadline_ms: u64,
     /// NUMA worker pinning, `--pin all|none|node0,node1,…`. Default none.
     pub pin: PinMode,
+    /// 3-D rank grid for the multi-domain drivers, `--grid NXxNYxNZ`.
+    /// Default: none (a 1-D ζ chain over `--ranks`).
+    pub grid: Option<GridSpec>,
 }
 
 impl Default for Opts {
@@ -182,6 +233,7 @@ impl Default for Opts {
             transport: TransportMode::Channel,
             recv_deadline_ms: 10_000,
             pin: PinMode::None,
+            grid: None,
         }
     }
 }
@@ -247,6 +299,7 @@ impl Opts {
                 "transport" => opts.transport = parse_val(flag, inline, &mut it)?,
                 "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
                 "pin" => opts.pin = parse_val(flag, inline, &mut it)?,
+                "grid" => opts.grid = Some(parse_val(flag, inline, &mut it)?),
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -280,7 +333,7 @@ impl Opts {
              [--trace FILE.json] [--metrics FILE.csv|.json] [--trace-dir DIR] \
              [--partition auto|fixed:N|table] \
              [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
-             [--pin all|none|node0,node1,…]\n\
+             [--pin all|none|node0,node1,…] [--grid NXxNYxNZ]\n\
              Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
              --partition table --transport channel --recv-deadline-ms 10000 \
              --pin none, run to stoptime.\n\
@@ -292,7 +345,9 @@ impl Opts {
              --transport tcp exchanges halos over loopback sockets \
              (multi-domain drivers); \
              --pin pins workers to NUMA nodes with locality-aware stealing \
-             (degrades to a warning on single-node hosts)."
+             (degrades to a warning on single-node hosts); \
+             --grid decomposes over a 3-D rank grid with 27-neighbour halo \
+             exchange (multi-domain drivers; each extent must divide --s)."
         )
     }
 }
@@ -411,6 +466,37 @@ mod tests {
         assert!(Opts::parse(["--pin", "node0,,node1"]).is_err());
         assert!(Opts::parse(["--pin", ""]).is_err());
         assert!(Opts::parse(["--pin"]).is_err());
+    }
+
+    #[test]
+    fn grid_specs() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.grid, None);
+        let o = Opts::parse(["--grid", "2x2x2"]).unwrap();
+        assert_eq!(
+            o.grid,
+            Some(GridSpec {
+                nx: 2,
+                ny: 2,
+                nz: 2
+            })
+        );
+        assert_eq!(o.grid.unwrap().ranks(), 8);
+        assert_eq!(o.grid.unwrap().to_string(), "2x2x2");
+        let o = Opts::parse(["--grid=1x1x3"]).unwrap();
+        assert_eq!(
+            o.grid,
+            Some(GridSpec {
+                nx: 1,
+                ny: 1,
+                nz: 3
+            })
+        );
+        assert!(Opts::parse(["--grid", "2x2"]).is_err());
+        assert!(Opts::parse(["--grid", "2x2x0"]).is_err());
+        assert!(Opts::parse(["--grid", "2x2x2x2"]).is_err());
+        assert!(Opts::parse(["--grid", "axbxc"]).is_err());
+        assert!(Opts::parse(["--grid"]).is_err());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Multi-domain LULESH binary (the paper's future-work extension): run the
-//! global problem decomposed into ζ slabs with one thread per rank and
-//! MPI-style halo exchange. CLI matches the artifact, plus `--ranks N` and
-//! `--transport channel|tcp[:HOST:PORT]`.
+//! global problem decomposed over a 3-D rank grid with one thread per rank
+//! and MPI-style halo exchange (27-neighbour: faces, edges, corners). CLI
+//! matches the artifact, plus `--grid NXxNYxNZ` (every extent must divide
+//! `--s`), `--ranks N` (shorthand for `--grid 1x1xN`, the ζ-slab chain)
+//! and `--transport channel|tcp[:HOST:PORT]`.
 //!
 //! With `--transport channel` (the default) all ranks live in this process
 //! and exchange halos over in-memory channels. With `--transport tcp` the
@@ -21,7 +23,7 @@
 //! multi-host runs whose spans files were gathered by hand).
 
 use lulesh_core::{Opts, RunReport, TransportMode};
-use multidom::{threaded, Decomposition, FaultPlan, MdError, SimArgs};
+use multidom::{threaded, Decomposition, FaultPlan, Grid3, MdError, SimArgs};
 use obs::dist::RankTrace;
 use obs::Tracer;
 use std::path::Path;
@@ -48,7 +50,7 @@ fn extract_flag(args: &mut Vec<String>, name: &str) -> Option<usize> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let launcher_args = args.clone();
-    let ranks = extract_flag(&mut args, "ranks").unwrap_or(2);
+    let ranks_flag = extract_flag(&mut args, "ranks");
     let rank = extract_flag(&mut args, "rank");
     let merge_only = args
         .iter()
@@ -60,7 +62,7 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", Opts::usage("lulesh-multidom"));
-            eprintln!("extra flags: --ranks N (ζ slabs, default 2; must divide --s); --rank R (internal: run as TCP worker R); --merge-only (merge + analyze an existing --trace-dir, no run)");
+            eprintln!("extra flags: --ranks N (ζ slabs, i.e. --grid 1x1xN; default 2); --rank R (internal: run as TCP worker R); --merge-only (merge + analyze an existing --trace-dir, no run)");
             std::process::exit(2);
         }
     };
@@ -75,16 +77,41 @@ fn main() {
         merge_and_report(dir, opts.quiet);
         return;
     }
-    if ranks == 0 || opts.size % ranks != 0 {
-        eprintln!(
-            "--ranks must be positive and divide --s (got --ranks {ranks}, --s {})",
-            opts.size
-        );
-        std::process::exit(2);
+    // `--grid NXxNYxNZ` decides the rank layout; `--ranks N` is the ζ-slab
+    // shorthand. Giving both is fine if they agree on the rank count
+    // (workers are spawned with both: --grid forwarded, --ranks appended).
+    let grid = match &opts.grid {
+        Some(g) => {
+            if let Some(rf) = ranks_flag {
+                if rf != g.ranks() {
+                    eprintln!("--ranks {rf} contradicts --grid {g} ({} ranks)", g.ranks());
+                    std::process::exit(2);
+                }
+            }
+            Grid3::new(g.nx, g.ny, g.nz)
+        }
+        None => {
+            let n = ranks_flag.unwrap_or(2);
+            if n == 0 {
+                eprintln!("--ranks must be positive");
+                std::process::exit(2);
+            }
+            Grid3::new(1, 1, n)
+        }
+    };
+    let ranks = grid.ranks();
+    for (axis, n) in [("x", grid.nx), ("y", grid.ny), ("z", grid.nz)] {
+        if opts.size % n != 0 {
+            eprintln!(
+                "every grid extent must divide --s (got {n} ranks along {axis}, --s {})",
+                opts.size
+            );
+            std::process::exit(2);
+        }
     }
     if let Some(r) = rank {
         if r >= ranks {
-            eprintln!("--rank {r} out of range for --ranks {ranks}");
+            eprintln!("--rank {r} out of range for {ranks} ranks");
             std::process::exit(2);
         }
     }
@@ -94,15 +121,15 @@ fn main() {
             eprintln!("--rank only makes sense with --transport tcp:HOST:PORT");
             std::process::exit(2);
         }
-        (TransportMode::Channel, None) => run_in_process(&opts, ranks),
+        (TransportMode::Channel, None) => run_in_process(&opts, grid),
         (TransportMode::Tcp(addr), Some(rank)) => {
             let Some(addr) = addr else {
                 eprintln!("a TCP worker needs the root address: --transport tcp:HOST:PORT");
                 std::process::exit(2);
             };
-            run_worker(&opts, ranks, rank, addr);
+            run_worker(&opts, grid, rank, addr);
         }
-        (TransportMode::Tcp(addr), None) => launch_workers(&opts, ranks, addr, &launcher_args),
+        (TransportMode::Tcp(addr), None) => launch_workers(&opts, grid, addr, &launcher_args),
     }
 }
 
@@ -129,8 +156,9 @@ fn resolve_pin(opts: &Opts) -> Vec<usize> {
 
 /// The classic single-process run: every rank is a thread, halos go over
 /// in-memory channels.
-fn run_in_process(opts: &Opts, ranks: usize) {
-    let decomp = Decomposition::new(opts.size, ranks);
+fn run_in_process(opts: &Opts, grid: Grid3) {
+    let ranks = grid.ranks();
+    let decomp = Decomposition::with_grid(opts.size, grid);
     // One tracer lane per rank; rank 0's lane also carries iteration spans.
     let tracer = (opts.trace.is_some() || opts.metrics.is_some() || opts.trace_dir.is_some())
         .then(|| Tracer::shared(ranks));
@@ -151,7 +179,7 @@ fn run_in_process(opts: &Opts, ranks: usize) {
         }
     };
     let elapsed = t0.elapsed();
-    print_report(opts, ranks, &domains[0], &state, elapsed);
+    print_report(opts, grid, &domains[0], &state, elapsed);
     if let Some(t) = &tracer {
         let spans = t.drain();
         if let Err(e) = obs::write_reports(&spans, opts.trace.as_deref(), opts.metrics.as_deref()) {
@@ -217,7 +245,8 @@ fn merge_and_report(dir: &str, quiet: bool) {
 
 /// Launcher: re-spawn this binary once per rank against a shared bootstrap
 /// address, wait for all of them, and verify the port was released.
-fn launch_workers(opts: &Opts, ranks: usize, addr: &Option<String>, launcher_args: &[String]) {
+fn launch_workers(opts: &Opts, grid: Grid3, addr: &Option<String>, launcher_args: &[String]) {
+    let ranks = grid.ranks();
     let addr = match addr {
         Some(a) => a.clone(),
         None => {
@@ -300,9 +329,11 @@ fn launch_workers(opts: &Opts, ranks: usize, addr: &Option<String>, launcher_arg
 }
 
 /// One TCP worker: rank 0 binds the bootstrap address and accepts the
-/// others; everyone runs their slab and rank 0 prints the report.
-fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
-    let decomp = Decomposition::new(opts.size, ranks);
+/// others; everyone runs their sub-brick and rank 0 prints the report.
+fn run_worker(opts: &Opts, grid: Grid3, rank: usize, addr: &str) {
+    let ranks = grid.ranks();
+    let decomp = Decomposition::with_grid(opts.size, grid);
+    let specs = grid.neighbor_specs();
     let cfg =
         parcelnet::tcp::TcpConfig::with_deadline(Duration::from_millis(opts.recv_deadline_ms));
     let net = if rank == 0 {
@@ -310,9 +341,9 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
             eprintln!("rank 0 cannot bind {addr}: {e}");
             std::process::exit(1);
         });
-        parcelnet::tcp::root(listener, ranks, &cfg)
+        parcelnet::tcp::root(listener, ranks, &specs[0], &cfg)
     } else {
-        parcelnet::tcp::join(addr, rank, ranks, &cfg)
+        parcelnet::tcp::join(addr, rank, ranks, &specs[rank], &cfg)
     };
     let net = match net {
         Ok(n) => n,
@@ -372,7 +403,7 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
     };
     let elapsed = t0.elapsed();
     if rank == 0 {
-        print_report(opts, ranks, &domain, &state, elapsed);
+        print_report(opts, grid, &domain, &state, elapsed);
     }
     if let Some(t) = &tracer {
         let spans = t.drain();
@@ -406,19 +437,26 @@ fn run_worker(opts: &Opts, ranks: usize, rank: usize, addr: &str) {
 /// The origin element lives on rank 0; report from there.
 fn print_report(
     opts: &Opts,
-    ranks: usize,
+    grid: Grid3,
     origin_domain: &lulesh_core::Domain,
     state: &lulesh_core::params::SimState,
     elapsed: Duration,
 ) {
-    let report = RunReport::collect(origin_domain, state, ranks, elapsed);
+    let ranks = grid.ranks();
+    let mut report = RunReport::collect(origin_domain, state, ranks, elapsed);
+    // The origin rank's domain is one sub-brick; the report describes the
+    // global problem (a 2x2x2 grid of s=6 must say 6, not 3).
+    report.size = opts.size;
     if !opts.quiet {
         eprintln!("{}", report.verbose());
         eprintln!(
-            "ranks = {ranks} (ζ slabs of {}x{}x{})",
-            opts.size,
-            opts.size,
-            opts.size / ranks
+            "ranks = {ranks} ({}x{}x{} grid of {}x{}x{} sub-bricks)",
+            grid.nx,
+            grid.ny,
+            grid.nz,
+            opts.size / grid.nx,
+            opts.size / grid.ny,
+            opts.size / grid.nz
         );
     }
     println!("{}", RunReport::CSV_HEADER);

@@ -2,15 +2,17 @@
 //!
 //! The paper closes with: *"In future work, our LULESH implementation
 //! could be extended to run on multi-node environments and compared to an
-//! MPI-based implementation."* This crate implements that extension for
-//! the in-process case: the global Sedov cube is decomposed into ζ slabs
-//! (one per "rank"), each an independent [`Domain`] with COMM boundary
-//! flags and ghost planes, advanced in lockstep with halo exchanges at
-//! exactly the three points the reference's MPI version communicates:
-//! nodal mass (setup), nodal forces (per iteration), and monotonic-q
-//! velocity gradients (per iteration) — plus the dt min-allreduce.
+//! MPI-based implementation."* This crate implements that extension: the
+//! global Sedov cube is decomposed over a full 3-D rank grid
+//! ([`Grid3`] — ζ slabs are the `1×1×N` special case), each rank an
+//! independent [`Domain`] sub-brick with COMM boundary flags and ghost
+//! regions, advanced in lockstep with halo exchanges at exactly the three
+//! points the reference's MPI version communicates: nodal mass (setup),
+//! nodal forces (per iteration), and monotonic-q velocity gradients (per
+//! iteration) — plus the dt min-allreduce. Each rank exchanges with up to
+//! 26 neighbours (6 faces, 12 edges, 8 corners; see [`exchange`]).
 //!
-//! Two drivers with **bit-identical** results:
+//! Three drivers with **bit-identical** results:
 //!
 //! * [`World::run`] — lockstep: ranks advance phase by phase in one
 //!   thread (the deterministic reference for testing).
@@ -21,8 +23,8 @@
 //!   tasks — the paper's anticipated "HPX-native multi-node" configuration.
 //!
 //! The decomposed solution matches the single-domain solution up to
-//! floating-point regrouping on the interface planes (the force sum is
-//! associated differently); duplicated interface nodes stay bit-identical
+//! floating-point regrouping on the boundary surfaces (the force sum is
+//! associated differently); duplicated boundary nodes stay bit-identical
 //! *across ranks* throughout the run.
 
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod exchange;
 pub mod taskpar;
 pub mod threaded;
 
+use exchange::HaloPlan;
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::constraints;
 use lulesh_core::mesh::MeshShape;
@@ -41,23 +44,111 @@ use lulesh_core::serial::{
 };
 use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{LuleshError, Real};
+use parcelnet::{dir, NeighborSpec};
 
-/// A ζ-slab decomposition of the global cube. Fields are private so the
-/// divisibility invariant established by [`Decomposition::new`] cannot be
-/// bypassed (a top slab with a dangling ζ+ COMM face would silently produce
-/// wrong physics).
+/// A 3-D rank grid: `nx × ny × nz` ranks, numbered ξ-fastest
+/// (`rank = ix + nx·(iy + ny·iz)`). The ζ-slab chain is `1×1×N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Ranks along ξ.
+    pub nx: usize,
+    /// Ranks along η.
+    pub ny: usize,
+    /// Ranks along ζ.
+    pub nz: usize,
+}
+
+impl Grid3 {
+    /// Create a grid; every extent must be at least 1.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid extents must be >= 1");
+        Self { nx, ny, nz }
+    }
+
+    /// Total rank count.
+    pub fn ranks(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Grid coordinates of rank `r`.
+    pub fn coords(&self, r: usize) -> (usize, usize, usize) {
+        assert!(r < self.ranks());
+        (
+            r % self.nx,
+            (r / self.nx) % self.ny,
+            r / (self.nx * self.ny),
+        )
+    }
+
+    /// Rank at grid coordinates `(ix, iy, iz)`.
+    pub fn rank_at(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        ix + self.nx * (iy + self.ny * iz)
+    }
+
+    /// Rank `r`'s neighbours as `(neighbour rank, direction toward it)`,
+    /// sorted by direction — one entry per in-grid direction among the 26.
+    pub fn neighbors(&self, r: usize) -> Vec<(usize, usize)> {
+        let (ix, iy, iz) = self.coords(r);
+        let mut out = Vec::new();
+        for d in 0..dir::COUNT {
+            if d == dir::SELF_INDEX {
+                continue;
+            }
+            let (dx, dy, dz) = dir::components(d);
+            let (jx, jy, jz) = (
+                ix as i64 + dx as i64,
+                iy as i64 + dy as i64,
+                iz as i64 + dz as i64,
+            );
+            let inside = |j: i64, n: usize| j >= 0 && (j as usize) < n;
+            if inside(jx, self.nx) && inside(jy, self.ny) && inside(jz, self.nz) {
+                out.push((self.rank_at(jx as usize, jy as usize, jz as usize), d));
+            }
+        }
+        out
+    }
+
+    /// Every rank's neighbour list in the [`NeighborSpec`] form the
+    /// transports bootstrap from.
+    pub fn neighbor_specs(&self) -> Vec<Vec<NeighborSpec>> {
+        (0..self.ranks())
+            .map(|r| {
+                self.neighbors(r)
+                    .into_iter()
+                    .map(|(rank, d)| NeighborSpec { rank, dir: d as u8 })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// A 3-D grid decomposition of the global cube into sub-bricks. Fields are
+/// private so the divisibility invariant established by the constructors
+/// cannot be bypassed (a brick with a dangling COMM face would silently
+/// produce wrong physics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decomposition {
     size: usize,
-    ranks: usize,
+    grid: Grid3,
 }
 
 impl Decomposition {
-    /// Create a decomposition; `ranks` must divide `size`.
+    /// The classic ζ-slab chain: `ranks` slabs along ζ (must divide
+    /// `size`). Equivalent to `with_grid(size, Grid3::new(1, 1, ranks))`.
     pub fn new(size: usize, ranks: usize) -> Self {
         assert!(ranks >= 1, "need at least one rank");
         assert_eq!(size % ranks, 0, "ranks must divide the problem size");
-        Self { size, ranks }
+        Self::with_grid(size, Grid3::new(1, 1, ranks))
+    }
+
+    /// Decompose over an arbitrary rank grid; every grid extent must
+    /// divide `size`.
+    pub fn with_grid(size: usize, grid: Grid3) -> Self {
+        assert_eq!(size % grid.nx, 0, "ranks must divide the problem size");
+        assert_eq!(size % grid.ny, 0, "ranks must divide the problem size");
+        assert_eq!(size % grid.nz, 0, "ranks must divide the problem size");
+        Self { size, grid }
     }
 
     /// Global cube edge in elements.
@@ -65,38 +156,60 @@ impl Decomposition {
         self.size
     }
 
-    /// Number of ζ slabs (ranks).
+    /// The rank grid.
+    pub fn grid(&self) -> Grid3 {
+        self.grid
+    }
+
+    /// Number of ranks.
     pub fn ranks(&self) -> usize {
-        self.ranks
+        self.grid.ranks()
+    }
+
+    /// Per-rank sub-brick extents.
+    fn local(&self) -> (usize, usize, usize) {
+        (
+            self.size / self.grid.nx,
+            self.size / self.grid.ny,
+            self.size / self.grid.nz,
+        )
     }
 
     /// The mesh shape of rank `r`.
     pub fn shape(&self, r: usize) -> MeshShape {
-        assert!(r < self.ranks);
-        let nz = self.size / self.ranks;
-        MeshShape {
-            nx: self.size,
-            ny: self.size,
-            nz,
-            global_nz: self.size,
-            z_offset: r * nz,
-        }
+        let (lx, ly, lz) = self.local();
+        let (ix, iy, iz) = self.grid.coords(r);
+        MeshShape::brick(
+            (lx, ly, lz),
+            (self.size, self.size, self.size),
+            (ix * lx, iy * ly, iz * lz),
+        )
     }
 
-    /// All rank shapes, bottom to top.
+    /// All rank shapes, in rank order.
     pub fn shapes(&self) -> Vec<MeshShape> {
-        (0..self.ranks).map(|r| self.shape(r)).collect()
+        (0..self.ranks()).map(|r| self.shape(r)).collect()
+    }
+
+    /// Rank `r`'s grid neighbours as `(rank, direction)` pairs.
+    pub fn neighbors(&self, r: usize) -> Vec<(usize, usize)> {
+        self.grid.neighbors(r)
     }
 
     /// The global element index of rank `r`'s local element `e`.
     pub fn global_elem(&self, r: usize, e: usize) -> usize {
-        e + self.shape(r).z_offset * self.size * self.size
+        let s = self.shape(r);
+        let (ex, ey, ez) = (e % s.nx, (e / s.nx) % s.ny, e / (s.nx * s.ny));
+        (s.x_offset + ex) + self.size * ((s.y_offset + ey) + self.size * (s.z_offset + ez))
     }
 
     /// The global node index of rank `r`'s local node `n`.
     pub fn global_node(&self, r: usize, n: usize) -> usize {
-        let en = self.size + 1;
-        n + self.shape(r).z_offset * en * en
+        let s = self.shape(r);
+        let (rn, pn) = (s.nx + 1, (s.nx + 1) * (s.ny + 1));
+        let (nx, ny, nz) = (n % rn, (n / rn) % (s.ny + 1), n / pn);
+        let gn = self.size + 1;
+        (s.x_offset + nx) + gn * ((s.y_offset + ny) + gn * (s.z_offset + nz))
     }
 }
 
@@ -187,6 +300,12 @@ pub struct FaultPlan {
     /// its links drop without a `Bye`, as a killed process would
     /// (honoured by the threaded driver).
     pub die_at: Option<(usize, u64)>,
+    /// The rank is killed *before the TCP handshake*: it never dials the
+    /// bootstrap, so the survivors' accepts and dials must time out with a
+    /// typed error within the configured deadline (honoured by both
+    /// drivers' TCP transports; the in-process channel mesh has no
+    /// handshake to kill).
+    pub die_at_handshake: Option<usize>,
 }
 
 impl FaultPlan {
@@ -194,6 +313,7 @@ impl FaultPlan {
     pub const NONE: FaultPlan = FaultPlan {
         poison_volume: None,
         die_at: None,
+        die_at_handshake: None,
     };
 }
 
@@ -202,10 +322,11 @@ pub const DEFAULT_DEADLINE: std::time::Duration = std::time::Duration::from_secs
 
 /// The lockstep multi-domain world.
 pub struct World {
-    /// One subdomain per rank, bottom slab first.
+    /// One subdomain per rank, in rank order.
     pub domains: Vec<Domain>,
     /// The decomposition the world was built with.
     pub decomp: Decomposition,
+    plans: Vec<HaloPlan>,
     scratches: Vec<SerialScratch>,
 }
 
@@ -223,9 +344,10 @@ impl World {
             .into_iter()
             .map(|shape| Domain::build_subdomain(shape, num_reg, balance, cost, seed))
             .collect();
-        for w in domains.windows(2) {
-            exchange::exchange_nodal_mass(&w[0], &w[1]);
-        }
+        let plans: Vec<HaloPlan> = (0..decomp.ranks())
+            .map(|r| HaloPlan::new(decomp.shape(r), r, &decomp.neighbors(r)))
+            .collect();
+        exchange::lockstep_exchange_mass(&domains, &plans);
         let scratches = domains
             .iter()
             .map(|d| SerialScratch::new(d.num_elem()))
@@ -233,6 +355,7 @@ impl World {
         Self {
             domains,
             decomp,
+            plans,
             scratches,
         }
     }
@@ -242,28 +365,24 @@ impl World {
         let dt = state.deltatime;
 
         // Phase 1: element forces on every rank, then halo-sum the
-        // interface-plane forces (CommSBN).
+        // boundary-surface forces (CommSBN).
         for (d, s) in self.domains.iter().zip(&mut self.scratches) {
             calc_force_for_nodes(d, s)?;
         }
-        for w in self.domains.windows(2) {
-            exchange::exchange_forces(&w[0], &w[1]);
-        }
+        exchange::lockstep_exchange_forces(&self.domains, &self.plans);
 
-        // Phase 2: node state advance (interface nodes compute identical
-        // values on both ranks — same forces, same masses).
+        // Phase 2: node state advance (boundary nodes compute identical
+        // values on every sharing rank — same forces, same masses).
         for d in &self.domains {
             advance_nodes(d, dt);
         }
 
-        // Phase 3: kinematics + gradients, then ghost-plane exchange
+        // Phase 3: kinematics + gradients, then ghost-region exchange
         // (CommMonoQ).
         for d in &self.domains {
             calc_kinematics_and_gradients(d, dt)?;
         }
-        for w in self.domains.windows(2) {
-            exchange::exchange_gradients(&w[0], &w[1]);
-        }
+        exchange::lockstep_exchange_gradients(&self.domains, &self.plans);
 
         // Phase 4: q limiter, EOS, volume commit.
         for (d, s) in self.domains.iter().zip(&mut self.scratches) {
@@ -295,8 +414,8 @@ impl World {
     }
 
     /// Maximum absolute difference of all physics fields against a
-    /// single-domain solution of the same global problem. Interface nodes
-    /// are compared on both owning ranks.
+    /// single-domain solution of the same global problem. Boundary nodes
+    /// are compared on every owning rank.
     pub fn max_difference_vs_single(&self, single: &Domain) -> Real {
         let mut max: Real = 0.0;
         for (r, d) in self.domains.iter().enumerate() {
@@ -321,22 +440,27 @@ impl World {
         max
     }
 
-    /// Maximum absolute mismatch of duplicated interface-node state across
-    /// adjacent ranks (must be exactly zero: both sides compute identical
-    /// values).
+    /// Maximum absolute mismatch of duplicated boundary-node state across
+    /// every pair of adjacent ranks — faces, edges and corners alike (must
+    /// be exactly zero: every sharer computes identical values).
     pub fn interface_mismatch(&self) -> Real {
         let mut max: Real = 0.0;
-        for w in self.domains.windows(2) {
-            let (lower, upper) = (&w[0], &w[1]);
-            let lt = exchange::top_node_plane(lower).start;
-            let pn = lower.shape().nodes_per_plane();
-            for i in 0..pn {
-                max = max.max((lower.x(lt + i) - upper.x(i)).abs());
-                max = max.max((lower.xd(lt + i) - upper.xd(i)).abs());
-                max = max.max((lower.y(lt + i) - upper.y(i)).abs());
-                max = max.max((lower.yd(lt + i) - upper.yd(i)).abs());
-                max = max.max((lower.z(lt + i) - upper.z(i)).abs());
-                max = max.max((lower.zd(lt + i) - upper.zd(i)).abs());
+        for (r, plan) in self.plans.iter().enumerate() {
+            let d = &self.domains[r];
+            for link in plan.links() {
+                if link.rank < r {
+                    continue; // each pair checked once
+                }
+                let nd = &self.domains[link.rank];
+                let theirs = exchange::dir_nodes(&nd.shape(), dir::opposite(link.dir));
+                for (&a, &b) in link.nodes.iter().zip(&theirs) {
+                    max = max.max((d.x(a) - nd.x(b)).abs());
+                    max = max.max((d.xd(a) - nd.xd(b)).abs());
+                    max = max.max((d.y(a) - nd.y(b)).abs());
+                    max = max.max((d.yd(a) - nd.yd(b)).abs());
+                    max = max.max((d.z(a) - nd.z(b)).abs());
+                    max = max.max((d.zd(a) - nd.zd(b)).abs());
+                }
             }
         }
         max
@@ -372,7 +496,7 @@ mod tests {
         let diff = world.max_difference_vs_single(&single);
         assert!(
             diff < 1e-7,
-            "decomposed vs single mismatch {diff} (only interface-plane \
+            "decomposed vs single mismatch {diff} (only boundary-surface \
              force regrouping is allowed)"
         );
     }
@@ -388,6 +512,46 @@ mod tests {
     }
 
     #[test]
+    fn full_grid_matches_single_domain() {
+        let decomp = Decomposition::with_grid(6, Grid3::new(2, 2, 2));
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        let single = Domain::build(6, 2, 1, 1, 0);
+        world.run(20).unwrap();
+        serial::run(&single, 20).unwrap();
+        let diff = world.max_difference_vs_single(&single);
+        assert!(diff < 1e-7, "2×2×2-grid mismatch {diff}");
+        assert_eq!(world.interface_mismatch(), 0.0);
+    }
+
+    #[test]
+    fn transverse_grids_match_single_domain() {
+        // ξ-only and η-only decompositions exercise the non-ζ face pairs.
+        for grid in [Grid3::new(2, 1, 1), Grid3::new(1, 2, 1)] {
+            let decomp = Decomposition::with_grid(6, grid);
+            let mut world = World::build(decomp, 2, 1, 1, 0);
+            let single = Domain::build(6, 2, 1, 1, 0);
+            world.run(20).unwrap();
+            serial::run(&single, 20).unwrap();
+            let diff = world.max_difference_vs_single(&single);
+            assert!(diff < 1e-7, "{grid:?} mismatch {diff}");
+        }
+    }
+
+    #[test]
+    fn minimal_subbricks_match_single_domain() {
+        // 1×1×1 sub-bricks: the degenerate size where every node sits on
+        // a boundary surface (regression for minimal-size arithmetic).
+        let decomp = Decomposition::with_grid(2, Grid3::new(2, 2, 2));
+        let mut world = World::build(decomp, 1, 1, 1, 0);
+        let single = Domain::build(2, 1, 1, 1, 0);
+        world.run(10).unwrap();
+        serial::run(&single, 10).unwrap();
+        let diff = world.max_difference_vs_single(&single);
+        assert!(diff < 1e-7, "1-elem-brick mismatch {diff}");
+        assert_eq!(world.interface_mismatch(), 0.0);
+    }
+
+    #[test]
     fn interface_nodes_stay_bit_identical_across_ranks() {
         let mut world = World::build(Decomposition::new(8, 2), 3, 1, 1, 0);
         world.run(40).unwrap();
@@ -399,30 +563,41 @@ mod tests {
     }
 
     #[test]
+    fn grid_interface_nodes_stay_bit_identical() {
+        let decomp = Decomposition::with_grid(4, Grid3::new(2, 2, 1));
+        let mut world = World::build(decomp, 3, 1, 1, 0);
+        world.run(30).unwrap();
+        assert_eq!(world.interface_mismatch(), 0.0);
+    }
+
+    #[test]
     fn mass_is_conserved_across_the_decomposition() {
-        let world = World::build(Decomposition::new(6, 3), 2, 1, 1, 0);
-        // Sum nodal masses counting interface planes once.
-        let mut total: Real = 0.0;
-        for (r, d) in world.domains.iter().enumerate() {
-            let skip = if r > 0 {
-                d.shape().nodes_per_plane()
-            } else {
-                0
-            };
-            for n in skip..d.num_node() {
-                total += d.nodal_mass(n);
+        for grid in [Grid3::new(1, 1, 3), Grid3::new(2, 2, 2)] {
+            let size = 6;
+            let decomp = Decomposition::with_grid(size, grid);
+            let world = World::build(decomp, 2, 1, 1, 0);
+            // Sum nodal masses counting every global node once.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut total: Real = 0.0;
+            for (r, d) in world.domains.iter().enumerate() {
+                for n in 0..d.num_node() {
+                    if seen.insert(decomp.global_node(r, n)) {
+                        total += d.nodal_mass(n);
+                    }
+                }
             }
+            let extent = lulesh_core::params::MESH_EXTENT;
+            assert!(
+                (total - extent * extent * extent).abs() < 1e-9,
+                "{grid:?}: total mass {total}"
+            );
         }
-        let extent = lulesh_core::params::MESH_EXTENT;
-        assert!(
-            (total - extent * extent * extent).abs() < 1e-9,
-            "total mass {total}"
-        );
     }
 
     #[test]
     fn energy_deposited_once() {
-        let world = World::build(Decomposition::new(6, 3), 2, 1, 1, 0);
+        let decomp = Decomposition::with_grid(6, Grid3::new(2, 2, 2));
+        let world = World::build(decomp, 2, 1, 1, 0);
         let with_energy: usize = world
             .domains
             .iter()
@@ -443,11 +618,48 @@ mod tests {
         assert_eq!(d.shape(2).z_offset, 8);
         assert_eq!(d.global_elem(1, 0), 4 * 12 * 12);
         assert_eq!(d.global_node(2, 5), 8 * 13 * 13 + 5);
+
+        let g = Decomposition::with_grid(12, Grid3::new(2, 3, 2));
+        let s = g.shape(g.grid().rank_at(1, 2, 1));
+        assert_eq!((s.nx, s.ny, s.nz), (6, 4, 6));
+        assert_eq!((s.x_offset, s.y_offset, s.z_offset), (6, 8, 6));
+        // Global indices round-trip through brick coordinates.
+        assert_eq!(g.global_elem(0, 0), 0);
+        let r = g.grid().rank_at(1, 0, 0);
+        assert_eq!(g.global_elem(r, 0), 6);
+        assert_eq!(g.global_node(r, 0), 6);
+    }
+
+    #[test]
+    fn grid_neighbors_are_symmetric_and_complete() {
+        let grid = Grid3::new(2, 3, 2);
+        for r in 0..grid.ranks() {
+            let (ix, iy, iz) = grid.coords(r);
+            assert_eq!(grid.rank_at(ix, iy, iz), r);
+            for (nr, d) in grid.neighbors(r) {
+                let back = grid.neighbors(nr);
+                assert!(
+                    back.contains(&(r, dir::opposite(d))),
+                    "rank {nr} must link back to {r}"
+                );
+            }
+        }
+        // A corner rank of 2×2×2 sees 7 neighbours; the full 26 only
+        // appears for interior ranks (3×3×3 centre).
+        assert_eq!(Grid3::new(2, 2, 2).neighbors(0).len(), 7);
+        let g3 = Grid3::new(3, 3, 3);
+        assert_eq!(g3.neighbors(g3.rank_at(1, 1, 1)).len(), 26);
     }
 
     #[test]
     #[should_panic(expected = "ranks must divide")]
     fn indivisible_decomposition_rejected() {
         let _ = Decomposition::new(7, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks must divide")]
+    fn indivisible_grid_axis_rejected() {
+        let _ = Decomposition::with_grid(6, Grid3::new(4, 1, 1));
     }
 }

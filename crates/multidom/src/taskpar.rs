@@ -13,13 +13,14 @@
 //! receive+combine runs as a continuation while the *interior* gathers are
 //! still executing, and only the node update joins the two — comm latency
 //! hides behind compute, the HPX parcelport trick. The combine arithmetic
-//! is unchanged (`lower + upper` on both sides), so overlapped runs remain
+//! is unchanged (ascending-rank sum into a zeroed accumulator on every
+//! sharer), so overlapped runs remain
 //! **bit-identical** to the lockstep [`World`](crate::World), to
 //! [`threaded`](crate::threaded), and to the non-overlapped task driver.
 
 use crate::exchange::{
-    bottom_node_plane, recv_combine_forces, ring_exchange_forces, ring_exchange_gradients,
-    ring_exchange_mass, send_forces, top_node_plane,
+    halo_exchange_forces, halo_exchange_gradients, halo_exchange_mass, recv_combine_forces,
+    send_forces, HaloPlan,
 };
 use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
 use lulesh_core::domain::Domain;
@@ -122,8 +123,9 @@ pub fn run_transport(
     faults: FaultPlan,
 ) -> Vec<Result<(Arc<Domain>, SimState), MdError>> {
     let ranks = decomp.ranks();
+    let specs = decomp.grid().neighbor_specs();
     let nets: Vec<Result<RankNet, ParcelError>> = match kind {
-        TransportKind::Channel => parcelnet::channel::channel_mesh(ranks, deadline)
+        TransportKind::Channel => parcelnet::channel::channel_mesh_with(&specs, deadline)
             .into_iter()
             .map(Ok)
             .collect(),
@@ -143,11 +145,20 @@ pub fn run_transport(
                 .map(|r| {
                     let listener = (r == 0).then(|| listener.take().expect("root listener"));
                     let addr = addr.clone();
+                    let my_specs = specs[r].clone();
+                    let killed = faults.die_at_handshake == Some(r);
                     std::thread::Builder::new()
                         .name(format!("taskpar-bootstrap-{r}"))
-                        .spawn(move || match listener {
-                            Some(l) => parcelnet::tcp::root(l, ranks, &cfg),
-                            None => parcelnet::tcp::join(&addr, r, ranks, &cfg),
+                        .spawn(move || {
+                            if killed {
+                                // Killed before dialing: peers must time out
+                                // on their own accepts/dials.
+                                return Err(ParcelError::PeerClosed { peer: r });
+                            }
+                            match listener {
+                                Some(l) => parcelnet::tcp::root(l, ranks, &my_specs, &cfg),
+                                None => parcelnet::tcp::join(&addr, r, ranks, &my_specs, &cfg),
+                            }
                         })
                         .expect("spawn bootstrap thread")
                 })
@@ -198,10 +209,11 @@ fn rank_main(
         }
         d
     });
+    let halo = Arc::new(HaloPlan::for_net(shape, &net));
     let net = Arc::new(net);
 
     // One-time nodal mass exchange (control thread; the runtime is idle).
-    ring_exchange_mass(&d, net.down.as_deref(), net.up.as_deref(), None)?;
+    halo_exchange_mass(&d, &halo, &net, None)?;
 
     // The exchange hooks run as tasks inside the iteration graph. A
     // transport failure inside a hook cannot unwind through the `Fn()`
@@ -213,14 +225,13 @@ fn rank_main(
     let gradient_hook: lulesh_task::Hook = {
         let d = Arc::clone(&d);
         let net = Arc::clone(&net);
+        let halo = Arc::clone(&halo);
         let comm_err = Arc::clone(&comm_err);
         Arc::new(move || {
             if comm_err.lock().is_some() {
                 return;
             }
-            if let Err(e) =
-                ring_exchange_gradients(&d, net.down.as_deref(), net.up.as_deref(), None)
-            {
+            if let Err(e) = halo_exchange_gradients(&d, &halo, &net, None) {
                 *comm_err.lock() = Some(e);
             }
         })
@@ -232,22 +243,19 @@ fn rank_main(
     };
 
     if overlap && net.ranks > 1 {
-        let mut boundary = Vec::new();
-        if net.down.is_some() {
-            boundary.push(bottom_node_plane(&d));
-        }
-        if net.up.is_some() {
-            boundary.push(top_node_plane(&d));
-        }
+        // The boundary node set as merged contiguous runs — on a 3-D grid
+        // this is the union of every COMM face/edge/corner surface.
+        let boundary = halo.boundary_runs().to_vec();
         let send: lulesh_task::Hook = {
             let d = Arc::clone(&d);
             let net = Arc::clone(&net);
+            let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) = send_forces(&d, net.down.as_deref(), net.up.as_deref(), None) {
+                if let Err(e) = send_forces(&d, &halo, &net, None) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -255,14 +263,13 @@ fn rank_main(
         let recv_combine: lulesh_task::Hook = {
             let d = Arc::clone(&d);
             let net = Arc::clone(&net);
+            let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) =
-                    recv_combine_forces(&d, net.down.as_deref(), net.up.as_deref(), None)
-                {
+                if let Err(e) = recv_combine_forces(&d, &halo, &net, None) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -276,14 +283,13 @@ fn rank_main(
         let force_hook: lulesh_task::Hook = {
             let d = Arc::clone(&d);
             let net = Arc::clone(&net);
+            let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) =
-                    ring_exchange_forces(&d, net.down.as_deref(), net.up.as_deref(), None)
-                {
+                if let Err(e) = halo_exchange_forces(&d, &halo, &net, None) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -395,6 +401,37 @@ mod tests {
             lulesh_core::validate::max_field_difference(&domains[0], &single),
             0.0
         );
+    }
+
+    #[test]
+    fn grid_taskpar_matches_lockstep_bitwise_with_overlap() {
+        // 2×2×1 rank grid with comm/compute overlap: the boundary runs
+        // cover two face planes plus the shared edge; scheduling must not
+        // change the ascending-rank combine arithmetic. Also a regression
+        // test for the fused acceleration BC: ranks off the global x=0/y=0
+        // planes must not zero accelerations on their interface planes.
+        let decomp = Decomposition::with_grid(4, crate::Grid3::new(2, 2, 1));
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        world.run(10).unwrap();
+        let results = run_transport(
+            decomp,
+            TransportKind::Channel,
+            Duration::from_secs(10),
+            2,
+            PartitionPlan::fixed(16, 16),
+            true,
+            SimArgs::new(2, 1, 1, 0, 10),
+            FaultPlan::NONE,
+        );
+        for (r, (a, res)) in world.domains.iter().zip(results).enumerate() {
+            let (b, st) = res.unwrap_or_else(|e| panic!("rank {r}: {e}"));
+            assert_eq!(st.cycle, 10);
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, &b),
+                0.0,
+                "rank {r}: grid overlap must not change physics"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! MPI-style threaded driver: one OS thread per rank, halo exchange over a
 //! [`parcelnet`] transport — in-process channels or real TCP sockets — the
 //! communication structure the paper's future-work section anticipates
-//! comparing against. Produces results **bit-identical** to the lockstep
-//! [`World`](crate::World) driver (both sides of every interface combine
-//! values in the same `lower + upper` order), on *every* transport: the
+//! comparing against. Works over any 3-D rank grid (up to 26 neighbours
+//! per rank) and produces results **bit-identical** to the lockstep
+//! [`World`](crate::World) driver (every sharer of a boundary node combines
+//! partials in the same ascending-rank order), on *every* transport: the
 //! wire carries the same bytes either way.
 //!
 //! ## Failure model
@@ -19,7 +20,9 @@
 //!   links, which cascades — every surviving rank observes `PeerClosed`
 //!   or `Timeout` within one receive deadline.
 
-use crate::exchange::{ring_exchange_forces, ring_exchange_gradients, ring_exchange_mass, ObsCtx};
+use crate::exchange::{
+    halo_exchange_forces, halo_exchange_gradients, halo_exchange_mass, HaloPlan, ObsCtx,
+};
 use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::constraints;
@@ -206,9 +209,10 @@ pub fn run_transport_pinned(
     pin_nodes: Vec<usize>,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
     let ranks = decomp.ranks();
+    let specs = decomp.grid().neighbor_specs();
     match kind {
         TransportKind::Channel => {
-            let nets = parcelnet::channel::channel_mesh(ranks, deadline);
+            let nets = parcelnet::channel::channel_mesh_with(&specs, deadline);
             spawn_ranks(
                 decomp,
                 nets.into_iter().map(Ok).collect(),
@@ -234,11 +238,21 @@ pub fn run_transport_pinned(
                 .map(|r| {
                     let listener = (r == 0).then(|| listener.take().expect("root listener"));
                     let addr = addr.clone();
+                    let my_specs = specs[r].clone();
+                    let killed = faults.die_at_handshake == Some(r);
                     std::thread::Builder::new()
                         .name(format!("multidom-bootstrap-{r}"))
-                        .spawn(move || match listener {
-                            Some(l) => parcelnet::tcp::root(l, ranks, &cfg),
-                            None => parcelnet::tcp::join(&addr, r, ranks, &cfg),
+                        .spawn(move || {
+                            if killed {
+                                // The process died before dialing: its own
+                                // outcome is a closed endpoint; the peers'
+                                // accepts/dials time out on their own.
+                                return Err(ParcelError::PeerClosed { peer: r });
+                            }
+                            match listener {
+                                Some(l) => parcelnet::tcp::root(l, ranks, &my_specs, &cfg),
+                                None => parcelnet::tcp::join(&addr, r, ranks, &my_specs, &cfg),
+                            }
                         })
                         .expect("spawn bootstrap thread")
                 })
@@ -358,8 +372,7 @@ fn run_rank_inner(
         d.set_v(mid, -0.25);
     }
     let mut scratch = SerialScratch::new(d.num_elem());
-    let down = net.down.as_deref();
-    let up = net.up.as_deref();
+    let plan = HaloPlan::for_net(shape, &net);
 
     // Record a span of `kind` on this rank's lane bracketing `f`.
     macro_rules! spanned {
@@ -379,7 +392,7 @@ fn run_rank_inner(
 
     // One-time nodal mass exchange.
     spanned!("halo-mass", SpanKind::Halo, {
-        ring_exchange_mass(&d, down, up, obs)
+        halo_exchange_mass(&d, &plan, &net, obs)
     })?;
 
     let mut state = SimState::new(d.initial_dt());
@@ -406,7 +419,7 @@ fn run_rank_inner(
             calc_force_for_nodes(&d, &mut scratch).err()
         }));
         spanned!("halo-forces", SpanKind::Halo, {
-            ring_exchange_forces(&d, down, up, obs)
+            halo_exchange_forces(&d, &plan, &net, obs)
         })?;
 
         if local_err.is_none() {
@@ -420,7 +433,7 @@ fn run_rank_inner(
             });
         }
         spanned!("halo-gradients", SpanKind::Halo, {
-            ring_exchange_gradients(&d, down, up, obs)
+            halo_exchange_gradients(&d, &plan, &net, obs)
         })?;
 
         if local_err.is_none() {
@@ -540,6 +553,47 @@ mod tests {
         let iters: Vec<_> = spans.iter().filter(|s| s.label == "iteration").collect();
         assert_eq!(iters.len(), 8);
         assert!(iters.iter().all(|s| s.worker == 0));
+    }
+
+    #[test]
+    fn grid_threaded_matches_lockstep_bitwise() {
+        // Full 2×2×2 rank grid: faces, edges and corners all exchange.
+        let decomp = crate::Decomposition::with_grid(6, crate::Grid3::new(2, 2, 2));
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        let st_lock = world.run(12).unwrap();
+        let (domains, st_thr) = run(decomp, 2, 1, 1, 0, 12).unwrap();
+        assert_eq!(st_lock.cycle, st_thr.cycle);
+        assert_eq!(st_lock.dtcourant, st_thr.dtcourant);
+        for (r, (a, b)) in world.domains.iter().zip(&domains).enumerate() {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "rank {r} must match the lockstep grid world bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_tcp_loopback_matches_channel_bitwise() {
+        let decomp = crate::Decomposition::with_grid(4, crate::Grid3::new(2, 2, 1));
+        let (base, st_base) = run(decomp, 2, 1, 1, 0, 8).unwrap();
+        let results = run_transport(
+            decomp,
+            TransportKind::TcpLoopback,
+            Duration::from_secs(10),
+            SimArgs::new(2, 1, 1, 0, 8),
+            None,
+            FaultPlan::NONE,
+        );
+        for (r, (base_d, res)) in base.iter().zip(results).enumerate() {
+            let (d, st) = res.unwrap_or_else(|e| panic!("rank {r}: {e}"));
+            assert_eq!(st.cycle, st_base.cycle);
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(base_d, &d),
+                0.0,
+                "rank {r}: TCP wire must be bit-transparent on a grid"
+            );
+        }
     }
 
     #[test]

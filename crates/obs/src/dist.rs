@@ -800,7 +800,11 @@ pub fn analyze(m: &MergedTrace) -> Analysis {
         if let Some(recv_list) = recvs.get(key) {
             for (&si, &ri) in send_list.iter().zip(recv_list) {
                 matched.push((si, ri));
-                let is_halo_data = matches!(key.2.as_str(), "mass" | "force" | "gradient");
+                // Halo-data tags are direction-suffixed on 3-D grids
+                // ("force-00m", "mass-ppp", …): match by kind prefix.
+                let is_halo_data = ["mass", "force", "gradient"]
+                    .iter()
+                    .any(|k| key.2 == *k || key.2.starts_with(&format!("{k}-")));
                 if is_halo_data && m.spans[ri].span.end_ns <= m.spans[si].span.start_ns {
                     causality_violations += 1;
                 }

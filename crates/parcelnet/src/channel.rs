@@ -3,7 +3,9 @@
 //! the same tag/sequence verification the TCP transport performs (no
 //! checksum: frames never leave process memory).
 
-use crate::{DtLinks, ParcelError, ParcelObs, RankNet, Tag, Transport};
+use crate::{
+    dir, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelObs, RankNet, Tag, Transport,
+};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use lulesh_core::types::Real;
 use parking_lot::Mutex;
@@ -33,11 +35,13 @@ pub struct ChannelTransport {
 
 impl ChannelTransport {
     /// Build both endpoints of a link between `a` and `b` (returned in that
-    /// order). Capacity 2 per direction: the exchange protocol keeps at
-    /// most one data frame in flight, plus a `Bye` at shutdown.
+    /// order). Capacity 32 per direction: a 3-D halo exchange keeps up to
+    /// 26 per-neighbour data frames in flight on one endpoint, plus a
+    /// `Bye` at shutdown; on a single link the protocol posts at most a
+    /// handful, and the bound still catches a runaway sender.
     pub fn pair(a: usize, b: usize, deadline: Duration) -> (Self, Self) {
-        let (tx_ab, rx_ab) = bounded::<Frame>(2);
-        let (tx_ba, rx_ba) = bounded::<Frame>(2);
+        let (tx_ab, rx_ab) = bounded::<Frame>(32);
+        let (tx_ba, rx_ba) = bounded::<Frame>(32);
         (
             Self::new(b, tx_ab, rx_ba, deadline),
             Self::new(a, tx_ba, rx_ab, deadline),
@@ -131,16 +135,46 @@ impl Transport for ChannelTransport {
     }
 }
 
-/// Build the complete in-process mesh for `ranks` ranks: ζ-neighbour links
-/// plus the dt star through rank 0, one [`RankNet`] per rank (by rank).
-pub fn channel_mesh(ranks: usize, deadline: Duration) -> Vec<RankNet> {
+/// Build the complete in-process mesh for an arbitrary neighbour graph:
+/// `specs[r]` lists rank `r`'s halo neighbours with outgoing directions
+/// (as produced by the decomposition), and the dt star through rank 0 is
+/// always added. Specs must be symmetric: if `r` lists `(p, d)` then `p`
+/// must list `(r, opposite(d))`. Returns one [`RankNet`] per rank, by
+/// rank.
+pub fn channel_mesh_with(specs: &[Vec<NeighborSpec>], deadline: Duration) -> Vec<RankNet> {
+    let ranks = specs.len();
     assert!(ranks >= 1);
-    let mut down: Vec<Option<Box<dyn Transport>>> = (0..ranks).map(|_| None).collect();
-    let mut up: Vec<Option<Box<dyn Transport>>> = (0..ranks).map(|_| None).collect();
-    for r in 0..ranks.saturating_sub(1) {
-        let (lower, upper) = ChannelTransport::pair(r, r + 1, deadline);
-        up[r] = Some(Box::new(lower));
-        down[r + 1] = Some(Box::new(upper));
+    let mut neighbors: Vec<Vec<Neighbor>> = (0..ranks).map(|_| Vec::new()).collect();
+    for (r, list) in specs.iter().enumerate() {
+        for s in list {
+            assert!(
+                s.rank < ranks && s.rank != r,
+                "bad neighbour spec on rank {r}"
+            );
+            // Build each undirected edge once, from its lower-rank end.
+            if s.rank > r {
+                let od = dir::opposite(usize::from(s.dir)) as u8;
+                assert!(
+                    specs[s.rank].iter().any(|p| p.rank == r && p.dir == od),
+                    "asymmetric neighbour specs between ranks {r} and {}",
+                    s.rank
+                );
+                let (lower, upper) = ChannelTransport::pair(r, s.rank, deadline);
+                neighbors[r].push(Neighbor {
+                    rank: s.rank,
+                    dir: s.dir,
+                    link: Box::new(lower),
+                });
+                neighbors[s.rank].push(Neighbor {
+                    rank: r,
+                    dir: od,
+                    link: Box::new(upper),
+                });
+            }
+        }
+    }
+    for list in &mut neighbors {
+        list.sort_by_key(|n| n.dir);
     }
 
     let mut members: Vec<Box<dyn Transport>> = Vec::with_capacity(ranks.saturating_sub(1));
@@ -152,18 +186,22 @@ pub fn channel_mesh(ranks: usize, deadline: Duration) -> Vec<RankNet> {
     }
     leaves[0] = Some(DtLinks::Root(members));
 
-    down.into_iter()
-        .zip(up)
+    neighbors
+        .into_iter()
         .zip(leaves)
         .enumerate()
-        .map(|(rank, ((down, up), dt))| RankNet {
+        .map(|(rank, (neighbors, dt))| RankNet {
             rank,
             ranks,
-            down,
-            up,
+            neighbors,
             dt: dt.expect("dt links built for every rank"),
         })
         .collect()
+}
+
+/// The 1-D ζ chain mesh: rank `r` linked to `r ± 1`, plus the dt star.
+pub fn channel_mesh(ranks: usize, deadline: Duration) -> Vec<RankNet> {
+    channel_mesh_with(&crate::chain_specs(ranks), deadline)
 }
 
 #[cfg(test)]
@@ -174,13 +212,17 @@ mod tests {
 
     const D: Duration = Duration::from_millis(500);
 
+    fn force() -> Tag {
+        Tag::force(dir::UP)
+    }
+
     #[test]
     fn send_recv_roundtrip() {
         let (a, b) = ChannelTransport::pair(0, 1, D);
-        a.send(Tag::Force, &[1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(b.recv(Tag::Force).unwrap(), vec![1.0, 2.0, 3.0]);
-        b.send(Tag::Gradient, &[4.0]).unwrap();
-        assert_eq!(a.recv(Tag::Gradient).unwrap(), vec![4.0]);
+        a.send(force(), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(b.recv(force()).unwrap(), vec![1.0, 2.0, 3.0]);
+        b.send(Tag::gradient(dir::DOWN), &[4.0]).unwrap();
+        assert_eq!(a.recv(Tag::gradient(dir::DOWN)).unwrap(), vec![4.0]);
         assert_eq!(a.peer(), 1);
         assert_eq!(b.peer(), 0);
     }
@@ -189,7 +231,7 @@ mod tests {
     fn recv_times_out() {
         let (a, _b) = ChannelTransport::pair(0, 1, Duration::from_millis(50));
         let t0 = std::time::Instant::now();
-        assert_eq!(a.recv(Tag::Force), Err(ParcelError::Timeout { peer: 1 }));
+        assert_eq!(a.recv(force()), Err(ParcelError::Timeout { peer: 1 }));
         assert!(t0.elapsed() >= Duration::from_millis(45));
     }
 
@@ -197,9 +239,9 @@ mod tests {
     fn dropped_peer_is_peer_closed() {
         let (a, b) = ChannelTransport::pair(0, 1, D);
         drop(b);
-        assert_eq!(a.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 1 }));
+        assert_eq!(a.recv(force()), Err(ParcelError::PeerClosed { peer: 1 }));
         assert_eq!(
-            a.send(Tag::Force, &[1.0]),
+            a.send(force(), &[1.0]),
             Err(ParcelError::PeerClosed { peer: 1 })
         );
     }
@@ -207,22 +249,34 @@ mod tests {
     #[test]
     fn tag_mismatch_detected() {
         let (a, b) = ChannelTransport::pair(0, 1, D);
-        a.send(Tag::Force, &[1.0]).unwrap();
+        a.send(force(), &[1.0]).unwrap();
         assert_eq!(
-            b.recv(Tag::Gradient),
+            b.recv(Tag::gradient(dir::UP)),
             Err(ParcelError::TagMismatch {
                 peer: 0,
-                expected: Tag::Gradient,
-                got: Tag::Force
+                expected: Tag::gradient(dir::UP),
+                got: force()
             })
         );
+    }
+
+    #[test]
+    fn per_direction_tags_do_not_alias_on_one_link() {
+        // Two frames for different stencil directions ride the same link;
+        // the receiver pulls them in order under their own tags.
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        let corner = dir::index(1, 1, 1);
+        a.send(Tag::force(dir::UP), &[1.0]).unwrap();
+        a.send(Tag::force(corner), &[2.0]).unwrap();
+        assert_eq!(b.recv(Tag::force(dir::UP)).unwrap(), vec![1.0]);
+        assert_eq!(b.recv(Tag::force(corner)).unwrap(), vec![2.0]);
     }
 
     #[test]
     fn bye_while_expecting_data_is_peer_closed() {
         let (a, b) = ChannelTransport::pair(0, 1, D);
         a.send(Tag::Bye, &[]).unwrap();
-        assert_eq!(b.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 0 }));
+        assert_eq!(b.recv(force()), Err(ParcelError::PeerClosed { peer: 0 }));
     }
 
     #[test]
@@ -260,10 +314,37 @@ mod tests {
     #[test]
     fn mesh_neighbours_are_wired_by_rank() {
         let nets = channel_mesh(3, D);
-        assert!(nets[0].down.is_none() && nets[2].up.is_none());
-        assert_eq!(nets[0].up.as_ref().unwrap().peer(), 1);
-        assert_eq!(nets[1].down.as_ref().unwrap().peer(), 0);
-        assert_eq!(nets[1].up.as_ref().unwrap().peer(), 2);
-        assert_eq!(nets[2].down.as_ref().unwrap().peer(), 1);
+        assert!(nets[0].down().is_none() && nets[2].up().is_none());
+        assert_eq!(nets[0].up().unwrap().peer(), 1);
+        assert_eq!(nets[1].down().unwrap().peer(), 0);
+        assert_eq!(nets[1].up().unwrap().peer(), 2);
+        assert_eq!(nets[2].down().unwrap().peer(), 1);
+    }
+
+    #[test]
+    fn mesh_with_arbitrary_graph_wires_both_ends() {
+        // A 2×1×1 pair linked along ξ: rank 0 sees rank 1 at p00 and
+        // vice versa at m00.
+        let xp = dir::index(1, 0, 0);
+        let xm = dir::index(-1, 0, 0);
+        let specs = vec![
+            vec![NeighborSpec {
+                rank: 1,
+                dir: xp as u8,
+            }],
+            vec![NeighborSpec {
+                rank: 0,
+                dir: xm as u8,
+            }],
+        ];
+        let mut nets = channel_mesh_with(&specs, D);
+        assert_eq!(nets[0].link_to(xp).unwrap().peer(), 1);
+        assert!(nets[0].link_to(xm).is_none());
+        assert_eq!(nets[1].link_to(xm).unwrap().peer(), 0);
+        let n1 = nets.pop().unwrap();
+        let n0 = nets.pop().unwrap();
+        let h = std::thread::spawn(move || n1.link_to(xm).unwrap().recv(Tag::mass(xp)).unwrap());
+        n0.link_to(xp).unwrap().send(Tag::mass(xp), &[7.0]).unwrap();
+        assert_eq!(h.join().unwrap(), vec![7.0]);
     }
 }

@@ -14,6 +14,11 @@
 //!   checksum, a rank handshake at connect, and a bootstrap that gathers
 //!   every rank's listener address through rank 0 (no port arithmetic).
 //!
+//! Ranks are wired as an arbitrary neighbour graph (a 1-D ζ chain or a 3-D
+//! rank grid with up to 26 neighbours each); every payload-carrying tag
+//! names the [`dir`]ection it travels in, so concurrent per-neighbour sends
+//! over one link never alias.
+//!
 //! The failure model is typed and total: every operation returns
 //! [`ParcelError`] (peer closed, timeout, checksum mismatch, protocol
 //! violation), every receive is bounded by a deadline, and the dt
@@ -29,46 +34,195 @@ pub mod tcp;
 
 use lulesh_core::types::{LuleshError, Real};
 
-/// Phase tag carried in every frame header, so a mis-sequenced exchange is
-/// detected as a protocol error instead of corrupting physics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u32)]
-pub enum Tag {
-    /// One-time nodal-mass halo sum (setup `CommSBN`).
-    Mass = 1,
-    /// Per-iteration force halo sum (`CommSBN`).
-    Force = 2,
-    /// Per-iteration gradient ghost exchange (`CommMonoQ`).
-    Gradient = 3,
-    /// dt min-allreduce contribution or broadcast.
-    Dt = 4,
-    /// Graceful shutdown: both sides exchange `Bye` before closing.
-    Bye = 5,
-    /// Clock-alignment ping-pong (offset estimation over the dt star).
-    Clock = 6,
+/// The 27 directions of a 3-D neighbour stencil, encoded as
+/// `index = (dx+1) + 3·(dy+1) + 9·(dz+1)` for `dx, dy, dz ∈ {−1, 0, +1}`.
+/// Index 13 is "self" and never travels on the wire. Direction names spell
+/// the three components with `m`/`0`/`p` (x first): ζ− is `00m`, the
+/// (+,+,+) corner is `ppp`.
+pub mod dir {
+    /// Number of stencil directions, including self.
+    pub const COUNT: usize = 27;
+    /// The "self" direction (0, 0, 0).
+    pub const SELF_INDEX: usize = 13;
+    /// The six face directions in ghost-layout order ξ−, ξ+, η−, η+, ζ−, ζ+.
+    pub const FACES: [usize; 6] = [12, 14, 10, 16, 4, 22];
+    /// ζ− (the 1-D chain's "down" link).
+    pub const DOWN: usize = 4;
+    /// ζ+ (the 1-D chain's "up" link).
+    pub const UP: usize = 22;
+
+    /// Direction components to stencil index.
+    #[inline]
+    pub fn index(dx: i32, dy: i32, dz: i32) -> usize {
+        debug_assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy) && (-1..=1).contains(&dz));
+        ((dx + 1) + 3 * (dy + 1) + 9 * (dz + 1)) as usize
+    }
+
+    /// Stencil index to direction components.
+    #[inline]
+    pub fn components(idx: usize) -> (i32, i32, i32) {
+        debug_assert!(idx < COUNT);
+        (
+            (idx % 3) as i32 - 1,
+            ((idx / 3) % 3) as i32 - 1,
+            (idx / 9) as i32 - 1,
+        )
+    }
+
+    /// The opposite direction (negate every component).
+    #[inline]
+    pub fn opposite(idx: usize) -> usize {
+        debug_assert!(idx < COUNT);
+        26 - idx
+    }
+
+    /// Static direction name, e.g. `"00m"` for ζ−.
+    pub fn name(idx: usize) -> &'static str {
+        const NAMES: [&str; COUNT] = [
+            "mmm", "0mm", "pmm", "m0m", "00m", "p0m", "mpm", "0pm", "ppm", "mm0", "0m0", "pm0",
+            "m00", "000", "p00", "mp0", "0p0", "pp0", "mmp", "0mp", "pmp", "m0p", "00p", "p0p",
+            "mpp", "0pp", "ppp",
+        ];
+        NAMES[idx]
+    }
 }
 
+/// A 27-entry static-label table: `concat!` of a prefix with every
+/// direction name, indexed by stencil direction.
+macro_rules! dir27 {
+    ($p:literal) => {
+        [
+            concat!($p, "mmm"),
+            concat!($p, "0mm"),
+            concat!($p, "pmm"),
+            concat!($p, "m0m"),
+            concat!($p, "00m"),
+            concat!($p, "p0m"),
+            concat!($p, "mpm"),
+            concat!($p, "0pm"),
+            concat!($p, "ppm"),
+            concat!($p, "mm0"),
+            concat!($p, "0m0"),
+            concat!($p, "pm0"),
+            concat!($p, "m00"),
+            concat!($p, "000"),
+            concat!($p, "p00"),
+            concat!($p, "mp0"),
+            concat!($p, "0p0"),
+            concat!($p, "pp0"),
+            concat!($p, "mmp"),
+            concat!($p, "0mp"),
+            concat!($p, "pmp"),
+            concat!($p, "m0p"),
+            concat!($p, "00p"),
+            concat!($p, "p0p"),
+            concat!($p, "mpp"),
+            concat!($p, "0pp"),
+            concat!($p, "ppp"),
+        ]
+    };
+}
+
+/// Phase tag carried in every frame header, so a mis-sequenced exchange is
+/// detected as a protocol error instead of corrupting physics. The
+/// payload-carrying phases (mass, force, gradient) additionally name the
+/// stencil [`dir`]ection the frame travels in — the sender's outgoing
+/// direction — so the up-to-26 concurrent per-neighbour sends of one halo
+/// exchange never alias even when several ride the same link in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// One-time nodal-mass halo sum (setup `CommSBN`), with direction.
+    Mass(u8),
+    /// Per-iteration force halo sum (`CommSBN`), with direction.
+    Force(u8),
+    /// Per-iteration gradient ghost exchange (`CommMonoQ`), with direction.
+    Gradient(u8),
+    /// dt min-allreduce contribution or broadcast.
+    Dt,
+    /// Graceful shutdown: both sides exchange `Bye` before closing.
+    Bye,
+    /// Clock-alignment ping-pong (offset estimation over the dt star).
+    Clock,
+}
+
+/// Wire encodings: directional tags occupy a 32-slot block per kind.
+const TAG_DT: u32 = 4;
+const TAG_BYE: u32 = 5;
+const TAG_CLOCK: u32 = 6;
+const TAG_MASS_BASE: u32 = 0x100;
+const TAG_FORCE_BASE: u32 = 0x200;
+const TAG_GRADIENT_BASE: u32 = 0x300;
+
+static NAME_MASS: [&str; dir::COUNT] = dir27!("mass-");
+static NAME_FORCE: [&str; dir::COUNT] = dir27!("force-");
+static NAME_GRADIENT: [&str; dir::COUNT] = dir27!("gradient-");
+static SEND_MASS: [&str; dir::COUNT] = dir27!("parcel-send-mass-");
+static SEND_FORCE: [&str; dir::COUNT] = dir27!("parcel-send-force-");
+static SEND_GRADIENT: [&str; dir::COUNT] = dir27!("parcel-send-gradient-");
+static RECV_MASS: [&str; dir::COUNT] = dir27!("parcel-recv-mass-");
+static RECV_FORCE: [&str; dir::COUNT] = dir27!("parcel-recv-force-");
+static RECV_GRADIENT: [&str; dir::COUNT] = dir27!("parcel-recv-gradient-");
+static WAIT_MASS: [&str; dir::COUNT] = dir27!("parcel-wait-mass-");
+static WAIT_FORCE: [&str; dir::COUNT] = dir27!("parcel-wait-force-");
+static WAIT_GRADIENT: [&str; dir::COUNT] = dir27!("parcel-wait-gradient-");
+static SER_MASS: [&str; dir::COUNT] = dir27!("parcel-serialize-mass-");
+static SER_FORCE: [&str; dir::COUNT] = dir27!("parcel-serialize-force-");
+static SER_GRADIENT: [&str; dir::COUNT] = dir27!("parcel-serialize-gradient-");
+
 impl Tag {
-    /// Stable lowercase name (used in span labels and error messages).
+    /// A mass tag travelling in stencil direction `d`.
+    pub fn mass(d: usize) -> Self {
+        debug_assert!(d < dir::COUNT && d != dir::SELF_INDEX);
+        Tag::Mass(d as u8)
+    }
+
+    /// A force tag travelling in stencil direction `d`.
+    pub fn force(d: usize) -> Self {
+        debug_assert!(d < dir::COUNT && d != dir::SELF_INDEX);
+        Tag::Force(d as u8)
+    }
+
+    /// A gradient tag travelling in stencil direction `d`.
+    pub fn gradient(d: usize) -> Self {
+        debug_assert!(d < dir::COUNT && d != dir::SELF_INDEX);
+        Tag::Gradient(d as u8)
+    }
+
+    /// Stable lowercase name (used in span labels and error messages);
+    /// directional tags append the direction, e.g. `force-00m`.
     pub fn name(self) -> &'static str {
         match self {
-            Tag::Mass => "mass",
-            Tag::Force => "force",
-            Tag::Gradient => "gradient",
+            Tag::Mass(d) => NAME_MASS[d as usize],
+            Tag::Force(d) => NAME_FORCE[d as usize],
+            Tag::Gradient(d) => NAME_GRADIENT[d as usize],
             Tag::Dt => "dt",
             Tag::Bye => "bye",
             Tag::Clock => "clock",
         }
     }
 
-    fn from_u32(v: u32) -> Option<Self> {
-        match v {
-            1 => Some(Tag::Mass),
-            2 => Some(Tag::Force),
-            3 => Some(Tag::Gradient),
-            4 => Some(Tag::Dt),
-            5 => Some(Tag::Bye),
-            6 => Some(Tag::Clock),
+    /// Wire encoding of this tag.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            Tag::Mass(d) => TAG_MASS_BASE + u32::from(d),
+            Tag::Force(d) => TAG_FORCE_BASE + u32::from(d),
+            Tag::Gradient(d) => TAG_GRADIENT_BASE + u32::from(d),
+            Tag::Dt => TAG_DT,
+            Tag::Bye => TAG_BYE,
+            Tag::Clock => TAG_CLOCK,
+        }
+    }
+
+    /// Decode a wire tag; `None` for unknown values.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        let d = (v & 0xff) as u8;
+        match (v & !0xff, v) {
+            (_, TAG_DT) => Some(Tag::Dt),
+            (_, TAG_BYE) => Some(Tag::Bye),
+            (_, TAG_CLOCK) => Some(Tag::Clock),
+            (TAG_MASS_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Mass(d)),
+            (TAG_FORCE_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Force(d)),
+            (TAG_GRADIENT_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Gradient(d)),
             _ => None,
         }
     }
@@ -77,9 +231,9 @@ impl Tag {
     /// [`obs::Span`]).
     pub fn send_label(self) -> &'static str {
         match self {
-            Tag::Mass => "parcel-send-mass",
-            Tag::Force => "parcel-send-force",
-            Tag::Gradient => "parcel-send-gradient",
+            Tag::Mass(d) => SEND_MASS[d as usize],
+            Tag::Force(d) => SEND_FORCE[d as usize],
+            Tag::Gradient(d) => SEND_GRADIENT[d as usize],
             Tag::Dt => "parcel-send-dt",
             Tag::Bye => "parcel-send-bye",
             Tag::Clock => "parcel-send-clock",
@@ -89,9 +243,9 @@ impl Tag {
     /// `parcel-recv-<tag>` span label.
     pub fn recv_label(self) -> &'static str {
         match self {
-            Tag::Mass => "parcel-recv-mass",
-            Tag::Force => "parcel-recv-force",
-            Tag::Gradient => "parcel-recv-gradient",
+            Tag::Mass(d) => RECV_MASS[d as usize],
+            Tag::Force(d) => RECV_FORCE[d as usize],
+            Tag::Gradient(d) => RECV_GRADIENT[d as usize],
             Tag::Dt => "parcel-recv-dt",
             Tag::Bye => "parcel-recv-bye",
             Tag::Clock => "parcel-recv-clock",
@@ -101,9 +255,9 @@ impl Tag {
     /// `parcel-wait-<tag>` span label (time blocked before the frame).
     pub fn wait_label(self) -> &'static str {
         match self {
-            Tag::Mass => "parcel-wait-mass",
-            Tag::Force => "parcel-wait-force",
-            Tag::Gradient => "parcel-wait-gradient",
+            Tag::Mass(d) => WAIT_MASS[d as usize],
+            Tag::Force(d) => WAIT_FORCE[d as usize],
+            Tag::Gradient(d) => WAIT_GRADIENT[d as usize],
             Tag::Dt => "parcel-wait-dt",
             Tag::Bye => "parcel-wait-bye",
             Tag::Clock => "parcel-wait-clock",
@@ -113,9 +267,9 @@ impl Tag {
     /// `parcel-serialize-<tag>` span label (TCP writer thread).
     pub fn serialize_label(self) -> &'static str {
         match self {
-            Tag::Mass => "parcel-serialize-mass",
-            Tag::Force => "parcel-serialize-force",
-            Tag::Gradient => "parcel-serialize-gradient",
+            Tag::Mass(d) => SER_MASS[d as usize],
+            Tag::Force(d) => SER_FORCE[d as usize],
+            Tag::Gradient(d) => SER_GRADIENT[d as usize],
             Tag::Dt => "parcel-serialize-dt",
             Tag::Bye => "parcel-serialize-bye",
             Tag::Clock => "parcel-serialize-clock",
@@ -319,18 +473,62 @@ pub enum DtLinks {
     Leaf(Box<dyn Transport>),
 }
 
-/// One rank's complete communication endpoint: ζ neighbours plus the dt
-/// star. Built by [`channel::channel_mesh`] (in-process) or
-/// [`tcp::root`]/[`tcp::join`] (sockets).
+/// A neighbour of one rank in the halo graph, before links exist: the peer
+/// rank plus this rank's outgoing [`dir`]ection toward it. Computed by the
+/// decomposition (parcelnet is topology-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborSpec {
+    /// Peer rank.
+    pub rank: usize,
+    /// Outgoing stencil direction from this rank toward `rank`.
+    pub dir: u8,
+}
+
+/// The chain topology of the 1-D ζ decomposition: rank `r` talks down to
+/// `r − 1` (direction ζ−) and up to `r + 1` (direction ζ+).
+pub fn chain_specs(ranks: usize) -> Vec<Vec<NeighborSpec>> {
+    (0..ranks)
+        .map(|r| {
+            let mut specs = Vec::new();
+            if r > 0 {
+                specs.push(NeighborSpec {
+                    rank: r - 1,
+                    dir: dir::DOWN as u8,
+                });
+            }
+            if r + 1 < ranks {
+                specs.push(NeighborSpec {
+                    rank: r + 1,
+                    dir: dir::UP as u8,
+                });
+            }
+            specs
+        })
+        .collect()
+}
+
+/// One wired neighbour link: the peer, this rank's outgoing direction
+/// toward it, and the transport.
+pub struct Neighbor {
+    /// Peer rank.
+    pub rank: usize,
+    /// Outgoing stencil direction from this rank toward `rank`.
+    pub dir: u8,
+    /// The point-to-point link.
+    pub link: Box<dyn Transport>,
+}
+
+/// One rank's complete communication endpoint: halo neighbours (sorted by
+/// direction index) plus the dt star. Built by [`channel::channel_mesh`] /
+/// [`channel::channel_mesh_with`] (in-process) or [`tcp::root`]/
+/// [`tcp::join`] (sockets).
 pub struct RankNet {
     /// This rank.
     pub rank: usize,
     /// World size.
     pub ranks: usize,
-    /// Link towards ζ− (rank − 1), if any.
-    pub down: Option<Box<dyn Transport>>,
-    /// Link towards ζ+ (rank + 1), if any.
-    pub up: Option<Box<dyn Transport>>,
+    /// Halo neighbour links, sorted by direction index.
+    pub neighbors: Vec<Neighbor>,
     /// The dt-allreduce star.
     pub dt: DtLinks,
 }
@@ -355,6 +553,24 @@ fn code_err(c: Real) -> Option<LuleshError> {
 }
 
 impl RankNet {
+    /// The link toward stencil direction `d`, if that neighbour exists.
+    pub fn link_to(&self, d: usize) -> Option<&dyn Transport> {
+        self.neighbors
+            .iter()
+            .find(|n| usize::from(n.dir) == d)
+            .map(|n| n.link.as_ref())
+    }
+
+    /// The ζ− (chain "down") link, if any.
+    pub fn down(&self) -> Option<&dyn Transport> {
+        self.link_to(dir::DOWN)
+    }
+
+    /// The ζ+ (chain "up") link, if any.
+    pub fn up(&self) -> Option<&dyn Transport> {
+        self.link_to(dir::UP)
+    }
+
     /// The dt min-allreduce through rank 0 with errors riding along: every
     /// rank contributes its constraint minima plus any local simulation
     /// error and receives the global minima plus the first error any rank
@@ -401,11 +617,8 @@ impl RankNet {
     /// Called only on the success path; error paths drop links hard so
     /// peers observe `PeerClosed` immediately.
     pub fn close(&self) -> Result<(), ParcelError> {
-        if let Some(l) = &self.down {
-            l.close()?;
-        }
-        if let Some(l) = &self.up {
-            l.close()?;
+        for n in &self.neighbors {
+            n.link.close()?;
         }
         match &self.dt {
             DtLinks::Root(members) => {
@@ -420,11 +633,8 @@ impl RankNet {
 
     /// Visit every link of this endpoint (neighbours, then the dt star).
     fn for_each_link(&self, f: &mut dyn FnMut(&dyn Transport)) {
-        if let Some(l) = &self.down {
-            f(l.as_ref());
-        }
-        if let Some(l) = &self.up {
-            f(l.as_ref());
+        for n in &self.neighbors {
+            f(n.link.as_ref());
         }
         match &self.dt {
             DtLinks::Root(members) => {
@@ -521,19 +731,96 @@ mod tests {
     use super::*;
 
     #[test]
+    fn dir_index_roundtrip() {
+        for idx in 0..dir::COUNT {
+            let (dx, dy, dz) = dir::components(idx);
+            assert_eq!(dir::index(dx, dy, dz), idx);
+            let (ox, oy, oz) = dir::components(dir::opposite(idx));
+            assert_eq!((ox, oy, oz), (-dx, -dy, -dz));
+        }
+        assert_eq!(dir::index(0, 0, 0), dir::SELF_INDEX);
+        assert_eq!(dir::index(0, 0, -1), dir::DOWN);
+        assert_eq!(dir::index(0, 0, 1), dir::UP);
+        assert_eq!(dir::name(dir::DOWN), "00m");
+        assert_eq!(dir::name(dir::UP), "00p");
+        assert_eq!(dir::name(dir::SELF_INDEX), "000");
+    }
+
+    #[test]
     fn tag_roundtrip() {
-        for t in [
-            Tag::Mass,
-            Tag::Force,
-            Tag::Gradient,
-            Tag::Dt,
-            Tag::Bye,
-            Tag::Clock,
-        ] {
-            assert_eq!(Tag::from_u32(t as u32), Some(t));
+        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock];
+        for d in 0..dir::COUNT {
+            all.push(Tag::Mass(d as u8));
+            all.push(Tag::Force(d as u8));
+            all.push(Tag::Gradient(d as u8));
+        }
+        for t in &all {
+            assert_eq!(Tag::from_u32(t.to_u32()), Some(*t), "tag {t:?}");
         }
         assert_eq!(Tag::from_u32(0), None);
         assert_eq!(Tag::from_u32(99), None);
+        assert_eq!(Tag::from_u32(TAG_MASS_BASE + 27), None);
+        assert_eq!(Tag::from_u32(TAG_GRADIENT_BASE + 0xff), None);
+    }
+
+    #[test]
+    fn tag_wire_encodings_and_labels_are_unique() {
+        // Satellite: the 27-neighbour tag layout must never alias — across
+        // every direction of every kind, wire codes, names, and all four
+        // span labels are pairwise distinct.
+        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock];
+        for d in 0..dir::COUNT {
+            all.push(Tag::Mass(d as u8));
+            all.push(Tag::Force(d as u8));
+            all.push(Tag::Gradient(d as u8));
+        }
+        let mut codes: Vec<u32> = all.iter().map(|t| t.to_u32()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "wire codes alias");
+        for get in [
+            Tag::name as fn(Tag) -> &'static str,
+            Tag::send_label,
+            Tag::recv_label,
+            Tag::wait_label,
+            Tag::serialize_label,
+        ] {
+            let mut labels: Vec<&str> = all.iter().map(|&t| get(t)).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), all.len(), "labels alias");
+        }
+        // Direction names land in the right table slots.
+        assert_eq!(Tag::force(dir::DOWN).send_label(), "parcel-send-force-00m");
+        assert_eq!(Tag::mass(dir::UP).name(), "mass-00p");
+        assert_eq!(
+            Tag::gradient(dir::index(-1, 1, 1)).recv_label(),
+            "parcel-recv-gradient-mpp"
+        );
+    }
+
+    #[test]
+    fn chain_specs_wire_neighbours_by_rank() {
+        let specs = chain_specs(3);
+        assert_eq!(specs[0].len(), 1);
+        assert_eq!(
+            specs[0][0],
+            NeighborSpec {
+                rank: 1,
+                dir: dir::UP as u8
+            }
+        );
+        assert_eq!(specs[1].len(), 2);
+        assert_eq!(
+            specs[1][0],
+            NeighborSpec {
+                rank: 0,
+                dir: dir::DOWN as u8
+            }
+        );
+        assert_eq!(specs[2].len(), 1);
+        assert_eq!(specs[2][0].rank, 1);
+        assert!(chain_specs(1)[0].is_empty());
     }
 
     #[test]
@@ -612,9 +899,9 @@ mod tests {
         assert!(e.to_string().contains("rank 3"));
         let e = ParcelError::TagMismatch {
             peer: 1,
-            expected: Tag::Force,
-            got: Tag::Gradient,
+            expected: Tag::force(dir::UP),
+            got: Tag::gradient(dir::UP),
         };
-        assert!(e.to_string().contains("force") && e.to_string().contains("gradient"));
+        assert!(e.to_string().contains("force-00p") && e.to_string().contains("gradient-00p"));
     }
 }

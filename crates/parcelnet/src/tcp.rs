@@ -11,40 +11,50 @@
 //! **Handshake.** Each connection opens with
 //! `[magic u64][version u32][rank u32][ranks u32][kind u8]` from both
 //! sides; mismatched magic/version/world-size or an unexpected peer rank is
-//! a typed [`ParcelError::Handshake`].
+//! a typed [`ParcelError::Handshake`]. Every handshake read *and* write is
+//! bounded by the receive deadline — a peer that dies mid-handshake
+//! surfaces as a typed error, never a hung launcher.
 //!
 //! **Bootstrap.** Rank 0 binds the one well-known address. Every other
-//! rank binds an ephemeral listener, connects to rank 0 (this link later
-//! carries the dt allreduce), registers its listener address, and receives
-//! the full rank→address map; ζ-neighbour links are then dialled directly
-//! (rank r connects down to rank r−1). No port arithmetic, no contiguous
-//! port ranges.
+//! rank binds an ephemeral listener (when it has higher-rank neighbours),
+//! connects to rank 0 (this link later carries the dt allreduce),
+//! registers its listener address, and receives the full rank→address
+//! map. Halo links for an arbitrary neighbour graph — the ζ chain or a
+//! 3-D rank grid's 26-neighbour stencil — are then wired rank-ordered:
+//! each rank *dials* every lower-rank neighbour (ascending) and *accepts*
+//! one connection per higher-rank neighbour, identified by its hello.
+//! Rank 0 dials nobody, so the wait-for DAG is ordered by rank and the
+//! bootstrap cannot deadlock. No port arithmetic, no contiguous port
+//! ranges.
 //!
 //! **No blocked senders.** Writes go through a per-link writer thread with
 //! a bounded queue, so a rank never wedges inside `send` when planes exceed
 //! socket buffers — the classic MPI_Send cycle deadlock can't form; the
 //! protocol thread always reaches its `recv`, which drains the wire.
 
-use crate::{fnv1a64, DtLinks, ParcelError, ParcelObs, RankNet, Tag, Transport};
+use crate::{
+    dir, fnv1a64, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelObs, RankNet, Tag, Transport,
+};
 use crossbeam::channel::{bounded, Sender};
 use lulesh_core::types::Real;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MAGIC: u64 = 0x5041_5243_4c4e_4554; // "PARCLNET"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const KIND_DT: u8 = 0;
 const KIND_NEIGHBOR: u8 = 1;
 
 /// Deadlines for the TCP transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpConfig {
-    /// Per-receive deadline: how long a blocking `recv` (or a bootstrap
-    /// read) may wait before surfacing [`ParcelError::Timeout`].
+    /// Per-receive deadline: how long a blocking `recv` (or a bootstrap /
+    /// handshake read or write) may wait before surfacing
+    /// [`ParcelError::Timeout`].
     pub deadline: Duration,
     /// How long connection establishment (dial retries, accept waits) may
     /// take before [`ParcelError::ConnectTimeout`].
@@ -82,9 +92,23 @@ fn map_io(peer: usize, e: &std::io::Error) -> ParcelError {
     }
 }
 
+/// Apply the deadline to a freshly accepted/dialled stream *before any
+/// handshake byte moves* — a peer that dies mid-handshake must surface as
+/// a typed timeout on both the read and the write side, never hang the
+/// launcher (the `--recv-deadline-ms` contract).
+fn prep_stream(stream: &TcpStream, peer: usize, cfg: &TcpConfig) -> Result<(), ParcelError> {
+    stream.set_nodelay(true).map_err(|e| map_io(peer, &e))?;
+    stream
+        .set_read_timeout(Some(cfg.deadline))
+        .map_err(|e| map_io(peer, &e))?;
+    stream
+        .set_write_timeout(Some(cfg.deadline))
+        .map_err(|e| map_io(peer, &e))
+}
+
 fn encode_frame(tag: Tag, seq: u32, src: u32, payload: &[Real]) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(24 + payload.len() * 8);
-    bytes.extend_from_slice(&(tag as u32).to_le_bytes());
+    bytes.extend_from_slice(&tag.to_u32().to_le_bytes());
     bytes.extend_from_slice(&seq.to_le_bytes());
     bytes.extend_from_slice(&src.to_le_bytes());
     bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -109,6 +133,12 @@ enum WriteReq {
     /// Pin the writer thread itself to these CPUs (a thread can only pin
     /// itself, so the command rides the queue).
     Pin(Vec<usize>),
+    /// Acknowledge once every frame queued before this request is on the
+    /// wire (written and flushed). `close` uses it so a process may exit
+    /// right after closing without losing its queued `Bye` — the writer
+    /// thread dies with the process, and an unwritten Bye would leave the
+    /// peer reading a bare EOF instead of a graceful shutdown.
+    Flush(Sender<()>),
 }
 
 /// [`Transport`] over one TCP connection.
@@ -131,18 +161,14 @@ impl TcpTransport {
         peer: usize,
         cfg: &TcpConfig,
     ) -> Result<Self, ParcelError> {
-        stream.set_nodelay(true).map_err(|e| map_io(peer, &e))?;
-        stream
-            .set_read_timeout(Some(cfg.deadline))
-            .map_err(|e| map_io(peer, &e))?;
+        prep_stream(&stream, peer, cfg)?;
         let write_half = stream.try_clone().map_err(|e| map_io(peer, &e))?;
-        write_half
-            .set_write_timeout(Some(cfg.deadline))
-            .map_err(|e| map_io(peer, &e))?;
 
         // Writer thread: serializes and writes frames in queue order, so
         // `send` never blocks the protocol thread on a full socket buffer.
-        let (writer_tx, writer_rx) = bounded::<WriteReq>(8);
+        // Queue capacity 32: a 3-D halo exchange posts up to 26 frames
+        // before the first recv.
+        let (writer_tx, writer_rx) = bounded::<WriteReq>(32);
         let writer_err = Arc::new(Mutex::new(None::<ParcelError>));
         let obs = Arc::new(Mutex::new(None::<ParcelObs>));
         {
@@ -159,6 +185,12 @@ impl TcpTransport {
                                 // Best effort: a single-node host simply
                                 // leaves the thread floating.
                                 let _ = taskrt::topology::pin_current_thread(&cpus);
+                                continue;
+                            }
+                            WriteReq::Flush(ack) => {
+                                // Queue order means everything before this
+                                // request has been written and flushed.
+                                let _ = ack.send(());
                                 continue;
                             }
                             WriteReq::Frame(tag, seq, payload) => (tag, seq, payload),
@@ -280,6 +312,14 @@ impl Transport for TcpTransport {
 
     fn close(&self) -> Result<(), ParcelError> {
         self.send(Tag::Bye, &[])?;
+        // Wait until the Bye is actually on the wire: the caller may exit
+        // the process the moment every link is closed, which kills the
+        // writer thread — a Bye still sitting in its queue would be lost
+        // and the peer would see a bare EOF instead of a shutdown.
+        let (ack_tx, ack_rx) = bounded::<()>(1);
+        if self.writer_tx.send(WriteReq::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
         self.recv(Tag::Bye).map(|_| ())
     }
 
@@ -369,11 +409,26 @@ fn accept_timeout(listener: &TcpListener, timeout: Duration) -> Result<TcpStream
 }
 
 /// Dial `addr`, retrying refused connections until `timeout` (the peer's
-/// listener may not be up yet).
+/// listener may not be up yet). Each attempt is itself bounded by
+/// `connect_timeout` on the resolved address, so a blackholed peer (SYN
+/// drops, no RST) can't park the dialer in the kernel's own multi-minute
+/// connect timeout.
 fn connect_retry(addr: &str, peer: usize, timeout: Duration) -> Result<TcpStream, ParcelError> {
     let deadline = Instant::now() + timeout;
     loop {
-        match TcpStream::connect(addr) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ParcelError::ConnectTimeout { peer });
+        }
+        let attempt = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .ok_or(ParcelError::ConnectTimeout { peer })
+            .and_then(|sa: SocketAddr| {
+                TcpStream::connect_timeout(&sa, remaining).map_err(|e| map_io(peer, &e))
+            });
+        match attempt {
             Ok(s) => return Ok(s),
             Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
             Err(_) => return Err(ParcelError::ConnectTimeout { peer }),
@@ -381,17 +436,68 @@ fn connect_retry(addr: &str, peer: usize, timeout: Duration) -> Result<TcpStream
     }
 }
 
+/// Accept, handshake, and match one incoming neighbour connection against
+/// the not-yet-connected expected peers in `pending` (higher-rank
+/// neighbours dial us, in no guaranteed arrival order). Returns the
+/// stream with the matched spec removed from `pending`.
+fn accept_neighbor(
+    listener: &TcpListener,
+    me: usize,
+    ranks: usize,
+    pending: &mut Vec<NeighborSpec>,
+    cfg: &TcpConfig,
+) -> Result<(NeighborSpec, TcpStream), ParcelError> {
+    let mut stream = accept_timeout(listener, cfg.connect_timeout)?;
+    prep_stream(&stream, usize::MAX, cfg)?;
+    let (peer, kind) = read_hello(&mut stream, ranks)?;
+    if kind != KIND_NEIGHBOR {
+        return Err(ParcelError::Handshake { peer });
+    }
+    let pos = pending
+        .iter()
+        .position(|s| s.rank == peer)
+        .ok_or(ParcelError::Handshake { peer })?;
+    let spec = pending.remove(pos);
+    write_hello(&mut stream, me, ranks, KIND_NEIGHBOR).map_err(|e| map_io(peer, &e))?;
+    Ok((spec, stream))
+}
+
+/// Dial one lower-rank neighbour and handshake.
+fn dial_neighbor(
+    addr: &str,
+    me: usize,
+    ranks: usize,
+    spec: NeighborSpec,
+    cfg: &TcpConfig,
+) -> Result<TcpStream, ParcelError> {
+    let mut stream = connect_retry(addr, spec.rank, cfg.connect_timeout)?;
+    prep_stream(&stream, spec.rank, cfg)?;
+    write_hello(&mut stream, me, ranks, KIND_NEIGHBOR).map_err(|e| map_io(spec.rank, &e))?;
+    let (peer, kind) = read_hello(&mut stream, ranks)?;
+    if peer != spec.rank || kind != KIND_NEIGHBOR {
+        return Err(ParcelError::Handshake { peer });
+    }
+    Ok(stream)
+}
+
 /// Bootstrap rank 0: accept every other rank's dt connection on `listener`,
 /// gather their listener addresses, broadcast the rank→address map, then
-/// accept rank 1's neighbour connection. Returns rank 0's [`RankNet`].
-pub fn root(listener: TcpListener, ranks: usize, cfg: &TcpConfig) -> Result<RankNet, ParcelError> {
+/// accept one neighbour connection per entry in `specs` (rank 0 is the
+/// lowest rank, so all its neighbours dial in). Returns rank 0's
+/// [`RankNet`].
+pub fn root(
+    listener: TcpListener,
+    ranks: usize,
+    specs: &[NeighborSpec],
+    cfg: &TcpConfig,
+) -> Result<RankNet, ParcelError> {
     assert!(ranks >= 1);
+    assert!(specs.iter().all(|s| s.rank > 0 && s.rank < ranks));
     if ranks == 1 {
         return Ok(RankNet {
             rank: 0,
             ranks: 1,
-            down: None,
-            up: None,
+            neighbors: Vec::new(),
             dt: DtLinks::Root(Vec::new()),
         });
     }
@@ -404,9 +510,7 @@ pub fn root(listener: TcpListener, ranks: usize, cfg: &TcpConfig) -> Result<Rank
         .to_string();
     for _ in 1..ranks {
         let mut stream = accept_timeout(&listener, cfg.connect_timeout)?;
-        stream
-            .set_read_timeout(Some(cfg.deadline))
-            .map_err(|e| ParcelError::Io(e.kind()))?;
+        prep_stream(&stream, usize::MAX, cfg)?;
         let (peer, kind) = read_hello(&mut stream, ranks)?;
         if kind != KIND_DT || peer == 0 || dt_streams[peer].is_some() {
             return Err(ParcelError::Handshake { peer });
@@ -424,16 +528,19 @@ pub fn root(listener: TcpListener, ranks: usize, cfg: &TcpConfig) -> Result<Rank
         }
     }
 
-    // Rank 1 dials back for the ζ-neighbour link once it has the map.
-    let mut up_stream = accept_timeout(&listener, cfg.connect_timeout)?;
-    up_stream
-        .set_read_timeout(Some(cfg.deadline))
-        .map_err(|e| ParcelError::Io(e.kind()))?;
-    let (peer, kind) = read_hello(&mut up_stream, ranks)?;
-    if kind != KIND_NEIGHBOR || peer != 1 {
-        return Err(ParcelError::Handshake { peer });
+    // Neighbours dial back on the root listener once they have the map.
+    let mut pending = specs.to_vec();
+    let mut neighbors = Vec::with_capacity(specs.len());
+    while !pending.is_empty() {
+        let (spec, stream) = accept_neighbor(&listener, 0, ranks, &mut pending, cfg)?;
+        neighbors.push(Neighbor {
+            rank: spec.rank,
+            dir: spec.dir,
+            link: Box::new(TcpTransport::from_stream(stream, 0, spec.rank, cfg)?)
+                as Box<dyn Transport>,
+        });
     }
-    write_hello(&mut up_stream, 0, ranks, KIND_NEIGHBOR).map_err(|e| map_io(peer, &e))?;
+    neighbors.sort_by_key(|n| n.dir);
 
     let members = dt_streams
         .into_iter()
@@ -447,25 +554,30 @@ pub fn root(listener: TcpListener, ranks: usize, cfg: &TcpConfig) -> Result<Rank
     Ok(RankNet {
         rank: 0,
         ranks,
-        down: None,
-        up: Some(Box::new(TcpTransport::from_stream(up_stream, 0, 1, cfg)?)),
+        neighbors,
         dt: DtLinks::Root(members),
     })
 }
 
 /// Bootstrap rank `rank` (> 0): connect to rank 0 at `root_addr`, register
-/// this rank's ephemeral listener, receive the address map, dial the ζ−
-/// neighbour and (when not topmost) accept the ζ+ neighbour.
+/// this rank's ephemeral listener, receive the address map, then dial
+/// every lower-rank neighbour in `specs` (ascending) and accept one
+/// connection per higher-rank neighbour.
 pub fn join(
     root_addr: &str,
     rank: usize,
     ranks: usize,
+    specs: &[NeighborSpec],
     cfg: &TcpConfig,
 ) -> Result<RankNet, ParcelError> {
     assert!(rank >= 1 && rank < ranks);
+    assert!(specs.iter().all(|s| s.rank < ranks && s.rank != rank));
+    let mut lower: Vec<NeighborSpec> = specs.iter().copied().filter(|s| s.rank < rank).collect();
+    lower.sort_by_key(|s| s.rank);
+    let higher: Vec<NeighborSpec> = specs.iter().copied().filter(|s| s.rank > rank).collect();
 
-    // Ephemeral listener for the ζ+ neighbour (topmost rank needs none).
-    let listener = if rank < ranks - 1 {
+    // Ephemeral listener for higher-rank neighbours (none → no listener).
+    let listener = if !higher.is_empty() {
         let bind_ip = root_addr
             .parse::<SocketAddr>()
             .map(|a| a.ip().to_string())
@@ -484,9 +596,7 @@ pub fn join(
 
     // dt link to rank 0 (doubles as the bootstrap rendezvous).
     let mut dt_stream = connect_retry(root_addr, 0, cfg.connect_timeout)?;
-    dt_stream
-        .set_read_timeout(Some(cfg.deadline))
-        .map_err(|e| ParcelError::Io(e.kind()))?;
+    prep_stream(&dt_stream, 0, cfg)?;
     write_hello(&mut dt_stream, rank, ranks, KIND_DT).map_err(|e| map_io(0, &e))?;
     let (peer, kind) = read_hello(&mut dt_stream, ranks)?;
     if peer != 0 || kind != KIND_DT {
@@ -497,43 +607,36 @@ pub fn join(
         .map(|_| read_string(&mut dt_stream))
         .collect::<Result<_, _>>()?;
 
-    // ζ− link: dial rank − 1 (rank 1 dials the root listener itself).
-    let mut down_stream = connect_retry(&addrs[rank - 1], rank - 1, cfg.connect_timeout)?;
-    down_stream
-        .set_read_timeout(Some(cfg.deadline))
-        .map_err(|e| ParcelError::Io(e.kind()))?;
-    write_hello(&mut down_stream, rank, ranks, KIND_NEIGHBOR).map_err(|e| map_io(rank - 1, &e))?;
-    let (peer, kind) = read_hello(&mut down_stream, ranks)?;
-    if peer != rank - 1 || kind != KIND_NEIGHBOR {
-        return Err(ParcelError::Handshake { peer });
+    // Dial every lower-rank neighbour, ascending; then accept the higher
+    // ones. Rank-ordered dialing keeps the bootstrap wait-DAG acyclic.
+    let mut neighbors = Vec::with_capacity(specs.len());
+    for spec in lower {
+        let stream = dial_neighbor(&addrs[spec.rank], rank, ranks, spec, cfg)?;
+        neighbors.push(Neighbor {
+            rank: spec.rank,
+            dir: spec.dir,
+            link: Box::new(TcpTransport::from_stream(stream, rank, spec.rank, cfg)?)
+                as Box<dyn Transport>,
+        });
     }
-
-    // ζ+ link: accept rank + 1.
-    let up = match listener {
-        Some(l) => {
-            let mut s = accept_timeout(&l, cfg.connect_timeout)?;
-            s.set_read_timeout(Some(cfg.deadline))
-                .map_err(|e| ParcelError::Io(e.kind()))?;
-            let (peer, kind) = read_hello(&mut s, ranks)?;
-            if peer != rank + 1 || kind != KIND_NEIGHBOR {
-                return Err(ParcelError::Handshake { peer });
-            }
-            write_hello(&mut s, rank, ranks, KIND_NEIGHBOR).map_err(|e| map_io(peer, &e))?;
-            Some(Box::new(TcpTransport::from_stream(s, rank, rank + 1, cfg)?) as Box<dyn Transport>)
+    if let Some(l) = &listener {
+        let mut pending = higher;
+        while !pending.is_empty() {
+            let (spec, stream) = accept_neighbor(l, rank, ranks, &mut pending, cfg)?;
+            neighbors.push(Neighbor {
+                rank: spec.rank,
+                dir: spec.dir,
+                link: Box::new(TcpTransport::from_stream(stream, rank, spec.rank, cfg)?)
+                    as Box<dyn Transport>,
+            });
         }
-        None => None,
-    };
+    }
+    neighbors.sort_by_key(|n| n.dir);
 
     Ok(RankNet {
         rank,
         ranks,
-        down: Some(Box::new(TcpTransport::from_stream(
-            down_stream,
-            rank,
-            rank - 1,
-            cfg,
-        )?)),
-        up,
+        neighbors,
         dt: DtLinks::Leaf(Box::new(TcpTransport::from_stream(
             dt_stream, rank, 0, cfg,
         )?)),
@@ -577,11 +680,12 @@ pub fn measure_loopback(
     bulk_rounds: usize,
 ) -> Result<LoopbackCal, ParcelError> {
     let cfg = TcpConfig::default();
+    let tag = Tag::force(dir::UP);
     let (a, b) = loopback_pair(&cfg)?;
     let echo = std::thread::spawn(move || -> Result<(), ParcelError> {
         for _ in 0..ping_rounds + bulk_rounds {
-            let p = b.recv(Tag::Force)?;
-            b.send(Tag::Force, &p)?;
+            let p = b.recv(tag)?;
+            b.send(tag, &p)?;
         }
         b.close()
     });
@@ -589,16 +693,16 @@ pub fn measure_loopback(
     let ping = [0.5f64];
     let t0 = Instant::now();
     for _ in 0..ping_rounds {
-        a.send(Tag::Force, &ping)?;
-        a.recv(Tag::Force)?;
+        a.send(tag, &ping)?;
+        a.recv(tag)?;
     }
     let latency_ns = t0.elapsed().as_nanos() as f64 / (2.0 * ping_rounds as f64);
 
     let bulk = vec![1.0f64; bulk_elems];
     let t0 = Instant::now();
     for _ in 0..bulk_rounds {
-        a.send(Tag::Force, &bulk)?;
-        a.recv(Tag::Force)?;
+        a.send(tag, &bulk)?;
+        a.recv(tag)?;
     }
     let elapsed_ns = t0.elapsed().as_nanos() as f64;
     let bytes = (bulk_elems * 8 * 2 * bulk_rounds) as f64;
@@ -615,6 +719,7 @@ pub fn measure_loopback(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain_specs;
     use lulesh_core::types::LuleshError;
 
     fn cfg() -> TcpConfig {
@@ -622,6 +727,30 @@ mod tests {
             deadline: Duration::from_millis(1500),
             connect_timeout: Duration::from_millis(3000),
         }
+    }
+
+    fn force() -> Tag {
+        Tag::force(dir::UP)
+    }
+
+    /// Launch a chain-topology TCP mesh on loopback, one thread per rank.
+    fn chain_mesh(ranks: usize, c: TcpConfig) -> Vec<RankNet> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let specs = chain_specs(ranks);
+        let mut handles = Vec::new();
+        {
+            let s0 = specs[0].clone();
+            handles.push(std::thread::spawn(move || root(listener, ranks, &s0, &c)));
+        }
+        for (r, s) in specs.into_iter().enumerate().skip(1) {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || join(&addr, r, ranks, &s, &c)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect()
     }
 
     /// `close` is a synchronous Bye exchange, so both endpoints of a link
@@ -637,10 +766,13 @@ mod tests {
     fn frame_roundtrip_over_loopback() {
         let (a, b) = loopback_pair(&cfg()).unwrap();
         let payload: Vec<Real> = (0..1000).map(|i| (i as Real).sin()).collect();
-        a.send(Tag::Force, &payload).unwrap();
-        assert_eq!(b.recv(Tag::Force).unwrap(), payload);
-        b.send(Tag::Gradient, &[]).unwrap();
-        assert_eq!(a.recv(Tag::Gradient).unwrap(), Vec::<Real>::new());
+        a.send(force(), &payload).unwrap();
+        assert_eq!(b.recv(force()).unwrap(), payload);
+        b.send(Tag::gradient(dir::DOWN), &[]).unwrap();
+        assert_eq!(
+            a.recv(Tag::gradient(dir::DOWN)).unwrap(),
+            Vec::<Real>::new()
+        );
         close_both(a, b);
     }
 
@@ -653,12 +785,12 @@ mod tests {
         let big: Vec<Real> = vec![1.25; 512 * 1024];
         let big2 = big.clone();
         let t = std::thread::spawn(move || {
-            b.send(Tag::Force, &big2).unwrap();
-            let got = b.recv(Tag::Force).unwrap();
+            b.send(force(), &big2).unwrap();
+            let got = b.recv(force()).unwrap();
             (b, got)
         });
-        a.send(Tag::Force, &big).unwrap();
-        let got_a = a.recv(Tag::Force).unwrap();
+        a.send(force(), &big).unwrap();
+        let got_a = a.recv(force()).unwrap();
         let (b, got_b) = t.join().unwrap();
         assert_eq!(got_a, big);
         assert_eq!(got_b, big);
@@ -673,7 +805,7 @@ mod tests {
         };
         let (a, _b) = loopback_pair(&c).unwrap();
         let t0 = Instant::now();
-        assert_eq!(a.recv(Tag::Force), Err(ParcelError::Timeout { peer: 1 }));
+        assert_eq!(a.recv(force()), Err(ParcelError::Timeout { peer: 1 }));
         assert!(t0.elapsed() >= Duration::from_millis(60));
     }
 
@@ -681,19 +813,19 @@ mod tests {
     fn dead_peer_is_peer_closed() {
         let (a, b) = loopback_pair(&cfg()).unwrap();
         drop(b); // simulated kill: the OS closes the socket
-        assert_eq!(a.recv(Tag::Force), Err(ParcelError::PeerClosed { peer: 1 }));
+        assert_eq!(a.recv(force()), Err(ParcelError::PeerClosed { peer: 1 }));
     }
 
     #[test]
     fn tag_and_seq_are_verified() {
         let (a, b) = loopback_pair(&cfg()).unwrap();
-        a.send(Tag::Force, &[1.0]).unwrap();
+        a.send(force(), &[1.0]).unwrap();
         assert_eq!(
-            b.recv(Tag::Gradient),
+            b.recv(Tag::gradient(dir::UP)),
             Err(ParcelError::TagMismatch {
                 peer: 0,
-                expected: Tag::Gradient,
-                got: Tag::Force
+                expected: Tag::gradient(dir::UP),
+                got: force()
             })
         );
     }
@@ -705,7 +837,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let t = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            let mut bytes = encode_frame(Tag::Force, 0, 1, &[1.0, 2.0]);
+            let mut bytes = encode_frame(force(), 0, 1, &[1.0, 2.0]);
             let n = bytes.len();
             bytes[n - 1] ^= 0xff; // flip a payload bit, keep the header checksum
             s.write_all(&bytes).unwrap();
@@ -716,7 +848,7 @@ mod tests {
         let (accepted, _) = listener.accept().unwrap();
         let a = TcpTransport::from_stream(accepted, 0, 1, &cfg()).unwrap();
         assert_eq!(
-            a.recv(Tag::Force),
+            a.recv(force()),
             Err(ParcelError::ChecksumMismatch { peer: 1 })
         );
         t.join().unwrap();
@@ -724,37 +856,27 @@ mod tests {
 
     #[test]
     fn bootstrap_builds_a_three_rank_mesh() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let c = cfg();
-        let mut handles = vec![std::thread::spawn(move || root(listener, 3, &c))];
-        for r in 1..3 {
-            let addr = addr.clone();
-            handles.push(std::thread::spawn(move || join(&addr, r, 3, &c)));
-        }
-        let nets: Vec<RankNet> = handles
-            .into_iter()
-            .map(|h| h.join().unwrap().unwrap())
-            .collect();
-        assert!(nets[0].down.is_none() && nets[2].up.is_none());
-        assert_eq!(nets[0].up.as_ref().unwrap().peer(), 1);
-        assert_eq!(nets[1].down.as_ref().unwrap().peer(), 0);
+        let nets = chain_mesh(3, cfg());
+        assert!(nets[0].down().is_none() && nets[2].up().is_none());
+        assert_eq!(nets[0].up().unwrap().peer(), 1);
+        assert_eq!(nets[1].down().unwrap().peer(), 0);
 
         // Exercise the mesh: a neighbour exchange plus a dt allreduce.
         let handles: Vec<_> = nets
             .into_iter()
             .map(|net| {
                 std::thread::spawn(move || {
-                    if let Some(up) = &net.up {
-                        up.send(Tag::Force, &[net.rank as Real]).unwrap();
+                    if let Some(up) = net.up() {
+                        up.send(Tag::force(dir::UP), &[net.rank as Real]).unwrap();
                     }
-                    if let Some(down) = &net.down {
-                        down.send(Tag::Force, &[net.rank as Real]).unwrap();
-                        let got = down.recv(Tag::Force).unwrap();
+                    if let Some(down) = net.down() {
+                        down.send(Tag::force(dir::DOWN), &[net.rank as Real])
+                            .unwrap();
+                        let got = down.recv(Tag::force(dir::UP)).unwrap();
                         assert_eq!(got, vec![(net.rank - 1) as Real]);
                     }
-                    if let Some(up) = &net.up {
-                        let got = up.recv(Tag::Force).unwrap();
+                    if let Some(up) = net.up() {
+                        let got = up.recv(Tag::force(dir::DOWN)).unwrap();
                         assert_eq!(got, vec![(net.rank + 1) as Real]);
                     }
                     let (gc, gh, gerr) = net
@@ -773,27 +895,96 @@ mod tests {
     }
 
     #[test]
-    fn killed_rank_surfaces_on_every_survivor() {
+    fn bootstrap_wires_an_arbitrary_neighbour_graph() {
+        // A 2×2×1 grid with face AND diagonal (edge) links: rank
+        // r = ix + 2·iy, every rank has 3 neighbours. Exercises
+        // accept-side matching of multiple higher-rank dials arriving in
+        // any order.
+        let ranks = 4;
+        let coords = |r: usize| (r % 2, r / 2);
+        let mut specs: Vec<Vec<NeighborSpec>> = vec![Vec::new(); ranks];
+        for (r, spec) in specs.iter_mut().enumerate() {
+            let (ix, iy) = coords(r);
+            for p in 0..ranks {
+                if p == r {
+                    continue;
+                }
+                let (px, py) = coords(p);
+                let (dx, dy) = (px as i32 - ix as i32, py as i32 - iy as i32);
+                spec.push(NeighborSpec {
+                    rank: p,
+                    dir: dir::index(dx, dy, 0) as u8,
+                });
+            }
+        }
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
+        let c = cfg();
+        let mut handles = Vec::new();
+        {
+            let s0 = specs[0].clone();
+            handles.push(std::thread::spawn(move || root(listener, ranks, &s0, &c)));
+        }
+        for (r, s) in specs.clone().into_iter().enumerate().skip(1) {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || join(&addr, r, ranks, &s, &c)));
+        }
+        let nets: Vec<RankNet> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        for (r, net) in nets.iter().enumerate() {
+            assert_eq!(net.neighbors.len(), 3, "rank {r}");
+            for s in &specs[r] {
+                assert_eq!(
+                    net.link_to(usize::from(s.dir)).unwrap().peer(),
+                    s.rank,
+                    "rank {r} dir {}",
+                    dir::name(usize::from(s.dir))
+                );
+            }
+        }
+        // Full all-to-neighbours exchange: send own rank in every
+        // direction, expect each peer's rank back from the opposite tag.
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                std::thread::spawn(move || {
+                    for n in &net.neighbors {
+                        n.link
+                            .send(Tag::mass(usize::from(n.dir)), &[net.rank as Real])
+                            .unwrap();
+                    }
+                    for n in &net.neighbors {
+                        let want_tag = Tag::mass(dir::opposite(usize::from(n.dir)));
+                        let got = n.link.recv(want_tag).unwrap();
+                        assert_eq!(got, vec![n.rank as Real]);
+                    }
+                    net.close().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn killed_rank_surfaces_on_every_survivor() {
         let c = TcpConfig {
             deadline: Duration::from_millis(800),
             connect_timeout: Duration::from_millis(3000),
         };
-        let h0 = std::thread::spawn(move || root(listener, 3, &c));
-        let a1 = addr.clone();
-        let h1 = std::thread::spawn(move || join(&a1, 1, 3, &c));
-        let h2 = std::thread::spawn(move || join(&addr, 2, 3, &c));
-        let net0 = h0.join().unwrap().unwrap();
-        let net1 = h1.join().unwrap().unwrap();
-        let net2 = h2.join().unwrap().unwrap();
+        let mut nets = chain_mesh(3, c);
+        let net2 = nets.pop().unwrap();
+        let net1 = nets.pop().unwrap();
+        let net0 = nets.pop().unwrap();
 
         drop(net1); // rank 1 "dies": every socket closes
         let t0 = Instant::now();
         let r0 = net0.allreduce_dt(1.0, 1.0, None);
-        let r2 = net2.up.is_none() as usize; // rank 2 is topmost
-        assert_eq!(r2, 1);
-        let r2 = net2.down.as_ref().unwrap().recv(Tag::Force);
+        assert!(net2.up().is_none()); // rank 2 is topmost
+        let r2 = net2.down().unwrap().recv(force());
         assert!(
             matches!(
                 r0,
@@ -812,6 +1003,38 @@ mod tests {
     }
 
     #[test]
+    fn peer_that_dies_mid_handshake_times_out() {
+        // Satellite bugfix: a rank that connects and then goes silent (or
+        // dies) during the hello must surface a typed error within the
+        // deadline, not hang the launcher forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let c = TcpConfig {
+            deadline: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(2000),
+        };
+        let h0 = std::thread::spawn(move || root(listener, 2, &chain_specs(2)[0], &c));
+        // Connect like rank 1 would, then send nothing and hold the socket
+        // open (a hung peer, worse than a dead one — no FIN arrives).
+        let zombie = TcpStream::connect(&addr).unwrap();
+        let t0 = Instant::now();
+        let r = h0.join().unwrap().err();
+        assert!(
+            matches!(
+                r,
+                Some(ParcelError::Timeout { .. }) | Some(ParcelError::PeerClosed { .. })
+            ),
+            "{r:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(1500),
+            "handshake read must be deadline-bounded, took {:?}",
+            t0.elapsed()
+        );
+        drop(zombie);
+    }
+
+    #[test]
     fn loopback_calibration_is_sane() {
         let cal = measure_loopback(40, 32 * 1024, 6).unwrap();
         assert!(cal.latency_ns > 0.0 && cal.latency_ns < 5e7, "{cal:?}");
@@ -823,13 +1046,9 @@ mod tests {
 
     #[test]
     fn dt_error_codes_cross_the_wire() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let c = cfg();
-        let h0 = std::thread::spawn(move || root(listener, 2, &c));
-        let h1 = std::thread::spawn(move || join(&addr, 1, 2, &c));
-        let net0 = h0.join().unwrap().unwrap();
-        let net1 = h1.join().unwrap().unwrap();
+        let mut nets = chain_mesh(2, cfg());
+        let net1 = nets.pop().unwrap();
+        let net0 = nets.pop().unwrap();
         let t = std::thread::spawn(move || {
             let out = net1
                 .allreduce_dt(5.0, 5.0, Some(LuleshError::VolumeError))

@@ -69,17 +69,20 @@ fn corrupted_frame_surfaces_checksum_mismatch_end_to_end() {
     // Frame 0 passes through untouched: proves the relay is transparent
     // and the link genuinely works end to end before we break it.
     let plane: Vec<f64> = (0..512).map(|i| (i as f64).cos()).collect();
-    sender.send(Tag::Force, &plane).unwrap();
-    assert_eq!(receiver.recv(Tag::Force).unwrap(), plane);
+    sender.send(Tag::force(parcelnet::dir::UP), &plane).unwrap();
+    assert_eq!(
+        receiver.recv(Tag::force(parcelnet::dir::UP)).unwrap(),
+        plane
+    );
 
     // Frame 1 gets one payload bit flipped in transit. The receiver must
     // report the typed error well inside the recv deadline — a timeout
     // here would mean the bad frame wedged the link; an Ok would mean
     // silent physics corruption.
-    sender.send(Tag::Force, &plane).unwrap();
+    sender.send(Tag::force(parcelnet::dir::UP), &plane).unwrap();
     let t0 = Instant::now();
     assert_eq!(
-        receiver.recv(Tag::Force),
+        receiver.recv(Tag::force(parcelnet::dir::UP)),
         Err(ParcelError::ChecksumMismatch { peer: 1 })
     );
     assert!(

@@ -78,9 +78,24 @@ echo "== distributed-trace smoke run (3 TCP ranks, --trace-dir) =="
 ./target/debug/trace_lint "$TMP/tr/merged.trace.json" 24
 test -s "$TMP/tr/analysis.json"
 
+echo "== 3-D grid smoke run (2x2x2 TCP ranks, --trace-dir) =="
+# Full octant decomposition: 8 workers over real loopback sockets with
+# face, edge and corner halo traffic (27-direction tag layout on the
+# wire). The launcher merges the 8 per-rank span files, runs the
+# inefficiency analysis (Analysis::verify gates the exit status), and
+# trace_lint validates the merged trace (8 ranks x 6 dt barriers = 48).
+./target/debug/lulesh-multidom --transport tcp --grid 2x2x2 --s 6 --i 6 --q \
+  --trace-dir "$TMP/tr3d" > "$TMP/grid_smoke.csv"
+grep -q "^6,11,6,8," "$TMP/grid_smoke.csv" || {
+  echo "grid smoke run produced no report:"; cat "$TMP/grid_smoke.csv"; exit 1;
+}
+./target/debug/trace_lint "$TMP/tr3d/merged.trace.json" 48
+test -s "$TMP/tr3d/analysis.json"
+
 echo "== perf-regression gate (BENCH_baseline.json) =="
 # Three tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
-# regression or schema drift against the checked-in baseline.
-./target/debug/regress --out "$TMP/bench" --baseline BENCH_baseline.json
+# regression or schema drift against the checked-in baseline, which the
+# harness resolves relative to the repo root whatever the CWD.
+./target/debug/regress --out "$TMP/bench"
 
 echo "== all checks passed =="

@@ -252,7 +252,7 @@ fn poisoned_rank_fails_every_rank_over_both_transports() {
             SimArgs::new(2, 1, 1, 0, 5),
             FaultPlan {
                 poison_volume: Some(1),
-                die_at: None,
+                ..FaultPlan::NONE
             },
             |driver, results| {
                 assert_eq!(results.len(), 3);
@@ -300,8 +300,8 @@ fn killed_rank_surfaces_typed_parcel_error_on_every_survivor() {
             kind,
             SimArgs::new(2, 1, 1, 0, 50),
             FaultPlan {
-                poison_volume: None,
                 die_at: Some((1, 3)),
+                ..FaultPlan::NONE
             },
             |driver, results| {
                 for (rank, r) in results.into_iter().enumerate() {
@@ -318,6 +318,66 @@ fn killed_rank_surfaces_typed_parcel_error_on_every_survivor() {
         assert!(
             t0.elapsed() < 6 * DEADLINE,
             "{kind:?}: survivors took {:?} — deadline did not bound the hang",
+            t0.elapsed()
+        );
+    }
+}
+
+#[test]
+fn rank_killed_at_tcp_handshake_times_out_on_every_survivor() {
+    // Rank 1 is killed *before* it dials the TCP bootstrap. The recv
+    // deadline applies during the rank handshake too, so the survivors'
+    // accepts and dials must come back with a typed `ParcelError` within
+    // the deadline — never a hang at startup.
+    let short = Duration::from_millis(1500);
+    let faults = FaultPlan {
+        die_at_handshake: Some(1),
+        ..FaultPlan::NONE
+    };
+    let decomp = Decomposition::new(6, 3);
+    for driver in ["threaded", "taskpar"] {
+        let t0 = Instant::now();
+        let results: Vec<Result<(), MdError>> = match driver {
+            "threaded" => multidom::threaded::run_transport(
+                decomp,
+                TransportKind::TcpLoopback,
+                short,
+                SimArgs::new(2, 1, 1, 0, 5),
+                None,
+                faults,
+            )
+            .into_iter()
+            .map(|r| r.map(|_| ()))
+            .collect(),
+            _ => multidom::taskpar::run_transport(
+                decomp,
+                TransportKind::TcpLoopback,
+                short,
+                2,
+                PartitionPlan::fixed(16, 16),
+                false,
+                SimArgs::new(2, 1, 1, 0, 5),
+                faults,
+            )
+            .into_iter()
+            .map(|r| r.map(|_| ()))
+            .collect(),
+        };
+        assert_eq!(results.len(), 3);
+        for (rank, r) in results.into_iter().enumerate() {
+            assert!(
+                matches!(r, Err(MdError::Net(_))),
+                "{driver} rank {rank}: expected a typed ParcelError after rank 1 \
+                 was killed at the handshake, got {r:?}"
+            );
+        }
+        // Handshake waits can serialise (root accepts ranks one at a time,
+        // then the peer mesh dials/accepts), but each wait is bounded by
+        // the deadline.
+        assert!(
+            t0.elapsed() < 8 * short,
+            "{driver}: handshake with a dead rank took {:?} — the deadline \
+             did not bound the bootstrap",
             t0.elapsed()
         );
     }
