@@ -3,13 +3,22 @@
 //! critical-path length, overhead breakdown), and gate against a
 //! checked-in baseline.
 //!
-//! Three fixed scenarios cover the three execution models the repo
-//! grows: `serial_s8` (the reference leapfrog), `task_s10_t2` (the
-//! many-task runner with tracing), and `multidom_s6x2` (two ranks over
-//! the channel transport, analyzed through `obs::dist` — critical path
-//! and Schulz-taxonomy overheads included). Each scenario runs three
-//! repetitions and keeps the best, so a background hiccup does not fail
-//! the gate.
+//! Four fixed scenarios cover the execution models the repo grows:
+//! `serial_s8` (the reference leapfrog), `task_s10_t2` (the many-task
+//! runner with tracing), `multidom_s6x2` (two ranks over the channel
+//! transport) and `multidom_s6_2x2x2` (the 3-D rank grid with full
+//! 27-neighbour halo exchange) — the multidom scenarios are analyzed
+//! through `obs::dist`, so critical path and Schulz-taxonomy overheads
+//! are included, and each topology additionally gets a paired
+//! plain-vs-`--live-metrics` measurement at a representative brick size
+//! (see [`live_delta`]) to report the live telemetry plane's throughput
+//! cost (`live_delta_frac`, informational — printed, not gated). Each
+//! scenario runs three repetitions and keeps the best, so a background
+//! hiccup does not fail the gate.
+//!
+//! Schema v2: `critical_path_ns` / `overheads_ns` are **omitted** for
+//! scenarios with no dependency graph to analyze (serial, task) instead
+//! of being reported as meaningless zeros.
 //!
 //! The comparison fails on **schema drift** (scenario missing, field
 //! sets differ, schema version bumped without `--update`) or on a
@@ -28,9 +37,10 @@
 
 use lulesh_core::Domain;
 use lulesh_task::{Features, PartitionPlan, TaskLulesh};
-use multidom::{threaded, Decomposition, FaultPlan, SimArgs, TransportKind};
+use multidom::{threaded, Decomposition, FaultPlan, Grid3, LivePlan, SimArgs, TransportKind};
 use obs::dist::{Category, RankTrace};
 use obs::jsonlint::{self, Value};
+use obs::live::{CollectSink, LiveConfig};
 use obs::{SpanKind, Tracer};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -38,7 +48,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
 const REPS: usize = 3;
 const DEFAULT_TOL: f64 = 0.10;
 
@@ -78,12 +88,19 @@ struct Scenario {
     throughput_zps: f64,
     /// Fraction of worker (or rank) time spent in useful computation.
     busy_fraction: f64,
-    /// Critical-path length through the task/parcel graph, ns (0 when the
-    /// scenario has no dependency graph to analyze).
-    critical_path_ns: u64,
+    /// Critical-path length through the task/parcel graph, ns. `None`
+    /// (omitted from the JSON) when the scenario has no dependency graph
+    /// to analyze — reporting 0 for serial/task runs was meaningless.
+    critical_path_ns: Option<u64>,
     /// Summed per-category overhead ns across ranks (all nine taxonomy
     /// categories, zero-filled, so the key set never drifts run-to-run).
-    overheads_ns: BTreeMap<&'static str, u64>,
+    /// `None` (omitted) for scenarios the taxonomy does not apply to.
+    overheads_ns: Option<BTreeMap<&'static str, u64>>,
+    /// Fractional CPU-time cost of arming `--live-metrics` (live / plain
+    /// − 1, median of alternating-order pairs at a representative brick
+    /// size — see [`live_delta`]). Informational — printed, never gated.
+    /// `None` for scenarios without the telemetry plane.
+    live_delta_frac: Option<f64>,
 }
 
 fn zero_overheads() -> BTreeMap<&'static str, u64> {
@@ -122,23 +139,56 @@ fn rep_task_s10_t2(iters: u64, threads: usize) -> (f64, f64) {
     (cpu, busy_ns as f64 / (threads as f64 * elapsed * 1e9))
 }
 
-/// One rep of two ranks over the channel transport, run through the full
-/// `obs::dist` pipeline: merge, taxonomy, critical path.
-fn rep_multidom_s6x2(iters: u64, ranks: usize, size: usize) -> (f64, obs::dist::Analysis) {
-    let tracer = Tracer::shared(ranks);
+/// One rep of a multidom run over the channel transport: a ζ-slab chain
+/// (`grid: None`) or an explicit 3-D rank grid with 27-neighbour halo
+/// exchange. With `live` armed the run carries the full `--live-metrics`
+/// plane (per-step sampling, telemetry piggybacked on the dt star, rank-0
+/// detector feeding a discard sink); with `trace` it additionally goes
+/// through the `obs::dist` pipeline (merge, taxonomy, critical path)
+/// after the clock stops.
+fn rep_multidom(
+    iters: u64,
+    size: usize,
+    grid: Option<Grid3>,
+    live: bool,
+    trace: bool,
+) -> (f64, Option<obs::dist::Analysis>) {
+    let decomp = match grid {
+        Some(g) => Decomposition::with_grid(size, g),
+        None => Decomposition::new(size, 2),
+    };
+    let ranks = decomp.ranks();
+    let tracer = trace.then(|| Tracer::shared(ranks));
+    let plan = if live {
+        LivePlan {
+            metrics: Some(LiveConfig {
+                period: 1,
+                sink: Arc::new(CollectSink::new()),
+                table: false,
+            }),
+            flight_dir: None,
+        }
+    } else {
+        LivePlan::OFF
+    };
     let c0 = cpu_seconds();
-    let results = threaded::run_transport(
-        Decomposition::new(size, ranks),
+    let results = threaded::run_transport_live(
+        decomp,
         TransportKind::Channel,
         Duration::from_secs(10),
         SimArgs::new(2, 1, 1, 0, iters),
-        Some(Arc::clone(&tracer)),
+        tracer.clone(),
         FaultPlan::NONE,
+        Vec::new(),
+        plan,
     );
     let cpu = cpu_seconds() - c0;
     for r in results {
         r.expect("multidom rank");
     }
+    let Some(tracer) = tracer else {
+        return (cpu, None);
+    };
     let spans = tracer.drain();
     let traces: Vec<RankTrace> = (0..ranks)
         .map(|rank| {
@@ -157,7 +207,7 @@ fn rep_multidom_s6x2(iters: u64, ranks: usize, size: usize) -> (f64, obs::dist::
     let merged = obs::dist::merge(traces).expect("merge in-process traces");
     let analysis = obs::dist::analyze(&merged);
     analysis.verify().expect("analysis self-check");
-    (cpu, analysis)
+    (cpu, Some(analysis))
 }
 
 /// Run all scenarios, reps interleaved round-robin: a transient load
@@ -167,80 +217,154 @@ fn rep_multidom_s6x2(iters: u64, ranks: usize, size: usize) -> (f64, obs::dist::
 /// measurement window lets at least one rep escape the burst.
 fn run_scenarios() -> Vec<Scenario> {
     let iters = 20u64;
-    let (threads, ranks, size) = (2usize, 2usize, 6usize);
+    let (threads, size) = (2usize, 6usize);
+    let grid = Grid3::new(2, 2, 2);
     let mut serial_best = f64::MAX;
     let mut task_best: Option<(f64, f64)> = None;
-    let mut md_best: Option<(f64, obs::dist::Analysis)> = None;
+    let mut slab_best: Option<(f64, obs::dist::Analysis)> = None;
+    let mut grid_best: Option<(f64, obs::dist::Analysis)> = None;
     for _ in 0..REPS {
         serial_best = serial_best.min(rep_serial_s8(iters));
         let (cpu, busy) = rep_task_s10_t2(iters, threads);
         if task_best.is_none_or(|(c, _)| cpu < c) {
             task_best = Some((cpu, busy));
         }
-        let (cpu, analysis) = rep_multidom_s6x2(iters, ranks, size);
-        if md_best.as_ref().is_none_or(|(c, _)| cpu < *c) {
-            md_best = Some((cpu, analysis));
+        let (cpu, analysis) = rep_multidom(iters, size, None, false, true);
+        if slab_best.as_ref().is_none_or(|(c, _)| cpu < *c) {
+            slab_best = Some((cpu, analysis.expect("traced rep analyzes")));
+        }
+        let (cpu, analysis) = rep_multidom(iters, size, Some(grid), false, true);
+        if grid_best.as_ref().is_none_or(|(c, _)| cpu < *c) {
+            grid_best = Some((cpu, analysis.expect("traced rep analyzes")));
         }
     }
+    let slab_delta = live_delta(None);
+    let grid_delta = live_delta(Some(grid));
 
     let serial = Scenario {
         name: "serial_s8",
         throughput_zps: (8f64.powi(3) * iters as f64) / serial_best,
         busy_fraction: 1.0,
-        critical_path_ns: 0,
-        overheads_ns: zero_overheads(),
+        critical_path_ns: None,
+        overheads_ns: None,
+        live_delta_frac: None,
     };
     let (cpu, busy) = task_best.expect("at least one rep");
     let task = Scenario {
         name: "task_s10_t2",
         throughput_zps: (10f64.powi(3) * iters as f64) / cpu,
         busy_fraction: busy,
-        critical_path_ns: 0,
-        overheads_ns: zero_overheads(),
+        critical_path_ns: None,
+        overheads_ns: None,
+        live_delta_frac: None,
     };
-    let (cpu, analysis) = md_best.expect("at least one rep");
-    let mut overheads = zero_overheads();
-    let mut busy_total = 0u64;
-    for b in &analysis.per_rank {
-        for cat in Category::ALL {
-            *overheads.get_mut(cat.name()).expect("all categories") += b.get(cat);
-        }
-        busy_total += b.busy_ns;
-    }
-    let wall_total = analysis.wall_ns as f64 * analysis.ranks as f64;
-    let multidom = Scenario {
-        name: "multidom_s6x2",
-        throughput_zps: (size.pow(3) as f64 * iters as f64) / cpu,
-        busy_fraction: if wall_total > 0.0 {
-            busy_total as f64 / wall_total
+    let multidom_scenario =
+        |name: &'static str, best: Option<(f64, obs::dist::Analysis)>, live_delta: f64| {
+            let (cpu, analysis) = best.expect("at least one rep");
+            let mut overheads = zero_overheads();
+            let mut busy_total = 0u64;
+            for b in &analysis.per_rank {
+                for cat in Category::ALL {
+                    *overheads.get_mut(cat.name()).expect("all categories") += b.get(cat);
+                }
+                busy_total += b.busy_ns;
+            }
+            let wall_total = analysis.wall_ns as f64 * analysis.ranks as f64;
+            Scenario {
+                name,
+                throughput_zps: (size.pow(3) as f64 * iters as f64) / cpu,
+                busy_fraction: if wall_total > 0.0 {
+                    busy_total as f64 / wall_total
+                } else {
+                    0.0
+                },
+                critical_path_ns: Some(analysis.critical_path_ns),
+                overheads_ns: Some(overheads),
+                live_delta_frac: Some(live_delta),
+            }
+        };
+    let slab = multidom_scenario("multidom_s6x2", slab_best, slab_delta);
+    let grid = multidom_scenario("multidom_s6_2x2x2", grid_best, grid_delta);
+    vec![serial, task, slab, grid]
+}
+
+/// Measure the `--live-metrics` throughput cost for one multidom
+/// configuration: paired plain/live runs back to back (so a load burst
+/// hits both sides of a pair), much longer than the gate reps so thread
+/// spawn and domain build amortize away, tracing off on both sides so
+/// the delta isolates the telemetry plane alone. Pair order alternates
+/// run to run so slow drift (thermal, a decaying background job)
+/// cancels across the pair set, and the ratio of **summed** CPU time
+/// (Σlive / Σplain − 1) is reported: per-run scheduling noise on a
+/// loaded host swamps a sub-percent signal, and summing averages it
+/// down where best-of would be systematically optimistic and a single
+/// pair would report noise.
+///
+/// Runs at `DELTA_SIZE`, not the gate scenarios' s6: the gate bricks
+/// are deliberately tiny (27 elements per grid rank, a ~65 µs step) so
+/// the whole gate finishes in seconds, which magnifies any fixed
+/// per-step cost ~100× relative to a brick that does real work per
+/// step. s24 (1728 elements per grid rank) is the smallest size where
+/// a step is dominated by physics, so the reported fraction reflects
+/// what arming `--live-metrics` costs an actual run.
+///
+/// Debug builds (check.sh's profile) scale the configuration down —
+/// every kernel runs ~10× slower there, so the release parameters
+/// would hold the gate for minutes, while smaller bricks still give a
+/// representative *fraction* because the telemetry hooks slow down by
+/// the same debug factor as the physics. Release numbers are the
+/// authoritative ones.
+fn live_delta(grid: Option<Grid3>) -> f64 {
+    #[cfg(not(debug_assertions))]
+    const DELTA_SIZE: usize = 24;
+    #[cfg(not(debug_assertions))]
+    const DELTA_ITERS: u64 = 150;
+    #[cfg(not(debug_assertions))]
+    const PAIRS: usize = 4;
+    #[cfg(debug_assertions)]
+    const DELTA_SIZE: usize = 12;
+    #[cfg(debug_assertions)]
+    const DELTA_ITERS: u64 = 30;
+    #[cfg(debug_assertions)]
+    const PAIRS: usize = 2;
+    let (mut plain_total, mut live_total) = (0.0, 0.0);
+    for i in 0..PAIRS {
+        let run = |live| rep_multidom(DELTA_ITERS, DELTA_SIZE, grid, live, false).0;
+        let (plain, live) = if i % 2 == 0 {
+            let p = run(false);
+            (p, run(true))
         } else {
-            0.0
-        },
-        critical_path_ns: analysis.critical_path_ns,
-        overheads_ns: overheads,
-    };
-    vec![serial, task, multidom]
+            let l = run(true);
+            (run(false), l)
+        };
+        plain_total += plain;
+        live_total += live;
+    }
+    live_total / plain_total - 1.0
 }
 
 impl Scenario {
+    /// Schema v2: `critical_path_ns` / `overheads_ns` / `live_delta_frac`
+    /// appear only when the scenario measures them — an absent field says
+    /// "not applicable" where v1 said a meaningless 0.
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
-        let _ = writeln!(out, "  \"name\": \"{}\",", self.name);
-        let _ = writeln!(out, "  \"throughput_zps\": {:.3},", self.throughput_zps);
-        let _ = writeln!(out, "  \"busy_fraction\": {:.6},", self.busy_fraction);
-        let _ = writeln!(out, "  \"critical_path_ns\": {},", self.critical_path_ns);
-        out.push_str("  \"overheads_ns\": {");
-        for (i, (k, v)) in self.overheads_ns.iter().enumerate() {
-            let sep = if i + 1 == self.overheads_ns.len() {
-                ""
-            } else {
-                ", "
-            };
-            let _ = write!(out, "\"{k}\": {v}{sep}");
+        let mut fields = vec![
+            format!("  \"schema_version\": {SCHEMA_VERSION}"),
+            format!("  \"name\": \"{}\"", self.name),
+            format!("  \"throughput_zps\": {:.3}", self.throughput_zps),
+            format!("  \"busy_fraction\": {:.6}", self.busy_fraction),
+        ];
+        if let Some(cp) = self.critical_path_ns {
+            fields.push(format!("  \"critical_path_ns\": {cp}"));
         }
-        out.push_str("}\n}\n");
-        out
+        if let Some(ov) = &self.overheads_ns {
+            let inner: Vec<String> = ov.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+            fields.push(format!("  \"overheads_ns\": {{{}}}", inner.join(", ")));
+        }
+        if let Some(d) = self.live_delta_frac {
+            fields.push(format!("  \"live_delta_frac\": {d:.4}"));
+        }
+        format!("{{\n{}\n}}\n", fields.join(",\n"))
     }
 }
 
@@ -436,13 +560,22 @@ fn main() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| repo_root().join("BENCH_baseline.json"));
 
-    eprintln!("regress: running 3 tier-1 scenarios, best-of-{REPS} interleaved reps ...");
+    eprintln!("regress: running 4 tier-1 scenarios, best-of-{REPS} interleaved reps ...");
     // Let whatever just ran (check.sh invokes this right after the test
     // suite) finish tearing down: a decaying load burst context-switches
     // short reps hard enough to inflate even their CPU time (cache
     // refills are charged to us) by double digits.
     std::thread::sleep(Duration::from_secs(2));
     let scenarios = run_scenarios();
+    for s in &scenarios {
+        if let Some(d) = s.live_delta_frac {
+            eprintln!(
+                "regress: live-metrics throughput cost on {}: {:+.1}% (informational)",
+                s.name,
+                d * 100.0
+            );
+        }
+    }
 
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
         eprintln!("{out_dir}: {e}");

@@ -213,6 +213,19 @@ pub struct Opts {
     /// 3-D rank grid for the multi-domain drivers, `--grid NXxNYxNZ`.
     /// Default: none (a 1-D ζ chain over `--ranks`).
     pub grid: Option<GridSpec>,
+    /// Live in-band telemetry period in timesteps,
+    /// `--live-metrics[=PERIOD]` (bare flag means every step). Each rank
+    /// streams per-step summaries to rank 0 on the dt allreduce; rank 0
+    /// emits JSONL and an end-of-run straggler table (multi-domain
+    /// drivers). Default: off.
+    pub live_metrics: Option<u64>,
+    /// Fault injection: `--die-at RANK:CYCLE` kills that rank abruptly at
+    /// the top of that cycle (multi-domain drivers; testing only).
+    pub die_at: Option<(usize, u64)>,
+    /// Fault injection: `--slow-rank RANK:MS` stalls that rank for `MS`
+    /// milliseconds every step — a controlled straggler (multi-domain
+    /// drivers; testing only).
+    pub slow_rank: Option<(usize, u64)>,
 }
 
 impl Default for Opts {
@@ -234,6 +247,9 @@ impl Default for Opts {
             recv_deadline_ms: 10_000,
             pin: PinMode::None,
             grid: None,
+            live_metrics: None,
+            die_at: None,
+            slow_rank: None,
         }
     }
 }
@@ -278,6 +294,22 @@ impl Opts {
                 .map_err(|_| ParseError(format!("{flag}: bad value '{raw}'")))
         }
 
+        // A `RANK:N` pair (fault-injection flags).
+        fn parse_pair(
+            flag: &str,
+            inline: Option<&str>,
+            it: &mut impl Iterator<Item = impl AsRef<str>>,
+        ) -> Result<(usize, u64), ParseError> {
+            let raw: String = parse_val(flag, inline, it)?;
+            let (r, n) = raw
+                .split_once(':')
+                .ok_or_else(|| ParseError(format!("{flag}: expected RANK:N, got '{raw}'")))?;
+            match (r.parse::<usize>(), n.parse::<u64>()) {
+                (Ok(r), Ok(n)) => Ok((r, n)),
+                _ => Err(ParseError(format!("{flag}: bad pair '{raw}'"))),
+            }
+        }
+
         while let Some(arg) = it.next() {
             let arg = arg.as_ref();
             let (flag, inline) = match arg.split_once('=') {
@@ -300,6 +332,19 @@ impl Opts {
                 "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
                 "pin" => opts.pin = parse_val(flag, inline, &mut it)?,
                 "grid" => opts.grid = Some(parse_val(flag, inline, &mut it)?),
+                "live-metrics" => {
+                    // Bare flag = every step; never consumes the next
+                    // token (so `--live-metrics --q` works).
+                    opts.live_metrics = Some(match inline {
+                        Some(v) => match v.parse::<u64>() {
+                            Ok(p) if p >= 1 => p,
+                            _ => return Err(ParseError(format!("{flag}: bad period '{v}'"))),
+                        },
+                        None => 1,
+                    });
+                }
+                "die-at" => opts.die_at = Some(parse_pair(flag, inline, &mut it)?),
+                "slow-rank" => opts.slow_rank = Some(parse_pair(flag, inline, &mut it)?),
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -333,7 +378,9 @@ impl Opts {
              [--trace FILE.json] [--metrics FILE.csv|.json] [--trace-dir DIR] \
              [--partition auto|fixed:N|table] \
              [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
-             [--pin all|none|node0,node1,…] [--grid NXxNYxNZ]\n\
+             [--pin all|none|node0,node1,…] [--grid NXxNYxNZ] \
+             [--live-metrics[=PERIOD]] [--die-at RANK:CYCLE] \
+             [--slow-rank RANK:MS]\n\
              Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
              --partition table --transport channel --recv-deadline-ms 10000 \
              --pin none, run to stoptime.\n\
@@ -347,7 +394,10 @@ impl Opts {
              --pin pins workers to NUMA nodes with locality-aware stealing \
              (degrades to a warning on single-node hosts); \
              --grid decomposes over a 3-D rank grid with 27-neighbour halo \
-             exchange (multi-domain drivers; each extent must divide --s)."
+             exchange (multi-domain drivers; each extent must divide --s); \
+             --live-metrics streams per-step rank summaries to rank 0 \
+             in-band (JSONL on stdout, straggler table on stderr); \
+             --die-at / --slow-rank inject faults for testing."
         )
     }
 }
@@ -497,6 +547,30 @@ mod tests {
         assert!(Opts::parse(["--grid", "2x2x2x2"]).is_err());
         assert!(Opts::parse(["--grid", "axbxc"]).is_err());
         assert!(Opts::parse(["--grid"]).is_err());
+    }
+
+    #[test]
+    fn live_metrics_and_fault_flags() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.live_metrics, None);
+        assert_eq!(o.die_at, None);
+        assert_eq!(o.slow_rank, None);
+        // Bare flag samples every step and must not eat the next token.
+        let o = Opts::parse(["--live-metrics", "--q"]).unwrap();
+        assert_eq!(o.live_metrics, Some(1));
+        assert!(o.quiet);
+        let o = Opts::parse(["--live-metrics=10"]).unwrap();
+        assert_eq!(o.live_metrics, Some(10));
+        assert!(Opts::parse(["--live-metrics=0"]).is_err());
+        assert!(Opts::parse(["--live-metrics=x"]).is_err());
+
+        let o = Opts::parse(["--die-at", "1:25"]).unwrap();
+        assert_eq!(o.die_at, Some((1, 25)));
+        let o = Opts::parse(["--slow-rank=2:40"]).unwrap();
+        assert_eq!(o.slow_rank, Some((2, 40)));
+        assert!(Opts::parse(["--die-at", "25"]).is_err());
+        assert!(Opts::parse(["--slow-rank", "x:3"]).is_err());
+        assert!(Opts::parse(["--die-at"]).is_err());
     }
 
     #[test]

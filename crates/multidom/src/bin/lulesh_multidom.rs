@@ -23,10 +23,14 @@
 //! multi-host runs whose spans files were gathered by hand).
 
 use lulesh_core::{Opts, RunReport, TransportMode};
-use multidom::{threaded, Decomposition, FaultPlan, Grid3, MdError, SimArgs};
+use multidom::{
+    threaded, Decomposition, FaultPlan, Grid3, LivePlan, MdError, SimArgs, TransportKind,
+    DEFAULT_DEADLINE,
+};
 use obs::dist::RankTrace;
+use obs::live::LiveConfig;
 use obs::Tracer;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Pull `--flag N` / `--flag=N` out of `args` before the shared parser
@@ -133,6 +137,32 @@ fn main() {
     }
 }
 
+/// Build the telemetry plan from the CLI: `--live-metrics[=PERIOD]` turns
+/// on the streaming plane (JSONL to stdout on rank 0, straggler table to
+/// stderr unless `--q`); `--trace-dir` doubles as the flight-recorder dump
+/// directory so a faulting run leaves `flight.rankR.json` next to the
+/// spans files.
+fn live_plan(opts: &Opts) -> LivePlan {
+    LivePlan {
+        metrics: opts.live_metrics.map(|period| {
+            let mut cfg = LiveConfig::new(period);
+            cfg.table = !opts.quiet;
+            cfg
+        }),
+        flight_dir: opts.trace_dir.as_ref().map(PathBuf::from),
+    }
+}
+
+/// Fault-injection flags (`--die-at RANK:CYCLE`, `--slow-rank RANK:MS`)
+/// become a [`FaultPlan`]; both are forwarded verbatim to TCP workers.
+fn fault_plan(opts: &Opts) -> FaultPlan {
+    FaultPlan {
+        die_at: opts.die_at,
+        slow_rank: opts.slow_rank,
+        ..FaultPlan::NONE
+    }
+}
+
 /// Resolve `--pin` against the live topology: the node list each rank
 /// round-robins over, empty when pinning is off. Unknown node ids and
 /// single-node hosts degrade to warnings, mirroring `lulesh-task`.
@@ -170,14 +200,37 @@ fn run_in_process(opts: &Opts, grid: Grid3) {
         opts.seed,
         opts.max_cycles,
     );
-    let result = threaded::run_pinned(decomp, sim, tracer.clone(), resolve_pin(opts));
-    let (domains, state) = match result {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
+    let results = threaded::run_transport_live(
+        decomp,
+        TransportKind::Channel,
+        DEFAULT_DEADLINE,
+        sim,
+        tracer.clone(),
+        fault_plan(opts),
+        resolve_pin(opts),
+        live_plan(opts),
+    );
+    let mut domains = Vec::with_capacity(ranks);
+    let mut state = None;
+    let mut failed = false;
+    for (r, res) in results.into_iter().enumerate() {
+        match res {
+            Ok((d, s)) => {
+                if r == 0 {
+                    state = Some(s);
+                }
+                domains.push(d);
+            }
+            Err(e) => {
+                eprintln!("rank {r}: run failed: {e}");
+                failed = true;
+            }
         }
-    };
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    let state = state.expect("rank 0 produced a result");
     let elapsed = t0.elapsed();
     print_report(opts, grid, &domains[0], &state, elapsed);
     if let Some(t) = &tracer {
@@ -383,12 +436,13 @@ fn run_worker(opts: &Opts, grid: Grid3, rank: usize, addr: &str) {
         opts.seed,
         opts.max_cycles,
     );
-    let result = threaded::run_rank_dist(
+    let result = threaded::run_rank_live(
         decomp.shape(rank),
         net,
         sim,
         tracer.clone(),
-        FaultPlan::NONE,
+        fault_plan(opts),
+        live_plan(opts),
     );
     let (domain, state, offset_ns) = match result {
         Ok(r) => r,

@@ -306,6 +306,10 @@ pub struct FaultPlan {
     /// drivers' TCP transports; the in-process channel mesh has no
     /// handshake to kill).
     pub die_at_handshake: Option<usize>,
+    /// `(rank, millis)`: the rank sleeps that long at the top of every
+    /// step — a controlled straggler for exercising the live telemetry
+    /// detector (honoured by the threaded and task-parallel drivers).
+    pub slow_rank: Option<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -314,7 +318,43 @@ impl FaultPlan {
         poison_volume: None,
         die_at: None,
         die_at_handshake: None,
+        slow_rank: None,
     };
+}
+
+/// Live-telemetry wiring for the message-passing drivers ([`threaded`],
+/// [`taskpar`]): streaming per-step metrics piggybacked on the dt
+/// allreduce, and/or a per-rank flight recorder dumped when a rank dies.
+/// The default is fully off — zero cost on the hot path.
+#[derive(Clone, Default)]
+pub struct LivePlan {
+    /// Streaming metrics: every rank samples its [`obs::live::LiveStats`]
+    /// on telemetry steps and ships the encoded [`obs::live::StepSummary`]
+    /// to rank 0 inside the dt allreduce (no extra sync point); rank 0
+    /// runs the online straggler detector and emits JSONL on the sink.
+    pub metrics: Option<obs::live::LiveConfig>,
+    /// When set, every rank keeps a fixed-size ring of recent spans and
+    /// parcel events and dumps `flight.rank{R}.json` into this directory
+    /// if it dies on a typed transport error or an injected fault.
+    pub flight_dir: Option<std::path::PathBuf>,
+}
+
+impl LivePlan {
+    /// Telemetry fully off.
+    pub const OFF: LivePlan = LivePlan {
+        metrics: None,
+        flight_dir: None,
+    };
+}
+
+/// Best-effort flight-recorder dump — a dying rank must never turn a typed
+/// transport error into an I/O panic.
+pub(crate) fn dump_flight(dir: &std::path::Path, rank: usize, f: &obs::live::FlightRecorder) {
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(
+        dir.join(format!("flight.rank{rank}.json")),
+        f.dump_json(rank),
+    );
 }
 
 /// The default per-receive deadline for the message-passing drivers.
@@ -362,38 +402,75 @@ impl World {
 
     /// Advance the whole world one `LagrangeLeapFrog` iteration.
     pub fn step(&mut self, state: &mut SimState) -> Result<(), LuleshError> {
+        self.step_timed(state, &mut |_, _, _| {})
+    }
+
+    /// [`step`](World::step) with per-rank phase timing: `timer(rank,
+    /// category, ns)` fires once per rank per phase (Schulz categories:
+    /// kernels are `Busy`, the lockstep memcpy exchanges are `Pack`,
+    /// amortised evenly over the ranks). Timing never touches arithmetic —
+    /// results are bit-identical to the untimed step.
+    pub fn step_timed(
+        &mut self,
+        state: &mut SimState,
+        timer: &mut dyn FnMut(usize, obs::dist::Category, u64),
+    ) -> Result<(), LuleshError> {
+        use obs::dist::Category;
+        use std::time::Instant;
         let dt = state.deltatime;
+        let ranks = self.domains.len();
+        // Attribute a world-wide exchange evenly across the ranks.
+        let split = |timer: &mut dyn FnMut(usize, Category, u64), t0: Instant| {
+            let ns = t0.elapsed().as_nanos() as u64 / ranks.max(1) as u64;
+            for r in 0..ranks {
+                timer(r, Category::Pack, ns);
+            }
+        };
 
         // Phase 1: element forces on every rank, then halo-sum the
         // boundary-surface forces (CommSBN).
-        for (d, s) in self.domains.iter().zip(&mut self.scratches) {
+        for (r, (d, s)) in self.domains.iter().zip(&mut self.scratches).enumerate() {
+            let t0 = Instant::now();
             calc_force_for_nodes(d, s)?;
+            timer(r, Category::Busy, t0.elapsed().as_nanos() as u64);
         }
+        let t0 = Instant::now();
         exchange::lockstep_exchange_forces(&self.domains, &self.plans);
+        split(timer, t0);
 
         // Phase 2: node state advance (boundary nodes compute identical
         // values on every sharing rank — same forces, same masses).
-        for d in &self.domains {
+        for (r, d) in self.domains.iter().enumerate() {
+            let t0 = Instant::now();
             advance_nodes(d, dt);
+            timer(r, Category::Busy, t0.elapsed().as_nanos() as u64);
         }
 
         // Phase 3: kinematics + gradients, then ghost-region exchange
         // (CommMonoQ).
-        for d in &self.domains {
+        for (r, d) in self.domains.iter().enumerate() {
+            let t0 = Instant::now();
             calc_kinematics_and_gradients(d, dt)?;
+            timer(r, Category::Busy, t0.elapsed().as_nanos() as u64);
         }
+        let t0 = Instant::now();
         exchange::lockstep_exchange_gradients(&self.domains, &self.plans);
+        split(timer, t0);
 
         // Phase 4: q limiter, EOS, volume commit.
-        for (d, s) in self.domains.iter().zip(&mut self.scratches) {
+        for (r, (d, s)) in self.domains.iter().zip(&mut self.scratches).enumerate() {
+            let t0 = Instant::now();
             apply_q_and_materials(d, s)?;
+            timer(r, Category::Busy, t0.elapsed().as_nanos() as u64);
         }
 
         // dt constraints: min-allreduce across ranks.
         let mut dtcourant: Real = 1.0e20;
         let mut dthydro: Real = 1.0e20;
-        for d in &self.domains {
+        for (r, d) in self.domains.iter().enumerate() {
+            let t0 = Instant::now();
             let (c, h) = constraints::calc_time_constraints(d, d.params.qqc, d.params.dvovmax);
+            timer(r, Category::Busy, t0.elapsed().as_nanos() as u64);
             dtcourant = dtcourant.min(c);
             dthydro = dthydro.min(h);
         }
@@ -409,6 +486,47 @@ impl World {
         while state.time < params.stoptime && state.cycle < max_cycles {
             time_increment(&mut state, &params);
             self.step(&mut state)?;
+        }
+        Ok(state)
+    }
+
+    /// [`run`](World::run) with live telemetry: per-rank phase timing
+    /// feeds the same [`obs::live`] pipeline the message-passing drivers
+    /// stream over the wire — here sampled directly, since every rank
+    /// lives in this thread. On each telemetry step rank summaries go
+    /// through the straggler detector and one JSONL line hits the sink.
+    pub fn run_live(
+        &mut self,
+        max_cycles: u64,
+        cfg: &obs::live::LiveConfig,
+    ) -> Result<SimState, LuleshError> {
+        use obs::live::{jsonl_step_line, LiveStats, StragglerDetector};
+        let ranks = self.decomp.ranks();
+        let stats: Vec<LiveStats> = (0..ranks).map(|_| LiveStats::new()).collect();
+        let mut detector = StragglerDetector::new(ranks);
+        let params = self.domains[0].params;
+        let mut state = SimState::new(self.domains[0].initial_dt());
+        let mut step_ns = vec![0u64; ranks];
+        while state.time < params.stoptime && state.cycle < max_cycles {
+            time_increment(&mut state, &params);
+            step_ns.iter_mut().for_each(|ns| *ns = 0);
+            self.step_timed(&mut state, &mut |r, cat, ns| {
+                stats[r].add_phase(cat, ns);
+                step_ns[r] += ns;
+            })?;
+            if cfg.telemetry_step(state.cycle) {
+                let summaries: Vec<_> = stats
+                    .iter()
+                    .enumerate()
+                    .map(|(r, s)| s.snapshot(r as u32, state.cycle, step_ns[r]))
+                    .collect();
+                let flagged = detector.observe(&step_ns);
+                cfg.sink
+                    .emit(&jsonl_step_line(state.cycle, &summaries, &flagged));
+            }
+        }
+        if cfg.table {
+            eprint!("{}", detector.summary_table());
         }
         Ok(state)
     }
@@ -549,6 +667,50 @@ mod tests {
         let diff = world.max_difference_vs_single(&single);
         assert!(diff < 1e-7, "1-elem-brick mismatch {diff}");
         assert_eq!(world.interface_mismatch(), 0.0);
+    }
+
+    #[test]
+    fn lockstep_live_run_matches_plain_run_and_emits_schema_valid_jsonl() {
+        use obs::live::{CollectSink, LiveConfig, LiveSink, LIVE_SCHEMA_VERSION};
+        use std::sync::Arc;
+        let decomp = Decomposition::new(6, 2);
+        let mut plain = World::build(decomp, 2, 1, 1, 0);
+        let st_plain = plain.run(10).unwrap();
+
+        let sink = Arc::new(CollectSink::new());
+        let cfg = LiveConfig {
+            period: 2,
+            sink: Arc::clone(&sink) as Arc<dyn LiveSink>,
+            table: false,
+        };
+        let mut live = World::build(decomp, 2, 1, 1, 0);
+        let st_live = live.run_live(10, &cfg).unwrap();
+
+        assert_eq!(st_plain.cycle, st_live.cycle);
+        assert_eq!(st_plain.time, st_live.time);
+        for (a, b) in plain.domains.iter().zip(&live.domains) {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "live sampling must not change physics"
+            );
+        }
+
+        // Cycles 2, 4, 6, 8, 10 carry a sample at period 2.
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            let v = obs::jsonlint::parse(line).expect("live line must be valid JSON");
+            assert_eq!(
+                v.get("schema").and_then(|s| s.num()),
+                Some(LIVE_SCHEMA_VERSION as f64)
+            );
+            assert_eq!(v.get("kind").and_then(|s| s.str()), Some("live"));
+            assert_eq!(
+                v.get("per_rank").and_then(|p| p.arr()).map(|a| a.len()),
+                Some(2)
+            );
+        }
     }
 
     #[test]

@@ -22,16 +22,22 @@ use crate::exchange::{
     halo_exchange_forces, halo_exchange_gradients, halo_exchange_mass, recv_combine_forces,
     send_forces, HaloPlan,
 };
-use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
+use crate::{
+    Decomposition, FaultPlan, LivePlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE,
+};
 use lulesh_core::domain::Domain;
 use lulesh_core::params::SimState;
 use lulesh_core::types::{LuleshError, Real};
 use lulesh_task::{IterationHooks, OverlapForces, PartitionPlan, TaskLulesh};
+use obs::dist::Category;
+use obs::live::{
+    jsonl_step_line, FlightRecorder, LiveStats, StepSummary, StragglerDetector, FLIGHT_DEFAULT_CAP,
+};
 use parcelnet::tcp::TcpConfig;
-use parcelnet::{ParcelError, RankNet};
+use parcelnet::{ParcelError, ParcelLive, RankNet};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Run the decomposed problem with one `TaskLulesh` runtime per rank
 /// (`threads_per_rank` workers each) and halo-exchange tasks between them.
@@ -122,6 +128,35 @@ pub fn run_transport(
     sim: SimArgs,
     faults: FaultPlan,
 ) -> Vec<Result<(Arc<Domain>, SimState), MdError>> {
+    run_transport_live(
+        decomp,
+        kind,
+        deadline,
+        threads_per_rank,
+        plan,
+        overlap,
+        sim,
+        faults,
+        LivePlan::OFF,
+    )
+}
+
+/// [`run_transport`] with live telemetry (see [`LivePlan`]): the exchange
+/// hooks time their comm tasks, step summaries piggyback on the control
+/// thread's dt allreduce, and a typed death dumps this rank's flight
+/// recording.
+#[allow(clippy::too_many_arguments)]
+pub fn run_transport_live(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
+    threads_per_rank: usize,
+    plan: PartitionPlan,
+    overlap: bool,
+    sim: SimArgs,
+    faults: FaultPlan,
+    live: LivePlan,
+) -> Vec<Result<(Arc<Domain>, SimState), MdError>> {
     let ranks = decomp.ranks();
     let specs = decomp.grid().neighbor_specs();
     let nets: Vec<Result<RankNet, ParcelError>> = match kind {
@@ -175,10 +210,20 @@ pub fn run_transport(
         .enumerate()
         .map(|(r, net)| {
             let shape = decomp.shape(r);
+            let live = live.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-taskpar-{r}"))
                 .spawn(move || match net {
-                    Ok(net) => rank_main(shape, net, threads_per_rank, plan, overlap, sim, faults),
+                    Ok(net) => rank_main(
+                        shape,
+                        net,
+                        threads_per_rank,
+                        plan,
+                        overlap,
+                        sim,
+                        faults,
+                        live,
+                    ),
                     Err(e) => Err(MdError::Net(e)),
                 })
                 .expect("spawn taskpar rank")
@@ -190,6 +235,18 @@ pub fn run_transport(
         .collect()
 }
 
+/// Time an exchange task into the rank's `Send` counter when live
+/// telemetry is on (free when off).
+fn timed_send<T>(stats: &Option<Arc<LiveStats>>, f: impl FnOnce() -> T) -> T {
+    let t0 = stats.as_ref().map(|_| Instant::now());
+    let out = f();
+    if let (Some(s), Some(t0)) = (stats, t0) {
+        s.add_phase(Category::Send, t0.elapsed().as_nanos() as u64);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
     shape: lulesh_core::mesh::MeshShape,
     net: RankNet,
@@ -198,8 +255,17 @@ fn rank_main(
     overlap: bool,
     sim: SimArgs,
     faults: FaultPlan,
+    live: LivePlan,
 ) -> Result<(Arc<Domain>, SimState), MdError> {
     let rank = net.rank;
+    let stats = live.metrics.as_ref().map(|_| Arc::new(LiveStats::new()));
+    let flight = live
+        .flight_dir
+        .as_ref()
+        .map(|_| Arc::new(FlightRecorder::new(FLIGHT_DEFAULT_CAP)));
+    if stats.is_some() || flight.is_some() {
+        net.attach_live(&ParcelLive::new(stats.clone(), flight.clone()));
+    }
     let d = Arc::new({
         let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
         d.params = sim.params;
@@ -227,11 +293,12 @@ fn rank_main(
         let net = Arc::clone(&net);
         let halo = Arc::clone(&halo);
         let comm_err = Arc::clone(&comm_err);
+        let stats = stats.clone();
         Arc::new(move || {
             if comm_err.lock().is_some() {
                 return;
             }
-            if let Err(e) = halo_exchange_gradients(&d, &halo, &net, None) {
+            if let Err(e) = timed_send(&stats, || halo_exchange_gradients(&d, &halo, &net, None)) {
                 *comm_err.lock() = Some(e);
             }
         })
@@ -251,11 +318,12 @@ fn rank_main(
             let net = Arc::clone(&net);
             let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
+            let stats = stats.clone();
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) = send_forces(&d, &halo, &net, None) {
+                if let Err(e) = timed_send(&stats, || send_forces(&d, &halo, &net, None)) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -265,11 +333,12 @@ fn rank_main(
             let net = Arc::clone(&net);
             let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
+            let stats = stats.clone();
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) = recv_combine_forces(&d, &halo, &net, None) {
+                if let Err(e) = timed_send(&stats, || recv_combine_forces(&d, &halo, &net, None)) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -285,11 +354,12 @@ fn rank_main(
             let net = Arc::clone(&net);
             let halo = Arc::clone(&halo);
             let comm_err = Arc::clone(&comm_err);
+            let stats = stats.clone();
             Arc::new(move || {
                 if comm_err.lock().is_some() {
                     return;
                 }
-                if let Err(e) = halo_exchange_forces(&d, &halo, &net, None) {
+                if let Err(e) = timed_send(&stats, || halo_exchange_forces(&d, &halo, &net, None)) {
                     *comm_err.lock() = Some(e);
                 }
             })
@@ -300,19 +370,37 @@ fn rank_main(
     // dt allreduce through rank 0, on the control thread each iteration.
     // Simulation errors ride along so every rank aborts together; a
     // transport error (here or stored by a hook) aborts the loop via a
-    // sentinel that `comm_err` overrides below.
+    // sentinel that `comm_err` overrides below. On telemetry steps the
+    // encoded step summary rides the same parcels (no extra sync point);
+    // rank 0 decodes, runs the straggler detector, and streams JSONL.
     let die_at = faults
         .die_at
         .and_then(|(r, cycle)| (r == rank).then_some(cycle));
+    let slow_ms = faults
+        .slow_rank
+        .and_then(|(r, ms)| (r == rank).then_some(ms));
     let cycle_count = std::sync::atomic::AtomicU64::new(0);
+    let detector = Arc::new(Mutex::new(StragglerDetector::new(net.ranks)));
     let reduce_dt = {
         let net = Arc::clone(&net);
         let comm_err = Arc::clone(&comm_err);
+        let stats = stats.clone();
+        let cfg = live.metrics.clone();
+        let detector = Arc::clone(&detector);
+        // Step time = control-thread wall time between dt reduces (it
+        // covers the whole task graph, including an injected stall) minus
+        // the transport wait accumulated over the same window, so a rank
+        // stalled behind a slow neighbour does not look slow itself.
+        let last_reduce = Mutex::new((Instant::now(), 0u64));
         move |c: Real, h: Real, err: Option<LuleshError>| {
+            let cycle = cycle_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(ms) = slow_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
             // Fault injection: simulate a crash by abandoning the protocol
             // mid-run; dropping the links below closes every socket.
             if let Some(dc) = die_at {
-                if cycle_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= dc {
+                if cycle >= dc {
                     *comm_err.lock() = Some(ParcelError::PeerClosed { peer: rank });
                     return Err(LuleshError::VolumeError); // placeholder; overridden by Net below
                 }
@@ -320,9 +408,37 @@ fn rank_main(
             if comm_err.lock().is_some() {
                 return Err(LuleshError::VolumeError); // placeholder; overridden by Net below
             }
-            match net.allreduce_dt(c, h, err) {
-                Ok((_, _, Some(e))) => Err(e),
-                Ok((gc, gh, None)) => Ok((gc, gh)),
+            let step_ns = {
+                let mut last = last_reduce.lock();
+                let wall = last.0.elapsed().as_nanos() as u64;
+                let wait = stats.as_ref().map_or(0, |s| s.wait_ns());
+                let ns = wall.saturating_sub(wait.saturating_sub(last.1));
+                *last = (Instant::now(), wait);
+                ns
+            };
+            let telemetry: Option<Vec<Real>> = match (&cfg, &stats) {
+                (Some(cfg), Some(s)) if cfg.telemetry_step(cycle + 1) => {
+                    Some(s.snapshot(rank as u32, cycle + 1, step_ns).encode())
+                }
+                _ => None,
+            };
+            match net.allreduce_dt_live(c, h, err, telemetry.as_deref()) {
+                Ok((_, _, Some(e), _)) => Err(e),
+                Ok((gc, gh, None, collected)) => {
+                    if let (Some(cfg), Some(collected)) = (&cfg, collected) {
+                        let summaries: Vec<StepSummary> = collected
+                            .iter()
+                            .filter_map(|p| StepSummary::decode(p))
+                            .collect();
+                        if summaries.len() == net.ranks {
+                            let times: Vec<u64> = summaries.iter().map(|s| s.step_ns).collect();
+                            let flagged = detector.lock().observe(&times);
+                            cfg.sink
+                                .emit(&jsonl_step_line(cycle + 1, &summaries, &flagged));
+                        }
+                    }
+                    Ok((gc, gh))
+                }
                 Err(pe) => {
                     *comm_err.lock() = Some(pe);
                     Err(LuleshError::VolumeError) // placeholder; overridden by Net below
@@ -333,12 +449,25 @@ fn rank_main(
 
     let runner = TaskLulesh::new(threads_per_rank);
     let result = runner.run_with_hooks(&d, plan, sim.max_cycles, &hooks, reduce_dt);
-    if let Some(pe) = *comm_err.lock() {
-        return Err(MdError::Net(pe));
+    let out = (|| {
+        if let Some(pe) = *comm_err.lock() {
+            return Err(MdError::Net(pe));
+        }
+        let state = result.map_err(MdError::Sim)?;
+        net.close()?;
+        Ok((Arc::clone(&d), state))
+    })();
+    if let (Err(MdError::Net(_)), Some(f), Some(dir)) = (&out, &flight, &live.flight_dir) {
+        crate::dump_flight(dir, rank, f);
     }
-    let state = result.map_err(MdError::Sim)?;
-    net.close()?;
-    Ok((d, state))
+    if rank == 0 {
+        if let Some(cfg) = &live.metrics {
+            if cfg.table && out.is_ok() {
+                eprint!("{}", detector.lock().summary_table());
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -430,6 +559,53 @@ mod tests {
                 lulesh_core::validate::max_field_difference(a, &b),
                 0.0,
                 "rank {r}: grid overlap must not change physics"
+            );
+        }
+    }
+
+    #[test]
+    fn taskpar_live_metrics_do_not_change_physics_and_emit_jsonl() {
+        use obs::live::{CollectSink, LiveConfig, LiveSink};
+        let decomp = Decomposition::new(6, 2);
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        world.run(8).unwrap();
+
+        let sink = Arc::new(CollectSink::new());
+        let live = LivePlan {
+            metrics: Some(LiveConfig {
+                period: 2,
+                sink: Arc::clone(&sink) as Arc<dyn LiveSink>,
+                table: false,
+            }),
+            flight_dir: None,
+        };
+        let results = run_transport_live(
+            decomp,
+            TransportKind::Channel,
+            Duration::from_secs(10),
+            2,
+            PartitionPlan::fixed(16, 16),
+            false,
+            SimArgs::new(2, 1, 1, 0, 8),
+            FaultPlan::NONE,
+            live,
+        );
+        for (r, (a, res)) in world.domains.iter().zip(results).enumerate() {
+            let (b, st) = res.unwrap_or_else(|e| panic!("rank {r}: {e}"));
+            assert_eq!(st.cycle, 8);
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, &b),
+                0.0,
+                "rank {r}: live sampling must not change physics"
+            );
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4, "period 2 over 8 cycles");
+        for l in &lines {
+            let v = obs::jsonlint::parse(l).expect("live line must be valid JSON");
+            assert_eq!(
+                v.get("per_rank").and_then(|p| p.arr()).map(|x| x.len()),
+                Some(2)
             );
         }
     }

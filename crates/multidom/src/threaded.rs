@@ -23,7 +23,9 @@
 use crate::exchange::{
     halo_exchange_forces, halo_exchange_gradients, halo_exchange_mass, HaloPlan, ObsCtx,
 };
-use crate::{Decomposition, FaultPlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE};
+use crate::{
+    Decomposition, FaultPlan, LivePlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE,
+};
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::constraints;
 use lulesh_core::params::SimState;
@@ -32,10 +34,14 @@ use lulesh_core::serial::{
     SerialScratch,
 };
 use lulesh_core::timestep::time_increment;
-use lulesh_core::types::LuleshError;
+use lulesh_core::types::{LuleshError, Real};
+use obs::dist::Category;
+use obs::live::{
+    jsonl_step_line, FlightRecorder, LiveStats, StepSummary, StragglerDetector, FLIGHT_DEFAULT_CAP,
+};
 use obs::{SpanKind, Tracer};
 use parcelnet::tcp::TcpConfig;
-use parcelnet::{ParcelError, ParcelObs, RankNet};
+use parcelnet::{ParcelError, ParcelLive, ParcelObs, RankNet};
 use std::sync::Arc;
 use std::time::Duration;
 use taskrt::topology::Topology;
@@ -208,6 +214,33 @@ pub fn run_transport_pinned(
     faults: FaultPlan,
     pin_nodes: Vec<usize>,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
+    run_transport_live(
+        decomp,
+        kind,
+        deadline,
+        sim,
+        trace,
+        faults,
+        pin_nodes,
+        LivePlan::OFF,
+    )
+}
+
+/// [`run_transport_pinned`] with live telemetry: streaming per-step
+/// metrics piggybacked on the dt allreduce (rank 0 runs the straggler
+/// detector and emits JSONL) and/or per-rank flight-recorder dumps on
+/// death — see [`LivePlan`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_transport_live(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+    pin_nodes: Vec<usize>,
+    live: LivePlan,
+) -> Vec<Result<(Domain, SimState), MdError>> {
     let ranks = decomp.ranks();
     let specs = decomp.grid().neighbor_specs();
     match kind {
@@ -220,6 +253,7 @@ pub fn run_transport_pinned(
                 trace,
                 faults,
                 pin_nodes,
+                live,
             )
         }
         TransportKind::TcpLoopback => {
@@ -261,11 +295,12 @@ pub fn run_transport_pinned(
                 .into_iter()
                 .map(|h| h.join().expect("bootstrap must not panic"))
                 .collect();
-            spawn_ranks(decomp, nets, sim, trace, faults, pin_nodes)
+            spawn_ranks(decomp, nets, sim, trace, faults, pin_nodes, live)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_ranks(
     decomp: Decomposition,
     nets: Vec<Result<RankNet, ParcelError>>,
@@ -273,6 +308,7 @@ fn spawn_ranks(
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
     pin_nodes: Vec<usize>,
+    live: LivePlan,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
     let handles: Vec<_> = nets
         .into_iter()
@@ -281,6 +317,7 @@ fn spawn_ranks(
             let shape = decomp.shape(r);
             let trace = trace.clone();
             let pin_nodes = pin_nodes.clone();
+            let live = live.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-rank-{r}"))
                 .spawn(move || match net {
@@ -292,7 +329,8 @@ fn spawn_ranks(
                         if let Some(cpus) = pin_rank_thread(r, &pin_nodes) {
                             net.pin_writers(&cpus);
                         }
-                        run_rank(shape, net, sim, trace, faults)
+                        run_rank_live(shape, net, sim, trace, faults, live)
+                            .map(|(d, st, _offset)| (d, st))
                     }
                     Err(e) => Err(MdError::Net(e)),
                 })
@@ -332,9 +370,56 @@ pub fn run_rank_dist(
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
 ) -> Result<(Domain, SimState, i64), MdError> {
+    run_rank_live(shape, net, sim, trace, faults, LivePlan::OFF)
+}
+
+/// Per-rank live-telemetry state threaded through the step loop.
+#[derive(Clone, Default)]
+struct LiveRank {
+    cfg: Option<obs::live::LiveConfig>,
+    stats: Option<Arc<LiveStats>>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+/// The flight-recorder category for a driver span kind.
+fn flight_cat(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Barrier => "barrier",
+        SpanKind::Halo => "halo",
+        _ => "region",
+    }
+}
+
+/// [`run_rank_dist`] with live telemetry (see [`LivePlan`]): the
+/// transport links feed this rank's counters and flight recorder, the
+/// step loop piggybacks encoded summaries on the dt allreduce, and a
+/// typed death dumps `flight.rank{R}.json` before the error propagates —
+/// the entry point the multi-process TCP launcher calls.
+pub fn run_rank_live(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+    live: LivePlan,
+) -> Result<(Domain, SimState, i64), MdError> {
+    let rank = net.rank;
+    let live_rank = LiveRank {
+        cfg: live.metrics.clone(),
+        stats: live.metrics.as_ref().map(|_| Arc::new(LiveStats::new())),
+        flight: live
+            .flight_dir
+            .as_ref()
+            .map(|_| Arc::new(FlightRecorder::new(FLIGHT_DEFAULT_CAP))),
+    };
+    if live_rank.stats.is_some() || live_rank.flight.is_some() {
+        net.attach_live(&ParcelLive::new(
+            live_rank.stats.clone(),
+            live_rank.flight.clone(),
+        ));
+    }
     let offset = match trace.as_ref() {
         Some(t) => {
-            let rank = net.rank;
             let aux = if t.lanes() >= 2 * net.ranks {
                 net.ranks + rank
             } else {
@@ -354,7 +439,13 @@ pub fn run_rank_dist(
         }
         None => 0,
     };
-    run_rank_inner(shape, net, sim, trace, faults).map(|(d, st)| (d, st, offset))
+    let result = run_rank_inner(shape, net, sim, trace, faults, &live_rank);
+    if let (Err(MdError::Net(_)), Some(f), Some(dir)) =
+        (&result, &live_rank.flight, &live.flight_dir)
+    {
+        crate::dump_flight(dir, rank, f);
+    }
+    result.map(|(d, st)| (d, st, offset))
 }
 
 fn run_rank_inner(
@@ -363,6 +454,7 @@ fn run_rank_inner(
     sim: SimArgs,
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
+    live: &LiveRank,
 ) -> Result<(Domain, SimState), MdError> {
     let rank = net.rank;
     let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
@@ -390,17 +482,64 @@ fn run_rank_inner(
     }
     let obs: ObsCtx = trace.as_ref().map(|t| (t.as_ref(), rank));
 
+    // `spanned!` plus live telemetry: the phase's wall time lands in this
+    // rank's streaming counters (Schulz category `$cat`) and, when a
+    // flight recorder is armed, in its ring of recent events.
+    macro_rules! lspanned {
+        ($label:expr, $kind:expr, $cat:expr, $f:expr) => {{
+            let lt0 = (live.stats.is_some() || live.flight.is_some()).then(std::time::Instant::now);
+            let out = spanned!($label, $kind, $f);
+            if let Some(t0) = lt0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                if let Some(s) = live.stats.as_ref() {
+                    s.add_phase($cat, ns);
+                }
+                if let Some(f) = live.flight.as_ref() {
+                    let end = f.now_ns();
+                    f.record_interval(
+                        $label,
+                        flight_cat($kind),
+                        end.saturating_sub(ns),
+                        end,
+                        0,
+                        -1,
+                    );
+                }
+            }
+            out
+        }};
+    }
+
     // One-time nodal mass exchange.
-    spanned!("halo-mass", SpanKind::Halo, {
+    lspanned!("halo-mass", SpanKind::Halo, Category::Send, {
         halo_exchange_mass(&d, &plan, &net, obs)
     })?;
 
+    // Rank 0 is the telemetry root: it decodes the summaries collected on
+    // the dt star, tracks per-rank EWMA step times, and streams JSONL.
+    let mut detector = (rank == 0 && live.cfg.is_some()).then(|| StragglerDetector::new(net.ranks));
     let mut state = SimState::new(d.initial_dt());
     while state.time < sim.params.stoptime && state.cycle < sim.max_cycles {
         if faults.die_at == Some((rank, state.cycle)) {
             // Abrupt death: drop every link without a Bye, exactly as a
             // killed process would. Survivors observe PeerClosed/Timeout.
             return Err(MdError::Net(ParcelError::PeerClosed { peer: rank }));
+        }
+        // Wall clock AND cumulative transport wait at step start: the
+        // sample point is pre-allreduce, so both windows must open here
+        // too — a rolling wait delta would fold the *previous* step's
+        // allreduce wait into this step's window and (on an oversubscribed
+        // host, where that wait dwarfs compute) saturate self time to 0.
+        let step_start = live
+            .stats
+            .as_ref()
+            .map(|s| (std::time::Instant::now(), s.wait_ns()));
+        if let Some((r, ms)) = faults.slow_rank {
+            // Injected straggler: stall before the phases so the lost time
+            // shows up in this rank's step sample.
+            if r == rank {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
         }
         let iter_start = trace.as_ref().map(|t| t.now_ns());
         time_increment(&mut state, &sim.params);
@@ -415,29 +554,31 @@ fn run_rank_inner(
         let mut local_err: Option<LuleshError> = None;
 
         // Forces + halo sum.
-        local_err = local_err.or(spanned!("forces", SpanKind::Region, {
+        local_err = local_err.or(lspanned!("forces", SpanKind::Region, Category::Busy, {
             calc_force_for_nodes(&d, &mut scratch).err()
         }));
-        spanned!("halo-forces", SpanKind::Halo, {
+        lspanned!("halo-forces", SpanKind::Halo, Category::Send, {
             halo_exchange_forces(&d, &plan, &net, obs)
         })?;
 
         if local_err.is_none() {
-            spanned!("node", SpanKind::Region, advance_nodes(&d, dt));
+            lspanned!("node", SpanKind::Region, Category::Busy, {
+                advance_nodes(&d, dt)
+            });
         }
 
         // Gradients + ghost exchange.
         if local_err.is_none() {
-            local_err = spanned!("kinematics", SpanKind::Region, {
+            local_err = lspanned!("kinematics", SpanKind::Region, Category::Busy, {
                 calc_kinematics_and_gradients(&d, dt).err()
             });
         }
-        spanned!("halo-gradients", SpanKind::Halo, {
+        lspanned!("halo-gradients", SpanKind::Halo, Category::Send, {
             halo_exchange_gradients(&d, &plan, &net, obs)
         })?;
 
         if local_err.is_none() {
-            local_err = spanned!("eos", SpanKind::Region, {
+            local_err = lspanned!("eos", SpanKind::Region, Category::Busy, {
                 apply_q_and_materials(&d, &mut scratch).err()
             });
         }
@@ -445,15 +586,32 @@ fn run_rank_inner(
         // dt constraints: allreduce(min) through rank 0, errors riding
         // along so everyone aborts in the same iteration.
         let (c, h) = if local_err.is_none() {
-            spanned!("constraints", SpanKind::Region, {
+            lspanned!("constraints", SpanKind::Region, Category::Busy, {
                 constraints::calc_time_constraints(&d, sim.params.qqc, sim.params.dvovmax)
             })
         } else {
             (1.0e20, 1.0e20)
         };
-        let (gc, gh, gerr) = spanned!("barrier-dt", SpanKind::Barrier, {
-            net.allreduce_dt(c, h, local_err)
-        })?;
+        // On telemetry steps the encoded step summary rides the dt star —
+        // the same parcels every step already sends, no extra sync point.
+        // `telemetry_step` is a pure function of the shared cycle counter,
+        // so every rank agrees on which steps carry a payload.
+        let telemetry: Option<Vec<Real>> = match (&live.cfg, &live.stats, step_start) {
+            (Some(cfg), Some(s), Some((t0, wait0))) if cfg.telemetry_step(state.cycle) => {
+                // Self time: wall minus time blocked in transport recvs —
+                // a rank stalled behind a slow neighbour must not look
+                // slow itself. Both clocks span step start to here.
+                let wall = t0.elapsed().as_nanos() as u64;
+                let step_wait = s.wait_ns().saturating_sub(wait0);
+                let step_ns = wall.saturating_sub(step_wait);
+                Some(s.snapshot(rank as u32, state.cycle, step_ns).encode())
+            }
+            _ => None,
+        };
+        let (gc, gh, gerr, collected) =
+            lspanned!("barrier-dt", SpanKind::Barrier, Category::Barrier, {
+                net.allreduce_dt_live(c, h, local_err, telemetry.as_deref())
+            })?;
         if let Some(e) = gerr {
             // Every rank is returning this same error right now; links are
             // dropped together, so nobody is left reading.
@@ -461,6 +619,22 @@ fn run_rank_inner(
         }
         state.dtcourant = gc;
         state.dthydro = gh;
+        if let (Some(det), Some(cfg), Some(collected)) =
+            (detector.as_mut(), live.cfg.as_ref(), collected)
+        {
+            // Telemetry root: decode (rank order — own summary first, then
+            // star members), detect, stream one JSONL line.
+            let summaries: Vec<StepSummary> = collected
+                .iter()
+                .filter_map(|p| StepSummary::decode(p))
+                .collect();
+            if summaries.len() == net.ranks {
+                let step_ns: Vec<u64> = summaries.iter().map(|s| s.step_ns).collect();
+                let flagged = det.observe(&step_ns);
+                cfg.sink
+                    .emit(&jsonl_step_line(state.cycle, &summaries, &flagged));
+            }
+        }
         if rank == 0 {
             if let (Some(t), Some(start)) = (trace.as_ref(), iter_start) {
                 t.record_interval(rank, SpanKind::Region, "iteration", start, t.now_ns());
@@ -471,6 +645,11 @@ fn run_rank_inner(
     // Graceful shutdown: Bye on every link, so no socket is abandoned with
     // a peer still reading from it.
     net.close()?;
+    if let (Some(det), Some(cfg)) = (detector.as_ref(), live.cfg.as_ref()) {
+        if cfg.table {
+            eprint!("{}", det.summary_table());
+        }
+    }
     Ok((d, state))
 }
 
@@ -646,6 +825,107 @@ mod tests {
             "traced run must record parcel spans"
         );
         assert_eq!(chan, tcp, "span census must be identical across transports");
+    }
+
+    /// Acceptance gate for the live plane: an injected slow rank must be
+    /// flagged by rank 0's online detector within 5 steps.
+    #[test]
+    fn straggler_detector_flags_injected_slow_rank_within_five_steps() {
+        use obs::live::{CollectSink, LiveConfig, LiveSink};
+        let sink = Arc::new(CollectSink::new());
+        let live = LivePlan {
+            metrics: Some(LiveConfig {
+                period: 1,
+                sink: Arc::clone(&sink) as Arc<dyn LiveSink>,
+                table: false,
+            }),
+            flight_dir: None,
+        };
+        let faults = FaultPlan {
+            slow_rank: Some((1, 25)),
+            ..FaultPlan::NONE
+        };
+        let results = run_transport_live(
+            Decomposition::new(6, 2),
+            TransportKind::Channel,
+            Duration::from_secs(10),
+            SimArgs::new(2, 1, 1, 0, 8),
+            None,
+            faults,
+            Vec::new(),
+            live,
+        );
+        for r in results {
+            r.expect("slow rank must not fail the run");
+        }
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 8, "period 1 over 8 cycles");
+        let flagged_at = lines.iter().position(|l| {
+            let v = obs::jsonlint::parse(l).expect("live line must be valid JSON");
+            v.get("stragglers")
+                .and_then(|s| s.arr())
+                .is_some_and(|a| a.iter().any(|x| x.num() == Some(1.0)))
+        });
+        assert!(
+            matches!(flagged_at, Some(i) if i < 5),
+            "rank 1 must be flagged within 5 steps, first flag at {flagged_at:?}"
+        );
+        // Every line carries full per-rank summaries and a sane imbalance.
+        for l in &lines {
+            let v = obs::jsonlint::parse(l).unwrap();
+            assert_eq!(
+                v.get("per_rank").and_then(|p| p.arr()).map(|a| a.len()),
+                Some(2)
+            );
+            assert!(v.get("imbalance").and_then(|x| x.num()).unwrap() >= 1.0);
+        }
+    }
+
+    /// Fault-plan death must leave a lintable flight recording behind on
+    /// every rank — the dying one and the survivor that observed it.
+    #[test]
+    fn fault_death_dumps_lintable_flight_recordings() {
+        let dir = std::env::temp_dir().join(format!("multidom-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = LivePlan {
+            metrics: None,
+            flight_dir: Some(dir.clone()),
+        };
+        let faults = FaultPlan {
+            die_at: Some((1, 3)),
+            ..FaultPlan::NONE
+        };
+        let results = run_transport_live(
+            Decomposition::new(6, 2),
+            TransportKind::Channel,
+            Duration::from_secs(2),
+            SimArgs::new(2, 1, 1, 0, 10),
+            None,
+            faults,
+            Vec::new(),
+            live,
+        );
+        assert!(
+            results.iter().all(|r| matches!(r, Err(MdError::Net(_)))),
+            "both the dying rank and the survivor must report a typed failure"
+        );
+        for r in 0..2 {
+            let path = dir.join(format!("flight.rank{r}.json"));
+            let content = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("rank {r} flight dump missing: {e}"));
+            let st = obs::live::lint_flight_dump(&content)
+                .unwrap_or_else(|e| panic!("rank {r} flight dump invalid: {e}"));
+            assert_eq!(st.rank, r);
+            assert!(st.events > 0, "rank {r} recorded no events");
+        }
+        // The survivor saw a typed parcel error; its dump records it.
+        let survivor = std::fs::read_to_string(dir.join("flight.rank0.json")).unwrap();
+        assert!(
+            obs::live::lint_flight_dump(&survivor).unwrap().errors > 0,
+            "survivor must record the typed failure"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

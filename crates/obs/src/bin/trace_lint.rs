@@ -5,6 +5,12 @@
 //! a minimum number of `"cat": "barrier"` events. Used by
 //! `scripts/check.sh` to prove `--trace`/`--trace-dir` output is loadable.
 //!
+//! Flight-recorder dumps (`flight.rank<N>.json`, written next to the
+//! trace files on a transport fault) are detected by their
+//! `"kind":"flight"` header and routed through
+//! [`obs::live::lint_flight_dump`] instead: schema version, sorted
+//! timestamps, and the flight category set.
+//!
 //! Usage: `trace_lint <file.json> [min_barrier_events]`
 
 use std::process::exit;
@@ -30,6 +36,28 @@ fn main() {
             exit(1);
         }
     };
+    // A flight dump is one JSON object that declares itself in its first
+    // bytes; a Chrome trace is a top-level array. Sniff the header rather
+    // than the filename so redirected/renamed dumps still lint.
+    let head: String = content.chars().take(128).filter(|c| *c != ' ').collect();
+    if head.contains("\"kind\":\"flight\"") {
+        match obs::live::lint_flight_dump(&content) {
+            Ok(stats) => {
+                println!(
+                    "{path}: OK (flight dump, rank {}, {} events, {} error{})",
+                    stats.rank,
+                    stats.events,
+                    stats.errors,
+                    if stats.errors == 1 { "" } else { "s" }
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                exit(1);
+            }
+        }
+    }
     match obs::dist::lint_chrome_trace(&content, min_barriers) {
         Ok(stats) => {
             println!(

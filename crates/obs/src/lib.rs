@@ -26,6 +26,7 @@
 
 pub mod dist;
 pub mod jsonlint;
+pub mod live;
 
 use parking_lot::Mutex;
 use parutil::CachePadded;

@@ -4,12 +4,13 @@
 //! checksum: frames never leave process memory).
 
 use crate::{
-    dir, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelObs, RankNet, Tag, Transport,
+    dir, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelLive, ParcelObs, RankNet, Tag,
+    Transport,
 };
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use lulesh_core::types::Real;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// One tagged, sequenced message (the in-process analogue of a wire frame).
@@ -30,7 +31,12 @@ pub struct ChannelTransport {
     deadline: Duration,
     send_seq: AtomicU32,
     recv_seq: AtomicU32,
-    obs: Mutex<Option<ParcelObs>>,
+    // `OnceLock`, not a mutex: the hooks are read on every parcel (the
+    // hot path — a 7-neighbour rank touches ~40 parcels per step), so a
+    // per-op lock + `Arc` clone would be the telemetry plane's single
+    // biggest cost. Attach-once is all the drivers ever needed.
+    obs: OnceLock<ParcelObs>,
+    live: OnceLock<ParcelLive>,
 }
 
 impl ChannelTransport {
@@ -56,7 +62,8 @@ impl ChannelTransport {
             deadline,
             send_seq: AtomicU32::new(0),
             recv_seq: AtomicU32::new(0),
-            obs: Mutex::new(None),
+            obs: OnceLock::new(),
+            live: OnceLock::new(),
         }
     }
 }
@@ -67,8 +74,12 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError> {
-        let obs = self.obs.lock().clone();
-        let t0 = obs.as_ref().map(|o| o.now_ns());
+        let obs = self.obs.get();
+        let live = self.live.get();
+        let t0 = obs.map(|o| o.now_ns());
+        let lw0 = live
+            .is_some_and(ParcelLive::times_sends)
+            .then(std::time::Instant::now);
         let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
         self.tx
             .send(Frame {
@@ -76,48 +87,89 @@ impl Transport for ChannelTransport {
                 seq,
                 payload: payload.to_vec(),
             })
-            .map_err(|_| ParcelError::PeerClosed { peer: self.peer })?;
-        if let (Some(o), Some(t0)) = (&obs, t0) {
+            .map_err(|_| {
+                let e = ParcelError::PeerClosed { peer: self.peer };
+                if let Some(l) = live {
+                    l.failed(tag.send_label(), &e, self.peer);
+                }
+                e
+            })?;
+        if let (Some(o), Some(t0)) = (obs, t0) {
             o.send(tag, t0, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
+        if let Some(l) = live {
+            l.sent(
+                tag,
+                lw0.map_or(0, |w0| w0.elapsed().as_nanos() as u64),
+                payload.len() as u64 * 8,
+                self.peer,
+            );
         }
         Ok(())
     }
 
     fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
-        let obs = self.obs.lock().clone();
-        let t0 = obs.as_ref().map(|o| o.now_ns());
-        let frame = self.rx.recv_timeout(self.deadline).map_err(|e| match e {
-            RecvTimeoutError::Timeout => ParcelError::Timeout { peer: self.peer },
-            RecvTimeoutError::Disconnected => ParcelError::PeerClosed { peer: self.peer },
+        let obs = self.obs.get();
+        let live = self.live.get();
+        let t0 = obs.map(|o| o.now_ns());
+        let lw0 = live
+            .is_some_and(ParcelLive::active)
+            .then(std::time::Instant::now);
+        let frame = self.rx.recv_timeout(self.deadline).map_err(|e| {
+            let e = match e {
+                RecvTimeoutError::Timeout => ParcelError::Timeout { peer: self.peer },
+                RecvTimeoutError::Disconnected => ParcelError::PeerClosed { peer: self.peer },
+            };
+            if let Some(l) = live {
+                l.failed(tag.wait_label(), &e, self.peer);
+            }
+            e
         })?;
-        let arrival = obs.as_ref().map(|o| o.now_ns());
-        if let (Some(o), Some(t0), Some(arr)) = (&obs, t0, arrival) {
+        let arrival = obs.map(|o| o.now_ns());
+        if let (Some(o), Some(t0), Some(arr)) = (obs, t0, arrival) {
             o.wait(tag, t0, arr, self.peer);
         }
         let expected = self.recv_seq.fetch_add(1, Ordering::Relaxed);
         if frame.seq != expected {
-            return Err(ParcelError::SeqMismatch {
+            let e = ParcelError::SeqMismatch {
                 peer: self.peer,
                 expected,
                 got: frame.seq,
-            });
+            };
+            if let Some(l) = live {
+                l.failed(tag.recv_label(), &e, self.peer);
+            }
+            return Err(e);
         }
         if frame.tag != tag {
             // A `Bye` where data was expected means the peer shut down.
-            if frame.tag == Tag::Bye {
-                return Err(ParcelError::PeerClosed { peer: self.peer });
+            let e = if frame.tag == Tag::Bye {
+                ParcelError::PeerClosed { peer: self.peer }
+            } else {
+                ParcelError::TagMismatch {
+                    peer: self.peer,
+                    expected: tag,
+                    got: frame.tag,
+                }
+            };
+            if let Some(l) = live {
+                l.failed(tag.recv_label(), &e, self.peer);
             }
-            return Err(ParcelError::TagMismatch {
-                peer: self.peer,
-                expected: tag,
-                got: frame.tag,
-            });
+            return Err(e);
         }
-        if let (Some(o), Some(arr)) = (&obs, arrival) {
+        if let (Some(o), Some(arr)) = (obs, arrival) {
             o.recv(
                 tag,
                 arr,
                 o.now_ns(),
+                frame.payload.len() as u64 * 8,
+                self.peer,
+            );
+        }
+        if let (Some(l), Some(w0)) = (live, lw0) {
+            l.received(
+                tag,
+                w0.elapsed().as_nanos() as u64,
                 frame.payload.len() as u64 * 8,
                 self.peer,
             );
@@ -131,7 +183,11 @@ impl Transport for ChannelTransport {
     }
 
     fn attach_obs(&self, obs: ParcelObs) {
-        *self.obs.lock() = Some(obs);
+        let _ = self.obs.set(obs);
+    }
+
+    fn attach_live(&self, live: ParcelLive) {
+        let _ = self.live.set(live);
     }
 }
 
@@ -285,6 +341,33 @@ mod tests {
         let t = std::thread::spawn(move || b.close());
         a.close().unwrap();
         t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn live_hooks_count_frames_and_record_failures() {
+        use obs::live::{lint_flight_dump, FlightRecorder, LiveStats};
+        use std::sync::Arc;
+        let (a, b) = ChannelTransport::pair(0, 1, D);
+        let stats = Arc::new(LiveStats::new());
+        let fr = Arc::new(FlightRecorder::new(16));
+        a.attach_live(ParcelLive::new(
+            Some(Arc::clone(&stats)),
+            Some(Arc::clone(&fr)),
+        ));
+        a.send(force(), &[1.0, 2.0]).unwrap();
+        b.send(force(), &[3.0]).unwrap();
+        assert_eq!(a.recv(force()).unwrap(), vec![3.0]);
+        let s = stats.snapshot(0, 0, 0);
+        assert_eq!(s.sent_bytes[Tag::force(dir::UP).class()], 16);
+        assert_eq!(s.sent_count[Tag::force(dir::UP).class()], 1);
+        assert_eq!(s.recv_bytes[Tag::force(dir::UP).class()], 8);
+        assert_eq!(s.recv_count[Tag::force(dir::UP).class()], 1);
+        // A vanished peer lands in the flight ring as an error event.
+        drop(b);
+        assert_eq!(a.recv(force()), Err(ParcelError::PeerClosed { peer: 1 }));
+        let lint = lint_flight_dump(&fr.dump_json(0)).expect("flight dump lints");
+        assert!(lint.events >= 3, "send + recv + error events recorded");
+        assert_eq!(lint.errors, 1);
     }
 
     #[test]

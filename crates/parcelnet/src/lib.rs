@@ -143,12 +143,17 @@ pub enum Tag {
     Bye,
     /// Clock-alignment ping-pong (offset estimation over the dt star).
     Clock,
+    /// Per-step live-telemetry summary, piggybacked on the dt star
+    /// ([`RankNet::allreduce_dt_live`]): an encoded
+    /// [`obs::live::StepSummary`] travelling leaf → root.
+    Telemetry,
 }
 
 /// Wire encodings: directional tags occupy a 32-slot block per kind.
 const TAG_DT: u32 = 4;
 const TAG_BYE: u32 = 5;
 const TAG_CLOCK: u32 = 6;
+const TAG_TELEMETRY: u32 = 7;
 const TAG_MASS_BASE: u32 = 0x100;
 const TAG_FORCE_BASE: u32 = 0x200;
 const TAG_GRADIENT_BASE: u32 = 0x300;
@@ -198,6 +203,20 @@ impl Tag {
             Tag::Dt => "dt",
             Tag::Bye => "bye",
             Tag::Clock => "clock",
+            Tag::Telemetry => "telemetry",
+        }
+    }
+
+    /// The [`obs::live::TAG_CLASSES`] index this tag's counters land in.
+    pub fn class(self) -> usize {
+        match self {
+            Tag::Mass(_) => 0,
+            Tag::Force(_) => 1,
+            Tag::Gradient(_) => 2,
+            Tag::Dt => 3,
+            Tag::Bye => 4,
+            Tag::Clock => 5,
+            Tag::Telemetry => 6,
         }
     }
 
@@ -210,6 +229,7 @@ impl Tag {
             Tag::Dt => TAG_DT,
             Tag::Bye => TAG_BYE,
             Tag::Clock => TAG_CLOCK,
+            Tag::Telemetry => TAG_TELEMETRY,
         }
     }
 
@@ -220,6 +240,7 @@ impl Tag {
             (_, TAG_DT) => Some(Tag::Dt),
             (_, TAG_BYE) => Some(Tag::Bye),
             (_, TAG_CLOCK) => Some(Tag::Clock),
+            (_, TAG_TELEMETRY) => Some(Tag::Telemetry),
             (TAG_MASS_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Mass(d)),
             (TAG_FORCE_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Force(d)),
             (TAG_GRADIENT_BASE, _) if usize::from(d) < dir::COUNT => Some(Tag::Gradient(d)),
@@ -237,6 +258,7 @@ impl Tag {
             Tag::Dt => "parcel-send-dt",
             Tag::Bye => "parcel-send-bye",
             Tag::Clock => "parcel-send-clock",
+            Tag::Telemetry => "parcel-send-telemetry",
         }
     }
 
@@ -249,6 +271,7 @@ impl Tag {
             Tag::Dt => "parcel-recv-dt",
             Tag::Bye => "parcel-recv-bye",
             Tag::Clock => "parcel-recv-clock",
+            Tag::Telemetry => "parcel-recv-telemetry",
         }
     }
 
@@ -261,6 +284,7 @@ impl Tag {
             Tag::Dt => "parcel-wait-dt",
             Tag::Bye => "parcel-wait-bye",
             Tag::Clock => "parcel-wait-clock",
+            Tag::Telemetry => "parcel-wait-telemetry",
         }
     }
 
@@ -273,6 +297,7 @@ impl Tag {
             Tag::Dt => "parcel-serialize-dt",
             Tag::Bye => "parcel-serialize-bye",
             Tag::Clock => "parcel-serialize-clock",
+            Tag::Telemetry => "parcel-serialize-telemetry",
         }
     }
 }
@@ -341,6 +366,91 @@ impl ParcelObs {
     pub fn corrupt(&self, start_ns: u64, end_ns: u64, peer: usize) {
         self.tracer
             .record_parcel(self.lane, "parcel-corrupt", start_ns, end_ns, 0, peer);
+    }
+}
+
+/// Live-telemetry hooks for a link, attached via
+/// [`Transport::attach_live`]: always-on per-rank counters
+/// ([`obs::live::LiveStats`]) and/or a bounded fault flight recorder
+/// ([`obs::live::FlightRecorder`]). Both are optional and O(1) per
+/// frame, so the plane can stay on for the whole job; with neither
+/// attached the hot path is a single `None` check, exactly like
+/// [`ParcelObs`].
+#[derive(Clone, Default)]
+pub struct ParcelLive {
+    /// Per-rank counters fed bytes/counts and receive-wait latency.
+    pub stats: Option<std::sync::Arc<obs::live::LiveStats>>,
+    /// Ring of recent parcel events, dumped on a typed failure.
+    pub flight: Option<std::sync::Arc<obs::live::FlightRecorder>>,
+}
+
+impl ParcelLive {
+    /// Hooks feeding `stats` and `flight` (either may be `None`).
+    pub fn new(
+        stats: Option<std::sync::Arc<obs::live::LiveStats>>,
+        flight: Option<std::sync::Arc<obs::live::FlightRecorder>>,
+    ) -> Self {
+        ParcelLive { stats, flight }
+    }
+
+    /// True when at least one sink is attached (transports skip their
+    /// clock reads otherwise).
+    pub fn active(&self) -> bool {
+        self.stats.is_some() || self.flight.is_some()
+    }
+
+    /// True when send-side durations are actually consumed. The stats
+    /// counters only look at class and bytes on the send side — the
+    /// duration feeds nothing but the flight recorder — so transports
+    /// skip the two `Instant::now` calls per send (the dominant
+    /// always-on cost on small-brick runs) unless a flight ring is
+    /// armed.
+    pub fn times_sends(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// A frame for `peer` was sent/enqueued, taking `dur_ns`.
+    pub fn sent(&self, tag: Tag, dur_ns: u64, bytes: u64, peer: usize) {
+        if let Some(s) = &self.stats {
+            s.on_send(tag.class(), bytes);
+        }
+        if let Some(f) = &self.flight {
+            let end = f.now_ns();
+            f.record_interval(
+                tag.send_label(),
+                "parcel",
+                end.saturating_sub(dur_ns),
+                end,
+                bytes,
+                peer as i32,
+            );
+        }
+    }
+
+    /// A frame from `peer` was received after blocking for `wait_ns`.
+    pub fn received(&self, tag: Tag, wait_ns: u64, bytes: u64, peer: usize) {
+        if let Some(s) = &self.stats {
+            s.on_recv(tag.class(), bytes, wait_ns);
+        }
+        if let Some(f) = &self.flight {
+            let end = f.now_ns();
+            f.record_interval(
+                tag.recv_label(),
+                "parcel",
+                end.saturating_sub(wait_ns),
+                end,
+                bytes,
+                peer as i32,
+            );
+        }
+    }
+
+    /// A typed transport failure involving `peer` — recorded in the
+    /// flight ring so the post-mortem dump shows what led up to it.
+    pub fn failed(&self, label: &'static str, err: &ParcelError, peer: usize) {
+        if let Some(f) = &self.flight {
+            f.record_error(label, err.to_string(), peer as i32);
+        }
     }
 }
 
@@ -458,6 +568,10 @@ pub trait Transport: Send + Sync {
     /// Default: no instrumentation.
     fn attach_obs(&self, _obs: ParcelObs) {}
 
+    /// Attach live-telemetry hooks (counters and/or a flight recorder)
+    /// to this link. Default: no instrumentation.
+    fn attach_live(&self, _live: ParcelLive) {}
+
     /// Pin this link's background writer thread (if any) to `cpus`, so
     /// comm threads stop migrating off their rank's NUMA node. Default:
     /// no background threads, nothing to pin.
@@ -552,6 +666,11 @@ fn code_err(c: Real) -> Option<LuleshError> {
     }
 }
 
+/// What [`RankNet::allreduce_dt_live`] returns: the global constraint
+/// minima, the folded simulation error, and — on rank 0 when telemetry
+/// was piggybacked — one raw payload per rank (self at index 0).
+pub type AllreduceLiveResult = (Real, Real, Option<LuleshError>, Option<Vec<Vec<Real>>>);
+
 impl RankNet {
     /// The link toward stencil direction `d`, if that neighbour exists.
     pub fn link_to(&self, d: usize) -> Option<&dyn Transport> {
@@ -582,11 +701,35 @@ impl RankNet {
         h: Real,
         err: Option<LuleshError>,
     ) -> Result<(Real, Real, Option<LuleshError>), ParcelError> {
+        self.allreduce_dt_live(c, h, err, None)
+            .map(|(gc, gh, gerr, _)| (gc, gh, gerr))
+    }
+
+    /// [`allreduce_dt`](Self::allreduce_dt) with an optional telemetry
+    /// sample riding the same star: when `telemetry` is `Some`, each
+    /// leaf sends a [`Tag::Telemetry`] frame right after its dt
+    /// contribution (buffered, so nobody blocks), and rank 0 collects
+    /// one payload per rank — its own at index 0, members at their rank
+    /// index — returned alongside the reduction. No extra sync point is
+    /// added; the telemetry frames travel inside the barrier the dt
+    /// reduction already is. Every rank must agree on which steps pass
+    /// `Some` (drivers key it off the shared cycle counter).
+    pub fn allreduce_dt_live(
+        &self,
+        c: Real,
+        h: Real,
+        err: Option<LuleshError>,
+        telemetry: Option<&[Real]>,
+    ) -> Result<AllreduceLiveResult, ParcelError> {
         match &self.dt {
             DtLinks::Root(members) => {
                 let mut gc = c;
                 let mut gh = h;
                 let mut gerr = err;
+                let mut collected: Vec<Vec<Real>> = Vec::new();
+                if let Some(mine) = telemetry {
+                    collected.push(mine.to_vec());
+                }
                 for m in members {
                     let p = m.recv(Tag::Dt)?;
                     if p.len() != 3 {
@@ -595,20 +738,26 @@ impl RankNet {
                     gc = gc.min(p[0]);
                     gh = gh.min(p[1]);
                     gerr = gerr.or(code_err(p[2]));
+                    if telemetry.is_some() {
+                        collected.push(m.recv(Tag::Telemetry)?);
+                    }
                 }
                 let frame = [gc, gh, err_code(gerr)];
                 for m in members {
                     m.send(Tag::Dt, &frame)?;
                 }
-                Ok((gc, gh, gerr))
+                Ok((gc, gh, gerr, telemetry.map(|_| collected)))
             }
             DtLinks::Leaf(link) => {
                 link.send(Tag::Dt, &[c, h, err_code(err)])?;
+                if let Some(t) = telemetry {
+                    link.send(Tag::Telemetry, t)?;
+                }
                 let p = link.recv(Tag::Dt)?;
                 if p.len() != 3 {
                     return Err(ParcelError::Io(std::io::ErrorKind::InvalidData));
                 }
-                Ok((p[0], p[1], code_err(p[2])))
+                Ok((p[0], p[1], code_err(p[2]), None))
             }
         }
     }
@@ -649,6 +798,11 @@ impl RankNet {
     /// Attach a parcel-span sink to every link of this endpoint.
     pub fn attach_obs(&self, obs: &ParcelObs) {
         self.for_each_link(&mut |l| l.attach_obs(obs.clone()));
+    }
+
+    /// Attach live-telemetry hooks to every link of this endpoint.
+    pub fn attach_live(&self, live: &ParcelLive) {
+        self.for_each_link(&mut |l| l.attach_live(live.clone()));
     }
 
     /// Pin every link's background writer thread (TCP only; a no-op for
@@ -748,7 +902,7 @@ mod tests {
 
     #[test]
     fn tag_roundtrip() {
-        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock];
+        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock, Tag::Telemetry];
         for d in 0..dir::COUNT {
             all.push(Tag::Mass(d as u8));
             all.push(Tag::Force(d as u8));
@@ -768,7 +922,7 @@ mod tests {
         // Satellite: the 27-neighbour tag layout must never alias — across
         // every direction of every kind, wire codes, names, and all four
         // span labels are pairwise distinct.
-        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock];
+        let mut all = vec![Tag::Dt, Tag::Bye, Tag::Clock, Tag::Telemetry];
         for d in 0..dir::COUNT {
             all.push(Tag::Mass(d as u8));
             all.push(Tag::Force(d as u8));
@@ -890,6 +1044,102 @@ mod tests {
                     "rank {rank}: measured {off}, want {want}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn telemetry_piggybacks_on_the_dt_star() {
+        // 3 ranks over channels; every rank contributes a telemetry
+        // payload on every allreduce. Rank 0 must collect all three in
+        // rank order; leaves get the reduction and no payloads; the
+        // reduction itself must match the plain allreduce semantics.
+        let nets = channel::channel_mesh(3, std::time::Duration::from_secs(2));
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                std::thread::spawn(move || {
+                    let rank = net.rank;
+                    let mine = [rank as Real, 100.0 + rank as Real];
+                    let (gc, gh, gerr, collected) = net
+                        .allreduce_dt_live(
+                            1.0 + rank as Real,
+                            10.0 - rank as Real,
+                            None,
+                            Some(&mine),
+                        )
+                        .unwrap();
+                    net.close().unwrap();
+                    (rank, gc, gh, gerr, collected)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, gc, gh, gerr, collected) = h.join().unwrap();
+            assert_eq!((gc, gh), (1.0, 8.0), "rank {rank}");
+            assert_eq!(gerr, None);
+            if rank == 0 {
+                let c = collected.expect("root collects telemetry");
+                assert_eq!(c.len(), 3);
+                for (r, p) in c.iter().enumerate() {
+                    assert_eq!(p.as_slice(), &[r as Real, 100.0 + r as Real], "rank {r}");
+                }
+            } else {
+                assert!(collected.is_none(), "leaves collect nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_sync_skew_stays_bounded_under_load() {
+        // Satellite: the straggler detector compares step times measured
+        // on different ranks' clocks, so the sync error under CPU load
+        // bounds the detector's skew. Saturate the host with busy
+        // threads, then check the min-RTT estimator still recovers an
+        // injected 100 ms skew to well under the detector's 0.5 ms
+        // noise floor times a safety factor (5 ms here: slow CI hosts).
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Instant;
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let busy: Vec<_> = (0..std::thread::available_parallelism().map_or(4, |n| n.get()))
+            .map(|_| {
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut x = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        std::hint::black_box(x);
+                    }
+                })
+            })
+            .collect();
+        let skews: [i64; 2] = [0, 100_000_000];
+        let epoch = Instant::now();
+        let nets = channel::channel_mesh(2, std::time::Duration::from_secs(5));
+        let handles: Vec<_> = nets
+            .into_iter()
+            .map(|net| {
+                let skew = skews[net.rank];
+                std::thread::spawn(move || {
+                    let now =
+                        move || (epoch.elapsed().as_nanos() as i64 + 10_000_000_000 + skew) as u64;
+                    let off = net.clock_sync(&now, 16).unwrap();
+                    (net.rank, off)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, off) = h.join().unwrap();
+            if rank == 1 {
+                assert!(
+                    (off - skews[1]).abs() < 5_000_000,
+                    "skew error {} ns exceeds the 5 ms bound under load",
+                    off - skews[1]
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for b in busy {
+            b.join().unwrap();
         }
     }
 

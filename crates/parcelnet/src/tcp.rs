@@ -33,7 +33,8 @@
 //! protocol thread always reaches its `recv`, which drains the wire.
 
 use crate::{
-    dir, fnv1a64, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelObs, RankNet, Tag, Transport,
+    dir, fnv1a64, DtLinks, Neighbor, NeighborSpec, ParcelError, ParcelLive, ParcelObs, RankNet,
+    Tag, Transport,
 };
 use crossbeam::channel::{bounded, Sender};
 use lulesh_core::types::Real;
@@ -41,7 +42,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 const MAGIC: u64 = 0x5041_5243_4c4e_4554; // "PARCLNET"
@@ -149,7 +150,11 @@ pub struct TcpTransport {
     writer_err: Arc<Mutex<Option<ParcelError>>>,
     send_seq: AtomicU32,
     recv_seq: AtomicU32,
-    obs: Arc<Mutex<Option<ParcelObs>>>,
+    // `OnceLock`, not a mutex: read on every parcel (the hot path), and
+    // the drivers only ever attach once before the run. `obs` is shared
+    // with the writer thread, hence the `Arc`.
+    obs: Arc<OnceLock<ParcelObs>>,
+    live: OnceLock<ParcelLive>,
 }
 
 impl TcpTransport {
@@ -170,7 +175,7 @@ impl TcpTransport {
         // before the first recv.
         let (writer_tx, writer_rx) = bounded::<WriteReq>(32);
         let writer_err = Arc::new(Mutex::new(None::<ParcelError>));
-        let obs = Arc::new(Mutex::new(None::<ParcelObs>));
+        let obs = Arc::new(OnceLock::<ParcelObs>::new());
         {
             let err = Arc::clone(&writer_err);
             let obs = Arc::clone(&obs);
@@ -195,14 +200,14 @@ impl TcpTransport {
                             }
                             WriteReq::Frame(tag, seq, payload) => (tag, seq, payload),
                         };
-                        let o = obs.lock().clone();
-                        let t0 = o.as_ref().map(|o| o.now_ns());
+                        let o = obs.get();
+                        let t0 = o.map(|o| o.now_ns());
                         let bytes = encode_frame(tag, seq, src, &payload);
                         if let Err(e) = stream.write_all(&bytes).and_then(|()| stream.flush()) {
                             *err.lock() = Some(map_io(peer, &e));
                             return;
                         }
-                        if let (Some(o), Some(t0)) = (&o, t0) {
+                        if let (Some(o), Some(t0)) = (o, t0) {
                             o.serialize(tag, t0, o.now_ns(), payload.len() as u64 * 8, peer);
                         }
                     }
@@ -218,6 +223,7 @@ impl TcpTransport {
             send_seq: AtomicU32::new(0),
             recv_seq: AtomicU32::new(0),
             obs,
+            live: OnceLock::new(),
         })
     }
 }
@@ -228,35 +234,59 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, tag: Tag, payload: &[Real]) -> Result<(), ParcelError> {
+        let live = self.live.get();
         if let Some(e) = *self.writer_err.lock() {
+            if let Some(l) = live {
+                l.failed(tag.send_label(), &e, self.peer);
+            }
             return Err(e);
         }
-        let obs = self.obs.lock().clone();
-        let t0 = obs.as_ref().map(|o| o.now_ns());
+        let obs = self.obs.get();
+        let t0 = obs.map(|o| o.now_ns());
+        let lw0 = live.is_some_and(ParcelLive::times_sends).then(Instant::now);
         let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
         self.writer_tx
             .send(WriteReq::Frame(tag, seq, payload.to_vec()))
             .map_err(|_| {
-                self.writer_err
+                let e = self
+                    .writer_err
                     .lock()
-                    .unwrap_or(ParcelError::PeerClosed { peer: self.peer })
+                    .unwrap_or(ParcelError::PeerClosed { peer: self.peer });
+                if let Some(l) = live {
+                    l.failed(tag.send_label(), &e, self.peer);
+                }
+                e
             })?;
-        if let (Some(o), Some(t0)) = (&obs, t0) {
+        if let (Some(o), Some(t0)) = (obs, t0) {
             o.send(tag, t0, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
+        if let Some(l) = live {
+            l.sent(
+                tag,
+                lw0.map_or(0, |w0| w0.elapsed().as_nanos() as u64),
+                payload.len() as u64 * 8,
+                self.peer,
+            );
         }
         Ok(())
     }
 
     fn recv(&self, tag: Tag) -> Result<Vec<Real>, ParcelError> {
-        let obs = self.obs.lock().clone();
-        let t0 = obs.as_ref().map(|o| o.now_ns());
+        let obs = self.obs.get();
+        let live = self.live.get();
+        let t0 = obs.map(|o| o.now_ns());
+        let lw0 = live.is_some_and(ParcelLive::active).then(Instant::now);
         let mut stream = self.reader.lock();
         let mut header = [0u8; 24];
-        stream
-            .read_exact(&mut header)
-            .map_err(|e| map_io(self.peer, &e))?;
-        let arrival = obs.as_ref().map(|o| o.now_ns());
-        if let (Some(o), Some(t0), Some(arr)) = (&obs, t0, arrival) {
+        stream.read_exact(&mut header).map_err(|e| {
+            let e = map_io(self.peer, &e);
+            if let Some(l) = live {
+                l.failed(tag.wait_label(), &e, self.peer);
+            }
+            e
+        })?;
+        let arrival = obs.map(|o| o.now_ns());
+        if let (Some(o), Some(t0), Some(arr)) = (obs, t0, arrival) {
             o.wait(tag, t0, arr, self.peer);
         }
 
@@ -268,44 +298,62 @@ impl Transport for TcpTransport {
         let ck = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
 
         let mut payload_bytes = vec![0u8; len * 8];
-        stream
-            .read_exact(&mut payload_bytes)
-            .map_err(|e| map_io(self.peer, &e))?;
+        stream.read_exact(&mut payload_bytes).map_err(|e| {
+            let e = map_io(self.peer, &e);
+            if let Some(l) = live {
+                l.failed(tag.recv_label(), &e, self.peer);
+            }
+            e
+        })?;
         drop(stream);
 
+        let fail = |e: ParcelError| {
+            if let Some(l) = live {
+                l.failed(tag.recv_label(), &e, self.peer);
+            }
+            e
+        };
         if src != self.peer {
-            return Err(ParcelError::Handshake { peer: self.peer });
+            return Err(fail(ParcelError::Handshake { peer: self.peer }));
         }
         let expected = self.recv_seq.fetch_add(1, Ordering::Relaxed);
         if seq != expected {
-            return Err(ParcelError::SeqMismatch {
+            return Err(fail(ParcelError::SeqMismatch {
                 peer: self.peer,
                 expected,
                 got: seq,
-            });
+            }));
         }
         if fnv1a64(&payload_bytes) != ck {
-            if let (Some(o), Some(arr)) = (&obs, arrival) {
+            if let (Some(o), Some(arr)) = (obs, arrival) {
                 o.corrupt(arr, o.now_ns(), self.peer);
             }
-            return Err(ParcelError::ChecksumMismatch { peer: self.peer });
+            return Err(fail(ParcelError::ChecksumMismatch { peer: self.peer }));
         }
         if got_tag != tag {
             if got_tag == Tag::Bye {
-                return Err(ParcelError::PeerClosed { peer: self.peer });
+                return Err(fail(ParcelError::PeerClosed { peer: self.peer }));
             }
-            return Err(ParcelError::TagMismatch {
+            return Err(fail(ParcelError::TagMismatch {
                 peer: self.peer,
                 expected: tag,
                 got: got_tag,
-            });
+            }));
         }
         let payload: Vec<Real> = payload_bytes
             .chunks_exact(8)
             .map(|c| Real::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
-        if let (Some(o), Some(arr)) = (&obs, arrival) {
+        if let (Some(o), Some(arr)) = (obs, arrival) {
             o.recv(tag, arr, o.now_ns(), payload.len() as u64 * 8, self.peer);
+        }
+        if let (Some(l), Some(w0)) = (live, lw0) {
+            l.received(
+                tag,
+                w0.elapsed().as_nanos() as u64,
+                payload.len() as u64 * 8,
+                self.peer,
+            );
         }
         Ok(payload)
     }
@@ -324,7 +372,11 @@ impl Transport for TcpTransport {
     }
 
     fn attach_obs(&self, obs: ParcelObs) {
-        *self.obs.lock() = Some(obs);
+        let _ = self.obs.set(obs);
+    }
+
+    fn attach_live(&self, live: ParcelLive) {
+        let _ = self.live.set(live);
     }
 
     fn pin_writer(&self, cpus: &[usize]) {

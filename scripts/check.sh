@@ -92,10 +92,42 @@ grep -q "^6,11,6,8," "$TMP/grid_smoke.csv" || {
 ./target/debug/trace_lint "$TMP/tr3d/merged.trace.json" 48
 test -s "$TMP/tr3d/analysis.json"
 
+echo "== live-metrics smoke run (2 TCP ranks, JSONL schema) =="
+# --live-metrics makes rank 0 stream one JSONL step summary per sampled
+# step to stdout (telemetry rides the dt allreduce, so this works across
+# real sockets); every line must carry the live schema header, and the
+# run must still end with the normal CSV report.
+./target/debug/lulesh-multidom --transport tcp --ranks 2 --s 6 --i 8 --q \
+  --live-metrics > "$TMP/live.jsonl"
+LIVE_LINES=$(grep -c '^{"schema":1,"kind":"live"' "$TMP/live.jsonl" || true)
+if [ "$LIVE_LINES" -lt 8 ]; then
+  echo "expected >=8 live JSONL lines, got $LIVE_LINES:"; cat "$TMP/live.jsonl"
+  exit 1
+fi
+grep -q "^6,11,8,2," "$TMP/live.jsonl" || {
+  echo "live-metrics run produced no report:"; cat "$TMP/live.jsonl"; exit 1;
+}
+
+echo "== fault flight-recorder smoke (--die-at, dumps must lint) =="
+# Rank 1 dies mid-protocol at cycle 3: the launcher must exit nonzero,
+# the dying rank and the survivor must both dump their flight rings to
+# --trace-dir, and the dumps must lint clean (trace_lint sniffs the
+# flight header and applies the flight schema instead of Chrome-trace).
+if ./target/debug/lulesh-multidom --transport tcp --ranks 2 --s 6 --i 8 --q \
+  --die-at 1:3 --trace-dir "$TMP/flight" > /dev/null 2>&1; then
+  echo "die-at run unexpectedly exited 0"; exit 1
+fi
+test -s "$TMP/flight/flight.rank0.json"
+test -s "$TMP/flight/flight.rank1.json"
+./target/debug/trace_lint "$TMP/flight/flight.rank0.json"
+./target/debug/trace_lint "$TMP/flight/flight.rank1.json"
+
 echo "== perf-regression gate (BENCH_baseline.json) =="
-# Three tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
+# Four tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
 # regression or schema drift against the checked-in baseline, which the
-# harness resolves relative to the repo root whatever the CWD.
+# harness resolves relative to the repo root whatever the CWD. Also
+# reports (informationally) the --live-metrics throughput cost on the
+# multidom topologies at a representative brick size.
 ./target/debug/regress --out "$TMP/bench"
 
 echo "== all checks passed =="
