@@ -219,13 +219,28 @@ pub struct Opts {
     /// emits JSONL and an end-of-run straggler table (multi-domain
     /// drivers). Default: off.
     pub live_metrics: Option<u64>,
-    /// Fault injection: `--die-at RANK:CYCLE` kills that rank abruptly at
-    /// the top of that cycle (multi-domain drivers; testing only).
-    pub die_at: Option<(usize, u64)>,
+    /// Fault injection: `--die-at RANK:CYCLE[,RANK:CYCLE,…]` kills each
+    /// listed rank abruptly at the top of that cycle, in order across
+    /// recovery attempts (multi-domain drivers; testing only).
+    pub die_at: Vec<(usize, u64)>,
     /// Fault injection: `--slow-rank RANK:MS` stalls that rank for `MS`
     /// milliseconds every step — a controlled straggler (multi-domain
     /// drivers; testing only).
     pub slow_rank: Option<(usize, u64)>,
+    /// Checkpoint directory, `--ckpt-dir DIR`: every rank writes a
+    /// checksummed snapshot there every `--ckpt-period` cycles
+    /// (multi-domain drivers). Default: off.
+    pub ckpt_dir: Option<String>,
+    /// Cycles between checkpoints, `--ckpt-period`. Default 10.
+    pub ckpt_period: u64,
+    /// Resume from the checkpoint wave at this cycle instead of cycle 0,
+    /// `--resume-cycle C` (requires `--ckpt-dir`; set by the `--respawn`
+    /// launcher, rarely by hand).
+    pub resume_cycle: Option<u64>,
+    /// Launcher resilience, `--respawn`: when a rank dies, roll every
+    /// rank back to the newest globally consistent checkpoint and rerun
+    /// (requires `--ckpt-dir`).
+    pub respawn: bool,
 }
 
 impl Default for Opts {
@@ -248,8 +263,12 @@ impl Default for Opts {
             pin: PinMode::None,
             grid: None,
             live_metrics: None,
-            die_at: None,
+            die_at: Vec::new(),
             slow_rank: None,
+            ckpt_dir: None,
+            ckpt_period: 10,
+            resume_cycle: None,
+            respawn: false,
         }
     }
 }
@@ -292,6 +311,28 @@ impl Opts {
             };
             raw.parse()
                 .map_err(|_| ParseError(format!("{flag}: bad value '{raw}'")))
+        }
+
+        // A comma-separated `RANK:N,RANK:N,…` list: one fault per
+        // recovery attempt (`--die-at 1:40,3:55` kills rank 1 first,
+        // then rank 3 after the respawn).
+        fn parse_pair_list(
+            flag: &str,
+            inline: Option<&str>,
+            it: &mut impl Iterator<Item = impl AsRef<str>>,
+        ) -> Result<Vec<(usize, u64)>, ParseError> {
+            let raw: String = parse_val(flag, inline, it)?;
+            raw.split(',')
+                .map(|part| {
+                    let (r, n) = part.split_once(':').ok_or_else(|| {
+                        ParseError(format!("{flag}: expected RANK:N, got '{part}'"))
+                    })?;
+                    match (r.parse::<usize>(), n.parse::<u64>()) {
+                        (Ok(r), Ok(n)) => Ok((r, n)),
+                        _ => Err(ParseError(format!("{flag}: bad pair '{part}'"))),
+                    }
+                })
+                .collect()
         }
 
         // A `RANK:N` pair (fault-injection flags).
@@ -343,8 +384,17 @@ impl Opts {
                         None => 1,
                     });
                 }
-                "die-at" => opts.die_at = Some(parse_pair(flag, inline, &mut it)?),
+                "die-at" => opts.die_at = parse_pair_list(flag, inline, &mut it)?,
                 "slow-rank" => opts.slow_rank = Some(parse_pair(flag, inline, &mut it)?),
+                "ckpt-dir" => opts.ckpt_dir = Some(parse_val(flag, inline, &mut it)?),
+                "ckpt-period" => opts.ckpt_period = parse_val(flag, inline, &mut it)?,
+                "resume-cycle" => opts.resume_cycle = Some(parse_val(flag, inline, &mut it)?),
+                "respawn" => {
+                    if inline.is_some() {
+                        return Err(ParseError(format!("{flag} takes no value")));
+                    }
+                    opts.respawn = true;
+                }
                 "q" => {
                     if inline.is_some() {
                         return Err(ParseError(format!("{flag} takes no value")));
@@ -379,8 +429,9 @@ impl Opts {
              [--partition auto|fixed:N|table] \
              [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
              [--pin all|none|node0,node1,…] [--grid NXxNYxNZ] \
-             [--live-metrics[=PERIOD]] [--die-at RANK:CYCLE] \
-             [--slow-rank RANK:MS]\n\
+             [--live-metrics[=PERIOD]] [--die-at RANK:CYCLE[,RANK:CYCLE…]] \
+             [--slow-rank RANK:MS] [--ckpt-dir DIR] [--ckpt-period K] \
+             [--resume-cycle C] [--respawn]\n\
              Defaults: --s 30 --r 11 --b 1 --c 1 --threads 1 \
              --partition table --transport channel --recv-deadline-ms 10000 \
              --pin none, run to stoptime.\n\
@@ -397,7 +448,13 @@ impl Opts {
              exchange (multi-domain drivers; each extent must divide --s); \
              --live-metrics streams per-step rank summaries to rank 0 \
              in-band (JSONL on stdout, straggler table on stderr); \
-             --die-at / --slow-rank inject faults for testing."
+             --die-at / --slow-rank inject faults for testing (die-at \
+             takes a comma list, one kill per recovery attempt); \
+             --ckpt-dir checkpoints every rank every --ckpt-period cycles \
+             (async writer thread, checksummed files); \
+             --respawn rolls back to the newest globally consistent \
+             checkpoint after a rank failure and reruns (launcher); \
+             --resume-cycle resumes one run from a specific wave."
         )
     }
 }
@@ -553,7 +610,7 @@ mod tests {
     fn live_metrics_and_fault_flags() {
         let o = Opts::parse(Vec::<String>::new()).unwrap();
         assert_eq!(o.live_metrics, None);
-        assert_eq!(o.die_at, None);
+        assert_eq!(o.die_at, Vec::new());
         assert_eq!(o.slow_rank, None);
         // Bare flag samples every step and must not eat the next token.
         let o = Opts::parse(["--live-metrics", "--q"]).unwrap();
@@ -565,12 +622,43 @@ mod tests {
         assert!(Opts::parse(["--live-metrics=x"]).is_err());
 
         let o = Opts::parse(["--die-at", "1:25"]).unwrap();
-        assert_eq!(o.die_at, Some((1, 25)));
+        assert_eq!(o.die_at, vec![(1, 25)]);
         let o = Opts::parse(["--slow-rank=2:40"]).unwrap();
         assert_eq!(o.slow_rank, Some((2, 40)));
         assert!(Opts::parse(["--die-at", "25"]).is_err());
         assert!(Opts::parse(["--slow-rank", "x:3"]).is_err());
         assert!(Opts::parse(["--die-at"]).is_err());
+    }
+
+    #[test]
+    fn die_at_takes_a_comma_list() {
+        // One kill per recovery attempt: rank 1 at cycle 40 first, then
+        // rank 3 at cycle 55 after the respawn.
+        let o = Opts::parse(["--die-at", "1:40,3:55"]).unwrap();
+        assert_eq!(o.die_at, vec![(1, 40), (3, 55)]);
+        let o = Opts::parse(["--die-at=0:7,2:9,1:11"]).unwrap();
+        assert_eq!(o.die_at, vec![(0, 7), (2, 9), (1, 11)]);
+        // Any malformed entry poisons the whole list.
+        assert!(Opts::parse(["--die-at", "1:40,55"]).is_err());
+        assert!(Opts::parse(["--die-at", "1:40,,2:9"]).is_err());
+        assert!(Opts::parse(["--die-at", "1:40,x:9"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.ckpt_dir, None);
+        assert_eq!(o.ckpt_period, 10);
+        assert_eq!(o.resume_cycle, None);
+        assert!(!o.respawn);
+        let o = Opts::parse(["--ckpt-dir", "/tmp/ck", "--ckpt-period=5", "--respawn"]).unwrap();
+        assert_eq!(o.ckpt_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(o.ckpt_period, 5);
+        assert!(o.respawn);
+        let o = Opts::parse(["--resume-cycle", "40"]).unwrap();
+        assert_eq!(o.resume_cycle, Some(40));
+        assert!(Opts::parse(["--respawn=yes"]).is_err());
+        assert!(Opts::parse(["--ckpt-period", "x"]).is_err());
     }
 
     #[test]

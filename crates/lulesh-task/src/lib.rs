@@ -35,10 +35,10 @@
 
 #![warn(missing_docs)]
 
-mod autotune;
+pub mod autotune;
 mod plan;
 
-pub use autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner, WindowSample};
+pub use autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner, HysteresisGate, WindowSample};
 pub use plan::{partition_cap, PartitionPlan, MIN_PARTITION};
 
 use lulesh_core::domain::Domain;

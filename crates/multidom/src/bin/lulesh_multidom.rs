@@ -24,8 +24,8 @@
 
 use lulesh_core::{Opts, RunReport, TransportMode};
 use multidom::{
-    threaded, Decomposition, FaultPlan, Grid3, LivePlan, MdError, SimArgs, TransportKind,
-    DEFAULT_DEADLINE,
+    recovery, threaded, Decomposition, FaultPlan, Grid3, LivePlan, MdError, ResilPlan, SimArgs,
+    TransportKind, DEFAULT_DEADLINE,
 };
 use obs::dist::RankTrace;
 use obs::live::LiveConfig;
@@ -153,13 +153,26 @@ fn live_plan(opts: &Opts) -> LivePlan {
     }
 }
 
-/// Fault-injection flags (`--die-at RANK:CYCLE`, `--slow-rank RANK:MS`)
+/// Fault-injection flags (`--die-at RANK:CYCLE,...`, `--slow-rank RANK:MS`)
 /// become a [`FaultPlan`]; both are forwarded verbatim to TCP workers.
 fn fault_plan(opts: &Opts) -> FaultPlan {
     FaultPlan {
-        die_at: opts.die_at,
+        die_at: opts.die_at.clone(),
         slow_rank: opts.slow_rank,
         ..FaultPlan::NONE
+    }
+}
+
+/// Checkpoint/restart flags become a [`ResilPlan`]: `--ckpt-dir DIR`
+/// (snapshot every `--ckpt-period` cycles, written off-thread) and
+/// `--resume-cycle C` (restore instead of cold-starting).
+fn resil_plan(opts: &Opts) -> ResilPlan {
+    ResilPlan {
+        ckpt: opts
+            .ckpt_dir
+            .as_ref()
+            .map(|d| resil::CkptConfig::new(PathBuf::from(d), opts.ckpt_period)),
+        resume_cycle: opts.resume_cycle,
     }
 }
 
@@ -200,16 +213,42 @@ fn run_in_process(opts: &Opts, grid: Grid3) {
         opts.seed,
         opts.max_cycles,
     );
-    let results = threaded::run_transport_live(
-        decomp,
-        TransportKind::Channel,
-        DEFAULT_DEADLINE,
-        sim,
-        tracer.clone(),
-        fault_plan(opts),
-        resolve_pin(opts),
-        live_plan(opts),
-    );
+    let results = if opts.respawn {
+        // In-process analogue of the TCP respawn loop: on a rank death,
+        // roll every rank back to the newest globally consistent
+        // checkpoint wave and rerun (one injected kill per attempt).
+        let Some(ckpt) = resil_plan(opts).ckpt else {
+            eprintln!("--respawn needs --ckpt-dir DIR");
+            std::process::exit(2);
+        };
+        let report = recovery::run_with_recovery(
+            decomp,
+            TransportKind::Channel,
+            DEFAULT_DEADLINE,
+            sim,
+            fault_plan(opts),
+            ckpt,
+            opts.die_at.len() + 1,
+        );
+        if !opts.quiet {
+            for c in &report.resumed_from {
+                eprintln!("respawn: rank died, all ranks resumed from checkpoint cycle {c}");
+            }
+        }
+        report.results
+    } else {
+        threaded::run_transport_resil(
+            decomp,
+            TransportKind::Channel,
+            DEFAULT_DEADLINE,
+            sim,
+            tracer.clone(),
+            fault_plan(opts),
+            resolve_pin(opts),
+            live_plan(opts),
+            resil_plan(opts),
+        )
+    };
     let mut domains = Vec::with_capacity(ranks);
     let mut state = None;
     let mut failed = false;
@@ -298,26 +337,27 @@ fn merge_and_report(dir: &str, quiet: bool) {
 
 /// Launcher: re-spawn this binary once per rank against a shared bootstrap
 /// address, wait for all of them, and verify the port was released.
+///
+/// With `--respawn` (which needs `--ckpt-dir`) a failed fleet is not
+/// fatal: the launcher reads the checkpoint directory, finds the newest
+/// cycle where **every** rank left a checksum-valid snapshot, and
+/// relaunches all ranks with `--resume-cycle C`. One `--die-at` entry is
+/// live per attempt — each incarnation of the job can die once — and
+/// kills at or before the resume point are unreachable replays, so they
+/// are dropped.
 fn launch_workers(opts: &Opts, grid: Grid3, addr: &Option<String>, launcher_args: &[String]) {
     let ranks = grid.ranks();
-    let addr = match addr {
-        Some(a) => a.clone(),
-        None => {
-            // Bind an ephemeral loopback port just to learn a free one,
-            // release it, and hand the address to rank 0 to re-bind.
-            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
-                eprintln!("cannot bind a loopback port: {e}");
-                std::process::exit(1);
-            });
-            probe.local_addr().expect("probe address").to_string()
-        }
-    };
+    if opts.respawn && opts.ckpt_dir.is_none() {
+        eprintln!("--respawn needs --ckpt-dir DIR");
+        std::process::exit(2);
+    }
     let exe = std::env::current_exe().unwrap_or_else(|e| {
         eprintln!("cannot locate own executable: {e}");
         std::process::exit(1);
     });
     // Forward the original CLI minus any --transport token (replaced with
-    // the resolved address) — --rank/--ranks were already stripped.
+    // the resolved address) — --rank/--ranks were already stripped. The
+    // fault/restart trio is re-derived per attempt rather than forwarded.
     let forwarded: Vec<&String> = {
         let mut skip_next = false;
         launcher_args
@@ -328,50 +368,108 @@ fn launch_workers(opts: &Opts, grid: Grid3, addr: &Option<String>, launcher_args
                     return false;
                 }
                 let flag = a.trim_start_matches('-').split('=').next().unwrap_or("");
-                if matches!(flag, "transport" | "ranks" | "rank") {
+                if matches!(
+                    flag,
+                    "transport" | "ranks" | "rank" | "die-at" | "resume-cycle"
+                ) {
                     skip_next = !a.contains('=');
                     return false;
                 }
-                true
+                flag != "respawn"
             })
             .collect()
     };
-    let children: Vec<_> = (0..ranks)
-        .map(|r| {
-            std::process::Command::new(&exe)
-                .args(&forwarded)
-                .arg(format!("--ranks={ranks}"))
-                .arg(format!("--rank={r}"))
-                .arg(format!("--transport=tcp:{addr}"))
-                .spawn()
-                .unwrap_or_else(|e| {
+    let max_attempts = if opts.respawn {
+        opts.die_at.len() + 1
+    } else {
+        1
+    };
+    let mut resume_cycle = opts.resume_cycle;
+    let mut last_addr = String::new();
+    for attempt in 0..max_attempts {
+        let addr = match addr {
+            Some(a) => a.clone(),
+            None => {
+                // Bind an ephemeral loopback port just to learn a free one,
+                // release it, and hand the address to rank 0 to re-bind. A
+                // fresh probe per attempt sidesteps rebind races after a
+                // crashed fleet.
+                let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+                    eprintln!("cannot bind a loopback port: {e}");
+                    std::process::exit(1);
+                });
+                probe.local_addr().expect("probe address").to_string()
+            }
+        };
+        last_addr = addr.clone();
+        let die: Vec<String> = if opts.respawn {
+            opts.die_at
+                .get(attempt)
+                .filter(|&&(_, c)| resume_cycle.is_none_or(|rc| c > rc))
+                .map(|&(r, c)| format!("{r}:{c}"))
+                .into_iter()
+                .collect()
+        } else {
+            opts.die_at
+                .iter()
+                .map(|&(r, c)| format!("{r}:{c}"))
+                .collect()
+        };
+        let children: Vec<_> = (0..ranks)
+            .map(|r| {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.args(&forwarded)
+                    .arg(format!("--ranks={ranks}"))
+                    .arg(format!("--rank={r}"))
+                    .arg(format!("--transport=tcp:{addr}"));
+                if !die.is_empty() {
+                    cmd.arg(format!("--die-at={}", die.join(",")));
+                }
+                if let Some(c) = resume_cycle {
+                    cmd.arg(format!("--resume-cycle={c}"));
+                }
+                cmd.spawn().unwrap_or_else(|e| {
                     eprintln!("cannot spawn worker {r}: {e}");
                     std::process::exit(1);
                 })
-        })
-        .collect();
-    let mut failed = false;
-    for (r, child) in children.into_iter().enumerate() {
-        match child.wait_with_output() {
-            Ok(out) if out.status.success() => {}
-            Ok(out) => {
-                eprintln!("worker {r} exited with {}", out.status);
-                failed = true;
-            }
-            Err(e) => {
-                eprintln!("cannot wait for worker {r}: {e}");
-                failed = true;
+            })
+            .collect();
+        let mut failed = false;
+        for (r, child) in children.into_iter().enumerate() {
+            match child.wait_with_output() {
+                Ok(out) if out.status.success() => {}
+                Ok(out) => {
+                    eprintln!("worker {r} exited with {}", out.status);
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("cannot wait for worker {r}: {e}");
+                    failed = true;
+                }
             }
         }
-    }
-    if failed {
-        std::process::exit(1);
+        if !failed {
+            break;
+        }
+        if attempt + 1 == max_attempts {
+            std::process::exit(1);
+        }
+        // Roll back to the newest wave where every rank left a
+        // checksum-valid snapshot; no wave at all means a cold restart.
+        let dir = opts.ckpt_dir.as_ref().expect("checked above");
+        resume_cycle = resil::latest_consistent_cycle(Path::new(dir), ranks);
+        match resume_cycle {
+            Some(c) => {
+                eprintln!("respawn: relaunching all {ranks} ranks from checkpoint cycle {c}")
+            }
+            None => eprintln!("respawn: no consistent checkpoint yet, relaunching from scratch"),
+        }
     }
     // All workers are gone, so the bootstrap port must be re-bindable
     // (std sets SO_REUSEADDR on Unix, so TIME_WAIT does not interfere —
     // a failure here means a worker leaked a live listener).
-    if let Err(e) = std::net::TcpListener::bind(&addr) {
-        eprintln!("bootstrap port {addr} still held after shutdown: {e}");
+    if let Err(e) = std::net::TcpListener::bind(&last_addr) {
+        eprintln!("bootstrap port {last_addr} still held after shutdown: {e}");
         std::process::exit(1);
     }
     // Workers wrote one rank<R>.spans.json each (--trace-dir was forwarded
@@ -436,13 +534,14 @@ fn run_worker(opts: &Opts, grid: Grid3, rank: usize, addr: &str) {
         opts.seed,
         opts.max_cycles,
     );
-    let result = threaded::run_rank_live(
+    let result = threaded::run_rank_resil(
         decomp.shape(rank),
         net,
         sim,
         tracer.clone(),
         fault_plan(opts),
         live_plan(opts),
+        resil_plan(opts),
     );
     let (domain, state, offset_ns) = match result {
         Ok(r) => r,
@@ -452,6 +551,10 @@ fn run_worker(opts: &Opts, grid: Grid3, rank: usize, addr: &str) {
         }
         Err(MdError::Net(e)) => {
             eprintln!("rank {rank}: transport failed: {e}");
+            std::process::exit(1);
+        }
+        Err(MdError::Snapshot(e)) => {
+            eprintln!("rank {rank}: checkpoint failed: {e}");
             std::process::exit(1);
         }
     };

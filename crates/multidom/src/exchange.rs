@@ -358,12 +358,36 @@ pub fn halo_exchange_mass(
     net: &RankNet,
     obs: ObsCtx,
 ) -> Result<(), ParcelError> {
+    send_mass(d, plan, net, obs)?;
+    recv_combine_mass(d, plan, net, obs)
+}
+
+/// The send half of the mass exchange: every boundary surface goes out
+/// before any receive, so co-hosted ranks can interleave phases without
+/// deadlocking on each other.
+pub fn send_mass(
+    d: &Domain,
+    plan: &HaloPlan,
+    net: &RankNet,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     for (l, nbr) in net.neighbors.iter().enumerate() {
         let msg = plan.pack_mass(d, l);
         spanned(obs, "send-mass", || {
             nbr.link.send(Tag::mass(nbr.dir as usize), &msg)
         })?;
     }
+    Ok(())
+}
+
+/// The receive half of the mass exchange: collect every neighbour's
+/// surface, then run the deterministic combine.
+pub fn recv_combine_mass(
+    d: &Domain,
+    plan: &HaloPlan,
+    net: &RankNet,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     let mut recvs = Vec::with_capacity(net.neighbors.len());
     for nbr in &net.neighbors {
         let tag = Tag::mass(dir::opposite(nbr.dir as usize));
@@ -429,6 +453,17 @@ pub fn halo_exchange_gradients(
     net: &RankNet,
     obs: ObsCtx,
 ) -> Result<(), ParcelError> {
+    send_gradients(d, plan, net, obs)?;
+    recv_store_gradients(d, plan, net, obs)
+}
+
+/// The send half of the gradient exchange (face links only).
+pub fn send_gradients(
+    d: &Domain,
+    plan: &HaloPlan,
+    net: &RankNet,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     for (l, nbr) in net.neighbors.iter().enumerate() {
         if plan.links()[l].grad.is_none() {
             continue;
@@ -438,6 +473,17 @@ pub fn halo_exchange_gradients(
             nbr.link.send(Tag::gradient(nbr.dir as usize), &msg)
         })?;
     }
+    Ok(())
+}
+
+/// The receive half of the gradient exchange: each face plane is stored
+/// independently on arrival.
+pub fn recv_store_gradients(
+    d: &Domain,
+    plan: &HaloPlan,
+    net: &RankNet,
+    obs: ObsCtx,
+) -> Result<(), ParcelError> {
     for (l, nbr) in net.neighbors.iter().enumerate() {
         if plan.links()[l].grad.is_none() {
             continue;

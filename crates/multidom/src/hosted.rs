@@ -1,0 +1,702 @@
+//! Hosted multi-domain driver with **live domain migration**: `H` host
+//! threads co-operatively step `R ≥ H` ranks (domains), phase-interleaved
+//! so co-hosted ranks never deadlock on each other's halo messages, and a
+//! [`BalanceController`] at the dt-allreduce root orders a domain off an
+//! overloaded host when the EWMA max/median self-time ratio stays over
+//! threshold. This is the paper's task-based philosophy applied across
+//! nodes: domains are relocatable work items, not processes.
+//!
+//! ## Phase interleaving
+//!
+//! One cycle runs four phases over every owned slot — all sends of a
+//! phase are posted before any receive of the next, so a host that owns
+//! two adjacent ranks has already buffered both ranks' surfaces before
+//! either blocks on a receive (the same sends-before-recvs discipline
+//! the threaded driver uses across threads):
+//!
+//! 1. `time_increment` → forces → `send_forces`
+//! 2. `recv_combine_forces` → `advance_nodes` → kinematics → `send_gradients`
+//! 3. `recv_store_gradients` → EOS → constraints → `allreduce_dt_send`
+//!    (each slot's encoded [`StepSummary`] rides the dt parcels, in-band)
+//! 4. `allreduce_dt_finish` — the rank-0 slot (always host 0) first: it
+//!    collects every rank's summary, feeds the [`BalanceController`], and
+//!    broadcasts; then the leaf slots read the broadcast.
+//!
+//! ## Migration protocol (two-phase commit)
+//!
+//! A migration decision is executed *between* two barriers, when no halo
+//! parcel is in flight — so no exchange ever sees a half-moved owner:
+//!
+//! * host 0 publishes the decision before **barrier A**;
+//! * source → target over a dedicated host↔host link:
+//!   [`Tag::MigratePrepare`] `[rank, cycle]`, then [`Tag::MigrateData`]
+//!   carrying the full [`DomainSnapshot`] encoding (the same bytes a
+//!   checkpoint file holds); the live [`RankNet`] endpoint moves through
+//!   an in-process handover slot (links are live objects, not wire data);
+//! * the target rebuilds the subdomain deterministically, restores the
+//!   snapshot (region fingerprint verified), rewires its
+//!   [`HaloPlan`] from the moved net, and acks with [`Tag::MigrateAck`]
+//!   — only then does the source forget the slot (commit);
+//! * **barrier B**, after which host 0 clears the decision (it is the
+//!   only writer, and its next write is ordered after its own clear).
+//!
+//! Migration moves every array bit-exactly and rebuilds connectivity
+//! deterministically, so a migrated run's physics is **bit-identical**
+//! to an unmigrated one — the tests assert it against the lockstep
+//! [`World`](crate::World).
+
+use crate::exchange::{
+    recv_combine_forces, recv_combine_mass, recv_store_gradients, send_forces, send_gradients,
+    send_mass, HaloPlan,
+};
+use crate::{Decomposition, MdError, SimArgs, DEFAULT_DEADLINE};
+use lulesh_core::domain::Domain;
+use lulesh_core::kernels::constraints;
+use lulesh_core::params::SimState;
+use lulesh_core::serial::{
+    advance_nodes, apply_q_and_materials, calc_force_for_nodes, calc_kinematics_and_gradients,
+    SerialScratch,
+};
+use lulesh_core::timestep::time_increment;
+use lulesh_core::types::{LuleshError, Real};
+use obs::dist::{Category, RankBreakdown};
+use obs::live::{LiveStats, StepSummary};
+use parcelnet::channel::ChannelTransport;
+use parcelnet::{RankNet, Tag, Transport};
+use parking_lot::Mutex;
+use resil::balance::{BalanceConfig, BalanceController, MigrationRecord};
+use resil::DomainSnapshot;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// The host a rank starts on: ranks are dealt out contiguously
+/// (`host_of(r) = r·H/R`), so rank 0 — the dt root and balance
+/// controller — always starts (and stays) on host 0.
+pub fn host_of(rank: usize, ranks: usize, hosts: usize) -> usize {
+    rank * hosts / ranks
+}
+
+/// Outcome of a hosted run.
+#[derive(Debug)]
+pub struct HostedReport {
+    /// Final subdomains, rank order.
+    pub domains: Vec<Domain>,
+    /// Final simulation state (identical on every rank).
+    pub state: SimState,
+    /// Executed migrations, in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Controller EWMA max/median ratio when the first migration was
+    /// ordered (1.0 if none was).
+    pub imbalance_at_decision: f64,
+    /// Controller ratio at the end of the run.
+    pub imbalance_final: f64,
+    /// Per-host time taxonomy; migration pack/ship/rehome time lands in
+    /// [`Category::Recovery`].
+    pub breakdowns: Vec<RankBreakdown>,
+    /// Final rank → host ownership map.
+    pub owner: Vec<usize>,
+}
+
+/// One domain being stepped by a host.
+struct Slot {
+    rank: usize,
+    d: Domain,
+    scratch: SerialScratch,
+    plan: HaloPlan,
+    net: RankNet,
+    state: SimState,
+    stats: LiveStats,
+    // Per-cycle carry between phases.
+    local_err: Option<LuleshError>,
+    c: Real,
+    h: Real,
+    self_ns: u64,
+    telemetry: Vec<Real>,
+}
+
+/// State shared by every host thread.
+struct Shared {
+    barrier_a: Barrier,
+    barrier_b: Barrier,
+    decision: Mutex<Option<resil::balance::MigrationDecision>>,
+    owner: Mutex<Vec<usize>>,
+    mirror: Mutex<SimState>,
+    handover: Mutex<Option<RankNet>>,
+    migrations: Mutex<Vec<MigrationRecord>>,
+    /// (ratio when the first migration fired, ratio now).
+    imbalance: Mutex<(f64, f64)>,
+    abort: Mutex<Option<MdError>>,
+    results: Mutex<Vec<Option<(Domain, SimState)>>>,
+}
+
+/// Run the decomposed problem on `hosts` co-operating host threads with
+/// live migration under `cfg`. `slow_host` stalls that host for the given
+/// milliseconds per owned domain per cycle — the controlled overload the
+/// migration tests (and `--slow-rank`-style experiments) use. Channel
+/// transport only: migration hands live link objects between hosts, which
+/// only exists in-process.
+pub fn run_hosted(
+    decomp: Decomposition,
+    hosts: usize,
+    sim: SimArgs,
+    cfg: BalanceConfig,
+    slow_host: Option<(usize, u64)>,
+) -> Result<HostedReport, MdError> {
+    run_hosted_with_deadline(decomp, hosts, sim, cfg, slow_host, DEFAULT_DEADLINE)
+}
+
+/// [`run_hosted`] with an explicit parcel receive deadline. A host that
+/// blows the deadline publishes a typed error through the shared abort
+/// slot and every host returns it together after the next barrier — the
+/// failure-propagation tests shrink the deadline below an injected stall
+/// to exercise exactly that path.
+pub fn run_hosted_with_deadline(
+    decomp: Decomposition,
+    hosts: usize,
+    sim: SimArgs,
+    cfg: BalanceConfig,
+    slow_host: Option<(usize, u64)>,
+    deadline: Duration,
+) -> Result<HostedReport, MdError> {
+    let ranks = decomp.ranks();
+    assert!(hosts >= 1 && hosts <= ranks, "need 1 ≤ hosts ≤ ranks");
+    let specs = decomp.grid().neighbor_specs();
+    let nets = parcelnet::channel::channel_mesh_with(&specs, deadline);
+
+    // Build every slot up front, then deal them to their starting hosts.
+    let mut per_host: Vec<Vec<Slot>> = (0..hosts).map(|_| Vec::new()).collect();
+    let mut owner = vec![0usize; ranks];
+    let mut state0 = None;
+    for (r, net) in nets.into_iter().enumerate() {
+        let shape = decomp.shape(r);
+        let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
+        d.params = sim.params;
+        let state = SimState::new(d.initial_dt());
+        state0.get_or_insert(state);
+        let plan = HaloPlan::for_net(shape, &net);
+        let h = host_of(r, ranks, hosts);
+        owner[r] = h;
+        per_host[h].push(Slot {
+            rank: r,
+            scratch: SerialScratch::new(d.num_elem()),
+            d,
+            plan,
+            net,
+            state,
+            stats: LiveStats::new(),
+            local_err: None,
+            c: 1.0e20,
+            h: 1.0e20,
+            self_ns: 0,
+            telemetry: Vec::new(),
+        });
+    }
+
+    // Dedicated host↔host links for the migration parcels.
+    let mut rows: Vec<Vec<Option<Box<dyn Transport>>>> = (0..hosts)
+        .map(|_| (0..hosts).map(|_| None).collect())
+        .collect();
+    #[allow(clippy::needless_range_loop)] // rows[a][b] and rows[b][a] in one body
+    for a in 0..hosts {
+        for b in a + 1..hosts {
+            let (lo, hi) = ChannelTransport::pair(a, b, deadline);
+            rows[a][b] = Some(Box::new(lo));
+            rows[b][a] = Some(Box::new(hi));
+        }
+    }
+
+    let shared = Arc::new(Shared {
+        barrier_a: Barrier::new(hosts),
+        barrier_b: Barrier::new(hosts),
+        decision: Mutex::new(None),
+        owner: Mutex::new(owner),
+        mirror: Mutex::new(state0.expect("at least one rank")),
+        handover: Mutex::new(None),
+        migrations: Mutex::new(Vec::new()),
+        imbalance: Mutex::new((1.0, 1.0)),
+        abort: Mutex::new(None),
+        results: Mutex::new((0..ranks).map(|_| None).collect()),
+    });
+
+    let handles: Vec<_> = per_host
+        .into_iter()
+        .zip(rows)
+        .enumerate()
+        .map(|(h, (slots, links))| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("multidom-host-{h}"))
+                .spawn(move || {
+                    host_main(h, hosts, decomp, sim, cfg, slow_host, slots, links, shared)
+                })
+                .expect("spawn host thread")
+        })
+        .collect();
+    let mut breakdowns = Vec::with_capacity(hosts);
+    let mut first_err = None;
+    for handle in handles {
+        match handle.join().expect("host thread must not panic") {
+            Ok(b) => breakdowns.push(b),
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        };
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("host threads joined"));
+    let results = std::mem::take(&mut *shared.results.lock());
+    let mut domains = Vec::with_capacity(ranks);
+    let mut state = None;
+    for (r, res) in results.into_iter().enumerate() {
+        let (d, st) = res.unwrap_or_else(|| panic!("rank {r} produced no result"));
+        state.get_or_insert(st);
+        domains.push(d);
+    }
+    let (imbalance_at_decision, imbalance_final) = *shared.imbalance.lock();
+    let migrations = std::mem::take(&mut *shared.migrations.lock());
+    let owner = std::mem::take(&mut *shared.owner.lock());
+    Ok(HostedReport {
+        domains,
+        state: state.expect("at least one rank"),
+        migrations,
+        imbalance_at_decision,
+        imbalance_final,
+        breakdowns,
+        owner,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn host_main(
+    h: usize,
+    hosts: usize,
+    decomp: Decomposition,
+    sim: SimArgs,
+    cfg: BalanceConfig,
+    slow_host: Option<(usize, u64)>,
+    mut slots: Vec<Slot>,
+    links: Vec<Option<Box<dyn Transport>>>,
+    shared: Arc<Shared>,
+) -> Result<RankBreakdown, MdError> {
+    let ranks = decomp.ranks();
+    // The balance controller lives with the dt root (rank 0, host 0).
+    let mut controller = (h == 0).then(|| BalanceController::new(ranks, cfg));
+    let slow_ms = slow_host.and_then(|(sh, ms)| (sh == h).then_some(ms));
+
+    // Taxonomy accumulators for this host's breakdown.
+    let (mut busy, mut send, mut wait, mut barrier, mut recovery) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let wall0 = Instant::now();
+    macro_rules! timed {
+        ($acc:ident, $f:expr) => {{
+            let t0 = Instant::now();
+            let out = $f;
+            $acc += t0.elapsed().as_nanos() as u64;
+            out
+        }};
+    }
+
+    // One-time mass exchange: all sends, then all receives, phase-split so
+    // co-hosted adjacent ranks cannot deadlock on each other. Failures are
+    // published, not returned: the error surfaces through the loop's
+    // barrier-A rendezvous below so no peer is stranded at the barrier.
+    let startup: Result<(), MdError> = (|| {
+        for s in &slots {
+            timed!(send, send_mass(&s.d, &s.plan, &s.net, None))?;
+        }
+        for s in &slots {
+            timed!(wait, recv_combine_mass(&s.d, &s.plan, &s.net, None))?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = startup {
+        shared.abort.lock().get_or_insert(e);
+    }
+
+    loop {
+        // Every slot's state is identical (deterministic lockstep), and the
+        // mirror lets a host whose domains all migrated away keep pace.
+        let st = *shared.mirror.lock();
+        if !(st.time < sim.params.stoptime && st.cycle < sim.max_cycles) {
+            break;
+        }
+        // An abort observed here (a startup failure, own or a peer's) must
+        // still cross barrier A exactly once before returning: the other
+        // hosts are inside their phase recvs and will error out to the
+        // same barrier when the dead host's parcels never arrive.
+        // Returning without the rendezvous would strand them there.
+        if let Some(e) = *shared.abort.lock() {
+            shared.barrier_a.wait();
+            return Err(e);
+        }
+
+        // Phases 1-4. Any failure inside them must not return before
+        // barrier A either — same stranding hazard — so the block runs as
+        // a closure whose error lands in the shared abort slot, and every
+        // host returns together right after the barrier.
+        let phases: Result<(), MdError> = (|| {
+            // Phase 1: dt bookkeeping, forces, force sends.
+            for s in slots.iter_mut() {
+                let t0 = Instant::now();
+                time_increment(&mut s.state, &sim.params);
+                if let Some(ms) = slow_ms {
+                    // The injected overload: this host pays per owned domain,
+                    // so evicting a domain measurably relieves it.
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                s.local_err = calc_force_for_nodes(&s.d, &mut s.scratch).err();
+                s.self_ns = t0.elapsed().as_nanos() as u64;
+                busy += s.self_ns;
+                timed!(send, send_forces(&s.d, &s.plan, &s.net, None))?;
+            }
+
+            // Phase 2: force combine, node advance, kinematics, gradient sends.
+            for s in slots.iter_mut() {
+                timed!(wait, recv_combine_forces(&s.d, &s.plan, &s.net, None))?;
+                let t0 = Instant::now();
+                let dt = s.state.deltatime;
+                if s.local_err.is_none() {
+                    advance_nodes(&s.d, dt);
+                    s.local_err = calc_kinematics_and_gradients(&s.d, dt).err();
+                }
+                let ns = t0.elapsed().as_nanos() as u64;
+                s.self_ns += ns;
+                busy += ns;
+                timed!(send, send_gradients(&s.d, &s.plan, &s.net, None))?;
+            }
+
+            // Phase 3: gradient stores, EOS, constraints, allreduce sends
+            // (the encoded step summary rides the dt parcels, in-band).
+            for s in slots.iter_mut() {
+                timed!(wait, recv_store_gradients(&s.d, &s.plan, &s.net, None))?;
+                let t0 = Instant::now();
+                if s.local_err.is_none() {
+                    s.local_err = apply_q_and_materials(&s.d, &mut s.scratch).err();
+                }
+                (s.c, s.h) = if s.local_err.is_none() {
+                    constraints::calc_time_constraints(&s.d, sim.params.qqc, sim.params.dvovmax)
+                } else {
+                    (1.0e20, 1.0e20)
+                };
+                let ns = t0.elapsed().as_nanos() as u64;
+                s.self_ns += ns;
+                busy += ns;
+                s.stats.add_phase(Category::Busy, s.self_ns);
+                s.telemetry = s
+                    .stats
+                    .snapshot(s.rank as u32, s.state.cycle, s.self_ns)
+                    .encode();
+                timed!(
+                    send,
+                    s.net
+                        .allreduce_dt_send(s.c, s.h, s.local_err, Some(&s.telemetry))
+                )?;
+            }
+
+            // Phase 4, root slot first: rank 0 collects, feeds the controller,
+            // and broadcasts; only then can co-hosted leaves read the broadcast.
+            slots.sort_by_key(|s| s.rank != 0);
+            let mut sim_err = None;
+            for s in slots.iter_mut() {
+                let is_root = s.rank == 0;
+                let (gc, gh, gerr, collected) = timed!(
+                    barrier,
+                    s.net.allreduce_dt_finish(s.c, s.h, s.local_err, is_root)
+                )?;
+                sim_err = sim_err.or(gerr);
+                s.state.dtcourant = gc;
+                s.state.dthydro = gh;
+                if !is_root {
+                    continue;
+                }
+                // The root's own summary fills the placeholder slot 0.
+                let mut collected = collected.expect("root collects telemetry");
+                collected[0] = std::mem::take(&mut s.telemetry);
+                let summaries: Vec<StepSummary> = collected
+                    .iter()
+                    .filter_map(|p| StepSummary::decode(p))
+                    .collect();
+                let cycle = s.state.cycle;
+                if let Some(ctl) = controller.as_mut() {
+                    if summaries.len() == ranks {
+                        ctl.observe_summaries(&summaries);
+                    }
+                    // Sample before decide(): a firing decision reseeds the
+                    // moved rank's EWMA, which would mask the ratio it saw.
+                    let ratio_now = ctl.imbalance();
+                    shared.imbalance.lock().1 = ratio_now;
+                    let owner_now = shared.owner.lock().clone();
+                    if let Some(dec) = ctl.decide(&owner_now, hosts) {
+                        let mut imb = shared.imbalance.lock();
+                        if shared.migrations.lock().is_empty() {
+                            imb.0 = ratio_now;
+                        }
+                        drop(imb);
+                        *shared.decision.lock() = Some(dec);
+                    }
+                }
+                let _ = cycle;
+            }
+            if let Some(e) = sim_err {
+                shared.abort.lock().get_or_insert(MdError::Sim(e));
+            }
+            if let Some(s) = slots.iter().find(|s| s.rank == 0) {
+                *shared.mirror.lock() = s.state;
+            }
+            Ok(())
+        })();
+        if let Err(e) = phases {
+            shared.abort.lock().get_or_insert(e);
+        }
+
+        shared.barrier_a.wait();
+        if let Some(e) = *shared.abort.lock() {
+            return Err(e);
+        }
+
+        // The 2PC below has the same rule as the phases: a failure on
+        // either half must reach barrier B (publishing the error) rather
+        // than return over it and strand the peer.
+        let decision = *shared.decision.lock();
+        let migration: Result<(), MdError> = (|| {
+            if let Some(dec) = decision {
+                if dec.from_host == h {
+                    // Source half of the 2PC: park the live net first, so the
+                    // target's Prepare receive already implies it is there.
+                    let t0 = Instant::now();
+                    let idx = slots
+                        .iter()
+                        .position(|s| s.rank == dec.rank)
+                        .expect("owner map says this host steps the rank");
+                    let slot = slots.remove(idx);
+                    let snap = DomainSnapshot::capture(slot.rank, &slot.d, &slot.state);
+                    *shared.handover.lock() = Some(slot.net);
+                    let link = links[dec.to_host].as_ref().expect("host link");
+                    link.send(
+                        Tag::MigratePrepare,
+                        &[dec.rank as Real, slot.state.cycle as Real],
+                    )?;
+                    link.send(Tag::MigrateData, &snap.encode())?;
+                    // Commit: the slot is forgotten only once the target acks.
+                    let ack = link.recv(Tag::MigrateAck)?;
+                    debug_assert_eq!(ack.first().copied(), Some(dec.rank as Real));
+                    shared.owner.lock()[dec.rank] = dec.to_host;
+                    shared.migrations.lock().push(MigrationRecord {
+                        cycle: snap.cycle,
+                        decision: dec,
+                    });
+                    recovery += t0.elapsed().as_nanos() as u64;
+                } else if dec.to_host == h {
+                    // Target half: rebuild deterministically, restore
+                    // bit-exactly, rewire the halo plan from the moved net.
+                    let t0 = Instant::now();
+                    let link = links[dec.from_host].as_ref().expect("host link");
+                    let prep = link.recv(Tag::MigratePrepare)?;
+                    debug_assert_eq!(prep.first().copied(), Some(dec.rank as Real));
+                    let payload = link.recv(Tag::MigrateData)?;
+                    let snap = DomainSnapshot::decode(&payload)?;
+                    let shape = decomp.shape(dec.rank);
+                    let mut d = Domain::build_subdomain(
+                        shape,
+                        sim.num_reg,
+                        sim.balance,
+                        sim.cost,
+                        sim.seed,
+                    );
+                    d.params = sim.params;
+                    let state = snap.restore(&d)?;
+                    let net = shared
+                        .handover
+                        .lock()
+                        .take()
+                        .expect("source parked the net before Prepare");
+                    let plan = HaloPlan::for_net(shape, &net);
+                    link.send(Tag::MigrateAck, &[dec.rank as Real])?;
+                    slots.push(Slot {
+                        rank: dec.rank,
+                        scratch: SerialScratch::new(d.num_elem()),
+                        d,
+                        plan,
+                        net,
+                        state,
+                        stats: LiveStats::new(),
+                        local_err: None,
+                        c: 1.0e20,
+                        h: 1.0e20,
+                        self_ns: 0,
+                        telemetry: Vec::new(),
+                    });
+                    recovery += t0.elapsed().as_nanos() as u64;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = migration {
+            shared.abort.lock().get_or_insert(e);
+        }
+        shared.barrier_b.wait();
+        if let Some(e) = *shared.abort.lock() {
+            return Err(e);
+        }
+        if h == 0 {
+            // Sole writer: the next write is in this thread's own next
+            // phase 4, ordered after this clear; readers only look
+            // between barrier A and barrier B.
+            *shared.decision.lock() = None;
+        }
+    }
+
+    // No close handshake: co-hosted adjacent ranks would deadlock a
+    // sequential Bye exchange, and in-process channels leak nothing —
+    // every host leaves the loop in the same cycle, so both ends of every
+    // link drop together.
+    let mut results = shared.results.lock();
+    for s in slots {
+        results[s.rank] = Some((s.d, s.state));
+    }
+    drop(results);
+
+    let wall = wall0.elapsed().as_nanos() as u64;
+    let accounted = busy + send + wait + barrier + recovery;
+    Ok(RankBreakdown {
+        rank: h,
+        wall_ns: wall.max(accounted),
+        busy_ns: busy,
+        pack_ns: 0,
+        send_ns: send,
+        wait_ns: wait,
+        barrier_ns: barrier,
+        steal_ns: 0,
+        recovery_ns: recovery,
+        startup_ns: 0,
+        shutdown_ns: 0,
+        idle_ns: wall.max(accounted) - accounted,
+        background_ns: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    fn sim_args(max_cycles: u64) -> SimArgs {
+        SimArgs::new(2, 1, 1, 0, max_cycles)
+    }
+
+    #[test]
+    fn hosted_matches_lockstep_bitwise() {
+        let decomp = Decomposition::new(6, 3);
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        let st_lock = world.run(12).unwrap();
+        let report = run_hosted(decomp, 2, sim_args(12), BalanceConfig::default(), None).unwrap();
+        assert_eq!(report.state.cycle, st_lock.cycle);
+        assert_eq!(report.state.time, st_lock.time);
+        assert!(report.migrations.is_empty(), "balanced hosts never migrate");
+        for (r, (a, b)) in world.domains.iter().zip(&report.domains).enumerate() {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "rank {r} must match the lockstep driver bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn single_host_owns_every_rank() {
+        let decomp = Decomposition::new(6, 2);
+        let report = run_hosted(decomp, 1, sim_args(8), BalanceConfig::default(), None).unwrap();
+        assert_eq!(report.owner, vec![0, 0]);
+        assert_eq!(report.state.cycle, 8);
+    }
+
+    /// Acceptance gate for the balance loop: a persistently slow host must
+    /// trigger a migration that measurably reduces the max/median
+    /// self-time ratio — and the moved physics stays bit-identical.
+    #[test]
+    fn slow_host_triggers_migration_and_ratio_drops() {
+        let decomp = Decomposition::new(6, 3);
+        let mut world = World::build(decomp, 2, 1, 1, 0);
+        let st_lock = world.run(30).unwrap();
+        // host_of deals ranks {0,1} → host 0, rank 2 → host 1; host 1
+        // stalls 25 ms per owned domain per cycle.
+        let report = run_hosted(
+            decomp,
+            2,
+            sim_args(30),
+            BalanceConfig::default(),
+            Some((1, 25)),
+        )
+        .unwrap();
+        assert!(
+            !report.migrations.is_empty(),
+            "sustained overload must trigger a migration"
+        );
+        let first = report.migrations[0];
+        assert_eq!(first.decision.rank, 2);
+        assert_eq!(first.decision.from_host, 1);
+        assert_eq!(first.decision.to_host, 0);
+        assert_eq!(report.owner[2], 0, "rank 2 must be re-homed on host 0");
+        assert!(
+            report.imbalance_final < report.imbalance_at_decision / 2.0,
+            "migration must measurably reduce the imbalance: {} → {}",
+            report.imbalance_at_decision,
+            report.imbalance_final
+        );
+        // Migration time is attributed to the Recovery taxonomy slot on
+        // both ends of the move.
+        assert!(report
+            .breakdowns
+            .iter()
+            .all(|b| { b.accounted_ns() == b.wall_ns }));
+        for host in [0, 1] {
+            assert!(
+                report.breakdowns[host].recovery_ns > 0,
+                "host {host} must attribute migration time as recovery"
+            );
+        }
+        assert_eq!(
+            obs::dist::categorize("region", "migrate-ship"),
+            Some(Category::Recovery)
+        );
+        // The moved domain's physics is unchanged to the last bit.
+        assert_eq!(report.state.cycle, st_lock.cycle);
+        assert_eq!(report.state.time, st_lock.time);
+        for (r, (a, b)) in world.domains.iter().zip(&report.domains).enumerate() {
+            assert_eq!(
+                lulesh_core::validate::max_field_difference(a, b),
+                0.0,
+                "rank {r} must stay bit-identical across the migration"
+            );
+        }
+    }
+
+    /// Regression test for the abort protocol: a blown receive deadline
+    /// on one host must come back as a typed error from **every** host —
+    /// not strand the healthy host at a barrier its dead peer will never
+    /// reach. (The original bug: phase errors returned before barrier A,
+    /// so the survivor futex-waited forever and the whole run hung.)
+    #[test]
+    fn transport_failure_aborts_all_hosts_with_typed_error() {
+        let decomp = Decomposition::new(6, 3);
+        // Host 1 stalls 80 ms per cycle but the parcel deadline is 15 ms:
+        // host 0's force receive from rank 2 times out mid-phase, the
+        // error lands in the shared abort slot, and both hosts return it
+        // after the barrier rendezvous instead of deadlocking.
+        let err = run_hosted_with_deadline(
+            decomp,
+            2,
+            sim_args(10),
+            BalanceConfig::default(),
+            Some((1, 80)),
+            Duration::from_millis(15),
+        )
+        .expect_err("a blown deadline must abort the run");
+        assert!(
+            matches!(err, MdError::Net(_)),
+            "expected a transport error, got {err:?}"
+        );
+    }
+}

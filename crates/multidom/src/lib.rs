@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod exchange;
+pub mod hosted;
+pub mod recovery;
 pub mod taskpar;
 pub mod threaded;
 
@@ -234,6 +236,9 @@ pub enum MdError {
     Sim(LuleshError),
     /// Transport failure — typed, names the peer.
     Net(parcelnet::ParcelError),
+    /// Checkpoint/snapshot failure — a missing, truncated, or corrupt
+    /// snapshot surfaced while checkpointing or resuming.
+    Snapshot(resil::SnapshotError),
 }
 
 impl std::fmt::Display for MdError {
@@ -241,6 +246,7 @@ impl std::fmt::Display for MdError {
         match self {
             MdError::Sim(e) => write!(f, "simulation abort: {e:?}"),
             MdError::Net(e) => write!(f, "transport failure: {e}"),
+            MdError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
         }
     }
 }
@@ -256,6 +262,12 @@ impl From<LuleshError> for MdError {
 impl From<parcelnet::ParcelError> for MdError {
     fn from(e: parcelnet::ParcelError) -> Self {
         MdError::Net(e)
+    }
+}
+
+impl From<resil::SnapshotError> for MdError {
+    fn from(e: resil::SnapshotError) -> Self {
+        MdError::Snapshot(e)
     }
 }
 
@@ -291,15 +303,17 @@ impl SimArgs {
 }
 
 /// Fault injection for failure testing (all fields default to "no fault").
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Poison this rank's mid-domain element volume after build, forcing a
     /// `VolumeError` in its first iteration.
     pub poison_volume: Option<usize>,
-    /// `(rank, cycle)`: the rank dies abruptly at the top of that cycle —
-    /// its links drop without a `Bye`, as a killed process would
-    /// (honoured by the threaded driver).
-    pub die_at: Option<(usize, u64)>,
+    /// `(rank, cycle)` kill list: each listed rank dies abruptly at the
+    /// top of that cycle — its links drop without a `Bye`, as a killed
+    /// process would (honoured by the threaded driver). The `--respawn`
+    /// launcher consumes one entry per recovery attempt; a single run
+    /// honours every entry it reaches.
+    pub die_at: Vec<(usize, u64)>,
     /// The rank is killed *before the TCP handshake*: it never dials the
     /// bootstrap, so the survivors' accepts and dials must time out with a
     /// typed error within the configured deadline (honoured by both
@@ -316,9 +330,36 @@ impl FaultPlan {
     /// No faults.
     pub const NONE: FaultPlan = FaultPlan {
         poison_volume: None,
-        die_at: None,
+        die_at: Vec::new(),
         die_at_handshake: None,
         slow_rank: None,
+    };
+
+    /// Does the plan kill `rank` at the top of `cycle`?
+    pub fn dies_at(&self, rank: usize, cycle: u64) -> bool {
+        self.die_at.iter().any(|&(r, c)| r == rank && c == cycle)
+    }
+}
+
+/// Checkpoint/resume wiring for the message-passing drivers. Default:
+/// fully off — zero cost on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct ResilPlan {
+    /// Periodic checkpointing: every rank hands an encoded
+    /// [`resil::DomainSnapshot`] to an async writer thread every
+    /// `period` cycles (top of the loop, before fault injection).
+    pub ckpt: Option<resil::CkptConfig>,
+    /// Resume from the checkpoint wave at this cycle: every rank loads
+    /// its snapshot from `ckpt.dir` instead of starting at cycle 0
+    /// (requires `ckpt`).
+    pub resume_cycle: Option<u64>,
+}
+
+impl ResilPlan {
+    /// Checkpointing fully off.
+    pub const OFF: ResilPlan = ResilPlan {
+        ckpt: None,
+        resume_cycle: None,
     };
 }
 

@@ -110,6 +110,7 @@ fn fold(
             }
             Err(MdError::Sim(e)) => return Err(e),
             Err(MdError::Net(n)) => panic!("transport failure without fault injection: {n}"),
+            Err(MdError::Snapshot(s)) => panic!("snapshot failure without checkpointing: {s}"),
         }
     }
     Ok((domains, state.expect("at least one rank")))
@@ -211,6 +212,7 @@ pub fn run_transport_live(
         .map(|(r, net)| {
             let shape = decomp.shape(r);
             let live = live.clone();
+            let faults = faults.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-taskpar-{r}"))
                 .spawn(move || match net {
@@ -375,7 +377,9 @@ fn rank_main(
     // rank 0 decodes, runs the straggler detector, and streams JSONL.
     let die_at = faults
         .die_at
-        .and_then(|(r, cycle)| (r == rank).then_some(cycle));
+        .iter()
+        .find(|&&(r, _)| r == rank)
+        .map(|&(_, cycle)| cycle);
     let slow_ms = faults
         .slow_rank
         .and_then(|(r, ms)| (r == rank).then_some(ms));

@@ -24,7 +24,8 @@ use crate::exchange::{
     halo_exchange_forces, halo_exchange_gradients, halo_exchange_mass, HaloPlan, ObsCtx,
 };
 use crate::{
-    Decomposition, FaultPlan, LivePlan, MdError, SimArgs, TransportKind, DEFAULT_DEADLINE,
+    Decomposition, FaultPlan, LivePlan, MdError, ResilPlan, SimArgs, TransportKind,
+    DEFAULT_DEADLINE,
 };
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::constraints;
@@ -179,6 +180,7 @@ fn fold(
             }
             Err(MdError::Sim(e)) => return Err(e),
             Err(MdError::Net(n)) => panic!("transport failure without fault injection: {n}"),
+            Err(MdError::Snapshot(s)) => panic!("snapshot failure without checkpointing: {s}"),
         }
     }
     Ok((domains, state.expect("at least one rank")))
@@ -241,6 +243,34 @@ pub fn run_transport_live(
     pin_nodes: Vec<usize>,
     live: LivePlan,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
+    run_transport_resil(
+        decomp,
+        kind,
+        deadline,
+        sim,
+        trace,
+        faults,
+        pin_nodes,
+        live,
+        ResilPlan::OFF,
+    )
+}
+
+/// [`run_transport_live`] with checkpoint/resume wiring: every rank hands
+/// periodic snapshots to an async writer thread and/or starts from a
+/// previously written checkpoint wave — see [`ResilPlan`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_transport_resil(
+    decomp: Decomposition,
+    kind: TransportKind,
+    deadline: Duration,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+    pin_nodes: Vec<usize>,
+    live: LivePlan,
+    resil: ResilPlan,
+) -> Vec<Result<(Domain, SimState), MdError>> {
     let ranks = decomp.ranks();
     let specs = decomp.grid().neighbor_specs();
     match kind {
@@ -254,6 +284,7 @@ pub fn run_transport_live(
                 faults,
                 pin_nodes,
                 live,
+                resil,
             )
         }
         TransportKind::TcpLoopback => {
@@ -295,7 +326,7 @@ pub fn run_transport_live(
                 .into_iter()
                 .map(|h| h.join().expect("bootstrap must not panic"))
                 .collect();
-            spawn_ranks(decomp, nets, sim, trace, faults, pin_nodes, live)
+            spawn_ranks(decomp, nets, sim, trace, faults, pin_nodes, live, resil)
         }
     }
 }
@@ -309,6 +340,7 @@ fn spawn_ranks(
     faults: FaultPlan,
     pin_nodes: Vec<usize>,
     live: LivePlan,
+    resil: ResilPlan,
 ) -> Vec<Result<(Domain, SimState), MdError>> {
     let handles: Vec<_> = nets
         .into_iter()
@@ -318,6 +350,8 @@ fn spawn_ranks(
             let trace = trace.clone();
             let pin_nodes = pin_nodes.clone();
             let live = live.clone();
+            let faults = faults.clone();
+            let resil = resil.clone();
             std::thread::Builder::new()
                 .name(format!("multidom-rank-{r}"))
                 .spawn(move || match net {
@@ -329,7 +363,7 @@ fn spawn_ranks(
                         if let Some(cpus) = pin_rank_thread(r, &pin_nodes) {
                             net.pin_writers(&cpus);
                         }
-                        run_rank_live(shape, net, sim, trace, faults, live)
+                        run_rank_resil(shape, net, sim, trace, faults, live, resil)
                             .map(|(d, st, _offset)| (d, st))
                     }
                     Err(e) => Err(MdError::Net(e)),
@@ -403,6 +437,23 @@ pub fn run_rank_live(
     faults: FaultPlan,
     live: LivePlan,
 ) -> Result<(Domain, SimState, i64), MdError> {
+    run_rank_resil(shape, net, sim, trace, faults, live, ResilPlan::OFF)
+}
+
+/// [`run_rank_live`] with checkpoint/resume (see [`ResilPlan`]): the rank
+/// hands periodic [`resil::DomainSnapshot`]s to an async writer thread
+/// (capture on the rank thread, file I/O off it), and/or restores its
+/// partition from a checkpoint wave instead of starting at cycle 0. A
+/// resumed run replays the remaining cycles **bit-identically**.
+pub fn run_rank_resil(
+    shape: lulesh_core::mesh::MeshShape,
+    net: RankNet,
+    sim: SimArgs,
+    trace: Option<Arc<Tracer>>,
+    faults: FaultPlan,
+    live: LivePlan,
+    resil: ResilPlan,
+) -> Result<(Domain, SimState, i64), MdError> {
     let rank = net.rank;
     let live_rank = LiveRank {
         cfg: live.metrics.clone(),
@@ -439,7 +490,7 @@ pub fn run_rank_live(
         }
         None => 0,
     };
-    let result = run_rank_inner(shape, net, sim, trace, faults, &live_rank);
+    let result = run_rank_inner(shape, net, sim, trace, faults, &live_rank, &resil);
     if let (Err(MdError::Net(_)), Some(f), Some(dir)) =
         (&result, &live_rank.flight, &live.flight_dir)
     {
@@ -455,6 +506,7 @@ fn run_rank_inner(
     trace: Option<Arc<Tracer>>,
     faults: FaultPlan,
     live: &LiveRank,
+    resil: &ResilPlan,
 ) -> Result<(Domain, SimState), MdError> {
     let rank = net.rank;
     let mut d = Domain::build_subdomain(shape, sim.num_reg, sim.balance, sim.cost, sim.seed);
@@ -510,19 +562,54 @@ fn run_rank_inner(
         }};
     }
 
-    // One-time nodal mass exchange.
-    lspanned!("halo-mass", SpanKind::Halo, Category::Send, {
-        halo_exchange_mass(&d, &plan, &net, obs)
-    })?;
+    // Either a resume (restore the checkpointed arrays — the snapshot was
+    // captured *after* the mass exchange, so nodal masses are already
+    // combined) or the one-time nodal mass exchange of a fresh start.
+    // Coordinated restart: every rank resumes from the same wave, so no
+    // rank is left sending mass surfaces at a peer that skipped them.
+    let mut state = match (&resil.ckpt, resil.resume_cycle) {
+        (Some(cfg), Some(cycle)) => {
+            lspanned!("resume-restore", SpanKind::Region, Category::Recovery, {
+                resil::load_snapshot(&cfg.dir, rank, cycle).and_then(|snap| snap.restore(&d))
+            })?
+        }
+        _ => {
+            lspanned!("halo-mass", SpanKind::Halo, Category::Send, {
+                halo_exchange_mass(&d, &plan, &net, obs)
+            })?;
+            SimState::new(d.initial_dt())
+        }
+    };
+
+    // Async checkpoint writer: capture happens on this thread (cheap SoA
+    // copies), serialization + file I/O on the writer thread.
+    let writer = match &resil.ckpt {
+        Some(cfg) => Some(resil::CkptWriter::spawn(&cfg.dir)?),
+        None => None,
+    };
 
     // Rank 0 is the telemetry root: it decodes the summaries collected on
     // the dt star, tracks per-rank EWMA step times, and streams JSONL.
     let mut detector = (rank == 0 && live.cfg.is_some()).then(|| StragglerDetector::new(net.ranks));
-    let mut state = SimState::new(d.initial_dt());
     while state.time < sim.params.stoptime && state.cycle < sim.max_cycles {
-        if faults.die_at == Some((rank, state.cycle)) {
+        // Checkpoint *before* the fault-injection check: a rank dying at
+        // cycle C has submitted its wave-C snapshot, and every peer
+        // reaches the top of C before observing the death (they all
+        // completed C−1's allreduce) — so wave C is globally consistent.
+        if let (Some(w), Some(cfg)) = (writer.as_ref(), resil.ckpt.as_ref()) {
+            if state.cycle % cfg.period == 0 && resil.resume_cycle != Some(state.cycle) {
+                lspanned!("ckpt-capture", SpanKind::Region, Category::Recovery, {
+                    w.submit(
+                        resil::DomainSnapshot::capture(rank, &d, &state),
+                        state.cycle,
+                    )
+                });
+            }
+        }
+        if faults.dies_at(rank, state.cycle) {
             // Abrupt death: drop every link without a Bye, exactly as a
             // killed process would. Survivors observe PeerClosed/Timeout.
+            // (The writer thread flushes pending snapshots on drop.)
             return Err(MdError::Net(ParcelError::PeerClosed { peer: rank }));
         }
         // Wall clock AND cumulative transport wait at step start: the
@@ -893,7 +980,7 @@ mod tests {
             flight_dir: Some(dir.clone()),
         };
         let faults = FaultPlan {
-            die_at: Some((1, 3)),
+            die_at: vec![(1, 3)],
             ..FaultPlan::NONE
         };
         let results = run_transport_live(

@@ -459,6 +459,9 @@ pub enum Category {
     Barrier,
     /// Work-stealing latency.
     Steal,
+    /// Resilience overhead: checkpoint serialization/writes, snapshot
+    /// restore on resume, and domain-migration pack/ship/rehome time.
+    Recovery,
     /// Before this rank's first span (bootstrap, handshake, clock sync).
     Startup,
     /// After this rank's last span, until the slowest rank finished.
@@ -477,6 +480,7 @@ impl Category {
             Category::Wait => "wait",
             Category::Barrier => "barrier",
             Category::Steal => "steal",
+            Category::Recovery => "recovery",
             Category::Startup => "startup",
             Category::Shutdown => "shutdown",
             Category::Idle => "idle",
@@ -484,13 +488,14 @@ impl Category {
     }
 
     /// Every category, in report order.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; 10] = [
         Category::Busy,
         Category::Pack,
         Category::Send,
         Category::Wait,
         Category::Barrier,
         Category::Steal,
+        Category::Recovery,
         Category::Startup,
         Category::Shutdown,
         Category::Idle,
@@ -506,6 +511,12 @@ pub fn categorize(cat: &str, label: &str) -> Option<Category> {
     }
     if label == "clock-sync" {
         return Some(Category::Startup);
+    }
+    // Resilience spans carry a ckpt-/migrate-/resume- label prefix no
+    // matter which kind they were recorded as (region spans in the
+    // drivers, parcel spans on the wire).
+    if label.starts_with("ckpt-") || label.starts_with("migrate-") || label.starts_with("resume-") {
+        return Some(Category::Recovery);
     }
     Some(match cat {
         "steal" => Category::Steal,
@@ -534,7 +545,7 @@ pub fn categorize(cat: &str, label: &str) -> Option<Category> {
     })
 }
 
-/// One rank's overhead breakdown. All fields in nanoseconds; the nine
+/// One rank's overhead breakdown. All fields in nanoseconds; the ten
 /// taxonomy fields sum to [`wall_ns`](Self::wall_ns) exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RankBreakdown {
@@ -554,6 +565,8 @@ pub struct RankBreakdown {
     pub barrier_ns: u64,
     /// Work-stealing latency.
     pub steal_ns: u64,
+    /// Resilience overhead (checkpoint, restore, migration).
+    pub recovery_ns: u64,
     /// Time before this rank's first span.
     pub startup_ns: u64,
     /// Time after this rank's last span.
@@ -567,7 +580,7 @@ pub struct RankBreakdown {
 }
 
 impl RankBreakdown {
-    /// Σ of the nine taxonomy fields (must equal `wall_ns`).
+    /// Σ of the ten taxonomy fields (must equal `wall_ns`).
     pub fn accounted_ns(&self) -> u64 {
         self.busy_ns
             + self.pack_ns
@@ -575,6 +588,7 @@ impl RankBreakdown {
             + self.wait_ns
             + self.barrier_ns
             + self.steal_ns
+            + self.recovery_ns
             + self.startup_ns
             + self.shutdown_ns
             + self.idle_ns
@@ -588,6 +602,7 @@ impl RankBreakdown {
             Category::Wait => &mut self.wait_ns,
             Category::Barrier => &mut self.barrier_ns,
             Category::Steal => &mut self.steal_ns,
+            Category::Recovery => &mut self.recovery_ns,
             Category::Startup => &mut self.startup_ns,
             Category::Shutdown => &mut self.shutdown_ns,
             Category::Idle => &mut self.idle_ns,
@@ -603,6 +618,7 @@ impl RankBreakdown {
             Category::Wait => self.wait_ns,
             Category::Barrier => self.barrier_ns,
             Category::Steal => self.steal_ns,
+            Category::Recovery => self.recovery_ns,
             Category::Startup => self.startup_ns,
             Category::Shutdown => self.shutdown_ns,
             Category::Idle => self.idle_ns,

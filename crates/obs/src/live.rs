@@ -22,7 +22,7 @@ use std::time::Instant;
 
 /// Schema version stamped on every `--live-metrics` JSONL line and on
 /// the [`StepSummary`] wire encoding.
-pub const LIVE_SCHEMA_VERSION: u64 = 1;
+pub const LIVE_SCHEMA_VERSION: u64 = 2;
 
 /// Schema version stamped on flight-recorder dump files.
 pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
@@ -33,7 +33,7 @@ pub const NCAT: usize = Category::ALL.len();
 
 /// Parcel tag classes tracked per rank: one counter slot per logical
 /// tag family rather than per 27-direction tag, so the table stays flat.
-pub const TAG_CLASSES: [&str; 7] = [
+pub const TAG_CLASSES: [&str; 9] = [
     "mass",
     "force",
     "gradient",
@@ -41,6 +41,8 @@ pub const TAG_CLASSES: [&str; 7] = [
     "bye",
     "clock",
     "telemetry",
+    "migrate",
+    "ckpt",
 ];
 
 /// Number of tag classes in [`TAG_CLASSES`].

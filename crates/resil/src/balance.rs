@@ -1,0 +1,229 @@
+//! The cross-rank balance controller: the actuator the PR-8
+//! `StragglerDetector` lacked. It consumes the in-band
+//! [`StepSummary`](obs::live::StepSummary) telemetry at the allreduce
+//! root (per-rank *self* times — wall minus transport wait, so a rank
+//! stalled behind a straggler is not itself blamed), smooths them with
+//! per-rank EWMAs, and orders a domain migration when the max/median
+//! ratio stays over threshold for a full
+//! [`HysteresisGate`](lulesh_task::autotune::HysteresisGate) streak —
+//! the same noise-rejection primitive the PR-2 partition autotuner
+//! accepts moves with, extended from "accept a better plan" to "evict a
+//! domain from an overloaded host".
+
+use lulesh_task::autotune::HysteresisGate;
+use obs::live::StepSummary;
+
+/// Controller knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceConfig {
+    /// EWMA smoothing factor (weight of the newest sample).
+    pub alpha: f64,
+    /// Trigger when EWMA max/median self time exceeds this ratio.
+    pub ratio: f64,
+    /// Consecutive over-ratio observations required (hysteresis streak).
+    pub streak: u32,
+    /// Observations to absorb before the first decision (EWMA warmup).
+    pub warmup: u64,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        Self {
+            // Same smoothing/trigger defaults as the straggler detector,
+            // which this controller is the actuator for.
+            alpha: 0.4,
+            ratio: 1.5,
+            streak: 2,
+            warmup: 2,
+        }
+    }
+}
+
+/// One migration order: move `rank`'s domain from `from_host` to
+/// `to_host`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationDecision {
+    /// The rank (domain) to move.
+    pub rank: usize,
+    /// Host currently stepping it.
+    pub from_host: usize,
+    /// Least-loaded host, by summed EWMA self time.
+    pub to_host: usize,
+}
+
+/// A record of an executed migration, for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Cycle after which the move was committed.
+    pub cycle: u64,
+    /// The decision that was executed.
+    pub decision: MigrationDecision,
+}
+
+/// See the module docs. Drive it with
+/// [`observe`](Self::observe)/[`observe_summaries`](Self::observe_summaries)
+/// once per telemetry step, then ask [`decide`](Self::decide) whether a
+/// migration is due.
+#[derive(Debug, Clone)]
+pub struct BalanceController {
+    cfg: BalanceConfig,
+    gate: HysteresisGate,
+    ewma: Vec<f64>,
+    seen: u64,
+}
+
+impl BalanceController {
+    /// A controller for `ranks` domains.
+    pub fn new(ranks: usize, cfg: BalanceConfig) -> Self {
+        Self {
+            cfg,
+            // The gate watches `imbalance − ratio`: fire after `streak`
+            // consecutive observations above the configured ratio.
+            gate: HysteresisGate::new(cfg.ratio, cfg.streak),
+            ewma: vec![0.0; ranks],
+            seen: 0,
+        }
+    }
+
+    /// Feed one step's per-rank self times (nanoseconds, rank order).
+    pub fn observe(&mut self, self_ns: &[u64]) {
+        debug_assert_eq!(self_ns.len(), self.ewma.len());
+        for (e, &s) in self.ewma.iter_mut().zip(self_ns) {
+            let s = s as f64;
+            *e = if self.seen == 0 {
+                s
+            } else {
+                self.cfg.alpha * s + (1.0 - self.cfg.alpha) * *e
+            };
+        }
+        self.seen += 1;
+    }
+
+    /// [`observe`](Self::observe) from decoded in-band telemetry — the
+    /// exact payloads the allreduce root collects.
+    pub fn observe_summaries(&mut self, summaries: &[StepSummary]) {
+        let self_ns: Vec<u64> = summaries.iter().map(|s| s.step_ns).collect();
+        self.observe(&self_ns);
+    }
+
+    /// Current EWMA max / lower-median self-time ratio. The *lower*
+    /// median (index `(n−1)/2` of the sorted times) is deliberate: with
+    /// half the ranks on a slow host, the upper median would be a slow
+    /// rank too and the ratio would read 1.0 — exactly the imbalance the
+    /// controller exists to fix.
+    pub fn imbalance(&self) -> f64 {
+        let mut sorted = self.ewma.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[(sorted.len() - 1) / 2];
+        let max = *sorted.last().expect("at least one rank");
+        if median <= 0.0 {
+            1.0
+        } else {
+            max / median
+        }
+    }
+
+    /// Order a migration if the imbalance has stayed over threshold for
+    /// a full streak: the slowest rank (never rank 0 — it anchors the dt
+    /// star and telemetry root) moves to the host with the smallest
+    /// summed EWMA load. `owner[r]` is the host currently stepping rank
+    /// `r`; `hosts` is the host count.
+    pub fn decide(&mut self, owner: &[usize], hosts: usize) -> Option<MigrationDecision> {
+        debug_assert_eq!(owner.len(), self.ewma.len());
+        let ratio = self.imbalance();
+        if self.seen <= self.cfg.warmup || !self.gate.observe(ratio) {
+            return None;
+        }
+        let rank = self
+            .ewma
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))?
+            .0;
+        let from_host = owner[rank];
+        let mut load = vec![0.0f64; hosts];
+        for (r, &h) in owner.iter().enumerate() {
+            load[h] += self.ewma[r];
+        }
+        let to_host = load.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1))?.0;
+        if to_host == from_host {
+            return None;
+        }
+        // The move invalidates the rank's load history (its self time was
+        // a property of the old placement): reseed its EWMA at the median
+        // so the controller re-learns from fresh samples instead of
+        // ping-ponging the same domain on a stale spike.
+        let mut sorted = self.ewma.clone();
+        sorted.sort_by(f64::total_cmp);
+        self.ewma[rank] = sorted[(sorted.len() - 1) / 2];
+        Some(MigrationDecision {
+            rank,
+            from_host,
+            to_host,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_load_never_triggers() {
+        let mut c = BalanceController::new(4, BalanceConfig::default());
+        for _ in 0..50 {
+            c.observe(&[100, 105, 95, 102]);
+            assert_eq!(c.decide(&[0, 0, 1, 1], 2), None);
+        }
+        assert!(c.imbalance() < 1.2);
+    }
+
+    #[test]
+    fn persistent_straggler_is_evicted_to_idle_host() {
+        let mut c = BalanceController::new(3, BalanceConfig::default());
+        let owner = [0, 0, 1];
+        // Host 1 is slow: rank 2's self time dwarfs the others.
+        let mut decision = None;
+        for _ in 0..10 {
+            c.observe(&[100, 110, 900]);
+            if let Some(d) = c.decide(&owner, 2) {
+                decision = Some(d);
+                break;
+            }
+        }
+        let d = decision.expect("sustained imbalance must trigger");
+        assert_eq!(d.rank, 2);
+        assert_eq!(d.from_host, 1);
+        assert_eq!(d.to_host, 0);
+    }
+
+    #[test]
+    fn rank_zero_is_never_migrated() {
+        let mut c = BalanceController::new(3, BalanceConfig::default());
+        for _ in 0..10 {
+            // Rank 0 is the worst hog, but it anchors the dt star: the
+            // controller must evict the slowest of the *rest*.
+            c.observe(&[900, 500, 100]);
+            if let Some(d) = c.decide(&[0, 0, 1], 2) {
+                assert_eq!(d.rank, 1);
+                assert_eq!(d.to_host, 1);
+                return;
+            }
+        }
+        panic!("imbalance never triggered");
+    }
+
+    #[test]
+    fn one_shot_spike_is_rejected_by_the_gate() {
+        let mut c = BalanceController::new(2, BalanceConfig::default());
+        for step in 0..20 {
+            // One spike pushes the EWMA ratio over threshold for exactly
+            // one observation; the streak-of-2 gate must not fire, and
+            // by the next step the EWMA is back under.
+            let spike = if step == 10 { 280 } else { 105 };
+            c.observe(&[100, spike]);
+            assert_eq!(c.decide(&[0, 1], 2), None, "step {step}");
+        }
+    }
+}

@@ -99,7 +99,7 @@ echo "== live-metrics smoke run (2 TCP ranks, JSONL schema) =="
 # run must still end with the normal CSV report.
 ./target/debug/lulesh-multidom --transport tcp --ranks 2 --s 6 --i 8 --q \
   --live-metrics > "$TMP/live.jsonl"
-LIVE_LINES=$(grep -c '^{"schema":1,"kind":"live"' "$TMP/live.jsonl" || true)
+LIVE_LINES=$(grep -c '^{"schema":2,"kind":"live"' "$TMP/live.jsonl" || true)
 if [ "$LIVE_LINES" -lt 8 ]; then
   echo "expected >=8 live JSONL lines, got $LIVE_LINES:"; cat "$TMP/live.jsonl"
   exit 1
@@ -122,12 +122,38 @@ test -s "$TMP/flight/flight.rank1.json"
 ./target/debug/trace_lint "$TMP/flight/flight.rank0.json"
 ./target/debug/trace_lint "$TMP/flight/flight.rank1.json"
 
+echo "== checkpoint/respawn smoke (2x2x1 TCP grid, rank 2 dies at cycle 40) =="
+# Reference: the same job uninterrupted. Then the resilient run: rank 2 is
+# killed after cycle 40 with checkpointing armed; the launcher finds the
+# newest wave where every rank left a checksum-valid snapshot, relaunches
+# all four workers with --resume-cycle, and the job must finish with a
+# final energy BIT-IDENTICAL to the uninterrupted run (field 6, %.6e).
+./target/debug/lulesh-multidom --transport tcp --grid 2x2x1 --s 6 --i 60 --q \
+  --recv-deadline-ms 3000 > "$TMP/ckpt_ref.csv"
+./target/debug/lulesh-multidom --transport tcp --grid 2x2x1 --s 6 --i 60 --q \
+  --recv-deadline-ms 3000 --die-at 2:40 --ckpt-dir "$TMP/ckpt" --respawn \
+  > "$TMP/ckpt_respawn.csv" 2> "$TMP/respawn.log"
+grep -q "respawn: relaunching all 4 ranks from checkpoint cycle" "$TMP/respawn.log" || {
+  echo "launcher never respawned the fleet:"; cat "$TMP/respawn.log"; exit 1;
+}
+REF_E=$(tail -1 "$TMP/ckpt_ref.csv" | cut -d, -f6)
+RESPAWN_E=$(tail -1 "$TMP/ckpt_respawn.csv" | cut -d, -f6)
+if [ -z "$REF_E" ] || [ "$REF_E" != "$RESPAWN_E" ]; then
+  echo "recovered energy '$RESPAWN_E' != uninterrupted '$REF_E'"
+  diff "$TMP/ckpt_ref.csv" "$TMP/ckpt_respawn.csv" || true
+  exit 1
+fi
+ls "$TMP/ckpt" | grep -q '^ckpt-r.*\.bin$' || {
+  echo "no checkpoint files were written:"; ls "$TMP/ckpt"; exit 1;
+}
+
 echo "== perf-regression gate (BENCH_baseline.json) =="
-# Four tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
+# Five tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
 # regression or schema drift against the checked-in baseline, which the
 # harness resolves relative to the repo root whatever the CWD. Also
-# reports (informationally) the --live-metrics throughput cost on the
-# multidom topologies at a representative brick size.
+# reports the --live-metrics throughput cost (informational) and the
+# checkpointing CPU cost (gated under 2%) on the multidom topologies at a
+# representative brick size.
 ./target/debug/regress --out "$TMP/bench"
 
 echo "== all checks passed =="

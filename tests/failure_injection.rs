@@ -229,7 +229,7 @@ fn for_both_drivers(
     check: impl Fn(&str, Vec<Result<(), MdError>>),
 ) {
     let decomp = Decomposition::new(6, 3);
-    let r = multidom::threaded::run_transport(decomp, kind, DEADLINE, sim, None, faults);
+    let r = multidom::threaded::run_transport(decomp, kind, DEADLINE, sim, None, faults.clone());
     check("threaded", r.into_iter().map(|r| r.map(|_| ())).collect());
     let r = multidom::taskpar::run_transport(
         decomp,
@@ -300,7 +300,7 @@ fn killed_rank_surfaces_typed_parcel_error_on_every_survivor() {
             kind,
             SimArgs::new(2, 1, 1, 0, 50),
             FaultPlan {
-                die_at: Some((1, 3)),
+                die_at: vec![(1, 3)],
                 ..FaultPlan::NONE
             },
             |driver, results| {
@@ -344,7 +344,7 @@ fn rank_killed_at_tcp_handshake_times_out_on_every_survivor() {
                 short,
                 SimArgs::new(2, 1, 1, 0, 5),
                 None,
-                faults,
+                faults.clone(),
             )
             .into_iter()
             .map(|r| r.map(|_| ()))
@@ -357,7 +357,7 @@ fn rank_killed_at_tcp_handshake_times_out_on_every_survivor() {
                 PartitionPlan::fixed(16, 16),
                 false,
                 SimArgs::new(2, 1, 1, 0, 5),
-                faults,
+                faults.clone(),
             )
             .into_iter()
             .map(|r| r.map(|_| ()))
@@ -381,6 +381,126 @@ fn rank_killed_at_tcp_handshake_times_out_on_every_survivor() {
             t0.elapsed()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart: a killed rank is "respawned" (fresh mesh, every rank
+// rolled back to the newest globally consistent checkpoint wave) and the
+// job completes with final state and fields BIT-IDENTICAL to a run that was
+// never interrupted — over both transports.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_rank_recovers_from_checkpoints_bit_identically() {
+    let decomp = Decomposition::new(6, 3);
+    let sim = SimArgs::new(2, 1, 1, 0, 30);
+    for kind in TRANSPORTS {
+        let dir =
+            std::env::temp_dir().join(format!("resil-recover-{kind:?}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The uninterrupted reference run.
+        let clean =
+            multidom::threaded::run_transport(decomp, kind, DEADLINE, sim, None, FaultPlan::NONE);
+        // Kill rank 1 after cycle 17; checkpoints land every 5 cycles, so
+        // the newest globally consistent wave is cycle 15.
+        let report = multidom::recovery::run_with_recovery(
+            decomp,
+            kind,
+            DEADLINE,
+            sim,
+            FaultPlan {
+                die_at: vec![(1, 17)],
+                ..FaultPlan::NONE
+            },
+            resil::CkptConfig::new(dir.clone(), 5),
+            3,
+        );
+        assert_eq!(
+            report.attempts, 2,
+            "{kind:?}: one death, one successful restart"
+        );
+        assert_eq!(
+            report.resumed_from,
+            vec![15],
+            "{kind:?}: must roll back to the newest complete wave"
+        );
+        for (rank, (c, r)) in clean.into_iter().zip(report.results).enumerate() {
+            let (cd, cs) = c.unwrap_or_else(|e| panic!("{kind:?} clean rank {rank}: {e}"));
+            let (rd, rs) = r.unwrap_or_else(|e| panic!("{kind:?} recovered rank {rank}: {e}"));
+            assert_eq!(cs, rs, "{kind:?} rank {rank}: final state must match");
+            assert_eq!(
+                lulesh::core::validate::max_field_difference(&cd, &rd),
+                0.0,
+                "{kind:?} rank {rank}: recovered fields must be bit-identical"
+            );
+            assert_eq!(
+                cd.e(0).to_bits(),
+                rd.e(0).to_bits(),
+                "{kind:?} rank {rank}: origin energy must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovery_without_any_checkpoint_cold_restarts() {
+    // Death before the second checkpoint wave exists is survivable too:
+    // the restart simply begins from scratch (cycle-0 wave) and still
+    // finishes with the right cycle count.
+    let decomp = Decomposition::new(6, 2);
+    let sim = SimArgs::new(2, 1, 1, 0, 12);
+    let dir = std::env::temp_dir().join(format!("resil-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = multidom::recovery::run_with_recovery(
+        decomp,
+        TransportKind::Channel,
+        DEADLINE,
+        sim,
+        FaultPlan {
+            die_at: vec![(1, 3)],
+            ..FaultPlan::NONE
+        },
+        resil::CkptConfig::new(dir.clone(), 100),
+        3,
+    );
+    assert_eq!(report.attempts, 2);
+    assert_eq!(report.resumed_from, vec![0], "only the cycle-0 wave exists");
+    for r in &report.results {
+        assert_eq!(r.as_ref().map(|(_, s)| s.cycle).ok(), Some(12));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unrecoverable_job_reports_the_failure_after_max_attempts() {
+    // More kills than attempts: the report must surface the Net error
+    // honestly instead of pretending the job finished.
+    let decomp = Decomposition::new(6, 2);
+    let sim = SimArgs::new(2, 1, 1, 0, 40);
+    let dir = std::env::temp_dir().join(format!("resil-exhaust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = multidom::recovery::run_with_recovery(
+        decomp,
+        TransportKind::Channel,
+        DEADLINE,
+        sim,
+        FaultPlan {
+            die_at: vec![(1, 10), (1, 20)],
+            ..FaultPlan::NONE
+        },
+        resil::CkptConfig::new(dir.clone(), 4),
+        2,
+    );
+    assert_eq!(report.attempts, 2);
+    assert!(
+        report
+            .results
+            .iter()
+            .any(|r| matches!(r, Err(MdError::Net(_)))),
+        "the second kill lands after the attempt budget is spent"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
