@@ -10,6 +10,7 @@
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 #![cfg_attr(test, allow(clippy::type_complexity))]
 use crate::domain::Domain;
+use crate::kernels::shape::{gather_elem_coords, gather_elem_velocities};
 use crate::kernels::volume::calc_elem_volume_derivative;
 use crate::types::{LuleshError, Real};
 use parutil::Chunk;
@@ -48,7 +49,7 @@ pub fn calc_hourglass_control_for_elems(
 
     for i in range.iter() {
         let k = i - range.begin;
-        d.collect_domain_nodes_to_elem_nodes(i, &mut x1, &mut y1, &mut z1);
+        gather_elem_coords(d, i, &mut x1, &mut y1, &mut z1);
         let (pfx, pfy, pfz) = calc_elem_volume_derivative(&x1, &y1, &z1);
 
         let i3 = 8 * k;
@@ -172,7 +173,7 @@ pub fn calc_fb_hourglass_force_for_elems(
         let ss1 = d.ss(i2);
         let mass1 = d.elem_mass(i2);
         let volume13 = determ[k].cbrt();
-        d.collect_elem_velocities(i2, &mut xd1, &mut yd1, &mut zd1);
+        gather_elem_velocities(d, i2, &mut xd1, &mut yd1, &mut zd1);
 
         let coefficient = -hourg * 0.01 * ss1 * mass1 / volume13;
 

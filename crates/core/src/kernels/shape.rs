@@ -1,10 +1,49 @@
 //! Shape-function machinery: Jacobian-based shape function derivatives,
-//! element node normals, stress-to-nodal-force accumulation, and the element
-//! velocity gradient. Ports of `CalcElemShapeFunctionDerivatives`,
+//! element node normals, stress-to-nodal-force accumulation, the element
+//! velocity gradient, and the 8-node corner gathers shared by every
+//! element-loop kernel. Ports of `CalcElemShapeFunctionDerivatives`,
 //! `SumElemFaceNormal`/`CalcElemNodeNormals`,
 //! `SumElemStressesToNodeForces`, and `CalcElemVelocityGradient`.
 
-use crate::types::Real;
+use crate::domain::Domain;
+use crate::types::{Index, Real};
+
+/// Gather the 8 corner coordinates of element `e` into local arrays — the
+/// single shared gather used by the stress and hourglass pipelines (and the
+/// lane-blocked kernel variants, which call it once per lane).
+#[inline]
+pub fn gather_elem_coords(
+    d: &Domain,
+    e: Index,
+    xl: &mut [Real; 8],
+    yl: &mut [Real; 8],
+    zl: &mut [Real; 8],
+) {
+    let nl = d.nodelist(e);
+    for c in 0..8 {
+        xl[c] = d.x(nl[c]);
+        yl[c] = d.y(nl[c]);
+        zl[c] = d.z(nl[c]);
+    }
+}
+
+/// Gather the 8 corner velocities of element `e` into local arrays
+/// (hourglass force and kinematics both need this shape of gather).
+#[inline]
+pub fn gather_elem_velocities(
+    d: &Domain,
+    e: Index,
+    xdl: &mut [Real; 8],
+    ydl: &mut [Real; 8],
+    zdl: &mut [Real; 8],
+) {
+    let nl = d.nodelist(e);
+    for c in 0..8 {
+        xdl[c] = d.xd(nl[c]);
+        ydl[c] = d.yd(nl[c]);
+        zdl[c] = d.zd(nl[c]);
+    }
+}
 
 /// Shape-function derivatives `b[dim][corner]` and the Jacobian-based
 /// element volume.
@@ -213,6 +252,34 @@ mod tests {
     use super::*;
     use crate::kernels::volume::{calc_elem_volume, unit_cube};
     use proptest::prelude::*;
+
+    #[test]
+    fn gather_helpers_match_domain_accessors() {
+        let d = Domain::build(3, 1, 1, 1, 0);
+        for n in 0..d.num_node() {
+            d.set_xd(n, (n as Real).sin());
+            d.set_yd(n, (n as Real).cos());
+            d.set_zd(n, n as Real * 0.25);
+        }
+        let mut x = [0.0; 8];
+        let mut y = [0.0; 8];
+        let mut z = [0.0; 8];
+        let mut xd = [0.0; 8];
+        let mut yd = [0.0; 8];
+        let mut zd = [0.0; 8];
+        for e in [0, 7, d.num_elem() - 1] {
+            gather_elem_coords(&d, e, &mut x, &mut y, &mut z);
+            gather_elem_velocities(&d, e, &mut xd, &mut yd, &mut zd);
+            for (c, &n) in d.nodelist(e).iter().enumerate() {
+                assert_eq!(x[c], d.x(n));
+                assert_eq!(y[c], d.y(n));
+                assert_eq!(z[c], d.z(n));
+                assert_eq!(xd[c], d.xd(n));
+                assert_eq!(yd[c], d.yd(n));
+                assert_eq!(zd[c], d.zd(n));
+            }
+        }
+    }
 
     #[test]
     fn shape_derivative_volume_matches_triple_product_for_cube() {

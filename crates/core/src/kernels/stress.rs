@@ -17,7 +17,8 @@
 #![allow(clippy::needless_range_loop)]
 use crate::domain::Domain;
 use crate::kernels::shape::{
-    calc_elem_node_normals, calc_elem_shape_function_derivatives, sum_elem_stresses_to_node_forces,
+    calc_elem_node_normals, calc_elem_shape_function_derivatives, gather_elem_coords,
+    sum_elem_stresses_to_node_forces,
 };
 use crate::types::{Index, LuleshError, Real};
 use parutil::Chunk;
@@ -79,7 +80,7 @@ pub fn integrate_stress_for_elems(
 
     for i in range.iter() {
         let k = i - range.begin;
-        d.collect_domain_nodes_to_elem_nodes(i, &mut x_local, &mut y_local, &mut z_local);
+        gather_elem_coords(d, i, &mut x_local, &mut y_local, &mut z_local);
 
         determ[k] = calc_elem_shape_function_derivatives(&x_local, &y_local, &z_local, &mut b);
         let (b0, b12) = b.split_first_mut().expect("b has 3 rows");
