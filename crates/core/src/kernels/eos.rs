@@ -15,42 +15,42 @@
 use crate::domain::Domain;
 use crate::params::Params;
 use crate::types::{Index, LuleshError, Real};
-use parutil::Chunk;
+use parutil::{AlignedBuf, Chunk};
 
 /// Region-length scratch for one EOS evaluation. Reusable across regions
 /// (`resize` keeps capacity).
 #[derive(Debug, Default, Clone)]
 pub struct EosScratch {
     /// Gathered old energies.
-    pub e_old: Vec<Real>,
+    pub e_old: AlignedBuf<Real>,
     /// Gathered volume deltas.
-    pub delvc: Vec<Real>,
+    pub delvc: AlignedBuf<Real>,
     /// Gathered old pressures.
-    pub p_old: Vec<Real>,
+    pub p_old: AlignedBuf<Real>,
     /// Gathered old viscosities.
-    pub q_old: Vec<Real>,
+    pub q_old: AlignedBuf<Real>,
     /// Gathered quadratic q terms.
-    pub qq_old: Vec<Real>,
+    pub qq_old: AlignedBuf<Real>,
     /// Gathered linear q terms.
-    pub ql_old: Vec<Real>,
+    pub ql_old: AlignedBuf<Real>,
     /// Full-step compression.
-    pub compression: Vec<Real>,
+    pub compression: AlignedBuf<Real>,
     /// Half-step compression.
-    pub comp_half_step: Vec<Real>,
+    pub comp_half_step: AlignedBuf<Real>,
     /// External work (always zero in LULESH).
-    pub work: Vec<Real>,
+    pub work: AlignedBuf<Real>,
     /// New pressure.
-    pub p_new: Vec<Real>,
+    pub p_new: AlignedBuf<Real>,
     /// New energy.
-    pub e_new: Vec<Real>,
+    pub e_new: AlignedBuf<Real>,
     /// New viscosity.
-    pub q_new: Vec<Real>,
+    pub q_new: AlignedBuf<Real>,
     /// Bulk viscosity coefficient.
-    pub bvc: Vec<Real>,
+    pub bvc: AlignedBuf<Real>,
     /// Pressure derivative coefficient.
-    pub pbvc: Vec<Real>,
+    pub pbvc: AlignedBuf<Real>,
     /// Half-step pressure.
-    pub p_half_step: Vec<Real>,
+    pub p_half_step: AlignedBuf<Real>,
 }
 
 impl EosScratch {
@@ -61,7 +61,8 @@ impl EosScratch {
         s
     }
 
-    /// Resize every array to `len` (contents unspecified).
+    /// Resize every array to `len` (existing prefix kept, growth zeroed;
+    /// every consumer fully rewrites each array before reading it).
     pub fn resize(&mut self, len: usize) {
         for v in [
             &mut self.e_old,
@@ -80,7 +81,7 @@ impl EosScratch {
             &mut self.pbvc,
             &mut self.p_half_step,
         ] {
-            v.resize(len, 0.0);
+            v.resize_zeroed(len);
         }
     }
 
@@ -106,8 +107,7 @@ impl EosScratch {
             &mut self.pbvc,
             &mut self.p_half_step,
         ] {
-            v.clear();
-            v.resize(len, 0.0);
+            v.reset_zeroed(len);
         }
     }
 }

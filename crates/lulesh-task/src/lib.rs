@@ -48,7 +48,7 @@ use lulesh_core::timestep::time_increment;
 use lulesh_core::types::{LuleshError, Real};
 use obs::{SpanKind, Tracer};
 use parking_lot::Mutex;
-use parutil::{chunks_of, CachePadded, Chunk, SharedVec};
+use parutil::{chunks_of, AlignedBuf, CachePadded, Chunk, SharedVec};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -248,24 +248,23 @@ impl Features {
 /// results stay bit-identical.
 #[derive(Default)]
 struct KernelScratch {
-    sigxx: Vec<Real>,
-    sigyy: Vec<Real>,
-    sigzz: Vec<Real>,
-    determ: Vec<Real>,
-    dvdx: Vec<Real>,
-    dvdy: Vec<Real>,
-    dvdz: Vec<Real>,
-    x8n: Vec<Real>,
-    y8n: Vec<Real>,
-    z8n: Vec<Real>,
+    sigxx: AlignedBuf<Real>,
+    sigyy: AlignedBuf<Real>,
+    sigzz: AlignedBuf<Real>,
+    determ: AlignedBuf<Real>,
+    dvdx: AlignedBuf<Real>,
+    dvdy: AlignedBuf<Real>,
+    dvdz: AlignedBuf<Real>,
+    x8n: AlignedBuf<Real>,
+    y8n: AlignedBuf<Real>,
+    z8n: AlignedBuf<Real>,
     eos: eos::EosScratch,
 }
 
 /// `buf` := `len` zeros, reusing capacity (equivalent to `vec![0.0; len]`
 /// without the allocation once warmed up).
-fn reset_buf(buf: &mut Vec<Real>, len: usize) {
-    buf.clear();
-    buf.resize(len, 0.0);
+fn reset_buf(buf: &mut AlignedBuf<Real>, len: usize) {
+    buf.reset_zeroed(len);
 }
 
 /// Mesh-length scratch shared between tasks. The per-corner force arrays

@@ -17,12 +17,14 @@
 //! [`taskrt`]: https://docs.rs/taskrt
 //! [`ompsim`]: https://docs.rs/ompsim
 
+pub mod aligned;
 pub mod barrier;
 pub mod chunks;
 pub mod counters;
 pub mod shared_slice;
 
+pub use aligned::AlignedBuf;
 pub use barrier::SenseBarrier;
 pub use chunks::{chunk_count, chunk_range, chunks_of, static_split, Chunk};
 pub use counters::{aggregate, BusyIdleClock, CachePadded, Utilization};
-pub use shared_slice::{SharedSlice, SharedVec, ZeroBits};
+pub use shared_slice::{SharedSlice, SharedVec, ZeroBits, CACHE_LINE};

@@ -25,8 +25,24 @@
 //! writers per index and panic on overlap (see [`SharedVec::with_overlap_checks`]),
 //! which the integration tests use to validate the drivers' partitioning.
 
+use std::alloc::Layout;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Allocation alignment (bytes) for [`SharedVec`] and
+/// [`AlignedBuf`](crate::aligned::AlignedBuf) storage: one x86-64 cache
+/// line, which is also ≥ the widest vector register (AVX-512 = 64 B), so
+/// lane-group loads starting at a multiple of the lane width never straddle
+/// a cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// Array layout for `n` elements of `T`, padded up to [`CACHE_LINE`]
+/// alignment. Must be recomputed identically at dealloc time.
+fn aligned_array_layout<T>(n: usize) -> Layout {
+    Layout::array::<UnsafeCell<T>>(n)
+        .and_then(|l| l.align_to(CACHE_LINE))
+        .expect("layout overflow")
+}
 
 /// A `&[T]`-like view that permits unsynchronized writes to *disjoint*
 /// indices from multiple threads.
@@ -148,7 +164,11 @@ impl<'a, T: Copy + std::ops::AddAssign> SharedSlice<'a, T> {
 /// `Arc<Domain>` and write disjoint partitions of each field. Optional
 /// overlap checking (debug builds) turns contract violations into panics.
 pub struct SharedVec<T> {
-    data: Box<[UnsafeCell<T>]>,
+    /// 64-byte-aligned allocation of `len` cells ([`aligned_array_layout`]),
+    /// or dangling when `len == 0`. Owned: freed (and elements dropped) in
+    /// `Drop` with the identically recomputed layout.
+    ptr: *mut UnsafeCell<T>,
+    len: usize,
     /// Writer tags per index; allocated only when overlap checking is on.
     check: Option<Box<[AtomicU32]>>,
 }
@@ -167,8 +187,9 @@ impl<T: Clone> SharedVec<T> {
     /// [`zeroed`](SharedVec::zeroed), which leaves the pages untouched
     /// until their first writer.
     pub fn from_elem(v: T, n: usize) -> Self {
-        let data: Box<[UnsafeCell<T>]> = (0..n).map(|_| UnsafeCell::new(v.clone())).collect();
-        Self { data, check: None }
+        // Clone into a Vec first so a panicking `clone` can never unwind
+        // across a partially initialized aligned allocation.
+        Self::from_vec(vec![v; n])
     }
 }
 
@@ -192,33 +213,70 @@ impl<T: ZeroBits> SharedVec<T> {
         if n == 0 {
             return Self::from_vec(Vec::new());
         }
-        let layout = std::alloc::Layout::array::<UnsafeCell<T>>(n).expect("layout overflow");
+        let layout = aligned_array_layout::<T>(n);
         // SAFETY: `layout` is non-zero-sized (`n > 0`, `T: Copy` numeric);
         // all-zero bytes are a valid `T` per the `ZeroBits` bound, and
-        // `UnsafeCell<T>` is `repr(transparent)`. The Box's eventual
-        // dealloc uses this same array layout.
-        let data = unsafe {
+        // `UnsafeCell<T>` is `repr(transparent)`. `Drop` recomputes this
+        // same layout for the dealloc.
+        let ptr = unsafe {
             let ptr = std::alloc::alloc_zeroed(layout) as *mut UnsafeCell<T>;
             if ptr.is_null() {
                 std::alloc::handle_alloc_error(layout);
             }
-            Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n))
+            ptr
         };
-        Self { data, check: None }
+        Self {
+            ptr,
+            len: n,
+            check: None,
+        }
     }
 }
 
 impl<T> SharedVec<T> {
-    /// Take ownership of a `Vec`.
-    pub fn from_vec(v: Vec<T>) -> Self {
-        let data: Box<[UnsafeCell<T>]> = v.into_iter().map(UnsafeCell::new).collect();
-        Self { data, check: None }
+    /// Take ownership of a `Vec`, moving its elements into a fresh
+    /// 64-byte-aligned allocation.
+    pub fn from_vec(mut v: Vec<T>) -> Self {
+        let n = v.len();
+        if n == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+                check: None,
+            };
+        }
+        let layout = aligned_array_layout::<T>(n);
+        // SAFETY: non-zero-sized layout; the elements are *moved* out of the
+        // Vec with a bitwise copy and the Vec's length is zeroed before it
+        // drops, so each value has exactly one owner. `UnsafeCell<T>` is
+        // `repr(transparent)`, so writing `T` through the cell pointer is
+        // layout-correct. `Drop` recomputes this layout for the dealloc.
+        let ptr = unsafe {
+            let ptr = std::alloc::alloc(layout) as *mut UnsafeCell<T>;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            std::ptr::copy_nonoverlapping(v.as_ptr(), ptr as *mut T, n);
+            v.set_len(0);
+            ptr
+        };
+        Self {
+            ptr,
+            len: n,
+            check: None,
+        }
+    }
+
+    /// Base pointer of the allocation (64-byte aligned for `len > 0`).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr as *const T
     }
 
     /// Enable per-index writer tracking (costs one `AtomicU32` per element).
     /// Used by tests to validate that drivers never overlap writes.
     pub fn with_overlap_checks(mut self) -> Self {
-        let n = self.data.len();
+        let n = self.len;
         self.check = Some((0..n).map(|_| AtomicU32::new(u32::MAX)).collect());
         self
     }
@@ -226,13 +284,21 @@ impl<T> SharedVec<T> {
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// `true` if empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Raw pointer to cell `i`'s value (bounds-checked in debug builds).
+    #[inline]
+    fn cell(&self, i: usize) -> *mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: `i < len`, and the allocation outlives `&self`.
+        unsafe { (*self.ptr.add(i)).get() }
     }
 
     /// Read element `i`.
@@ -241,8 +307,7 @@ impl<T> SharedVec<T> {
     /// No thread may be concurrently writing index `i`.
     #[inline]
     pub unsafe fn get(&self, i: usize) -> &T {
-        debug_assert!(i < self.len());
-        &*self.data[i].get()
+        &*self.cell(i)
     }
 
     /// Mutable access to element `i`.
@@ -252,8 +317,7 @@ impl<T> SharedVec<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len());
-        &mut *self.data[i].get()
+        &mut *self.cell(i)
     }
 
     /// Write `v` into element `i`, recording the writer when overlap checks
@@ -270,7 +334,7 @@ impl<T> SharedVec<T> {
                 "overlapping write to index {i}: writers {prev} and {writer}"
             );
         }
-        *self.data[i].get() = v;
+        *self.cell(i) = v;
     }
 
     /// Write `v` into element `i`.
@@ -279,7 +343,7 @@ impl<T> SharedVec<T> {
     /// Same as [`get_mut`](Self::get_mut).
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
-        *self.data[i].get() = v;
+        *self.cell(i) = v;
     }
 
     /// Reset overlap-check writer tags (call between parallel phases).
@@ -297,7 +361,7 @@ impl<T> SharedVec<T> {
     /// No thread may concurrently write any index.
     #[inline]
     pub unsafe fn as_slice(&self) -> &[T] {
-        std::slice::from_raw_parts(self.data.as_ptr() as *const T, self.len())
+        std::slice::from_raw_parts(self.ptr as *const T, self.len())
     }
 
     /// View a sub-range as a plain mutable slice.
@@ -308,7 +372,7 @@ impl<T> SharedVec<T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
         debug_assert!(lo <= hi && hi <= self.len());
-        std::slice::from_raw_parts_mut(self.data.as_ptr().add(lo) as *mut T, hi - lo)
+        std::slice::from_raw_parts_mut(self.ptr.add(lo) as *mut T, hi - lo)
     }
 
     /// View a sub-range as a plain shared slice.
@@ -318,14 +382,31 @@ impl<T> SharedVec<T> {
     #[inline]
     pub unsafe fn slice(&self, lo: usize, hi: usize) -> &[T] {
         debug_assert!(lo <= hi && hi <= self.len());
-        std::slice::from_raw_parts(self.data.as_ptr().add(lo) as *const T, hi - lo)
+        std::slice::from_raw_parts(self.ptr.add(lo) as *const T, hi - lo)
     }
 
     /// Exclusive view over the whole array (requires `&mut self`, safe).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         // SAFETY: `&mut self` guarantees exclusivity.
-        unsafe { std::slice::from_raw_parts_mut(self.data.as_ptr() as *mut T, self.len()) }
+        unsafe { std::slice::from_raw_parts_mut(self.ptr as *mut T, self.len()) }
+    }
+}
+
+impl<T> Drop for SharedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        // SAFETY: `ptr`/`len` describe an owned, initialized allocation made
+        // with exactly this layout; `&mut self` proves no aliases remain.
+        unsafe {
+            std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
+                self.ptr as *mut T,
+                self.len,
+            ));
+            std::alloc::dealloc(self.ptr as *mut u8, aligned_array_layout::<T>(self.len));
+        }
     }
 }
 
@@ -336,7 +417,7 @@ impl<T: Copy + std::ops::AddAssign> SharedVec<T> {
     /// Same as [`get_mut`](Self::get_mut).
     #[inline]
     pub unsafe fn add(&self, i: usize, v: T) {
-        *self.data[i].get() += v;
+        *self.cell(i) += v;
     }
 }
 
@@ -349,8 +430,7 @@ impl<T: Copy> SharedVec<T> {
     /// No thread may be concurrently writing index `i`.
     #[inline]
     pub unsafe fn load(&self, i: usize) -> T {
-        debug_assert!(i < self.len());
-        (self.data[i].get() as *const T).read()
+        (self.cell(i) as *const T).read()
     }
 
     /// Copy the contents out into a `Vec`.
@@ -370,11 +450,12 @@ impl<T: Clone> Clone for SharedVec<T> {
     fn clone(&self) -> Self {
         // SAFETY: `clone` takes `&self`; callers must not clone while a
         // parallel phase is writing. All workspace call sites clone between
-        // phases (single-threaded control code).
-        let data: Box<[UnsafeCell<T>]> = (0..self.len())
-            .map(|i| UnsafeCell::new(unsafe { self.get(i) }.clone()))
+        // phases (single-threaded control code). Cloning into a Vec first
+        // keeps a panicking `clone` away from a half-initialized allocation.
+        let v: Vec<T> = (0..self.len())
+            .map(|i| unsafe { self.get(i) }.clone())
             .collect();
-        Self { data, check: None }
+        Self::from_vec(v)
     }
 }
 
@@ -470,6 +551,40 @@ mod tests {
         assert_eq!(unsafe { sv.load(999) }, 3.5);
         let empty = SharedVec::<u32>::zeroed(0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn allocations_are_cache_line_aligned() {
+        // Every constructor path, across sizes that are not multiples of the
+        // line (ragged allocations must still start aligned).
+        for n in [1usize, 2, 3, 7, 8, 63, 64, 65, 1000] {
+            let z = SharedVec::<f64>::zeroed(n);
+            assert_eq!(z.as_ptr() as usize % CACHE_LINE, 0, "zeroed({n})");
+            let e = SharedVec::from_elem(1.5f64, n);
+            assert_eq!(e.as_ptr() as usize % CACHE_LINE, 0, "from_elem({n})");
+            let v = SharedVec::from_vec(vec![0u32; n]);
+            assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0, "from_vec({n})");
+            let c = e.clone();
+            assert_eq!(c.as_ptr() as usize % CACHE_LINE, 0, "clone({n})");
+        }
+    }
+
+    #[test]
+    fn from_vec_drops_elements_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let sv = SharedVec::from_vec(vec![Counted, Counted, Counted]);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 0, "moved, not dropped");
+        drop(sv);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
     }
 
     #[test]
