@@ -14,8 +14,13 @@
 
 use crate::domain::Domain;
 use crate::params::Params;
+use crate::simd::{self, LaneWidth, Lanes, SimdReal};
 use crate::types::{Index, LuleshError, Real};
 use parutil::{AlignedBuf, Chunk};
+
+/// Approximate per-element working set of the fused EOS lane path (seven
+/// gathered inputs, `vnewc`, four stores), used for cache blocking.
+const EOS_BYTES_PER_ELEM: usize = 96;
 
 /// Region-length scratch for one EOS evaluation. Reusable across regions
 /// (`resize` keeps capacity).
@@ -549,7 +554,32 @@ pub fn calc_sound_speed_for_elems(
 
 /// The full `EvalEOSForElems` for one region sublist, including the `rep`
 /// repetition loop, ending with the store and sound-speed update.
+///
+/// Dispatches on the process-wide SIMD width ([`simd::active`]): the lane
+/// path fuses the whole per-element pipeline (gather → compression → energy
+/// steps → pressure → sound speed) into registers, skipping the scratch
+/// arrays entirely, and is bit-identical to the scalar reference.
 pub fn eval_eos_for_elems(
+    d: &Domain,
+    vnewc: &[Real],
+    elems: &[Index],
+    rep: usize,
+    p: &Params,
+    s: &mut EosScratch,
+) {
+    // `rep == 0` performs no energy evaluation in the reference (the store
+    // reads whatever the scratch holds); only the scalar path reproduces
+    // that, so route the degenerate case there too.
+    match simd::active() {
+        LaneWidth::W2 if rep > 0 => eval_eos_for_elems_lanes::<2>(d, vnewc, elems, rep, p),
+        LaneWidth::W4 if rep > 0 => eval_eos_for_elems_lanes::<4>(d, vnewc, elems, rep, p),
+        LaneWidth::W8 if rep > 0 => eval_eos_for_elems_lanes::<8>(d, vnewc, elems, rep, p),
+        _ => eval_eos_for_elems_scalar(d, vnewc, elems, rep, p, s),
+    }
+}
+
+/// Scalar reference implementation of [`eval_eos_for_elems`].
+pub fn eval_eos_for_elems_scalar(
     d: &Domain,
     vnewc: &[Real],
     elems: &[Index],
@@ -596,6 +626,189 @@ pub fn eval_eos_for_elems(
 
     eos_store(d, elems, &s.p_new, &s.e_new, &s.q_new);
     calc_sound_speed_for_elems(d, vnewc, rho0, &s.e_new, &s.p_new, &s.pbvc, &s.bvc, elems);
+}
+
+/// `CalcPressureForElems` for one value: returns `(p_new, bvc)`. `pbvc` is
+/// the constant `C1S` and is inlined at the call sites.
+fn eos_pressure<V: SimdReal>(e: V, compression: V, vz: V, p: &Params) -> (V, V) {
+    const C1S: Real = 2.0 / 3.0;
+    let bvc = V::splat(C1S) * (compression + V::splat(1.0));
+    let mut p_new = bvc * e;
+    p_new = p_new.abs().select_lt(V::splat(p.p_cut), V::zero(), p_new);
+    // Faithful to the reference: this cut is applied even when
+    // eosvmax == 0.0 ("impossible condition here?").
+    p_new = vz.select_ge(V::splat(p.eosvmax), V::zero(), p_new);
+    p_new = p_new.select_lt(V::splat(p.pmin), V::splat(p.pmin), p_new);
+    (p_new, bvc)
+}
+
+/// The shared sound-speed pattern `ssc = (pbvc·e + v²·bvc·p)/rho0` with the
+/// low-value floor, `pbvc = C1S`. Used by energy steps 2/4/5 and
+/// `CalcSoundSpeedForElems` — in the scalar reference these are four
+/// textually identical computations.
+fn eos_ssc<V: SimdReal>(e: V, v: V, bvc: V, pres: V, rho0: Real) -> V {
+    const C1S: Real = 2.0 / 3.0;
+    let ssc = (V::splat(C1S) * e + v * v * bvc * pres) / V::splat(rho0);
+    // sqrt of a negative untaken lane yields NaN and is discarded.
+    ssc.select_le(V::splat(SSC_LOW), V::splat(SSC_FLOOR), ssc.sqrt())
+}
+
+/// The fused per-element EOS pipeline: compression, the five energy steps
+/// with their three pressure evaluations, and the sound speed — entirely in
+/// registers, in the exact operation order of the scalar step functions.
+/// Returns `(p_new, e_new, q_new, ss)`.
+#[allow(clippy::too_many_arguments)]
+pub fn eos_elem_kernel<V: SimdReal>(
+    vz: V,
+    e_old: V,
+    delvc: V,
+    p_old_in: V,
+    q_old: V,
+    qq_old: V,
+    ql_old: V,
+    p: &Params,
+    rho0: Real,
+) -> (V, V, V, V) {
+    let zero = V::zero();
+    let one = V::splat(1.0);
+    let half = V::splat(0.5);
+    let emin = V::splat(p.emin);
+    let e_cut = V::splat(p.e_cut);
+
+    // eos_compression.
+    let mut compression = one / vz - one;
+    let vchalf = vz - delvc * half;
+    let mut comp_half_step = one / vchalf - one;
+
+    // eos_clamp_compression (the eosvmin/eosvmax gates are uniform scalar
+    // branches, exactly as in the reference).
+    let mut p_old = p_old_in;
+    if p.eosvmin != 0.0 {
+        comp_half_step = vz.select_le(V::splat(p.eosvmin), compression, comp_half_step);
+    }
+    if p.eosvmax != 0.0 {
+        let vmax = V::splat(p.eosvmax);
+        p_old = vz.select_ge(vmax, zero, p_old);
+        compression = vz.select_ge(vmax, zero, compression);
+        comp_half_step = vz.select_ge(vmax, zero, comp_half_step);
+    }
+
+    // work is identically zero in LULESH; keep the `+ 0.5·work` terms so
+    // the rounding (−0.0 → +0.0 normalisation) matches the scalar steps.
+    let work = zero;
+
+    // energy_step1.
+    let mut e_new = e_old - half * delvc * (p_old + q_old) + half * work;
+    e_new = e_new.select_lt(emin, emin, e_new);
+
+    // First pressure evaluation (half-step compression).
+    let (p_half_step, bvc_h) = eos_pressure(e_new, comp_half_step, vz, p);
+
+    // energy_step2.
+    let vhalf = one / (one + comp_half_step);
+    let ssc2 = eos_ssc(e_new, vhalf, bvc_h, p_half_step, rho0);
+    let mut q_new = delvc.select_gt(zero, zero, ssc2 * ql_old + qq_old);
+    e_new = e_new
+        + half * delvc * (V::splat(3.0) * (p_old + q_old) - V::splat(4.0) * (p_half_step + q_new));
+
+    // energy_step3.
+    e_new = e_new + half * work;
+    e_new = e_new.abs().select_lt(e_cut, zero, e_new);
+    e_new = e_new.select_lt(emin, emin, e_new);
+
+    // Second pressure evaluation (full compression).
+    let (p_new, _bvc_f) = eos_pressure(e_new, compression, vz, p);
+
+    // energy_step4.
+    const SIXTH: Real = 1.0 / 6.0;
+    let ssc4 = eos_ssc(e_new, vz, _bvc_f, p_new, rho0);
+    let q_tilde = delvc.select_gt(zero, zero, ssc4 * ql_old + qq_old);
+    e_new = e_new
+        - (V::splat(7.0) * (p_old + q_old) - V::splat(8.0) * (p_half_step + q_new)
+            + (p_new + q_tilde))
+            * delvc
+            * V::splat(SIXTH);
+    e_new = e_new.abs().select_lt(e_cut, zero, e_new);
+    e_new = e_new.select_lt(emin, emin, e_new);
+
+    // Third pressure evaluation (final p_new / bvc).
+    let (p_new, bvc_f) = eos_pressure(e_new, compression, vz, p);
+
+    // energy_step5 and CalcSoundSpeedForElems share the same ssc value
+    // (identical inputs: the reference computes it twice, textually).
+    let ss = eos_ssc(e_new, vz, bvc_f, p_new, rho0);
+    let mut q5 = ss * ql_old + qq_old;
+    q5 = q5.abs().select_lt(V::splat(p.q_cut), zero, q5);
+    q_new = delvc.select_le(zero, q5, q_new);
+
+    (p_new, e_new, q_new, ss)
+}
+
+/// Lane-blocked implementation of [`eval_eos_for_elems`] for `rep ≥ 1`:
+/// the region list is walked in cache-sized blocks of `W`-lane groups, each
+/// group running the fused [`eos_elem_kernel`]; no scratch arrays are
+/// touched. The repetition loop stays outermost like the reference (the
+/// recomputation is idempotent), and only the final repetition stores.
+pub fn eval_eos_for_elems_lanes<const W: usize>(
+    d: &Domain,
+    vnewc: &[Real],
+    elems: &[Index],
+    rep: usize,
+    p: &Params,
+) {
+    let rho0 = p.refdens;
+    let block = simd::block_len(EOS_BYTES_PER_ELEM, W);
+    for r in 0..rep {
+        let store = r + 1 == rep;
+        let mut lo = 0;
+        while lo < elems.len() {
+            let hi = (lo + block).min(elems.len());
+            let mut i = lo;
+            while i + W <= hi {
+                eos_lane_group::<W>(d, vnewc, elems, i, p, rho0, store);
+                i += W;
+            }
+            while i < hi {
+                eos_lane_group::<1>(d, vnewc, elems, i, p, rho0, store);
+                i += 1;
+            }
+            lo = hi;
+        }
+    }
+}
+
+/// One group of `W` entries of the region element list: gather the seven
+/// inputs, run the fused kernel, optionally scatter the four outputs.
+fn eos_lane_group<const W: usize>(
+    d: &Domain,
+    vnewc: &[Real],
+    elems: &[Index],
+    i0: usize,
+    p: &Params,
+    rho0: Real,
+    store: bool,
+) {
+    let idx = |l: usize| elems[i0 + l];
+    let vz = Lanes::<W>::gather(|l| vnewc[idx(l)]);
+    let e_old = Lanes::<W>::gather(|l| d.e(idx(l)));
+    let delvc = Lanes::<W>::gather(|l| d.delv(idx(l)));
+    let p_old = Lanes::<W>::gather(|l| d.p(idx(l)));
+    let q_old = Lanes::<W>::gather(|l| d.q(idx(l)));
+    let qq_old = Lanes::<W>::gather(|l| d.qq(idx(l)));
+    let ql_old = Lanes::<W>::gather(|l| d.ql(idx(l)));
+
+    let (p_new, e_new, q_new, ss) =
+        eos_elem_kernel(vz, e_old, delvc, p_old, q_old, qq_old, ql_old, p, rho0);
+
+    if store {
+        for l in 0..W {
+            let z = idx(l);
+            d.set_p(z, p_new.0[l]);
+            d.set_e(z, e_new.0[l]);
+            d.set_q(z, q_new.0[l]);
+            d.set_ss(z, ss.0[l]);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,18 @@
 #![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 #![cfg_attr(test, allow(clippy::type_complexity))]
 use crate::domain::Domain;
-use crate::kernels::shape::{gather_elem_coords, gather_elem_velocities};
+use crate::kernels::shape::{
+    gather_elem_coords, gather_elem_velocities, gather_elem_velocities_lanes,
+};
 use crate::kernels::volume::calc_elem_volume_derivative;
-use crate::types::{LuleshError, Real};
+use crate::simd::{self, LaneWidth, Lanes, SimdReal};
+use crate::types::{Index, LuleshError, Real};
 use parutil::Chunk;
+
+/// Approximate per-element working set of the FB hourglass force phase
+/// (six 8-wide scratch streams, determinant, velocities and corner forces),
+/// used to size the cache blocks of the lane-blocked variant.
+const HOURGLASS_BYTES_PER_ELEM: usize = 776;
 
 /// The four hourglass base vectors Γ (`gamma` in the reference).
 pub const GAMMA: [[Real; 8]; 4] = [
@@ -72,28 +80,29 @@ pub fn calc_hourglass_control_for_elems(
 }
 
 /// `CalcElemFBHourglassForce`: project velocities onto the hourglass modes
-/// and distribute the restoring force to the corners.
-fn calc_elem_fb_hourglass_force(
-    xd: &[Real; 8],
-    yd: &[Real; 8],
-    zd: &[Real; 8],
-    hourgam: &[[Real; 4]; 8],
-    coefficient: Real,
-    hgfx: &mut [Real; 8],
-    hgfy: &mut [Real; 8],
-    hgfz: &mut [Real; 8],
+/// and distribute the restoring force to the corners. Generic over the lane
+/// type; the `V = f64` instantiation is the scalar reference.
+fn calc_elem_fb_hourglass_force<V: SimdReal>(
+    xd: &[V; 8],
+    yd: &[V; 8],
+    zd: &[V; 8],
+    hourgam: &[[V; 4]; 8],
+    coefficient: V,
+    hgfx: &mut [V; 8],
+    hgfy: &mut [V; 8],
+    hgfz: &mut [V; 8],
 ) {
-    let mut hxx = [0.0; 4];
-    let mut hyy = [0.0; 4];
-    let mut hzz = [0.0; 4];
+    let mut hxx = [V::zero(); 4];
+    let mut hyy = [V::zero(); 4];
+    let mut hzz = [V::zero(); 4];
     for i in 0..4 {
-        let mut sx = 0.0;
-        let mut sy = 0.0;
-        let mut sz = 0.0;
+        let mut sx = V::zero();
+        let mut sy = V::zero();
+        let mut sz = V::zero();
         for j in 0..8 {
-            sx += hourgam[j][i] * xd[j];
-            sy += hourgam[j][i] * yd[j];
-            sz += hourgam[j][i] * zd[j];
+            sx = sx + hourgam[j][i] * xd[j];
+            sy = sy + hourgam[j][i] * yd[j];
+            sz = sz + hourgam[j][i] * zd[j];
         }
         hxx[i] = sx;
         hyy[i] = sy;
@@ -120,8 +129,44 @@ fn calc_elem_fb_hourglass_force(
 
 /// Second phase: compute the FB hourglass restoring forces per corner into
 /// chunk-local `f*_elem` arrays. `hourg` is the `hgcoef` parameter.
+///
+/// Dispatches on the process-wide SIMD width ([`simd::active`]); all widths
+/// are bit-identical to the scalar reference.
 #[allow(clippy::too_many_arguments)]
 pub fn calc_fb_hourglass_force_for_elems(
+    d: &Domain,
+    determ: &[Real],
+    x8n: &[Real],
+    y8n: &[Real],
+    z8n: &[Real],
+    dvdx: &[Real],
+    dvdy: &[Real],
+    dvdz: &[Real],
+    hourg: Real,
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+    range: Chunk,
+) {
+    match simd::active() {
+        LaneWidth::W1 => calc_fb_hourglass_force_for_elems_scalar(
+            d, determ, x8n, y8n, z8n, dvdx, dvdy, dvdz, hourg, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W2 => calc_fb_hourglass_force_for_elems_lanes::<2>(
+            d, determ, x8n, y8n, z8n, dvdx, dvdy, dvdz, hourg, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W4 => calc_fb_hourglass_force_for_elems_lanes::<4>(
+            d, determ, x8n, y8n, z8n, dvdx, dvdy, dvdz, hourg, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W8 => calc_fb_hourglass_force_for_elems_lanes::<8>(
+            d, determ, x8n, y8n, z8n, dvdx, dvdy, dvdz, hourg, fx_elem, fy_elem, fz_elem, range,
+        ),
+    }
+}
+
+/// Scalar reference implementation of [`calc_fb_hourglass_force_for_elems`].
+#[allow(clippy::too_many_arguments)]
+pub fn calc_fb_hourglass_force_for_elems_scalar(
     d: &Domain,
     determ: &[Real],
     x8n: &[Real],
@@ -191,6 +236,169 @@ pub fn calc_fb_hourglass_force_for_elems(
         fx_elem[i3..i3 + 8].copy_from_slice(&hgfx);
         fy_elem[i3..i3 + 8].copy_from_slice(&hgfy);
         fz_elem[i3..i3 + 8].copy_from_slice(&hgfz);
+    }
+}
+
+/// Lane-blocked implementation of [`calc_fb_hourglass_force_for_elems`]:
+/// cache-sized blocks, `W`-element lane groups, and a ragged tail handled by
+/// the same generic body at `W = 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn calc_fb_hourglass_force_for_elems_lanes<const W: usize>(
+    d: &Domain,
+    determ: &[Real],
+    x8n: &[Real],
+    y8n: &[Real],
+    z8n: &[Real],
+    dvdx: &[Real],
+    dvdy: &[Real],
+    dvdz: &[Real],
+    hourg: Real,
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+    range: Chunk,
+) {
+    debug_assert_eq!(fx_elem.len(), 8 * range.len());
+
+    // Hoisted scalar prefix of the force coefficient; matches the scalar
+    // path's `-hourg * 0.01 * ss1 * ...` association exactly.
+    let c0 = -hourg * 0.01;
+    let block = simd::block_len(HOURGLASS_BYTES_PER_ELEM, W);
+    let mut lo = range.begin;
+    while lo < range.end {
+        let hi = (lo + block).min(range.end);
+        let mut e = lo;
+        while e + W <= hi {
+            hourglass_lane_group::<W>(
+                d,
+                range.begin,
+                e,
+                determ,
+                x8n,
+                y8n,
+                z8n,
+                dvdx,
+                dvdy,
+                dvdz,
+                c0,
+                fx_elem,
+                fy_elem,
+                fz_elem,
+            );
+            e += W;
+        }
+        while e < hi {
+            hourglass_lane_group::<1>(
+                d,
+                range.begin,
+                e,
+                determ,
+                x8n,
+                y8n,
+                z8n,
+                dvdx,
+                dvdy,
+                dvdz,
+                c0,
+                fx_elem,
+                fy_elem,
+                fz_elem,
+            );
+            e += 1;
+        }
+        lo = hi;
+    }
+}
+
+/// One group of `W` consecutive elements starting at `e0`: strided lane
+/// loads of the per-corner scratch streams, the Γ-projection and force
+/// distribution in lane registers, then a per-lane scatter.
+#[allow(clippy::too_many_arguments)]
+fn hourglass_lane_group<const W: usize>(
+    d: &Domain,
+    begin: Index,
+    e0: Index,
+    determ: &[Real],
+    x8n: &[Real],
+    y8n: &[Real],
+    z8n: &[Real],
+    dvdx: &[Real],
+    dvdy: &[Real],
+    dvdz: &[Real],
+    c0: Real,
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+) {
+    let k0 = e0 - begin;
+    let zero = Lanes::<W>::splat(0.0);
+
+    // Transpose the 8-per-element scratch streams into per-corner lanes:
+    // corner j of lane l lives at 8·(k0 + l) + j.
+    let mut x8l = [zero; 8];
+    let mut y8l = [zero; 8];
+    let mut z8l = [zero; 8];
+    let mut dvxl = [zero; 8];
+    let mut dvyl = [zero; 8];
+    let mut dvzl = [zero; 8];
+    for j in 0..8 {
+        x8l[j] = Lanes::gather(|l| x8n[8 * (k0 + l) + j]);
+        y8l[j] = Lanes::gather(|l| y8n[8 * (k0 + l) + j]);
+        z8l[j] = Lanes::gather(|l| z8n[8 * (k0 + l) + j]);
+        dvxl[j] = Lanes::gather(|l| dvdx[8 * (k0 + l) + j]);
+        dvyl[j] = Lanes::gather(|l| dvdy[8 * (k0 + l) + j]);
+        dvzl[j] = Lanes::gather(|l| dvdz[8 * (k0 + l) + j]);
+    }
+
+    let det = Lanes::<W>::load(determ, k0);
+    let volinv = Lanes::<W>::splat(1.0) / det;
+    let mut hourgam = [[zero; 4]; 8];
+    for i1 in 0..4 {
+        let mut hourmodx = zero;
+        let mut hourmody = zero;
+        let mut hourmodz = zero;
+        for j in 0..8 {
+            let g = Lanes::<W>::splat(GAMMA[i1][j]);
+            hourmodx = hourmodx + x8l[j] * g;
+            hourmody = hourmody + y8l[j] * g;
+            hourmodz = hourmodz + z8l[j] * g;
+        }
+        for j in 0..8 {
+            hourgam[j][i1] = Lanes::<W>::splat(GAMMA[i1][j])
+                - volinv * (dvxl[j] * hourmodx + dvyl[j] * hourmody + dvzl[j] * hourmodz);
+        }
+    }
+
+    let ss1 = Lanes::<W>::gather(|l| d.ss(e0 + l));
+    let mass1 = Lanes::<W>::gather(|l| d.elem_mass(e0 + l));
+    let volume13 = det.cbrt();
+    let mut xd1 = [zero; 8];
+    let mut yd1 = [zero; 8];
+    let mut zd1 = [zero; 8];
+    gather_elem_velocities_lanes(d, e0, &mut xd1, &mut yd1, &mut zd1);
+
+    let coefficient = Lanes::<W>::splat(c0) * ss1 * mass1 / volume13;
+
+    let mut hgfx = [zero; 8];
+    let mut hgfy = [zero; 8];
+    let mut hgfz = [zero; 8];
+    calc_elem_fb_hourglass_force(
+        &xd1,
+        &yd1,
+        &zd1,
+        &hourgam,
+        coefficient,
+        &mut hgfx,
+        &mut hgfy,
+        &mut hgfz,
+    );
+
+    for l in 0..W {
+        for c in 0..8 {
+            fx_elem[8 * (k0 + l) + c] = hgfx[c].0[l];
+            fy_elem[8 * (k0 + l) + c] = hgfy[c].0[l];
+            fz_elem[8 * (k0 + l) + c] = hgfz[c].0[l];
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! `SumElemStressesToNodeForces`, and `CalcElemVelocityGradient`.
 
 use crate::domain::Domain;
+use crate::simd::{Lanes, SimdReal};
 use crate::types::{Index, Real};
 
 /// Gather the 8 corner coordinates of element `e` into local arrays — the
@@ -45,25 +46,69 @@ pub fn gather_elem_velocities(
     }
 }
 
+/// Transposed coordinate gather for a lane group: corner `c` of elements
+/// `e0 .. e0 + W` lands in `xl[c]`'s `W` lanes. Each lane performs exactly
+/// the loads of [`gather_elem_coords`] for its element.
+#[inline]
+pub fn gather_elem_coords_lanes<const W: usize>(
+    d: &Domain,
+    e0: Index,
+    xl: &mut [Lanes<W>; 8],
+    yl: &mut [Lanes<W>; 8],
+    zl: &mut [Lanes<W>; 8],
+) {
+    for l in 0..W {
+        let nl = d.nodelist(e0 + l);
+        for c in 0..8 {
+            xl[c].0[l] = d.x(nl[c]);
+            yl[c].0[l] = d.y(nl[c]);
+            zl[c].0[l] = d.z(nl[c]);
+        }
+    }
+}
+
+/// Transposed velocity gather for a lane group (see
+/// [`gather_elem_coords_lanes`]).
+#[inline]
+pub fn gather_elem_velocities_lanes<const W: usize>(
+    d: &Domain,
+    e0: Index,
+    xdl: &mut [Lanes<W>; 8],
+    ydl: &mut [Lanes<W>; 8],
+    zdl: &mut [Lanes<W>; 8],
+) {
+    for l in 0..W {
+        let nl = d.nodelist(e0 + l);
+        for c in 0..8 {
+            xdl[c].0[l] = d.xd(nl[c]);
+            ydl[c].0[l] = d.yd(nl[c]);
+            zdl[c].0[l] = d.zd(nl[c]);
+        }
+    }
+}
+
 /// Shape-function derivatives `b[dim][corner]` and the Jacobian-based
-/// element volume.
-pub fn calc_elem_shape_function_derivatives(
-    x: &[Real; 8],
-    y: &[Real; 8],
-    z: &[Real; 8],
-    b: &mut [[Real; 8]; 3],
-) -> Real {
-    let fjxxi = 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) - (x[7] - x[1]) - (x[4] - x[2]));
-    let fjxet = 0.125 * ((x[6] - x[0]) - (x[5] - x[3]) + (x[7] - x[1]) - (x[4] - x[2]));
-    let fjxze = 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) + (x[7] - x[1]) + (x[4] - x[2]));
+/// element volume. Generic over [`SimdReal`]: the `f64` instantiation is
+/// the scalar reference; `Lanes<W>` processes `W` elements at once with a
+/// bit-identical per-element operation sequence.
+pub fn calc_elem_shape_function_derivatives<V: SimdReal>(
+    x: &[V; 8],
+    y: &[V; 8],
+    z: &[V; 8],
+    b: &mut [[V; 8]; 3],
+) -> V {
+    let c8 = V::splat(0.125);
+    let fjxxi = c8 * ((x[6] - x[0]) + (x[5] - x[3]) - (x[7] - x[1]) - (x[4] - x[2]));
+    let fjxet = c8 * ((x[6] - x[0]) - (x[5] - x[3]) + (x[7] - x[1]) - (x[4] - x[2]));
+    let fjxze = c8 * ((x[6] - x[0]) + (x[5] - x[3]) + (x[7] - x[1]) + (x[4] - x[2]));
 
-    let fjyxi = 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) - (y[7] - y[1]) - (y[4] - y[2]));
-    let fjyet = 0.125 * ((y[6] - y[0]) - (y[5] - y[3]) + (y[7] - y[1]) - (y[4] - y[2]));
-    let fjyze = 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) + (y[7] - y[1]) + (y[4] - y[2]));
+    let fjyxi = c8 * ((y[6] - y[0]) + (y[5] - y[3]) - (y[7] - y[1]) - (y[4] - y[2]));
+    let fjyet = c8 * ((y[6] - y[0]) - (y[5] - y[3]) + (y[7] - y[1]) - (y[4] - y[2]));
+    let fjyze = c8 * ((y[6] - y[0]) + (y[5] - y[3]) + (y[7] - y[1]) + (y[4] - y[2]));
 
-    let fjzxi = 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) - (z[7] - z[1]) - (z[4] - z[2]));
-    let fjzet = 0.125 * ((z[6] - z[0]) - (z[5] - z[3]) + (z[7] - z[1]) - (z[4] - z[2]));
-    let fjzze = 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) + (z[7] - z[1]) + (z[4] - z[2]));
+    let fjzxi = c8 * ((z[6] - z[0]) + (z[5] - z[3]) - (z[7] - z[1]) - (z[4] - z[2]));
+    let fjzet = c8 * ((z[6] - z[0]) - (z[5] - z[3]) + (z[7] - z[1]) - (z[4] - z[2]));
+    let fjzze = c8 * ((z[6] - z[0]) + (z[5] - z[3]) + (z[7] - z[1]) + (z[4] - z[2]));
 
     // Cofactors of the Jacobian.
     let cjxxi = fjyet * fjzze - fjzet * fjyze;
@@ -107,50 +152,52 @@ pub fn calc_elem_shape_function_derivatives(
     b[2][7] = -b[2][1];
 
     // Jacobian determinant → volume.
-    8.0 * (fjxet * cjxet + fjyet * cjyet + fjzet * cjzet)
+    V::splat(8.0) * (fjxet * cjxet + fjyet * cjyet + fjzet * cjzet)
 }
 
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn sum_elem_face_normal(
-    normal_x: &mut [Real; 8],
-    normal_y: &mut [Real; 8],
-    normal_z: &mut [Real; 8],
+fn sum_elem_face_normal<V: SimdReal>(
+    normal_x: &mut [V; 8],
+    normal_y: &mut [V; 8],
+    normal_z: &mut [V; 8],
     (i0, i1, i2, i3): (usize, usize, usize, usize),
-    x: &[Real; 8],
-    y: &[Real; 8],
-    z: &[Real; 8],
+    x: &[V; 8],
+    y: &[V; 8],
+    z: &[V; 8],
 ) {
-    let bisect_x0 = 0.5 * (x[i3] + x[i2] - x[i1] - x[i0]);
-    let bisect_y0 = 0.5 * (y[i3] + y[i2] - y[i1] - y[i0]);
-    let bisect_z0 = 0.5 * (z[i3] + z[i2] - z[i1] - z[i0]);
-    let bisect_x1 = 0.5 * (x[i2] + x[i1] - x[i3] - x[i0]);
-    let bisect_y1 = 0.5 * (y[i2] + y[i1] - y[i3] - y[i0]);
-    let bisect_z1 = 0.5 * (z[i2] + z[i1] - z[i3] - z[i0]);
-    let area_x = 0.25 * (bisect_y0 * bisect_z1 - bisect_z0 * bisect_y1);
-    let area_y = 0.25 * (bisect_z0 * bisect_x1 - bisect_x0 * bisect_z1);
-    let area_z = 0.25 * (bisect_x0 * bisect_y1 - bisect_y0 * bisect_x1);
+    let half = V::splat(0.5);
+    let quarter = V::splat(0.25);
+    let bisect_x0 = half * (x[i3] + x[i2] - x[i1] - x[i0]);
+    let bisect_y0 = half * (y[i3] + y[i2] - y[i1] - y[i0]);
+    let bisect_z0 = half * (z[i3] + z[i2] - z[i1] - z[i0]);
+    let bisect_x1 = half * (x[i2] + x[i1] - x[i3] - x[i0]);
+    let bisect_y1 = half * (y[i2] + y[i1] - y[i3] - y[i0]);
+    let bisect_z1 = half * (z[i2] + z[i1] - z[i3] - z[i0]);
+    let area_x = quarter * (bisect_y0 * bisect_z1 - bisect_z0 * bisect_y1);
+    let area_y = quarter * (bisect_z0 * bisect_x1 - bisect_x0 * bisect_z1);
+    let area_z = quarter * (bisect_x0 * bisect_y1 - bisect_y0 * bisect_x1);
 
     for i in [i0, i1, i2, i3] {
-        normal_x[i] += area_x;
-        normal_y[i] += area_y;
-        normal_z[i] += area_z;
+        normal_x[i] = normal_x[i] + area_x;
+        normal_y[i] = normal_y[i] + area_y;
+        normal_z[i] = normal_z[i] + area_z;
     }
 }
 
 /// Outward-ish node normals of an element: the sum over the element's six
 /// faces of each face's area vector, distributed to the face's four corners.
-pub fn calc_elem_node_normals(
-    pfx: &mut [Real; 8],
-    pfy: &mut [Real; 8],
-    pfz: &mut [Real; 8],
-    x: &[Real; 8],
-    y: &[Real; 8],
-    z: &[Real; 8],
+pub fn calc_elem_node_normals<V: SimdReal>(
+    pfx: &mut [V; 8],
+    pfy: &mut [V; 8],
+    pfz: &mut [V; 8],
+    x: &[V; 8],
+    y: &[V; 8],
+    z: &[V; 8],
 ) {
-    pfx.fill(0.0);
-    pfy.fill(0.0);
-    pfz.fill(0.0);
+    pfx.fill(V::zero());
+    pfy.fill(V::zero());
+    pfz.fill(V::zero());
     // Face corner tuples, reference order.
     sum_elem_face_normal(pfx, pfy, pfz, (0, 1, 2, 3), x, y, z);
     sum_elem_face_normal(pfx, pfy, pfz, (0, 4, 5, 1), x, y, z);
@@ -162,14 +209,14 @@ pub fn calc_elem_node_normals(
 
 /// Per-corner forces from the (diagonal, isotropic) element stress:
 /// `f = −σ · normal`.
-pub fn sum_elem_stresses_to_node_forces(
-    b: &[[Real; 8]; 3],
-    stress_xx: Real,
-    stress_yy: Real,
-    stress_zz: Real,
-    fx: &mut [Real; 8],
-    fy: &mut [Real; 8],
-    fz: &mut [Real; 8],
+pub fn sum_elem_stresses_to_node_forces<V: SimdReal>(
+    b: &[[V; 8]; 3],
+    stress_xx: V,
+    stress_yy: V,
+    stress_zz: V,
+    fx: &mut [V; 8],
+    fy: &mut [V; 8],
+    fz: &mut [V; 8],
 ) {
     for i in 0..8 {
         fx[i] = -stress_xx * b[0][i];

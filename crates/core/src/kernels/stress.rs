@@ -18,10 +18,16 @@
 use crate::domain::Domain;
 use crate::kernels::shape::{
     calc_elem_node_normals, calc_elem_shape_function_derivatives, gather_elem_coords,
-    sum_elem_stresses_to_node_forces,
+    gather_elem_coords_lanes, sum_elem_stresses_to_node_forces,
 };
+use crate::simd::{self, LaneWidth, Lanes, SimdReal};
 use crate::types::{Index, LuleshError, Real};
 use parutil::Chunk;
+
+/// Approximate per-element working set of the stress integration (gathered
+/// coordinates, stresses, determinant and per-corner forces), used to size
+/// the cache blocks of the lane-blocked variant.
+const STRESS_BYTES_PER_ELEM: usize = 416;
 
 /// Zero the nodal force arrays (`CalcForceForNodes` prologue).
 pub fn zero_forces(d: &Domain, range: Chunk) {
@@ -55,8 +61,41 @@ pub fn init_stress_terms_for_elems(
 /// Integrate the isotropic element stress into per-corner forces
 /// (`IntegrateStressForElems`, threaded variant). Writes `determ` (for the
 /// volume-error check) and `f*_elem[8·(i − range.begin) + c]`.
+///
+/// Dispatches on the process-wide SIMD width ([`simd::active`]): the scalar
+/// path is the reference, the lane paths are bit-identical by construction
+/// (same per-element IEEE operation sequence, no reassociation).
 #[allow(clippy::too_many_arguments)]
 pub fn integrate_stress_for_elems(
+    d: &Domain,
+    sigxx: &[Real],
+    sigyy: &[Real],
+    sigzz: &[Real],
+    determ: &mut [Real],
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+    range: Chunk,
+) {
+    match simd::active() {
+        LaneWidth::W1 => integrate_stress_for_elems_scalar(
+            d, sigxx, sigyy, sigzz, determ, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W2 => integrate_stress_for_elems_lanes::<2>(
+            d, sigxx, sigyy, sigzz, determ, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W4 => integrate_stress_for_elems_lanes::<4>(
+            d, sigxx, sigyy, sigzz, determ, fx_elem, fy_elem, fz_elem, range,
+        ),
+        LaneWidth::W8 => integrate_stress_for_elems_lanes::<8>(
+            d, sigxx, sigyy, sigzz, determ, fx_elem, fy_elem, fz_elem, range,
+        ),
+    }
+}
+
+/// Scalar reference implementation of [`integrate_stress_for_elems`].
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_stress_for_elems_scalar(
     d: &Domain,
     sigxx: &[Real],
     sigyy: &[Real],
@@ -99,6 +138,109 @@ pub fn integrate_stress_for_elems(
         fx_elem[8 * k..8 * k + 8].copy_from_slice(&fx_local);
         fy_elem[8 * k..8 * k + 8].copy_from_slice(&fy_local);
         fz_elem[8 * k..8 * k + 8].copy_from_slice(&fz_local);
+    }
+}
+
+/// Lane-blocked implementation of [`integrate_stress_for_elems`]: the chunk
+/// is walked in cache-sized blocks, each block in groups of `W` elements
+/// computed with [`Lanes<W>`]; the ragged tail reuses the same generic body
+/// at `W = 1`, which is operation-identical to the scalar reference.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_stress_for_elems_lanes<const W: usize>(
+    d: &Domain,
+    sigxx: &[Real],
+    sigyy: &[Real],
+    sigzz: &[Real],
+    determ: &mut [Real],
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+    range: Chunk,
+) {
+    debug_assert_eq!(determ.len(), range.len());
+    debug_assert_eq!(fx_elem.len(), 8 * range.len());
+
+    let block = simd::block_len(STRESS_BYTES_PER_ELEM, W);
+    let mut lo = range.begin;
+    while lo < range.end {
+        let hi = (lo + block).min(range.end);
+        let mut e = lo;
+        while e + W <= hi {
+            stress_lane_group::<W>(
+                d,
+                range.begin,
+                e,
+                sigxx,
+                sigyy,
+                sigzz,
+                determ,
+                fx_elem,
+                fy_elem,
+                fz_elem,
+            );
+            e += W;
+        }
+        while e < hi {
+            stress_lane_group::<1>(
+                d,
+                range.begin,
+                e,
+                sigxx,
+                sigyy,
+                sigzz,
+                determ,
+                fx_elem,
+                fy_elem,
+                fz_elem,
+            );
+            e += 1;
+        }
+        lo = hi;
+    }
+}
+
+/// One group of `W` consecutive elements starting at `e0` (chunk-local slot
+/// `e0 - begin`), computed entirely in lane registers and scattered back.
+#[allow(clippy::too_many_arguments)]
+fn stress_lane_group<const W: usize>(
+    d: &Domain,
+    begin: Index,
+    e0: Index,
+    sigxx: &[Real],
+    sigyy: &[Real],
+    sigzz: &[Real],
+    determ: &mut [Real],
+    fx_elem: &mut [Real],
+    fy_elem: &mut [Real],
+    fz_elem: &mut [Real],
+) {
+    let k0 = e0 - begin;
+    let mut xl = [Lanes::<W>::splat(0.0); 8];
+    let mut yl = [Lanes::<W>::splat(0.0); 8];
+    let mut zl = [Lanes::<W>::splat(0.0); 8];
+    gather_elem_coords_lanes(d, e0, &mut xl, &mut yl, &mut zl);
+
+    let mut b = [[Lanes::<W>::splat(0.0); 8]; 3];
+    let det = calc_elem_shape_function_derivatives(&xl, &yl, &zl, &mut b);
+    let (b0, b12) = b.split_first_mut().expect("b has 3 rows");
+    let (b1, b2) = b12.split_first_mut().expect("b has 3 rows");
+    calc_elem_node_normals(b0, b1, &mut b2[0], &xl, &yl, &zl);
+
+    let sx = Lanes::<W>::load(sigxx, k0);
+    let sy = Lanes::<W>::load(sigyy, k0);
+    let sz = Lanes::<W>::load(sigzz, k0);
+    let mut fxl = [Lanes::<W>::splat(0.0); 8];
+    let mut fyl = [Lanes::<W>::splat(0.0); 8];
+    let mut fzl = [Lanes::<W>::splat(0.0); 8];
+    sum_elem_stresses_to_node_forces(&b, sx, sy, sz, &mut fxl, &mut fyl, &mut fzl);
+
+    det.store(determ, k0);
+    for l in 0..W {
+        for c in 0..8 {
+            fx_elem[8 * (k0 + l) + c] = fxl[c].0[l];
+            fy_elem[8 * (k0 + l) + c] = fyl[c].0[l];
+            fz_elem[8 * (k0 + l) + c] = fzl[c].0[l];
+        }
     }
 }
 

@@ -34,6 +34,7 @@ pub mod params;
 pub mod regions;
 pub mod report;
 pub mod serial;
+pub mod simd;
 pub mod timestep;
 pub mod types;
 pub mod validate;

@@ -1,0 +1,416 @@
+//! Explicit-width SIMD lane engine for the hot element kernels.
+//!
+//! Stable-Rust, zero-dependency data parallelism: [`Lanes<W>`] packs `W`
+//! independent elements into one value and implements every arithmetic op
+//! *elementwise*, so a lane-blocked kernel performs, per element, exactly
+//! the same IEEE-754 operation sequence as the scalar loop — results are
+//! bit-identical at every width (no reassociation, no horizontal
+//! reductions). LLVM auto-vectorizes the fixed-length `[f64; W]` loops into
+//! SSE/AVX code; correctness never depends on that happening.
+//!
+//! The shared per-element math of each ported kernel is written once,
+//! generic over [`SimdReal`], and instantiated with `f64` (the `W = 1`
+//! reference mode, also used for ragged tails) and with `Lanes<2|4|8>`.
+//! Divergent branches are handled with per-lane selects
+//! ([`SimdReal::select_lt`] etc.): both sides are computed and the untaken
+//! lane's value discarded, which preserves bit-identity because the taken
+//! side's operation sequence is unchanged.
+//!
+//! The active width is a process-global ([`set_active`]/[`active`]) that
+//! the kernel entry points dispatch on internally, so driver call sites
+//! need no signature changes and every driver (serial, OpenMP-style, task,
+//! multi-domain) picks up `--simd` uniformly. Because all widths are
+//! bit-identical, concurrently running tests that flip the global cannot
+//! change any result.
+
+// The elementwise loops index several arrays at once; iterator zips would
+// obscure the per-lane operation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::types::Real;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// `W` elements processed in lockstep. `W` must be a power of two ≤ 8 in
+/// practice (2, 4, 8); `Lanes<1>` is legal and equivalent to `f64`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Lanes<const W: usize>(pub [Real; W]);
+
+macro_rules! lanes_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<const W: usize> $trait for Lanes<W> {
+            type Output = Self;
+            #[inline]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = [0.0; W];
+                for i in 0..W {
+                    out[i] = self.0[i] $op rhs.0[i];
+                }
+                Lanes(out)
+            }
+        }
+    };
+}
+lanes_binop!(Add, add, +);
+lanes_binop!(Sub, sub, -);
+lanes_binop!(Mul, mul, *);
+lanes_binop!(Div, div, /);
+
+impl<const W: usize> Neg for Lanes<W> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = -self.0[i];
+        }
+        Lanes(out)
+    }
+}
+
+impl<const W: usize> Lanes<W> {
+    /// Load `W` consecutive values from `src[at..at + W]`.
+    #[inline]
+    pub fn load(src: &[Real], at: usize) -> Self {
+        let mut out = [0.0; W];
+        out.copy_from_slice(&src[at..at + W]);
+        Lanes(out)
+    }
+
+    /// Store the lanes to `dst[at..at + W]`.
+    #[inline]
+    pub fn store(self, dst: &mut [Real], at: usize) {
+        dst[at..at + W].copy_from_slice(&self.0);
+    }
+
+    /// Build from a per-lane function (the gather primitive).
+    #[inline]
+    pub fn gather(mut f: impl FnMut(usize) -> Real) -> Self {
+        let mut out = [0.0; W];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = f(l);
+        }
+        Lanes(out)
+    }
+}
+
+/// The value abstraction the generic kernel bodies are written against:
+/// either a scalar `f64` or a [`Lanes<W>`] pack. Every operation is
+/// elementwise, so `f64` and any `Lanes<W>` produce bit-identical
+/// per-element results.
+pub trait SimdReal:
+    Copy
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Number of elements per value.
+    const LANES: usize;
+    /// Broadcast a scalar to every lane.
+    fn splat(v: Real) -> Self;
+    /// Per-lane `sqrt`.
+    fn sqrt(self) -> Self;
+    /// Per-lane `cbrt`.
+    fn cbrt(self) -> Self;
+    /// Per-lane `abs`.
+    fn abs(self) -> Self;
+    /// Per lane: `if self < rhs { t } else { f }`.
+    fn select_lt(self, rhs: Self, t: Self, f: Self) -> Self;
+    /// Per lane: `if self <= rhs { t } else { f }`.
+    fn select_le(self, rhs: Self, t: Self, f: Self) -> Self;
+    /// Per lane: `if self > rhs { t } else { f }`.
+    fn select_gt(self, rhs: Self, t: Self, f: Self) -> Self;
+    /// Per lane: `if self >= rhs { t } else { f }`.
+    fn select_ge(self, rhs: Self, t: Self, f: Self) -> Self;
+    /// All-zero value.
+    #[inline]
+    fn zero() -> Self {
+        Self::splat(0.0)
+    }
+}
+
+impl SimdReal for Real {
+    const LANES: usize = 1;
+    #[inline]
+    fn splat(v: Real) -> Self {
+        v
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Real::sqrt(self)
+    }
+    #[inline]
+    fn cbrt(self) -> Self {
+        Real::cbrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Real::abs(self)
+    }
+    #[inline]
+    fn select_lt(self, rhs: Self, t: Self, f: Self) -> Self {
+        if self < rhs {
+            t
+        } else {
+            f
+        }
+    }
+    #[inline]
+    fn select_le(self, rhs: Self, t: Self, f: Self) -> Self {
+        if self <= rhs {
+            t
+        } else {
+            f
+        }
+    }
+    #[inline]
+    fn select_gt(self, rhs: Self, t: Self, f: Self) -> Self {
+        if self > rhs {
+            t
+        } else {
+            f
+        }
+    }
+    #[inline]
+    fn select_ge(self, rhs: Self, t: Self, f: Self) -> Self {
+        if self >= rhs {
+            t
+        } else {
+            f
+        }
+    }
+}
+
+macro_rules! lanes_select {
+    ($method:ident, $op:tt) => {
+        #[inline]
+        fn $method(self, rhs: Self, t: Self, f: Self) -> Self {
+            let mut out = [0.0; W];
+            for i in 0..W {
+                out[i] = if self.0[i] $op rhs.0[i] { t.0[i] } else { f.0[i] };
+            }
+            Lanes(out)
+        }
+    };
+}
+
+impl<const W: usize> SimdReal for Lanes<W> {
+    const LANES: usize = W;
+    #[inline]
+    fn splat(v: Real) -> Self {
+        Lanes([v; W])
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].sqrt();
+        }
+        Lanes(out)
+    }
+    #[inline]
+    fn cbrt(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].cbrt();
+        }
+        Lanes(out)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].abs();
+        }
+        Lanes(out)
+    }
+    lanes_select!(select_lt, <);
+    lanes_select!(select_le, <=);
+    lanes_select!(select_gt, >);
+    lanes_select!(select_ge, >=);
+}
+
+/// The lane widths the kernels are instantiated at.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// Scalar reference mode (the ground truth).
+    W1,
+    /// 2 lanes (one SSE2 register).
+    W2,
+    /// 4 lanes (one AVX2 register).
+    W4,
+    /// 8 lanes (one AVX-512 register, or two AVX2).
+    W8,
+}
+
+impl LaneWidth {
+    /// Every width, scalar first.
+    pub const ALL: [LaneWidth; 4] = [Self::W1, Self::W2, Self::W4, Self::W8];
+
+    /// The element count per lane group.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            Self::W1 => 1,
+            Self::W2 => 2,
+            Self::W4 => 4,
+            Self::W8 => 8,
+        }
+    }
+
+    /// Inverse of [`lanes`](Self::lanes).
+    pub fn from_lanes(n: usize) -> Option<Self> {
+        match n {
+            1 => Some(Self::W1),
+            2 => Some(Self::W2),
+            4 => Some(Self::W4),
+            8 => Some(Self::W8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::W1 => write!(f, "scalar"),
+            Self::W2 => write!(f, "w2"),
+            Self::W4 => write!(f, "w4"),
+            Self::W8 => write!(f, "w8"),
+        }
+    }
+}
+
+/// Process-global active width, encoded as the lane count. Default scalar.
+static ACTIVE: AtomicU8 = AtomicU8::new(1);
+
+/// Set the lane width every ported kernel dispatches to from now on.
+/// Safe to call at any time: all widths produce bit-identical results, so
+/// in-flight work cannot be perturbed — only its speed.
+pub fn set_active(w: LaneWidth) {
+    ACTIVE.store(w.lanes() as u8, Ordering::Relaxed);
+}
+
+/// The width the ported kernels currently dispatch to.
+pub fn active() -> LaneWidth {
+    LaneWidth::from_lanes(ACTIVE.load(Ordering::Relaxed) as usize).unwrap_or(LaneWidth::W1)
+}
+
+/// Cache-blocking budget (bytes of per-element working set the inner block
+/// loop targets keeping resident). Default: half a typical 32 KiB L1D.
+static L1_BUDGET: AtomicUsize = AtomicUsize::new(16 * 1024);
+
+/// Override the block budget (bytes). The task driver derives this from the
+/// per-phase busy counters in `taskrt::phases`: long mean task times mean
+/// partitions far exceed L1 and blocking pays, short ones mean the
+/// partition already fits and larger blocks reduce loop overhead. Purely a
+/// performance knob — block size never changes results.
+pub fn set_l1_budget(bytes: usize) {
+    L1_BUDGET.store(bytes.clamp(4 * 1024, 512 * 1024), Ordering::Relaxed);
+}
+
+/// Current block budget in bytes.
+pub fn l1_budget() -> usize {
+    L1_BUDGET.load(Ordering::Relaxed)
+}
+
+/// Elements per cache block for a kernel streaming `bytes_per_elem`, rounded
+/// down to a multiple of the lane count `w` (so lane groups never straddle a
+/// block boundary) and floored at one lane group.
+pub fn block_len(bytes_per_elem: usize, w: usize) -> usize {
+    let raw = l1_budget() / bytes_per_elem.max(1);
+    let blocks = (raw / w.max(1)) * w.max(1);
+    blocks.max(w.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_arithmetic_is_elementwise() {
+        let a = Lanes([1.0, 2.0, 3.0, 4.0]);
+        let b = Lanes([0.5, 0.25, 2.0, -1.0]);
+        assert_eq!((a + b).0, [1.5, 2.25, 5.0, 3.0]);
+        assert_eq!((a - b).0, [0.5, 1.75, 1.0, 5.0]);
+        assert_eq!((a * b).0, [0.5, 0.5, 6.0, -4.0]);
+        assert_eq!((a / b).0, [2.0, 8.0, 1.5, -4.0]);
+        assert_eq!((-a).0, [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn lanes_ops_match_scalar_bitwise() {
+        // The core bit-identity property: each lane equals the scalar op.
+        let xs = [1.75, -0.3, 1e-40, 7.7];
+        let ys = [3.25, 0.7, 1e20, -0.1];
+        let a = Lanes(xs);
+        let b = Lanes(ys);
+        for i in 0..4 {
+            assert_eq!((a + b).0[i].to_bits(), (xs[i] + ys[i]).to_bits());
+            assert_eq!((a * b).0[i].to_bits(), (xs[i] * ys[i]).to_bits());
+            assert_eq!((a / b).0[i].to_bits(), (xs[i] / ys[i]).to_bits());
+            assert_eq!(a.sqrt().0[i].to_bits(), xs[i].sqrt().to_bits());
+            assert_eq!(a.cbrt().0[i].to_bits(), xs[i].cbrt().to_bits());
+            assert_eq!(
+                a.select_le(b, a, b).0[i].to_bits(),
+                SimdReal::select_le(xs[i], ys[i], xs[i], ys[i]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn selects_cover_all_comparisons() {
+        let a = Lanes([1.0, 2.0]);
+        let b = Lanes([2.0, 2.0]);
+        let t = Lanes([10.0, 10.0]);
+        let f = Lanes([20.0, 20.0]);
+        assert_eq!(a.select_lt(b, t, f).0, [10.0, 20.0]);
+        assert_eq!(a.select_le(b, t, f).0, [10.0, 10.0]);
+        assert_eq!(a.select_gt(b, t, f).0, [20.0, 20.0]);
+        assert_eq!(a.select_ge(b, t, f).0, [20.0, 10.0]);
+    }
+
+    #[test]
+    fn load_store_gather_roundtrip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let l = Lanes::<4>::load(&src, 1);
+        assert_eq!(l.0, [2.0, 3.0, 4.0, 5.0]);
+        let mut dst = [0.0; 6];
+        l.store(&mut dst, 2);
+        assert_eq!(dst, [0.0, 0.0, 2.0, 3.0, 4.0, 5.0]);
+        let g = Lanes::<3>::gather(|i| src[2 * i]);
+        assert_eq!(g.0, [1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn width_global_roundtrip() {
+        // Don't disturb other tests: restore the prior width.
+        let prior = active();
+        for w in LaneWidth::ALL {
+            set_active(w);
+            assert_eq!(active(), w);
+            assert_eq!(LaneWidth::from_lanes(w.lanes()), Some(w));
+        }
+        set_active(prior);
+        assert_eq!(LaneWidth::from_lanes(3), None);
+    }
+
+    #[test]
+    fn block_len_is_lane_aligned_and_positive() {
+        for w in [1usize, 2, 4, 8] {
+            for bpe in [1usize, 64, 416, 1 << 20] {
+                let b = block_len(bpe, w);
+                assert!(b >= w, "block_len({bpe}, {w}) = {b}");
+                assert_eq!(b % w, 0);
+            }
+        }
+        let prior = l1_budget();
+        set_l1_budget(8 * 1024);
+        assert_eq!(l1_budget(), 8 * 1024);
+        set_l1_budget(1); // clamped to the floor
+        assert_eq!(l1_budget(), 4 * 1024);
+        set_l1_budget(prior);
+    }
+}

@@ -1,0 +1,321 @@
+//! Bitwise scalar-vs-lane equivalence for every SIMD-ported kernel.
+//!
+//! Each test runs the scalar reference and every lane width (2, 4, 8) on
+//! the same state and compares outputs with `f64::to_bits` — not approximate
+//! equality. Element counts are deliberately non-multiples of every width
+//! (27 dense elements; region lists of odd lengths) so the ragged-tail
+//! paths are always exercised.
+
+use lulesh_core::kernels::{eos, hourglass, kinematics, monoq, stress};
+use lulesh_core::simd::{self, LaneWidth};
+use lulesh_core::types::Real;
+use lulesh_core::{Domain, Params};
+use parutil::Chunk;
+
+/// Deterministically perturbed domain: 27 elements (3³), two regions,
+/// mixed-sign pressures, viscosities and velocities.
+fn seeded_domain() -> Domain {
+    let d = Domain::build(3, 2, 1, 1, 0);
+    for e in 0..d.num_elem() {
+        d.set_p(e, (e as Real * 0.7).sin() * 0.1);
+        d.set_q(e, (e as Real * 0.3).cos().abs() * 0.01);
+        d.set_ss(e, 0.5 + (e as Real * 0.11).sin().abs());
+    }
+    for n in 0..d.num_node() {
+        d.set_xd(n, (n as Real * 0.13).sin() * 0.02);
+        d.set_yd(n, (n as Real * 0.29).cos() * 0.02);
+        d.set_zd(n, (n as Real * 0.41).sin() * 0.02);
+    }
+    d
+}
+
+fn assert_bits_eq(a: &[Real], b: &[Real], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for i in 0..a.len() {
+        assert_eq!(
+            a[i].to_bits(),
+            b[i].to_bits(),
+            "{what}[{i}]: {} vs {}",
+            a[i],
+            b[i]
+        );
+    }
+}
+
+// ---------------------------------------------------------------- stress --
+
+fn stress_lanes_case<const W: usize>(d: &Domain, range: Chunk) {
+    let n = range.len();
+    let mut sx = vec![0.0; n];
+    let mut sy = vec![0.0; n];
+    let mut sz = vec![0.0; n];
+    stress::init_stress_terms_for_elems(d, &mut sx, &mut sy, &mut sz, range);
+
+    let mut det1 = vec![0.0; n];
+    let mut fx1 = vec![0.0; 8 * n];
+    let mut fy1 = vec![0.0; 8 * n];
+    let mut fz1 = vec![0.0; 8 * n];
+    stress::integrate_stress_for_elems_scalar(
+        d, &sx, &sy, &sz, &mut det1, &mut fx1, &mut fy1, &mut fz1, range,
+    );
+
+    let mut det2 = vec![0.0; n];
+    let mut fx2 = vec![0.0; 8 * n];
+    let mut fy2 = vec![0.0; 8 * n];
+    let mut fz2 = vec![0.0; 8 * n];
+    stress::integrate_stress_for_elems_lanes::<W>(
+        d, &sx, &sy, &sz, &mut det2, &mut fx2, &mut fy2, &mut fz2, range,
+    );
+
+    assert_bits_eq(&det1, &det2, &format!("determ w{W}"));
+    assert_bits_eq(&fx1, &fx2, &format!("fx_elem w{W}"));
+    assert_bits_eq(&fy1, &fy2, &format!("fy_elem w{W}"));
+    assert_bits_eq(&fz1, &fz2, &format!("fz_elem w{W}"));
+}
+
+#[test]
+fn stress_every_width_matches_scalar_bitwise() {
+    let d = seeded_domain();
+    // 27 elements: ragged for every width; also a nonzero chunk begin
+    // (19 elements: ragged again) to catch chunk-local offset bugs.
+    let full = Chunk {
+        begin: 0,
+        end: d.num_elem(),
+    };
+    let off = Chunk {
+        begin: 8,
+        end: d.num_elem(),
+    };
+    for range in [full, off] {
+        stress_lanes_case::<2>(&d, range);
+        stress_lanes_case::<4>(&d, range);
+        stress_lanes_case::<8>(&d, range);
+    }
+}
+
+// ------------------------------------------------------------- hourglass --
+
+fn hourglass_lanes_case<const W: usize>(d: &Domain, range: Chunk) {
+    let n = range.len();
+    let mut dvdx = vec![0.0; 8 * n];
+    let mut dvdy = vec![0.0; 8 * n];
+    let mut dvdz = vec![0.0; 8 * n];
+    let mut x8n = vec![0.0; 8 * n];
+    let mut y8n = vec![0.0; 8 * n];
+    let mut z8n = vec![0.0; 8 * n];
+    let mut determ = vec![0.0; n];
+    hourglass::calc_hourglass_control_for_elems(
+        d,
+        &mut dvdx,
+        &mut dvdy,
+        &mut dvdz,
+        &mut x8n,
+        &mut y8n,
+        &mut z8n,
+        &mut determ,
+        range,
+    )
+    .unwrap();
+
+    let hourg = 3.0;
+    let mut fx1 = vec![0.0; 8 * n];
+    let mut fy1 = vec![0.0; 8 * n];
+    let mut fz1 = vec![0.0; 8 * n];
+    hourglass::calc_fb_hourglass_force_for_elems_scalar(
+        d, &determ, &x8n, &y8n, &z8n, &dvdx, &dvdy, &dvdz, hourg, &mut fx1, &mut fy1, &mut fz1,
+        range,
+    );
+
+    let mut fx2 = vec![0.0; 8 * n];
+    let mut fy2 = vec![0.0; 8 * n];
+    let mut fz2 = vec![0.0; 8 * n];
+    hourglass::calc_fb_hourglass_force_for_elems_lanes::<W>(
+        d, &determ, &x8n, &y8n, &z8n, &dvdx, &dvdy, &dvdz, hourg, &mut fx2, &mut fy2, &mut fz2,
+        range,
+    );
+
+    assert_bits_eq(&fx1, &fx2, &format!("hg fx_elem w{W}"));
+    assert_bits_eq(&fy1, &fy2, &format!("hg fy_elem w{W}"));
+    assert_bits_eq(&fz1, &fz2, &format!("hg fz_elem w{W}"));
+}
+
+#[test]
+fn hourglass_every_width_matches_scalar_bitwise() {
+    let d = seeded_domain();
+    let full = Chunk {
+        begin: 0,
+        end: d.num_elem(),
+    };
+    let off = Chunk {
+        begin: 4,
+        end: d.num_elem() - 2,
+    };
+    for range in [full, off] {
+        hourglass_lanes_case::<2>(&d, range);
+        hourglass_lanes_case::<4>(&d, range);
+        hourglass_lanes_case::<8>(&d, range);
+    }
+}
+
+// ----------------------------------------------------------------- monoq --
+
+/// Run kinematics so `vnew`/`vdov` and the positions reflect the seeded
+/// velocity field.
+fn prep_kinematics(d: &Domain) {
+    let full = Chunk {
+        begin: 0,
+        end: d.num_elem(),
+    };
+    kinematics::calc_kinematics_for_elems(d, 0.0, full);
+    kinematics::calc_lagrange_elements_finish(d, full).unwrap();
+}
+
+fn grad_outputs(d: &Domain) -> Vec<Real> {
+    (0..d.num_elem())
+        .flat_map(|i| {
+            [
+                d.delx_xi(i),
+                d.delx_eta(i),
+                d.delx_zeta(i),
+                d.delv_xi(i),
+                d.delv_eta(i),
+                d.delv_zeta(i),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn monoq_gradients_every_width_matches_scalar_bitwise() {
+    let d = seeded_domain();
+    prep_kinematics(&d);
+    let full = Chunk {
+        begin: 0,
+        end: d.num_elem(),
+    };
+    let off = Chunk {
+        begin: 3,
+        end: d.num_elem(),
+    };
+    for range in [full, off] {
+        monoq::calc_monotonic_q_gradients_for_elems_scalar(&d, range);
+        let reference = grad_outputs(&d);
+        monoq::calc_monotonic_q_gradients_for_elems_lanes::<2>(&d, range);
+        assert_bits_eq(&grad_outputs(&d), &reference, "monoq grad w2");
+        monoq::calc_monotonic_q_gradients_for_elems_lanes::<4>(&d, range);
+        assert_bits_eq(&grad_outputs(&d), &reference, "monoq grad w4");
+        monoq::calc_monotonic_q_gradients_for_elems_lanes::<8>(&d, range);
+        assert_bits_eq(&grad_outputs(&d), &reference, "monoq grad w8");
+    }
+}
+
+#[test]
+fn monoq_region_every_width_matches_scalar_bitwise() {
+    let d = seeded_domain();
+    prep_kinematics(&d);
+    let full = Chunk {
+        begin: 0,
+        end: d.num_elem(),
+    };
+    monoq::calc_monotonic_q_gradients_for_elems_scalar(&d, full);
+    let p = Params::default();
+    let qq_ql =
+        |d: &Domain| -> Vec<Real> { (0..d.num_elem()).flat_map(|i| [d.qq(i), d.ql(i)]).collect() };
+    for r in 0..d.num_reg() {
+        let elems = &d.regions.reg_elem_list[r];
+        monoq::calc_monotonic_q_region_for_elems_scalar(&d, elems, &p);
+        let reference = qq_ql(&d);
+        monoq::calc_monotonic_q_region_for_elems_lanes::<2>(&d, elems, &p);
+        assert_bits_eq(&qq_ql(&d), &reference, "monoq region w2");
+        monoq::calc_monotonic_q_region_for_elems_lanes::<4>(&d, elems, &p);
+        assert_bits_eq(&qq_ql(&d), &reference, "monoq region w4");
+        monoq::calc_monotonic_q_region_for_elems_lanes::<8>(&d, elems, &p);
+        assert_bits_eq(&qq_ql(&d), &reference, "monoq region w8");
+    }
+}
+
+// ------------------------------------------------------------------- eos --
+
+/// EOS state designed to hit every branch: mixed-sign `delv` (the `q = 0`
+/// expansion path), tiny and negative energies (`e_cut`/`emin`), and small
+/// q terms (`q_cut`).
+fn seed_eos_state(d: &Domain) {
+    for e in 0..d.num_elem() {
+        d.set_e(e, (e as Real * 0.37).sin() * 2.0);
+        d.set_vnew(e, 0.6 + 0.5 * (e as Real * 0.17).cos().abs());
+        d.set_delv(e, 0.2 * (e as Real * 0.53).sin());
+        d.set_ql(e, (e as Real * 0.19).sin().abs() * 0.05);
+        d.set_qq(e, (e as Real * 0.23).cos().abs() * 0.05);
+    }
+    d.set_e(1, 0.0); // exact zero: p_cut/e_cut paths
+    d.set_e(2, -2.0e15); // emin floor
+    d.set_delv(3, 0.0); // boundary of the delv > 0 branch
+}
+
+fn eos_outputs(d: &Domain) -> Vec<Real> {
+    (0..d.num_elem())
+        .flat_map(|i| [d.p(i), d.e(i), d.q(i), d.ss(i)])
+        .collect()
+}
+
+fn eos_lanes_case<const W: usize>(rep: usize) {
+    let d1 = seeded_domain();
+    let d2 = seeded_domain();
+    seed_eos_state(&d1);
+    seed_eos_state(&d2);
+    let p = Params::default();
+    let vnewc: Vec<Real> = (0..d1.num_elem()).map(|e| d1.vnew(e)).collect();
+
+    for r in 0..d1.num_reg() {
+        let elems = &d1.regions.reg_elem_list[r];
+        let mut s = eos::EosScratch::new(elems.len());
+        eos::eval_eos_for_elems_scalar(&d1, &vnewc, elems, rep, &p, &mut s);
+        eos::eval_eos_for_elems_lanes::<W>(&d2, &vnewc, elems, rep, &p);
+    }
+    assert_bits_eq(&eos_outputs(&d2), &eos_outputs(&d1), &format!("eos w{W}"));
+}
+
+#[test]
+fn eos_every_width_matches_scalar_bitwise() {
+    eos_lanes_case::<2>(1);
+    eos_lanes_case::<4>(1);
+    eos_lanes_case::<8>(1);
+    // The rep loop re-runs the whole pipeline; results must not depend on it.
+    eos_lanes_case::<4>(3);
+}
+
+// -------------------------------------------------------------- dispatch --
+
+#[test]
+fn entry_points_dispatch_on_global_width() {
+    let d = seeded_domain();
+    let n = d.num_elem();
+    let range = Chunk { begin: 0, end: n };
+    let mut sx = vec![0.0; n];
+    let mut sy = vec![0.0; n];
+    let mut sz = vec![0.0; n];
+    stress::init_stress_terms_for_elems(&d, &mut sx, &mut sy, &mut sz, range);
+
+    let mut det1 = vec![0.0; n];
+    let mut fx1 = vec![0.0; 8 * n];
+    let mut fy1 = vec![0.0; 8 * n];
+    let mut fz1 = vec![0.0; 8 * n];
+    stress::integrate_stress_for_elems_scalar(
+        &d, &sx, &sy, &sz, &mut det1, &mut fx1, &mut fy1, &mut fz1, range,
+    );
+
+    let prior = simd::active();
+    for w in LaneWidth::ALL {
+        simd::set_active(w);
+        let mut det2 = vec![0.0; n];
+        let mut fx2 = vec![0.0; 8 * n];
+        let mut fy2 = vec![0.0; 8 * n];
+        let mut fz2 = vec![0.0; 8 * n];
+        stress::integrate_stress_for_elems(
+            &d, &sx, &sy, &sz, &mut det2, &mut fx2, &mut fy2, &mut fz2, range,
+        );
+        assert_bits_eq(&det1, &det2, &format!("dispatch determ {w}"));
+        assert_bits_eq(&fx1, &fx2, &format!("dispatch fx {w}"));
+    }
+    simd::set_active(prior);
+}
