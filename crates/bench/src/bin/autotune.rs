@@ -2,7 +2,7 @@
 //! the simulated 24-core machine for every paper size and report how it
 //! stacks up against the static Table I plan and the exhaustive sweep.
 
-use lulesh_bench::{autotune_sim, render_table, SIZES};
+use lulesh_bench::{autotune_sim, autotune_sim_2d, render_table, SIZES};
 use simsched::CostModel;
 
 fn main() {
@@ -54,6 +54,39 @@ fn main() {
                 format!("{}x{}", r.sweep_plan.0, r.sweep_plan.1),
                 format!("{:.3}", r.auto_ns / r.static_ns),
                 format!("{:.3}", r.auto_ns / r.sweep_ns),
+                r.windows.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &body));
+
+    // The 2-D search (`--simd auto`): partition sizes × lane width against
+    // the exhaustive (partition, width) sweep.
+    let rows2: Vec<_> = SIZES
+        .iter()
+        .map(|&s| autotune_sim_2d(CostModel::default(), s, 24))
+        .collect();
+    println!();
+    println!("# 2-D auto-tune (partition × lane width) vs exhaustive sweep");
+    let header = vec![
+        "size",
+        "auto",
+        "simd",
+        "sweep",
+        "auto/sweep",
+        "auto/scalar",
+        "windows",
+    ];
+    let body: Vec<Vec<String>> = rows2
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{}x{}", r.auto_plan.0, r.auto_plan.1),
+                r.auto_width.to_string(),
+                format!("{}x{} {}", r.sweep_plan.0, r.sweep_plan.1, r.sweep_width),
+                format!("{:.3}", r.auto_ns / r.sweep_ns),
+                format!("{:.3}", r.auto_ns / r.scalar_ns),
                 r.windows.to_string(),
             ]
         })

@@ -15,6 +15,10 @@ fn main() {
         }
     };
 
+    // The golden reference still honours `--simd`: every width is
+    // bit-identical, so wider lanes only speed the reference up.
+    lulesh_core::simd::set_active(opts.simd.static_width());
+
     let domain = Domain::build(opts.size, opts.num_reg, opts.balance, opts.cost, opts.seed);
     let t0 = Instant::now();
     let state = match serial::run(&domain, opts.max_cycles) {

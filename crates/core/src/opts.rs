@@ -3,7 +3,55 @@
 //! `--b` (balance), `--c` (cost), `--q` (quiet), and `--threads` for the
 //! parallel drivers (the artifact's `--hpx:threads`).
 
+use crate::simd::LaneWidth;
 use crate::types::Index;
+
+/// Kernel lane-width policy, `--simd scalar|w2|w4|w8|auto`.
+///
+/// Every width is bit-identical to the scalar reference (see
+/// [`crate::simd`]), so this flag is purely a performance knob: `scalar`
+/// (the default) runs the reference inner loops, `wN` pins the lane-blocked
+/// kernels to N lanes, and `auto` lets the task driver's online tuner
+/// co-tune lane width with the partition sizes (drivers without a tuner
+/// resolve `auto` to the static w4 sweet spot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdMode {
+    /// Scalar reference loops (`--simd scalar`, alias `w1`). The default.
+    #[default]
+    Scalar,
+    /// A fixed lane width (`--simd w2|w4|w8`).
+    Fixed(LaneWidth),
+    /// Online width tuning where a tuner runs; static w4 elsewhere.
+    Auto,
+}
+
+impl SimdMode {
+    /// The width a driver without an online tuner should activate before
+    /// its first kernel. The task driver treats [`SimdMode::Auto`]
+    /// differently: it starts scalar and lets the 2-D auto-tuner climb.
+    pub fn static_width(self) -> LaneWidth {
+        match self {
+            SimdMode::Scalar => LaneWidth::W1,
+            SimdMode::Fixed(w) => w,
+            SimdMode::Auto => LaneWidth::W4,
+        }
+    }
+}
+
+impl std::str::FromStr for SimdMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" | "w1" => Ok(Self::Scalar),
+            "w2" => Ok(Self::Fixed(LaneWidth::W2)),
+            "w4" => Ok(Self::Fixed(LaneWidth::W4)),
+            "w8" => Ok(Self::Fixed(LaneWidth::W8)),
+            "auto" => Ok(Self::Auto),
+            _ => Err("expected scalar|w2|w4|w8|auto".into()),
+        }
+    }
+}
 
 /// Partition-size policy for the task driver, `--partition`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -202,6 +250,8 @@ pub struct Opts {
     pub trace_dir: Option<String>,
     /// Partition policy for the task driver, `--partition auto|fixed:N|table`.
     pub partition: PartitionMode,
+    /// Kernel lane width, `--simd scalar|w2|w4|w8|auto`. Default scalar.
+    pub simd: SimdMode,
     /// Inter-rank transport for the multi-domain drivers,
     /// `--transport channel|tcp|tcp:HOST:PORT`.
     pub transport: TransportMode,
@@ -258,6 +308,7 @@ impl Default for Opts {
             metrics: None,
             trace_dir: None,
             partition: PartitionMode::Table,
+            simd: SimdMode::Scalar,
             transport: TransportMode::Channel,
             recv_deadline_ms: 10_000,
             pin: PinMode::None,
@@ -369,6 +420,7 @@ impl Opts {
                 "metrics" => opts.metrics = Some(parse_val(flag, inline, &mut it)?),
                 "trace-dir" => opts.trace_dir = Some(parse_val(flag, inline, &mut it)?),
                 "partition" => opts.partition = parse_val(flag, inline, &mut it)?,
+                "simd" => opts.simd = parse_val(flag, inline, &mut it)?,
                 "transport" => opts.transport = parse_val(flag, inline, &mut it)?,
                 "recv-deadline-ms" => opts.recv_deadline_ms = parse_val(flag, inline, &mut it)?,
                 "pin" => opts.pin = parse_val(flag, inline, &mut it)?,
@@ -426,7 +478,7 @@ impl Opts {
             "Usage: {program} [--s SIZE] [--r REGIONS] [--i ITERATIONS] \
              [--b BALANCE] [--c COST] [--threads N] [--q] \
              [--trace FILE.json] [--metrics FILE.csv|.json] [--trace-dir DIR] \
-             [--partition auto|fixed:N|table] \
+             [--partition auto|fixed:N|table] [--simd scalar|w2|w4|w8|auto] \
              [--transport channel|tcp|tcp:HOST:PORT] [--recv-deadline-ms MS] \
              [--pin all|none|node0,node1,…] [--grid NXxNYxNZ] \
              [--live-metrics[=PERIOD]] [--die-at RANK:CYCLE[,RANK:CYCLE…]] \
@@ -440,6 +492,9 @@ impl Opts {
              --trace-dir collects per-rank traces, a merged clock-aligned \
              timeline, and an overhead-taxonomy report (multi-domain); \
              --partition auto tunes partition sizes online (task driver); \
+             --simd picks the kernel lane width (every width is bit-identical \
+             to scalar); --simd auto co-tunes width with the partition sizes \
+             on the task driver and resolves to w4 elsewhere; \
              --transport tcp exchanges halos over loopback sockets \
              (multi-domain drivers); \
              --pin pins workers to NUMA nodes with locality-aware stealing \
@@ -523,6 +578,31 @@ mod tests {
         assert!(Opts::parse(["--partition", "fixed:0"]).is_err());
         assert!(Opts::parse(["--partition", "fixed:x"]).is_err());
         assert!(Opts::parse(["--partition"]).is_err());
+    }
+
+    #[test]
+    fn simd_modes() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.simd, SimdMode::Scalar);
+        assert_eq!(o.simd.static_width(), LaneWidth::W1);
+        let o = Opts::parse(["--simd", "scalar"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Scalar);
+        // `w1` is an alias for scalar (handy in width sweeps).
+        let o = Opts::parse(["--simd=w1"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Scalar);
+        let o = Opts::parse(["--simd", "w2"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Fixed(LaneWidth::W2));
+        let o = Opts::parse(["--simd=w4"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Fixed(LaneWidth::W4));
+        assert_eq!(o.simd.static_width(), LaneWidth::W4);
+        let o = Opts::parse(["--simd", "w8"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Fixed(LaneWidth::W8));
+        let o = Opts::parse(["--simd", "auto"]).unwrap();
+        assert_eq!(o.simd, SimdMode::Auto);
+        assert_eq!(o.simd.static_width(), LaneWidth::W4);
+        assert!(Opts::parse(["--simd", "w16"]).is_err());
+        assert!(Opts::parse(["--simd", "avx"]).is_err());
+        assert!(Opts::parse(["--simd"]).is_err());
     }
 
     #[test]

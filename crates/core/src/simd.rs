@@ -316,6 +316,29 @@ pub fn l1_budget() -> usize {
     L1_BUDGET.load(Ordering::Relaxed)
 }
 
+/// Map the runtime's per-phase granularity signal (mean busy nanoseconds
+/// per executed task, from `taskrt::phases`) to a block budget for
+/// [`set_l1_budget`]. Short tasks stream so little data per invocation
+/// that their partition already fits in cache — a large budget effectively
+/// disables the extra blocking loop. Long tasks stream far past L1, so the
+/// block budget drops back to the L1-resident default. Non-finite input
+/// (no tasks executed yet) keeps the default.
+pub fn budget_for_task_grain(mean_task_ns: f64) -> usize {
+    if !mean_task_ns.is_finite() {
+        16 * 1024
+    } else if mean_task_ns < 20_000.0 {
+        // ≲20 µs of busy time touches well under any L1: one block.
+        512 * 1024
+    } else if mean_task_ns < 200_000.0 {
+        // Mid-grain tasks: tile at the full 32 KiB L1D.
+        32 * 1024
+    } else {
+        // Coarse tasks stream megabytes: keep blocks L1-resident with
+        // headroom for the stack and gather buffers.
+        16 * 1024
+    }
+}
+
 /// Elements per cache block for a kernel streaming `bytes_per_elem`, rounded
 /// down to a multiple of the lane count `w` (so lane groups never straddle a
 /// block boundary) and floored at one lane group.
@@ -411,6 +434,25 @@ mod tests {
         assert_eq!(l1_budget(), 8 * 1024);
         set_l1_budget(1); // clamped to the floor
         assert_eq!(l1_budget(), 4 * 1024);
+        set_l1_budget(prior);
+    }
+
+    #[test]
+    fn task_grain_budget_is_monotone_in_task_length() {
+        // No signal yet ⇒ keep the default.
+        assert_eq!(budget_for_task_grain(f64::INFINITY), 16 * 1024);
+        assert_eq!(budget_for_task_grain(f64::NAN), 16 * 1024);
+        // Fine tasks get the largest budget, coarse ones the smallest.
+        let fine = budget_for_task_grain(5_000.0);
+        let mid = budget_for_task_grain(50_000.0);
+        let coarse = budget_for_task_grain(2_000_000.0);
+        assert!(fine > mid && mid > coarse);
+        // Every tier survives the set_l1_budget clamp unchanged.
+        let prior = l1_budget();
+        for b in [fine, mid, coarse] {
+            set_l1_budget(b);
+            assert_eq!(l1_budget(), b);
+        }
         set_l1_budget(prior);
     }
 }

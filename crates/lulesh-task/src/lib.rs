@@ -38,8 +38,10 @@
 pub mod autotune;
 mod plan;
 
-pub use autotune::{AutoTuneConfig, AutoTuneReport, AutoTuner, HysteresisGate, WindowSample};
-pub use plan::{partition_cap, PartitionPlan, MIN_PARTITION};
+pub use autotune::{
+    AutoTuneConfig, AutoTuneReport, AutoTuner, HysteresisGate, TunePoint, WindowSample,
+};
+pub use plan::{partition_cap, PartitionPlan, MAX_LANE_WIDTH, MIN_PARTITION};
 
 use lulesh_core::domain::Domain;
 use lulesh_core::kernels::{constraints, eos, hourglass, kinematics, monoq, nodal, stress};
@@ -653,6 +655,18 @@ impl TaskLulesh {
                         mean_task_ns,
                     });
                     plan = t.plan();
+                    if t.config().tune_width {
+                        // `--simd auto`: the next window runs at the
+                        // tuner's width. Safe mid-run — every width is
+                        // bit-identical, so only speed changes.
+                        lulesh_core::simd::set_active(t.width());
+                    }
+                    // Re-derive the kernels' cache-block budget from the
+                    // same per-phase busy counters that feed the
+                    // granularity guard.
+                    lulesh_core::simd::set_l1_budget(lulesh_core::simd::budget_for_task_grain(
+                        mean_task_ns,
+                    ));
                     win_iters = 0;
                     win_t0 = Instant::now();
                     win_base = now;
@@ -1709,7 +1723,7 @@ mod tests {
         let plans: std::collections::BTreeSet<_> = report
             .history
             .iter()
-            .map(|(p, _)| (p.nodal, p.elements))
+            .map(|(p, _)| (p.plan.nodal, p.plan.elements))
             .collect();
         assert!(
             plans.len() >= 2,

@@ -8,8 +8,15 @@
 
 /// Smallest partition size any policy (static floor or auto-tuner) will
 /// produce. Below this the per-task overhead dwarfs the kernel work on any
-/// machine we model.
+/// machine we model. Must stay ≥ [`MAX_LANE_WIDTH`] so even the smallest
+/// partition feeds the lane-blocked kernels one full lane group.
 pub const MIN_PARTITION: usize = 8;
+
+/// Widest kernel lane width any driver activates (`lulesh_core::simd`'s
+/// `LaneWidth::W8`). The partition floor is tied to it: a partition
+/// narrower than the widest lane group would force every task down the
+/// ragged-tail path and waste the vector units.
+pub const MAX_LANE_WIDTH: usize = 8;
 
 /// Largest power-of-two partition size that still yields at least
 /// `threads` tasks over a loop of `items`, floored at [`MIN_PARTITION`].
@@ -224,6 +231,16 @@ mod tests {
                 "24-thread cap must not disturb Table I for size {size}"
             );
         }
+    }
+
+    #[test]
+    fn partition_floor_covers_the_widest_lane_group() {
+        const { assert!(MIN_PARTITION >= MAX_LANE_WIDTH) }
+        assert_eq!(
+            MAX_LANE_WIDTH,
+            lulesh_core::simd::LaneWidth::W8.lanes(),
+            "plan's width ceiling must track core::simd's widest mode"
+        );
     }
 
     #[test]

@@ -168,11 +168,52 @@ fn auto_partition_policy_is_bit_identical_while_resizing() {
     let distinct: std::collections::BTreeSet<_> = report
         .history
         .iter()
-        .map(|(p, _)| (p.nodal, p.elements))
+        .map(|(p, _)| (p.plan.nodal, p.plan.elements))
         .collect();
     assert!(
         distinct.len() >= 2,
         "tuner never resized mid-run: {distinct:?}"
+    );
+}
+
+#[test]
+fn auto_width_cotuning_is_bit_identical_while_switching_widths() {
+    // `--simd auto`: the 2-D tuner flips the global kernel lane width
+    // between measurement windows *mid-run*. Lane width is a pure
+    // performance knob, so the physics must stay bit-identical to the
+    // serial reference through every switch.
+    use lulesh::core::simd::{self, LaneWidth};
+    let (size, regs, cycles) = (8, 5, 30);
+    let d_ref = serial_ref(size, regs, cycles);
+
+    let prior = simd::active();
+    simd::set_active(LaneWidth::W1);
+    let d_task = Arc::new(Domain::build(size, regs, 1, 1, 0));
+    let runner = TaskLulesh::new(3);
+    let cfg = AutoTuneConfig {
+        window: 2, // switch width candidates every two iterations
+        warmup_windows: 1,
+        min_task_ns: 0.0,
+        tune_width: true,
+        ..AutoTuneConfig::default()
+    };
+    let st = runner
+        .run_policy(&d_task, PartitionPolicy::Auto(cfg), cycles)
+        .unwrap();
+    simd::set_active(prior);
+    assert_eq!(st.cycle, cycles);
+    assert_eq!(validate::max_field_difference(&d_ref, &d_task), 0.0);
+
+    // The run must actually have measured more than one lane width.
+    let report = runner.auto_report().expect("auto run records a report");
+    let widths: std::collections::BTreeSet<_> = report
+        .history
+        .iter()
+        .map(|(p, _)| p.width.lanes())
+        .collect();
+    assert!(
+        widths.len() >= 2,
+        "tuner never switched widths mid-run: {widths:?}"
     );
 }
 
