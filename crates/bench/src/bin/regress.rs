@@ -22,6 +22,18 @@
 //! scenarios with no dependency graph to analyze (serial, task) instead
 //! of being reported as meaningless zeros.
 //!
+//! Schema v3 adds the SIMD kernel engine's numbers: a top-level
+//! `kernels` section records per-kernel throughput of the four
+//! lane-ported kernels (stress integrate, fb-hourglass, monoq
+//! gradients, EOS) at scalar width against the best wide lane width —
+//! the wide throughput is gated against the baseline like scenario
+//! throughput, so a kernel port silently losing its vectorization
+//! fails the gate — and the task scenario records
+//! `simd_auto_speedup`, the measured per-core improvement of
+//! `--simd auto` (the 2-D partition × lane-width tuner) over the
+//! scalar static plan at a representative brick size (see
+//! [`task_simd_speedup`]).
+//!
 //! The comparison fails on **schema drift** (scenario missing, field
 //! sets differ, schema version bumped without `--update`) or on a
 //! throughput regression beyond the tolerance (default 10%; `--tol 0.2`
@@ -37,8 +49,10 @@
 //!
 //! Usage: `regress [--out DIR] [--baseline FILE] [--update] [--tol F]`
 
+use lulesh_core::kernels::{eos, hourglass, monoq, stress};
+use lulesh_core::simd::{self, LaneWidth};
 use lulesh_core::Domain;
-use lulesh_task::{Features, PartitionPlan, TaskLulesh};
+use lulesh_task::{AutoTuneConfig, Features, PartitionPlan, PartitionPolicy, TaskLulesh};
 use multidom::{
     threaded, Decomposition, FaultPlan, Grid3, LivePlan, ResilPlan, SimArgs, TransportKind,
 };
@@ -46,13 +60,14 @@ use obs::dist::{Category, RankTrace};
 use obs::jsonlint::{self, Value};
 use obs::live::{CollectSink, LiveConfig};
 use obs::{SpanKind, Tracer};
+use parutil::Chunk;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SCHEMA_VERSION: u64 = 2;
+const SCHEMA_VERSION: u64 = 3;
 const REPS: usize = 3;
 const DEFAULT_TOL: f64 = 0.10;
 /// Absolute gate on the checkpointing plane's CPU-time cost: writing a
@@ -125,6 +140,25 @@ struct Scenario {
     /// [`live_delta`]). **Gated** against the absolute [`CKPT_TOL`]
     /// budget. `None` for scenarios without checkpointing.
     ckpt_delta_frac: Option<f64>,
+    /// Per-core throughput of `--simd auto` (the 2-D partition ×
+    /// lane-width tuner) divided by the scalar static plan, measured on
+    /// the task driver at a representative brick size — see
+    /// [`task_simd_speedup`]. Informational (printed and recorded, not
+    /// gated: the release number is the meaningful one, and debug
+    /// builds do not auto-vectorize). `None` for non-task scenarios.
+    simd_auto_speedup: Option<f64>,
+}
+
+/// One lane-ported kernel's measured throughput: scalar (W1) against
+/// the best wide lane width. Element-iterations per CPU second.
+struct KernelRow {
+    name: &'static str,
+    scalar_zps: f64,
+    /// Best throughput over W2/W4/W8 — the configuration `--simd auto`
+    /// converges to when this kernel dominates the step.
+    simd_zps: f64,
+    /// Lane count of that best width.
+    simd_lanes: usize,
 }
 
 fn zero_overheads() -> BTreeMap<&'static str, u64> {
@@ -284,6 +318,7 @@ fn run_scenarios() -> Vec<Scenario> {
     let slab_delta = live_delta(None);
     let grid_delta = live_delta(Some(grid));
     let ckpt_delta = ckpt_delta(grid);
+    let simd_speedup = task_simd_speedup();
 
     let serial = Scenario {
         name: "serial_s8",
@@ -293,6 +328,7 @@ fn run_scenarios() -> Vec<Scenario> {
         overheads_ns: None,
         live_delta_frac: None,
         ckpt_delta_frac: None,
+        simd_auto_speedup: None,
     };
     let (cpu, busy) = task_best.expect("at least one rep");
     let task = Scenario {
@@ -303,6 +339,7 @@ fn run_scenarios() -> Vec<Scenario> {
         overheads_ns: None,
         live_delta_frac: None,
         ckpt_delta_frac: None,
+        simd_auto_speedup: Some(simd_speedup),
     };
     let multidom_scenario = |name: &'static str,
                              best: Option<(f64, obs::dist::Analysis)>,
@@ -330,6 +367,7 @@ fn run_scenarios() -> Vec<Scenario> {
             overheads_ns: Some(overheads),
             live_delta_frac: live_delta,
             ckpt_delta_frac: ckpt_delta,
+            simd_auto_speedup: None,
         }
     };
     let slab = multidom_scenario("multidom_s6x2", slab_best, Some(slab_delta), None);
@@ -434,6 +472,221 @@ fn ckpt_delta(grid: Grid3) -> f64 {
     ckpt_total / plain_total - 1.0
 }
 
+/// Measure the per-core throughput improvement of `--simd auto` over the
+/// scalar static plan on the task driver: paired alternating-order runs
+/// ([`live_delta`]'s methodology — a load burst hits both sides of a
+/// pair, slow drift cancels across the pair set), ratio of **summed**
+/// CPU times. Both sides run the same thread count, so the CPU-time
+/// ratio *is* the per-core throughput ratio. The auto side runs the
+/// real 2-D tuner from a scalar start, so its warmup windows and probe
+/// excursions are charged to it — the reported speedup is what a user
+/// actually gains by typing `--simd auto`, not the converged-state
+/// ceiling.
+///
+/// Release runs the paper-relevant s24 brick for enough iterations
+/// that the tuner's climb amortizes; debug scales down (kernels run
+/// ~10× slower unoptimized, and — unlike [`live_delta`]'s fractions —
+/// the debug *speedup* is not representative at all, because
+/// rustc only auto-vectorizes the lane loops with optimization on).
+/// Release numbers are the authoritative ones.
+fn task_simd_speedup() -> f64 {
+    #[cfg(not(debug_assertions))]
+    const SPEEDUP_SIZE: usize = 24;
+    #[cfg(not(debug_assertions))]
+    const SPEEDUP_ITERS: u64 = 150;
+    #[cfg(not(debug_assertions))]
+    const PAIRS: usize = 2;
+    #[cfg(debug_assertions)]
+    const SPEEDUP_SIZE: usize = 12;
+    #[cfg(debug_assertions)]
+    const SPEEDUP_ITERS: u64 = 30;
+    #[cfg(debug_assertions)]
+    const PAIRS: usize = 1;
+    let threads = 2;
+    let prior = simd::active();
+    let run = |auto: bool| {
+        // Both sides start scalar; the auto side's tuner widens mid-run
+        // exactly as `--simd auto` does.
+        simd::set_active(LaneWidth::W1);
+        let d = Arc::new(Domain::build(SPEEDUP_SIZE, 2, 1, 1, 0));
+        let policy = if auto {
+            PartitionPolicy::Auto(AutoTuneConfig {
+                tune_width: true,
+                ..AutoTuneConfig::default()
+            })
+        } else {
+            PartitionPolicy::Fixed(PartitionPlan::for_size_threads(SPEEDUP_SIZE, threads))
+        };
+        let c0 = cpu_seconds();
+        let st = TaskLulesh::new(threads)
+            .run_policy(&d, policy, SPEEDUP_ITERS)
+            .expect("task run");
+        assert_eq!(st.cycle, SPEEDUP_ITERS);
+        cpu_seconds() - c0
+    };
+    let (mut scalar_total, mut auto_total) = (0.0, 0.0);
+    for i in 0..PAIRS {
+        let (scalar, auto) = if i % 2 == 0 {
+            let s = run(false);
+            (s, run(true))
+        } else {
+            let a = run(true);
+            (run(false), a)
+        };
+        scalar_total += scalar;
+        auto_total += auto;
+    }
+    simd::set_active(prior);
+    scalar_total / auto_total
+}
+
+/// Measure the four lane-ported kernels one at a time: a mid-blast
+/// domain (realistic branches, same setup as the Criterion kernel
+/// bench), each kernel timed at every lane width, best-of-[`REPS`]
+/// outer reps on the CPU clock. Every width runs the *same* entry
+/// point — only the global `simd::active()` width changes — so the
+/// scalar/wide delta isolates the lane engine. The global width is
+/// restored afterwards so the sweep cannot leak into later
+/// measurements.
+fn measure_kernels() -> Vec<KernelRow> {
+    #[cfg(not(debug_assertions))]
+    const KSIZE: usize = 24;
+    #[cfg(not(debug_assertions))]
+    const PASSES: usize = 30;
+    #[cfg(debug_assertions)]
+    const KSIZE: usize = 10;
+    #[cfg(debug_assertions)]
+    const PASSES: usize = 4;
+
+    let prior = simd::active();
+    simd::set_active(LaneWidth::W1);
+    let d = Domain::build(KSIZE, 4, 1, 1, 0);
+    lulesh_core::serial::run(&d, 30).expect("warm-state run");
+    let ne = d.num_elem();
+    let elems = Chunk { begin: 0, end: ne };
+
+    // Stress inputs (filled once — the integrate pass only reads them)
+    // and its own output buffers.
+    let mut sigxx = vec![0.0; ne];
+    let mut sigyy = vec![0.0; ne];
+    let mut sigzz = vec![0.0; ne];
+    stress::init_stress_terms_for_elems(&d, &mut sigxx, &mut sigyy, &mut sigzz, elems);
+    let mut s_determ = vec![0.0; ne];
+    let mut s_fx = vec![0.0; 8 * ne];
+    let mut s_fy = vec![0.0; 8 * ne];
+    let mut s_fz = vec![0.0; 8 * ne];
+
+    // Hourglass partials, filled once by the control pass; the timed
+    // fb pass only reads them.
+    let mut dvdx = vec![0.0; 8 * ne];
+    let mut dvdy = vec![0.0; 8 * ne];
+    let mut dvdz = vec![0.0; 8 * ne];
+    let mut x8n = vec![0.0; 8 * ne];
+    let mut y8n = vec![0.0; 8 * ne];
+    let mut z8n = vec![0.0; 8 * ne];
+    let mut h_determ = vec![0.0; ne];
+    hourglass::calc_hourglass_control_for_elems(
+        &d,
+        &mut dvdx,
+        &mut dvdy,
+        &mut dvdz,
+        &mut x8n,
+        &mut y8n,
+        &mut z8n,
+        &mut h_determ,
+        elems,
+    )
+    .expect("hourglass control on a healthy domain");
+    let hgcoef = d.params.hgcoef;
+    let mut h_fx = vec![0.0; 8 * ne];
+    let mut h_fy = vec![0.0; 8 * ne];
+    let mut h_fz = vec![0.0; 8 * ne];
+
+    // EOS inputs: the full element list at material rep 1.
+    let vnewc: Vec<f64> = (0..ne).map(|e| d.vnew(e)).collect();
+    let list: Vec<usize> = (0..ne).collect();
+    let mut es = eos::EosScratch::new(ne);
+
+    type NamedKernel<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+    let mut kernels: Vec<NamedKernel> = vec![
+        (
+            "integrate_stress",
+            Box::new(|| {
+                stress::integrate_stress_for_elems(
+                    &d,
+                    &sigxx,
+                    &sigyy,
+                    &sigzz,
+                    &mut s_determ,
+                    &mut s_fx,
+                    &mut s_fy,
+                    &mut s_fz,
+                    elems,
+                )
+            }),
+        ),
+        (
+            "hourglass_fb",
+            Box::new(|| {
+                hourglass::calc_fb_hourglass_force_for_elems(
+                    &d, &h_determ, &x8n, &y8n, &z8n, &dvdx, &dvdy, &dvdz, hgcoef, &mut h_fx,
+                    &mut h_fy, &mut h_fz, elems,
+                )
+            }),
+        ),
+        (
+            "monoq_gradients",
+            Box::new(|| monoq::calc_monotonic_q_gradients_for_elems(&d, elems)),
+        ),
+        (
+            "eos_rep1",
+            Box::new(|| eos::eval_eos_for_elems(&d, &vnewc, &list, 1, &d.params, &mut es)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, body) in kernels.iter_mut() {
+        let mut best: Vec<(LaneWidth, f64)> =
+            LaneWidth::ALL.iter().map(|&w| (w, f64::MAX)).collect();
+        for _ in 0..REPS {
+            for (w, cpu) in best.iter_mut() {
+                simd::set_active(*w);
+                body(); // warm the new code path before the clock starts
+                let c0 = cpu_seconds();
+                for _ in 0..PASSES {
+                    body();
+                }
+                *cpu = cpu.min(cpu_seconds() - c0);
+            }
+        }
+        let zps = |cpu: f64| ne as f64 * PASSES as f64 / cpu;
+        let per_width: Vec<String> = best
+            .iter()
+            .map(|&(w, cpu)| format!("{w} {:.0}", zps(cpu)))
+            .collect();
+        eprintln!("regress: kernel {name} z/s: {}", per_width.join(", "));
+        let scalar_zps = best
+            .iter()
+            .find(|(w, _)| w.lanes() == 1)
+            .map(|&(_, cpu)| zps(cpu))
+            .expect("ALL includes scalar");
+        let (simd_lanes, simd_zps) = best
+            .iter()
+            .filter(|(w, _)| w.lanes() > 1)
+            .map(|&(w, cpu)| (w.lanes(), zps(cpu)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("ALL includes wide widths");
+        rows.push(KernelRow {
+            name,
+            scalar_zps,
+            simd_zps,
+            simd_lanes,
+        });
+    }
+    simd::set_active(prior);
+    rows
+}
+
 impl Scenario {
     /// Schema v2: `critical_path_ns` / `overheads_ns` / `live_delta_frac`
     /// appear only when the scenario measures them — an absent field says
@@ -458,11 +711,24 @@ impl Scenario {
         if let Some(d) = self.ckpt_delta_frac {
             fields.push(format!("  \"ckpt_delta_frac\": {d:.4}"));
         }
+        if let Some(s) = self.simd_auto_speedup {
+            fields.push(format!("  \"simd_auto_speedup\": {s:.4}"));
+        }
         format!("{{\n{}\n}}\n", fields.join(",\n"))
     }
 }
 
-fn baseline_json(scenarios: &[Scenario]) -> String {
+impl KernelRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"scalar_zps\": {:.3}, \"simd_zps\": {:.3}, \
+             \"simd_lanes\": {}}}",
+            self.name, self.scalar_zps, self.simd_zps, self.simd_lanes
+        )
+    }
+}
+
+fn baseline_json(scenarios: &[Scenario], kernels: &[KernelRow]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     out.push_str("  \"scenarios\": [\n");
@@ -476,6 +742,11 @@ fn baseline_json(scenarios: &[Scenario]) -> String {
         } else {
             ",\n"
         });
+    }
+    out.push_str("  ],\n  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(out, "    {}", k.to_json());
+        out.push_str(if i + 1 == kernels.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -493,7 +764,12 @@ fn key_set(v: &Value) -> Vec<String> {
     }
 }
 
-fn compare(current: &[Scenario], baseline_text: &str, tol: f64) -> Result<(), String> {
+fn compare(
+    current: &[Scenario],
+    kernels: &[KernelRow],
+    baseline_text: &str,
+    tol: f64,
+) -> Result<(), String> {
     let base = jsonlint::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
     let version = base
         .get("schema_version")
@@ -574,6 +850,65 @@ fn compare(current: &[Scenario], baseline_text: &str, tol: f64) -> Result<(), St
                     CKPT_TOL * 100.0
                 ));
             }
+        }
+    }
+    // The kernel section: the wide-lane throughput is gated like
+    // scenario throughput, so a port silently falling back to scalar
+    // (or losing its vectorization to a refactor) fails the gate. The
+    // scalar column and the speedup are informational — the speedup is
+    // a ratio of two gated-side measurements and would double-charge
+    // noise if gated itself. Debug widens the tolerance (same reasoning
+    // as CKPT_TOL): the single-kernel timing windows are milliseconds
+    // at debug sizes, where scheduling noise alone swings 10%+, and the
+    // failure this gate exists to catch — a lane path structurally
+    // deoptimized or dispatch quietly rerouted — costs far more than
+    // 25%; the percent-level contract is enforced in release.
+    #[cfg(not(debug_assertions))]
+    let ktol = tol;
+    #[cfg(debug_assertions)]
+    let ktol = tol.max(0.25);
+    let base_kernels = base
+        .get("kernels")
+        .and_then(Value::arr)
+        .ok_or("schema drift: baseline has no kernels section (re-run with --update)")?;
+    println!(
+        "{:<18} {:>14} {:>14} {:>6} {:>8} {:>8}",
+        "kernel", "scalar z/s", "simd z/s", "lanes", "speedup", "delta"
+    );
+    for k in kernels {
+        let Some(b) = base_kernels
+            .iter()
+            .find(|b| b.get("name").and_then(Value::str) == Some(k.name))
+        else {
+            failures.push(format!("schema drift: kernel '{}' not in baseline", k.name));
+            continue;
+        };
+        let base_zps = b.get("simd_zps").and_then(Value::num).unwrap_or(f64::NAN);
+        let delta = k.simd_zps / base_zps - 1.0;
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>6} {:>7.2}x {:>+7.1}%",
+            k.name,
+            k.scalar_zps,
+            k.simd_zps,
+            k.simd_lanes,
+            k.simd_zps / k.scalar_zps,
+            delta * 100.0
+        );
+        if !base_zps.is_finite() {
+            failures.push(format!(
+                "schema drift: kernel '{}' baseline simd_zps is not a number",
+                k.name
+            ));
+        } else if k.simd_zps < base_zps * (1.0 - ktol) {
+            failures.push(format!(
+                "kernel regression: '{}' {:.0} z/s is {:.1}% below baseline {:.0} z/s \
+                 (tolerance {:.0}%)",
+                k.name,
+                k.simd_zps,
+                -delta * 100.0,
+                base_zps,
+                ktol * 100.0
+            ));
         }
     }
     if failures.is_empty() {
@@ -666,13 +1001,17 @@ fn main() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| repo_root().join("BENCH_baseline.json"));
 
-    eprintln!("regress: running 5 tier-1 scenarios, best-of-{REPS} interleaved reps ...");
+    eprintln!(
+        "regress: running 5 tier-1 scenarios, best-of-{REPS} interleaved reps, \
+         plus the 4-kernel lane-width sweep ..."
+    );
     // Let whatever just ran (check.sh invokes this right after the test
     // suite) finish tearing down: a decaying load burst context-switches
     // short reps hard enough to inflate even their CPU time (cache
     // refills are charged to us) by double digits.
     std::thread::sleep(Duration::from_secs(2));
     let scenarios = run_scenarios();
+    let kernels = measure_kernels();
     for s in &scenarios {
         if let Some(d) = s.live_delta_frac {
             eprintln!(
@@ -689,6 +1028,12 @@ fn main() {
                 CKPT_TOL * 100.0
             );
         }
+        if let Some(x) = s.simd_auto_speedup {
+            eprintln!(
+                "regress: --simd auto per-core speedup on the task driver: {x:.2}x over \
+                 scalar (informational; release numbers are authoritative)"
+            );
+        }
     }
 
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
@@ -702,9 +1047,22 @@ fn main() {
             std::process::exit(1);
         });
     }
+    let kernels_json = format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        kernels
+            .iter()
+            .map(|k| format!("    {}", k.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = Path::new(&out_dir).join("BENCH_kernels.json");
+    std::fs::write(&path, kernels_json).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    });
 
     if update {
-        write_atomic(&baseline, &baseline_json(&scenarios)).unwrap_or_else(|e| {
+        write_atomic(&baseline, &baseline_json(&scenarios, &kernels)).unwrap_or_else(|e| {
             eprintln!("{}: {e}", baseline.display());
             std::process::exit(1);
         });
@@ -715,7 +1073,7 @@ fn main() {
         eprintln!("{}: {e} (generate one with --update)", baseline.display());
         std::process::exit(1);
     });
-    match compare(&scenarios, &text, tol) {
+    match compare(&scenarios, &kernels, &text, tol) {
         Ok(()) => eprintln!("regress: OK (tolerance {:.0}%)", tol * 100.0),
         Err(e) => {
             eprintln!("regress: FAILED\n{e}");

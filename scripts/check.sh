@@ -37,6 +37,27 @@ grep -q "autotune: converged" "$TMP/autotune.log" || {
   echo "auto-tuner did not converge:"; cat "$TMP/autotune.log"; exit 1;
 }
 
+echo "== simd smoke runs (--simd auto converges; --simd w4 is bit-identical) =="
+# The 2-D co-tuner: --simd auto starts the run scalar and must log a
+# verdict naming both the partition plan and the lane width it landed on.
+# (clippy above already covers crates/core, including the lane engine.)
+./target/debug/lulesh-task --s 15 --r 5 --threads 2 --q --simd auto \
+  > /dev/null 2> "$TMP/simd_auto.log"
+grep -q "autotune:" "$TMP/simd_auto.log" && grep -q "simd=" "$TMP/simd_auto.log" || {
+  echo "--simd auto logged no 2-D verdict:"; cat "$TMP/simd_auto.log"; exit 1;
+}
+# Lane width is a pure performance knob: a w4 run's CSV (all columns but
+# wall clock) must match the scalar run bit for bit.
+./target/debug/lulesh-task --s 6 --i 10 --threads 2 --q \
+  | cut -d, -f1-4,6 > "$TMP/simd_scalar.csv"
+./target/debug/lulesh-task --s 6 --i 10 --threads 2 --q --simd w4 \
+  | cut -d, -f1-4,6 > "$TMP/simd_w4.csv"
+if ! cmp -s "$TMP/simd_scalar.csv" "$TMP/simd_w4.csv"; then
+  echo "--simd w4 diverged from scalar:"
+  diff "$TMP/simd_scalar.csv" "$TMP/simd_w4.csv" || true
+  exit 1
+fi
+
 echo "== NUMA pinning smoke run (--pin must not change the physics) =="
 # On a multi-node host this exercises pinning + first-touch end to end; on
 # a single-node host it must degrade to a warning on stderr while still
@@ -151,9 +172,11 @@ echo "== perf-regression gate (BENCH_baseline.json) =="
 # Five tier-1 scenarios, best-of-3 reps each, gated on >10% throughput
 # regression or schema drift against the checked-in baseline, which the
 # harness resolves relative to the repo root whatever the CWD. Also
-# reports the --live-metrics throughput cost (informational) and the
+# reports the --live-metrics throughput cost (informational), the
 # checkpointing CPU cost (gated under 2%) on the multidom topologies at a
-# representative brick size.
+# representative brick size, and — schema v3 — per-kernel throughput of
+# the four lane-ported kernels (wide width gated against the baseline)
+# plus the --simd auto per-core speedup on the task driver.
 ./target/debug/regress --out "$TMP/bench"
 
 echo "== all checks passed =="
